@@ -1,0 +1,107 @@
+// Ablation of the CRF baseline's feature template: the Table 4 baseline
+// uses the basic template (lexical + orthographic features); this bench
+// additionally evaluates the contextual template (neighbor identities and
+// bigrams) on both corpora. Documents how much of the CRF's synthetic-data
+// performance comes from context features — and why the CRF baseline is
+// stronger here than on the paper's real-world corpora (see
+// EXPERIMENTS.md).
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "common/string_util.h"
+#include "crf/crf.h"
+#include "crf/features.h"
+#include "eval/table.h"
+#include "labels/iob.h"
+#include "text/normalizer.h"
+#include "text/word_tokenizer.h"
+#include "weaksup/weak_labeler.h"
+
+namespace goalex::bench {
+namespace {
+
+eval::Prf RunCrfWithTemplate(const data::Split& split, Corpus corpus,
+                             crf::FeatureTemplate feature_template) {
+  labels::LabelCatalog catalog(CorpusKinds(corpus));
+  weaksup::WeakLabeler labeler(&catalog);
+  text::WordTokenizer tokenizer;
+
+  std::vector<crf::CrfInstance> train_instances;
+  for (const data::Objective& objective : split.train) {
+    data::Objective normalized = objective;
+    normalized.text = text::Normalize(objective.text);
+    for (data::Annotation& a : normalized.annotations) {
+      a.value = text::Normalize(a.value);
+    }
+    weaksup::WeakLabeling labeling = labeler.Label(normalized);
+    if (labeling.tokens.empty()) continue;
+    std::vector<std::string> words;
+    for (const text::Token& t : labeling.tokens) words.push_back(t.text);
+    crf::CrfInstance instance;
+    instance.features = crf::ExtractFeatures(words, feature_template);
+    instance.labels = labeling.label_ids;
+    train_instances.push_back(std::move(instance));
+  }
+  crf::LinearChainCrf model(catalog.label_count());
+  model.Train(train_instances, crf::CrfOptions());
+
+  std::vector<data::DetailRecord> predictions;
+  for (const data::Objective& objective : split.test) {
+    std::string normalized = text::Normalize(objective.text);
+    std::vector<text::Token> tokens = tokenizer.Tokenize(normalized);
+    data::DetailRecord record;
+    record.objective_id = objective.id;
+    if (!tokens.empty()) {
+      std::vector<std::string> words;
+      for (const text::Token& t : tokens) words.push_back(t.text);
+      std::vector<labels::LabelId> predicted =
+          model.Predict(crf::ExtractFeatures(words, feature_template));
+      for (const labels::Span& span : catalog.DecodeSpans(predicted)) {
+        const std::string& kind =
+            catalog.kinds()[static_cast<size_t>(span.kind)];
+        if (record.fields.count(kind) > 0) continue;
+        record.fields[kind] = normalized.substr(
+            tokens[span.begin].begin,
+            tokens[span.end - 1].end - tokens[span.begin].begin);
+      }
+    }
+    predictions.push_back(std::move(record));
+  }
+  return Evaluate(split.test, predictions, corpus);
+}
+
+void Run() {
+  std::printf("Ablation: CRF feature template (basic = Table 4 baseline; "
+              "contextual adds neighbor/bigram features)\n\n");
+  const int runs = RunCount();
+  eval::TextTable table({"Dataset", "Template", "P", "R", "F"});
+  for (Corpus corpus :
+       {Corpus::kNetZeroFacts, Corpus::kSustainabilityGoals}) {
+    for (crf::FeatureTemplate feature_template :
+         {crf::FeatureTemplate::kBasic, crf::FeatureTemplate::kContextual}) {
+      double p = 0, r = 0, f = 0;
+      for (int run = 0; run < runs; ++run) {
+        data::Split split = MakeSplit(corpus, static_cast<uint64_t>(run));
+        eval::Prf prf = RunCrfWithTemplate(split, corpus, feature_template);
+        p += prf.precision;
+        r += prf.recall;
+        f += prf.f1;
+      }
+      table.AddRow({CorpusName(corpus),
+                    feature_template == crf::FeatureTemplate::kBasic
+                        ? "basic"
+                        : "contextual",
+                    FormatDouble(p / runs, 2), FormatDouble(r / runs, 2),
+                    FormatDouble(f / runs, 2)});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+}  // namespace
+}  // namespace goalex::bench
+
+int main() {
+  goalex::bench::Run();
+  return 0;
+}

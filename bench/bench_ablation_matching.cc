@@ -1,0 +1,76 @@
+// Ablation of the design decisions DESIGN.md calls out around weak
+// labeling: exact vs fuzzy annotation matching (Section 5.3 names fuzzy
+// matching as future work) and GoalSpotter-style text normalization on/off.
+// Reports weak-label coverage (annotation match rate) and end-task F1 on
+// the Sustainability Goals corpus.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "common/string_util.h"
+#include "core/extractor.h"
+#include "eval/table.h"
+
+namespace goalex::bench {
+namespace {
+
+struct Variant {
+  const char* name;
+  bool exact_match;
+  bool normalize_text;
+};
+
+void Run() {
+  std::printf("Ablation: weak-label matching mode and text normalization "
+              "(Sustainability Goals)\n\n");
+
+  const Variant variants[] = {
+      {"exact match + normalization (deployed)", true, true},
+      {"fuzzy match + normalization (future work)", false, true},
+      {"exact match, no normalization", true, false},
+      {"fuzzy match, no normalization", false, false},
+  };
+
+  const int runs = RunCount();
+  eval::TextTable table(
+      {"Variant", "Weak-label match rate", "P", "R", "F"});
+  for (const Variant& variant : variants) {
+    double match_rate_sum = 0.0;
+    MeanResult mean;
+    for (int run = 0; run < runs; ++run) {
+      data::Split split = MakeSplit(Corpus::kSustainabilityGoals,
+                                    static_cast<uint64_t>(run));
+      core::ExtractorConfig config =
+          DefaultExtractorConfig(Corpus::kSustainabilityGoals);
+      config.weak_labeler.exact_match = variant.exact_match;
+      config.normalize_text = variant.normalize_text;
+      config.seed += static_cast<uint64_t>(run);
+
+      core::DetailExtractor extractor(config);
+      GOALEX_CHECK_OK(extractor.Train(split.train));
+      match_rate_sum += extractor.last_train_stats().MatchRate();
+
+      ApproachResult result;
+      std::vector<data::DetailRecord> predictions =
+          extractor.ExtractAll(split.test);
+      result.prf =
+          Evaluate(split.test, predictions, Corpus::kSustainabilityGoals);
+      mean.Add(result);
+    }
+    std::vector<std::string> cells = mean.Cells();
+    table.AddRow({variant.name, FormatDouble(match_rate_sum / runs, 3),
+                  cells[0], cells[1], cells[2]});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Expected shape: fuzzy matching recovers the lexically divergent "
+      "annotations (higher weak-label coverage), trading some precision; "
+      "normalization protects against superficial noise.\n");
+}
+
+}  // namespace
+}  // namespace goalex::bench
+
+int main() {
+  goalex::bench::Run();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Regenerates Figure 4 (epochs / learning-rate panels): F1 on the
+// Sustainability Goals test set as a function of training epochs, for each
+// nominal learning rate in {1e-5, 5e-5, 1e-4, 5e-4}. One training run per
+// learning rate; the model is evaluated at the end of every epoch via the
+// epoch callback. The paper's finding: with the learning rate at 5e-5 the
+// model reaches its best F1 within about 10 epochs, and nearby settings
+// converge similarly (very large rates destabilize training).
+#include <cstdio>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/string_util.h"
+#include "core/extractor.h"
+#include "eval/table.h"
+#include "text/normalizer.h"
+
+namespace goalex::bench {
+namespace {
+
+constexpr int kMaxEpochs = 14;
+
+std::vector<double> F1PerEpoch(const data::Split& split,
+                               float learning_rate) {
+  core::ExtractorConfig config =
+      DefaultExtractorConfig(Corpus::kSustainabilityGoals);
+  config.epochs = kMaxEpochs;
+  config.learning_rate = learning_rate;
+  core::DetailExtractor extractor(config);
+
+  std::vector<double> f1_per_epoch;
+  GOALEX_CHECK_OK(extractor.Train(
+      split.train, [&](const core::EpochStats& stats) {
+        (void)stats;
+        std::vector<data::DetailRecord> predictions =
+            extractor.ExtractAll(split.test);
+        f1_per_epoch.push_back(
+            Evaluate(split.test, predictions,
+                     Corpus::kSustainabilityGoals)
+                .f1);
+      }));
+  return f1_per_epoch;
+}
+
+void Run() {
+  std::printf(
+      "Figure 4 (effect of epochs and learning rate): F1 on the "
+      "Sustainability Goals test set after each epoch\n"
+      "(nominal paper learning rates; effective rate = nominal x %.0f for "
+      "the scaled from-scratch model, see DESIGN.md)\n\n",
+      DefaultExtractorConfig(Corpus::kSustainabilityGoals)
+          .learning_rate_scale);
+
+  const float rates[] = {1e-5f, 5e-5f, 1e-4f, 5e-4f};
+  data::Split split = MakeSplit(Corpus::kSustainabilityGoals, 0);
+
+  std::vector<std::string> header = {"Epoch"};
+  header.push_back("lr=1e-5");
+  header.push_back("lr=5e-5");
+  header.push_back("lr=1e-4");
+  header.push_back("lr=5e-4");
+  eval::TextTable table(header);
+
+  std::vector<std::vector<double>> curves;
+  for (float rate : rates) curves.push_back(F1PerEpoch(split, rate));
+
+  for (int epoch = 0; epoch < kMaxEpochs; ++epoch) {
+    std::vector<std::string> row = {std::to_string(epoch + 1)};
+    for (const std::vector<double>& curve : curves) {
+      row.push_back(FormatDouble(curve[static_cast<size_t>(epoch)], 3));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Paper reference: lr 5e-5 reaches its highest F1 in ~10 epochs; "
+      "epochs/learning rate in their typical ranges do not change "
+      "convergence much, while extreme rates underperform.\n");
+}
+
+}  // namespace
+}  // namespace goalex::bench
+
+int main() {
+  goalex::bench::Run();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Regenerates Figure 4 (target-label panel): per-field F1 of the detail
+// extraction system on the Sustainability Goals corpus, together with each
+// field's annotation availability. The paper's finding: Action scores
+// highest (annotated for 85% of instances), while sparse fields such as
+// Baseline (14%) and Deadline (34%) score lower.
+#include <cstdio>
+#include <map>
+
+#include "bench/harness.h"
+#include "common/string_util.h"
+#include "core/extractor.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "text/normalizer.h"
+
+namespace goalex::bench {
+namespace {
+
+void Run() {
+  const int runs = RunCount();
+  std::printf(
+      "Figure 4 (effect of the target label): per-field F1 on the "
+      "Sustainability Goals dataset (mean of %d runs)\n\n",
+      runs);
+
+  const std::vector<std::string>& kinds = data::SustainabilityGoalKinds();
+  std::map<std::string, double> f1_sum;
+  std::map<std::string, int64_t> annotated;
+  int64_t total_objectives = 0;
+
+  for (int run = 0; run < runs; ++run) {
+    data::Split split =
+        MakeSplit(Corpus::kSustainabilityGoals, static_cast<uint64_t>(run));
+    core::ExtractorConfig config =
+        DefaultExtractorConfig(Corpus::kSustainabilityGoals);
+    config.seed += static_cast<uint64_t>(run);
+    core::DetailExtractor extractor(config);
+    GOALEX_CHECK_OK(extractor.Train(split.train));
+
+    std::vector<data::DetailRecord> predictions =
+        extractor.ExtractAll(split.test);
+    std::vector<data::Objective> normalized = split.test;
+    for (data::Objective& o : normalized) {
+      o.text = text::Normalize(o.text);
+      for (data::Annotation& a : o.annotations) {
+        a.value = text::Normalize(a.value);
+      }
+    }
+    eval::FieldEvaluator evaluator(kinds);
+    evaluator.AddAll(normalized, predictions);
+    for (const std::string& kind : kinds) {
+      f1_sum[kind] += evaluator.ForKind(kind).f1;
+    }
+
+    for (const data::Objective& o : split.train) {
+      ++total_objectives;
+      for (const std::string& kind : kinds) {
+        if (o.AnnotationValue(kind)) ++annotated[kind];
+      }
+    }
+    for (const data::Objective& o : split.test) {
+      ++total_objectives;
+      for (const std::string& kind : kinds) {
+        if (o.AnnotationValue(kind)) ++annotated[kind];
+      }
+    }
+  }
+
+  eval::TextTable table({"Target label", "Annotation availability", "F1"});
+  for (const std::string& kind : kinds) {
+    double availability =
+        static_cast<double>(annotated[kind]) / total_objectives;
+    table.AddRow({kind, FormatDouble(100.0 * availability, 0) + "%",
+                  FormatDouble(f1_sum[kind] / runs, 2)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Paper reference: Action is annotated for 85%% of instances and "
+      "scores highest; Baseline (14%%) and Deadline (34%%) are sparser "
+      "and score lower.\n");
+}
+
+}  // namespace
+}  // namespace goalex::bench
+
+int main() {
+  goalex::bench::Run();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Regenerates Figure 4 (model panel): F1 and fine-tuning time of the four
+// transformer presets (BERT-like, DistilBERT-like, RoBERTa-like,
+// DistilRoBERTa-like) on the Sustainability Goals corpus. The paper's
+// findings: RoBERTa slightly above BERT; original models slightly above
+// their distilled halves; distilled models train faster.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "common/string_util.h"
+#include "eval/table.h"
+
+namespace goalex::bench {
+namespace {
+
+void Run() {
+  const int runs = RunCount();
+  std::printf(
+      "Figure 4 (effect of the transformer model): presets on the "
+      "Sustainability Goals dataset (mean of %d runs)\n\n",
+      runs);
+
+  const core::ModelPreset presets[] = {
+      core::ModelPreset::kBert, core::ModelPreset::kDistilBert,
+      core::ModelPreset::kRoberta, core::ModelPreset::kDistilRoberta};
+
+  eval::TextTable table({"Model", "P", "R", "F", "Fine-tune+eval (min)"});
+  for (core::ModelPreset preset : presets) {
+    MeanResult mean;
+    for (int run = 0; run < runs; ++run) {
+      data::Split split = MakeSplit(Corpus::kSustainabilityGoals,
+                                    static_cast<uint64_t>(run));
+      core::ExtractorConfig config =
+          DefaultExtractorConfig(Corpus::kSustainabilityGoals);
+      config.preset = preset;
+      config.seed += static_cast<uint64_t>(run);
+      mean.Add(RunGoalSpotter(split, Corpus::kSustainabilityGoals,
+                              std::move(config)));
+    }
+    std::vector<std::string> cells = mean.Cells();
+    table.AddRow({core::ModelPresetName(preset), cells[0], cells[1],
+                  cells[2], FormatDouble(mean.minutes / mean.runs, 2)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Paper reference: RoBERTa > BERT (slightly); originals > distilled "
+      "versions (slightly); distilled versions are faster.\n");
+}
+
+}  // namespace
+}  // namespace goalex::bench
+
+int main() {
+  goalex::bench::Run();
+  return 0;
+}

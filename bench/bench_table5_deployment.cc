@@ -1,0 +1,66 @@
+// Regenerates Table 5: the post-deployment summary. GoalSpotter (detector +
+// detail extraction) sweeps the synthetic report fleet of 14 companies —
+// 380 documents and 37,871 pages, matching the paper's corpus exactly —
+// and reports per-company document/page counts and the number of extracted
+// objectives.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "core/database.h"
+#include "data/report.h"
+#include "eval/table.h"
+#include "eval/timer.h"
+#include "goalspotter/pipeline.h"
+
+namespace goalex::bench {
+namespace {
+
+void Run() {
+  std::printf("Table 5: post-deployment summary (synthetic report fleet "
+              "matching the paper's corpus shape)\n\n");
+
+  eval::Timer setup_timer;
+  DeployedSystem system = TrainDeployedSystem(0);
+  std::printf("trained deployed system in %.1f s\n\n",
+              setup_timer.Seconds());
+
+  goalspotter::GoalSpotter pipeline(system.detector.get(),
+                                    system.extractor.get());
+  core::ObjectiveDatabase database;
+
+  eval::TextTable table(
+      {"Company", "#Documents", "#Pages", "#Extracted Objectives"});
+  goalspotter::PipelineStats total;
+  eval::Timer sweep_timer;
+  uint64_t company_seed = 1000;
+  for (const data::CompanyProfile& profile :
+       data::PaperDeploymentProfiles()) {
+    std::vector<data::Report> reports =
+        data::GenerateCompanyReports(profile, company_seed++);
+    goalspotter::PipelineStats stats =
+        pipeline.ProcessReports(reports, &database);
+    total += stats;
+    table.AddRow({profile.name, std::to_string(stats.documents),
+                  std::to_string(stats.pages),
+                  std::to_string(stats.detected_objectives)});
+  }
+  table.AddRow({"Total", std::to_string(total.documents),
+                std::to_string(total.pages),
+                std::to_string(total.detected_objectives)});
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("swept %lld blocks in %.1f s; database now holds %zu rows\n",
+              static_cast<long long>(total.blocks), sweep_timer.Seconds(),
+              database.size());
+  std::printf(
+      "Paper reference (Table 5): 380 documents, 37871 pages, 3580 "
+      "extracted objectives in total (e.g., C1: 20/2131/150, C8: "
+      "22/5012/764, C14: 12/2531/43).\n");
+}
+
+}  // namespace
+}  // namespace goalex::bench
+
+int main() {
+  goalex::bench::Run();
+  return 0;
+}

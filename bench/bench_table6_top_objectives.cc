@@ -1,0 +1,85 @@
+// Regenerates Table 6: the extracted details for the top 2 sustainability
+// objectives per company from the post-deployment data. "Top" follows the
+// deployed system's detector confidence, mirroring how the paper surfaces
+// its most salient detections. Also prints the per-company specificity
+// signal the paper's discussion derives from this table (companies quoting
+// amounts and deadlines are more specific).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "common/string_util.h"
+#include "core/database.h"
+#include "data/report.h"
+#include "eval/table.h"
+#include "goalspotter/pipeline.h"
+
+namespace goalex::bench {
+namespace {
+
+void Run() {
+  std::printf("Table 6: extracted details for the top 2 objectives per "
+              "company (synthetic deployment fleet)\n\n");
+
+  DeployedSystem system = TrainDeployedSystem(0);
+  goalspotter::GoalSpotter pipeline(system.detector.get(),
+                                    system.extractor.get());
+  core::ObjectiveDatabase database;
+  uint64_t company_seed = 1000;
+  for (const data::CompanyProfile& profile :
+       data::PaperDeploymentProfiles()) {
+    std::vector<data::Report> reports =
+        data::GenerateCompanyReports(profile, company_seed++);
+    pipeline.ProcessReports(reports, &database);
+  }
+
+  eval::TextTable table({"Company", "Sustainability Objective", "Action",
+                         "Amount", "Qualifier", "Baseline", "Deadline"});
+  for (const data::CompanyProfile& profile :
+       data::PaperDeploymentProfiles()) {
+    std::vector<const core::DbRow*> rows = database.ByCompany(profile.name);
+    std::sort(rows.begin(), rows.end(),
+              [&](const core::DbRow* a, const core::DbRow* b) {
+                return system.detector->Score(a->record.objective_text) >
+                       system.detector->Score(b->record.objective_text);
+              });
+    for (size_t i = 0; i < rows.size() && i < 2; ++i) {
+      const data::DetailRecord& record = rows[i]->record;
+      table.AddRow({profile.name, record.objective_text,
+                    record.FieldOrEmpty("Action"),
+                    record.FieldOrEmpty("Amount"),
+                    record.FieldOrEmpty("Qualifier"),
+                    record.FieldOrEmpty("Baseline"),
+                    record.FieldOrEmpty("Deadline")});
+    }
+  }
+  std::printf("%s\n", table.Render(46).c_str());
+
+  std::printf("Specificity signal (share of extracted objectives quoting "
+              "an Amount / a Deadline):\n");
+  std::map<std::string, double> amount_coverage =
+      database.FieldCoverageByCompany("Amount");
+  std::map<std::string, double> deadline_coverage =
+      database.FieldCoverageByCompany("Deadline");
+  eval::TextTable specificity({"Company", "Amount %", "Deadline %"});
+  for (const data::CompanyProfile& profile :
+       data::PaperDeploymentProfiles()) {
+    specificity.AddRow(
+        {profile.name,
+         FormatDouble(100.0 * amount_coverage[profile.name], 0),
+         FormatDouble(100.0 * deadline_coverage[profile.name], 0)});
+  }
+  std::printf("%s\n", specificity.Render().c_str());
+  std::printf(
+      "Paper reference (Table 6): details are extracted per company; many "
+      "objectives omit Baseline/Deadline, and companies differ in how "
+      "specific their commitments are.\n");
+}
+
+}  // namespace
+}  // namespace goalex::bench
+
+int main() {
+  goalex::bench::Run();
+  return 0;
+}

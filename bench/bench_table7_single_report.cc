@@ -1,0 +1,68 @@
+// Regenerates Table 7: detail extraction from a single dense sustainability
+// report (the paper's report-level scenario). GoalSpotter detects the
+// objectives in one synthetic report and extracts their details into a
+// structured table.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "core/database.h"
+#include "data/report.h"
+#include "eval/table.h"
+#include "goalspotter/pipeline.h"
+
+namespace goalex::bench {
+namespace {
+
+void Run() {
+  std::printf("Table 7: extracted details from one example sustainability "
+              "report\n\n");
+
+  DeployedSystem system = TrainDeployedSystem(0);
+  goalspotter::GoalSpotter pipeline(system.detector.get(),
+                                    system.extractor.get());
+
+  // One dense report, like the paper's example (a large tech company's
+  // environmental report with varied objectives).
+  data::Report report =
+      data::GenerateSingleReport("ExampleCo", /*page_count=*/85,
+                                 /*objective_count=*/12, /*seed=*/4242);
+  core::ObjectiveDatabase database;
+  goalspotter::PipelineStats stats =
+      pipeline.ProcessReport(report, &database);
+  std::printf("report: %d pages, %lld blocks, %lld detected objectives\n\n",
+              report.page_count, static_cast<long long>(stats.blocks),
+              static_cast<long long>(stats.detected_objectives));
+
+  std::vector<const core::DbRow*> rows = database.ByCompany("ExampleCo");
+  std::sort(rows.begin(), rows.end(),
+            [&](const core::DbRow* a, const core::DbRow* b) {
+              return system.detector->Score(a->record.objective_text) >
+                     system.detector->Score(b->record.objective_text);
+            });
+
+  eval::TextTable table({"Sustainability Objective", "Action", "Amount",
+                         "Qualifier", "Baseline", "Deadline", "Page"});
+  for (size_t i = 0; i < rows.size() && i < 6; ++i) {
+    const data::DetailRecord& record = rows[i]->record;
+    table.AddRow({record.objective_text, record.FieldOrEmpty("Action"),
+                  record.FieldOrEmpty("Amount"),
+                  record.FieldOrEmpty("Qualifier"),
+                  record.FieldOrEmpty("Baseline"),
+                  record.FieldOrEmpty("Deadline"),
+                  std::to_string(rows[i]->page)});
+  }
+  std::printf("%s\n", table.Render(52).c_str());
+  std::printf(
+      "Paper reference (Table 7): six objectives from one report with "
+      "their Action/Amount/Qualifier/Baseline/Deadline details; some "
+      "fields are legitimately empty when the objective omits them.\n");
+}
+
+}  // namespace
+}  // namespace goalex::bench
+
+int main() {
+  goalex::bench::Run();
+  return 0;
+}

@@ -1,0 +1,88 @@
+#ifndef GOALEX_BENCH_HARNESS_H_
+#define GOALEX_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <memory>
+
+#include "core/config.h"
+#include "core/extractor.h"
+#include "data/dataset.h"
+#include "data/schema.h"
+#include "eval/metrics.h"
+#include "goalspotter/detector.h"
+
+namespace goalex::bench {
+
+/// Which evaluation corpus a harness run uses.
+enum class Corpus { kNetZeroFacts, kSustainabilityGoals };
+
+const char* CorpusName(Corpus corpus);
+
+/// The extraction schema of a corpus.
+const std::vector<std::string>& CorpusKinds(Corpus corpus);
+
+/// Generates the corpus with the paper's instance counts and splits 80/20.
+/// `run` perturbs the generator/split seeds so independent runs differ.
+data::Split MakeSplit(Corpus corpus, uint64_t run);
+
+/// One Table 4 row fragment: effectiveness plus time.
+struct ApproachResult {
+  eval::Prf prf;
+  double minutes = 0.0;  ///< Train+inference minutes (simulated for LLMs).
+};
+
+/// Accumulates the mean over runs.
+struct MeanResult {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double minutes = 0.0;
+  int64_t runs = 0;
+
+  void Add(const ApproachResult& r);
+  std::vector<std::string> Cells() const;  ///< {P, R, F, T} formatted.
+};
+
+/// Trains the paper's system (weak supervision + transformer) on the split
+/// and evaluates field-level P/R/F1 on the test set.
+ApproachResult RunGoalSpotter(const data::Split& split, Corpus corpus,
+                              core::ExtractorConfig config);
+
+/// Default extractor config for a corpus (preset roberta, 10 epochs,
+/// nominal lr 5e-5, batch 16).
+core::ExtractorConfig DefaultExtractorConfig(Corpus corpus);
+
+/// The CRF baseline: weak-labels the training split at word level, trains
+/// a linear-chain CRF, decodes spans on the test set.
+ApproachResult RunCrfBaseline(const data::Split& split, Corpus corpus);
+
+/// The zero-/few-shot prompting baselines against the simulated LLM. Time
+/// is the simulated API latency (see DESIGN.md §3).
+ApproachResult RunPromptingBaseline(const data::Split& split, Corpus corpus,
+                                    bool few_shot, uint64_t seed);
+
+/// Number of independent runs to average; reads GOALEX_RUNS (default 3,
+/// paper uses 5 — raise via the environment when time permits).
+int RunCount();
+
+/// The deployed GoalSpotter system of Section 5: an objective detector and
+/// a detail extractor, both trained on the Sustainability Goals corpus.
+struct DeployedSystem {
+  std::unique_ptr<goalspotter::ObjectiveDetector> detector;
+  std::unique_ptr<core::DetailExtractor> extractor;
+};
+
+/// Trains the full deployed system (used by the Table 5/6/7 benches).
+DeployedSystem TrainDeployedSystem(uint64_t seed);
+
+/// Evaluates predictions field-level against the gold test set.
+eval::Prf Evaluate(const std::vector<data::Objective>& test,
+                   const std::vector<data::DetailRecord>& predictions,
+                   Corpus corpus);
+
+}  // namespace goalex::bench
+
+#endif  // GOALEX_BENCH_HARNESS_H_

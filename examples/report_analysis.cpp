@@ -1,0 +1,90 @@
+// Scenario 2 of the paper's deployment section: analyze one sustainability
+// report end to end. GoalSpotter classifies every text block, the detail
+// extractor structures the detected objectives, and the results land in a
+// queryable database (and a CSV export).
+//
+// Run: ./build/examples/report_analysis
+#include <algorithm>
+#include <cstdio>
+
+#include "core/database.h"
+#include "core/extractor.h"
+#include "data/generator.h"
+#include "data/report.h"
+#include "eval/table.h"
+#include "goalspotter/detector.h"
+#include "goalspotter/pipeline.h"
+
+int main() {
+  using goalex::data::Objective;
+
+  // Train the two models of the deployed system on the synthetic
+  // Sustainability Goals corpus.
+  goalex::data::SustainabilityGoalsConfig corpus_config;
+  std::vector<Objective> corpus =
+      goalex::data::GenerateSustainabilityGoals(corpus_config);
+
+  goalex::core::ExtractorConfig extractor_config;
+  extractor_config.kinds = goalex::data::SustainabilityGoalKinds();
+  goalex::core::DetailExtractor extractor(extractor_config);
+  std::printf("training detail extractor on %zu objectives...\n",
+              corpus.size());
+  goalex::Status status = extractor.Train(corpus);
+  if (!status.ok()) {
+    std::printf("training failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<goalex::goalspotter::LabeledBlock> blocks;
+  for (const Objective& o : corpus) {
+    blocks.push_back({o.text, true});
+  }
+  goalex::Rng noise_rng(11);
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    blocks.push_back({goalex::data::GenerateNoiseSentence(noise_rng), false});
+  }
+  goalex::goalspotter::ObjectiveDetector detector;
+  detector.Train(blocks, goalex::goalspotter::DetectorOptions());
+
+  // Analyze one dense report.
+  goalex::data::Report report = goalex::data::GenerateSingleReport(
+      "ExampleCo", /*page_count=*/60, /*objective_count=*/10, /*seed=*/7);
+  goalex::goalspotter::GoalSpotter pipeline(&detector, &extractor);
+  goalex::core::ObjectiveDatabase database;
+  goalex::goalspotter::PipelineStats stats =
+      pipeline.ProcessReport(report, &database);
+
+  std::printf("\nreport %s: %lld pages, %lld blocks, %lld objectives "
+              "detected\n\n",
+              report.document.c_str(), static_cast<long long>(stats.pages),
+              static_cast<long long>(stats.blocks),
+              static_cast<long long>(stats.detected_objectives));
+
+  goalex::eval::TextTable table(
+      {"Page", "Objective", "Action", "Amount", "Deadline"});
+  std::vector<const goalex::core::DbRow*> rows =
+      database.ByCompany("ExampleCo");
+  std::sort(rows.begin(), rows.end(),
+            [](const goalex::core::DbRow* a, const goalex::core::DbRow* b) {
+              return a->page < b->page;
+            });
+  for (const goalex::core::DbRow* row : rows) {
+    table.AddRow({std::to_string(row->page), row->record.objective_text,
+                  row->record.FieldOrEmpty("Action"),
+                  row->record.FieldOrEmpty("Amount"),
+                  row->record.FieldOrEmpty("Deadline")});
+  }
+  std::printf("%s\n", table.Render(48).c_str());
+
+  // Structured queries the paper motivates: commitments with deadlines can
+  // be monitored over time.
+  std::printf("objectives with a deadline (monitorable commitments): %zu "
+              "of %zu\n",
+              database.WithField("Deadline").size(), database.size());
+  std::printf("\nCSV export preview:\n%s",
+              database.ExportCsv({"Action", "Amount", "Deadline"})
+                  .substr(0, 400)
+                  .c_str());
+  std::printf("...\n");
+  return 0;
+}

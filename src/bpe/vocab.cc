@@ -1,0 +1,39 @@
+#include "bpe/vocab.h"
+
+#include "common/check.h"
+
+namespace goalex::bpe {
+
+Vocab::Vocab() {
+  AddToken("<pad>");
+  AddToken("<unk>");
+  AddToken("<s>");
+  AddToken("</s>");
+}
+
+TokenId Vocab::AddToken(std::string_view token) {
+  auto it = ids_.find(std::string(token));
+  if (it != ids_.end()) return it->second;
+  TokenId id = static_cast<TokenId>(tokens_.size());
+  tokens_.emplace_back(token);
+  ids_.emplace(tokens_.back(), id);
+  return id;
+}
+
+TokenId Vocab::GetId(std::string_view token) const {
+  auto it = ids_.find(std::string(token));
+  if (it == ids_.end()) return kUnkId;
+  return it->second;
+}
+
+bool Vocab::Contains(std::string_view token) const {
+  return ids_.find(std::string(token)) != ids_.end();
+}
+
+const std::string& Vocab::GetToken(TokenId id) const {
+  GOALEX_CHECK_GE(id, 0);
+  GOALEX_CHECK_LT(static_cast<size_t>(id), tokens_.size());
+  return tokens_[static_cast<size_t>(id)];
+}
+
+}  // namespace goalex::bpe

@@ -1,0 +1,48 @@
+#ifndef GOALEX_BPE_VOCAB_H_
+#define GOALEX_BPE_VOCAB_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace goalex::bpe {
+
+/// Token id type used throughout the model stack.
+using TokenId = int32_t;
+
+/// Vocabulary mapping subword strings to dense ids. Ids 0..3 are reserved
+/// for the special tokens used by the transformer (RoBERTa conventions).
+class Vocab {
+ public:
+  static constexpr TokenId kPadId = 0;
+  static constexpr TokenId kUnkId = 1;
+  static constexpr TokenId kBosId = 2;  ///< "<s>", start of sequence.
+  static constexpr TokenId kEosId = 3;  ///< "</s>", end of sequence.
+
+  /// Constructs a vocabulary holding only the special tokens.
+  Vocab();
+
+  /// Adds `token` if absent; returns its id either way.
+  TokenId AddToken(std::string_view token);
+
+  /// Returns the id of `token`, or kUnkId if unknown.
+  TokenId GetId(std::string_view token) const;
+
+  /// Returns true if `token` is in the vocabulary.
+  bool Contains(std::string_view token) const;
+
+  /// Returns the surface string for `id`. Requires a valid id.
+  const std::string& GetToken(TokenId id) const;
+
+  /// Number of entries including the special tokens.
+  size_t size() const { return tokens_.size(); }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, TokenId> ids_;
+};
+
+}  // namespace goalex::bpe
+
+#endif  // GOALEX_BPE_VOCAB_H_

@@ -1,0 +1,19 @@
+#include "common/check.h"
+
+namespace goalex {
+namespace internal_check {
+
+void CheckFailed(const char* file, int line, const char* condition,
+                 const std::string& extra) {
+  if (extra.empty()) {
+    std::fprintf(stderr, "FATAL %s:%d: check failed: %s\n", file, line,
+                 condition);
+  } else {
+    std::fprintf(stderr, "FATAL %s:%d: check failed: %s (%s)\n", file, line,
+                 condition, extra.c_str());
+  }
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace goalex

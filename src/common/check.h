@@ -1,0 +1,64 @@
+#ifndef GOALEX_COMMON_CHECK_H_
+#define GOALEX_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace goalex {
+namespace internal_check {
+
+/// Prints a fatal check failure and aborts. Never returns.
+[[noreturn]] void CheckFailed(const char* file, int line,
+                              const char* condition,
+                              const std::string& extra);
+
+}  // namespace internal_check
+}  // namespace goalex
+
+/// Aborts the process when `condition` is false. Used for programming errors
+/// (invariant violations), not for recoverable errors — those use Status.
+#define GOALEX_CHECK(condition)                                             \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      ::goalex::internal_check::CheckFailed(__FILE__, __LINE__, #condition, \
+                                            "");                            \
+    }                                                                       \
+  } while (false)
+
+/// Like GOALEX_CHECK but appends a formatted message, e.g.
+/// GOALEX_CHECK_MSG(i < n, "index " << i << " out of range " << n).
+#define GOALEX_CHECK_MSG(condition, stream_expr)                            \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::ostringstream goalex_check_msg_stream;                           \
+      goalex_check_msg_stream << stream_expr;                               \
+      ::goalex::internal_check::CheckFailed(__FILE__, __LINE__, #condition, \
+                                            goalex_check_msg_stream.str()); \
+    }                                                                       \
+  } while (false)
+
+#define GOALEX_CHECK_EQ(a, b) \
+  GOALEX_CHECK_MSG((a) == (b), "expected equal: " << (a) << " vs " << (b))
+#define GOALEX_CHECK_NE(a, b) \
+  GOALEX_CHECK_MSG((a) != (b), "expected not equal: " << (a))
+#define GOALEX_CHECK_LT(a, b) \
+  GOALEX_CHECK_MSG((a) < (b), "expected " << (a) << " < " << (b))
+#define GOALEX_CHECK_LE(a, b) \
+  GOALEX_CHECK_MSG((a) <= (b), "expected " << (a) << " <= " << (b))
+#define GOALEX_CHECK_GT(a, b) \
+  GOALEX_CHECK_MSG((a) > (b), "expected " << (a) << " > " << (b))
+#define GOALEX_CHECK_GE(a, b) \
+  GOALEX_CHECK_MSG((a) >= (b), "expected " << (a) << " >= " << (b))
+
+/// Aborts on a non-OK Status. For use in tests, examples, and benches where
+/// an error is unrecoverable by design.
+#define GOALEX_CHECK_OK(expr)                                         \
+  do {                                                                \
+    ::goalex::Status goalex_check_ok_status = (expr);                 \
+    GOALEX_CHECK_MSG(goalex_check_ok_status.ok(),                     \
+                     "status not OK: " << goalex_check_ok_status);    \
+  } while (false)
+
+#endif  // GOALEX_COMMON_CHECK_H_

@@ -1,0 +1,42 @@
+#ifndef GOALEX_COMMON_STRING_UTIL_H_
+#define GOALEX_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace goalex {
+
+/// Splits `text` on `delimiter`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view text, char delimiter);
+
+/// Splits `text` on any run of ASCII whitespace, dropping empty fields.
+std::vector<std::string> StrSplitWhitespace(std::string_view text);
+
+/// Joins `parts` with `separator`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view separator);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view text);
+
+/// ASCII-lowercases `text` (bytes >= 0x80 are passed through unchanged).
+std::string AsciiToLower(std::string_view text);
+
+/// Returns true if `text` starts with / ends with `affix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Returns true if every char is an ASCII digit (and text is non-empty).
+bool IsAsciiDigits(std::string_view text);
+
+/// Replaces all occurrences of `from` (non-empty) with `to`.
+std::string StrReplaceAll(std::string_view text, std::string_view from,
+                          std::string_view to);
+
+/// Formats a double with `precision` decimal places (locale-independent).
+std::string FormatDouble(double value, int precision);
+
+}  // namespace goalex
+
+#endif  // GOALEX_COMMON_STRING_UTIL_H_

@@ -1,0 +1,133 @@
+#include "core/config.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace goalex::core {
+
+const char* ModelPresetName(ModelPreset preset) {
+  switch (preset) {
+    case ModelPreset::kRoberta:
+      return "roberta";
+    case ModelPreset::kDistilRoberta:
+      return "distilroberta";
+    case ModelPreset::kBert:
+      return "bert";
+    case ModelPreset::kDistilBert:
+      return "distilbert";
+  }
+  return "unknown";
+}
+
+bool ExtractorConfig::LowercaseTokenizer() const {
+  return preset == ModelPreset::kBert || preset == ModelPreset::kDistilBert;
+}
+
+nn::TransformerConfig ExtractorConfig::BuildTransformerConfig(
+    int32_t vocab_size) const {
+  nn::TransformerConfig config;
+  config.vocab_size = vocab_size;
+  config.max_seq_len = max_seq_len;
+  config.d_model = d_model;
+  config.heads = heads;
+  config.ffn_dim = ffn_dim;
+  config.dropout = dropout;
+  bool distilled = preset == ModelPreset::kDistilRoberta ||
+                   preset == ModelPreset::kDistilBert;
+  config.layers = distilled ? std::max(1, base_layers / 2) : base_layers;
+  config.sinusoidal_positions =
+      preset == ModelPreset::kBert || preset == ModelPreset::kDistilBert;
+  return config;
+}
+
+StatusOr<ModelPreset> ParseModelPreset(std::string_view name) {
+  if (name == "roberta") return ModelPreset::kRoberta;
+  if (name == "distilroberta") return ModelPreset::kDistilRoberta;
+  if (name == "bert") return ModelPreset::kBert;
+  if (name == "distilbert") return ModelPreset::kDistilBert;
+  return InvalidArgumentError("unknown model preset: " + std::string(name));
+}
+
+std::string ExtractorConfig::ToText() const {
+  std::ostringstream out;
+  out << "kinds=" << StrJoin(kinds, ",") << "\n"
+      << "preset=" << ModelPresetName(preset) << "\n"
+      << "epochs=" << epochs << "\n"
+      << "learning_rate=" << learning_rate << "\n"
+      << "learning_rate_scale=" << learning_rate_scale << "\n"
+      << "batch_size=" << batch_size << "\n"
+      << "dropout=" << dropout << "\n"
+      << "seed=" << seed << "\n"
+      << "bpe_merges=" << bpe_merges << "\n"
+      << "max_seq_len=" << max_seq_len << "\n"
+      << "d_model=" << d_model << "\n"
+      << "heads=" << heads << "\n"
+      << "ffn_dim=" << ffn_dim << "\n"
+      << "base_layers=" << base_layers << "\n"
+      << "normalize_text=" << (normalize_text ? 1 : 0) << "\n"
+      << "segment_multi_target=" << (segment_multi_target ? 1 : 0) << "\n"
+      << "exact_match=" << (weak_labeler.exact_match ? 1 : 0) << "\n";
+  return out.str();
+}
+
+StatusOr<ExtractorConfig> ExtractorConfig::FromText(std::string_view text) {
+  ExtractorConfig config;
+  for (const std::string& line : StrSplit(text, '\n')) {
+    if (line.empty()) continue;
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return DataLossError("bad config line: " + line);
+    }
+    std::string key = line.substr(0, eq);
+    std::string value = line.substr(eq + 1);
+    if (key == "kinds") {
+      config.kinds.clear();
+      for (const std::string& kind : StrSplit(value, ',')) {
+        if (!kind.empty()) config.kinds.push_back(kind);
+      }
+    } else if (key == "preset") {
+      auto preset = ParseModelPreset(value);
+      if (!preset.ok()) return preset.status();
+      config.preset = *preset;
+    } else if (key == "epochs") {
+      config.epochs = std::atoi(value.c_str());
+    } else if (key == "learning_rate") {
+      config.learning_rate = std::strtof(value.c_str(), nullptr);
+    } else if (key == "learning_rate_scale") {
+      config.learning_rate_scale = std::strtof(value.c_str(), nullptr);
+    } else if (key == "batch_size") {
+      config.batch_size = std::atoi(value.c_str());
+    } else if (key == "dropout") {
+      config.dropout = std::strtof(value.c_str(), nullptr);
+    } else if (key == "seed") {
+      config.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "bpe_merges") {
+      config.bpe_merges = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "max_seq_len") {
+      config.max_seq_len = std::atoi(value.c_str());
+    } else if (key == "d_model") {
+      config.d_model = std::atoi(value.c_str());
+    } else if (key == "heads") {
+      config.heads = std::atoi(value.c_str());
+    } else if (key == "ffn_dim") {
+      config.ffn_dim = std::atoi(value.c_str());
+    } else if (key == "base_layers") {
+      config.base_layers = std::atoi(value.c_str());
+    } else if (key == "normalize_text") {
+      config.normalize_text = (value == "1");
+    } else if (key == "segment_multi_target") {
+      config.segment_multi_target = (value == "1");
+    } else if (key == "exact_match") {
+      config.weak_labeler.exact_match = (value == "1");
+    } else {
+      return InvalidArgumentError("unknown config key: " + key);
+    }
+  }
+  if (config.kinds.empty()) {
+    return InvalidArgumentError("config is missing kinds");
+  }
+  return config;
+}
+
+}  // namespace goalex::core

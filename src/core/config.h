@@ -1,0 +1,99 @@
+#ifndef GOALEX_CORE_CONFIG_H_
+#define GOALEX_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/transformer.h"
+#include "weaksup/weak_labeler.h"
+
+namespace goalex::core {
+
+/// Transformer model families compared in Figure 4. This reproduction
+/// scales the architectures down for CPU training (see DESIGN.md §3) while
+/// keeping the distinctions that drive the figure: RoBERTa-like models use
+/// a cased BPE tokenizer and learned position embeddings; BERT-like models
+/// use an uncased tokenizer and fixed sinusoidal positions; distilled
+/// variants halve the depth.
+enum class ModelPreset {
+  kRoberta,
+  kDistilRoberta,
+  kBert,
+  kDistilBert,
+};
+
+/// Returns a human-readable preset name ("roberta", ...).
+const char* ModelPresetName(ModelPreset preset);
+
+/// Full configuration of the detail extraction system (development phase of
+/// Figure 2). Defaults follow Section 3.3: RoBERTa, up to 10 epochs,
+/// learning rate 5e-5, batch size 16, Adam.
+struct ExtractorConfig {
+  /// Extraction schema (entity kinds).
+  std::vector<std::string> kinds;
+
+  ModelPreset preset = ModelPreset::kRoberta;
+  int32_t epochs = 10;
+  /// Nominal learning rate as reported in the paper.
+  float learning_rate = 5e-5f;
+  /// The paper fine-tunes a pretrained 125M-parameter RoBERTa, where 5e-5
+  /// is appropriate; this reproduction trains a scaled-down model from
+  /// scratch, which needs a proportionally larger step. The effective rate
+  /// is learning_rate * learning_rate_scale; the nominal value keeps the
+  /// paper's hyperparameter axes (Figure 4) directly comparable.
+  float learning_rate_scale = 20.0f;
+  int32_t batch_size = 16;
+  float dropout = 0.1f;
+  uint64_t seed = 17;
+
+  /// Tokenizer: number of BPE merges learned from the training corpus.
+  size_t bpe_merges = 2600;
+  int32_t max_seq_len = 96;
+
+  /// Scaled-down architecture dimensions (see ModelPreset for the
+  /// family-specific tokenizer/position/depth differences).
+  int32_t d_model = 64;
+  int32_t heads = 4;
+  int32_t ffn_dim = 128;
+  int32_t base_layers = 2;  ///< Distilled presets use half of this.
+
+  /// GoalSpotter-style text normalization before tokenization.
+  bool normalize_text = true;
+
+  /// Objective segmentation (Section 5.3 future work): at extraction time,
+  /// split multi-target objectives into single-target clauses, extract per
+  /// clause, and merge (first non-empty value per field wins). Off by
+  /// default, matching the deployed system.
+  bool segment_multi_target = false;
+
+  /// Weak labeling options (exact matching by default, as deployed).
+  weaksup::WeakLabelerOptions weak_labeler;
+
+  /// Returns the tokenizer casing for the preset (true = lowercase).
+  bool LowercaseTokenizer() const;
+
+  /// Builds the nn-level architecture config (vocab size filled by the
+  /// trainer once the tokenizer exists).
+  nn::TransformerConfig BuildTransformerConfig(int32_t vocab_size) const;
+
+  /// Effective optimizer step size.
+  float EffectiveLearningRate() const {
+    return learning_rate * learning_rate_scale;
+  }
+
+  /// Serializes to a line-based key=value text (used when persisting a
+  /// trained model directory).
+  std::string ToText() const;
+
+  /// Parses ToText() output.
+  static StatusOr<ExtractorConfig> FromText(std::string_view text);
+};
+
+/// Parses a preset name ("roberta", "distilbert", ...).
+StatusOr<ModelPreset> ParseModelPreset(std::string_view name);
+
+}  // namespace goalex::core
+
+#endif  // GOALEX_CORE_CONFIG_H_

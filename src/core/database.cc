@@ -1,0 +1,102 @@
+#include "core/database.h"
+
+#include <sstream>
+
+namespace goalex::core {
+namespace {
+
+std::string CsvEscape(const std::string& raw) {
+  bool needs_quote = raw.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return raw;
+  std::string out = "\"";
+  for (char c : raw) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+int64_t ObjectiveDatabase::Insert(const data::DetailRecord& record,
+                                  const std::string& company,
+                                  const std::string& document, int page) {
+  DbRow row;
+  row.row_id = static_cast<int64_t>(rows_.size());
+  row.company = company;
+  row.document = document;
+  row.page = page;
+  row.record = record;
+  company_index_.emplace(company, rows_.size());
+  rows_.push_back(std::move(row));
+  return rows_.back().row_id;
+}
+
+std::vector<const DbRow*> ObjectiveDatabase::ByCompany(
+    const std::string& company) const {
+  std::vector<const DbRow*> out;
+  auto [begin, end] = company_index_.equal_range(company);
+  for (auto it = begin; it != end; ++it) out.push_back(&rows_[it->second]);
+  return out;
+}
+
+std::vector<const DbRow*> ObjectiveDatabase::WithField(
+    const std::string& kind) const {
+  std::vector<const DbRow*> out;
+  for (const DbRow& row : rows_) {
+    if (!row.record.FieldOrEmpty(kind).empty()) out.push_back(&row);
+  }
+  return out;
+}
+
+std::vector<const DbRow*> ObjectiveDatabase::WhereFieldEquals(
+    const std::string& kind, const std::string& value) const {
+  std::vector<const DbRow*> out;
+  for (const DbRow& row : rows_) {
+    if (row.record.FieldOrEmpty(kind) == value) out.push_back(&row);
+  }
+  return out;
+}
+
+std::map<std::string, int64_t> ObjectiveDatabase::CountPerCompany() const {
+  std::map<std::string, int64_t> out;
+  for (const DbRow& row : rows_) ++out[row.company];
+  return out;
+}
+
+std::map<std::string, double> ObjectiveDatabase::FieldCoverageByCompany(
+    const std::string& kind) const {
+  std::map<std::string, int64_t> total;
+  std::map<std::string, int64_t> with_field;
+  for (const DbRow& row : rows_) {
+    ++total[row.company];
+    if (!row.record.FieldOrEmpty(kind).empty()) ++with_field[row.company];
+  }
+  std::map<std::string, double> out;
+  for (const auto& [company, count] : total) {
+    out[company] =
+        static_cast<double>(with_field[company]) / static_cast<double>(count);
+  }
+  return out;
+}
+
+std::string ObjectiveDatabase::ExportCsv(
+    const std::vector<std::string>& kinds) const {
+  std::ostringstream out;
+  out << "row_id,company,document,page,objective";
+  for (const std::string& kind : kinds) out << ',' << CsvEscape(kind);
+  out << '\n';
+  for (const DbRow& row : rows_) {
+    out << row.row_id << ',' << CsvEscape(row.company) << ','
+        << CsvEscape(row.document) << ',' << row.page << ','
+        << CsvEscape(row.record.objective_text);
+    for (const std::string& kind : kinds) {
+      out << ',' << CsvEscape(row.record.FieldOrEmpty(kind));
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace goalex::core

@@ -1,0 +1,67 @@
+#ifndef GOALEX_CORE_DATABASE_H_
+#define GOALEX_CORE_DATABASE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+
+namespace goalex::core {
+
+/// A stored row of the structured sustainability database the paper
+/// motivates (Section 2.4): the extracted details plus source metadata, so
+/// domain experts can index, filter, and compare objectives across
+/// companies and track them over time.
+struct DbRow {
+  int64_t row_id = 0;
+  std::string company;
+  std::string document;
+  int page = 0;
+  data::DetailRecord record;
+};
+
+/// In-memory structured store for extracted sustainability objectives with
+/// the query operations the paper's deployment scenarios exercise.
+class ObjectiveDatabase {
+ public:
+  /// Inserts a record with source metadata; returns its row id.
+  int64_t Insert(const data::DetailRecord& record,
+                 const std::string& company,
+                 const std::string& document = "", int page = 0);
+
+  size_t size() const { return rows_.size(); }
+  const std::vector<DbRow>& rows() const { return rows_; }
+
+  /// All rows of one company.
+  std::vector<const DbRow*> ByCompany(const std::string& company) const;
+
+  /// Rows whose extracted `kind` field is non-empty (e.g., all objectives
+  /// with a Deadline, for commitment tracking).
+  std::vector<const DbRow*> WithField(const std::string& kind) const;
+
+  /// Rows whose `kind` field equals `value` exactly.
+  std::vector<const DbRow*> WhereFieldEquals(const std::string& kind,
+                                             const std::string& value) const;
+
+  /// Objective counts per company (Table 5's last column).
+  std::map<std::string, int64_t> CountPerCompany() const;
+
+  /// Fraction of rows per company carrying the given field — the
+  /// "specificity" signal the deployment discussion derives from Table 6
+  /// (companies quoting amounts/deadlines are more specific).
+  std::map<std::string, double> FieldCoverageByCompany(
+      const std::string& kind) const;
+
+  /// Exports all rows as CSV with the given field columns.
+  std::string ExportCsv(const std::vector<std::string>& kinds) const;
+
+ private:
+  std::vector<DbRow> rows_;
+  std::multimap<std::string, size_t> company_index_;
+};
+
+}  // namespace goalex::core
+
+#endif  // GOALEX_CORE_DATABASE_H_

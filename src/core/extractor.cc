@@ -1,0 +1,267 @@
+#include "core/extractor.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "eval/timer.h"
+#include "nn/adam.h"
+#include "nn/serialize.h"
+#include "tensor/ops.h"
+#include "segment/segmenter.h"
+#include "text/normalizer.h"
+
+namespace goalex::core {
+
+DetailExtractor::DetailExtractor(ExtractorConfig config)
+    : config_(std::move(config)),
+      catalog_(config_.kinds),
+      labeler_(&catalog_, config_.weak_labeler) {
+  GOALEX_CHECK_MSG(!config_.kinds.empty(),
+                   "ExtractorConfig.kinds must not be empty");
+}
+
+DetailExtractor::~DetailExtractor() = default;
+
+std::string DetailExtractor::Prepare(const std::string& text) const {
+  if (!config_.normalize_text) return text;
+  return text::Normalize(text);
+}
+
+DetailExtractor::EncodedExample DetailExtractor::EncodeExample(
+    const std::vector<text::Token>& tokens,
+    const std::vector<labels::LabelId>& word_labels) const {
+  GOALEX_CHECK(tokenizer_ != nullptr);
+  std::vector<std::string> words;
+  words.reserve(tokens.size());
+  for (const text::Token& t : tokens) words.push_back(t.text);
+  std::vector<bpe::Subword> subwords = tokenizer_->EncodeWords(words);
+
+  EncodedExample example;
+  example.ids.push_back(bpe::Vocab::kBosId);
+  example.targets.push_back(-1);
+  for (const bpe::Subword& sw : subwords) {
+    example.ids.push_back(sw.id);
+    // Standard first-subtoken supervision: continuation pieces are ignored
+    // by the loss and at decode time.
+    example.targets.push_back(
+        sw.is_word_start ? word_labels[sw.word_index] : -1);
+  }
+  example.ids.push_back(bpe::Vocab::kEosId);
+  example.targets.push_back(-1);
+  return example;
+}
+
+Status DetailExtractor::Train(
+    const std::vector<data::Objective>& objectives,
+    const std::function<void(const EpochStats&)>& on_epoch_end) {
+  if (objectives.empty()) {
+    return InvalidArgumentError("cannot train on an empty corpus");
+  }
+
+  // Normalize texts and annotations once.
+  std::vector<data::Objective> prepared = objectives;
+  for (data::Objective& o : prepared) {
+    o.text = Prepare(o.text);
+    for (data::Annotation& a : o.annotations) a.value = Prepare(a.value);
+  }
+
+  // Step 1 (development phase): learn the subword tokenizer on the
+  // training corpus.
+  std::vector<std::string> corpus;
+  corpus.reserve(prepared.size());
+  for (const data::Objective& o : prepared) corpus.push_back(o.text);
+  tokenizer_ = std::make_unique<bpe::BpeModel>(bpe::BpeModel::Train(
+      corpus, config_.bpe_merges, config_.LowercaseTokenizer()));
+
+  // Step 2: weak supervision token labeling (Algorithm 1).
+  std::vector<weaksup::WeakLabeling> labelings = labeler_.LabelAll(prepared);
+  train_stats_ = weaksup::ComputeStats(prepared, labelings);
+
+  std::vector<EncodedExample> examples;
+  examples.reserve(labelings.size());
+  for (const weaksup::WeakLabeling& labeling : labelings) {
+    if (labeling.tokens.empty()) continue;
+    examples.push_back(EncodeExample(labeling.tokens, labeling.label_ids));
+  }
+  if (examples.empty()) {
+    return FailedPreconditionError("no trainable examples after encoding");
+  }
+
+  // Step 3: fine-tune the transformer sequence labeler.
+  Rng init_rng(config_.seed);
+  nn::TransformerConfig arch = config_.BuildTransformerConfig(
+      static_cast<int32_t>(tokenizer_->vocab().size()));
+  model_ = std::make_unique<nn::TokenClassifier>(arch, catalog_.label_count(),
+                                                 init_rng);
+  nn::AdamOptions adam_options;
+  adam_options.learning_rate = config_.EffectiveLearningRate();
+  nn::Adam optimizer(model_->Parameters(), adam_options);
+
+  Rng train_rng(config_.seed + 1);
+  std::vector<size_t> order(examples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  float inv_batch = 1.0f / static_cast<float>(config_.batch_size);
+  for (int32_t epoch = 1; epoch <= config_.epochs; ++epoch) {
+    eval::Timer timer;
+    train_rng.Shuffle(order);
+    double loss_sum = 0.0;
+    int32_t in_batch = 0;
+    for (size_t idx : order) {
+      const EncodedExample& example = examples[idx];
+      tensor::Var loss = model_->ForwardLoss(example.ids, example.targets,
+                                             /*training=*/true, train_rng);
+      loss_sum += loss->value().at(0);
+      tensor::Backward(tensor::Scale(loss, inv_batch));
+      if (++in_batch == config_.batch_size) {
+        optimizer.Step();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) optimizer.Step();
+
+    if (on_epoch_end) {
+      EpochStats stats;
+      stats.epoch = epoch;
+      stats.mean_train_loss = loss_sum / static_cast<double>(examples.size());
+      stats.seconds = timer.Seconds();
+      on_epoch_end(stats);
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<labels::LabelId> DetailExtractor::PredictWordLabels(
+    const std::string& text) const {
+  GOALEX_CHECK_MSG(model_ != nullptr, "extractor is not trained");
+  std::string prepared = Prepare(text);
+  std::vector<text::Token> tokens = word_tokenizer_.Tokenize(prepared);
+  if (tokens.empty()) return {};
+
+  std::vector<std::string> words;
+  words.reserve(tokens.size());
+  for (const text::Token& t : tokens) words.push_back(t.text);
+  std::vector<bpe::Subword> subwords = tokenizer_->EncodeWords(words);
+
+  std::vector<int32_t> ids;
+  ids.push_back(bpe::Vocab::kBosId);
+  for (const bpe::Subword& sw : subwords) ids.push_back(sw.id);
+  ids.push_back(bpe::Vocab::kEosId);
+
+  std::vector<int32_t> predictions = model_->Predict(ids);
+
+  std::vector<labels::LabelId> word_labels(
+      tokens.size(), labels::LabelCatalog::kOutsideId);
+  // Position p in the prediction corresponds to subword p-1 (skip BOS);
+  // the tail may be truncated by max_seq_len.
+  for (size_t p = 1; p < predictions.size(); ++p) {
+    size_t sub = p - 1;
+    if (sub >= subwords.size()) break;  // EOS position or truncation.
+    if (subwords[sub].is_word_start) {
+      word_labels[subwords[sub].word_index] = predictions[p];
+    }
+  }
+  return word_labels;
+}
+
+data::DetailRecord DetailExtractor::Extract(
+    const data::Objective& objective) const {
+  GOALEX_CHECK_MSG(model_ != nullptr, "extractor is not trained");
+
+  if (config_.segment_multi_target) {
+    segment::ObjectiveSegmenter segmenter;
+    std::vector<segment::Segment> segments = segmenter.Split(objective.text);
+    if (segments.size() > 1) {
+      // Extract each single-target clause independently and merge; the
+      // first clause's value wins per field (it is the annotated target).
+      data::DetailRecord merged;
+      merged.objective_id = objective.id;
+      merged.objective_text = objective.text;
+      for (const segment::Segment& seg : segments) {
+        data::Objective clause;
+        clause.id = objective.id;
+        clause.text = seg.text;
+        data::DetailRecord part = ExtractSingle(clause);
+        for (const auto& [kind, value] : part.fields) {
+          merged.fields.emplace(kind, value);  // Keeps the first value.
+        }
+      }
+      return merged;
+    }
+  }
+  return ExtractSingle(objective);
+}
+
+data::DetailRecord DetailExtractor::ExtractSingle(
+    const data::Objective& objective) const {
+  data::DetailRecord record;
+  record.objective_id = objective.id;
+  record.objective_text = objective.text;
+
+  std::string prepared = Prepare(objective.text);
+  std::vector<text::Token> tokens = word_tokenizer_.Tokenize(prepared);
+  if (tokens.empty()) return record;
+
+  std::vector<labels::LabelId> word_labels = PredictWordLabels(objective.text);
+  std::vector<labels::Span> spans = catalog_.DecodeSpans(word_labels);
+
+  for (const labels::Span& span : spans) {
+    const std::string& kind =
+        catalog_.kinds()[static_cast<size_t>(span.kind)];
+    if (record.fields.count(kind) > 0) continue;  // First span wins.
+    size_t begin = tokens[span.begin].begin;
+    size_t end = tokens[span.end - 1].end;
+    record.fields[kind] = prepared.substr(begin, end - begin);
+  }
+  return record;
+}
+
+std::vector<data::DetailRecord> DetailExtractor::ExtractAll(
+    const std::vector<data::Objective>& objectives) const {
+  std::vector<data::DetailRecord> out;
+  out.reserve(objectives.size());
+  for (const data::Objective& objective : objectives) {
+    out.push_back(Extract(objective));
+  }
+  return out;
+}
+
+Status DetailExtractor::Save(const std::string& directory) const {
+  if (model_ == nullptr || tokenizer_ == nullptr) {
+    return FailedPreconditionError("nothing to save: extractor untrained");
+  }
+  {
+    std::ofstream out(directory + "/tokenizer.txt", std::ios::trunc);
+    if (!out) {
+      return InternalError("cannot write tokenizer to " + directory);
+    }
+    out << tokenizer_->Serialize();
+  }
+  {
+    std::ofstream out(directory + "/config.txt", std::ios::trunc);
+    if (!out) return InternalError("cannot write config to " + directory);
+    out << config_.ToText();
+  }
+  return nn::SaveParameters(*model_, directory + "/model.bin");
+}
+
+Status DetailExtractor::Load(const std::string& directory) {
+  std::ifstream in(directory + "/tokenizer.txt");
+  if (!in) return NotFoundError("missing tokenizer in " + directory);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto tokenizer = bpe::BpeModel::Deserialize(buffer.str());
+  if (!tokenizer.ok()) return tokenizer.status();
+  tokenizer_ = std::make_unique<bpe::BpeModel>(*std::move(tokenizer));
+
+  Rng init_rng(config_.seed);
+  nn::TransformerConfig arch = config_.BuildTransformerConfig(
+      static_cast<int32_t>(tokenizer_->vocab().size()));
+  model_ = std::make_unique<nn::TokenClassifier>(arch, catalog_.label_count(),
+                                                 init_rng);
+  return nn::LoadParameters(*model_, directory + "/model.bin");
+}
+
+}  // namespace goalex::core

@@ -1,0 +1,113 @@
+#ifndef GOALEX_CORE_EXTRACTOR_H_
+#define GOALEX_CORE_EXTRACTOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bpe/bpe_tokenizer.h"
+#include "common/status.h"
+#include "core/config.h"
+#include "data/schema.h"
+#include "labels/iob.h"
+#include "nn/transformer.h"
+#include "text/word_tokenizer.h"
+#include "weaksup/weak_labeler.h"
+
+namespace goalex::core {
+
+/// Per-epoch training progress, surfaced to the optional callback so the
+/// hyperparameter experiments (Figure 4c/d) can evaluate checkpoints.
+struct EpochStats {
+  int32_t epoch = 0;           ///< 1-based.
+  double mean_train_loss = 0.0;
+  double seconds = 0.0;        ///< Wall-clock time of this epoch.
+};
+
+/// The sustainability objective detail extraction system (Figure 2).
+///
+/// Development phase (Train): tokenize the annotated objectives, convert
+/// the coarse objective-level annotations into token-level IOB labels with
+/// the weak supervision algorithm (Algorithm 1), and fine-tune a
+/// transformer token classifier on those weak signals.
+///
+/// Production phase (Extract): tokenize a new objective, predict per-token
+/// labels with the trained model, decode IOB spans, and read the surface
+/// values back out of the original text.
+class DetailExtractor {
+ public:
+  explicit DetailExtractor(ExtractorConfig config);
+  ~DetailExtractor();
+
+  // Neither copyable nor movable: labeler_ holds a pointer to catalog_.
+  DetailExtractor(const DetailExtractor&) = delete;
+  DetailExtractor& operator=(const DetailExtractor&) = delete;
+  DetailExtractor(DetailExtractor&&) = delete;
+  DetailExtractor& operator=(DetailExtractor&&) = delete;
+
+  /// Trains on weakly annotated objectives. `on_epoch_end` (optional) is
+  /// invoked after each epoch; the model is usable for Extract() inside the
+  /// callback, enabling per-epoch evaluation sweeps.
+  Status Train(const std::vector<data::Objective>& objectives,
+               const std::function<void(const EpochStats&)>& on_epoch_end =
+                   nullptr);
+
+  /// Extracts the key details of one objective. Requires a trained (or
+  /// loaded) model.
+  data::DetailRecord Extract(const data::Objective& objective) const;
+
+  /// Extracts details for a whole collection.
+  std::vector<data::DetailRecord> ExtractAll(
+      const std::vector<data::Objective>& objectives) const;
+
+  /// Predicts word-level IOB label ids for a raw text (diagnostics and
+  /// tests). Requires a trained model.
+  std::vector<labels::LabelId> PredictWordLabels(
+      const std::string& text) const;
+
+  /// Persists the tokenizer and model weights to `directory` (two files).
+  Status Save(const std::string& directory) const;
+
+  /// Restores a model saved with Save(); the config must match.
+  Status Load(const std::string& directory);
+
+  bool trained() const { return model_ != nullptr; }
+  const ExtractorConfig& config() const { return config_; }
+  const labels::LabelCatalog& catalog() const { return catalog_; }
+
+  /// Weak-labeling coverage statistics from the last Train() call.
+  const weaksup::WeakLabelStats& last_train_stats() const {
+    return train_stats_;
+  }
+
+ private:
+  /// One encoded training instance.
+  struct EncodedExample {
+    std::vector<int32_t> ids;       ///< Subword ids with BOS/EOS.
+    std::vector<int32_t> targets;   ///< Label per position (-1 = ignore).
+  };
+
+  /// Extracts from one (already single-target) objective.
+  data::DetailRecord ExtractSingle(const data::Objective& objective) const;
+
+  /// Normalizes an objective text per config.
+  std::string Prepare(const std::string& text) const;
+
+  /// Encodes word tokens + word labels into a model input/target pair.
+  EncodedExample EncodeExample(
+      const std::vector<text::Token>& tokens,
+      const std::vector<labels::LabelId>& word_labels) const;
+
+  ExtractorConfig config_;
+  labels::LabelCatalog catalog_;
+  weaksup::WeakLabeler labeler_;
+  text::WordTokenizer word_tokenizer_;
+  std::unique_ptr<bpe::BpeModel> tokenizer_;
+  std::unique_ptr<nn::TokenClassifier> model_;
+  weaksup::WeakLabelStats train_stats_;
+};
+
+}  // namespace goalex::core
+
+#endif  // GOALEX_CORE_EXTRACTOR_H_

@@ -1,0 +1,214 @@
+#include "crf/crf.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "crf/features.h"
+
+namespace goalex::crf {
+namespace {
+
+constexpr double kEps = 1e-8;
+
+double LogSumExpVec(const double* x, int32_t n) {
+  double max_val = x[0];
+  for (int32_t i = 1; i < n; ++i) max_val = std::max(max_val, x[i]);
+  double sum = 0.0;
+  for (int32_t i = 0; i < n; ++i) sum += std::exp(x[i] - max_val);
+  return max_val + std::log(sum);
+}
+
+}  // namespace
+
+LinearChainCrf::LinearChainCrf(int32_t label_count)
+    : label_count_(label_count),
+      emission_(static_cast<size_t>(kFeatureBuckets) * label_count, 0.0f),
+      transition_(static_cast<size_t>(label_count) * label_count, 0.0f),
+      emission_g2_(emission_.size(), 0.0f),
+      transition_g2_(transition_.size(), 0.0f) {
+  GOALEX_CHECK_GT(label_count, 0);
+}
+
+std::vector<double> LinearChainCrf::UnaryScores(
+    const std::vector<std::vector<uint32_t>>& features) const {
+  const int32_t L = label_count_;
+  std::vector<double> unary(features.size() * L, 0.0);
+  for (size_t t = 0; t < features.size(); ++t) {
+    double* row = unary.data() + t * L;
+    for (uint32_t f : features[t]) {
+      const float* w = emission_.data() + static_cast<size_t>(f) * L;
+      for (int32_t l = 0; l < L; ++l) row[l] += w[l];
+    }
+  }
+  return unary;
+}
+
+double LinearChainCrf::LogLikelihood(const CrfInstance& instance) const {
+  const int32_t L = label_count_;
+  const size_t T = instance.features.size();
+  if (T == 0) return 0.0;
+  GOALEX_CHECK_EQ(T, instance.labels.size());
+  std::vector<double> unary = UnaryScores(instance.features);
+
+  // Gold score.
+  double gold = unary[0 * L + instance.labels[0]];
+  for (size_t t = 1; t < T; ++t) {
+    gold += transition_[instance.labels[t - 1] * L + instance.labels[t]];
+    gold += unary[t * L + instance.labels[t]];
+  }
+
+  // Partition function via forward recursion.
+  std::vector<double> alpha(T * L, 0.0);
+  for (int32_t l = 0; l < L; ++l) alpha[l] = unary[l];
+  std::vector<double> scratch(L);
+  for (size_t t = 1; t < T; ++t) {
+    for (int32_t l = 0; l < L; ++l) {
+      for (int32_t k = 0; k < L; ++k) {
+        scratch[k] = alpha[(t - 1) * L + k] + transition_[k * L + l];
+      }
+      alpha[t * L + l] = unary[t * L + l] + LogSumExpVec(scratch.data(), L);
+    }
+  }
+  double log_z = LogSumExpVec(alpha.data() + (T - 1) * L, L);
+  return gold - log_z;
+}
+
+double LinearChainCrf::UpdateOne(const CrfInstance& instance,
+                                 float learning_rate, float l2) {
+  const int32_t L = label_count_;
+  const size_t T = instance.features.size();
+  if (T == 0) return 0.0;
+  GOALEX_CHECK_EQ(T, instance.labels.size());
+  std::vector<double> unary = UnaryScores(instance.features);
+
+  // Forward.
+  std::vector<double> alpha(T * L), beta(T * L, 0.0), scratch(L);
+  for (int32_t l = 0; l < L; ++l) alpha[l] = unary[l];
+  for (size_t t = 1; t < T; ++t) {
+    for (int32_t l = 0; l < L; ++l) {
+      for (int32_t k = 0; k < L; ++k) {
+        scratch[k] = alpha[(t - 1) * L + k] + transition_[k * L + l];
+      }
+      alpha[t * L + l] = unary[t * L + l] + LogSumExpVec(scratch.data(), L);
+    }
+  }
+  double log_z = LogSumExpVec(alpha.data() + (T - 1) * L, L);
+
+  // Backward.
+  for (size_t ti = T - 1; ti > 0; --ti) {
+    size_t t = ti - 1;
+    for (int32_t k = 0; k < L; ++k) {
+      for (int32_t l = 0; l < L; ++l) {
+        scratch[l] = transition_[k * L + l] + unary[(t + 1) * L + l] +
+                     beta[(t + 1) * L + l];
+      }
+      beta[t * L + k] = LogSumExpVec(scratch.data(), L);
+    }
+  }
+
+  // Unary marginals and emission updates (gradient ascent on LL).
+  auto adagrad_emission = [&](size_t idx, double grad) {
+    emission_g2_[idx] += static_cast<float>(grad * grad);
+    emission_[idx] += learning_rate * static_cast<float>(grad) /
+                      std::sqrt(emission_g2_[idx] + kEps);
+  };
+  auto adagrad_transition = [&](size_t idx, double grad) {
+    transition_g2_[idx] += static_cast<float>(grad * grad);
+    transition_[idx] += learning_rate * static_cast<float>(grad) /
+                        std::sqrt(transition_g2_[idx] + kEps);
+  };
+
+  std::vector<double> marginal(L);
+  for (size_t t = 0; t < T; ++t) {
+    for (int32_t l = 0; l < L; ++l) {
+      marginal[l] = std::exp(alpha[t * L + l] + beta[t * L + l] - log_z);
+    }
+    for (uint32_t f : instance.features[t]) {
+      size_t base = static_cast<size_t>(f) * L;
+      for (int32_t l = 0; l < L; ++l) {
+        double grad = -marginal[l] - l2 * emission_[base + l];
+        if (l == instance.labels[t]) grad += 1.0;
+        adagrad_emission(base + l, grad);
+      }
+    }
+  }
+
+  // Pairwise marginals and transition updates.
+  for (size_t t = 0; t + 1 < T; ++t) {
+    for (int32_t k = 0; k < L; ++k) {
+      for (int32_t l = 0; l < L; ++l) {
+        double p = std::exp(alpha[t * L + k] + transition_[k * L + l] +
+                            unary[(t + 1) * L + l] +
+                            beta[(t + 1) * L + l] - log_z);
+        double grad = -p - l2 * transition_[k * L + l];
+        if (instance.labels[t] == k && instance.labels[t + 1] == l) {
+          grad += 1.0;
+        }
+        adagrad_transition(static_cast<size_t>(k) * L + l, grad);
+      }
+    }
+  }
+
+  // Gold score for reporting.
+  double gold = unary[instance.labels[0]];
+  for (size_t t = 1; t < T; ++t) {
+    gold += transition_[instance.labels[t - 1] * L + instance.labels[t]];
+    gold += unary[t * L + instance.labels[t]];
+  }
+  return gold - log_z;
+}
+
+void LinearChainCrf::Train(const std::vector<CrfInstance>& instances,
+                           const CrfOptions& options) {
+  Rng rng(options.seed);
+  std::vector<size_t> order(instances.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int32_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t idx : order) {
+      UpdateOne(instances[idx], options.learning_rate, options.l2);
+    }
+  }
+}
+
+std::vector<labels::LabelId> LinearChainCrf::Predict(
+    const std::vector<std::vector<uint32_t>>& features) const {
+  const int32_t L = label_count_;
+  const size_t T = features.size();
+  if (T == 0) return {};
+  std::vector<double> unary = UnaryScores(features);
+
+  std::vector<double> delta(T * L);
+  std::vector<int32_t> backptr(T * L, 0);
+  for (int32_t l = 0; l < L; ++l) delta[l] = unary[l];
+  for (size_t t = 1; t < T; ++t) {
+    for (int32_t l = 0; l < L; ++l) {
+      double best = -1e300;
+      int32_t best_k = 0;
+      for (int32_t k = 0; k < L; ++k) {
+        double s = delta[(t - 1) * L + k] + transition_[k * L + l];
+        if (s > best) {
+          best = s;
+          best_k = k;
+        }
+      }
+      delta[t * L + l] = best + unary[t * L + l];
+      backptr[t * L + l] = best_k;
+    }
+  }
+
+  int32_t best_last = 0;
+  for (int32_t l = 1; l < L; ++l) {
+    if (delta[(T - 1) * L + l] > delta[(T - 1) * L + best_last]) {
+      best_last = l;
+    }
+  }
+  std::vector<labels::LabelId> out(T);
+  out[T - 1] = best_last;
+  for (size_t ti = T - 1; ti > 0; --ti) {
+    out[ti - 1] = backptr[ti * L + out[ti]];
+  }
+  return out;
+}
+
+}  // namespace goalex::crf

@@ -1,0 +1,73 @@
+#ifndef GOALEX_CRF_CRF_H_
+#define GOALEX_CRF_CRF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "labels/iob.h"
+
+namespace goalex::crf {
+
+/// Training hyperparameters for the linear-chain CRF baseline.
+struct CrfOptions {
+  int32_t epochs = 12;
+  float learning_rate = 0.2f;   ///< Adagrad base step.
+  float l2 = 1e-6f;             ///< L2 regularization strength per example.
+  uint64_t seed = 7;            ///< Shuffling seed.
+};
+
+/// One training instance: per-position hashed features and gold label ids.
+struct CrfInstance {
+  std::vector<std::vector<uint32_t>> features;
+  std::vector<labels::LabelId> labels;
+};
+
+/// Linear-chain conditional random field with hashed binary emission
+/// features and a dense label-transition matrix, trained by maximizing
+/// conditional log-likelihood with Adagrad (forward-backward gradients),
+/// decoded with Viterbi. This is the "traditional statistical model"
+/// baseline of Table 4.
+class LinearChainCrf {
+ public:
+  /// Creates an untrained model over `label_count` labels.
+  explicit LinearChainCrf(int32_t label_count);
+
+  /// Trains on `instances` (weak-labeled sentences).
+  void Train(const std::vector<CrfInstance>& instances,
+             const CrfOptions& options);
+
+  /// Viterbi-decodes the most likely label sequence.
+  std::vector<labels::LabelId> Predict(
+      const std::vector<std::vector<uint32_t>>& features) const;
+
+  /// Average per-sentence conditional log-likelihood of the gold labels
+  /// (useful for monitoring convergence; higher is better).
+  double LogLikelihood(const CrfInstance& instance) const;
+
+  int32_t label_count() const { return label_count_; }
+
+ private:
+  /// Computes unary scores U[t*L + l] for a sentence.
+  std::vector<double> UnaryScores(
+      const std::vector<std::vector<uint32_t>>& features) const;
+
+  /// Accumulates the gradient of one instance into the Adagrad update.
+  /// Returns the instance log-likelihood.
+  double UpdateOne(const CrfInstance& instance, float learning_rate,
+                   float l2);
+
+  int32_t label_count_;
+  /// Emission weights, [kFeatureBuckets * label_count].
+  std::vector<float> emission_;
+  /// Transition weights, [label_count * label_count], row = previous label.
+  std::vector<float> transition_;
+  /// Adagrad accumulators.
+  std::vector<float> emission_g2_;
+  std::vector<float> transition_g2_;
+};
+
+}  // namespace goalex::crf
+
+#endif  // GOALEX_CRF_CRF_H_

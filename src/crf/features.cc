@@ -1,0 +1,137 @@
+#include "crf/features.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace goalex::crf {
+namespace {
+
+// FNV-1a over the template-tagged feature string.
+uint32_t HashFeature(std::string_view text) {
+  uint32_t h = 2166136261u;
+  for (char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 16777619u;
+  }
+  return h % kFeatureBuckets;
+}
+
+void AddFeature(std::vector<uint32_t>& out, std::string_view tag,
+                std::string_view value) {
+  std::string key;
+  key.reserve(tag.size() + value.size() + 1);
+  key.append(tag);
+  key.push_back('=');
+  key.append(value);
+  out.push_back(HashFeature(key));
+}
+
+bool HasDigit(const std::string& token) {
+  for (char c : token) {
+    if (std::isdigit(static_cast<unsigned char>(c))) return true;
+  }
+  return false;
+}
+
+bool AllDigits(const std::string& token) {
+  return goalex::IsAsciiDigits(token);
+}
+
+}  // namespace
+
+std::string WordShape(const std::string& token) {
+  std::string shape;
+  shape.reserve(token.size());
+  for (char c : token) {
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isupper(uc)) {
+      shape.push_back('X');
+    } else if (std::islower(uc)) {
+      shape.push_back('x');
+    } else if (std::isdigit(uc)) {
+      shape.push_back('d');
+    } else {
+      shape.push_back(c);
+    }
+  }
+  return shape;
+}
+
+std::string ShortShape(const std::string& token) {
+  std::string full = WordShape(token);
+  std::string collapsed;
+  for (char c : full) {
+    if (collapsed.empty() || collapsed.back() != c) collapsed.push_back(c);
+  }
+  return collapsed;
+}
+
+bool IsYearToken(const std::string& token) {
+  if (token.size() != 4 || !AllDigits(token)) return false;
+  int year = std::stoi(token);
+  return year >= 1900 && year <= 2100;
+}
+
+std::vector<std::vector<uint32_t>> ExtractFeatures(
+    const std::vector<std::string>& tokens,
+    FeatureTemplate feature_template) {
+  std::vector<std::vector<uint32_t>> features(tokens.size());
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& w = tokens[i];
+    std::vector<uint32_t>& out = features[i];
+    out.reserve(24);
+
+    std::string lower = AsciiToLower(w);
+    AddFeature(out, "w", w);
+    AddFeature(out, "lw", lower);
+    AddFeature(out, "shape", WordShape(w));
+    AddFeature(out, "sshape", ShortShape(w));
+
+    // Prefixes and suffixes.
+    for (size_t len = 1; len <= 3 && len <= lower.size(); ++len) {
+      AddFeature(out, "pre", lower.substr(0, len));
+      AddFeature(out, "suf", lower.substr(lower.size() - len));
+    }
+
+    // Orthographic flags.
+    if (HasDigit(w)) AddFeature(out, "flag", "has_digit");
+    if (AllDigits(w)) AddFeature(out, "flag", "all_digits");
+    if (IsYearToken(w)) AddFeature(out, "flag", "year");
+    if (w == "%" || lower == "percent") AddFeature(out, "flag", "percent");
+    if (w == "$" || lower == "eur" || lower == "usd") {
+      AddFeature(out, "flag", "currency");
+    }
+    if (!w.empty() && std::isupper(static_cast<unsigned char>(w[0]))) {
+      AddFeature(out, "flag", "capitalized");
+    }
+    if (!w.empty() && std::ispunct(static_cast<unsigned char>(w[0])) &&
+        w.size() == 1) {
+      AddFeature(out, "flag", "punct");
+    }
+    if (i == 0) AddFeature(out, "flag", "first");
+    if (i + 1 == tokens.size()) AddFeature(out, "flag", "last");
+
+    // Context: neighbors and bigrams (contextual template only).
+    if (feature_template == FeatureTemplate::kBasic) continue;
+    if (i > 0) {
+      std::string prev = AsciiToLower(tokens[i - 1]);
+      AddFeature(out, "w-1", prev);
+      AddFeature(out, "bi-1", prev + "|" + lower);
+      AddFeature(out, "shape-1", ShortShape(tokens[i - 1]));
+    } else {
+      AddFeature(out, "w-1", "<bos>");
+    }
+    if (i + 1 < tokens.size()) {
+      std::string next = AsciiToLower(tokens[i + 1]);
+      AddFeature(out, "w+1", next);
+      AddFeature(out, "bi+1", lower + "|" + next);
+      AddFeature(out, "shape+1", ShortShape(tokens[i + 1]));
+    } else {
+      AddFeature(out, "w+1", "<eos>");
+    }
+  }
+  return features;
+}
+
+}  // namespace goalex::crf

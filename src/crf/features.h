@@ -1,0 +1,47 @@
+#ifndef GOALEX_CRF_FEATURES_H_
+#define GOALEX_CRF_FEATURES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace goalex::crf {
+
+/// Number of hash buckets for the feature space. Collisions are tolerated
+/// (standard feature-hashing trick); 2^17 buckets keeps the weight matrix
+/// small while leaving collisions rare on our vocabularies.
+inline constexpr uint32_t kFeatureBuckets = 1u << 17;
+
+/// Feature template richness. kContextual is the full template; kBasic
+/// omits the neighbor-identity and bigram features — the configuration
+/// used for the Table 4 baseline, where the paper's CRF is a standard
+/// off-the-shelf setup (see EXPERIMENTS.md for the full-template ablation).
+enum class FeatureTemplate { kBasic, kContextual };
+
+/// Extracts hashed binary features for each token position of a sentence.
+/// Templates cover the lexical, orthographic, and contextual features the
+/// paper lists for the CRF baseline (Section 4.1):
+///  - token identity (cased + lowercased), previous/next token identity
+///  - token bigrams with the previous/next token
+///  - word shape ("Xxx", "dddd", "d%", ...) and short shape
+///  - prefixes/suffixes (lengths 1-3)
+///  - orthographic flags: digits, year-like, percent, currency,
+///    capitalization, punctuation, first/last position
+/// Every feature id is in [0, kFeatureBuckets).
+std::vector<std::vector<uint32_t>> ExtractFeatures(
+    const std::vector<std::string>& tokens,
+    FeatureTemplate feature_template = FeatureTemplate::kContextual);
+
+/// Word shape: uppercase letters -> 'X', lowercase -> 'x', digits -> 'd',
+/// everything else kept. "Reduce" -> "Xxxxxx", "2040" -> "dddd".
+std::string WordShape(const std::string& token);
+
+/// Collapsed shape: runs compressed. "Reduce" -> "Xx", "2040" -> "d".
+std::string ShortShape(const std::string& token);
+
+/// True for 4-digit tokens in [1900, 2100] (baseline/deadline years).
+bool IsYearToken(const std::string& token);
+
+}  // namespace goalex::crf
+
+#endif  // GOALEX_CRF_FEATURES_H_

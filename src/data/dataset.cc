@@ -1,0 +1,125 @@
+#include "data/dataset.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace goalex::data {
+namespace {
+
+std::string Escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Unescape(std::string_view escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '\\' || i + 1 >= escaped.size()) {
+      out.push_back(escaped[i]);
+      continue;
+    }
+    ++i;
+    switch (escaped[i]) {
+      case 't':
+        out.push_back('\t');
+        break;
+      case 'n':
+        out.push_back('\n');
+        break;
+      default:
+        out.push_back(escaped[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Split TrainTestSplit(std::vector<Objective> objectives, double test_fraction,
+                     uint64_t seed) {
+  GOALEX_CHECK(test_fraction >= 0.0 && test_fraction < 1.0);
+  Rng rng(seed);
+  rng.Shuffle(objectives);
+  size_t test_count =
+      static_cast<size_t>(objectives.size() * test_fraction);
+  Split split;
+  split.test.assign(objectives.begin(), objectives.begin() + test_count);
+  split.train.assign(objectives.begin() + test_count, objectives.end());
+  return split;
+}
+
+std::string ObjectivesToTsv(const std::vector<Objective>& objectives) {
+  std::ostringstream out;
+  for (const Objective& o : objectives) {
+    out << Escape(o.id) << '\t' << Escape(o.text);
+    for (const Annotation& a : o.annotations) {
+      out << '\t' << Escape(a.kind) << '=' << Escape(a.value);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+StatusOr<std::vector<Objective>> ObjectivesFromTsv(std::string_view tsv) {
+  std::vector<Objective> out;
+  for (const std::string& line : StrSplit(tsv, '\n')) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields = StrSplit(line, '\t');
+    if (fields.size() < 2) {
+      return DataLossError("bad objective line: " + line);
+    }
+    Objective o;
+    o.id = Unescape(fields[0]);
+    o.text = Unescape(fields[1]);
+    for (size_t i = 2; i < fields.size(); ++i) {
+      size_t eq = fields[i].find('=');
+      if (eq == std::string::npos) {
+        return DataLossError("bad annotation field: " + fields[i]);
+      }
+      o.annotations.push_back(
+          Annotation{Unescape(fields[i].substr(0, eq)),
+                     Unescape(fields[i].substr(eq + 1))});
+    }
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+Status SaveObjectives(const std::vector<Objective>& objectives,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return InternalError("cannot open for write: " + path);
+  out << ObjectivesToTsv(objectives);
+  if (!out) return DataLossError("short write: " + path);
+  return Status::Ok();
+}
+
+StatusOr<std::vector<Objective>> LoadObjectives(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError("cannot open for read: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ObjectivesFromTsv(buffer.str());
+}
+
+}  // namespace goalex::data

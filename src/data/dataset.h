@@ -1,0 +1,39 @@
+#ifndef GOALEX_DATA_DATASET_H_
+#define GOALEX_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/schema.h"
+
+namespace goalex::data {
+
+/// A train/test partition of a corpus.
+struct Split {
+  std::vector<Objective> train;
+  std::vector<Objective> test;
+};
+
+/// Shuffles deterministically with `seed` and holds out `test_fraction` of
+/// the corpus as the unseen test set (the paper uses 20%).
+Split TrainTestSplit(std::vector<Objective> objectives, double test_fraction,
+                     uint64_t seed);
+
+/// Serializes objectives to a TSV-with-escapes format:
+///   id <TAB> text <TAB> kind=value <TAB> kind=value ...
+/// Tabs/newlines/backslashes inside fields are backslash-escaped.
+std::string ObjectivesToTsv(const std::vector<Objective>& objectives);
+
+/// Parses ObjectivesToTsv output.
+StatusOr<std::vector<Objective>> ObjectivesFromTsv(std::string_view tsv);
+
+/// Writes/reads the TSV format to disk.
+Status SaveObjectives(const std::vector<Objective>& objectives,
+                      const std::string& path);
+StatusOr<std::vector<Objective>> LoadObjectives(const std::string& path);
+
+}  // namespace goalex::data
+
+#endif  // GOALEX_DATA_DATASET_H_

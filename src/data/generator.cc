@@ -1,0 +1,640 @@
+#include "data/generator.h"
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace goalex::data {
+namespace {
+
+/// An action verb in the two surface forms the grammar needs.
+struct ActionEntry {
+  const char* imperative;  ///< "Reduce", "Phase out"
+  const char* gerund;      ///< "reducing", "phasing out"
+};
+
+const std::vector<ActionEntry>& Actions() {
+  static const std::vector<ActionEntry>* const kActions =
+      new std::vector<ActionEntry>{
+          {"Reduce", "reducing"},
+          {"Achieve", "achieving"},
+          {"Increase", "increasing"},
+          {"Restore", "restoring"},
+          {"Eliminate", "eliminating"},
+          {"Expand", "expanding"},
+          {"Implement", "implementing"},
+          {"Promote", "promoting"},
+          {"Improve", "improving"},
+          {"Transition", "transitioning"},
+          {"Cut", "cutting"},
+          {"Lower", "lowering"},
+          {"Reach", "reaching"},
+          {"Double", "doubling"},
+          {"Halve", "halving"},
+          {"Install", "installing"},
+          {"Launch", "launching"},
+          {"Substitute", "substituting"},
+          {"Recycle", "recycling"},
+          {"Deliver", "delivering"},
+          {"Train", "training"},
+          {"Support", "supporting"},
+          {"Empower", "empowering"},
+          {"Plant", "planting"},
+          {"Protect", "protecting"},
+          {"Source", "sourcing"},
+          {"Procure", "procuring"},
+          {"Phase out", "phasing out"},
+          {"Divert", "diverting"},
+          {"Offset", "offsetting"},
+          {"Electrify", "electrifying"},
+          {"Decarbonize", "decarbonizing"},
+          {"Audit", "auditing"},
+          {"Certify", "certifying"},
+          {"Integrate", "integrating"},
+          {"Align", "aligning"},
+          {"Strengthen", "strengthening"},
+          {"Minimize", "minimizing"},
+          {"Conserve", "conserving"},
+          {"Retrofit", "retrofitting"},
+      };
+  return *kActions;
+}
+
+const std::vector<std::string>& Qualifiers() {
+  static const std::vector<std::string>* const kQualifiers =
+      new std::vector<std::string>{
+          "energy consumption",
+          "greenhouse gas emissions",
+          "carbon footprint",
+          "water usage",
+          "single-use plastics",
+          "waste to landfill",
+          "renewable electricity",
+          "Scope 1 emissions",
+          "Scope 2 emissions",
+          "Scope 3 emissions",
+          "global water use",
+          "packaging materials",
+          "employee training hours",
+          "women in leadership positions",
+          "supplier audits",
+          "fleet electrification",
+          "recycled content",
+          "food waste",
+          "paper consumption",
+          "air travel emissions",
+          "biodiversity protection measures",
+          "community investment",
+          "occupational safety incidents",
+          "potable water intensity",
+          "data center energy use",
+          "raw material sourcing",
+          "fresh water withdrawal",
+          "hazardous waste",
+          "plastic packaging",
+          "green building certifications",
+          "sustainable sourcing",
+          "employee volunteering hours",
+          "renewable energy capacity",
+          "landfill waste",
+          "product recyclability",
+          "smallholder farmer programs",
+          "responsible procurement",
+          "energy efficiency",
+          "methane leakage",
+          "zero-emission vehicles",
+          "circular economy initiatives",
+          "reforestation projects",
+          "clean cooking solutions",
+          "electronic waste collection",
+          "solar generation capacity",
+          "board diversity",
+          "gender pay equity",
+          "local hiring",
+          "charitable contributions",
+          "health and safety training",
+      };
+  return *kQualifiers;
+}
+
+const std::vector<std::string>& QualifierModifiers() {
+  static const std::vector<std::string>* const kModifiers =
+      new std::vector<std::string>{
+          "global",       "absolute",   "annual",     "total",
+          "upstream",     "operational", "regional",  "company-wide",
+          "direct",       "indirect",   "relative",   "site-level",
+      };
+  return *kModifiers;
+}
+
+const std::vector<std::string>& FixedAmounts() {
+  static const std::vector<std::string>* const kAmounts =
+      new std::vector<std::string>{
+          "net-zero",  "net zero",    "zero",        "1 million",
+          "100 million", "double",    "half",        "two thirds",
+          "10 GWh",    "500 tonnes",  "1.5 Mt",      "250",
+          "10,000",    "one third",   "100,000",     "25 MW",
+      };
+  return *kAmounts;
+}
+
+const std::vector<std::string>& NoiseSentences() {
+  static const std::vector<std::string>* const kNoise =
+      new std::vector<std::string>{
+          "Climate change is one of the world's greatest crises, and to "
+          "address it, the public and private sectors need to act together.",
+          "This report was prepared in accordance with the GRI Standards.",
+          "Our stakeholders increasingly expect transparent disclosure of "
+          "environmental and social information.",
+          "Reducing carbon emissions in transportation is a complex "
+          "challenge for many companies.",
+          "Businesses also face the challenge of removing carbon emissions "
+          "from new building construction.",
+          "The board of directors oversees the sustainability strategy of "
+          "the company.",
+          "We engage with suppliers, investors, and policymakers throughout "
+          "the year.",
+          "Materiality assessments help us prioritize the issues that "
+          "matter most to our stakeholders.",
+          "The data in this chapter has been assured by an independent "
+          "third party.",
+          "Our sustainability governance framework was refreshed during the "
+          "reporting period.",
+          "Employees across all regions participated in our annual "
+          "engagement survey.",
+          "Figures are reported in accordance with the operational control "
+          "approach.",
+          "The following pages describe our management approach in more "
+          "detail.",
+          "We believe collaboration across the value chain is essential for "
+          "systemic change.",
+          "Readers can find additional definitions in the glossary at the "
+          "end of this report.",
+          "Our products are sold in more than one hundred countries "
+          "worldwide.",
+          "Risk management processes are embedded in all business units.",
+          "The sustainability committee met four times during the fiscal "
+          "year.",
+          "Photographs in this report feature our employees and facilities.",
+          "Management reviews progress against commitments on a quarterly "
+          "basis.",
+      };
+  return *kNoise;
+}
+
+const std::vector<std::string>& DistractorPrefixes() {
+  static const std::vector<std::string>* const kPrefixes =
+      new std::vector<std::string>{
+          "In line with our #YEAR# sustainability strategy, ",
+          "As part of The Climate Pledge, ",
+          "Building on progress made since #YEAR#, ",
+          "Following stakeholder consultations, ",
+          "Under our environmental policy, ",
+          "Consistent with the Paris Agreement, ",
+          "To support the UN Sustainable Development Goals, ",
+          "As part of our #FYEAR# roadmap, ",
+          "Aligned with the #FYEAR# agenda, ",
+          "In support of our Vision #FYEAR# program, ",
+      };
+  return *kPrefixes;
+}
+
+const std::vector<std::string>& DistractorSuffixes() {
+  static const std::vector<std::string>* const kSuffixes =
+      new std::vector<std::string>{
+          " across all our operations",
+          " in partnership with local stakeholders",
+          " as validated by the Science Based Targets initiative",
+          " throughout our global supply chain",
+          " at all manufacturing sites",
+          " in every market where we operate",
+      };
+  return *kSuffixes;
+}
+
+std::string LowercaseFirst(std::string s) {
+  if (!s.empty() && s[0] >= 'A' && s[0] <= 'Z') {
+    s[0] = static_cast<char>(s[0] - 'A' + 'a');
+  }
+  return s;
+}
+
+std::string PickAmount(Rng& rng) {
+  if (rng.NextBernoulli(0.55)) {
+    // Percentage amount; occasionally with decimals.
+    if (rng.NextBernoulli(0.2)) {
+      return std::to_string(rng.NextInt(1, 99)) + "." +
+             std::to_string(rng.NextInt(0, 9)) + "%";
+    }
+    return std::to_string(rng.NextInt(2, 19) * 5) + "%";
+  }
+  return rng.Choose(FixedAmounts());
+}
+
+std::string DeadlinePhrase(Rng& rng, const std::string& year) {
+  // Several phrasings place the discriminating cue ("target", "no later")
+  // more than one token away from the year, so only models with broader
+  // context than a +-1 window can tell deadlines from baselines.
+  switch (rng.NextIndex(6)) {
+    case 0:
+      return " by " + year;
+    case 1:
+      return " by the end of " + year;
+    case 2:
+      return " before " + year;
+    case 3:
+      return " no later than " + year;
+    case 4:
+      return " by fiscal year " + year;
+    default:
+      return ", with a target date of " + year;
+  }
+}
+
+std::string BaselinePhrase(Rng& rng, const std::string& year) {
+  switch (rng.NextIndex(6)) {
+    case 0:
+      return " (baseline " + year + ")";
+    case 1:
+      return " against a " + year + " baseline";
+    case 2:
+      return " compared to " + year + " levels";
+    case 3:
+      return " relative to " + year;
+    case 4:
+      return " versus fiscal year " + year;
+    default:
+      return " from " + year + " levels";
+  }
+}
+
+// A divergent annotation value: annotated by the expert in a form that is
+// not an exact token subsequence of the text.
+std::string MakeDivergent(const std::string& value, Rng& rng) {
+  if (rng.NextBernoulli(0.5)) {
+    std::string lowered = AsciiToLower(value);
+    if (lowered != value) return lowered;
+  }
+  if (value.find('%') != std::string::npos) {
+    return StrReplaceAll(value, "%", " percent");
+  }
+  return value + " overall";
+}
+
+struct FieldChoice {
+  bool in_text = false;
+  bool annotated = false;
+  std::string value;
+};
+
+FieldChoice ChooseField(Rng& rng, double annotation_rate,
+                        double text_margin = 0.03) {
+  FieldChoice out;
+  double text_rate = std::min(1.0, annotation_rate + text_margin);
+  out.in_text = rng.NextBernoulli(text_rate);
+  if (out.in_text) {
+    out.annotated = rng.NextBernoulli(annotation_rate / text_rate);
+  }
+  return out;
+}
+
+// A context sentence for emission-goal passages, with distracting years,
+// percentages, and tonnages that are not part of the annotated goal.
+std::string EmissionContextSentence(Rng& rng) {
+  switch (rng.NextIndex(8)) {
+    case 0:
+      return "Our operations emitted " +
+             FormatDouble(rng.NextUniform(0.5, 6.0), 1) + " Mt CO2e in " +
+             std::to_string(rng.NextInt(2017, 2023)) + ".";
+    case 1:
+      return "In " + std::to_string(rng.NextInt(2018, 2023)) +
+             ", emissions fell by " + std::to_string(rng.NextInt(2, 12)) +
+             "% due to operational changes.";
+    case 2:
+      return "Since " + std::to_string(rng.NextInt(2010, 2020)) +
+             ", we have invested in renewable energy across our sites.";
+    case 3:
+      return "Our Vision " + std::to_string(rng.NextInt(2030, 2050)) +
+             " program guides the decarbonization roadmap.";
+    case 4:
+      return "Energy intensity improved " +
+             std::to_string(rng.NextInt(2, 15)) +
+             "% over the reporting period.";
+    case 5:
+      return "Climate risks are reviewed annually by the board.";
+    case 6:
+      return "The figures cover Scope 1 and Scope 2 for all subsidiaries.";
+    default:
+      return "External assurance was provided for the emissions data.";
+  }
+}
+
+void MaybeAnnotate(Objective& o, const std::string& kind,
+                   const FieldChoice& f, double divergent_rate, Rng& rng) {
+  if (!f.in_text || !f.annotated) return;
+  std::string value = f.value;
+  if (rng.NextBernoulli(divergent_rate)) {
+    std::string divergent = MakeDivergent(value, rng);
+    if (divergent != value) value = divergent;
+  }
+  o.annotations.push_back(Annotation{kind, value});
+}
+
+}  // namespace
+
+std::vector<Objective> GenerateSustainabilityGoals(
+    const SustainabilityGoalsConfig& config) {
+  Rng rng(config.seed);
+  std::vector<Objective> out;
+  out.reserve(config.objective_count);
+
+  for (size_t i = 0; i < config.objective_count; ++i) {
+    Objective o;
+    o.id = "sg-" + std::to_string(i);
+
+    FieldChoice action = ChooseField(rng, config.action_rate);
+    FieldChoice amount = ChooseField(rng, config.amount_rate);
+    FieldChoice qualifier = ChooseField(rng, config.qualifier_rate);
+    FieldChoice baseline = ChooseField(rng, config.baseline_rate);
+    FieldChoice deadline = ChooseField(rng, config.deadline_rate);
+
+    // A usable objective needs at least an action or an amount; force one.
+    if (!action.in_text && !amount.in_text) {
+      (rng.NextBernoulli(0.7) ? action : amount).in_text = true;
+      action.annotated = action.in_text;
+      amount.annotated = amount.in_text;
+    }
+    // A bare amount with no qualifier reads oddly; pull in a qualifier.
+    if (amount.in_text && !action.in_text) qualifier.in_text = true;
+
+    const ActionEntry* act =
+        action.in_text ? &rng.Choose(Actions()) : nullptr;
+    if (amount.in_text) amount.value = PickAmount(rng);
+    if (qualifier.in_text) {
+      qualifier.value = rng.Choose(Qualifiers());
+      // Compositional modifiers multiply surface diversity, so test-set
+      // qualifiers are frequently unseen as whole phrases during training.
+      if (rng.NextBernoulli(0.35)) {
+        qualifier.value =
+            rng.Choose(QualifierModifiers()) + " " + qualifier.value;
+      }
+    }
+    std::string deadline_year = std::to_string(rng.NextInt(2024, 2048));
+    std::string baseline_year = std::to_string(rng.NextInt(2008, 2026));
+    if (deadline.in_text) deadline.value = deadline_year;
+    if (baseline.in_text) baseline.value = baseline_year;
+
+    // Assemble the sentence core from one of several phrasing families.
+    std::string core;
+    bool gerund_form = false;
+    if (action.in_text) {
+      switch (rng.NextIndex(5)) {
+        case 0:  // "Reduce energy consumption by 20%"
+          core = act->imperative;
+          if (qualifier.in_text) core += " " + qualifier.value;
+          if (amount.in_text) core += " by " + amount.value;
+          break;
+        case 1:  // "Reduce 20% energy consumption" / "Achieve net-zero ..."
+          core = act->imperative;
+          if (amount.in_text) core += " " + amount.value;
+          if (qualifier.in_text) core += " " + qualifier.value;
+          break;
+        case 2:  // "We will reduce energy consumption by 20%"
+          core = "We will " + LowercaseFirst(act->imperative);
+          if (qualifier.in_text) core += " " + qualifier.value;
+          if (amount.in_text) core += " by " + amount.value;
+          action.value = "will " + LowercaseFirst(act->imperative);
+          break;
+        case 3:  // "We are committed to reducing energy consumption"
+          core = "We are committed to ";
+          core += act->gerund;
+          if (qualifier.in_text) core += " " + qualifier.value;
+          if (amount.in_text) core += " by " + amount.value;
+          action.value = act->gerund;
+          gerund_form = true;
+          break;
+        default:  // "Our goal is to reduce energy consumption by 20%"
+          core = "Our goal is to " + LowercaseFirst(act->imperative);
+          if (qualifier.in_text) core += " " + qualifier.value;
+          if (amount.in_text) core += " by " + amount.value;
+          action.value = LowercaseFirst(act->imperative);
+          break;
+      }
+      if (action.value.empty()) action.value = act->imperative;
+    } else {
+      // Amount-led objective: "100% renewable electricity by 2030".
+      core = amount.value;
+      if (qualifier.in_text) {
+        core += (rng.NextBernoulli(0.5) ? " of " : " ") + qualifier.value;
+      }
+    }
+    (void)gerund_form;
+
+    if (deadline.in_text) core += DeadlinePhrase(rng, deadline_year);
+    if (baseline.in_text) core += BaselinePhrase(rng, baseline_year);
+
+    // Optional second target (only the first is annotated).
+    if (rng.NextBernoulli(config.multi_target_rate)) {
+      const ActionEntry& act2 = rng.Choose(Actions());
+      core += " and " + std::string(act2.gerund) + " " +
+              rng.Choose(Qualifiers()) + " by " + PickAmount(rng);
+    }
+
+    // Optional distractors.
+    std::string text = core;
+    if (rng.NextBernoulli(config.distractor_rate)) {
+      std::string prefix = rng.Choose(DistractorPrefixes());
+      prefix = StrReplaceAll(prefix, "#YEAR#",
+                             std::to_string(rng.NextInt(2015, 2022)));
+      // Corporate prose routinely name-drops future years ("Vision 2045");
+      // these overlap the deadline range, so the year value alone never
+      // identifies its role.
+      prefix = StrReplaceAll(prefix, "#FYEAR#",
+                             std::to_string(rng.NextInt(2025, 2045)));
+      text = prefix + LowercaseFirst(text);
+      // Keep case-sensitive action values locatable after lowercasing.
+      if (action.in_text && action.value == act->imperative) {
+        action.value = LowercaseFirst(action.value);
+      }
+    }
+    if (rng.NextBernoulli(config.distractor_rate * 0.6)) {
+      text += rng.Choose(DistractorSuffixes());
+    }
+    text += ".";
+    o.text = text;
+
+    MaybeAnnotate(o, "Action", action, config.divergent_annotation_rate,
+                  rng);
+    MaybeAnnotate(o, "Amount", amount, config.divergent_annotation_rate,
+                  rng);
+    MaybeAnnotate(o, "Qualifier", qualifier,
+                  config.divergent_annotation_rate, rng);
+    MaybeAnnotate(o, "Baseline", baseline, config.divergent_annotation_rate,
+                  rng);
+    MaybeAnnotate(o, "Deadline", deadline, config.divergent_annotation_rate,
+                  rng);
+
+    // Every training instance carries at least one annotation.
+    if (o.annotations.empty()) {
+      if (action.in_text) {
+        o.annotations.push_back(Annotation{"Action", action.value});
+      } else {
+        o.annotations.push_back(Annotation{"Amount", amount.value});
+      }
+    }
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+std::vector<Objective> GenerateNetZeroFacts(
+    const NetZeroFactsConfig& config) {
+  Rng rng(config.seed);
+  std::vector<Objective> out;
+  out.reserve(config.sentence_count);
+
+  const std::vector<std::string> emission_subjects = {
+      "absolute Scope 1 emissions",  "absolute Scope 2 emissions",
+      "Scope 3 emissions",           "CO2 emissions",
+      "greenhouse gas emissions",    "carbon emissions",
+      "emission intensity",          "our carbon footprint",
+      "value chain emissions",       "operational emissions",
+  };
+  const std::vector<std::string> emission_verbs = {
+      "Reduce", "Cut", "Lower", "Decrease", "Shrink",
+  };
+
+  for (size_t i = 0; i < config.sentence_count; ++i) {
+    Objective o;
+    o.id = "nzf-" + std::to_string(i);
+
+    FieldChoice value = ChooseField(rng, config.target_value_rate);
+    FieldChoice ref_year = ChooseField(rng, config.reference_year_rate);
+    FieldChoice target_year = ChooseField(rng, config.target_year_rate);
+    if (!value.in_text && !target_year.in_text) {
+      value.in_text = true;
+      value.annotated = true;
+    }
+
+    bool net_zero_style = rng.NextBernoulli(0.3);
+    std::string target_year_text = std::to_string(rng.NextInt(2024, 2048));
+    std::string ref_year_text = std::to_string(rng.NextInt(2008, 2026));
+
+    std::string text;
+    if (net_zero_style) {
+      std::string nz = rng.NextBernoulli(0.5) ? "net zero" : "net-zero";
+      value.value = nz;
+      switch (rng.NextIndex(3)) {
+        case 0:
+          text = "We target " + nz + " emissions";
+          break;
+        case 1:
+          text = "Our ambition is to reach " + nz + " across the value "
+                 "chain";
+          break;
+        default:
+          text = "We commit to " + nz + " carbon";
+          break;
+      }
+      if (target_year.in_text) text += " by " + target_year_text;
+      if (ref_year.in_text) {
+        text += " from a " + ref_year_text + " base year";
+      }
+    } else {
+      std::string amt = std::to_string(rng.NextInt(2, 19) * 5) + "%";
+      if (rng.NextBernoulli(0.15)) {
+        amt = FormatDouble(rng.NextUniform(0.5, 5.0), 1) + " Mt CO2e";
+      }
+      value.value = amt;
+      text = rng.Choose(emission_verbs) + " " +
+             rng.Choose(emission_subjects);
+      if (value.in_text) text += " by " + amt;
+      if (target_year.in_text) {
+        switch (rng.NextIndex(4)) {
+          case 0:
+            text += " by " + target_year_text;
+            break;
+          case 1:
+            text += " until " + target_year_text;
+            break;
+          case 2:
+            text += " no later than " + target_year_text;
+            break;
+          default:
+            text += " by fiscal year " + target_year_text;
+            break;
+        }
+      }
+      if (ref_year.in_text) {
+        switch (rng.NextIndex(5)) {
+          case 0:
+            text += " from a " + ref_year_text + " base year";
+            break;
+          case 1:
+            text += " compared to " + ref_year_text;
+            break;
+          case 2:
+            text += " relative to " + ref_year_text;
+            break;
+          case 3:
+            text += " versus fiscal year " + ref_year_text;
+            break;
+          default:
+            text += " (vs. " + ref_year_text + ")";
+            break;
+        }
+      }
+    }
+    if (target_year.in_text) target_year.value = target_year_text;
+    if (ref_year.in_text) ref_year.value = ref_year_text;
+
+    if (rng.NextBernoulli(config.distractor_rate)) {
+      text += rng.Choose(DistractorSuffixes());
+    }
+    text += ".";
+
+    // Passage context: NetZeroFacts sentences are cut from report passages
+    // whose surrounding prose mentions years and quantities of its own.
+    if (rng.NextBernoulli(0.55)) {
+      text = EmissionContextSentence(rng) + " " + text;
+    }
+    if (rng.NextBernoulli(0.4)) {
+      text += " " + EmissionContextSentence(rng);
+    }
+    o.text = text;
+
+    MaybeAnnotate(o, "TargetValue", value,
+                  config.divergent_annotation_rate, rng);
+    MaybeAnnotate(o, "ReferenceYear", ref_year,
+                  config.divergent_annotation_rate, rng);
+    MaybeAnnotate(o, "TargetYear", target_year,
+                  config.divergent_annotation_rate, rng);
+    if (o.annotations.empty()) {
+      o.annotations.push_back(Annotation{"TargetValue", value.value});
+    }
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+std::string GenerateNoiseSentence(Rng& rng) {
+  return rng.Choose(NoiseSentences());
+}
+
+std::vector<std::string> GeneratorVocabularyTexts() {
+  std::vector<std::string> texts;
+  for (const ActionEntry& a : Actions()) {
+    texts.push_back(a.imperative);
+    texts.push_back(a.gerund);
+  }
+  for (const std::string& q : Qualifiers()) texts.push_back(q);
+  for (const std::string& a : FixedAmounts()) texts.push_back(a);
+  for (const std::string& n : NoiseSentences()) texts.push_back(n);
+  for (const std::string& p : DistractorPrefixes()) texts.push_back(p);
+  for (const std::string& s : DistractorSuffixes()) texts.push_back(s);
+  return texts;
+}
+
+}  // namespace goalex::data

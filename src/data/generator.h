@@ -1,0 +1,75 @@
+#ifndef GOALEX_DATA_GENERATOR_H_
+#define GOALEX_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/schema.h"
+
+namespace goalex::data {
+
+/// Configuration of the synthetic Sustainability Goals corpus generator.
+/// Defaults reproduce the statistics the paper reports for its proprietary
+/// dataset: 1106 objectives; annotation availability Action 85%,
+/// Baseline 14%, Deadline 34% (Figure 4's target-label discussion), with
+/// Amount/Qualifier in between; a small fraction of annotations that are
+/// lexically divergent from the text (the exact-matching limitation of
+/// Section 5.3); and heterogeneous, sometimes multi-target phrasing.
+struct SustainabilityGoalsConfig {
+  size_t objective_count = 1106;
+  uint64_t seed = 42;
+
+  double action_rate = 0.85;
+  double amount_rate = 0.65;
+  double qualifier_rate = 0.78;
+  double baseline_rate = 0.14;
+  double deadline_rate = 0.34;
+
+  /// Probability that an annotation value is written differently from the
+  /// objective text (case change or paraphrase), which exact token matching
+  /// cannot locate.
+  double divergent_annotation_rate = 0.03;
+
+  /// Probability of a distracting prefix/suffix clause (extra years,
+  /// percentages, and corporate boilerplate around the objective).
+  double distractor_rate = 0.35;
+
+  /// Probability of a second target inside the same objective (only the
+  /// first is annotated — the "multiple actions" failure mode).
+  double multi_target_rate = 0.12;
+};
+
+/// Generates the synthetic Sustainability Goals corpus (5 fields: Action,
+/// Amount, Qualifier, Baseline, Deadline).
+std::vector<Objective> GenerateSustainabilityGoals(
+    const SustainabilityGoalsConfig& config);
+
+/// Configuration of the synthetic NetZeroFacts-like corpus [32]: emission
+/// goal sentences annotated with TargetValue / ReferenceYear / TargetYear.
+struct NetZeroFactsConfig {
+  size_t sentence_count = 599;
+  uint64_t seed = 1337;
+
+  double target_value_rate = 0.9;
+  double reference_year_rate = 0.4;
+  double target_year_rate = 0.75;
+  double divergent_annotation_rate = 0.03;
+  double distractor_rate = 0.3;
+};
+
+/// Generates the synthetic NetZeroFacts corpus.
+std::vector<Objective> GenerateNetZeroFacts(const NetZeroFactsConfig& config);
+
+/// Generates a corporate-boilerplate noise sentence (no objective), used by
+/// the GoalSpotter detection substrate and the report generator.
+std::string GenerateNoiseSentence(Rng& rng);
+
+/// Returns every raw text used by the generators (all grammar pools),
+/// useful for training tokenizers with full vocabulary coverage.
+std::vector<std::string> GeneratorVocabularyTexts();
+
+}  // namespace goalex::data
+
+#endif  // GOALEX_DATA_GENERATOR_H_

@@ -1,0 +1,93 @@
+#include "data/report.h"
+
+#include "common/check.h"
+#include "data/generator.h"
+
+namespace goalex::data {
+
+const std::vector<CompanyProfile>& PaperDeploymentProfiles() {
+  // Exactly the rows of Table 5 in the paper.
+  static const std::vector<CompanyProfile>* const kProfiles =
+      new std::vector<CompanyProfile>{
+          {"C1", 20, 2131, 150},  {"C2", 18, 3172, 642},
+          {"C3", 41, 3560, 447},  {"C4", 19, 2488, 102},
+          {"C5", 17, 1298, 113},  {"C6", 29, 3278, 343},
+          {"C7", 23, 2208, 247},  {"C8", 22, 5012, 764},
+          {"C9", 64, 4791, 379},  {"C10", 16, 1202, 79},
+          {"C11", 17, 1229, 95},  {"C12", 64, 1721, 71},
+          {"C13", 18, 3250, 105}, {"C14", 12, 2531, 43},
+      };
+  return *kProfiles;
+}
+
+namespace {
+
+// Distributes `total` into `parts` chunks differing by at most 1.
+std::vector<int> DistributeEvenly(int total, int parts) {
+  GOALEX_CHECK_GT(parts, 0);
+  std::vector<int> out(parts, total / parts);
+  for (int i = 0; i < total % parts; ++i) ++out[i];
+  return out;
+}
+
+}  // namespace
+
+std::vector<Report> GenerateCompanyReports(const CompanyProfile& profile,
+                                           uint64_t seed) {
+  Rng rng(seed);
+
+  // Draw this company's objectives from the shared grammar.
+  SustainabilityGoalsConfig goal_config;
+  goal_config.objective_count = static_cast<size_t>(profile.objective_count);
+  goal_config.seed = rng.NextUint64();
+  std::vector<Objective> objectives =
+      GenerateSustainabilityGoals(goal_config);
+
+  std::vector<int> pages_per_doc =
+      DistributeEvenly(profile.total_pages, profile.document_count);
+  std::vector<Report> reports(
+      static_cast<size_t>(profile.document_count));
+  for (int d = 0; d < profile.document_count; ++d) {
+    reports[d].company = profile.name;
+    reports[d].document =
+        profile.name + "-report-" + std::to_string(d + 1) + ".pdf";
+    reports[d].page_count = pages_per_doc[d];
+  }
+
+  // Noise blocks: every page carries boilerplate prose.
+  for (Report& report : reports) {
+    for (int page = 1; page <= report.page_count; ++page) {
+      int noise_blocks = rng.NextInt(1, 2);
+      for (int b = 0; b < noise_blocks; ++b) {
+        ReportBlock block;
+        block.text = GenerateNoiseSentence(rng);
+        block.page = page;
+        block.is_objective = false;
+        report.blocks.push_back(std::move(block));
+      }
+    }
+  }
+
+  // Scatter the objectives over random documents/pages.
+  for (Objective& objective : objectives) {
+    size_t doc = rng.NextIndex(reports.size());
+    Report& report = reports[doc];
+    ReportBlock block;
+    block.text = objective.text;
+    block.page = rng.NextInt(1, report.page_count);
+    block.is_objective = true;
+    block.annotations = objective.annotations;
+    report.blocks.push_back(std::move(block));
+  }
+  return reports;
+}
+
+Report GenerateSingleReport(const std::string& company, int page_count,
+                            int objective_count, uint64_t seed) {
+  CompanyProfile profile{company, 1, page_count, objective_count};
+  std::vector<Report> reports = GenerateCompanyReports(profile, seed);
+  GOALEX_CHECK_EQ(reports.size(), 1u);
+  return std::move(reports[0]);
+}
+
+}  // namespace goalex::data

@@ -1,0 +1,60 @@
+#ifndef GOALEX_DATA_REPORT_H_
+#define GOALEX_DATA_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/schema.h"
+
+namespace goalex::data {
+
+/// One text block of a sustainability report (the unit GoalSpotter
+/// classifies). `is_objective` is the generation-time ground truth used to
+/// train and evaluate the detector.
+struct ReportBlock {
+  std::string text;
+  int page = 0;
+  bool is_objective = false;
+  /// Gold annotations for objective blocks (empty for noise).
+  std::vector<Annotation> annotations;
+};
+
+/// A synthetic sustainability report.
+struct Report {
+  std::string company;
+  std::string document;
+  int page_count = 0;
+  std::vector<ReportBlock> blocks;
+};
+
+/// Configuration for one company's report fleet in the deployment scenario
+/// (Table 5 rows).
+struct CompanyProfile {
+  std::string name;
+  int document_count = 0;
+  int total_pages = 0;
+  /// Approximate number of objective blocks across all documents.
+  int objective_count = 0;
+};
+
+/// The 14 company profiles matching the paper's Table 5 exactly
+/// (C1: 20 docs / 2131 pages / 150 objectives, ... C14).
+const std::vector<CompanyProfile>& PaperDeploymentProfiles();
+
+/// Generates the synthetic report fleet for one company. Objectives are
+/// drawn from the Sustainability Goals grammar; the rest of each page is
+/// corporate-boilerplate noise. Page counts and objective counts match the
+/// profile exactly.
+std::vector<Report> GenerateCompanyReports(const CompanyProfile& profile,
+                                           uint64_t seed);
+
+/// Generates a single dense report (Table 7's scenario): `objective_count`
+/// objectives spread over `page_count` pages with noise in between.
+Report GenerateSingleReport(const std::string& company, int page_count,
+                            int objective_count, uint64_t seed);
+
+}  // namespace goalex::data
+
+#endif  // GOALEX_DATA_REPORT_H_

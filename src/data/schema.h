@@ -1,0 +1,81 @@
+#ifndef GOALEX_DATA_SCHEMA_H_
+#define GOALEX_DATA_SCHEMA_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace goalex::data {
+
+/// One coarse, objective-level annotation: a key detail name and its value
+/// as the domain expert wrote it (e.g., {"Deadline", "2040"}). This is the
+/// only supervision the system receives — there are no token-level labels.
+struct Annotation {
+  std::string kind;
+  std::string value;
+
+  friend bool operator==(const Annotation& a, const Annotation& b) {
+    return a.kind == b.kind && a.value == b.value;
+  }
+};
+
+/// A sustainability objective as produced by the upstream detection system,
+/// optionally carrying expert annotations (training instances) and source
+/// metadata (deployment instances).
+struct Objective {
+  std::string id;
+  std::string text;
+  std::vector<Annotation> annotations;
+
+  // Source metadata (deployment scenarios).
+  std::string company;
+  std::string document;
+  int page = 0;
+
+  /// Returns the annotated value for `kind`, if present.
+  std::optional<std::string> AnnotationValue(std::string_view kind) const {
+    for (const Annotation& a : annotations) {
+      if (a.kind == kind) return a.value;
+    }
+    return std::nullopt;
+  }
+};
+
+/// Structured output of the detail extraction system for one objective:
+/// entity kind -> extracted surface value. Missing keys mean "not found",
+/// matching the empty cells of the paper's Tables 1, 6, and 7.
+struct DetailRecord {
+  std::string objective_id;
+  std::string objective_text;
+  std::map<std::string, std::string> fields;
+
+  /// Returns the extracted value for `kind`, or empty if absent.
+  std::string FieldOrEmpty(std::string_view kind) const {
+    auto it = fields.find(std::string(kind));
+    return it == fields.end() ? std::string() : it->second;
+  }
+};
+
+/// The five key detail fields of the Sustainability Goals schema (Section
+/// 2.2 of the paper).
+inline const std::vector<std::string>& SustainabilityGoalKinds() {
+  static const std::vector<std::string>* const kKinds =
+      new std::vector<std::string>{"Action", "Amount", "Qualifier",
+                                   "Baseline", "Deadline"};
+  return *kKinds;
+}
+
+/// The NetZeroFacts emission-goal schema [32]: target value, reference year,
+/// target year.
+inline const std::vector<std::string>& NetZeroFactsKinds() {
+  static const std::vector<std::string>* const kKinds =
+      new std::vector<std::string>{"TargetValue", "ReferenceYear",
+                                   "TargetYear"};
+  return *kKinds;
+}
+
+}  // namespace goalex::data
+
+#endif  // GOALEX_DATA_SCHEMA_H_

@@ -1,0 +1,96 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace goalex::eval {
+
+Prf ComputePrf(const Counts& counts) {
+  Prf out;
+  if (counts.tp + counts.fp > 0) {
+    out.precision =
+        static_cast<double>(counts.tp) / (counts.tp + counts.fp);
+  }
+  if (counts.tp + counts.fn > 0) {
+    out.recall = static_cast<double>(counts.tp) / (counts.tp + counts.fn);
+  }
+  if (out.precision + out.recall > 0) {
+    out.f1 = 2 * out.precision * out.recall / (out.precision + out.recall);
+  }
+  return out;
+}
+
+std::string NormalizeFieldValue(const std::string& value) {
+  std::vector<std::string> parts = StrSplitWhitespace(value);
+  return StrJoin(parts, " ");
+}
+
+void FieldEvaluator::Add(const data::Objective& gold,
+                         const data::DetailRecord& predicted) {
+  for (const std::string& kind : kinds_) {
+    auto annotated = gold.AnnotationValue(kind);
+    std::string gold_value =
+        annotated ? NormalizeFieldValue(*annotated) : std::string();
+    std::string pred_value =
+        NormalizeFieldValue(predicted.FieldOrEmpty(kind));
+
+    Counts& c = per_kind_[kind];
+    if (gold_value.empty() && pred_value.empty()) continue;
+    if (gold_value.empty()) {
+      ++c.fp;  // Extracted something that was not annotated.
+    } else if (pred_value.empty()) {
+      ++c.fn;  // Missed an annotated detail.
+    } else if (gold_value == pred_value) {
+      ++c.tp;
+    } else {
+      ++c.fp;  // Wrong value: counted as both a spurious extraction...
+      ++c.fn;  // ...and a miss of the true value.
+    }
+  }
+}
+
+void FieldEvaluator::AddAll(const std::vector<data::Objective>& gold,
+                            const std::vector<data::DetailRecord>& predicted) {
+  GOALEX_CHECK_EQ(gold.size(), predicted.size());
+  for (size_t i = 0; i < gold.size(); ++i) Add(gold[i], predicted[i]);
+}
+
+Counts FieldEvaluator::Total() const {
+  Counts total;
+  for (const auto& [kind, counts] : per_kind_) total += counts;
+  return total;
+}
+
+Prf FieldEvaluator::ForKind(const std::string& kind) const {
+  auto it = per_kind_.find(kind);
+  if (it == per_kind_.end()) return Prf();
+  return ComputePrf(it->second);
+}
+
+Counts CountSpanMatches(const std::vector<labels::Span>& gold,
+                        const std::vector<labels::Span>& predicted) {
+  Counts counts;
+  std::vector<bool> matched(gold.size(), false);
+  for (const labels::Span& p : predicted) {
+    bool found = false;
+    for (size_t i = 0; i < gold.size(); ++i) {
+      if (!matched[i] && gold[i] == p) {
+        matched[i] = true;
+        found = true;
+        break;
+      }
+    }
+    if (found) {
+      ++counts.tp;
+    } else {
+      ++counts.fp;
+    }
+  }
+  counts.fn = static_cast<int64_t>(
+      std::count(matched.begin(), matched.end(), false));
+  return counts;
+}
+
+}  // namespace goalex::eval

@@ -1,0 +1,82 @@
+#ifndef GOALEX_EVAL_METRICS_H_
+#define GOALEX_EVAL_METRICS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+#include "labels/iob.h"
+
+namespace goalex::eval {
+
+/// Raw confusion counts for one entity kind (or aggregated).
+struct Counts {
+  int64_t tp = 0;
+  int64_t fp = 0;
+  int64_t fn = 0;
+
+  Counts& operator+=(const Counts& other) {
+    tp += other.tp;
+    fp += other.fp;
+    fn += other.fn;
+    return *this;
+  }
+};
+
+/// Precision / recall / F1 derived from Counts. All are 0 when undefined.
+struct Prf {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Converts counts to precision/recall/F1 using the paper's definitions
+/// (Section 4.1).
+Prf ComputePrf(const Counts& counts);
+
+/// Field-level evaluation: the paper's protocol. For each objective and
+/// each entity kind, compares the extracted value against the annotated
+/// value. A correct extraction (values equal after whitespace
+/// normalization) is a TP; an extraction where nothing was annotated or
+/// with the wrong value is an FP; a missed or wrong annotated value is an
+/// FN (a wrong value therefore counts as both FP and FN).
+class FieldEvaluator {
+ public:
+  explicit FieldEvaluator(std::vector<std::string> kinds)
+      : kinds_(std::move(kinds)) {}
+
+  /// Accumulates one objective's prediction against its gold annotations.
+  void Add(const data::Objective& gold, const data::DetailRecord& predicted);
+
+  /// Accumulates a full test set (parallel vectors).
+  void AddAll(const std::vector<data::Objective>& gold,
+              const std::vector<data::DetailRecord>& predicted);
+
+  /// Micro-averaged counts over all kinds.
+  Counts Total() const;
+
+  /// Overall micro P/R/F1.
+  Prf Overall() const { return ComputePrf(Total()); }
+
+  /// Per-kind metrics.
+  const std::map<std::string, Counts>& per_kind() const { return per_kind_; }
+  Prf ForKind(const std::string& kind) const;
+
+ private:
+  std::vector<std::string> kinds_;
+  std::map<std::string, Counts> per_kind_;
+};
+
+/// Token/span-level evaluation (seqeval-style exact span match), used for
+/// model-internal diagnostics and the CRF/transformer unit tests.
+Counts CountSpanMatches(const std::vector<labels::Span>& gold,
+                        const std::vector<labels::Span>& predicted);
+
+/// Normalizes a field value for comparison: trims, collapses inner
+/// whitespace runs.
+std::string NormalizeFieldValue(const std::string& value);
+
+}  // namespace goalex::eval
+
+#endif  // GOALEX_EVAL_METRICS_H_

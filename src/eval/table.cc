@@ -1,0 +1,65 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace goalex::eval {
+namespace {
+
+std::string Truncate(const std::string& cell, size_t max_width) {
+  if (max_width == 0 || cell.size() <= max_width) return cell;
+  if (max_width <= 3) return cell.substr(0, max_width);
+  return cell.substr(0, max_width - 3) + "...";
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  GOALEX_CHECK(!header_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  GOALEX_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Render(size_t max_cell_width) const {
+  std::vector<size_t> widths(header_.size());
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] =
+          std::max(widths[i], Truncate(row[i], max_cell_width).size());
+    }
+  };
+  measure(header_);
+  for (const auto& row : rows_) measure(row);
+
+  std::ostringstream out;
+  auto rule = [&] {
+    out << '+';
+    for (size_t w : widths) {
+      out << std::string(w + 2, '-') << '+';
+    }
+    out << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::string cell = Truncate(row[i], max_cell_width);
+      out << ' ' << cell << std::string(widths[i] - cell.size(), ' ')
+          << " |";
+    }
+    out << '\n';
+  };
+  rule();
+  emit(header_);
+  rule();
+  for (const auto& row : rows_) emit(row);
+  rule();
+  return out.str();
+}
+
+}  // namespace goalex::eval

@@ -1,0 +1,31 @@
+#ifndef GOALEX_EVAL_TABLE_H_
+#define GOALEX_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace goalex::eval {
+
+/// Plain-text table renderer for the bench harnesses that regenerate the
+/// paper's tables. Column widths auto-fit; long cells can be wrapped.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with ASCII borders. `max_cell_width` truncates long cells with
+  /// an ellipsis (0 = unlimited).
+  std::string Render(size_t max_cell_width = 0) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace goalex::eval
+
+#endif  // GOALEX_EVAL_TABLE_H_

@@ -1,0 +1,31 @@
+#ifndef GOALEX_EVAL_TIMER_H_
+#define GOALEX_EVAL_TIMER_H_
+
+#include <chrono>
+
+namespace goalex::eval {
+
+/// Wall-clock stopwatch for the efficiency columns of Table 4.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction/Reset.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed minutes (the paper reports minutes).
+  double Minutes() const { return Seconds() / 60.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace goalex::eval
+
+#endif  // GOALEX_EVAL_TIMER_H_

@@ -1,0 +1,93 @@
+#include "goalspotter/detector.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "crf/features.h"
+#include "text/word_tokenizer.h"
+
+namespace goalex::goalspotter {
+namespace {
+
+constexpr uint32_t kBuckets = 1u << 18;
+
+uint32_t HashFeature(std::string_view text) {
+  uint32_t h = 2166136261u;
+  for (char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 16777619u;
+  }
+  return h % kBuckets;
+}
+
+}  // namespace
+
+ObjectiveDetector::ObjectiveDetector()
+    : weights_(kBuckets, 0.0f), g2_(kBuckets, 0.0f) {}
+
+std::vector<uint32_t> ObjectiveDetector::Featurize(
+    const std::string& text) const {
+  text::WordTokenizer tokenizer;
+  std::vector<std::string> tokens = tokenizer.TokenizeToStrings(text);
+  std::vector<uint32_t> features;
+  features.reserve(tokens.size() * 3 + 4);
+  std::string prev = "<bos>";
+  bool has_percent = false;
+  bool has_year = false;
+  for (const std::string& token : tokens) {
+    std::string lower = AsciiToLower(token);
+    features.push_back(HashFeature("u=" + lower));
+    features.push_back(HashFeature("b=" + prev + "|" + lower));
+    features.push_back(HashFeature("s=" + crf::ShortShape(token)));
+    if (token == "%") has_percent = true;
+    if (crf::IsYearToken(token)) has_year = true;
+    prev = lower;
+  }
+  if (has_percent) features.push_back(HashFeature("f=percent"));
+  if (has_year) features.push_back(HashFeature("f=year"));
+  if (tokens.size() < 8) features.push_back(HashFeature("f=short"));
+  if (tokens.size() > 30) features.push_back(HashFeature("f=long"));
+  return features;
+}
+
+void ObjectiveDetector::Train(const std::vector<LabeledBlock>& blocks,
+                              const DetectorOptions& options) {
+  Rng rng(options.seed);
+  std::vector<size_t> order(blocks.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int32_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t idx : order) {
+      const LabeledBlock& block = blocks[idx];
+      std::vector<uint32_t> features = Featurize(block.text);
+      double z = bias_;
+      for (uint32_t f : features) z += weights_[f];
+      double p = 1.0 / (1.0 + std::exp(-z));
+      double grad = (block.is_objective ? 1.0 : 0.0) - p;
+
+      bias_g2_ += static_cast<float>(grad * grad);
+      bias_ += options.learning_rate * static_cast<float>(grad) /
+               std::sqrt(bias_g2_ + 1e-8f);
+      for (uint32_t f : features) {
+        double g = grad - options.l2 * weights_[f];
+        g2_[f] += static_cast<float>(g * g);
+        weights_[f] += options.learning_rate * static_cast<float>(g) /
+                       std::sqrt(g2_[f] + 1e-8f);
+      }
+    }
+  }
+}
+
+double ObjectiveDetector::Score(const std::string& text) const {
+  double z = bias_;
+  for (uint32_t f : Featurize(text)) z += weights_[f];
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+bool ObjectiveDetector::IsObjective(const std::string& text,
+                                    double threshold) const {
+  return Score(text) >= threshold;
+}
+
+}  // namespace goalex::goalspotter

@@ -1,0 +1,41 @@
+#include "goalspotter/pipeline.h"
+
+#include "common/check.h"
+
+namespace goalex::goalspotter {
+
+PipelineStats GoalSpotter::ProcessReport(
+    const data::Report& report, core::ObjectiveDatabase* database) const {
+  GOALEX_CHECK(database != nullptr);
+  PipelineStats stats;
+  stats.documents = 1;
+  stats.pages = report.page_count;
+  for (const data::ReportBlock& block : report.blocks) {
+    ++stats.blocks;
+    if (!detector_->IsObjective(block.text, threshold_)) continue;
+    ++stats.detected_objectives;
+
+    data::Objective objective;
+    objective.id = report.document + "#" + std::to_string(stats.blocks);
+    objective.text = block.text;
+    objective.company = report.company;
+    objective.document = report.document;
+    objective.page = block.page;
+
+    data::DetailRecord record = extractor_->Extract(objective);
+    database->Insert(record, report.company, report.document, block.page);
+  }
+  return stats;
+}
+
+PipelineStats GoalSpotter::ProcessReports(
+    const std::vector<data::Report>& reports,
+    core::ObjectiveDatabase* database) const {
+  PipelineStats total;
+  for (const data::Report& report : reports) {
+    total += ProcessReport(report, database);
+  }
+  return total;
+}
+
+}  // namespace goalex::goalspotter

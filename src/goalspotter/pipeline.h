@@ -1,0 +1,63 @@
+#ifndef GOALEX_GOALSPOTTER_PIPELINE_H_
+#define GOALEX_GOALSPOTTER_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/extractor.h"
+#include "data/report.h"
+#include "goalspotter/detector.h"
+
+namespace goalex::goalspotter {
+
+/// Aggregate statistics of one pipeline run (the columns of Table 5).
+struct PipelineStats {
+  int64_t documents = 0;
+  int64_t pages = 0;
+  int64_t blocks = 0;
+  int64_t detected_objectives = 0;
+
+  PipelineStats& operator+=(const PipelineStats& other) {
+    documents += other.documents;
+    pages += other.pages;
+    blocks += other.blocks;
+    detected_objectives += other.detected_objectives;
+    return *this;
+  }
+};
+
+/// The deployed GoalSpotter system with the new detail extraction service
+/// integrated (Section 5): report -> text blocks -> objective detection ->
+/// detail extraction -> structured database.
+class GoalSpotter {
+ public:
+  /// `detector` and `extractor` must outlive the pipeline; both must be
+  /// trained.
+  GoalSpotter(const ObjectiveDetector* detector,
+              const core::DetailExtractor* extractor)
+      : detector_(detector), extractor_(extractor) {}
+
+  /// Processes one report: detects objective blocks, extracts their
+  /// details, and inserts rows into `database`. Returns run statistics.
+  PipelineStats ProcessReport(const data::Report& report,
+                              core::ObjectiveDatabase* database) const;
+
+  /// Processes a whole fleet of reports.
+  PipelineStats ProcessReports(const std::vector<data::Report>& reports,
+                               core::ObjectiveDatabase* database) const;
+
+  /// Detection threshold (probability) for objective blocks.
+  void set_threshold(double threshold) { threshold_ = threshold; }
+  double threshold() const { return threshold_; }
+
+ private:
+  const ObjectiveDetector* detector_;      // Not owned.
+  const core::DetailExtractor* extractor_;  // Not owned.
+  double threshold_ = 0.5;
+};
+
+}  // namespace goalex::goalspotter
+
+#endif  // GOALEX_GOALSPOTTER_PIPELINE_H_

@@ -1,0 +1,97 @@
+#include "labels/iob.h"
+
+#include "common/check.h"
+
+namespace goalex::labels {
+
+LabelCatalog::LabelCatalog(std::vector<std::string> entity_kinds)
+    : kinds_(std::move(entity_kinds)) {
+  for (size_t i = 0; i < kinds_.size(); ++i) {
+    GOALEX_CHECK_MSG(!kinds_[i].empty(), "entity kind names must be non-empty");
+    auto [it, inserted] =
+        kind_index_.emplace(kinds_[i], static_cast<int32_t>(i));
+    GOALEX_CHECK_MSG(inserted, "duplicate entity kind: " << kinds_[i]);
+  }
+}
+
+StatusOr<int32_t> LabelCatalog::KindIndex(std::string_view kind) const {
+  auto it = kind_index_.find(std::string(kind));
+  if (it == kind_index_.end()) {
+    return NotFoundError("unknown entity kind: " + std::string(kind));
+  }
+  return it->second;
+}
+
+LabelId LabelCatalog::BeginId(int32_t kind) const {
+  GOALEX_CHECK_GE(kind, 0);
+  GOALEX_CHECK_LT(kind, kind_count());
+  return 1 + 2 * kind;
+}
+
+LabelId LabelCatalog::InsideId(int32_t kind) const {
+  GOALEX_CHECK_GE(kind, 0);
+  GOALEX_CHECK_LT(kind, kind_count());
+  return 2 + 2 * kind;
+}
+
+int32_t LabelCatalog::KindOf(LabelId id) const {
+  GOALEX_CHECK_GT(id, 0);
+  GOALEX_CHECK_LT(id, label_count());
+  return (id - 1) / 2;
+}
+
+std::string LabelCatalog::LabelName(LabelId id) const {
+  if (id == kOutsideId) return "O";
+  int32_t kind = KindOf(id);
+  return (IsBegin(id) ? "B-" : "I-") + kinds_[static_cast<size_t>(kind)];
+}
+
+StatusOr<LabelId> LabelCatalog::ParseLabel(std::string_view name) const {
+  if (name == "O") return kOutsideId;
+  if (name.size() < 3 || (name[0] != 'B' && name[0] != 'I') ||
+      name[1] != '-') {
+    return InvalidArgumentError("bad IOB label: " + std::string(name));
+  }
+  auto kind = KindIndex(name.substr(2));
+  if (!kind.ok()) return kind.status();
+  return name[0] == 'B' ? BeginId(*kind) : InsideId(*kind);
+}
+
+std::vector<LabelId> LabelCatalog::EncodeSpans(
+    size_t token_count, const std::vector<Span>& spans) const {
+  std::vector<LabelId> ids(token_count, kOutsideId);
+  for (const Span& span : spans) {
+    GOALEX_CHECK_LE(span.begin, span.end);
+    GOALEX_CHECK_LE(span.end, token_count);
+    if (span.begin == span.end) continue;
+    ids[span.begin] = BeginId(span.kind);
+    for (size_t i = span.begin + 1; i < span.end; ++i) {
+      ids[i] = InsideId(span.kind);
+    }
+  }
+  return ids;
+}
+
+std::vector<Span> LabelCatalog::DecodeSpans(
+    const std::vector<LabelId>& ids) const {
+  std::vector<Span> spans;
+  size_t i = 0;
+  while (i < ids.size()) {
+    LabelId id = ids[i];
+    if (id == kOutsideId) {
+      ++i;
+      continue;
+    }
+    // A span starts at a B-* or at an orphan I-* (IOB repair).
+    int32_t kind = KindOf(id);
+    size_t begin = i;
+    ++i;
+    while (i < ids.size() && IsInside(ids[i]) && KindOf(ids[i]) == kind) {
+      ++i;
+    }
+    spans.push_back(Span{kind, begin, i});
+  }
+  return spans;
+}
+
+}  // namespace goalex::labels

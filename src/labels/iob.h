@@ -1,0 +1,84 @@
+#ifndef GOALEX_LABELS_IOB_H_
+#define GOALEX_LABELS_IOB_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace goalex::labels {
+
+/// Dense label id: 0 is always "O"; entity kind k occupies ids 2k+1 (B-k)
+/// and 2k+2 (I-k).
+using LabelId = int32_t;
+
+/// A labeled token span: tokens [begin, end) carry entity kind `kind`.
+struct Span {
+  int32_t kind = 0;   ///< Index into the catalog's entity kinds.
+  size_t begin = 0;   ///< First token index, inclusive.
+  size_t end = 0;     ///< Past-the-last token index, exclusive.
+
+  friend bool operator==(const Span& a, const Span& b) {
+    return a.kind == b.kind && a.begin == b.begin && a.end == b.end;
+  }
+};
+
+/// Catalog of IOB labels over a fixed set of entity kinds (e.g., Action,
+/// Amount, Qualifier, Baseline, Deadline). Provides the id <-> string
+/// mapping, span encoding/decoding, and repair of invalid IOB transitions
+/// that a token classifier may emit.
+class LabelCatalog {
+ public:
+  /// Builds a catalog from entity kind names. Names must be unique and
+  /// non-empty.
+  explicit LabelCatalog(std::vector<std::string> entity_kinds);
+
+  static constexpr LabelId kOutsideId = 0;
+
+  /// Total number of label ids: 1 + 2 * kind count.
+  int32_t label_count() const {
+    return 1 + 2 * static_cast<int32_t>(kinds_.size());
+  }
+  int32_t kind_count() const { return static_cast<int32_t>(kinds_.size()); }
+  const std::vector<std::string>& kinds() const { return kinds_; }
+
+  /// Returns the index of `kind`, or an error if unknown.
+  StatusOr<int32_t> KindIndex(std::string_view kind) const;
+
+  LabelId BeginId(int32_t kind) const;
+  LabelId InsideId(int32_t kind) const;
+
+  /// True if `id` is a B-* / I-* label.
+  bool IsBegin(LabelId id) const { return id > 0 && (id - 1) % 2 == 0; }
+  bool IsInside(LabelId id) const { return id > 0 && (id - 1) % 2 == 1; }
+
+  /// Returns the kind index of a B-*/I-* id. Requires id != O.
+  int32_t KindOf(LabelId id) const;
+
+  /// Renders an id as "O", "B-Action", "I-Amount", ...
+  std::string LabelName(LabelId id) const;
+
+  /// Parses "O" / "B-kind" / "I-kind" back to an id.
+  StatusOr<LabelId> ParseLabel(std::string_view name) const;
+
+  /// Encodes spans over a `token_count`-token sequence into per-token ids.
+  /// Overlapping spans: later spans in the list win (matches Algorithm 1,
+  /// which overwrites labels in annotation order).
+  std::vector<LabelId> EncodeSpans(size_t token_count,
+                                   const std::vector<Span>& spans) const;
+
+  /// Decodes per-token label ids into spans. An I-k without a preceding
+  /// B-k/I-k of the same kind is treated as starting a new span (the
+  /// standard "IOB repair" convention), so any id sequence decodes.
+  std::vector<Span> DecodeSpans(const std::vector<LabelId>& ids) const;
+
+ private:
+  std::vector<std::string> kinds_;
+  std::unordered_map<std::string, int32_t> kind_index_;
+};
+
+}  // namespace goalex::labels
+
+#endif  // GOALEX_LABELS_IOB_H_

@@ -1,0 +1,322 @@
+#include "llm/heuristics.h"
+
+#include <cctype>
+#include <regex>
+
+#include "common/string_util.h"
+#include "text/word_tokenizer.h"
+
+namespace goalex::llm {
+namespace {
+
+int YearOf(const std::string& digits) {
+  if (digits.size() != 4 || !goalex::IsAsciiDigits(digits)) return -1;
+  return std::stoi(digits);
+}
+
+const std::regex& PercentRegex() {
+  static const std::regex* const kRegex =
+      new std::regex(R"((\d+(?:\.\d+)?)\s?(%|percent))");
+  return *kRegex;
+}
+
+const std::regex& UnitAmountRegex() {
+  static const std::regex* const kRegex = new std::regex(
+      R"((\d[\d,\.]*)\s(million|billion|thousand|tonnes|GWh|MWh|MW|Mt(?:\sCO2e)?))");
+  return *kRegex;
+}
+
+const std::regex& CommaNumberRegex() {
+  static const std::regex* const kRegex =
+      new std::regex(R"((?:^|\s)(\d{1,3}(?:,\d{3})+))");
+  return *kRegex;
+}
+
+const std::regex& LeadingNumberRegex() {
+  static const std::regex* const kRegex =
+      new std::regex(R"(^(\d+)\s(?:of\s)?[A-Za-z])");
+  return *kRegex;
+}
+
+const std::regex& DeadlineRegex() {
+  static const std::regex* const kRegex = new std::regex(
+      R"((?:by|before|until|than|of)(?:\sthe\send\sof|\sfiscal\syear)?\s(\d{4}))");
+  return *kRegex;
+}
+
+const std::regex& BaselineForwardRegex() {
+  static const std::regex* const kRegex = new std::regex(
+      R"((?:baseline\s|compared\sto\s|relative\sto\s|versus\sfiscal\syear\s|from\sa\s|from\s|since\s|vs\.?\s)(\d{4}))");
+  return *kRegex;
+}
+
+const std::regex& BaselineBackwardRegex() {
+  static const std::regex* const kRegex = new std::regex(
+      R"((\d{4})\s(?:baseline|levels|base\syear))");
+  return *kRegex;
+}
+
+std::string ExtractAmount(const std::string& text) {
+  // Collect candidates from every amount pattern and take the earliest
+  // occurrence (models a left-to-right reading of the objective).
+  size_t best_pos = std::string::npos;
+  std::string best;
+  auto consider = [&](size_t pos, size_t length) {
+    if (pos == std::string::npos) return;
+    if (pos < best_pos) {
+      best_pos = pos;
+      best = text.substr(pos, length);
+    }
+  };
+
+  std::smatch match;
+  if (std::regex_search(text, match, PercentRegex())) {
+    consider(static_cast<size_t>(match.position(0)),
+             static_cast<size_t>(match.length(0)));
+  }
+  std::string lower = goalex::AsciiToLower(text);
+  size_t nz = lower.find("net-zero");
+  if (nz == std::string::npos) nz = lower.find("net zero");
+  if (nz != std::string::npos) consider(nz, 8);
+  if (std::regex_search(text, match, UnitAmountRegex())) {
+    consider(static_cast<size_t>(match.position(0)),
+             static_cast<size_t>(match.length(0)));
+  }
+  if (std::regex_search(text, match, CommaNumberRegex())) {
+    consider(static_cast<size_t>(match.position(1)),
+             static_cast<size_t>(match.length(1)));
+  }
+  for (const char* word : {"double", "half", "two thirds", "one third"}) {
+    size_t pos = lower.find(word);
+    if (pos != std::string::npos) consider(pos, std::string(word).size());
+  }
+  if (best_pos != std::string::npos) return best;
+
+  // A bare count leading the sentence ("250 students in ...").
+  if (std::regex_search(text, match, LeadingNumberRegex())) {
+    return match[1].str();
+  }
+  size_t zero = lower.find("zero");
+  if (zero != std::string::npos) return text.substr(zero, 4);
+  return "";
+}
+
+std::string ExtractDeadline(const std::string& text) {
+  auto begin = std::sregex_iterator(text.begin(), text.end(),
+                                    DeadlineRegex());
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    std::string year = (*it)[1].str();
+    int y = YearOf(year);
+    if (y >= 1990 && y <= 2060) return year;
+  }
+  return "";
+}
+
+std::string ExtractBaseline(const std::string& text) {
+  std::smatch match;
+  if (std::regex_search(text, match, BaselineBackwardRegex())) {
+    int y = YearOf(match[1].str());
+    if (y >= 1990 && y <= 2060) return match[1].str();
+  }
+  if (std::regex_search(text, match, BaselineForwardRegex())) {
+    int y = YearOf(match[1].str());
+    if (y >= 1990 && y <= 2060) return match[1].str();
+  }
+  return "";
+}
+
+// Finds the action verb and returns {value, end_byte_offset} (offset past
+// the matched verb inside `text`), or an empty value.
+std::pair<std::string, size_t> ExtractAction(
+    const std::string& text, const HeuristicLexicon& lexicon) {
+  goalex::text::WordTokenizer tokenizer;
+  std::vector<goalex::text::Token> tokens = tokenizer.Tokenize(text);
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    std::string lower = goalex::AsciiToLower(tokens[i].text);
+    bool is_verb = lexicon.action_verbs.count(lower) > 0;
+    bool is_gerund = false;
+    if (!is_verb && goalex::EndsWith(lower, "ing") && lower.size() > 5) {
+      std::string stem = lower.substr(0, lower.size() - 3);
+      // "reducing" -> "reduc" -> try "reduce" and "reduc".
+      is_gerund = lexicon.action_verbs.count(stem) > 0 ||
+                  lexicon.action_verbs.count(stem + "e") > 0;
+    }
+    if (!is_verb && !is_gerund) continue;
+
+    std::string value = tokens[i].text;
+    if (lexicon.will_prefix_convention && i > 0 &&
+        goalex::AsciiToLower(tokens[i - 1].text) == "will") {
+      value = tokens[i - 1].text + " " + tokens[i].text;
+    }
+    // Multi-word verbs ("Phase out").
+    if (i + 1 < tokens.size()) {
+      std::string next = goalex::AsciiToLower(tokens[i + 1].text);
+      if (next == "out" && (lower == "phase" || lower == "phasing")) {
+        value += " " + tokens[i + 1].text;
+        return {value, tokens[i + 1].end};
+      }
+    }
+    return {value, tokens[i].end};
+  }
+  return {"", 0};
+}
+
+// The qualifier is the noun phrase following the action (or following the
+// amount in amount-led objectives), ending at the first boundary marker.
+std::string ExtractQualifier(const std::string& text, size_t search_from) {
+  static const char* kBoundaries[] = {" by ",      ",",         " (",
+                                      " across ",  " against ",  " compared",
+                                      " from ",    " before ",   " until ",
+                                      " with a target",          " as validated",
+                                      " throughout ",            " in partnership"};
+  size_t start = search_from;
+  // Skip glue words after the action/amount.
+  static const char* kGlue[] = {" of", " the", " our", " to", " in"};
+  bool skipped = true;
+  while (skipped) {
+    skipped = false;
+    for (const char* glue : kGlue) {
+      size_t len = std::string(glue).size();
+      if (text.compare(start, len, glue) == 0) {
+        start += len;
+        skipped = true;
+      }
+    }
+  }
+  while (start < text.size() && text[start] == ' ') ++start;
+  if (start >= text.size()) return "";
+
+  size_t end = text.size();
+  for (const char* boundary : kBoundaries) {
+    size_t pos = text.find(boundary, start);
+    if (pos != std::string::npos && pos < end) end = pos;
+  }
+  size_t dot = text.find_last_of('.');
+  if (dot != std::string::npos && dot >= start && dot < end) end = dot;
+
+  std::string phrase(
+      goalex::StripAsciiWhitespace(text.substr(start, end - start)));
+  // A qualifier should not start with a digit (that is the amount) or a
+  // dangling function word left over from boundary detection.
+  if (!phrase.empty() && std::isdigit(static_cast<unsigned char>(phrase[0]))) {
+    return "";
+  }
+  for (const char* bad_start : {"by ", "at ", "to ", "and "}) {
+    if (phrase.rfind(bad_start, 0) == 0) return "";
+  }
+  // Overly long captures are boundary failures; give up instead.
+  if (goalex::StrSplitWhitespace(phrase).size() > 8) return "";
+  return phrase;
+}
+
+}  // namespace
+
+FieldRole RoleForKind(const std::string& kind) {
+  std::string lower = goalex::AsciiToLower(kind);
+  auto contains = [&lower](const char* needle) {
+    return lower.find(needle) != std::string::npos;
+  };
+  if (contains("action") || contains("predicate") || contains("verb")) {
+    return FieldRole::kAction;
+  }
+  if (contains("amount") || contains("value") || contains("quantity")) {
+    return FieldRole::kAmount;
+  }
+  if (contains("qualifier") || contains("object") || contains("subject")) {
+    return FieldRole::kQualifier;
+  }
+  if (contains("deadline") || (contains("target") && contains("year"))) {
+    return FieldRole::kDeadlineYear;
+  }
+  if (contains("baseline") || contains("reference")) {
+    return FieldRole::kBaselineYear;
+  }
+  return FieldRole::kUnknown;
+}
+
+HeuristicLexicon HeuristicLexicon::Generic() {
+  HeuristicLexicon lexicon;
+  // A generic world-knowledge verb list — deliberately narrower than the
+  // corpus grammar, which is what limits zero-shot recall.
+  lexicon.action_verbs = {
+      "reduce",      "achieve",    "increase",  "eliminate", "improve",
+      "cut",         "reach",      "expand",    "implement", "restore",
+      "install",     "transition", "double",    "promote",   "invest",
+      "lower",       "recycle",    "launch",    "halve",     "substitute",
+      "deliver",     "train",      "support",   "empower",   "plant",
+      "protect",     "source",     "procure",   "phase",     "divert",
+      "offset",      "electrify",  "decarbonize", "audit",   "certify",
+      "integrate",   "align",      "strengthen", "minimize", "conserve",
+      "retrofit",    "decrease",   "shrink",
+  };
+  return lexicon;
+}
+
+void HeuristicLexicon::LearnFromExample(
+    const std::string& objective_text,
+    const std::vector<data::Annotation>& annotations) {
+  (void)objective_text;
+  for (const data::Annotation& annotation : annotations) {
+    if (RoleForKind(annotation.kind) != FieldRole::kAction) continue;
+    std::vector<std::string> words =
+        goalex::StrSplitWhitespace(annotation.value);
+    if (words.empty()) continue;
+    if (goalex::AsciiToLower(words[0]) == "will") {
+      will_prefix_convention = true;
+      words.erase(words.begin());
+      if (words.empty()) continue;
+    }
+    std::string verb = goalex::AsciiToLower(words[0]);
+    if (goalex::EndsWith(verb, "ing")) gerund_convention = true;
+    action_verbs.insert(verb);
+    // Also learn the likely stem of gerunds: "reducing" -> "reduce".
+    if (goalex::EndsWith(verb, "ing") && verb.size() > 5) {
+      std::string stem = verb.substr(0, verb.size() - 3);
+      action_verbs.insert(stem);
+      action_verbs.insert(stem + "e");
+    }
+  }
+}
+
+std::map<std::string, std::string> HeuristicExtract(
+    const std::string& text, const std::vector<std::string>& kinds,
+    const HeuristicLexicon& lexicon) {
+  std::map<std::string, std::string> out;
+
+  auto [action_value, action_end] = ExtractAction(text, lexicon);
+  std::string amount = ExtractAmount(text);
+
+  for (const std::string& kind : kinds) {
+    switch (RoleForKind(kind)) {
+      case FieldRole::kAction:
+        out[kind] = action_value;
+        break;
+      case FieldRole::kAmount:
+        out[kind] = amount;
+        break;
+      case FieldRole::kDeadlineYear:
+        out[kind] = ExtractDeadline(text);
+        break;
+      case FieldRole::kBaselineYear:
+        out[kind] = ExtractBaseline(text);
+        break;
+      case FieldRole::kQualifier: {
+        size_t from = action_end;
+        if (from == 0 && !amount.empty()) {
+          size_t amount_pos = text.find(amount);
+          if (amount_pos != std::string::npos) {
+            from = amount_pos + amount.size();
+          }
+        }
+        out[kind] = ExtractQualifier(text, from);
+        break;
+      }
+      case FieldRole::kUnknown:
+        out[kind] = "";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace goalex::llm

@@ -1,0 +1,63 @@
+#ifndef GOALEX_LLM_HEURISTICS_H_
+#define GOALEX_LLM_HEURISTICS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+
+namespace goalex::llm {
+
+/// Semantic role a schema field plays, inferred from its name. This lets
+/// the same engine serve both the Sustainability Goals schema (Action,
+/// Amount, Qualifier, Baseline, Deadline) and the NetZeroFacts schema
+/// (TargetValue, ReferenceYear, TargetYear).
+enum class FieldRole {
+  kAction,
+  kAmount,
+  kQualifier,
+  kDeadlineYear,
+  kBaselineYear,
+  kUnknown,
+};
+
+/// Maps a field name to its role by keyword ("value"/"amount" -> amount,
+/// "target year"/"deadline" -> deadline, "reference"/"baseline" ->
+/// baseline, ...).
+FieldRole RoleForKind(const std::string& kind);
+
+/// The pattern knowledge of the simulated LLM. The generic lexicon models
+/// zero-shot world knowledge (common sustainability verbs and general verb
+/// morphology); few-shot prompting additionally learns the dataset's
+/// annotation conventions (e.g., whether the "will" auxiliary belongs to
+/// the Action value) from the in-context examples — one of the mechanisms
+/// that make the few-shot baseline stronger than zero-shot in Table 4.
+struct HeuristicLexicon {
+  /// Lowercased action verbs recognized as objective actions.
+  std::set<std::string> action_verbs;
+  /// Learned: annotations may include the "will" auxiliary ("will reduce").
+  bool will_prefix_convention = false;
+  /// Learned: annotations may use gerund forms ("reducing"). Gerunds are
+  /// always *recognized* (verb morphology is world knowledge); this flag
+  /// records that the convention was observed in examples.
+  bool gerund_convention = false;
+
+  /// The built-in zero-shot lexicon.
+  static HeuristicLexicon Generic();
+
+  /// Absorbs conventions and vocabulary from one in-context example.
+  void LearnFromExample(const std::string& objective_text,
+                        const std::vector<data::Annotation>& annotations);
+};
+
+/// Rule-based detail extraction over one objective sentence. Returns a
+/// value for each requested kind (missing -> empty string). Deterministic.
+std::map<std::string, std::string> HeuristicExtract(
+    const std::string& text, const std::vector<std::string>& kinds,
+    const HeuristicLexicon& lexicon);
+
+}  // namespace goalex::llm
+
+#endif  // GOALEX_LLM_HEURISTICS_H_

@@ -1,0 +1,72 @@
+#include "llm/llm_extractor.h"
+
+#include "common/check.h"
+
+namespace goalex::llm {
+
+PromptingBaseline::PromptingBaseline(std::vector<std::string> kinds,
+                                     bool few_shot, uint64_t seed)
+    : kinds_(std::move(kinds)),
+      few_shot_(few_shot),
+      llm_(few_shot ? LlmProfile::FewShot() : LlmProfile::ZeroShot(),
+           seed) {}
+
+void PromptingBaseline::SetExamples(
+    const std::vector<data::Objective>& examples) {
+  examples_.clear();
+  for (const data::Objective& example : examples) {
+    examples_.push_back(PromptExample{example.text, example.annotations});
+  }
+}
+
+data::DetailRecord PromptingBaseline::Extract(
+    const data::Objective& objective) const {
+  std::string prompt =
+      few_shot_ ? BuildFewShotPrompt(kinds_, examples_, objective.text)
+                : BuildZeroShotPrompt(kinds_, objective.text);
+  LlmResponse response = llm_.Complete(prompt);
+  simulated_seconds_ += response.simulated_seconds;
+  return ParseLlmAnswer(response.text, kinds_, objective);
+}
+
+std::vector<data::DetailRecord> PromptingBaseline::ExtractAll(
+    const std::vector<data::Objective>& objectives) const {
+  std::vector<data::DetailRecord> out;
+  out.reserve(objectives.size());
+  for (const data::Objective& objective : objectives) {
+    out.push_back(Extract(objective));
+  }
+  return out;
+}
+
+data::DetailRecord ParseLlmAnswer(const std::string& answer,
+                                  const std::vector<std::string>& kinds,
+                                  const data::Objective& objective) {
+  data::DetailRecord record;
+  record.objective_id = objective.id;
+  record.objective_text = objective.text;
+
+  // Tolerant key/value scan: find "Kind": "value" for each schema kind.
+  // Ignores anything else the model may have emitted.
+  for (const std::string& kind : kinds) {
+    std::string needle = "\"" + kind + "\"";
+    size_t pos = answer.find(needle);
+    if (pos == std::string::npos) continue;
+    size_t colon = answer.find(':', pos + needle.size());
+    if (colon == std::string::npos) continue;
+    size_t open = answer.find('"', colon);
+    if (open == std::string::npos) continue;
+    size_t close = open + 1;
+    std::string value;
+    while (close < answer.size() && answer[close] != '"') {
+      if (answer[close] == '\\' && close + 1 < answer.size()) ++close;
+      value.push_back(answer[close]);
+      ++close;
+    }
+    if (close >= answer.size()) continue;  // Unterminated: malformed.
+    if (!value.empty()) record.fields[kind] = value;
+  }
+  return record;
+}
+
+}  // namespace goalex::llm

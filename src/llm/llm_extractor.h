@@ -1,0 +1,55 @@
+#ifndef GOALEX_LLM_LLM_EXTRACTOR_H_
+#define GOALEX_LLM_LLM_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+#include "llm/prompt.h"
+#include "llm/sim_llm.h"
+
+namespace goalex::llm {
+
+/// The zero-/few-shot prompting baselines of Table 4: wraps the simulated
+/// LLM with prompt construction and tolerant response parsing, and tracks
+/// the simulated inference time.
+class PromptingBaseline {
+ public:
+  /// `few_shot` selects the profile; `kinds` is the extraction schema.
+  PromptingBaseline(std::vector<std::string> kinds, bool few_shot,
+                    uint64_t seed);
+
+  /// Provides the in-context examples (the paper uses three training
+  /// instances). Only used in few-shot mode.
+  void SetExamples(const std::vector<data::Objective>& examples);
+
+  /// Extracts the details of one objective.
+  data::DetailRecord Extract(const data::Objective& objective) const;
+
+  /// Extracts a whole test set.
+  std::vector<data::DetailRecord> ExtractAll(
+      const std::vector<data::Objective>& objectives) const;
+
+  /// Total simulated LLM latency accumulated so far, in seconds.
+  double simulated_seconds() const { return simulated_seconds_; }
+  void ResetTimer() { simulated_seconds_ = 0.0; }
+
+  bool few_shot() const { return few_shot_; }
+
+ private:
+  std::vector<std::string> kinds_;
+  bool few_shot_;
+  SimulatedLlm llm_;
+  std::vector<PromptExample> examples_;
+  mutable double simulated_seconds_ = 0.0;
+};
+
+/// Parses a (possibly malformed) JSON answer into a DetailRecord. Exposed
+/// for testing. Unparseable input yields an empty record.
+data::DetailRecord ParseLlmAnswer(const std::string& answer,
+                                  const std::vector<std::string>& kinds,
+                                  const data::Objective& objective);
+
+}  // namespace goalex::llm
+
+#endif  // GOALEX_LLM_LLM_EXTRACTOR_H_

@@ -1,0 +1,84 @@
+#include "llm/prompt.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace goalex::llm {
+namespace {
+
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+void AppendInstructions(std::ostringstream& out,
+                        const std::vector<std::string>& kinds) {
+  out << "You are an assistant that extracts key details from corporate "
+         "sustainability objectives.\n"
+      << "Extract the following fields from the objective: "
+      << StrJoin(kinds, ", ") << ".\n"
+      << "Answer with a single JSON object whose keys are the field names "
+         "and whose values are exact substrings of the objective. Use \"\" "
+         "for fields that are not present.\n";
+}
+
+}  // namespace
+
+std::string BuildZeroShotPrompt(const std::vector<std::string>& kinds,
+                                const std::string& objective_text) {
+  std::ostringstream out;
+  AppendInstructions(out, kinds);
+  out << "Objective: " << objective_text << "\nAnswer: ";
+  return out.str();
+}
+
+std::string BuildFewShotPrompt(const std::vector<std::string>& kinds,
+                               const std::vector<PromptExample>& examples,
+                               const std::string& objective_text) {
+  std::ostringstream out;
+  AppendInstructions(out, kinds);
+  out << "Here are some examples.\n";
+  for (const PromptExample& example : examples) {
+    out << "Objective: " << example.objective_text << "\nAnswer: "
+        << RenderAnswer(kinds, example.annotations) << "\n";
+  }
+  out << "Objective: " << objective_text << "\nAnswer: ";
+  return out.str();
+}
+
+size_t CountPromptTokens(const std::string& prompt) {
+  return StrSplitWhitespace(prompt).size();
+}
+
+std::string RenderAnswer(const std::vector<std::string>& kinds,
+                         const std::vector<data::Annotation>& annotations) {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const std::string& kind : kinds) {
+    std::string value;
+    for (const data::Annotation& a : annotations) {
+      if (a.kind == kind) {
+        value = a.value;
+        break;
+      }
+    }
+    if (!first) out << ", ";
+    first = false;
+    out << '"' << JsonEscape(kind) << "\": \"" << JsonEscape(value) << '"';
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace goalex::llm

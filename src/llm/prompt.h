@@ -1,0 +1,40 @@
+#ifndef GOALEX_LLM_PROMPT_H_
+#define GOALEX_LLM_PROMPT_H_
+
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+
+namespace goalex::llm {
+
+/// One in-context example for few-shot prompting: an objective and its
+/// desired structured output.
+struct PromptExample {
+  std::string objective_text;
+  std::vector<data::Annotation> annotations;
+};
+
+/// Builds the zero-shot instruction prompt: task description, the field
+/// schema, the output format, and the objective to analyze. Mirrors the
+/// zero-shot baseline of Section 4.1 [9].
+std::string BuildZeroShotPrompt(const std::vector<std::string>& kinds,
+                                const std::string& objective_text);
+
+/// Builds the few-shot prompt: the zero-shot instructions plus
+/// input/output example pairs (the paper uses three [32]).
+std::string BuildFewShotPrompt(const std::vector<std::string>& kinds,
+                               const std::vector<PromptExample>& examples,
+                               const std::string& objective_text);
+
+/// Crude whitespace token count used by the latency model.
+size_t CountPromptTokens(const std::string& prompt);
+
+/// Renders annotations as the JSON-style answer block the prompts request:
+/// {"Action": "reach", "Deadline": "2040"}.
+std::string RenderAnswer(const std::vector<std::string>& kinds,
+                         const std::vector<data::Annotation>& annotations);
+
+}  // namespace goalex::llm
+
+#endif  // GOALEX_LLM_PROMPT_H_

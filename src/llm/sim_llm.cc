@@ -1,0 +1,230 @@
+#include "llm/sim_llm.h"
+
+#include <map>
+#include <vector>
+
+#include "common/string_util.h"
+#include "llm/heuristics.h"
+#include "llm/prompt.h"
+
+namespace goalex::llm {
+namespace {
+
+uint64_t HashString(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Parses "Extract the following fields from the objective: A, B, C." out of
+// the instruction block.
+std::vector<std::string> ParseKinds(const std::string& prompt) {
+  const std::string marker = "fields from the objective: ";
+  size_t pos = prompt.find(marker);
+  if (pos == std::string::npos) return {};
+  size_t start = pos + marker.size();
+  size_t end = prompt.find(".\n", start);
+  if (end == std::string::npos) return {};
+  std::vector<std::string> kinds;
+  for (const std::string& part :
+       StrSplit(prompt.substr(start, end - start), ',')) {
+    std::string kind(StripAsciiWhitespace(part));
+    if (!kind.empty()) kinds.push_back(kind);
+  }
+  return kinds;
+}
+
+struct ParsedPrompt {
+  std::vector<std::string> kinds;
+  std::vector<std::pair<std::string, std::string>> examples;  // obj, answer
+  std::string objective;
+};
+
+ParsedPrompt ParsePrompt(const std::string& prompt) {
+  ParsedPrompt out;
+  out.kinds = ParseKinds(prompt);
+
+  // Collect all "Objective: ..." segments; each ends at "\nAnswer: ".
+  std::vector<std::pair<std::string, std::string>> pairs;
+  size_t pos = 0;
+  while (true) {
+    size_t obj_pos = prompt.find("Objective: ", pos);
+    if (obj_pos == std::string::npos) break;
+    size_t obj_start = obj_pos + 11;
+    size_t ans_pos = prompt.find("\nAnswer: ", obj_start);
+    if (ans_pos == std::string::npos) break;
+    std::string objective = prompt.substr(obj_start, ans_pos - obj_start);
+    size_t ans_start = ans_pos + 9;
+    size_t ans_end = prompt.find('\n', ans_start);
+    std::string answer =
+        ans_end == std::string::npos
+            ? prompt.substr(ans_start)
+            : prompt.substr(ans_start, ans_end - ans_start);
+    pairs.emplace_back(std::move(objective), std::move(answer));
+    pos = ans_end == std::string::npos ? prompt.size() : ans_end;
+  }
+  if (pairs.empty()) return out;
+  out.objective = pairs.back().first;
+  pairs.pop_back();
+  out.examples = std::move(pairs);
+  return out;
+}
+
+// Minimal parser for the {"Key": "value", ...} answers used in examples.
+std::vector<data::Annotation> ParseAnswerJson(const std::string& answer) {
+  std::vector<data::Annotation> out;
+  size_t i = 0;
+  auto read_string = [&](std::string& dst) -> bool {
+    while (i < answer.size() && answer[i] != '"') ++i;
+    if (i >= answer.size()) return false;
+    ++i;
+    dst.clear();
+    while (i < answer.size() && answer[i] != '"') {
+      if (answer[i] == '\\' && i + 1 < answer.size()) ++i;
+      dst.push_back(answer[i]);
+      ++i;
+    }
+    if (i >= answer.size()) return false;
+    ++i;
+    return true;
+  };
+  while (i < answer.size()) {
+    std::string key, value;
+    if (!read_string(key)) break;
+    while (i < answer.size() && answer[i] != ':') ++i;
+    if (!read_string(value)) break;
+    if (!value.empty()) out.push_back(data::Annotation{key, value});
+  }
+  return out;
+}
+
+// Picks a plausible hallucinated value for an empty field: a capitalized
+// word or noun-ish token from the objective.
+std::string Hallucinate(const std::string& objective, FieldRole role,
+                        Rng& rng) {
+  std::vector<std::string> words = StrSplitWhitespace(objective);
+  if (words.empty()) return "";
+  switch (role) {
+    case FieldRole::kDeadlineYear:
+      return std::to_string(rng.NextInt(2025, 2045));
+    case FieldRole::kBaselineYear:
+      return std::to_string(rng.NextInt(2010, 2020));
+    case FieldRole::kAmount:
+      return std::to_string(rng.NextInt(1, 19) * 5) + "%";
+    default: {
+      // A random content word from the sentence.
+      for (int attempt = 0; attempt < 5; ++attempt) {
+        const std::string& w = rng.Choose(words);
+        if (w.size() > 3) return w;
+      }
+      return words[0];
+    }
+  }
+}
+
+std::string CorruptBoundary(const std::string& value, Rng& rng) {
+  std::vector<std::string> words = StrSplitWhitespace(value);
+  if (words.size() < 2) return value;
+  if (rng.NextBernoulli(0.5)) {
+    words.erase(words.begin());
+  } else {
+    words.pop_back();
+  }
+  return StrJoin(words, " ");
+}
+
+}  // namespace
+
+LlmProfile LlmProfile::ZeroShot() {
+  LlmProfile profile;
+  profile.omission_rate = 0.08;
+  profile.hallucination_rate = 0.10;
+  profile.boundary_error_rate = 0.08;
+  profile.format_error_rate = 0.02;
+  profile.year_confusion_rate = 0.15;
+  profile.example_adaptation = false;
+  return profile;
+}
+
+LlmProfile LlmProfile::FewShot() {
+  LlmProfile profile;
+  profile.omission_rate = 0.01;
+  profile.hallucination_rate = 0.03;
+  profile.boundary_error_rate = 0.02;
+  profile.format_error_rate = 0.005;
+  profile.year_confusion_rate = 0.03;
+  profile.example_adaptation = true;
+  return profile;
+}
+
+LlmResponse SimulatedLlm::Complete(const std::string& prompt) const {
+  ParsedPrompt parsed = ParsePrompt(prompt);
+  Rng rng(HashString(prompt) ^ seed_);
+
+  HeuristicLexicon lexicon = HeuristicLexicon::Generic();
+  if (profile_.example_adaptation) {
+    for (const auto& [objective, answer] : parsed.examples) {
+      lexicon.LearnFromExample(objective, ParseAnswerJson(answer));
+    }
+  }
+
+  std::map<std::string, std::string> fields =
+      HeuristicExtract(parsed.objective, parsed.kinds, lexicon);
+
+  // Year-role confusion: swap (or misassign) the reference/baseline and
+  // target/deadline year fields.
+  if (rng.NextBernoulli(profile_.year_confusion_rate)) {
+    std::string* deadline = nullptr;
+    std::string* baseline = nullptr;
+    for (auto& [kind, value] : fields) {
+      FieldRole role = RoleForKind(kind);
+      if (role == FieldRole::kDeadlineYear) deadline = &value;
+      if (role == FieldRole::kBaselineYear) baseline = &value;
+    }
+    if (deadline != nullptr && baseline != nullptr &&
+        (!deadline->empty() || !baseline->empty())) {
+      std::swap(*deadline, *baseline);
+    }
+  }
+
+  // Error channel.
+  for (auto& [kind, value] : fields) {
+    if (!value.empty() && rng.NextBernoulli(profile_.omission_rate)) {
+      value.clear();
+      continue;
+    }
+    if (!value.empty() &&
+        rng.NextBernoulli(profile_.boundary_error_rate)) {
+      value = CorruptBoundary(value, rng);
+      continue;
+    }
+    if (value.empty() &&
+        rng.NextBernoulli(profile_.hallucination_rate)) {
+      value = Hallucinate(parsed.objective, RoleForKind(kind), rng);
+    }
+  }
+
+  std::vector<data::Annotation> annotations;
+  for (const std::string& kind : parsed.kinds) {
+    annotations.push_back(data::Annotation{kind, fields[kind]});
+  }
+  std::string answer = RenderAnswer(parsed.kinds, annotations);
+  if (rng.NextBernoulli(profile_.format_error_rate)) {
+    // A malformed response: truncated JSON plus chatter.
+    answer = answer.substr(0, answer.size() / 2) +
+             "... (model refused to complete)";
+  }
+
+  LlmResponse response;
+  response.text = answer;
+  response.simulated_seconds =
+      profile_.seconds_per_request +
+      static_cast<double>(CountPromptTokens(answer)) /
+          profile_.completion_tokens_per_second;
+  return response;
+}
+
+}  // namespace goalex::llm

@@ -1,0 +1,72 @@
+#ifndef GOALEX_LLM_SIM_LLM_H_
+#define GOALEX_LLM_SIM_LLM_H_
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace goalex::llm {
+
+/// Behavioural profile of the simulated large language model.
+///
+/// SUBSTITUTION NOTE (see DESIGN.md §3): the paper prompts Llama 4 109B,
+/// which cannot run in this offline CPU environment. This simulator keeps
+/// the entire baseline harness real — prompt construction, response
+/// parsing, evaluation, latency accounting — and replaces only the model
+/// call with a deterministic heuristic engine plus a stochastic error
+/// channel whose rates are calibrated to reproduce the error profile the
+/// paper reports (high recall, imperfect precision; few-shot > zero-shot).
+struct LlmProfile {
+  /// Probability of omitting a field the engine did find.
+  double omission_rate = 0.05;
+  /// Probability of inventing a value for a field the engine found empty.
+  double hallucination_rate = 0.08;
+  /// Probability of corrupting a found multi-word value's boundary.
+  double boundary_error_rate = 0.06;
+  /// Probability the whole response is malformed (unparseable JSON).
+  double format_error_rate = 0.01;
+  /// Probability of confusing the roles of years (reference vs. target
+  /// year) in an objective — the dominant zero-shot failure mode on
+  /// NetZeroFacts, largely fixed by in-context examples.
+  double year_confusion_rate = 0.0;
+  /// Use in-context examples to adapt the extraction lexicon (few-shot).
+  bool example_adaptation = false;
+  /// Simulated latency: fixed per-request seconds plus per-token decode.
+  double seconds_per_request = 3.2;
+  double completion_tokens_per_second = 35.0;
+
+  /// Zero-shot profile: generic lexicon only, noisier output.
+  static LlmProfile ZeroShot();
+  /// Few-shot profile: example adaptation, tighter output.
+  static LlmProfile FewShot();
+};
+
+/// Result of one simulated completion.
+struct LlmResponse {
+  std::string text;
+  double simulated_seconds = 0.0;
+};
+
+/// The simulated LLM endpoint. Deterministic: the error channel is seeded
+/// from the prompt text and the instance seed, so identical runs produce
+/// identical outputs.
+class SimulatedLlm {
+ public:
+  SimulatedLlm(LlmProfile profile, uint64_t seed)
+      : profile_(profile), seed_(seed) {}
+
+  /// Parses the prompt (instructions, optional examples, target objective),
+  /// runs the heuristic engine, injects profile-dependent errors, and
+  /// renders a JSON answer.
+  LlmResponse Complete(const std::string& prompt) const;
+
+  const LlmProfile& profile() const { return profile_; }
+
+ private:
+  LlmProfile profile_;
+  uint64_t seed_;
+};
+
+}  // namespace goalex::llm
+
+#endif  // GOALEX_LLM_SIM_LLM_H_

@@ -1,0 +1,72 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace goalex::nn {
+
+Adam::Adam(std::vector<tensor::Var> params, AdamOptions options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const tensor::Var& p : params_) {
+    GOALEX_CHECK(p != nullptr && p->requires_grad());
+    m_.push_back(tensor::Tensor::Zeros(p->value().shape()));
+    v_.push_back(tensor::Tensor::Zeros(p->value().shape()));
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+
+  // Optional global-norm clipping across all parameters.
+  float clip_scale = 1.0f;
+  if (options_.clip_norm > 0.0f) {
+    double sq = 0.0;
+    for (tensor::Var& p : params_) {
+      const float* g = p->grad().data();
+      for (int64_t i = 0; i < p->grad().numel(); ++i) {
+        sq += static_cast<double>(g[i]) * g[i];
+      }
+    }
+    double norm = std::sqrt(sq);
+    if (norm > options_.clip_norm) {
+      clip_scale = static_cast<float>(options_.clip_norm / norm);
+    }
+  }
+
+  float bias1 = 1.0f - std::pow(options_.beta1,
+                                static_cast<float>(step_count_));
+  float bias2 = 1.0f - std::pow(options_.beta2,
+                                static_cast<float>(step_count_));
+
+  for (size_t idx = 0; idx < params_.size(); ++idx) {
+    tensor::Var& p = params_[idx];
+    float* w = p->mutable_value().data();
+    float* g = p->grad().data();
+    float* m = m_[idx].data();
+    float* v = v_[idx].data();
+    int64_t n = p->value().numel();
+    for (int64_t i = 0; i < n; ++i) {
+      float grad = g[i] * clip_scale;
+      if (options_.weight_decay > 0.0f) {
+        // Decoupled (AdamW-style) weight decay.
+        w[i] -= options_.learning_rate * options_.weight_decay * w[i];
+      }
+      m[i] = options_.beta1 * m[i] + (1.0f - options_.beta1) * grad;
+      v[i] = options_.beta2 * v[i] + (1.0f - options_.beta2) * grad * grad;
+      float m_hat = m[i] / bias1;
+      float v_hat = v[i] / bias2;
+      w[i] -= options_.learning_rate * m_hat /
+              (std::sqrt(v_hat) + options_.eps);
+    }
+    p->ZeroGrad();
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (tensor::Var& p : params_) p->ZeroGrad();
+}
+
+}  // namespace goalex::nn

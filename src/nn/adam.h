@@ -1,0 +1,47 @@
+#ifndef GOALEX_NN_ADAM_H_
+#define GOALEX_NN_ADAM_H_
+
+#include <vector>
+
+#include "tensor/variable.h"
+
+namespace goalex::nn {
+
+/// Adam hyperparameters; defaults match the paper's training setup (Section
+/// 3.3: Adam, learning rate 5e-5).
+struct AdamOptions {
+  float learning_rate = 5e-5f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+  /// Global gradient-norm clip; <= 0 disables clipping.
+  float clip_norm = 1.0f;
+};
+
+/// Adam optimizer with bias correction and optional global-norm gradient
+/// clipping. Owns first/second-moment state per parameter.
+class Adam {
+ public:
+  Adam(std::vector<tensor::Var> params, AdamOptions options);
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  void Step();
+
+  /// Zeroes all parameter gradients without updating.
+  void ZeroGrad();
+
+  int64_t step_count() const { return step_count_; }
+  AdamOptions& options() { return options_; }
+
+ private:
+  std::vector<tensor::Var> params_;
+  std::vector<tensor::Tensor> m_;
+  std::vector<tensor::Tensor> v_;
+  AdamOptions options_;
+  int64_t step_count_ = 0;
+};
+
+}  // namespace goalex::nn
+
+#endif  // GOALEX_NN_ADAM_H_

@@ -1,0 +1,27 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+namespace goalex::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng)
+    : in_features_(in_features), out_features_(out_features) {
+  float stddev = 1.0f / std::sqrt(static_cast<float>(in_features));
+  weight_ = tensor::Leaf(
+      tensor::Tensor::RandomNormal({in_features, out_features}, stddev, rng),
+      /*requires_grad=*/true);
+  bias_ = tensor::Leaf(tensor::Tensor::Zeros({out_features}),
+                       /*requires_grad=*/true);
+}
+
+tensor::Var Linear::Forward(const tensor::Var& x) const {
+  return tensor::AddBias(tensor::MatMul(x, weight_), bias_);
+}
+
+void Linear::CollectParameters(const std::string& prefix,
+                               std::vector<NamedParam>& out) const {
+  out.push_back(NamedParam{prefix + "weight", weight_});
+  out.push_back(NamedParam{prefix + "bias", bias_});
+}
+
+}  // namespace goalex::nn

@@ -1,0 +1,39 @@
+#ifndef GOALEX_NN_LINEAR_H_
+#define GOALEX_NN_LINEAR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace goalex::nn {
+
+/// Affine layer: y = x W + b with W[in, out], b[out]. Weights use scaled
+/// Gaussian init (stddev 1/sqrt(in)), biases start at zero.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng);
+
+  /// Applies the layer to x[m, in] -> [m, out].
+  tensor::Var Forward(const tensor::Var& x) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParam>& out) const override;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  const tensor::Var& weight() const { return weight_; }
+  const tensor::Var& bias() const { return bias_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  tensor::Var weight_;
+  tensor::Var bias_;
+};
+
+}  // namespace goalex::nn
+
+#endif  // GOALEX_NN_LINEAR_H_

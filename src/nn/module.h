@@ -1,0 +1,57 @@
+#ifndef GOALEX_NN_MODULE_H_
+#define GOALEX_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/variable.h"
+
+namespace goalex::nn {
+
+/// A named trainable parameter.
+struct NamedParam {
+  std::string name;
+  tensor::Var var;
+};
+
+/// Minimal module base: owns nothing but defines the parameter-enumeration
+/// contract used by the optimizer and the serializer.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Appends this module's parameters (with `prefix` + local name).
+  virtual void CollectParameters(const std::string& prefix,
+                                 std::vector<NamedParam>& out) const = 0;
+
+  /// Convenience: all parameters with names.
+  std::vector<NamedParam> NamedParameters() const {
+    std::vector<NamedParam> out;
+    CollectParameters("", out);
+    return out;
+  }
+
+  /// Convenience: all parameter Vars.
+  std::vector<tensor::Var> Parameters() const {
+    std::vector<tensor::Var> out;
+    for (NamedParam& p : NamedParameters()) out.push_back(std::move(p.var));
+    return out;
+  }
+
+  /// Zeroes the gradients of all parameters.
+  void ZeroGrad() const {
+    for (const tensor::Var& p : Parameters()) p->ZeroGrad();
+  }
+
+  /// Total scalar parameter count.
+  int64_t ParameterCount() const {
+    int64_t count = 0;
+    for (const tensor::Var& p : Parameters()) count += p->value().numel();
+    return count;
+  }
+};
+
+}  // namespace goalex::nn
+
+#endif  // GOALEX_NN_MODULE_H_

@@ -1,0 +1,89 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+namespace goalex::nn {
+namespace {
+
+constexpr uint32_t kMagic = 0x474C5831;  // "GLX1"
+
+void WriteU32(std::ofstream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU32(std::ifstream& in, uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+}  // namespace
+
+Status SaveParameters(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return InternalError("cannot open for write: " + path);
+
+  std::vector<NamedParam> params = module.NamedParameters();
+  WriteU32(out, kMagic);
+  WriteU32(out, static_cast<uint32_t>(params.size()));
+  for (const NamedParam& p : params) {
+    WriteU32(out, static_cast<uint32_t>(p.name.size()));
+    out.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
+    const auto& shape = p.var->value().shape();
+    WriteU32(out, static_cast<uint32_t>(shape.size()));
+    for (int64_t d : shape) WriteU32(out, static_cast<uint32_t>(d));
+    out.write(reinterpret_cast<const char*>(p.var->value().data()),
+              static_cast<std::streamsize>(sizeof(float) *
+                                           p.var->value().numel()));
+  }
+  if (!out) return DataLossError("short write: " + path);
+  return Status::Ok();
+}
+
+Status LoadParameters(Module& module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("cannot open for read: " + path);
+
+  uint32_t magic = 0, count = 0;
+  if (!ReadU32(in, &magic) || magic != kMagic) {
+    return DataLossError("bad magic in " + path);
+  }
+  if (!ReadU32(in, &count)) return DataLossError("truncated header");
+
+  std::vector<NamedParam> params = module.NamedParameters();
+  if (params.size() != count) {
+    return FailedPreconditionError(
+        "parameter count mismatch: file has " + std::to_string(count) +
+        ", module has " + std::to_string(params.size()));
+  }
+  for (NamedParam& p : params) {
+    uint32_t name_len = 0;
+    if (!ReadU32(in, &name_len)) return DataLossError("truncated name len");
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    if (!in) return DataLossError("truncated name");
+    if (name != p.name) {
+      return FailedPreconditionError("parameter name mismatch: file " + name +
+                                     " vs module " + p.name);
+    }
+    uint32_t rank = 0;
+    if (!ReadU32(in, &rank)) return DataLossError("truncated rank");
+    std::vector<int64_t> shape(rank);
+    for (uint32_t i = 0; i < rank; ++i) {
+      uint32_t d = 0;
+      if (!ReadU32(in, &d)) return DataLossError("truncated shape");
+      shape[i] = d;
+    }
+    if (shape != p.var->value().shape()) {
+      return FailedPreconditionError("shape mismatch for " + p.name);
+    }
+    in.read(reinterpret_cast<char*>(p.var->mutable_value().data()),
+            static_cast<std::streamsize>(sizeof(float) *
+                                         p.var->value().numel()));
+    if (!in) return DataLossError("truncated data for " + p.name);
+  }
+  return Status::Ok();
+}
+
+}  // namespace goalex::nn

@@ -1,0 +1,21 @@
+#ifndef GOALEX_NN_SERIALIZE_H_
+#define GOALEX_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/module.h"
+
+namespace goalex::nn {
+
+/// Writes all named parameters of `module` to `path` in a simple binary
+/// format (magic, count, then per-parameter name/shape/float data).
+Status SaveParameters(const Module& module, const std::string& path);
+
+/// Loads parameters saved by SaveParameters into `module`. Names and shapes
+/// must match exactly (same architecture config).
+Status LoadParameters(Module& module, const std::string& path);
+
+}  // namespace goalex::nn
+
+#endif  // GOALEX_NN_SERIALIZE_H_

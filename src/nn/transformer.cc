@@ -1,0 +1,214 @@
+#include "nn/transformer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace goalex::nn {
+namespace {
+
+tensor::Var LayerNormParamGamma(int64_t d) {
+  return tensor::Leaf(tensor::Tensor::Full({d}, 1.0f),
+                      /*requires_grad=*/true);
+}
+
+tensor::Var LayerNormParamBeta(int64_t d) {
+  return tensor::Leaf(tensor::Tensor::Zeros({d}), /*requires_grad=*/true);
+}
+
+tensor::Tensor SinusoidalPositions(int64_t max_len, int64_t d) {
+  tensor::Tensor t({max_len, d});
+  float* p = t.data();
+  for (int64_t pos = 0; pos < max_len; ++pos) {
+    for (int64_t i = 0; i < d; ++i) {
+      double angle =
+          pos / std::pow(10000.0, 2.0 * (i / 2) / static_cast<double>(d));
+      p[pos * d + i] = static_cast<float>((i % 2 == 0) ? std::sin(angle)
+                                                       : std::cos(angle));
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+EncoderLayer::EncoderLayer(const TransformerConfig& config, Rng& rng)
+    : config_(config) {
+  int64_t d = config.d_model;
+  q_proj_ = std::make_unique<Linear>(d, d, rng);
+  k_proj_ = std::make_unique<Linear>(d, d, rng);
+  v_proj_ = std::make_unique<Linear>(d, d, rng);
+  o_proj_ = std::make_unique<Linear>(d, d, rng);
+  ffn_in_ = std::make_unique<Linear>(d, config.ffn_dim, rng);
+  ffn_out_ = std::make_unique<Linear>(config.ffn_dim, d, rng);
+  ln1_gamma_ = LayerNormParamGamma(d);
+  ln1_beta_ = LayerNormParamBeta(d);
+  ln2_gamma_ = LayerNormParamGamma(d);
+  ln2_beta_ = LayerNormParamBeta(d);
+}
+
+tensor::Var EncoderLayer::Forward(const tensor::Var& x, bool training,
+                                  Rng& rng) const {
+  // Attention block (pre-LN).
+  tensor::Var h = tensor::LayerNorm(x, ln1_gamma_, ln1_beta_);
+  tensor::Var q = q_proj_->Forward(h);
+  tensor::Var k = k_proj_->Forward(h);
+  tensor::Var v = v_proj_->Forward(h);
+  tensor::Var attn = tensor::AttentionCore(q, k, v, config_.heads);
+  attn = o_proj_->Forward(attn);
+  attn = tensor::Dropout(attn, config_.dropout, training, rng);
+  tensor::Var x1 = tensor::Add(x, attn);
+
+  // Feed-forward block (pre-LN).
+  tensor::Var h2 = tensor::LayerNorm(x1, ln2_gamma_, ln2_beta_);
+  tensor::Var ffn = ffn_out_->Forward(tensor::Gelu(ffn_in_->Forward(h2)));
+  ffn = tensor::Dropout(ffn, config_.dropout, training, rng);
+  return tensor::Add(x1, ffn);
+}
+
+void EncoderLayer::CollectParameters(const std::string& prefix,
+                                     std::vector<NamedParam>& out) const {
+  q_proj_->CollectParameters(prefix + "q.", out);
+  k_proj_->CollectParameters(prefix + "k.", out);
+  v_proj_->CollectParameters(prefix + "v.", out);
+  o_proj_->CollectParameters(prefix + "o.", out);
+  ffn_in_->CollectParameters(prefix + "ffn_in.", out);
+  ffn_out_->CollectParameters(prefix + "ffn_out.", out);
+  out.push_back(NamedParam{prefix + "ln1.gamma", ln1_gamma_});
+  out.push_back(NamedParam{prefix + "ln1.beta", ln1_beta_});
+  out.push_back(NamedParam{prefix + "ln2.gamma", ln2_gamma_});
+  out.push_back(NamedParam{prefix + "ln2.beta", ln2_beta_});
+}
+
+TransformerEncoder::TransformerEncoder(const TransformerConfig& config,
+                                       Rng& rng)
+    : config_(config) {
+  GOALEX_CHECK_GT(config.vocab_size, 0);
+  GOALEX_CHECK_GT(config.max_seq_len, 0);
+  GOALEX_CHECK_EQ(config.d_model % config.heads, 0);
+  int64_t d = config.d_model;
+  token_embedding_ = tensor::Leaf(
+      tensor::Tensor::RandomNormal({config.vocab_size, d}, 0.02f, rng),
+      /*requires_grad=*/true);
+  position_trainable_ = !config.sinusoidal_positions;
+  if (config.sinusoidal_positions) {
+    position_embedding_ =
+        tensor::Leaf(SinusoidalPositions(config.max_seq_len, d),
+                     /*requires_grad=*/false);
+  } else {
+    position_embedding_ = tensor::Leaf(
+        tensor::Tensor::RandomNormal({config.max_seq_len, d}, 0.02f, rng),
+        /*requires_grad=*/true);
+  }
+  for (int32_t i = 0; i < config.layers; ++i) {
+    layers_.push_back(std::make_unique<EncoderLayer>(config, rng));
+  }
+  final_gamma_ = LayerNormParamGamma(d);
+  final_beta_ = LayerNormParamBeta(d);
+}
+
+tensor::Var TransformerEncoder::Forward(const std::vector<int32_t>& ids,
+                                        bool training, Rng& rng) const {
+  GOALEX_CHECK(!ids.empty());
+  std::vector<int32_t> truncated = ids;
+  if (truncated.size() > static_cast<size_t>(config_.max_seq_len)) {
+    truncated.resize(static_cast<size_t>(config_.max_seq_len));
+  }
+  std::vector<int32_t> positions(truncated.size());
+  for (size_t i = 0; i < positions.size(); ++i) {
+    positions[i] = static_cast<int32_t>(i);
+  }
+  tensor::Var x =
+      tensor::Add(tensor::EmbeddingGather(token_embedding_, truncated),
+                  tensor::EmbeddingGather(position_embedding_, positions));
+  x = tensor::Dropout(x, config_.dropout, training, rng);
+  for (const auto& layer : layers_) {
+    x = layer->Forward(x, training, rng);
+  }
+  return tensor::LayerNorm(x, final_gamma_, final_beta_);
+}
+
+void TransformerEncoder::CollectParameters(
+    const std::string& prefix, std::vector<NamedParam>& out) const {
+  out.push_back(NamedParam{prefix + "tok_emb", token_embedding_});
+  if (position_trainable_) {
+    out.push_back(NamedParam{prefix + "pos_emb", position_embedding_});
+  }
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->CollectParameters(
+        prefix + "layer" + std::to_string(i) + ".", out);
+  }
+  out.push_back(NamedParam{prefix + "final.gamma", final_gamma_});
+  out.push_back(NamedParam{prefix + "final.beta", final_beta_});
+}
+
+TokenClassifier::TokenClassifier(const TransformerConfig& config,
+                                 int32_t num_labels, Rng& rng)
+    : num_labels_(num_labels), inference_rng_(0) {
+  encoder_ = std::make_unique<TransformerEncoder>(config, rng);
+  head_ = std::make_unique<Linear>(config.d_model, num_labels, rng);
+}
+
+tensor::Var TokenClassifier::ForwardLogits(const std::vector<int32_t>& ids,
+                                           bool training, Rng& rng) const {
+  return head_->Forward(encoder_->Forward(ids, training, rng));
+}
+
+tensor::Var TokenClassifier::ForwardLoss(const std::vector<int32_t>& ids,
+                                         const std::vector<int32_t>& targets,
+                                         bool training, Rng& rng) const {
+  tensor::Var logits = ForwardLogits(ids, training, rng);
+  std::vector<int32_t> truncated_targets = targets;
+  size_t t = static_cast<size_t>(logits->value().dim(0));
+  GOALEX_CHECK_GE(truncated_targets.size(), t);
+  truncated_targets.resize(t);
+  return tensor::CrossEntropy(logits, truncated_targets);
+}
+
+std::vector<int32_t> TokenClassifier::Predict(
+    const std::vector<int32_t>& ids) const {
+  tensor::Var logits =
+      ForwardLogits(ids, /*training=*/false, inference_rng_);
+  return tensor::ArgmaxRows(logits);
+}
+
+void TokenClassifier::CollectParameters(const std::string& prefix,
+                                        std::vector<NamedParam>& out) const {
+  encoder_->CollectParameters(prefix + "enc.", out);
+  head_->CollectParameters(prefix + "head.", out);
+}
+
+SequenceClassifier::SequenceClassifier(const TransformerConfig& config,
+                                       int32_t num_classes, Rng& rng)
+    : num_classes_(num_classes), inference_rng_(0) {
+  encoder_ = std::make_unique<TransformerEncoder>(config, rng);
+  head_ = std::make_unique<Linear>(config.d_model, num_classes, rng);
+}
+
+tensor::Var SequenceClassifier::ForwardLogits(const std::vector<int32_t>& ids,
+                                              bool training, Rng& rng) const {
+  tensor::Var states = encoder_->Forward(ids, training, rng);
+  return head_->Forward(tensor::MeanRows(states));
+}
+
+tensor::Var SequenceClassifier::ForwardLoss(const std::vector<int32_t>& ids,
+                                            int32_t target, bool training,
+                                            Rng& rng) const {
+  GOALEX_CHECK(target >= 0 && target < num_classes_);
+  tensor::Var logits = ForwardLogits(ids, training, rng);
+  return tensor::CrossEntropy(logits, {target});
+}
+
+int32_t SequenceClassifier::Predict(const std::vector<int32_t>& ids) const {
+  tensor::Var logits =
+      ForwardLogits(ids, /*training=*/false, inference_rng_);
+  return tensor::ArgmaxRows(logits)[0];
+}
+
+void SequenceClassifier::CollectParameters(
+    const std::string& prefix, std::vector<NamedParam>& out) const {
+  encoder_->CollectParameters(prefix + "enc.", out);
+  head_->CollectParameters(prefix + "head.", out);
+}
+
+}  // namespace goalex::nn

@@ -1,0 +1,134 @@
+#ifndef GOALEX_NN_TRANSFORMER_H_
+#define GOALEX_NN_TRANSFORMER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace goalex::nn {
+
+/// Architecture hyperparameters of the transformer encoder. The presets in
+/// core/config.h instantiate the model families compared in Figure 4
+/// (RoBERTa-like vs BERT-like, original vs distilled).
+struct TransformerConfig {
+  int32_t vocab_size = 0;
+  int32_t max_seq_len = 128;
+  int32_t d_model = 64;
+  int32_t heads = 4;
+  int32_t layers = 2;
+  int32_t ffn_dim = 128;
+  float dropout = 0.1f;
+  /// BERT uses fixed sinusoidal position encodings in this reproduction;
+  /// RoBERTa uses learned position embeddings.
+  bool sinusoidal_positions = false;
+};
+
+/// One pre-LN encoder layer:
+///   x = x + Attn(LN1(x));  x = x + FFN(LN2(x))
+/// with FFN(h) = Gelu(h W1 + b1) W2 + b2.
+class EncoderLayer : public Module {
+ public:
+  EncoderLayer(const TransformerConfig& config, Rng& rng);
+
+  tensor::Var Forward(const tensor::Var& x, bool training, Rng& rng) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParam>& out) const override;
+
+ private:
+  TransformerConfig config_;
+  std::unique_ptr<Linear> q_proj_, k_proj_, v_proj_, o_proj_;
+  std::unique_ptr<Linear> ffn_in_, ffn_out_;
+  tensor::Var ln1_gamma_, ln1_beta_, ln2_gamma_, ln2_beta_;
+};
+
+/// Transformer encoder: token embeddings + position encodings -> N encoder
+/// layers -> final LayerNorm. Processes one sequence at a time ([T] token
+/// ids -> [T, d_model] contextual states); batching is done by gradient
+/// accumulation in the trainer.
+class TransformerEncoder : public Module {
+ public:
+  TransformerEncoder(const TransformerConfig& config, Rng& rng);
+
+  /// Encodes `ids` (length <= max_seq_len; longer inputs are truncated).
+  tensor::Var Forward(const std::vector<int32_t>& ids, bool training,
+                      Rng& rng) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParam>& out) const override;
+
+  const TransformerConfig& config() const { return config_; }
+
+ private:
+  TransformerConfig config_;
+  tensor::Var token_embedding_;     ///< [vocab, d_model]
+  tensor::Var position_embedding_;  ///< [max_seq_len, d_model]
+  bool position_trainable_;
+  std::vector<std::unique_ptr<EncoderLayer>> layers_;
+  tensor::Var final_gamma_, final_beta_;
+};
+
+/// Token classification model: encoder + linear head to `num_labels`
+/// per-token logits. This is the sequence-labeling model of Section 3.3.
+class TokenClassifier : public Module {
+ public:
+  TokenClassifier(const TransformerConfig& config, int32_t num_labels,
+                  Rng& rng);
+
+  /// Returns per-token logits [T', num_labels] where T' = min(T, max_len).
+  tensor::Var ForwardLogits(const std::vector<int32_t>& ids, bool training,
+                            Rng& rng) const;
+
+  /// Computes the mean cross-entropy loss against `targets` (-1 = ignore).
+  /// Target vector longer than the truncated input is truncated to match.
+  tensor::Var ForwardLoss(const std::vector<int32_t>& ids,
+                          const std::vector<int32_t>& targets, bool training,
+                          Rng& rng) const;
+
+  /// Greedy per-token prediction (argmax over labels).
+  std::vector<int32_t> Predict(const std::vector<int32_t>& ids) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParam>& out) const override;
+
+  const TransformerEncoder& encoder() const { return *encoder_; }
+  int32_t num_labels() const { return num_labels_; }
+
+ private:
+  std::unique_ptr<TransformerEncoder> encoder_;
+  std::unique_ptr<Linear> head_;
+  int32_t num_labels_;
+  mutable Rng inference_rng_;  ///< Unused randomness source for eval passes.
+};
+
+/// Sequence classification model: encoder + mean pooling + linear head.
+/// Used by the GoalSpotter objective-detection substrate.
+class SequenceClassifier : public Module {
+ public:
+  SequenceClassifier(const TransformerConfig& config, int32_t num_classes,
+                     Rng& rng);
+
+  tensor::Var ForwardLogits(const std::vector<int32_t>& ids, bool training,
+                            Rng& rng) const;
+  tensor::Var ForwardLoss(const std::vector<int32_t>& ids, int32_t target,
+                          bool training, Rng& rng) const;
+  int32_t Predict(const std::vector<int32_t>& ids) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParam>& out) const override;
+
+ private:
+  std::unique_ptr<TransformerEncoder> encoder_;
+  std::unique_ptr<Linear> head_;
+  int32_t num_classes_;
+  mutable Rng inference_rng_;
+};
+
+}  // namespace goalex::nn
+
+#endif  // GOALEX_NN_TRANSFORMER_H_

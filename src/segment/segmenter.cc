@@ -1,0 +1,91 @@
+#include "segment/segmenter.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace goalex::segment {
+namespace {
+
+// Returns true if the word starting at `pos` looks like a gerund verb
+// ("reducing", "phasing") — the signature of a coordinated second target
+// ("... and expanding solar capacity ...").
+bool IsGerundAt(std::string_view text, size_t pos) {
+  size_t end = pos;
+  while (end < text.size() &&
+         (std::isalpha(static_cast<unsigned char>(text[end])) ||
+          text[end] == '-')) {
+    ++end;
+  }
+  std::string_view word = text.substr(pos, end - pos);
+  return word.size() > 5 && EndsWith(word, "ing");
+}
+
+// Returns true if `text` positions [pos, ...) start with `prefix`.
+bool MatchAt(std::string_view text, size_t pos, std::string_view prefix) {
+  return text.size() - pos >= prefix.size() &&
+         text.substr(pos, prefix.size()) == prefix;
+}
+
+}  // namespace
+
+std::vector<Segment> ObjectiveSegmenter::Split(
+    std::string_view objective) const {
+  std::vector<size_t> cut_positions;   // Where a new clause starts.
+  std::vector<size_t> cut_lengths;     // Length of the separator consumed.
+
+  for (size_t i = 0; i + 1 < objective.size(); ++i) {
+    // Semicolons always separate targets.
+    if (objective[i] == ';') {
+      cut_positions.push_back(i);
+      cut_lengths.push_back(1);
+      continue;
+    }
+    // " as well as " separates targets.
+    if (MatchAt(objective, i, " as well as ")) {
+      cut_positions.push_back(i);
+      cut_lengths.push_back(12);
+      continue;
+    }
+    // " and <gerund>" / ", and <gerund>" / " and to <verb>" separate
+    // targets; a plain " and " between nouns does not.
+    if (MatchAt(objective, i, " and ")) {
+      size_t after = i + 5;
+      if (after < objective.size() &&
+          (IsGerundAt(objective, after) ||
+           MatchAt(objective, i, " and to "))) {
+        cut_positions.push_back(i);
+        cut_lengths.push_back(5);
+      }
+      continue;
+    }
+  }
+
+  std::vector<Segment> segments;
+  size_t start = 0;
+  for (size_t c = 0; c < cut_positions.size(); ++c) {
+    size_t cut = cut_positions[c];
+    if (cut <= start) continue;
+    std::string_view clause = objective.substr(start, cut - start);
+    std::string_view trimmed = StripAsciiWhitespace(clause);
+    if (!trimmed.empty()) {
+      size_t offset = start + (trimmed.data() - clause.data());
+      segments.push_back(
+          Segment{std::string(trimmed), offset, offset + trimmed.size()});
+    }
+    start = cut + cut_lengths[c];
+  }
+  std::string_view tail = objective.substr(start);
+  std::string_view trimmed = StripAsciiWhitespace(tail);
+  if (!trimmed.empty()) {
+    size_t offset = start + (trimmed.data() - tail.data());
+    segments.push_back(
+        Segment{std::string(trimmed), offset, offset + trimmed.size()});
+  }
+  if (segments.empty()) {
+    segments.push_back(Segment{std::string(objective), 0, objective.size()});
+  }
+  return segments;
+}
+
+}  // namespace goalex::segment

@@ -1,0 +1,42 @@
+#ifndef GOALEX_SEGMENT_SEGMENTER_H_
+#define GOALEX_SEGMENT_SEGMENTER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace goalex::segment {
+
+/// One single-target clause of a (possibly multi-target) objective.
+struct Segment {
+  std::string text;
+  size_t begin = 0;  ///< Byte offset in the original objective, inclusive.
+  size_t end = 0;    ///< Byte offset, exclusive.
+
+  friend bool operator==(const Segment& a, const Segment& b) {
+    return a.text == b.text && a.begin == b.begin && a.end == b.end;
+  }
+};
+
+/// Objective segmentation — the paper's Section 5.3 names it as the
+/// improvement for objectives that "contain multiple actions or targets
+/// within a single sentence" and confuse the extraction model. Splits an
+/// objective into single-target clauses at coordinating patterns
+/// ("... and <gerund> ...", "; ", " as well as ", " and to <verb> ...")
+/// while leaving coordinated noun phrases ("water and waste targets")
+/// intact.
+class ObjectiveSegmenter {
+ public:
+  /// Splits `objective` into 1..n clauses. A text without multi-target
+  /// coordination comes back as a single segment spanning the whole input.
+  std::vector<Segment> Split(std::string_view objective) const;
+
+  /// Convenience: true if Split() produces more than one clause.
+  bool IsMultiTarget(std::string_view objective) const {
+    return Split(objective).size() > 1;
+  }
+};
+
+}  // namespace goalex::segment
+
+#endif  // GOALEX_SEGMENT_SEGMENTER_H_

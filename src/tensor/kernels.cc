@@ -1,0 +1,105 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace goalex::tensor {
+
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, sizeof(float) * m * n);
+  // ikj loop order: innermost loop streams over contiguous rows of B and C.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (int64_t l = 0; l < k; ++l) {
+      float a_val = a_row[l];
+      if (a_val == 0.0f) continue;
+      const float* b_row = b + l * n;
+      for (int64_t j = 0; j < n; ++j) {
+        c_row[j] += a_val * b_row[j];
+      }
+    }
+  }
+}
+
+void GemmTransB(const float* a, const float* b, float* c, int64_t m,
+                int64_t n, int64_t k, bool accumulate) {
+  // C[i][j] = dot(A row i, B row j); both rows are contiguous.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * n;
+    float* c_row = c + i * k;
+    for (int64_t j = 0; j < k; ++j) {
+      const float* b_row = b + j * n;
+      float sum = 0.0f;
+      for (int64_t l = 0; l < n; ++l) sum += a_row[l] * b_row[l];
+      if (accumulate) {
+        c_row[j] += sum;
+      } else {
+        c_row[j] = sum;
+      }
+    }
+  }
+}
+
+void GemmTransA(const float* a, const float* b, float* c, int64_t m,
+                int64_t k, int64_t n, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, sizeof(float) * k * n);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    const float* b_row = b + i * n;
+    for (int64_t l = 0; l < k; ++l) {
+      float a_val = a_row[l];
+      if (a_val == 0.0f) continue;
+      float* c_row = c + l * n;
+      for (int64_t j = 0; j < n; ++j) {
+        c_row[j] += a_val * b_row[j];
+      }
+    }
+  }
+}
+
+void SoftmaxRow(const float* x, float* out, int64_t n) {
+  float max_val = -std::numeric_limits<float>::infinity();
+  for (int64_t i = 0; i < n; ++i) {
+    if (x[i] > kSoftmaxMask / 2 && x[i] > max_val) max_val = x[i];
+  }
+  if (!std::isfinite(max_val)) {
+    // Everything masked: uniform output avoids NaN downstream.
+    float uniform = 1.0f / static_cast<float>(n);
+    for (int64_t i = 0; i < n; ++i) out[i] = uniform;
+    return;
+  }
+  double sum = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (x[i] <= kSoftmaxMask / 2) {
+      out[i] = 0.0f;
+    } else {
+      out[i] = std::exp(x[i] - max_val);
+      sum += out[i];
+    }
+  }
+  float inv = static_cast<float>(1.0 / sum);
+  for (int64_t i = 0; i < n; ++i) out[i] *= inv;
+}
+
+double LogSumExp(const float* x, int64_t n) {
+  float max_val = *std::max_element(x, x + n);
+  if (!std::isfinite(max_val)) return max_val;
+  double sum = 0.0;
+  for (int64_t i = 0; i < n; ++i) sum += std::exp(x[i] - max_val);
+  return max_val + std::log(sum);
+}
+
+void Axpy(float alpha, const float* x, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+double Dot(const float* x, const float* y, int64_t n) {
+  double sum = 0.0;
+  for (int64_t i = 0; i < n; ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+}  // namespace goalex::tensor

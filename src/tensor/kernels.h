@@ -1,0 +1,41 @@
+#ifndef GOALEX_TENSOR_KERNELS_H_
+#define GOALEX_TENSOR_KERNELS_H_
+
+#include <cstdint>
+
+namespace goalex::tensor {
+
+/// Raw single-threaded float kernels shared by the autograd ops, the CRF,
+/// and the classifier. All matrices are dense row-major.
+
+/// C[m,n] (+)= A[m,k] * B[k,n]. When `accumulate` is false C is overwritten.
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n, bool accumulate);
+
+/// C[m,k] (+)= A[m,n] * B[k,n]^T  (i.e., A times B-transposed).
+void GemmTransB(const float* a, const float* b, float* c, int64_t m,
+                int64_t n, int64_t k, bool accumulate);
+
+/// C[k,n] (+)= A[m,k]^T * B[m,n]  (i.e., A-transposed times B).
+void GemmTransA(const float* a, const float* b, float* c, int64_t m,
+                int64_t k, int64_t n, bool accumulate);
+
+/// out[i] = softmax(x)[i] over n entries. Numerically stable. Entries equal
+/// to kSoftmaxMask are treated as masked (probability exactly 0).
+void SoftmaxRow(const float* x, float* out, int64_t n);
+
+/// Large negative value used to mask attention logits.
+inline constexpr float kSoftmaxMask = -1e30f;
+
+/// log(sum(exp(x))) over n entries, numerically stable.
+double LogSumExp(const float* x, int64_t n);
+
+/// y += alpha * x over n entries.
+void Axpy(float alpha, const float* x, float* y, int64_t n);
+
+/// Dot product over n entries.
+double Dot(const float* x, const float* y, int64_t n);
+
+}  // namespace goalex::tensor
+
+#endif  // GOALEX_TENSOR_KERNELS_H_

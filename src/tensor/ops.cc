@@ -1,0 +1,520 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/check.h"
+#include "tensor/kernels.h"
+
+namespace goalex::tensor {
+namespace {
+
+constexpr float kGeluCoef = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluCubic = 0.044715f;
+
+void CheckSameShape(const Var& a, const Var& b) {
+  GOALEX_CHECK(a != nullptr && b != nullptr);
+  GOALEX_CHECK_MSG(a->value().shape() == b->value().shape(),
+                   "shape mismatch: " << a->value().DebugString() << " vs "
+                                      << b->value().DebugString());
+}
+
+}  // namespace
+
+Var Add(const Var& a, const Var& b) {
+  CheckSameShape(a, b);
+  Tensor out = a->value().Clone();
+  Axpy(1.0f, b->value().data(), out.data(), out.numel());
+  return MakeOp(std::move(out), {a, b}, [](Node& node) {
+    const Tensor& g = node.grad();
+    for (const Var& input : node.inputs()) {
+      if (input->requires_grad()) {
+        Axpy(1.0f, g.data(), input->grad().data(), g.numel());
+      }
+    }
+  });
+}
+
+Var AddBias(const Var& x, const Var& bias) {
+  GOALEX_CHECK(x->value().rank() == 2 && bias->value().rank() == 1);
+  int64_t m = x->value().dim(0);
+  int64_t n = x->value().dim(1);
+  GOALEX_CHECK_EQ(bias->value().dim(0), n);
+  Tensor out = x->value().Clone();
+  for (int64_t i = 0; i < m; ++i) {
+    Axpy(1.0f, bias->value().data(), out.data() + i * n, n);
+  }
+  return MakeOp(std::move(out), {x, bias}, [m, n](Node& node) {
+    const float* g = node.grad().data();
+    Var x_in = node.inputs()[0];
+    Var b_in = node.inputs()[1];
+    if (x_in->requires_grad()) {
+      Axpy(1.0f, g, x_in->grad().data(), m * n);
+    }
+    if (b_in->requires_grad()) {
+      float* gb = b_in->grad().data();
+      for (int64_t i = 0; i < m; ++i) Axpy(1.0f, g + i * n, gb, n);
+    }
+  });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  CheckSameShape(a, b);
+  Tensor out(a->value().shape());
+  const float* pa = a->value().data();
+  const float* pb = b->value().data();
+  float* po = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) po[i] = pa[i] * pb[i];
+  return MakeOp(std::move(out), {a, b}, [](Node& node) {
+    const float* g = node.grad().data();
+    Var a_in = node.inputs()[0];
+    Var b_in = node.inputs()[1];
+    int64_t n = node.grad().numel();
+    if (a_in->requires_grad()) {
+      float* ga = a_in->grad().data();
+      const float* vb = b_in->value().data();
+      for (int64_t i = 0; i < n; ++i) ga[i] += g[i] * vb[i];
+    }
+    if (b_in->requires_grad()) {
+      float* gb = b_in->grad().data();
+      const float* va = a_in->value().data();
+      for (int64_t i = 0; i < n; ++i) gb[i] += g[i] * va[i];
+    }
+  });
+}
+
+Var Scale(const Var& x, float alpha) {
+  Tensor out = x->value().Clone();
+  float* p = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) p[i] *= alpha;
+  return MakeOp(std::move(out), {x}, [alpha](Node& node) {
+    Var x_in = node.inputs()[0];
+    if (x_in->requires_grad()) {
+      Axpy(alpha, node.grad().data(), x_in->grad().data(),
+           node.grad().numel());
+    }
+  });
+}
+
+Var MatMul(const Var& a, const Var& b) {
+  GOALEX_CHECK(a->value().rank() == 2 && b->value().rank() == 2);
+  int64_t m = a->value().dim(0);
+  int64_t k = a->value().dim(1);
+  GOALEX_CHECK_EQ(b->value().dim(0), k);
+  int64_t n = b->value().dim(1);
+  Tensor out({m, n});
+  Gemm(a->value().data(), b->value().data(), out.data(), m, k, n, false);
+  return MakeOp(std::move(out), {a, b}, [m, k, n](Node& node) {
+    const float* g = node.grad().data();
+    Var a_in = node.inputs()[0];
+    Var b_in = node.inputs()[1];
+    if (a_in->requires_grad()) {
+      // dA[m,k] += G[m,n] * B[k,n]^T
+      GemmTransB(g, b_in->value().data(), a_in->grad().data(), m, n, k, true);
+    }
+    if (b_in->requires_grad()) {
+      // dB[k,n] += A[m,k]^T * G[m,n]
+      GemmTransA(a_in->value().data(), g, b_in->grad().data(), m, k, n, true);
+    }
+  });
+}
+
+Var Gelu(const Var& x) {
+  Tensor out(x->value().shape());
+  const float* px = x->value().data();
+  float* po = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    float v = px[i];
+    float u = kGeluCoef * (v + kGeluCubic * v * v * v);
+    po[i] = 0.5f * v * (1.0f + std::tanh(u));
+  }
+  return MakeOp(std::move(out), {x}, [](Node& node) {
+    Var x_in = node.inputs()[0];
+    if (!x_in->requires_grad()) return;
+    const float* g = node.grad().data();
+    const float* px = x_in->value().data();
+    float* gx = x_in->grad().data();
+    for (int64_t i = 0; i < node.grad().numel(); ++i) {
+      float v = px[i];
+      float u = kGeluCoef * (v + kGeluCubic * v * v * v);
+      float t = std::tanh(u);
+      float du = kGeluCoef * (1.0f + 3.0f * kGeluCubic * v * v);
+      float dgelu = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
+      gx[i] += g[i] * dgelu;
+    }
+  });
+}
+
+Var TanhOp(const Var& x) {
+  Tensor out(x->value().shape());
+  const float* px = x->value().data();
+  float* po = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) po[i] = std::tanh(px[i]);
+  Tensor out_copy = out;  // Shared storage; cheap.
+  return MakeOp(std::move(out), {x}, [out_copy](Node& node) {
+    Var x_in = node.inputs()[0];
+    if (!x_in->requires_grad()) return;
+    const float* g = node.grad().data();
+    const float* t = out_copy.data();
+    float* gx = x_in->grad().data();
+    for (int64_t i = 0; i < node.grad().numel(); ++i) {
+      gx[i] += g[i] * (1.0f - t[i] * t[i]);
+    }
+  });
+}
+
+Var LayerNorm(const Var& x, const Var& gamma, const Var& beta, float eps) {
+  GOALEX_CHECK(x->value().rank() == 2);
+  int64_t m = x->value().dim(0);
+  int64_t n = x->value().dim(1);
+  GOALEX_CHECK_EQ(gamma->value().numel(), n);
+  GOALEX_CHECK_EQ(beta->value().numel(), n);
+
+  Tensor out({m, n});
+  // xhat and 1/std are needed in backward; store them in the closure.
+  auto xhat = std::make_shared<Tensor>(Tensor({m, n}));
+  auto inv_std = std::make_shared<std::vector<float>>(m);
+  const float* px = x->value().data();
+  const float* pg = gamma->value().data();
+  const float* pb = beta->value().data();
+  float* po = out.data();
+  float* ph = xhat->data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = px + i * n;
+    double mean = 0.0;
+    for (int64_t j = 0; j < n; ++j) mean += row[j];
+    mean /= n;
+    double var = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      double d = row[j] - mean;
+      var += d * d;
+    }
+    var /= n;
+    float inv = static_cast<float>(1.0 / std::sqrt(var + eps));
+    (*inv_std)[i] = inv;
+    for (int64_t j = 0; j < n; ++j) {
+      float h = (row[j] - static_cast<float>(mean)) * inv;
+      ph[i * n + j] = h;
+      po[i * n + j] = pg[j] * h + pb[j];
+    }
+  }
+
+  return MakeOp(
+      std::move(out), {x, gamma, beta}, [m, n, xhat, inv_std](Node& node) {
+        const float* g = node.grad().data();
+        Var x_in = node.inputs()[0];
+        Var gamma_in = node.inputs()[1];
+        Var beta_in = node.inputs()[2];
+        const float* pg = gamma_in->value().data();
+        const float* ph = xhat->data();
+
+        if (gamma_in->requires_grad()) {
+          float* gg = gamma_in->grad().data();
+          for (int64_t i = 0; i < m; ++i) {
+            for (int64_t j = 0; j < n; ++j) {
+              gg[j] += g[i * n + j] * ph[i * n + j];
+            }
+          }
+        }
+        if (beta_in->requires_grad()) {
+          float* gb = beta_in->grad().data();
+          for (int64_t i = 0; i < m; ++i) {
+            Axpy(1.0f, g + i * n, gb, n);
+          }
+        }
+        if (x_in->requires_grad()) {
+          float* gx = x_in->grad().data();
+          for (int64_t i = 0; i < m; ++i) {
+            // dxhat = dy * gamma; dx = inv_std * (dxhat - mean(dxhat)
+            //         - xhat * mean(dxhat * xhat)).
+            double sum_dh = 0.0;
+            double sum_dh_h = 0.0;
+            for (int64_t j = 0; j < n; ++j) {
+              float dh = g[i * n + j] * pg[j];
+              sum_dh += dh;
+              sum_dh_h += dh * ph[i * n + j];
+            }
+            float mean_dh = static_cast<float>(sum_dh / n);
+            float mean_dh_h = static_cast<float>(sum_dh_h / n);
+            float inv = (*inv_std)[i];
+            for (int64_t j = 0; j < n; ++j) {
+              float dh = g[i * n + j] * pg[j];
+              gx[i * n + j] +=
+                  inv * (dh - mean_dh - ph[i * n + j] * mean_dh_h);
+            }
+          }
+        }
+      });
+}
+
+Var Dropout(const Var& x, float p, bool training, Rng& rng) {
+  GOALEX_CHECK(p >= 0.0f && p < 1.0f);
+  if (!training || p == 0.0f) return x;
+  float keep = 1.0f - p;
+  float scale = 1.0f / keep;
+  auto mask = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(x->value().numel()));
+  Tensor out(x->value().shape());
+  const float* px = x->value().data();
+  float* po = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    float m = rng.NextBernoulli(p) ? 0.0f : scale;
+    (*mask)[static_cast<size_t>(i)] = m;
+    po[i] = px[i] * m;
+  }
+  return MakeOp(std::move(out), {x}, [mask](Node& node) {
+    Var x_in = node.inputs()[0];
+    if (!x_in->requires_grad()) return;
+    const float* g = node.grad().data();
+    float* gx = x_in->grad().data();
+    for (int64_t i = 0; i < node.grad().numel(); ++i) {
+      gx[i] += g[i] * (*mask)[static_cast<size_t>(i)];
+    }
+  });
+}
+
+Var EmbeddingGather(const Var& table, const std::vector<int32_t>& ids) {
+  GOALEX_CHECK(table->value().rank() == 2);
+  int64_t vocab = table->value().dim(0);
+  int64_t d = table->value().dim(1);
+  Tensor out({static_cast<int64_t>(ids.size()), d});
+  const float* pt = table->value().data();
+  float* po = out.data();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    GOALEX_CHECK_MSG(ids[i] >= 0 && ids[i] < vocab,
+                     "embedding id " << ids[i] << " out of range " << vocab);
+    std::copy(pt + ids[i] * d, pt + (ids[i] + 1) * d, po + i * d);
+  }
+  auto ids_copy = std::make_shared<std::vector<int32_t>>(ids);
+  return MakeOp(std::move(out), {table}, [ids_copy, d](Node& node) {
+    Var table_in = node.inputs()[0];
+    if (!table_in->requires_grad()) return;
+    const float* g = node.grad().data();
+    float* gt = table_in->grad().data();
+    for (size_t i = 0; i < ids_copy->size(); ++i) {
+      Axpy(1.0f, g + i * d, gt + (*ids_copy)[i] * d, d);
+    }
+  });
+}
+
+Var AttentionCore(const Var& q, const Var& k, const Var& v, int32_t heads) {
+  GOALEX_CHECK(q->value().rank() == 2);
+  CheckSameShape(q, k);
+  CheckSameShape(q, v);
+  int64_t t = q->value().dim(0);
+  int64_t d = q->value().dim(1);
+  GOALEX_CHECK_GT(heads, 0);
+  GOALEX_CHECK_MSG(d % heads == 0, "d_model " << d << " not divisible by "
+                                              << heads << " heads");
+  int64_t dh = d / heads;
+  float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  // Per-head softmax probabilities, kept for backward: heads x [t, t].
+  auto probs = std::make_shared<std::vector<Tensor>>();
+  probs->reserve(static_cast<size_t>(heads));
+
+  Tensor out({t, d});
+  std::vector<float> qa(t * dh), ka(t * dh), va(t * dh), oa(t * dh);
+  std::vector<float> scores(t * t);
+  const float* pq = q->value().data();
+  const float* pk = k->value().data();
+  const float* pv = v->value().data();
+  float* po = out.data();
+
+  auto slice_head = [t, d, dh](const float* src, int32_t head,
+                               std::vector<float>& dst) {
+    for (int64_t i = 0; i < t; ++i) {
+      const float* row = src + i * d + head * dh;
+      std::copy(row, row + dh, dst.begin() + i * dh);
+    }
+  };
+
+  for (int32_t a = 0; a < heads; ++a) {
+    slice_head(pq, a, qa);
+    slice_head(pk, a, ka);
+    slice_head(pv, a, va);
+    // S = scale * Qa * Ka^T  [t, t]
+    GemmTransB(qa.data(), ka.data(), scores.data(), t, dh, t, false);
+    for (float& s : scores) s *= scale;
+    Tensor p({t, t});
+    for (int64_t i = 0; i < t; ++i) {
+      SoftmaxRow(scores.data() + i * t, p.data() + i * t, t);
+    }
+    // Oa = P * Va  [t, dh]
+    Gemm(p.data(), va.data(), oa.data(), t, t, dh, false);
+    for (int64_t i = 0; i < t; ++i) {
+      std::copy(oa.begin() + i * dh, oa.begin() + (i + 1) * dh,
+                po + i * d + a * dh);
+    }
+    probs->push_back(std::move(p));
+  }
+
+  return MakeOp(
+      std::move(out), {q, k, v},
+      [t, d, dh, heads, scale, probs](Node& node) {
+        Var q_in = node.inputs()[0];
+        Var k_in = node.inputs()[1];
+        Var v_in = node.inputs()[2];
+        const float* g = node.grad().data();
+        const float* pq = q_in->value().data();
+        const float* pk = k_in->value().data();
+        const float* pv = v_in->value().data();
+
+        std::vector<float> qa(t * dh), ka(t * dh), va(t * dh);
+        std::vector<float> doa(t * dh), dp(t * t), ds(t * t);
+        std::vector<float> dqa(t * dh), dka(t * dh), dva(t * dh);
+
+        auto slice_head = [t, d, dh](const float* src, int32_t head,
+                                     std::vector<float>& dst) {
+          for (int64_t i = 0; i < t; ++i) {
+            const float* row = src + i * d + head * dh;
+            std::copy(row, row + dh, dst.begin() + i * dh);
+          }
+        };
+        auto unslice_head_add = [t, d, dh](const std::vector<float>& src,
+                                           int32_t head, float* dst) {
+          for (int64_t i = 0; i < t; ++i) {
+            float* row = dst + i * d + head * dh;
+            for (int64_t j = 0; j < dh; ++j) row[j] += src[i * dh + j];
+          }
+        };
+
+        for (int32_t a = 0; a < heads; ++a) {
+          slice_head(pq, a, qa);
+          slice_head(pk, a, ka);
+          slice_head(pv, a, va);
+          // dOa: slice of output grad.
+          for (int64_t i = 0; i < t; ++i) {
+            const float* row = g + i * d + a * dh;
+            std::copy(row, row + dh, doa.begin() + i * dh);
+          }
+          const Tensor& p = (*probs)[static_cast<size_t>(a)];
+          // dP = dOa * Va^T  [t, t]
+          GemmTransB(doa.data(), va.data(), dp.data(), t, dh, t, false);
+          // dVa = P^T * dOa  [t, dh]
+          GemmTransA(p.data(), doa.data(), dva.data(), t, t, dh, false);
+          // dS[i,j] = P[i,j] * (dP[i,j] - sum_l dP[i,l] P[i,l])
+          for (int64_t i = 0; i < t; ++i) {
+            const float* p_row = p.data() + i * t;
+            const float* dp_row = dp.data() + i * t;
+            float inner = static_cast<float>(Dot(dp_row, p_row, t));
+            float* ds_row = ds.data() + i * t;
+            for (int64_t j = 0; j < t; ++j) {
+              ds_row[j] = p_row[j] * (dp_row[j] - inner);
+            }
+          }
+          // dQa = scale * dS * Ka ; dKa = scale * dS^T * Qa
+          Gemm(ds.data(), ka.data(), dqa.data(), t, t, dh, false);
+          GemmTransA(ds.data(), qa.data(), dka.data(), t, t, dh, false);
+          for (float& x : dqa) x *= scale;
+          for (float& x : dka) x *= scale;
+
+          if (q_in->requires_grad()) {
+            unslice_head_add(dqa, a, q_in->grad().data());
+          }
+          if (k_in->requires_grad()) {
+            unslice_head_add(dka, a, k_in->grad().data());
+          }
+          if (v_in->requires_grad()) {
+            unslice_head_add(dva, a, v_in->grad().data());
+          }
+        }
+      });
+}
+
+Var CrossEntropy(const Var& logits, const std::vector<int32_t>& targets) {
+  GOALEX_CHECK(logits->value().rank() == 2);
+  int64_t t = logits->value().dim(0);
+  int64_t c = logits->value().dim(1);
+  GOALEX_CHECK_EQ(static_cast<size_t>(t), targets.size());
+
+  auto probs = std::make_shared<Tensor>(Tensor({t, c}));
+  const float* pl = logits->value().data();
+  float* pp = probs->data();
+  int64_t valid = 0;
+  double loss = 0.0;
+  for (int64_t i = 0; i < t; ++i) {
+    SoftmaxRow(pl + i * c, pp + i * c, c);
+    int32_t y = targets[static_cast<size_t>(i)];
+    if (y < 0) continue;
+    GOALEX_CHECK_LT(y, c);
+    ++valid;
+    loss -= std::log(std::max(pp[i * c + y], 1e-12f));
+  }
+  if (valid > 0) loss /= valid;
+
+  Tensor out = Tensor::FromValues({1}, {static_cast<float>(loss)});
+  auto targets_copy = std::make_shared<std::vector<int32_t>>(targets);
+  return MakeOp(
+      std::move(out), {logits},
+      [t, c, valid, probs, targets_copy](Node& node) {
+        Var logits_in = node.inputs()[0];
+        if (!logits_in->requires_grad() || valid == 0) return;
+        float g = node.grad().data()[0];
+        float* gl = logits_in->grad().data();
+        const float* pp = probs->data();
+        float inv = g / static_cast<float>(valid);
+        for (int64_t i = 0; i < t; ++i) {
+          int32_t y = (*targets_copy)[static_cast<size_t>(i)];
+          if (y < 0) continue;
+          for (int64_t j = 0; j < c; ++j) {
+            gl[i * c + j] += inv * pp[i * c + j];
+          }
+          gl[i * c + y] -= inv;
+        }
+      });
+}
+
+Var SelectRow(const Var& x, int64_t row) {
+  GOALEX_CHECK(x->value().rank() == 2);
+  int64_t m = x->value().dim(0);
+  int64_t n = x->value().dim(1);
+  GOALEX_CHECK(row >= 0 && row < m);
+  Tensor out({1, n});
+  std::copy(x->value().data() + row * n, x->value().data() + (row + 1) * n,
+            out.data());
+  return MakeOp(std::move(out), {x}, [row, n](Node& node) {
+    Var x_in = node.inputs()[0];
+    if (!x_in->requires_grad()) return;
+    Axpy(1.0f, node.grad().data(), x_in->grad().data() + row * n, n);
+  });
+}
+
+Var MeanRows(const Var& x) {
+  GOALEX_CHECK(x->value().rank() == 2);
+  int64_t m = x->value().dim(0);
+  int64_t n = x->value().dim(1);
+  GOALEX_CHECK_GT(m, 0);
+  Tensor out({1, n});
+  float* po = out.data();
+  const float* px = x->value().data();
+  for (int64_t i = 0; i < m; ++i) Axpy(1.0f, px + i * n, po, n);
+  float inv = 1.0f / static_cast<float>(m);
+  for (int64_t j = 0; j < n; ++j) po[j] *= inv;
+  return MakeOp(std::move(out), {x}, [m, n, inv](Node& node) {
+    Var x_in = node.inputs()[0];
+    if (!x_in->requires_grad()) return;
+    const float* g = node.grad().data();
+    float* gx = x_in->grad().data();
+    for (int64_t i = 0; i < m; ++i) Axpy(inv, g, gx + i * n, n);
+  });
+}
+
+std::vector<int32_t> ArgmaxRows(const Var& x) {
+  GOALEX_CHECK(x->value().rank() == 2);
+  int64_t m = x->value().dim(0);
+  int64_t n = x->value().dim(1);
+  std::vector<int32_t> out(static_cast<size_t>(m));
+  const float* px = x->value().data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = px + i * n;
+    int32_t best = 0;
+    for (int64_t j = 1; j < n; ++j) {
+      if (row[j] > row[best]) best = static_cast<int32_t>(j);
+    }
+    out[static_cast<size_t>(i)] = best;
+  }
+  return out;
+}
+
+}  // namespace goalex::tensor

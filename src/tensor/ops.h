@@ -1,0 +1,73 @@
+#ifndef GOALEX_TENSOR_OPS_H_
+#define GOALEX_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/variable.h"
+
+namespace goalex::tensor {
+
+/// Differentiable ops over Vars. All ops validate shapes with CHECKs (shape
+/// mismatches are programming errors, not data errors).
+
+/// Elementwise sum; shapes must match.
+Var Add(const Var& a, const Var& b);
+
+/// Adds a bias row vector to every row: x[m,n] + bias[n].
+Var AddBias(const Var& x, const Var& bias);
+
+/// Elementwise product; shapes must match.
+Var Mul(const Var& a, const Var& b);
+
+/// Multiplies by a compile-time constant scalar.
+Var Scale(const Var& x, float alpha);
+
+/// Matrix product: a[m,k] * b[k,n] -> [m,n].
+Var MatMul(const Var& a, const Var& b);
+
+/// GELU activation (tanh approximation), elementwise.
+Var Gelu(const Var& x);
+
+/// Tanh activation, elementwise.
+Var TanhOp(const Var& x);
+
+/// Layer normalization over the last axis of x[m,n] with learned gain
+/// gamma[n] and offset beta[n].
+Var LayerNorm(const Var& x, const Var& gamma, const Var& beta,
+              float eps = 1e-5f);
+
+/// Inverted dropout. In training mode zeroes entries with probability p and
+/// scales survivors by 1/(1-p); in eval mode returns x unchanged.
+Var Dropout(const Var& x, float p, bool training, Rng& rng);
+
+/// Gathers rows of `table`[V,d] at `ids`, producing [ids.size(), d].
+/// Gradient scatters back into the table.
+Var EmbeddingGather(const Var& table, const std::vector<int32_t>& ids);
+
+/// Multi-head scaled dot-product self-attention core over one sequence:
+/// q,k,v are [T,d] with d divisible by `heads`; returns the concatenated
+/// per-head attention outputs [T,d] (no output projection — compose with
+/// MatMul for that).
+Var AttentionCore(const Var& q, const Var& k, const Var& v, int32_t heads);
+
+/// Mean token-level cross entropy: logits[T,C], targets[t] in [0,C) or -1
+/// to ignore position t. Returns a scalar Var. If every position is ignored
+/// the loss is 0 with zero gradient.
+Var CrossEntropy(const Var& logits, const std::vector<int32_t>& targets);
+
+/// Selects one row of x[m,n] as a [1,n] matrix (used for classification
+/// heads reading the <s> position).
+Var SelectRow(const Var& x, int64_t row);
+
+/// Mean over rows of x[m,n] -> [1,n].
+Var MeanRows(const Var& x);
+
+/// Returns argmax over the last axis for each row of a [m,n] value tensor
+/// (not differentiable; reads the Var's value).
+std::vector<int32_t> ArgmaxRows(const Var& x);
+
+}  // namespace goalex::tensor
+
+#endif  // GOALEX_TENSOR_OPS_H_

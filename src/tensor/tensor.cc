@@ -1,0 +1,122 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace goalex::tensor {
+namespace {
+
+int64_t ComputeNumel(const std::vector<int64_t>& shape) {
+  int64_t numel = 1;
+  for (int64_t d : shape) {
+    GOALEX_CHECK_GE(d, 0);
+    numel *= d;
+  }
+  return numel;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)), numel_(ComputeNumel(shape_)) {
+  data_ = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(numel_), 0.0f);
+}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::RandomNormal(std::vector<int64_t> shape, float stddev,
+                            Rng& rng) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = stddev * static_cast<float>(rng.NextGaussian());
+  }
+  return t;
+}
+
+Tensor Tensor::RandomUniform(std::vector<int64_t> shape, float bound,
+                             Rng& rng) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng.NextUniform(-bound, bound));
+  }
+  return t;
+}
+
+Tensor Tensor::FromValues(std::vector<int64_t> shape,
+                          std::vector<float> values) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = ComputeNumel(t.shape_);
+  GOALEX_CHECK_EQ(static_cast<size_t>(t.numel_), values.size());
+  t.data_ = std::make_shared<std::vector<float>>(std::move(values));
+  return t;
+}
+
+Tensor Tensor::Clone() const {
+  Tensor t;
+  t.shape_ = shape_;
+  t.numel_ = numel_;
+  t.data_ = data_ ? std::make_shared<std::vector<float>>(*data_)
+                  : std::make_shared<std::vector<float>>();
+  return t;
+}
+
+Tensor Tensor::Reshaped(std::vector<int64_t> new_shape) const {
+  GOALEX_CHECK_EQ(ComputeNumel(new_shape), numel_);
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.numel_ = numel_;
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::Fill(float value) {
+  if (!data_) return;
+  for (float& x : *data_) x = value;
+}
+
+double Tensor::Sum() const {
+  if (!data_) return 0.0;
+  double sum = 0.0;
+  for (float x : *data_) sum += x;
+  return sum;
+}
+
+bool Tensor::HasNonFinite() const {
+  if (!data_) return false;
+  for (float x : *data_) {
+    if (!std::isfinite(x)) return true;
+  }
+  return false;
+}
+
+std::string Tensor::DebugString() const {
+  std::ostringstream out;
+  out << "Tensor[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) out << "x";
+    out << shape_[i];
+  }
+  out << "](";
+  int64_t show = std::min<int64_t>(numel_, 8);
+  for (int64_t i = 0; i < show; ++i) {
+    if (i > 0) out << ", ";
+    out << (*data_)[static_cast<size_t>(i)];
+  }
+  if (numel_ > show) out << ", ...";
+  out << ")";
+  return out.str();
+}
+
+}  // namespace goalex::tensor

@@ -1,0 +1,115 @@
+#ifndef GOALEX_TENSOR_TENSOR_H_
+#define GOALEX_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace goalex::tensor {
+
+/// Dense row-major float tensor with shared storage. Copying a Tensor is
+/// cheap (shared_ptr copy); use Clone() for a deep copy. Rank is 1, 2, or 3
+/// in practice (vectors, matrices, batched matrices).
+class Tensor {
+ public:
+  /// Constructs an empty tensor (numel 0).
+  Tensor() = default;
+
+  /// Constructs a zero-filled tensor of the given shape.
+  explicit Tensor(std::vector<int64_t> shape);
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  /// Factory: zero-filled tensor.
+  static Tensor Zeros(std::vector<int64_t> shape);
+
+  /// Factory: constant-filled tensor.
+  static Tensor Full(std::vector<int64_t> shape, float value);
+
+  /// Factory: i.i.d. N(0, stddev^2) entries.
+  static Tensor RandomNormal(std::vector<int64_t> shape, float stddev,
+                             Rng& rng);
+
+  /// Factory: uniform in [-bound, bound].
+  static Tensor RandomUniform(std::vector<int64_t> shape, float bound,
+                              Rng& rng);
+
+  /// Factory: wraps explicit values; value count must match the shape.
+  static Tensor FromValues(std::vector<int64_t> shape,
+                           std::vector<float> values);
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t dim(size_t axis) const {
+    GOALEX_CHECK_LT(axis, shape_.size());
+    return shape_[axis];
+  }
+  size_t rank() const { return shape_.size(); }
+  int64_t numel() const { return numel_; }
+  bool empty() const { return numel_ == 0; }
+
+  float* data() { return data_->data(); }
+  const float* data() const { return data_->data(); }
+
+  /// 1-D element access.
+  float& at(int64_t i) {
+    GOALEX_CHECK(rank() == 1);
+    return (*data_)[CheckIndex(i, shape_[0])];
+  }
+  float at(int64_t i) const {
+    GOALEX_CHECK(rank() == 1);
+    return (*data_)[CheckIndex(i, shape_[0])];
+  }
+
+  /// 2-D element access.
+  float& at(int64_t i, int64_t j) {
+    GOALEX_CHECK(rank() == 2);
+    return (*data_)[CheckIndex(i, shape_[0]) * shape_[1] +
+                    CheckIndex(j, shape_[1])];
+  }
+  float at(int64_t i, int64_t j) const {
+    GOALEX_CHECK(rank() == 2);
+    return (*data_)[CheckIndex(i, shape_[0]) * shape_[1] +
+                    CheckIndex(j, shape_[1])];
+  }
+
+  /// Deep copy.
+  Tensor Clone() const;
+
+  /// Returns a tensor sharing this storage but viewed with a new shape of
+  /// equal numel.
+  Tensor Reshaped(std::vector<int64_t> new_shape) const;
+
+  /// Sets all entries to `value`.
+  void Fill(float value);
+
+  /// Sum of all entries.
+  double Sum() const;
+
+  /// True if any entry is NaN or infinite.
+  bool HasNonFinite() const;
+
+  /// Debug string: shape + first few values.
+  std::string DebugString() const;
+
+ private:
+  static int64_t CheckIndex(int64_t i, int64_t bound) {
+    GOALEX_CHECK_MSG(i >= 0 && i < bound,
+                     "index " << i << " out of range [0, " << bound << ")");
+    return i;
+  }
+
+  std::vector<int64_t> shape_;
+  int64_t numel_ = 0;
+  std::shared_ptr<std::vector<float>> data_;
+};
+
+}  // namespace goalex::tensor
+
+#endif  // GOALEX_TENSOR_TENSOR_H_

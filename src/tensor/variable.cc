@@ -1,0 +1,94 @@
+#include "tensor/variable.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace goalex::tensor {
+
+Tensor& Node::grad() {
+  if (grad_.numel() == 0 && value_.numel() > 0) {
+    grad_ = Tensor::Zeros(value_.shape());
+  }
+  return grad_;
+}
+
+void Node::ZeroGrad() {
+  if (grad_.numel() > 0) grad_.Fill(0.0f);
+}
+
+Var Leaf(Tensor value, bool requires_grad) {
+  Var node = std::make_shared<Node>(std::move(value));
+  node->set_requires_grad(requires_grad);
+  return node;
+}
+
+Var MakeOp(Tensor value, std::vector<Var> inputs,
+           std::function<void(Node&)> backward_fn) {
+  Var node = std::make_shared<Node>(std::move(value));
+  bool needs_grad = false;
+  for (const Var& input : inputs) {
+    if (input && input->requires_grad()) {
+      needs_grad = true;
+      break;
+    }
+  }
+  node->set_requires_grad(needs_grad);
+  if (needs_grad) {
+    node->set_inputs(std::move(inputs));
+    node->set_backward_fn(std::move(backward_fn));
+  }
+  return node;
+}
+
+namespace {
+
+// Iterative post-order DFS building a topological order of the subgraph
+// reachable from `root` through grad-requiring nodes.
+void TopoSort(const Var& root, std::vector<Node*>& order) {
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    size_t next_input;
+  };
+  std::vector<Frame> stack;
+  if (!root->requires_grad()) return;
+  stack.push_back(Frame{root.get(), 0});
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_input < top.node->inputs().size()) {
+      Node* child = top.node->inputs()[top.next_input++].get();
+      if (child != nullptr && child->requires_grad() &&
+          visited.insert(child).second) {
+        stack.push_back(Frame{child, 0});
+      }
+    } else {
+      order.push_back(top.node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Backward(const Var& root) {
+  GOALEX_CHECK(root != nullptr);
+  GOALEX_CHECK_MSG(root->value().numel() == 1,
+                   "Backward root must be scalar, got numel "
+                       << root->value().numel());
+  if (!root->requires_grad()) return;
+
+  std::vector<Node*> order;
+  TopoSort(root, order);
+
+  root->grad().data()[0] += 1.0f;
+  // Post-order gives children before parents; iterate reversed so each
+  // node's full gradient is ready before it propagates to its inputs.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn()) node->backward_fn()(*node);
+  }
+}
+
+}  // namespace goalex::tensor

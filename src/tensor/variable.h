@@ -1,0 +1,78 @@
+#ifndef GOALEX_TENSOR_VARIABLE_H_
+#define GOALEX_TENSOR_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace goalex::tensor {
+
+class Node;
+
+/// A differentiable value in the autograd graph. Ops return Vars; calling
+/// Backward(loss) fills the .grad tensors of every reachable node that
+/// requires gradients.
+using Var = std::shared_ptr<Node>;
+
+/// One node of the tape: a value, its (lazily allocated) gradient, the
+/// input nodes it was computed from, and a closure that propagates this
+/// node's gradient into its inputs.
+class Node {
+ public:
+  explicit Node(Tensor value) : value_(std::move(value)) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const Tensor& value() const { return value_; }
+  Tensor& mutable_value() { return value_; }
+
+  /// Gradient tensor; zero-filled on first access.
+  Tensor& grad();
+  bool has_grad() const { return grad_.numel() > 0; }
+
+  bool requires_grad() const { return requires_grad_; }
+  void set_requires_grad(bool requires_grad) {
+    requires_grad_ = requires_grad;
+  }
+
+  const std::vector<Var>& inputs() const { return inputs_; }
+  void set_inputs(std::vector<Var> inputs) { inputs_ = std::move(inputs); }
+
+  void set_backward_fn(std::function<void(Node&)> fn) {
+    backward_fn_ = std::move(fn);
+  }
+  const std::function<void(Node&)>& backward_fn() const {
+    return backward_fn_;
+  }
+
+  /// Clears the gradient (keeps allocation).
+  void ZeroGrad();
+
+ private:
+  Tensor value_;
+  Tensor grad_;
+  bool requires_grad_ = false;
+  std::vector<Var> inputs_;
+  std::function<void(Node&)> backward_fn_;
+};
+
+/// Creates a leaf node (no inputs). Parameters are leaves with
+/// requires_grad = true; constants/inputs are leaves with false.
+Var Leaf(Tensor value, bool requires_grad);
+
+/// Creates an interior node whose gradient flows to `inputs` via
+/// `backward_fn`. The node requires grad iff any input does.
+Var MakeOp(Tensor value, std::vector<Var> inputs,
+           std::function<void(Node&)> backward_fn);
+
+/// Runs reverse-mode accumulation from `root`, which must hold a scalar
+/// (numel 1); its gradient is seeded with 1. Gradients accumulate — call
+/// ZeroGrad on parameters (or use an optimizer) between steps.
+void Backward(const Var& root);
+
+}  // namespace goalex::tensor
+
+#endif  // GOALEX_TENSOR_VARIABLE_H_

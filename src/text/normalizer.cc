@@ -1,0 +1,150 @@
+#include "text/normalizer.h"
+
+#include <cctype>
+#include <cstdint>
+
+#include "common/string_util.h"
+
+namespace goalex::text {
+namespace {
+
+// Decodes the UTF-8 code point starting at input[pos]. Writes its byte
+// length to *length. Invalid sequences are treated as single Latin-1 bytes.
+uint32_t DecodeUtf8(std::string_view input, size_t pos, size_t* length) {
+  unsigned char b0 = static_cast<unsigned char>(input[pos]);
+  if (b0 < 0x80) {
+    *length = 1;
+    return b0;
+  }
+  auto continuation = [&](size_t offset) -> int {
+    if (pos + offset >= input.size()) return -1;
+    unsigned char b = static_cast<unsigned char>(input[pos + offset]);
+    if ((b & 0xC0) != 0x80) return -1;
+    return b & 0x3F;
+  };
+  if ((b0 & 0xE0) == 0xC0) {
+    int c1 = continuation(1);
+    if (c1 >= 0) {
+      *length = 2;
+      return (static_cast<uint32_t>(b0 & 0x1F) << 6) | c1;
+    }
+  } else if ((b0 & 0xF0) == 0xE0) {
+    int c1 = continuation(1), c2 = continuation(2);
+    if (c1 >= 0 && c2 >= 0) {
+      *length = 3;
+      return (static_cast<uint32_t>(b0 & 0x0F) << 12) | (c1 << 6) | c2;
+    }
+  } else if ((b0 & 0xF8) == 0xF0) {
+    int c1 = continuation(1), c2 = continuation(2), c3 = continuation(3);
+    if (c1 >= 0 && c2 >= 0 && c3 >= 0) {
+      *length = 4;
+      return (static_cast<uint32_t>(b0 & 0x07) << 18) | (c1 << 12) |
+             (c2 << 6) | c3;
+    }
+  }
+  *length = 1;
+  return b0;
+}
+
+// Returns the ASCII fold for `cp`, or empty if no fold applies (pass the
+// original bytes through). Returns " " to fold to a space and "\x01" as a
+// private marker meaning "delete this code point".
+std::string_view PunctuationFold(uint32_t cp) {
+  switch (cp) {
+    case 0x2018:  // left single quote
+    case 0x2019:  // right single quote
+    case 0x201A:  // low single quote
+    case 0x2032:  // prime
+      return "'";
+    case 0x201C:  // left double quote
+    case 0x201D:  // right double quote
+    case 0x201E:  // low double quote
+    case 0x2033:  // double prime
+      return "\"";
+    case 0x2010:  // hyphen
+    case 0x2011:  // non-breaking hyphen
+    case 0x2012:  // figure dash
+    case 0x2013:  // en dash
+    case 0x2014:  // em dash
+    case 0x2015:  // horizontal bar
+    case 0x2212:  // minus sign
+      return "-";
+    case 0x2026:  // ellipsis
+      return "...";
+    case 0x00A0:  // non-breaking space
+    case 0x2007:  // figure space
+    case 0x202F:  // narrow no-break space
+    case 0x3000:  // ideographic space
+      return " ";
+    case 0x2022:  // bullet
+    case 0x25CF:  // black circle
+    case 0x25AA:  // black small square
+    case 0x2023:  // triangular bullet
+      return "\x01";
+    default:
+      return {};
+  }
+}
+
+bool IsZeroWidth(uint32_t cp) {
+  return cp == 0x200B || cp == 0x200C || cp == 0x200D || cp == 0xFEFF ||
+         cp == 0x00AD;  // soft hyphen
+}
+
+}  // namespace
+
+std::string Normalize(std::string_view input, const NormalizerOptions& opts) {
+  std::string folded;
+  folded.reserve(input.size());
+  size_t i = 0;
+  while (i < input.size()) {
+    size_t length = 0;
+    uint32_t cp = DecodeUtf8(input, i, &length);
+    if (opts.remove_control_characters &&
+        ((cp < 0x20 && cp != '\n' && cp != '\t' && cp != '\r') ||
+         cp == 0x7F || IsZeroWidth(cp))) {
+      i += length;
+      continue;
+    }
+    if (opts.fold_unicode_punctuation) {
+      std::string_view fold = PunctuationFold(cp);
+      if (fold == "\x01") {
+        i += length;
+        continue;
+      }
+      if (!fold.empty()) {
+        folded.append(fold);
+        i += length;
+        continue;
+      }
+    }
+    folded.append(input.substr(i, length));
+    i += length;
+  }
+
+  std::string out;
+  if (opts.collapse_whitespace) {
+    out.reserve(folded.size());
+    bool in_space = false;
+    for (char c : folded) {
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        in_space = true;
+        continue;
+      }
+      if (in_space && !out.empty()) out.push_back(' ');
+      in_space = false;
+      out.push_back(c);
+    }
+  } else {
+    out = std::move(folded);
+  }
+
+  if (opts.lowercase) out = AsciiToLower(out);
+  return out;
+}
+
+std::string Normalize(std::string_view input) {
+  return Normalize(input, NormalizerOptions());
+}
+
+}  // namespace goalex::text

@@ -1,0 +1,38 @@
+#ifndef GOALEX_TEXT_NORMALIZER_H_
+#define GOALEX_TEXT_NORMALIZER_H_
+
+#include <string>
+#include <string_view>
+
+namespace goalex::text {
+
+/// Options controlling text normalization, mirroring the preprocessing
+/// strategy the paper inherits from GoalSpotter: normalize the input text and
+/// remove unnecessary characters to reduce superficial noise.
+struct NormalizerOptions {
+  /// Collapse runs of whitespace (including newlines/tabs) to single spaces
+  /// and strip leading/trailing whitespace.
+  bool collapse_whitespace = true;
+  /// Remove ASCII control characters and unicode zero-width characters
+  /// (ZWSP, ZWNJ, ZWJ, BOM) commonly introduced by PDF extraction.
+  bool remove_control_characters = true;
+  /// Fold unicode punctuation to ASCII equivalents: curly quotes -> '"/',
+  /// en/em dashes and unicode hyphens -> '-', ellipsis -> '...',
+  /// non-breaking space -> ' ', bullet characters -> removed.
+  bool fold_unicode_punctuation = true;
+  /// Lowercase ASCII letters. Off by default: casing is a useful signal for
+  /// the extractor (e.g., "Reduce" at sentence start) and the deployed
+  /// GoalSpotter pipeline keeps case.
+  bool lowercase = false;
+};
+
+/// Normalizes raw report text. UTF-8 safe: multi-byte sequences that are not
+/// explicitly folded are passed through unchanged.
+std::string Normalize(std::string_view input, const NormalizerOptions& opts);
+
+/// Normalizes with default options.
+std::string Normalize(std::string_view input);
+
+}  // namespace goalex::text
+
+#endif  // GOALEX_TEXT_NORMALIZER_H_

@@ -1,0 +1,100 @@
+#include "text/sentence_splitter.h"
+
+#include <array>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace goalex::text {
+namespace {
+
+// Lowercased abbreviations that end with '.' and do not end a sentence.
+constexpr std::array<std::string_view, 14> kAbbreviations = {
+    "e.g", "i.e", "etc", "inc", "ltd", "co", "corp", "approx",
+    "no",  "vs",  "fig", "al",  "dr",  "mr"};
+
+// Returns the lowercased word immediately before position `pos` (which
+// points at the terminator character).
+std::string WordBefore(std::string_view text, size_t pos) {
+  size_t end = pos;
+  size_t start = end;
+  while (start > 0) {
+    unsigned char c = static_cast<unsigned char>(text[start - 1]);
+    if (std::isalpha(c) || c == '.') {
+      --start;
+    } else {
+      break;
+    }
+  }
+  std::string word(text.substr(start, end - start));
+  // Strip internal trailing period ("e.g." before the final '.').
+  while (!word.empty() && word.back() == '.') word.pop_back();
+  return goalex::AsciiToLower(word);
+}
+
+bool IsAbbreviation(std::string_view word) {
+  for (std::string_view abbr : kAbbreviations) {
+    if (word == abbr) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> SentenceSplitter::Split(
+    std::string_view block) const {
+  std::vector<std::string> sentences;
+  size_t start = 0;
+  for (size_t i = 0; i < block.size(); ++i) {
+    char c = block[i];
+    if (c != '.' && c != '!' && c != '?') continue;
+
+    if (c == '.') {
+      // Period inside a number: "8.1%".
+      bool digit_before =
+          i > 0 && std::isdigit(static_cast<unsigned char>(block[i - 1]));
+      bool digit_after =
+          i + 1 < block.size() &&
+          std::isdigit(static_cast<unsigned char>(block[i + 1]));
+      if (digit_before && digit_after) continue;
+      if (IsAbbreviation(WordBefore(block, i))) continue;
+    }
+
+    // Consume trailing quote/bracket characters after the terminator.
+    size_t end = i + 1;
+    while (end < block.size() &&
+           (block[end] == '"' || block[end] == '\'' || block[end] == ')')) {
+      ++end;
+    }
+
+    // A sentence boundary requires end-of-block, or whitespace followed by
+    // an uppercase letter, digit, or opening quote.
+    bool boundary = end >= block.size();
+    if (!boundary && std::isspace(static_cast<unsigned char>(block[end]))) {
+      size_t next = end;
+      while (next < block.size() &&
+             std::isspace(static_cast<unsigned char>(block[next]))) {
+        ++next;
+      }
+      if (next >= block.size()) {
+        boundary = true;
+      } else {
+        unsigned char nc = static_cast<unsigned char>(block[next]);
+        boundary = std::isupper(nc) || std::isdigit(nc) || nc == '"' ||
+                   nc == '\'' || nc >= 0x80;
+      }
+    }
+    if (!boundary) continue;
+
+    std::string_view sentence =
+        goalex::StripAsciiWhitespace(block.substr(start, end - start));
+    if (!sentence.empty()) sentences.emplace_back(sentence);
+    start = end;
+    i = end - 1;
+  }
+  std::string_view tail = goalex::StripAsciiWhitespace(block.substr(start));
+  if (!tail.empty()) sentences.emplace_back(tail);
+  return sentences;
+}
+
+}  // namespace goalex::text

@@ -1,0 +1,26 @@
+#ifndef GOALEX_TEXT_SENTENCE_SPLITTER_H_
+#define GOALEX_TEXT_SENTENCE_SPLITTER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace goalex::text {
+
+/// Splits report text blocks into sentences. The evaluation datasets are
+/// sentence-level (NetZeroFacts passages are segmented into sentences), so
+/// the pipeline needs a sentence splitter between block detection and
+/// extraction.
+///
+/// Rules: a sentence ends at '.', '!' or '?' followed by whitespace and an
+/// uppercase/digit start, with guards for common abbreviations ("e.g.",
+/// "Inc.", "approx.") and for periods inside numbers ("8.1%").
+class SentenceSplitter {
+ public:
+  /// Returns the sentences of `block`, trimmed of surrounding whitespace.
+  std::vector<std::string> Split(std::string_view block) const;
+};
+
+}  // namespace goalex::text
+
+#endif  // GOALEX_TEXT_SENTENCE_SPLITTER_H_

@@ -1,0 +1,64 @@
+#include "text/word_tokenizer.h"
+
+#include <cctype>
+
+namespace goalex::text {
+namespace {
+
+bool IsWordByte(unsigned char c) {
+  // Alphanumeric ASCII plus all non-ASCII bytes (UTF-8 continuation and lead
+  // bytes) count as word characters, so accented words stay single tokens.
+  return std::isalnum(c) || c >= 0x80;
+}
+
+}  // namespace
+
+std::vector<Token> WordTokenizer::Tokenize(std::string_view input) const {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < input.size()) {
+    unsigned char c = static_cast<unsigned char>(input[i]);
+    if (std::isspace(c)) {
+      ++i;
+      continue;
+    }
+    if (IsWordByte(c)) {
+      size_t start = i;
+      while (i < input.size()) {
+        unsigned char b = static_cast<unsigned char>(input[i]);
+        if (IsWordByte(b)) {
+          ++i;
+          continue;
+        }
+        // Keep decimal points and thousands separators inside numbers:
+        // "62.1" and "10,000" are single tokens.
+        bool digit_sep =
+            (b == '.' || b == ',') && i > start &&
+            std::isdigit(static_cast<unsigned char>(input[i - 1])) &&
+            i + 1 < input.size() &&
+            std::isdigit(static_cast<unsigned char>(input[i + 1]));
+        if (digit_sep) {
+          ++i;
+          continue;
+        }
+        break;
+      }
+      tokens.push_back(
+          Token{std::string(input.substr(start, i - start)), start, i});
+      continue;
+    }
+    // Every other byte (punctuation, symbols) is a single-char token.
+    tokens.push_back(Token{std::string(input.substr(i, 1)), i, i + 1});
+    ++i;
+  }
+  return tokens;
+}
+
+std::vector<std::string> WordTokenizer::TokenizeToStrings(
+    std::string_view input) const {
+  std::vector<std::string> out;
+  for (Token& t : Tokenize(input)) out.push_back(std::move(t.text));
+  return out;
+}
+
+}  // namespace goalex::text

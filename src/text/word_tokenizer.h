@@ -1,0 +1,40 @@
+#ifndef GOALEX_TEXT_WORD_TOKENIZER_H_
+#define GOALEX_TEXT_WORD_TOKENIZER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace goalex::text {
+
+/// A surface token with its byte span in the original text.
+struct Token {
+  std::string text;
+  size_t begin = 0;  ///< Byte offset of the first byte, inclusive.
+  size_t end = 0;    ///< Byte offset past the last byte, exclusive.
+
+  friend bool operator==(const Token& a, const Token& b) {
+    return a.text == b.text && a.begin == b.begin && a.end == b.end;
+  }
+};
+
+/// Word-level tokenizer used by the weak-labeling algorithm and the CRF
+/// baseline. Splitting rules match the paper's Table 3 example: alphanumeric
+/// runs are tokens, each punctuation character is its own token, and
+/// intra-word hyphens split ("co-founded" -> "co", "-", "founded";
+/// "net-zero" -> "net", "-", "zero"). Percent signs split off ("20%" ->
+/// "20", "%"), but decimal points and thousands separators stay inside
+/// numbers ("62.1" and "10,000" are single tokens).
+class WordTokenizer {
+ public:
+  /// Tokenizes `input` into tokens with byte offsets.
+  std::vector<Token> Tokenize(std::string_view input) const;
+
+  /// Convenience: returns only the token strings.
+  std::vector<std::string> TokenizeToStrings(std::string_view input) const;
+};
+
+}  // namespace goalex::text
+
+#endif  // GOALEX_TEXT_WORD_TOKENIZER_H_

@@ -1,0 +1,223 @@
+#include "values/value_normalizer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace goalex::values {
+namespace {
+
+// Parses a number with optional thousands separators and decimal point at
+// the start of `text`; returns consumed length via *length.
+std::optional<double> ParseLeadingNumber(std::string_view text,
+                                         size_t* length) {
+  std::string digits;
+  size_t i = 0;
+  bool seen_digit = false;
+  bool seen_dot = false;
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digits.push_back(c);
+      seen_digit = true;
+      ++i;
+    } else if (c == ',' && seen_digit && !seen_dot) {
+      ++i;  // Thousands separator.
+    } else if (c == '.' && seen_digit && !seen_dot && i + 1 < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
+      digits.push_back('.');
+      seen_dot = true;
+      ++i;
+    } else {
+      break;
+    }
+  }
+  if (!seen_digit) return std::nullopt;
+  *length = i;
+  return std::strtod(digits.c_str(), nullptr);
+}
+
+struct UnitSpec {
+  const char* name;       // Lowercased unit token.
+  AmountType type;
+  double to_canonical;    // Multiplier into the canonical unit.
+};
+
+constexpr UnitSpec kUnits[] = {
+    {"tonnes", AmountType::kMass, 1000.0},       // -> kg
+    {"tonne", AmountType::kMass, 1000.0},
+    {"t", AmountType::kMass, 1000.0},
+    {"kt", AmountType::kMass, 1e6},
+    {"mt", AmountType::kMass, 1e9},
+    {"gwh", AmountType::kEnergy, 3.6e12},        // -> J
+    {"mwh", AmountType::kEnergy, 3.6e9},
+    {"kwh", AmountType::kEnergy, 3.6e6},
+    {"gw", AmountType::kPower, 1e9},             // -> W
+    {"mw", AmountType::kPower, 1e6},
+    {"kw", AmountType::kPower, 1e3},
+    {"billion", AmountType::kCount, 1e9},
+    {"million", AmountType::kCount, 1e6},
+    {"thousand", AmountType::kCount, 1e3},
+};
+
+}  // namespace
+
+const char* AmountTypeName(AmountType type) {
+  switch (type) {
+    case AmountType::kPercent:
+      return "percent";
+    case AmountType::kCount:
+      return "count";
+    case AmountType::kMass:
+      return "mass";
+    case AmountType::kEnergy:
+      return "energy";
+    case AmountType::kPower:
+      return "power";
+    case AmountType::kNetZero:
+      return "net-zero";
+    case AmountType::kMultiplier:
+      return "multiplier";
+  }
+  return "unknown";
+}
+
+std::optional<NormalizedAmount> NormalizeAmount(std::string_view raw) {
+  std::string lower = AsciiToLower(StripAsciiWhitespace(raw));
+  if (lower.empty()) return std::nullopt;
+
+  // Special forms first.
+  if (lower == "net-zero" || lower == "net zero" || lower == "zero" ||
+      lower == "carbon neutral" || lower == "carbon-neutral") {
+    return NormalizedAmount{AmountType::kNetZero, 0.0};
+  }
+  if (lower == "double") {
+    return NormalizedAmount{AmountType::kMultiplier, 2.0};
+  }
+  if (lower == "half") {
+    return NormalizedAmount{AmountType::kMultiplier, 0.5};
+  }
+  if (lower == "two thirds") {
+    return NormalizedAmount{AmountType::kMultiplier, 2.0 / 3.0};
+  }
+  if (lower == "one third") {
+    return NormalizedAmount{AmountType::kMultiplier, 1.0 / 3.0};
+  }
+
+  size_t consumed = 0;
+  std::optional<double> number = ParseLeadingNumber(lower, &consumed);
+  if (!number) return std::nullopt;
+  std::string_view rest = StripAsciiWhitespace(
+      std::string_view(lower).substr(consumed));
+
+  if (rest.empty()) {
+    return NormalizedAmount{AmountType::kCount, *number};
+  }
+  if (rest == "%" || rest == "percent" || rest == "per cent") {
+    return NormalizedAmount{AmountType::kPercent, *number / 100.0};
+  }
+  // Unit word (possibly with a trailing qualifier like "co2e").
+  std::vector<std::string> unit_words = StrSplitWhitespace(rest);
+  for (const UnitSpec& unit : kUnits) {
+    if (unit_words[0] == unit.name) {
+      return NormalizedAmount{unit.type, *number * unit.to_canonical};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<int> NormalizeYear(std::string_view raw) {
+  std::string text(raw);
+  for (size_t i = 0; i + 4 <= text.size(); ++i) {
+    bool is_year = true;
+    for (size_t j = 0; j < 4; ++j) {
+      if (!std::isdigit(static_cast<unsigned char>(text[i + j]))) {
+        is_year = false;
+        break;
+      }
+    }
+    if (!is_year) continue;
+    // Must not be part of a longer digit run.
+    bool bounded_left =
+        i == 0 || !std::isdigit(static_cast<unsigned char>(text[i - 1]));
+    bool bounded_right =
+        i + 4 == text.size() ||
+        !std::isdigit(static_cast<unsigned char>(text[i + 4]));
+    if (!bounded_left || !bounded_right) continue;
+    int year = std::atoi(text.substr(i, 4).c_str());
+    if (year >= 1900 && year <= 2100) return year;
+  }
+  return std::nullopt;
+}
+
+std::string NormalizeAction(std::string_view raw) {
+  std::string lower = AsciiToLower(StripAsciiWhitespace(raw));
+  if (StartsWith(lower, "will ")) lower = lower.substr(5);
+  if (lower.empty()) return lower;
+
+  std::vector<std::string> words = StrSplitWhitespace(lower);
+  std::string& head = words[0];
+  if (EndsWith(head, "ing") && head.size() > 5) {
+    std::string stem = head.substr(0, head.size() - 3);
+    // Undo common gerund spellings: "reducing" -> "reduce" (restore 'e'),
+    // "cutting" -> "cut" (drop doubled consonant), "planting" -> "plant".
+    // Words whose base form genuinely ends in a doubled consonant.
+    static const char* kKeepDoubled[] = {"install", "fulfill", "enroll"};
+    bool keep_doubled = false;
+    for (const char* word : kKeepDoubled) keep_doubled |= (stem == word);
+
+    if (!keep_doubled && stem.size() >= 3 &&
+        stem[stem.size() - 1] == stem[stem.size() - 2] &&
+        !std::isdigit(static_cast<unsigned char>(stem.back()))) {
+      // Gerund doubling: "cutting" -> "cutt" -> "cut".
+      head = stem.substr(0, stem.size() - 1);
+    } else if (EndsWith(stem, "c") || EndsWith(stem, "v") ||
+               EndsWith(stem, "u") || EndsWith(stem, "s") ||
+               EndsWith(stem, "z")) {
+      // Stems that cannot end a word bare: "reduc" -> "reduce".
+      head = stem + "e";
+    } else {
+      // Ambiguous: restore 'e' for known stems ("restor" -> "restore"),
+      // otherwise the stem is already a word ("plant", "reach").
+      static const char* kNeedsE[] = {"restor",   "eliminat", "substitut",
+                                      "recycl",   "procur",   "integrat",
+                                      "doubl",    "promot"};
+      bool restored = false;
+      for (const char* needs_e : kNeedsE) {
+        if (stem == needs_e) {
+          head = stem + "e";
+          restored = true;
+          break;
+        }
+      }
+      if (!restored) head = stem;
+    }
+  }
+  return StrJoin(words, " ");
+}
+
+TypedDetails NormalizeRecord(const data::DetailRecord& record) {
+  TypedDetails out;
+  auto field = [&record](const char* primary,
+                         const char* alias) -> std::string {
+    std::string value = record.FieldOrEmpty(primary);
+    if (value.empty()) value = record.FieldOrEmpty(alias);
+    return value;
+  };
+
+  std::string action = record.FieldOrEmpty("Action");
+  if (!action.empty()) out.action_lemma = NormalizeAction(action);
+
+  std::string amount = field("Amount", "TargetValue");
+  if (!amount.empty()) out.amount = NormalizeAmount(amount);
+
+  std::string baseline = field("Baseline", "ReferenceYear");
+  if (!baseline.empty()) out.baseline_year = NormalizeYear(baseline);
+
+  std::string deadline = field("Deadline", "TargetYear");
+  if (!deadline.empty()) out.deadline_year = NormalizeYear(deadline);
+  return out;
+}
+
+}  // namespace goalex::values

@@ -1,0 +1,72 @@
+#ifndef GOALEX_VALUES_VALUE_NORMALIZER_H_
+#define GOALEX_VALUES_VALUE_NORMALIZER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "data/schema.h"
+
+namespace goalex::values {
+
+/// Semantic categories of normalized Amount values. The paper names
+/// "normalization or categorization of actions and amounts" as the natural
+/// extension enabling fine-grained cross-company benchmarking (Section 2.4)
+/// — this module implements it.
+enum class AmountType {
+  kPercent,    ///< "20%", "8.1 percent" -> fraction of 1.
+  kCount,      ///< "250", "1 million", "10,000".
+  kMass,       ///< "500 tonnes", "1.5 Mt" -> kilograms.
+  kEnergy,     ///< "10 GWh" -> joules.
+  kPower,      ///< "25 MW" -> watts.
+  kNetZero,    ///< "net-zero", "net zero", "zero".
+  kMultiplier, ///< "double" -> 2.0, "half" -> 0.5, "two thirds" -> 0.67.
+};
+
+/// A normalized Amount: its semantic type and magnitude in the canonical
+/// unit of that type (fraction for percent, kg for mass, J for energy,
+/// W for power, dimensionless otherwise).
+struct NormalizedAmount {
+  AmountType type = AmountType::kCount;
+  double magnitude = 0.0;
+
+  friend bool operator==(const NormalizedAmount& a,
+                         const NormalizedAmount& b) {
+    return a.type == b.type && a.magnitude == b.magnitude;
+  }
+};
+
+const char* AmountTypeName(AmountType type);
+
+/// Parses an extracted Amount surface form ("20%", "net-zero",
+/// "1.5 Mt", "double", "10,000"). Returns nullopt when the surface form is
+/// not a recognizable quantity.
+std::optional<NormalizedAmount> NormalizeAmount(std::string_view raw);
+
+/// Parses an extracted Baseline/Deadline surface form into a calendar
+/// year. Accepts bare years ("2040") and phrases containing one
+/// ("the end of 2040"); rejects text without a plausible year (1900-2100).
+std::optional<int> NormalizeYear(std::string_view raw);
+
+/// Canonicalizes an extracted Action surface form to a lowercase lemma:
+/// strips the "will " auxiliary, lowercases, and reduces gerunds to a stem
+/// ("will Reduce" -> "reduce", "reducing" -> "reduce", "phasing out" ->
+/// "phase out"). Heuristic but deterministic.
+std::string NormalizeAction(std::string_view raw);
+
+/// A fully typed view of a DetailRecord, for indexing and range queries.
+struct TypedDetails {
+  std::string action_lemma;                ///< Empty when absent.
+  std::optional<NormalizedAmount> amount;
+  std::optional<int> baseline_year;
+  std::optional<int> deadline_year;
+};
+
+/// Normalizes all recognized fields of `record` (Sustainability Goals
+/// schema; NetZeroFacts fields map via their roles: TargetValue -> amount,
+/// ReferenceYear -> baseline, TargetYear -> deadline).
+TypedDetails NormalizeRecord(const data::DetailRecord& record);
+
+}  // namespace goalex::values
+
+#endif  // GOALEX_VALUES_VALUE_NORMALIZER_H_

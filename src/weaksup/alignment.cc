@@ -1,0 +1,42 @@
+#include "weaksup/alignment.h"
+
+#include "common/check.h"
+
+namespace goalex::weaksup {
+
+std::vector<labels::LabelId> ProjectLabelsToSubwords(
+    const std::vector<labels::LabelId>& word_labels,
+    const std::vector<bpe::Subword>& subwords,
+    const labels::LabelCatalog& catalog) {
+  std::vector<labels::LabelId> out;
+  out.reserve(subwords.size());
+  for (const bpe::Subword& sw : subwords) {
+    GOALEX_CHECK_LT(sw.word_index, word_labels.size());
+    labels::LabelId word_label = word_labels[sw.word_index];
+    if (word_label == labels::LabelCatalog::kOutsideId) {
+      out.push_back(labels::LabelCatalog::kOutsideId);
+    } else if (catalog.IsBegin(word_label) && !sw.is_word_start) {
+      out.push_back(catalog.InsideId(catalog.KindOf(word_label)));
+    } else {
+      out.push_back(word_label);
+    }
+  }
+  return out;
+}
+
+std::vector<labels::LabelId> CollapseSubwordLabels(
+    const std::vector<labels::LabelId>& subword_labels,
+    const std::vector<bpe::Subword>& subwords, size_t word_count) {
+  GOALEX_CHECK_EQ(subword_labels.size(), subwords.size());
+  std::vector<labels::LabelId> out(word_count,
+                                   labels::LabelCatalog::kOutsideId);
+  for (size_t i = 0; i < subwords.size(); ++i) {
+    if (subwords[i].is_word_start) {
+      GOALEX_CHECK_LT(subwords[i].word_index, word_count);
+      out[subwords[i].word_index] = subword_labels[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace goalex::weaksup

@@ -1,0 +1,33 @@
+#ifndef GOALEX_WEAKSUP_ALIGNMENT_H_
+#define GOALEX_WEAKSUP_ALIGNMENT_H_
+
+#include <vector>
+
+#include "bpe/bpe_tokenizer.h"
+#include "labels/iob.h"
+
+namespace goalex::weaksup {
+
+/// Projects word-level IOB labels onto a subword sequence produced from the
+/// same words (step 1/2 boundary of the development phase in Figure 2: the
+/// weak labeler works on word tokens, the transformer consumes subwords).
+///
+/// Rules: a word labeled B-k contributes B-k on its first subword and I-k on
+/// its continuations; a word labeled I-k contributes I-k on all subwords;
+/// O words contribute O.
+std::vector<labels::LabelId> ProjectLabelsToSubwords(
+    const std::vector<labels::LabelId>& word_labels,
+    const std::vector<bpe::Subword>& subwords,
+    const labels::LabelCatalog& catalog);
+
+/// Collapses subword-level predicted labels back to word level, taking each
+/// word's label from its first subword (the standard "first-subtoken"
+/// evaluation convention for transformer sequence labeling).
+/// `word_count` is the number of word-level tokens the subwords came from.
+std::vector<labels::LabelId> CollapseSubwordLabels(
+    const std::vector<labels::LabelId>& subword_labels,
+    const std::vector<bpe::Subword>& subwords, size_t word_count);
+
+}  // namespace goalex::weaksup
+
+#endif  // GOALEX_WEAKSUP_ALIGNMENT_H_

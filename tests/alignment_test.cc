@@ -1,0 +1,121 @@
+#include "weaksup/alignment.h"
+
+#include <gtest/gtest.h>
+
+#include "bpe/bpe_tokenizer.h"
+#include "labels/iob.h"
+
+namespace goalex::weaksup {
+namespace {
+
+labels::LabelCatalog Catalog() {
+  return labels::LabelCatalog({"Action", "Amount"});
+}
+
+// Builds a fake subword sequence: each entry of `pieces_per_word` gives how
+// many subwords that word splits into.
+std::vector<bpe::Subword> FakeSubwords(
+    const std::vector<int>& pieces_per_word) {
+  std::vector<bpe::Subword> out;
+  for (size_t w = 0; w < pieces_per_word.size(); ++w) {
+    for (int p = 0; p < pieces_per_word[w]; ++p) {
+      bpe::Subword sw;
+      sw.word_index = w;
+      sw.is_word_start = (p == 0);
+      sw.id = static_cast<int32_t>(out.size() + 4);
+      out.push_back(sw);
+    }
+  }
+  return out;
+}
+
+TEST(ProjectLabelsTest, SingleSubwordPerWordIsIdentity) {
+  labels::LabelCatalog c = Catalog();
+  std::vector<labels::LabelId> word_labels = {0, c.BeginId(0), 0};
+  std::vector<bpe::Subword> subwords = FakeSubwords({1, 1, 1});
+  EXPECT_EQ(ProjectLabelsToSubwords(word_labels, subwords, c), word_labels);
+}
+
+TEST(ProjectLabelsTest, BeginWordSplitsToBeginInside) {
+  labels::LabelCatalog c = Catalog();
+  std::vector<labels::LabelId> word_labels = {c.BeginId(0)};
+  std::vector<bpe::Subword> subwords = FakeSubwords({3});
+  std::vector<labels::LabelId> out =
+      ProjectLabelsToSubwords(word_labels, subwords, c);
+  EXPECT_EQ(out, (std::vector<labels::LabelId>{c.BeginId(0), c.InsideId(0),
+                                               c.InsideId(0)}));
+}
+
+TEST(ProjectLabelsTest, InsideWordStaysInside) {
+  labels::LabelCatalog c = Catalog();
+  std::vector<labels::LabelId> word_labels = {c.BeginId(1), c.InsideId(1)};
+  std::vector<bpe::Subword> subwords = FakeSubwords({1, 2});
+  std::vector<labels::LabelId> out =
+      ProjectLabelsToSubwords(word_labels, subwords, c);
+  EXPECT_EQ(out, (std::vector<labels::LabelId>{c.BeginId(1), c.InsideId(1),
+                                               c.InsideId(1)}));
+}
+
+TEST(ProjectLabelsTest, OutsideWordsStayOutside) {
+  labels::LabelCatalog c = Catalog();
+  std::vector<labels::LabelId> word_labels = {0, 0};
+  std::vector<bpe::Subword> subwords = FakeSubwords({2, 3});
+  std::vector<labels::LabelId> out =
+      ProjectLabelsToSubwords(word_labels, subwords, c);
+  for (labels::LabelId id : out) {
+    EXPECT_EQ(id, labels::LabelCatalog::kOutsideId);
+  }
+}
+
+TEST(CollapseTest, TakesFirstSubwordLabel) {
+  labels::LabelCatalog c = Catalog();
+  std::vector<bpe::Subword> subwords = FakeSubwords({2, 1});
+  std::vector<labels::LabelId> subword_labels = {c.BeginId(0), c.InsideId(0),
+                                                 c.BeginId(1)};
+  std::vector<labels::LabelId> out =
+      CollapseSubwordLabels(subword_labels, subwords, 2);
+  EXPECT_EQ(out, (std::vector<labels::LabelId>{c.BeginId(0), c.BeginId(1)}));
+}
+
+TEST(CollapseTest, MissingWordsDefaultToOutside) {
+  labels::LabelCatalog c = Catalog();
+  // Subwords only cover word 0; word 1 was truncated away.
+  std::vector<bpe::Subword> subwords = FakeSubwords({1});
+  std::vector<labels::LabelId> subword_labels = {c.BeginId(0)};
+  std::vector<labels::LabelId> out =
+      CollapseSubwordLabels(subword_labels, subwords, 2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], c.BeginId(0));
+  EXPECT_EQ(out[1], labels::LabelCatalog::kOutsideId);
+}
+
+TEST(RoundTripTest, ProjectThenCollapseRecoversWordLabels) {
+  labels::LabelCatalog c = Catalog();
+  std::vector<labels::LabelId> word_labels = {
+      0, c.BeginId(0), c.InsideId(0), 0, c.BeginId(1)};
+  std::vector<bpe::Subword> subwords = FakeSubwords({2, 3, 1, 1, 4});
+  std::vector<labels::LabelId> projected =
+      ProjectLabelsToSubwords(word_labels, subwords, c);
+  std::vector<labels::LabelId> collapsed =
+      CollapseSubwordLabels(projected, subwords, word_labels.size());
+  EXPECT_EQ(collapsed, word_labels);
+}
+
+TEST(RoundTripTest, RealBpeRoundTrip) {
+  labels::LabelCatalog c = Catalog();
+  std::vector<std::string> corpus = {"reduce emissions by 2030",
+                                     "reduce energy consumption"};
+  bpe::BpeModel model = bpe::BpeModel::Train(corpus, 10);
+  std::vector<std::string> words = {"reduce", "energy", "consumption"};
+  std::vector<bpe::Subword> subwords = model.EncodeWords(words);
+  std::vector<labels::LabelId> word_labels = {c.BeginId(0), c.BeginId(1),
+                                              c.InsideId(1)};
+  std::vector<labels::LabelId> projected =
+      ProjectLabelsToSubwords(word_labels, subwords, c);
+  ASSERT_EQ(projected.size(), subwords.size());
+  EXPECT_EQ(CollapseSubwordLabels(projected, subwords, words.size()),
+            word_labels);
+}
+
+}  // namespace
+}  // namespace goalex::weaksup

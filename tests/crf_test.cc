@@ -1,0 +1,171 @@
+#include "crf/crf.h"
+
+#include <gtest/gtest.h>
+
+#include "crf/features.h"
+#include "labels/iob.h"
+#include "text/word_tokenizer.h"
+
+namespace goalex::crf {
+namespace {
+
+TEST(FeaturesTest, WordShape) {
+  EXPECT_EQ(WordShape("Reduce"), "Xxxxxx");
+  EXPECT_EQ(WordShape("2040"), "dddd");
+  EXPECT_EQ(WordShape("CO2"), "XXd");
+  EXPECT_EQ(WordShape("net-zero"), "xxx-xxxx");
+}
+
+TEST(FeaturesTest, ShortShape) {
+  EXPECT_EQ(ShortShape("Reduce"), "Xx");
+  EXPECT_EQ(ShortShape("2040"), "d");
+  EXPECT_EQ(ShortShape("net-zero"), "x-x");
+}
+
+TEST(FeaturesTest, IsYearToken) {
+  EXPECT_TRUE(IsYearToken("2040"));
+  EXPECT_TRUE(IsYearToken("1995"));
+  EXPECT_FALSE(IsYearToken("2500"));
+  EXPECT_FALSE(IsYearToken("204"));
+  EXPECT_FALSE(IsYearToken("20a0"));
+  EXPECT_FALSE(IsYearToken("20400"));
+}
+
+TEST(FeaturesTest, ExtractFeaturesPerPosition) {
+  std::vector<std::vector<uint32_t>> features =
+      ExtractFeatures({"Reduce", "waste", "by", "2030"});
+  ASSERT_EQ(features.size(), 4u);
+  for (const auto& f : features) {
+    EXPECT_GT(f.size(), 5u);
+    for (uint32_t id : f) EXPECT_LT(id, kFeatureBuckets);
+  }
+}
+
+TEST(FeaturesTest, Deterministic) {
+  auto a = ExtractFeatures({"Reduce", "waste"});
+  auto b = ExtractFeatures({"Reduce", "waste"});
+  EXPECT_EQ(a, b);
+}
+
+TEST(FeaturesTest, ContextSensitivity) {
+  // Same word in different contexts gets different bigram features.
+  auto a = ExtractFeatures({"Reduce", "waste"});
+  auto b = ExtractFeatures({"Increase", "waste"});
+  EXPECT_NE(a[1], b[1]);
+}
+
+// A toy dataset the CRF must master: label years after "by" as Deadline,
+// action verbs as Action.
+std::vector<CrfInstance> ToyDataset(const labels::LabelCatalog& catalog) {
+  text::WordTokenizer tokenizer;
+  auto make = [&](const std::string& text,
+                  const std::vector<std::string>& label_names) {
+    CrfInstance instance;
+    std::vector<std::string> tokens = tokenizer.TokenizeToStrings(text);
+    instance.features = ExtractFeatures(tokens);
+    for (const std::string& name : label_names) {
+      instance.labels.push_back(*catalog.ParseLabel(name));
+    }
+    EXPECT_EQ(instance.features.size(), instance.labels.size());
+    return instance;
+  };
+  return {
+      make("Reduce waste by 2030 .",
+           {"B-Action", "O", "O", "B-Deadline", "O"}),
+      make("Achieve zero waste by 2040 .",
+           {"B-Action", "O", "O", "O", "B-Deadline", "O"}),
+      make("Reduce emissions by 2035 .",
+           {"B-Action", "O", "O", "B-Deadline", "O"}),
+      make("Increase recycling by 2028 .",
+           {"B-Action", "O", "O", "B-Deadline", "O"}),
+      make("We report progress every year .",
+           {"O", "O", "O", "O", "O", "O"}),
+      make("Achieve full compliance by 2031 .",
+           {"B-Action", "O", "O", "O", "B-Deadline", "O"}),
+  };
+}
+
+TEST(CrfTest, LearnsToyTask) {
+  labels::LabelCatalog catalog({"Action", "Deadline"});
+  LinearChainCrf crf(catalog.label_count());
+  std::vector<CrfInstance> dataset = ToyDataset(catalog);
+  CrfOptions options;
+  options.epochs = 20;
+  crf.Train(dataset, options);
+
+  // Held-out sentence with the same structure.
+  text::WordTokenizer tokenizer;
+  std::vector<std::string> tokens =
+      tokenizer.TokenizeToStrings("Reduce packaging by 2033 .");
+  std::vector<labels::LabelId> pred = crf.Predict(ExtractFeatures(tokens));
+  ASSERT_EQ(pred.size(), 5u);
+  EXPECT_EQ(catalog.LabelName(pred[0]), "B-Action");
+  EXPECT_EQ(catalog.LabelName(pred[3]), "B-Deadline");
+  EXPECT_EQ(catalog.LabelName(pred[1]), "O");
+}
+
+TEST(CrfTest, LogLikelihoodImprovesWithTraining) {
+  labels::LabelCatalog catalog({"Action", "Deadline"});
+  std::vector<CrfInstance> dataset = ToyDataset(catalog);
+
+  LinearChainCrf untrained(catalog.label_count());
+  double before = 0.0;
+  for (const CrfInstance& instance : dataset) {
+    before += untrained.LogLikelihood(instance);
+  }
+
+  LinearChainCrf trained(catalog.label_count());
+  CrfOptions options;
+  options.epochs = 10;
+  trained.Train(dataset, options);
+  double after = 0.0;
+  for (const CrfInstance& instance : dataset) {
+    after += trained.LogLikelihood(instance);
+  }
+  EXPECT_GT(after, before);
+}
+
+TEST(CrfTest, LogLikelihoodIsNonPositiveProbability) {
+  labels::LabelCatalog catalog({"Action"});
+  LinearChainCrf crf(catalog.label_count());
+  CrfInstance instance;
+  instance.features = ExtractFeatures({"Reduce", "waste"});
+  instance.labels = {*catalog.ParseLabel("B-Action"),
+                     *catalog.ParseLabel("O")};
+  EXPECT_LE(crf.LogLikelihood(instance), 1e-9);
+}
+
+TEST(CrfTest, PredictEmptyInput) {
+  LinearChainCrf crf(5);
+  EXPECT_TRUE(crf.Predict({}).empty());
+}
+
+TEST(CrfTest, UntrainedPredictsValidLabels) {
+  labels::LabelCatalog catalog({"Action", "Deadline"});
+  LinearChainCrf crf(catalog.label_count());
+  std::vector<labels::LabelId> pred =
+      crf.Predict(ExtractFeatures({"Reduce", "waste"}));
+  ASSERT_EQ(pred.size(), 2u);
+  for (labels::LabelId id : pred) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, catalog.label_count());
+  }
+}
+
+TEST(CrfTest, TrainingIsDeterministic) {
+  labels::LabelCatalog catalog({"Action", "Deadline"});
+  std::vector<CrfInstance> dataset = ToyDataset(catalog);
+  CrfOptions options;
+  options.epochs = 5;
+
+  LinearChainCrf a(catalog.label_count());
+  a.Train(dataset, options);
+  LinearChainCrf b(catalog.label_count());
+  b.Train(dataset, options);
+
+  auto features = ExtractFeatures({"Reduce", "waste", "by", "2030"});
+  EXPECT_EQ(a.Predict(features), b.Predict(features));
+}
+
+}  // namespace
+}  // namespace goalex::crf

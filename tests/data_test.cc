@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "data/dataset.h"
+#include "data/generator.h"
+#include "data/report.h"
+#include "data/schema.h"
+#include "labels/iob.h"
+#include "weaksup/weak_labeler.h"
+
+namespace goalex::data {
+namespace {
+
+TEST(SchemaTest, AnnotationValueLookup) {
+  Objective o;
+  o.annotations = {{"Action", "Reduce"}, {"Deadline", "2030"}};
+  EXPECT_EQ(o.AnnotationValue("Action").value(), "Reduce");
+  EXPECT_FALSE(o.AnnotationValue("Amount").has_value());
+}
+
+TEST(SchemaTest, DetailRecordFieldOrEmpty) {
+  DetailRecord r;
+  r.fields["Action"] = "Reduce";
+  EXPECT_EQ(r.FieldOrEmpty("Action"), "Reduce");
+  EXPECT_EQ(r.FieldOrEmpty("Amount"), "");
+}
+
+TEST(GeneratorTest, ProducesRequestedCount) {
+  SustainabilityGoalsConfig config;
+  config.objective_count = 200;
+  std::vector<Objective> corpus = GenerateSustainabilityGoals(config);
+  EXPECT_EQ(corpus.size(), 200u);
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  SustainabilityGoalsConfig config;
+  config.objective_count = 50;
+  std::vector<Objective> a = GenerateSustainabilityGoals(config);
+  std::vector<Objective> b = GenerateSustainabilityGoals(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].text, b[i].text);
+    EXPECT_EQ(a[i].annotations.size(), b[i].annotations.size());
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  SustainabilityGoalsConfig a_config;
+  a_config.objective_count = 50;
+  SustainabilityGoalsConfig b_config = a_config;
+  b_config.seed = 777;
+  std::vector<Objective> a = GenerateSustainabilityGoals(a_config);
+  std::vector<Objective> b = GenerateSustainabilityGoals(b_config);
+  int same = 0;
+  for (size_t i = 0; i < a.size(); ++i) same += (a[i].text == b[i].text);
+  EXPECT_LT(same, 10);
+}
+
+TEST(GeneratorTest, EveryObjectiveHasAnnotation) {
+  SustainabilityGoalsConfig config;
+  config.objective_count = 300;
+  for (const Objective& o : GenerateSustainabilityGoals(config)) {
+    EXPECT_FALSE(o.annotations.empty()) << o.text;
+    EXPECT_FALSE(o.text.empty());
+  }
+}
+
+TEST(GeneratorTest, AnnotationRatesMatchPaperStatistics) {
+  SustainabilityGoalsConfig config;  // Defaults: 1106 objectives.
+  std::vector<Objective> corpus = GenerateSustainabilityGoals(config);
+  std::map<std::string, int> counts;
+  for (const Objective& o : corpus) {
+    for (const Annotation& a : o.annotations) ++counts[a.kind];
+  }
+  double n = static_cast<double>(corpus.size());
+  // The paper reports Action 85%, Baseline 14%, Deadline 34%.
+  EXPECT_NEAR(counts["Action"] / n, 0.85, 0.05);
+  EXPECT_NEAR(counts["Baseline"] / n, 0.14, 0.04);
+  EXPECT_NEAR(counts["Deadline"] / n, 0.34, 0.05);
+}
+
+TEST(GeneratorTest, MostAnnotationsAreExactSubstrings) {
+  // The weak labeler should locate ~95% of annotation values (the rest are
+  // intentionally divergent, modeling the paper's matching limitation).
+  SustainabilityGoalsConfig config;
+  config.objective_count = 500;
+  std::vector<Objective> corpus = GenerateSustainabilityGoals(config);
+  labels::LabelCatalog catalog(SustainabilityGoalKinds());
+  weaksup::WeakLabeler labeler(&catalog);
+  weaksup::WeakLabelStats stats =
+      weaksup::ComputeStats(corpus, labeler.LabelAll(corpus));
+  EXPECT_GT(stats.MatchRate(), 0.88);
+  EXPECT_LT(stats.MatchRate(), 0.995);
+}
+
+TEST(GeneratorTest, TextsAreHeterogeneous) {
+  SustainabilityGoalsConfig config;
+  config.objective_count = 200;
+  std::set<std::string> texts;
+  for (const Objective& o : GenerateSustainabilityGoals(config)) {
+    texts.insert(o.text);
+  }
+  EXPECT_GT(texts.size(), 190u);  // Near-unique sentences.
+}
+
+TEST(GeneratorTest, NetZeroFactsCountAndSchema) {
+  NetZeroFactsConfig config;
+  std::vector<Objective> corpus = GenerateNetZeroFacts(config);
+  EXPECT_EQ(corpus.size(), 599u);  // Paper: 599 sentences.
+  std::set<std::string> kinds;
+  for (const Objective& o : corpus) {
+    EXPECT_FALSE(o.annotations.empty());
+    for (const Annotation& a : o.annotations) kinds.insert(a.kind);
+  }
+  EXPECT_TRUE(kinds.count("TargetValue"));
+  EXPECT_TRUE(kinds.count("ReferenceYear"));
+  EXPECT_TRUE(kinds.count("TargetYear"));
+  EXPECT_EQ(kinds.size(), 3u);
+}
+
+TEST(GeneratorTest, NoiseSentencesNonEmpty) {
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(GenerateNoiseSentence(rng).empty());
+  }
+}
+
+TEST(SplitTest, FractionsAndDisjointness) {
+  SustainabilityGoalsConfig config;
+  config.objective_count = 100;
+  Split split =
+      TrainTestSplit(GenerateSustainabilityGoals(config), 0.2, 11);
+  EXPECT_EQ(split.test.size(), 20u);
+  EXPECT_EQ(split.train.size(), 80u);
+  std::set<std::string> train_ids, test_ids;
+  for (const Objective& o : split.train) train_ids.insert(o.id);
+  for (const Objective& o : split.test) test_ids.insert(o.id);
+  for (const std::string& id : test_ids) {
+    EXPECT_EQ(train_ids.count(id), 0u);
+  }
+}
+
+TEST(SplitTest, DeterministicForSeed) {
+  SustainabilityGoalsConfig config;
+  config.objective_count = 60;
+  std::vector<Objective> corpus = GenerateSustainabilityGoals(config);
+  Split a = TrainTestSplit(corpus, 0.25, 5);
+  Split b = TrainTestSplit(corpus, 0.25, 5);
+  ASSERT_EQ(a.test.size(), b.test.size());
+  for (size_t i = 0; i < a.test.size(); ++i) {
+    EXPECT_EQ(a.test[i].id, b.test[i].id);
+  }
+}
+
+TEST(TsvTest, RoundTrip) {
+  SustainabilityGoalsConfig config;
+  config.objective_count = 40;
+  std::vector<Objective> corpus = GenerateSustainabilityGoals(config);
+  auto restored = ObjectivesFromTsv(ObjectivesToTsv(corpus));
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->size(), corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ((*restored)[i].id, corpus[i].id);
+    EXPECT_EQ((*restored)[i].text, corpus[i].text);
+    EXPECT_EQ((*restored)[i].annotations, corpus[i].annotations);
+  }
+}
+
+TEST(TsvTest, EscapesSpecialCharacters) {
+  Objective o;
+  o.id = "tricky";
+  o.text = "line1\nline2\twith\ttabs\\and backslash";
+  o.annotations = {{"Action", "a\tb"}};
+  auto restored = ObjectivesFromTsv(ObjectivesToTsv({o}));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ((*restored)[0].text, o.text);
+  EXPECT_EQ((*restored)[0].annotations[0].value, "a\tb");
+}
+
+TEST(TsvTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ObjectivesFromTsv("only-one-field").ok());
+  EXPECT_FALSE(ObjectivesFromTsv("id\ttext\tbad-annotation").ok());
+}
+
+TEST(TsvTest, FileRoundTrip) {
+  SustainabilityGoalsConfig config;
+  config.objective_count = 10;
+  std::vector<Objective> corpus = GenerateSustainabilityGoals(config);
+  std::string path =
+      (std::filesystem::temp_directory_path() / "goalex_data_test.tsv")
+          .string();
+  ASSERT_TRUE(SaveObjectives(corpus, path).ok());
+  auto loaded = LoadObjectives(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), corpus.size());
+  std::filesystem::remove(path);
+}
+
+TEST(ReportTest, ProfilesMatchPaperTable5) {
+  const std::vector<CompanyProfile>& profiles = PaperDeploymentProfiles();
+  ASSERT_EQ(profiles.size(), 14u);
+  int64_t documents = 0, pages = 0, objectives = 0;
+  for (const CompanyProfile& profile : profiles) {
+    documents += profile.document_count;
+    pages += profile.total_pages;
+    objectives += profile.objective_count;
+  }
+  EXPECT_EQ(documents, 380);
+  EXPECT_EQ(pages, 37871);
+  EXPECT_EQ(objectives, 3580);
+}
+
+TEST(ReportTest, GeneratedFleetMatchesProfile) {
+  CompanyProfile profile{"C5", 17, 1298, 113};
+  std::vector<Report> reports = GenerateCompanyReports(profile, 99);
+  ASSERT_EQ(reports.size(), 17u);
+  int pages = 0, objectives = 0;
+  for (const Report& report : reports) {
+    pages += report.page_count;
+    EXPECT_EQ(report.company, "C5");
+    EXPECT_FALSE(report.blocks.empty());
+    for (const ReportBlock& block : report.blocks) {
+      EXPECT_GE(block.page, 1);
+      EXPECT_LE(block.page, report.page_count);
+      if (block.is_objective) {
+        ++objectives;
+        EXPECT_FALSE(block.annotations.empty());
+      }
+    }
+  }
+  EXPECT_EQ(pages, 1298);
+  EXPECT_EQ(objectives, 113);
+}
+
+TEST(ReportTest, SingleReportHasRequestedShape) {
+  Report report = GenerateSingleReport("DemoCo", 40, 6, 12);
+  EXPECT_EQ(report.company, "DemoCo");
+  EXPECT_EQ(report.page_count, 40);
+  int objectives = 0;
+  for (const ReportBlock& block : report.blocks) {
+    objectives += block.is_objective ? 1 : 0;
+  }
+  EXPECT_EQ(objectives, 6);
+}
+
+TEST(ReportTest, DeterministicForSeed) {
+  CompanyProfile profile{"C1", 3, 30, 5};
+  std::vector<Report> a = GenerateCompanyReports(profile, 7);
+  std::vector<Report> b = GenerateCompanyReports(profile, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].blocks.size(), b[i].blocks.size());
+    for (size_t j = 0; j < a[i].blocks.size(); ++j) {
+      EXPECT_EQ(a[i].blocks[j].text, b[i].blocks[j].text);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace goalex::data

@@ -1,0 +1,96 @@
+#include "core/database.h"
+
+#include <gtest/gtest.h>
+
+namespace goalex::core {
+namespace {
+
+data::DetailRecord MakeRecord(const std::string& text,
+                              std::map<std::string, std::string> fields) {
+  data::DetailRecord record;
+  record.objective_text = text;
+  record.fields = std::move(fields);
+  return record;
+}
+
+TEST(DatabaseTest, InsertAssignsSequentialIds) {
+  ObjectiveDatabase db;
+  EXPECT_EQ(db.Insert(MakeRecord("a", {}), "C1"), 0);
+  EXPECT_EQ(db.Insert(MakeRecord("b", {}), "C2"), 1);
+  EXPECT_EQ(db.size(), 2u);
+}
+
+TEST(DatabaseTest, ByCompany) {
+  ObjectiveDatabase db;
+  db.Insert(MakeRecord("a", {}), "C1");
+  db.Insert(MakeRecord("b", {}), "C2");
+  db.Insert(MakeRecord("c", {}), "C1");
+  std::vector<const DbRow*> rows = db.ByCompany("C1");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0]->record.objective_text, "a");
+  EXPECT_EQ(rows[1]->record.objective_text, "c");
+  EXPECT_TRUE(db.ByCompany("C9").empty());
+}
+
+TEST(DatabaseTest, WithFieldFiltersEmpty) {
+  ObjectiveDatabase db;
+  db.Insert(MakeRecord("a", {{"Deadline", "2030"}}), "C1");
+  db.Insert(MakeRecord("b", {}), "C1");
+  db.Insert(MakeRecord("c", {{"Deadline", ""}}), "C1");
+  std::vector<const DbRow*> rows = db.WithField("Deadline");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0]->record.objective_text, "a");
+}
+
+TEST(DatabaseTest, WhereFieldEquals) {
+  ObjectiveDatabase db;
+  db.Insert(MakeRecord("a", {{"Deadline", "2030"}}), "C1");
+  db.Insert(MakeRecord("b", {{"Deadline", "2040"}}), "C1");
+  std::vector<const DbRow*> rows = db.WhereFieldEquals("Deadline", "2040");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0]->record.objective_text, "b");
+}
+
+TEST(DatabaseTest, CountPerCompany) {
+  ObjectiveDatabase db;
+  db.Insert(MakeRecord("a", {}), "C1");
+  db.Insert(MakeRecord("b", {}), "C1");
+  db.Insert(MakeRecord("c", {}), "C2");
+  std::map<std::string, int64_t> counts = db.CountPerCompany();
+  EXPECT_EQ(counts["C1"], 2);
+  EXPECT_EQ(counts["C2"], 1);
+}
+
+TEST(DatabaseTest, FieldCoverageByCompany) {
+  ObjectiveDatabase db;
+  db.Insert(MakeRecord("a", {{"Amount", "20%"}}), "C1");
+  db.Insert(MakeRecord("b", {}), "C1");
+  db.Insert(MakeRecord("c", {{"Amount", "5%"}}), "C2");
+  std::map<std::string, double> coverage = db.FieldCoverageByCompany("Amount");
+  EXPECT_NEAR(coverage["C1"], 0.5, 1e-9);
+  EXPECT_NEAR(coverage["C2"], 1.0, 1e-9);
+}
+
+TEST(DatabaseTest, ExportCsvEscapes) {
+  ObjectiveDatabase db;
+  db.Insert(MakeRecord("goal with, comma",
+                       {{"Qualifier", "say \"hi\""}}),
+            "C1", "doc.pdf", 3);
+  std::string csv = db.ExportCsv({"Qualifier"});
+  EXPECT_NE(csv.find("\"goal with, comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+  EXPECT_NE(csv.find("row_id,company,document,page,objective,Qualifier"),
+            std::string::npos);
+}
+
+TEST(DatabaseTest, ExportCsvRowCount) {
+  ObjectiveDatabase db;
+  db.Insert(MakeRecord("a", {}), "C1");
+  db.Insert(MakeRecord("b", {}), "C2");
+  std::string csv = db.ExportCsv({});
+  // Header + 2 rows = 3 newline-terminated lines.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+}  // namespace
+}  // namespace goalex::core

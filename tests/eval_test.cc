@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "eval/timer.h"
+
+namespace goalex::eval {
+namespace {
+
+TEST(PrfTest, PerfectCounts) {
+  Prf prf = ComputePrf({10, 0, 0});
+  EXPECT_DOUBLE_EQ(prf.precision, 1.0);
+  EXPECT_DOUBLE_EQ(prf.recall, 1.0);
+  EXPECT_DOUBLE_EQ(prf.f1, 1.0);
+}
+
+TEST(PrfTest, ZeroCountsAreDefined) {
+  Prf prf = ComputePrf({0, 0, 0});
+  EXPECT_DOUBLE_EQ(prf.precision, 0.0);
+  EXPECT_DOUBLE_EQ(prf.recall, 0.0);
+  EXPECT_DOUBLE_EQ(prf.f1, 0.0);
+}
+
+TEST(PrfTest, KnownValues) {
+  // TP=6, FP=2, FN=4 -> P=0.75, R=0.6, F1=2*.75*.6/1.35.
+  Prf prf = ComputePrf({6, 2, 4});
+  EXPECT_NEAR(prf.precision, 0.75, 1e-9);
+  EXPECT_NEAR(prf.recall, 0.6, 1e-9);
+  EXPECT_NEAR(prf.f1, 2 * 0.75 * 0.6 / 1.35, 1e-9);
+}
+
+TEST(NormalizeFieldValueTest, CollapsesWhitespace) {
+  EXPECT_EQ(NormalizeFieldValue("  net   zero "), "net zero");
+  EXPECT_EQ(NormalizeFieldValue(""), "");
+}
+
+data::Objective MakeGold(
+    const std::vector<data::Annotation>& annotations) {
+  data::Objective o;
+  o.text = "irrelevant";
+  o.annotations = annotations;
+  return o;
+}
+
+data::DetailRecord MakePred(
+    const std::map<std::string, std::string>& fields) {
+  data::DetailRecord r;
+  r.fields = fields;
+  return r;
+}
+
+TEST(FieldEvaluatorTest, ExactMatchIsTp) {
+  FieldEvaluator evaluator({"Action"});
+  evaluator.Add(MakeGold({{"Action", "Reduce"}}),
+                MakePred({{"Action", "Reduce"}}));
+  Counts c = evaluator.Total();
+  EXPECT_EQ(c.tp, 1);
+  EXPECT_EQ(c.fp, 0);
+  EXPECT_EQ(c.fn, 0);
+}
+
+TEST(FieldEvaluatorTest, MissIsFn) {
+  FieldEvaluator evaluator({"Action"});
+  evaluator.Add(MakeGold({{"Action", "Reduce"}}), MakePred({}));
+  Counts c = evaluator.Total();
+  EXPECT_EQ(c.fn, 1);
+  EXPECT_EQ(c.tp, 0);
+}
+
+TEST(FieldEvaluatorTest, SpuriousIsFp) {
+  FieldEvaluator evaluator({"Action"});
+  evaluator.Add(MakeGold({}), MakePred({{"Action", "Reduce"}}));
+  Counts c = evaluator.Total();
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.fn, 0);
+}
+
+TEST(FieldEvaluatorTest, WrongValueIsFpAndFn) {
+  FieldEvaluator evaluator({"Action"});
+  evaluator.Add(MakeGold({{"Action", "Reduce"}}),
+                MakePred({{"Action", "Increase"}}));
+  Counts c = evaluator.Total();
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.fn, 1);
+  EXPECT_EQ(c.tp, 0);
+}
+
+TEST(FieldEvaluatorTest, BothEmptyIgnored) {
+  FieldEvaluator evaluator({"Action"});
+  evaluator.Add(MakeGold({}), MakePred({}));
+  Counts c = evaluator.Total();
+  EXPECT_EQ(c.tp + c.fp + c.fn, 0);
+}
+
+TEST(FieldEvaluatorTest, WhitespaceInsensitiveComparison) {
+  FieldEvaluator evaluator({"Qualifier"});
+  evaluator.Add(MakeGold({{"Qualifier", "energy  consumption"}}),
+                MakePred({{"Qualifier", "energy consumption"}}));
+  EXPECT_EQ(evaluator.Total().tp, 1);
+}
+
+TEST(FieldEvaluatorTest, PerKindSeparation) {
+  FieldEvaluator evaluator({"Action", "Deadline"});
+  evaluator.Add(
+      MakeGold({{"Action", "Reduce"}, {"Deadline", "2030"}}),
+      MakePred({{"Action", "Reduce"}, {"Deadline", "2040"}}));
+  EXPECT_EQ(evaluator.ForKind("Action").f1, 1.0);
+  EXPECT_EQ(evaluator.ForKind("Deadline").f1, 0.0);
+  EXPECT_EQ(evaluator.ForKind("NoSuchKind").f1, 0.0);
+}
+
+TEST(FieldEvaluatorTest, OnlySchemaKindsCount) {
+  FieldEvaluator evaluator({"Action"});
+  // A gold annotation outside the schema is invisible to the evaluator.
+  evaluator.Add(MakeGold({{"Deadline", "2030"}}), MakePred({}));
+  EXPECT_EQ(evaluator.Total().fn, 0);
+}
+
+TEST(FieldEvaluatorTest, AddAllAggregates) {
+  FieldEvaluator evaluator({"Action"});
+  std::vector<data::Objective> gold = {MakeGold({{"Action", "Cut"}}),
+                                       MakeGold({{"Action", "Grow"}})};
+  std::vector<data::DetailRecord> pred = {MakePred({{"Action", "Cut"}}),
+                                          MakePred({})};
+  evaluator.AddAll(gold, pred);
+  Counts c = evaluator.Total();
+  EXPECT_EQ(c.tp, 1);
+  EXPECT_EQ(c.fn, 1);
+}
+
+TEST(SpanMatchTest, ExactSpansMatch) {
+  std::vector<labels::Span> gold = {{0, 1, 3}, {1, 5, 6}};
+  std::vector<labels::Span> pred = {{0, 1, 3}, {1, 5, 6}};
+  Counts c = CountSpanMatches(gold, pred);
+  EXPECT_EQ(c.tp, 2);
+  EXPECT_EQ(c.fp, 0);
+  EXPECT_EQ(c.fn, 0);
+}
+
+TEST(SpanMatchTest, BoundaryMismatchIsWrong) {
+  std::vector<labels::Span> gold = {{0, 1, 3}};
+  std::vector<labels::Span> pred = {{0, 1, 4}};
+  Counts c = CountSpanMatches(gold, pred);
+  EXPECT_EQ(c.tp, 0);
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.fn, 1);
+}
+
+TEST(SpanMatchTest, DuplicatePredictionsCountOnce) {
+  std::vector<labels::Span> gold = {{0, 1, 3}};
+  std::vector<labels::Span> pred = {{0, 1, 3}, {0, 1, 3}};
+  Counts c = CountSpanMatches(gold, pred);
+  EXPECT_EQ(c.tp, 1);
+  EXPECT_EQ(c.fp, 1);
+}
+
+TEST(TextTableTest, RendersAlignedTable) {
+  TextTable table({"Approach", "F1"});
+  table.AddRow({"CRF", "0.61"});
+  table.AddRow({"GoalSpotter", "0.85"});
+  std::string out = table.Render();
+  EXPECT_NE(out.find("| Approach    |"), std::string::npos);
+  EXPECT_NE(out.find("| GoalSpotter | 0.85 |"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTableTest, TruncatesLongCells) {
+  TextTable table({"Text"});
+  table.AddRow({"a very long cell that should be truncated"});
+  std::string out = table.Render(12);
+  EXPECT_NE(out.find("a very le..."), std::string::npos - 1);
+  EXPECT_NE(out.find("..."), std::string::npos);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  double first = timer.Seconds();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GE(timer.Minutes(), 0.0);
+  timer.Reset();
+  EXPECT_GE(timer.Seconds(), 0.0);
+  EXPECT_LT(timer.Seconds(), 10.0);
+}
+
+}  // namespace
+}  // namespace goalex::eval

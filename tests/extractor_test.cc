@@ -1,0 +1,194 @@
+// End-to-end tests of the core DetailExtractor (Figure 2's development and
+// production phases). Training is slow relative to unit tests, so the
+// trained extractor is shared across tests via a fixture.
+#include "core/extractor.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/database.h"
+#include "data/generator.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+
+namespace goalex::core {
+namespace {
+
+ExtractorConfig SmallConfig() {
+  ExtractorConfig config;
+  config.kinds = data::SustainabilityGoalKinds();
+  config.bpe_merges = 1600;
+  return config;
+}
+
+class TrainedExtractorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SustainabilityGoalsConfig corpus_config;
+    corpus_config.objective_count = 600;
+    std::vector<data::Objective> corpus =
+        data::GenerateSustainabilityGoals(corpus_config);
+    split_ = new data::Split(data::TrainTestSplit(corpus, 0.2, 3));
+    extractor_ = new DetailExtractor(SmallConfig());
+    ASSERT_TRUE(extractor_->Train(split_->train).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete extractor_;
+    extractor_ = nullptr;
+    delete split_;
+    split_ = nullptr;
+  }
+
+  static DetailExtractor* extractor_;
+  static data::Split* split_;
+};
+
+DetailExtractor* TrainedExtractorTest::extractor_ = nullptr;
+data::Split* TrainedExtractorTest::split_ = nullptr;
+
+TEST_F(TrainedExtractorTest, TrainingCoverageStatsPopulated) {
+  const weaksup::WeakLabelStats& stats = extractor_->last_train_stats();
+  EXPECT_EQ(stats.objective_count, split_->train.size());
+  EXPECT_GT(stats.MatchRate(), 0.85);
+  EXPECT_GT(stats.labeled_token_count, 0u);
+}
+
+TEST_F(TrainedExtractorTest, ExtractsFromCleanObjective) {
+  data::Objective o;
+  o.id = "clean";
+  o.text = "Reduce energy consumption by 20% by 2025.";
+  data::DetailRecord record = extractor_->Extract(o);
+  EXPECT_EQ(record.objective_id, "clean");
+  // The model should find the action and the amount on this prototypical
+  // sentence (the amount's trailing "%" may be dropped by the scaled-down
+  // model, so only the numeric core is asserted).
+  EXPECT_EQ(record.FieldOrEmpty("Action"), "Reduce");
+  EXPECT_EQ(record.FieldOrEmpty("Amount").rfind("20", 0), 0u);
+}
+
+TEST_F(TrainedExtractorTest, BeatsChanceOnHeldOutData) {
+  std::vector<data::DetailRecord> predictions =
+      extractor_->ExtractAll(split_->test);
+  eval::FieldEvaluator evaluator(data::SustainabilityGoalKinds());
+  evaluator.AddAll(split_->test, predictions);
+  EXPECT_GT(evaluator.Overall().f1, 0.6);
+}
+
+TEST_F(TrainedExtractorTest, ExtractionIsDeterministic) {
+  data::Objective o;
+  o.text = "Achieve net-zero carbon by 2040.";
+  data::DetailRecord a = extractor_->Extract(o);
+  data::DetailRecord b = extractor_->Extract(o);
+  EXPECT_EQ(a.fields, b.fields);
+}
+
+TEST_F(TrainedExtractorTest, EmptyTextYieldsEmptyRecord) {
+  data::Objective o;
+  o.id = "empty";
+  o.text = "";
+  data::DetailRecord record = extractor_->Extract(o);
+  EXPECT_TRUE(record.fields.empty());
+}
+
+TEST_F(TrainedExtractorTest, PredictWordLabelsAlignsWithTokens) {
+  std::string text = "Reduce waste by 30% by 2030.";
+  std::vector<labels::LabelId> word_labels =
+      extractor_->PredictWordLabels(text);
+  // "Reduce waste by 30 % by 2030 ." -> 8 word tokens.
+  EXPECT_EQ(word_labels.size(), 8u);
+  for (labels::LabelId id : word_labels) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, extractor_->catalog().label_count());
+  }
+}
+
+TEST_F(TrainedExtractorTest, SaveLoadRoundTrip) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "goalex_extractor_test")
+          .string();
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(extractor_->Save(dir).ok());
+
+  DetailExtractor restored(SmallConfig());
+  ASSERT_TRUE(restored.Load(dir).ok());
+  data::Objective o;
+  o.text = "Reduce energy consumption by 20% by 2025.";
+  EXPECT_EQ(extractor_->Extract(o).fields, restored.Extract(o).fields);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(TrainedExtractorTest, NormalizationMakesMessyInputExtractable) {
+  data::Objective messy;
+  // Zero-width space, curly apostrophe, repeated whitespace.
+  messy.text = "Reduce   energy\xE2\x80\x8B consumption by 20% by 2025.";
+  data::DetailRecord record = extractor_->Extract(messy);
+  EXPECT_EQ(record.FieldOrEmpty("Action"), "Reduce");
+}
+
+TEST(DetailExtractorTest, TrainOnEmptyCorpusFails) {
+  DetailExtractor extractor(SmallConfig());
+  EXPECT_FALSE(extractor.Train({}).ok());
+}
+
+TEST(DetailExtractorTest, LoadFromMissingDirectoryFails) {
+  DetailExtractor extractor(SmallConfig());
+  EXPECT_FALSE(extractor.Load("/nonexistent/dir").ok());
+}
+
+TEST(DetailExtractorTest, EpochCallbackFires) {
+  data::SustainabilityGoalsConfig corpus_config;
+  corpus_config.objective_count = 60;
+  std::vector<data::Objective> corpus =
+      data::GenerateSustainabilityGoals(corpus_config);
+  ExtractorConfig config = SmallConfig();
+  config.epochs = 3;
+  DetailExtractor extractor(config);
+  std::vector<int32_t> epochs;
+  std::vector<double> losses;
+  ASSERT_TRUE(extractor
+                  .Train(corpus,
+                         [&](const EpochStats& stats) {
+                           epochs.push_back(stats.epoch);
+                           losses.push_back(stats.mean_train_loss);
+                         })
+                  .ok());
+  EXPECT_EQ(epochs, (std::vector<int32_t>{1, 2, 3}));
+  // Loss decreases over training.
+  EXPECT_LT(losses.back(), losses.front());
+}
+
+TEST(ConfigTest, PresetProperties) {
+  ExtractorConfig config;
+  config.kinds = {"Action"};
+  config.preset = ModelPreset::kRoberta;
+  EXPECT_FALSE(config.LowercaseTokenizer());
+  EXPECT_EQ(config.BuildTransformerConfig(100).layers, 2);
+  EXPECT_FALSE(config.BuildTransformerConfig(100).sinusoidal_positions);
+
+  config.preset = ModelPreset::kDistilRoberta;
+  EXPECT_EQ(config.BuildTransformerConfig(100).layers, 1);
+
+  config.preset = ModelPreset::kBert;
+  EXPECT_TRUE(config.LowercaseTokenizer());
+  EXPECT_TRUE(config.BuildTransformerConfig(100).sinusoidal_positions);
+
+  config.preset = ModelPreset::kDistilBert;
+  EXPECT_EQ(config.BuildTransformerConfig(100).layers, 1);
+}
+
+TEST(ConfigTest, EffectiveLearningRate) {
+  ExtractorConfig config;
+  config.learning_rate = 5e-5f;
+  config.learning_rate_scale = 20.0f;
+  EXPECT_NEAR(config.EffectiveLearningRate(), 1e-3f, 1e-9f);
+}
+
+TEST(ConfigTest, PresetNames) {
+  EXPECT_STREQ(ModelPresetName(ModelPreset::kRoberta), "roberta");
+  EXPECT_STREQ(ModelPresetName(ModelPreset::kDistilBert), "distilbert");
+}
+
+}  // namespace
+}  // namespace goalex::core

@@ -1,0 +1,240 @@
+// Finite-difference gradient checks for every differentiable op. These are
+// the load-bearing tests for the training stack: if these pass, the
+// transformer's backward pass is trustworthy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "tensor/variable.h"
+
+namespace goalex::tensor {
+namespace {
+
+// Reduces an arbitrary Var to a scalar with fixed pseudo-random weights so
+// every output element influences the loss.
+Var WeightedSum(const Var& x) {
+  Rng rng(999);
+  int64_t numel = x->value().numel();
+  Tensor w({numel, 1});
+  for (int64_t i = 0; i < numel; ++i) {
+    w.data()[i] = static_cast<float>(rng.NextUniform(0.5, 1.5));
+  }
+  Var weights = Leaf(std::move(w), false);
+  Var flat = Leaf(Tensor(), false);  // placeholder, replaced below
+  // Reshape via a view: build a [1, numel] Var sharing x's graph by MatMul
+  // trick: first make x 2-D [numel,1]^T... Simplest: wrap with a custom op.
+  Tensor value = x->value().Reshaped({1, numel}).Clone();
+  Var reshaped = MakeOp(std::move(value), {x}, [numel](Node& node) {
+    Var input = node.inputs()[0];
+    if (!input->requires_grad()) return;
+    const float* g = node.grad().data();
+    float* gi = input->grad().data();
+    for (int64_t i = 0; i < numel; ++i) gi[i] += g[i];
+  });
+  (void)flat;
+  return MatMul(reshaped, weights);  // [1,1]
+}
+
+// Checks analytic vs numeric gradients of `loss_fn` w.r.t. `param`.
+void CheckGradient(Tensor param_init,
+                   const std::function<Var(const Var&)>& loss_fn,
+                   float tol = 2e-2f) {
+  Var param = Leaf(param_init.Clone(), true);
+  Var loss = loss_fn(param);
+  ASSERT_EQ(loss->value().numel(), 1);
+  Backward(loss);
+  Tensor analytic = param->grad().Clone();
+
+  const float h = 1e-3f;
+  for (int64_t i = 0; i < param_init.numel(); ++i) {
+    Tensor plus = param_init.Clone();
+    plus.data()[i] += h;
+    Tensor minus = param_init.Clone();
+    minus.data()[i] -= h;
+    Var vp = Leaf(std::move(plus), false);
+    Var vm = Leaf(std::move(minus), false);
+    float fp = loss_fn(vp)->value().data()[0];
+    float fm = loss_fn(vm)->value().data()[0];
+    float numeric = (fp - fm) / (2 * h);
+    float a = analytic.data()[i];
+    float denom = std::max({1.0f, std::fabs(a), std::fabs(numeric)});
+    EXPECT_NEAR(a / denom, numeric / denom, tol)
+        << "element " << i << " analytic=" << a << " numeric=" << numeric;
+  }
+}
+
+Tensor RandomTensor(std::vector<int64_t> shape, uint64_t seed,
+                    float scale = 1.0f) {
+  Rng rng(seed);
+  return Tensor::RandomNormal(std::move(shape), scale, rng);
+}
+
+TEST(GradCheckTest, Add) {
+  Tensor other = RandomTensor({3, 4}, 11);
+  CheckGradient(RandomTensor({3, 4}, 1), [&](const Var& p) {
+    return WeightedSum(Add(p, Leaf(other.Clone(), false)));
+  });
+}
+
+TEST(GradCheckTest, AddBiasInput) {
+  Tensor bias = RandomTensor({4}, 12);
+  CheckGradient(RandomTensor({3, 4}, 2), [&](const Var& p) {
+    return WeightedSum(AddBias(p, Leaf(bias.Clone(), false)));
+  });
+}
+
+TEST(GradCheckTest, AddBiasBias) {
+  Tensor x = RandomTensor({3, 4}, 13);
+  CheckGradient(RandomTensor({4}, 3), [&](const Var& p) {
+    return WeightedSum(AddBias(Leaf(x.Clone(), false), p));
+  });
+}
+
+TEST(GradCheckTest, Mul) {
+  Tensor other = RandomTensor({2, 3}, 14);
+  CheckGradient(RandomTensor({2, 3}, 4), [&](const Var& p) {
+    return WeightedSum(Mul(p, Leaf(other.Clone(), false)));
+  });
+}
+
+TEST(GradCheckTest, Scale) {
+  CheckGradient(RandomTensor({2, 5}, 5), [&](const Var& p) {
+    return WeightedSum(Scale(p, -2.5f));
+  });
+}
+
+TEST(GradCheckTest, MatMulLeft) {
+  Tensor b = RandomTensor({4, 3}, 15);
+  CheckGradient(RandomTensor({2, 4}, 6), [&](const Var& p) {
+    return WeightedSum(MatMul(p, Leaf(b.Clone(), false)));
+  });
+}
+
+TEST(GradCheckTest, MatMulRight) {
+  Tensor a = RandomTensor({2, 4}, 16);
+  CheckGradient(RandomTensor({4, 3}, 7), [&](const Var& p) {
+    return WeightedSum(MatMul(Leaf(a.Clone(), false), p));
+  });
+}
+
+TEST(GradCheckTest, Gelu) {
+  CheckGradient(RandomTensor({3, 3}, 8), [&](const Var& p) {
+    return WeightedSum(Gelu(p));
+  });
+}
+
+TEST(GradCheckTest, Tanh) {
+  CheckGradient(RandomTensor({3, 3}, 9), [&](const Var& p) {
+    return WeightedSum(TanhOp(p));
+  });
+}
+
+TEST(GradCheckTest, LayerNormInput) {
+  Tensor gamma = RandomTensor({6}, 17, 0.5f);
+  Tensor beta = RandomTensor({6}, 18, 0.5f);
+  CheckGradient(RandomTensor({4, 6}, 10), [&](const Var& p) {
+    return WeightedSum(LayerNorm(p, Leaf(gamma.Clone(), false),
+                                 Leaf(beta.Clone(), false)));
+  });
+}
+
+TEST(GradCheckTest, LayerNormGamma) {
+  Tensor x = RandomTensor({4, 6}, 19);
+  Tensor beta = RandomTensor({6}, 20, 0.5f);
+  CheckGradient(RandomTensor({6}, 21, 0.5f), [&](const Var& p) {
+    return WeightedSum(
+        LayerNorm(Leaf(x.Clone(), false), p, Leaf(beta.Clone(), false)));
+  });
+}
+
+TEST(GradCheckTest, LayerNormBeta) {
+  Tensor x = RandomTensor({4, 6}, 22);
+  Tensor gamma = RandomTensor({6}, 23, 0.5f);
+  CheckGradient(RandomTensor({6}, 24, 0.5f), [&](const Var& p) {
+    return WeightedSum(
+        LayerNorm(Leaf(x.Clone(), false), Leaf(gamma.Clone(), false), p));
+  });
+}
+
+TEST(GradCheckTest, EmbeddingGather) {
+  std::vector<int32_t> ids = {0, 2, 1, 2};
+  CheckGradient(RandomTensor({3, 4}, 25), [&](const Var& p) {
+    return WeightedSum(EmbeddingGather(p, ids));
+  });
+}
+
+TEST(GradCheckTest, AttentionQuery) {
+  Tensor k = RandomTensor({4, 8}, 26, 0.5f);
+  Tensor v = RandomTensor({4, 8}, 27, 0.5f);
+  CheckGradient(RandomTensor({4, 8}, 28, 0.5f), [&](const Var& p) {
+    return WeightedSum(AttentionCore(p, Leaf(k.Clone(), false),
+                                     Leaf(v.Clone(), false), 2));
+  });
+}
+
+TEST(GradCheckTest, AttentionKey) {
+  Tensor q = RandomTensor({4, 8}, 29, 0.5f);
+  Tensor v = RandomTensor({4, 8}, 30, 0.5f);
+  CheckGradient(RandomTensor({4, 8}, 31, 0.5f), [&](const Var& p) {
+    return WeightedSum(AttentionCore(Leaf(q.Clone(), false), p,
+                                     Leaf(v.Clone(), false), 2));
+  });
+}
+
+TEST(GradCheckTest, AttentionValue) {
+  Tensor q = RandomTensor({4, 8}, 32, 0.5f);
+  Tensor k = RandomTensor({4, 8}, 33, 0.5f);
+  CheckGradient(RandomTensor({4, 8}, 34, 0.5f), [&](const Var& p) {
+    return WeightedSum(AttentionCore(Leaf(q.Clone(), false),
+                                     Leaf(k.Clone(), false), p, 2));
+  });
+}
+
+TEST(GradCheckTest, AttentionSingleHead) {
+  Tensor k = RandomTensor({3, 4}, 35, 0.5f);
+  Tensor v = RandomTensor({3, 4}, 36, 0.5f);
+  CheckGradient(RandomTensor({3, 4}, 37, 0.5f), [&](const Var& p) {
+    return WeightedSum(AttentionCore(p, Leaf(k.Clone(), false),
+                                     Leaf(v.Clone(), false), 1));
+  });
+}
+
+TEST(GradCheckTest, CrossEntropy) {
+  std::vector<int32_t> targets = {1, 0, 2, -1};
+  CheckGradient(RandomTensor({4, 3}, 38), [&](const Var& p) {
+    return CrossEntropy(p, targets);
+  });
+}
+
+TEST(GradCheckTest, SelectRow) {
+  CheckGradient(RandomTensor({3, 4}, 39), [&](const Var& p) {
+    return WeightedSum(SelectRow(p, 1));
+  });
+}
+
+TEST(GradCheckTest, MeanRows) {
+  CheckGradient(RandomTensor({5, 3}, 40), [&](const Var& p) {
+    return WeightedSum(MeanRows(p));
+  });
+}
+
+TEST(GradCheckTest, ComposedMiniNetwork) {
+  // x -> Linear -> Gelu -> LayerNorm -> CE: checks interplay of ops.
+  Tensor w = RandomTensor({4, 3}, 41, 0.5f);
+  Tensor gamma = Tensor::Full({3}, 1.0f);
+  Tensor beta = Tensor::Zeros({3});
+  std::vector<int32_t> targets = {0, 2};
+  CheckGradient(RandomTensor({2, 4}, 42, 0.5f), [&](const Var& p) {
+    Var h = MatMul(p, Leaf(w.Clone(), false));
+    h = Gelu(h);
+    h = LayerNorm(h, Leaf(gamma.Clone(), false), Leaf(beta.Clone(), false));
+    return CrossEntropy(h, targets);
+  });
+}
+
+}  // namespace
+}  // namespace goalex::tensor

@@ -1,0 +1,128 @@
+// Tests of the evaluation-harness path that the Table 4 bench exercises:
+// weak-labeled CRF training end-to-end on generated corpora, and LLM
+// baseline evaluation plumbing. These mirror bench/harness.cc so that
+// regressions show up in ctest rather than only in bench output.
+#include <gtest/gtest.h>
+
+#include "crf/crf.h"
+#include "crf/features.h"
+#include "data/generator.h"
+#include "eval/metrics.h"
+#include "labels/iob.h"
+#include "llm/llm_extractor.h"
+#include "text/normalizer.h"
+#include "text/word_tokenizer.h"
+#include "weaksup/weak_labeler.h"
+
+namespace goalex {
+namespace {
+
+std::vector<data::Objective> SmallCorpus(uint64_t seed, size_t count) {
+  data::SustainabilityGoalsConfig config;
+  config.seed = seed;
+  config.objective_count = count;
+  return data::GenerateSustainabilityGoals(config);
+}
+
+// CRF trained on weak labels must clearly beat an untrained CRF on the
+// same held-out data (field-level F1).
+TEST(WeakLabeledCrfTest, TrainingHelpsOnHeldOutData) {
+  std::vector<data::Objective> corpus = SmallCorpus(1, 400);
+  std::vector<data::Objective> train(corpus.begin(), corpus.begin() + 320);
+  std::vector<data::Objective> test(corpus.begin() + 320, corpus.end());
+
+  labels::LabelCatalog catalog(data::SustainabilityGoalKinds());
+  weaksup::WeakLabeler labeler(&catalog);
+  text::WordTokenizer tokenizer;
+
+  std::vector<crf::CrfInstance> instances;
+  for (const data::Objective& o : train) {
+    weaksup::WeakLabeling labeling = labeler.Label(o);
+    if (labeling.tokens.empty()) continue;
+    std::vector<std::string> words;
+    for (const text::Token& t : labeling.tokens) words.push_back(t.text);
+    instances.push_back(
+        crf::CrfInstance{crf::ExtractFeatures(words), labeling.label_ids});
+  }
+
+  auto evaluate = [&](const crf::LinearChainCrf& model) {
+    eval::FieldEvaluator evaluator(data::SustainabilityGoalKinds());
+    for (const data::Objective& o : test) {
+      std::vector<text::Token> tokens = tokenizer.Tokenize(o.text);
+      data::DetailRecord record;
+      if (!tokens.empty()) {
+        std::vector<std::string> words;
+        for (const text::Token& t : tokens) words.push_back(t.text);
+        std::vector<labels::LabelId> predicted =
+            model.Predict(crf::ExtractFeatures(words));
+        for (const labels::Span& span : catalog.DecodeSpans(predicted)) {
+          const std::string& kind =
+              catalog.kinds()[static_cast<size_t>(span.kind)];
+          if (record.fields.count(kind) > 0) continue;
+          record.fields[kind] =
+              o.text.substr(tokens[span.begin].begin,
+                            tokens[span.end - 1].end -
+                                tokens[span.begin].begin);
+        }
+      }
+      evaluator.Add(o, record);
+    }
+    return evaluator.Overall().f1;
+  };
+
+  crf::LinearChainCrf untrained(catalog.label_count());
+  double before = evaluate(untrained);
+
+  crf::LinearChainCrf trained(catalog.label_count());
+  crf::CrfOptions options;
+  options.epochs = 8;
+  trained.Train(instances, options);
+  double after = evaluate(trained);
+
+  EXPECT_LT(before, 0.2);
+  EXPECT_GT(after, 0.6);
+}
+
+// The LLM baselines evaluated on a real generated split: few-shot must
+// not be worse than zero-shot, and both must produce non-degenerate F1.
+TEST(PromptingBaselinePathTest, FewShotAtLeastMatchesZeroShot) {
+  std::vector<data::Objective> corpus = SmallCorpus(2, 250);
+  std::vector<data::Objective> train(corpus.begin(), corpus.begin() + 200);
+  std::vector<data::Objective> test(corpus.begin() + 200, corpus.end());
+
+  auto evaluate = [&](bool few_shot) {
+    llm::PromptingBaseline baseline(data::SustainabilityGoalKinds(),
+                                    few_shot, 9);
+    if (few_shot) {
+      std::vector<data::Objective> examples(train.begin(),
+                                            train.begin() + 3);
+      baseline.SetExamples(examples);
+    }
+    eval::FieldEvaluator evaluator(data::SustainabilityGoalKinds());
+    evaluator.AddAll(test, baseline.ExtractAll(test));
+    return evaluator.Overall().f1;
+  };
+
+  double zero = evaluate(false);
+  double few = evaluate(true);
+  EXPECT_GT(zero, 0.3);
+  EXPECT_GT(few, 0.5);
+  EXPECT_GE(few + 0.02, zero);  // Few-shot >= zero-shot (small tolerance).
+}
+
+// Weak labeling, CRF features, and the catalog agree on sequence lengths
+// for every generated objective (the invariant the harness relies on).
+TEST(HarnessInvariantTest, FeatureAndLabelLengthsAgree) {
+  labels::LabelCatalog catalog(data::SustainabilityGoalKinds());
+  weaksup::WeakLabeler labeler(&catalog);
+  for (const data::Objective& o : SmallCorpus(3, 100)) {
+    weaksup::WeakLabeling labeling = labeler.Label(o);
+    std::vector<std::string> words;
+    for (const text::Token& t : labeling.tokens) words.push_back(t.text);
+    EXPECT_EQ(crf::ExtractFeatures(words).size(),
+              labeling.label_ids.size());
+  }
+}
+
+}  // namespace
+}  // namespace goalex

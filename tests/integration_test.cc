@@ -1,0 +1,206 @@
+// Cross-module integration tests: the full development -> production ->
+// database -> typed-query path, exercised end to end, plus failure
+// injection at module boundaries.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/database.h"
+#include "core/extractor.h"
+#include "data/dataset.h"
+#include "data/generator.h"
+#include "data/report.h"
+#include "goalspotter/detector.h"
+#include "goalspotter/pipeline.h"
+#include "values/value_normalizer.h"
+
+namespace goalex {
+namespace {
+
+core::ExtractorConfig FastConfig() {
+  core::ExtractorConfig config;
+  config.kinds = data::SustainabilityGoalKinds();
+  config.epochs = 6;
+  config.bpe_merges = 1500;
+  return config;
+}
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SustainabilityGoalsConfig corpus_config;
+    corpus_config.objective_count = 500;
+    corpus_ = new std::vector<data::Objective>(
+        data::GenerateSustainabilityGoals(corpus_config));
+
+    extractor_ = new core::DetailExtractor(FastConfig());
+    ASSERT_TRUE(extractor_->Train(*corpus_).ok());
+
+    std::vector<goalspotter::LabeledBlock> blocks;
+    for (const data::Objective& o : *corpus_) blocks.push_back({o.text, true});
+    Rng noise_rng(3);
+    for (size_t i = 0; i < corpus_->size(); ++i) {
+      blocks.push_back({data::GenerateNoiseSentence(noise_rng), false});
+    }
+    detector_ = new goalspotter::ObjectiveDetector();
+    detector_->Train(blocks, goalspotter::DetectorOptions());
+  }
+
+  static void TearDownTestSuite() {
+    delete extractor_;
+    delete detector_;
+    delete corpus_;
+    extractor_ = nullptr;
+    detector_ = nullptr;
+    corpus_ = nullptr;
+  }
+
+  static std::vector<data::Objective>* corpus_;
+  static core::DetailExtractor* extractor_;
+  static goalspotter::ObjectiveDetector* detector_;
+};
+
+std::vector<data::Objective>* EndToEndTest::corpus_ = nullptr;
+core::DetailExtractor* EndToEndTest::extractor_ = nullptr;
+goalspotter::ObjectiveDetector* EndToEndTest::detector_ = nullptr;
+
+TEST_F(EndToEndTest, ReportToDatabaseToTypedQuery) {
+  data::Report report = data::GenerateSingleReport("E2ECo", 40, 10, 55);
+  goalspotter::GoalSpotter pipeline(detector_, extractor_);
+  core::ObjectiveDatabase database;
+  goalspotter::PipelineStats stats =
+      pipeline.ProcessReport(report, &database);
+  ASSERT_GT(stats.detected_objectives, 5);
+
+  // Typed layer: every stored Deadline normalizes to a plausible year.
+  int typed_deadlines = 0;
+  for (const core::DbRow* row : database.WithField("Deadline")) {
+    values::TypedDetails typed = values::NormalizeRecord(row->record);
+    ASSERT_TRUE(typed.deadline_year.has_value())
+        << row->record.FieldOrEmpty("Deadline");
+    EXPECT_GE(*typed.deadline_year, 2000);
+    EXPECT_LE(*typed.deadline_year, 2100);
+    ++typed_deadlines;
+  }
+  EXPECT_GT(typed_deadlines, 0);
+}
+
+TEST_F(EndToEndTest, TsvPersistencePreservesExtractionResults) {
+  // Save the corpus, reload it, and verify extraction agrees on the
+  // round-tripped objectives.
+  std::string path =
+      (std::filesystem::temp_directory_path() / "goalex_e2e.tsv").string();
+  std::vector<data::Objective> sample(corpus_->begin(),
+                                      corpus_->begin() + 10);
+  ASSERT_TRUE(data::SaveObjectives(sample, path).ok());
+  auto reloaded = data::LoadObjectives(path);
+  ASSERT_TRUE(reloaded.ok());
+  for (size_t i = 0; i < sample.size(); ++i) {
+    EXPECT_EQ(extractor_->Extract(sample[i]).fields,
+              extractor_->Extract((*reloaded)[i]).fields);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(EndToEndTest, SegmentationConfigChangesOnlyMultiTargetBehaviour) {
+  // A single-target objective extracts identically with and without
+  // segmentation enabled (loaded from the same weights).
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "goalex_e2e_model").string();
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(extractor_->Save(dir).ok());
+
+  core::ExtractorConfig segment_config = FastConfig();
+  segment_config.segment_multi_target = true;
+  core::DetailExtractor segmented(segment_config);
+  ASSERT_TRUE(segmented.Load(dir).ok());
+
+  data::Objective single;
+  single.text = "Reduce energy consumption by 20% by 2025.";
+  EXPECT_EQ(extractor_->Extract(single).fields,
+            segmented.Extract(single).fields);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(EndToEndTest, ConfigTextRoundTrip) {
+  core::ExtractorConfig config = FastConfig();
+  config.preset = core::ModelPreset::kDistilBert;
+  config.segment_multi_target = true;
+  config.weak_labeler.exact_match = false;
+  auto restored = core::ExtractorConfig::FromText(config.ToText());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->kinds, config.kinds);
+  EXPECT_EQ(restored->preset, config.preset);
+  EXPECT_EQ(restored->epochs, config.epochs);
+  EXPECT_EQ(restored->segment_multi_target, true);
+  EXPECT_EQ(restored->weak_labeler.exact_match, false);
+  EXPECT_EQ(restored->bpe_merges, config.bpe_merges);
+}
+
+TEST_F(EndToEndTest, ConfigTextRejectsGarbage) {
+  EXPECT_FALSE(core::ExtractorConfig::FromText("not a config").ok());
+  EXPECT_FALSE(core::ExtractorConfig::FromText("epochs=10\n").ok());
+  EXPECT_FALSE(
+      core::ExtractorConfig::FromText("kinds=A\npreset=gpt9\n").ok());
+}
+
+// Failure injection: a corrupted model file must fail to load cleanly
+// (Status error, no crash) and leave the extractor unusable but intact.
+TEST_F(EndToEndTest, CorruptedModelFileFailsToLoad) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "goalex_e2e_corrupt")
+          .string();
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(extractor_->Save(dir).ok());
+
+  // Truncate the weights file.
+  std::string model_path = dir + "/model.bin";
+  auto size = std::filesystem::file_size(model_path);
+  std::filesystem::resize_file(model_path, size / 2);
+
+  core::DetailExtractor victim(FastConfig());
+  Status status = victim.Load(dir);
+  EXPECT_FALSE(status.ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(EndToEndTest, CorruptedTokenizerFailsToLoad) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "goalex_e2e_corrupt2")
+          .string();
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(extractor_->Save(dir).ok());
+  {
+    std::ofstream out(dir + "/tokenizer.txt", std::ios::trunc);
+    out << "garbage\n";
+  }
+  core::DetailExtractor victim(FastConfig());
+  EXPECT_FALSE(victim.Load(dir).ok());
+  std::filesystem::remove_all(dir);
+}
+
+// NetZeroFacts end-to-end: the same extractor class serves the other
+// schema without modification.
+TEST(NetZeroFactsEndToEnd, TrainsAndExtracts) {
+  data::NetZeroFactsConfig corpus_config;
+  corpus_config.sentence_count = 300;
+  std::vector<data::Objective> corpus =
+      data::GenerateNetZeroFacts(corpus_config);
+  core::ExtractorConfig config;
+  config.kinds = data::NetZeroFactsKinds();
+  config.epochs = 6;
+  config.bpe_merges = 1500;
+  core::DetailExtractor extractor(config);
+  ASSERT_TRUE(extractor.Train(corpus).ok());
+
+  data::Objective o;
+  o.text = "Reduce absolute Scope 1 emissions by 45% by 2035 compared "
+           "to 2019.";
+  data::DetailRecord record = extractor.Extract(o);
+  // At minimum the target year should be found on this prototypical goal.
+  EXPECT_EQ(record.FieldOrEmpty("TargetYear"), "2035");
+}
+
+}  // namespace
+}  // namespace goalex

@@ -1,0 +1,160 @@
+#include "labels/iob.h"
+
+#include <gtest/gtest.h>
+
+namespace goalex::labels {
+namespace {
+
+LabelCatalog Catalog() {
+  return LabelCatalog({"Action", "Amount", "Qualifier", "Baseline",
+                       "Deadline"});
+}
+
+TEST(LabelCatalogTest, Counts) {
+  LabelCatalog c = Catalog();
+  EXPECT_EQ(c.kind_count(), 5);
+  EXPECT_EQ(c.label_count(), 11);
+}
+
+TEST(LabelCatalogTest, IdLayout) {
+  LabelCatalog c = Catalog();
+  EXPECT_EQ(c.BeginId(0), 1);
+  EXPECT_EQ(c.InsideId(0), 2);
+  EXPECT_EQ(c.BeginId(4), 9);
+  EXPECT_EQ(c.InsideId(4), 10);
+}
+
+TEST(LabelCatalogTest, IsBeginInside) {
+  LabelCatalog c = Catalog();
+  EXPECT_FALSE(c.IsBegin(LabelCatalog::kOutsideId));
+  EXPECT_FALSE(c.IsInside(LabelCatalog::kOutsideId));
+  for (int32_t k = 0; k < c.kind_count(); ++k) {
+    EXPECT_TRUE(c.IsBegin(c.BeginId(k)));
+    EXPECT_FALSE(c.IsInside(c.BeginId(k)));
+    EXPECT_TRUE(c.IsInside(c.InsideId(k)));
+    EXPECT_FALSE(c.IsBegin(c.InsideId(k)));
+    EXPECT_EQ(c.KindOf(c.BeginId(k)), k);
+    EXPECT_EQ(c.KindOf(c.InsideId(k)), k);
+  }
+}
+
+TEST(LabelCatalogTest, Names) {
+  LabelCatalog c = Catalog();
+  EXPECT_EQ(c.LabelName(0), "O");
+  EXPECT_EQ(c.LabelName(c.BeginId(1)), "B-Amount");
+  EXPECT_EQ(c.LabelName(c.InsideId(4)), "I-Deadline");
+}
+
+TEST(LabelCatalogTest, ParseRoundTrip) {
+  LabelCatalog c = Catalog();
+  for (LabelId id = 0; id < c.label_count(); ++id) {
+    auto parsed = c.ParseLabel(c.LabelName(id));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, id);
+  }
+}
+
+TEST(LabelCatalogTest, ParseRejectsBadInput) {
+  LabelCatalog c = Catalog();
+  EXPECT_FALSE(c.ParseLabel("B-Unknown").ok());
+  EXPECT_FALSE(c.ParseLabel("X-Action").ok());
+  EXPECT_FALSE(c.ParseLabel("").ok());
+  EXPECT_FALSE(c.ParseLabel("B").ok());
+}
+
+TEST(LabelCatalogTest, KindIndexLookups) {
+  LabelCatalog c = Catalog();
+  auto idx = c.KindIndex("Qualifier");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 2);
+  EXPECT_FALSE(c.KindIndex("qualifier").ok());  // Case-sensitive.
+}
+
+TEST(SpanCodecTest, EncodeBasic) {
+  LabelCatalog c = Catalog();
+  std::vector<LabelId> ids = c.EncodeSpans(6, {{0, 1, 3}, {4, 4, 5}});
+  EXPECT_EQ(ids, (std::vector<LabelId>{0, c.BeginId(0), c.InsideId(0), 0,
+                                       c.BeginId(4), 0}));
+}
+
+TEST(SpanCodecTest, DecodeBasic) {
+  LabelCatalog c = Catalog();
+  std::vector<LabelId> ids = {0, c.BeginId(0), c.InsideId(0), 0,
+                              c.BeginId(4), 0};
+  std::vector<Span> spans = c.DecodeSpans(ids);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0], (Span{0, 1, 3}));
+  EXPECT_EQ(spans[1], (Span{4, 4, 5}));
+}
+
+TEST(SpanCodecTest, RoundTripManySpans) {
+  LabelCatalog c = Catalog();
+  std::vector<Span> spans = {{0, 0, 1}, {1, 2, 5}, {2, 5, 6}, {3, 8, 9}};
+  std::vector<LabelId> ids = c.EncodeSpans(10, spans);
+  EXPECT_EQ(c.DecodeSpans(ids), spans);
+}
+
+TEST(SpanCodecTest, AdjacentSameKindSpansStayDistinct) {
+  LabelCatalog c = Catalog();
+  // B-Action I-Action B-Action: two spans, not one.
+  std::vector<LabelId> ids = {c.BeginId(0), c.InsideId(0), c.BeginId(0)};
+  std::vector<Span> spans = c.DecodeSpans(ids);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0], (Span{0, 0, 2}));
+  EXPECT_EQ(spans[1], (Span{0, 2, 3}));
+}
+
+TEST(SpanCodecTest, OrphanInsideRepaired) {
+  LabelCatalog c = Catalog();
+  // O I-Amount I-Amount O decodes to one Amount span.
+  std::vector<LabelId> ids = {0, c.InsideId(1), c.InsideId(1), 0};
+  std::vector<Span> spans = c.DecodeSpans(ids);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0], (Span{1, 1, 3}));
+}
+
+TEST(SpanCodecTest, KindChangeInsideRunSplits) {
+  LabelCatalog c = Catalog();
+  // B-Action I-Amount: kind change means a new (repaired) span.
+  std::vector<LabelId> ids = {c.BeginId(0), c.InsideId(1)};
+  std::vector<Span> spans = c.DecodeSpans(ids);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0], (Span{0, 0, 1}));
+  EXPECT_EQ(spans[1], (Span{1, 1, 2}));
+}
+
+TEST(SpanCodecTest, EmptySequence) {
+  LabelCatalog c = Catalog();
+  EXPECT_TRUE(c.DecodeSpans({}).empty());
+  EXPECT_TRUE(c.EncodeSpans(0, {}).empty());
+}
+
+TEST(SpanCodecTest, ZeroLengthSpanIgnored) {
+  LabelCatalog c = Catalog();
+  std::vector<LabelId> ids = c.EncodeSpans(3, {{0, 1, 1}});
+  EXPECT_EQ(ids, (std::vector<LabelId>{0, 0, 0}));
+}
+
+TEST(SpanCodecTest, LaterSpanOverwritesEarlier) {
+  LabelCatalog c = Catalog();
+  std::vector<LabelId> ids = c.EncodeSpans(4, {{0, 0, 3}, {1, 1, 3}});
+  EXPECT_EQ(ids[0], c.BeginId(0));
+  EXPECT_EQ(ids[1], c.BeginId(1));
+  EXPECT_EQ(ids[2], c.InsideId(1));
+}
+
+// Property-style sweep: encode/decode round-trips for every kind.
+class PerKindRoundTrip : public ::testing::TestWithParam<int32_t> {};
+
+TEST_P(PerKindRoundTrip, SingleSpanRoundTrips) {
+  LabelCatalog c = Catalog();
+  int32_t kind = GetParam();
+  std::vector<Span> spans = {{kind, 2, 5}};
+  EXPECT_EQ(c.DecodeSpans(c.EncodeSpans(8, spans)), spans);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, PerKindRoundTrip,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace goalex::labels

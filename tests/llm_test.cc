@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "data/schema.h"
+#include "llm/heuristics.h"
+#include "llm/llm_extractor.h"
+#include "llm/prompt.h"
+#include "llm/sim_llm.h"
+
+namespace goalex::llm {
+namespace {
+
+TEST(PromptTest, ZeroShotContainsSchemaAndObjective) {
+  std::string prompt = BuildZeroShotPrompt(
+      data::SustainabilityGoalKinds(), "Reduce waste by 20% by 2030.");
+  EXPECT_NE(prompt.find("Action, Amount, Qualifier, Baseline, Deadline"),
+            std::string::npos);
+  EXPECT_NE(prompt.find("Objective: Reduce waste by 20% by 2030."),
+            std::string::npos);
+  EXPECT_NE(prompt.find("Answer: "), std::string::npos);
+}
+
+TEST(PromptTest, FewShotContainsExamples) {
+  PromptExample example;
+  example.objective_text = "Achieve net-zero by 2040.";
+  example.annotations = {{"Amount", "net-zero"}, {"Deadline", "2040"}};
+  std::string prompt =
+      BuildFewShotPrompt(data::SustainabilityGoalKinds(), {example},
+                         "Reduce waste by 20%.");
+  EXPECT_NE(prompt.find("Achieve net-zero by 2040."), std::string::npos);
+  EXPECT_NE(prompt.find("\"Amount\": \"net-zero\""), std::string::npos);
+  // Target objective comes last.
+  EXPECT_GT(prompt.rfind("Reduce waste by 20%."),
+            prompt.find("Achieve net-zero by 2040."));
+}
+
+TEST(PromptTest, RenderAnswerEmitsAllKinds) {
+  std::string answer = RenderAnswer(
+      {"Action", "Amount"}, {{"Action", "Reduce"}});
+  EXPECT_EQ(answer, "{\"Action\": \"Reduce\", \"Amount\": \"\"}");
+}
+
+TEST(PromptTest, TokenCount) {
+  EXPECT_EQ(CountPromptTokens("a b  c"), 3u);
+  EXPECT_EQ(CountPromptTokens(""), 0u);
+}
+
+TEST(RoleTest, SustainabilityGoalsSchema) {
+  EXPECT_EQ(RoleForKind("Action"), FieldRole::kAction);
+  EXPECT_EQ(RoleForKind("Amount"), FieldRole::kAmount);
+  EXPECT_EQ(RoleForKind("Qualifier"), FieldRole::kQualifier);
+  EXPECT_EQ(RoleForKind("Baseline"), FieldRole::kBaselineYear);
+  EXPECT_EQ(RoleForKind("Deadline"), FieldRole::kDeadlineYear);
+}
+
+TEST(RoleTest, NetZeroFactsSchema) {
+  EXPECT_EQ(RoleForKind("TargetValue"), FieldRole::kAmount);
+  EXPECT_EQ(RoleForKind("ReferenceYear"), FieldRole::kBaselineYear);
+  EXPECT_EQ(RoleForKind("TargetYear"), FieldRole::kDeadlineYear);
+  EXPECT_EQ(RoleForKind("SomethingElse"), FieldRole::kUnknown);
+}
+
+TEST(HeuristicsTest, ExtractsBasicFields) {
+  auto fields = HeuristicExtract(
+      "Reduce energy consumption by 20% by 2025 (baseline 2017).",
+      data::SustainabilityGoalKinds(), HeuristicLexicon::Generic());
+  EXPECT_EQ(fields["Action"], "Reduce");
+  EXPECT_EQ(fields["Amount"], "20%");
+  EXPECT_EQ(fields["Qualifier"], "energy consumption");
+  EXPECT_EQ(fields["Deadline"], "2025");
+  EXPECT_EQ(fields["Baseline"], "2017");
+}
+
+TEST(HeuristicsTest, NetZero) {
+  auto fields = HeuristicExtract(
+      "We commit to net-zero carbon by 2040.",
+      data::SustainabilityGoalKinds(), HeuristicLexicon::Generic());
+  EXPECT_EQ(fields["Amount"], "net-zero");
+  EXPECT_EQ(fields["Deadline"], "2040");
+}
+
+TEST(HeuristicsTest, GerundRecognitionIsWorldKnowledge) {
+  auto fields = HeuristicExtract(
+      "We are committed to empowering smallholder farmers.",
+      data::SustainabilityGoalKinds(), HeuristicLexicon::Generic());
+  EXPECT_EQ(fields["Action"], "empowering");
+}
+
+TEST(HeuristicsTest, GenericLexiconMissesWillConvention) {
+  // Without examples the engine does not know that the dataset annotates
+  // the "will" auxiliary as part of the Action value.
+  auto fields = HeuristicExtract("We will reduce waste by 5%.",
+                                 data::SustainabilityGoalKinds(),
+                                 HeuristicLexicon::Generic());
+  EXPECT_EQ(fields["Action"], "reduce");
+}
+
+TEST(HeuristicsTest, LearnedGerundConventionFinds) {
+  HeuristicLexicon lexicon = HeuristicLexicon::Generic();
+  lexicon.LearnFromExample(
+      "We are committed to expanding recycling programs.",
+      {{"Action", "expanding"}});
+  EXPECT_TRUE(lexicon.gerund_convention);
+  auto fields = HeuristicExtract(
+      "We are committed to reducing waste by 10%.",
+      data::SustainabilityGoalKinds(), lexicon);
+  EXPECT_EQ(fields["Action"], "reducing");
+}
+
+TEST(HeuristicsTest, LearnedWillPrefix) {
+  HeuristicLexicon lexicon = HeuristicLexicon::Generic();
+  lexicon.LearnFromExample("We will cut emissions.",
+                           {{"Action", "will cut"}});
+  EXPECT_TRUE(lexicon.will_prefix_convention);
+  auto fields =
+      HeuristicExtract("We will reduce waste by 5%.",
+                       data::SustainabilityGoalKinds(), lexicon);
+  EXPECT_EQ(fields["Action"], "will reduce");
+}
+
+TEST(HeuristicsTest, BaselineVersusDeadlineYears) {
+  auto fields = HeuristicExtract(
+      "Cut CO2 emissions by 30% by 2035 compared to 2015.",
+      data::NetZeroFactsKinds(), HeuristicLexicon::Generic());
+  EXPECT_EQ(fields["TargetYear"], "2035");
+  EXPECT_EQ(fields["ReferenceYear"], "2015");
+  EXPECT_EQ(fields["TargetValue"], "30%");
+}
+
+TEST(SimLlmTest, DeterministicCompletion) {
+  SimulatedLlm llm(LlmProfile::FewShot(), 5);
+  std::string prompt = BuildZeroShotPrompt(
+      data::SustainabilityGoalKinds(), "Reduce waste by 20% by 2030.");
+  LlmResponse a = llm.Complete(prompt);
+  LlmResponse b = llm.Complete(prompt);
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_EQ(a.simulated_seconds, b.simulated_seconds);
+  EXPECT_GT(a.simulated_seconds, 0.0);
+}
+
+TEST(SimLlmTest, ProfilesDiffer) {
+  LlmProfile zero = LlmProfile::ZeroShot();
+  LlmProfile few = LlmProfile::FewShot();
+  EXPECT_GT(zero.hallucination_rate, few.hallucination_rate);
+  EXPECT_FALSE(zero.example_adaptation);
+  EXPECT_TRUE(few.example_adaptation);
+}
+
+TEST(ParseAnswerTest, ParsesWellFormed) {
+  data::Objective o;
+  o.id = "x";
+  o.text = "Reduce waste.";
+  data::DetailRecord record = ParseLlmAnswer(
+      "{\"Action\": \"Reduce\", \"Amount\": \"\"}",
+      {"Action", "Amount"}, o);
+  EXPECT_EQ(record.FieldOrEmpty("Action"), "Reduce");
+  EXPECT_EQ(record.FieldOrEmpty("Amount"), "");
+}
+
+TEST(ParseAnswerTest, ToleratesGarbage) {
+  data::Objective o;
+  data::DetailRecord record =
+      ParseLlmAnswer("the model refused", {"Action"}, o);
+  EXPECT_TRUE(record.fields.empty());
+}
+
+TEST(ParseAnswerTest, TruncatedJsonDropsUnterminatedField) {
+  data::Objective o;
+  data::DetailRecord record = ParseLlmAnswer(
+      "{\"Action\": \"Redu", {"Action"}, o);
+  EXPECT_TRUE(record.fields.empty());
+}
+
+TEST(BaselineTest, ZeroShotExtractsEndToEnd) {
+  PromptingBaseline baseline(data::SustainabilityGoalKinds(),
+                             /*few_shot=*/false, 1);
+  data::Objective o;
+  o.id = "o1";
+  o.text = "Reduce energy consumption by 20% by 2025.";
+  data::DetailRecord record = baseline.Extract(o);
+  EXPECT_EQ(record.objective_id, "o1");
+  EXPECT_GT(baseline.simulated_seconds(), 0.0);
+}
+
+TEST(BaselineTest, FewShotUsesExamples) {
+  PromptingBaseline baseline(data::SustainabilityGoalKinds(),
+                             /*few_shot=*/true, 1);
+  data::Objective example;
+  example.text = "We are committed to expanding solar capacity.";
+  example.annotations = {{"Action", "expanding"}};
+  baseline.SetExamples({example});
+
+  // The gerund convention learned from the example enables extraction for
+  // verbs whose base form the generic lexicon knows ("reduce").
+  data::Objective target;
+  target.id = "t";
+  target.text = "We are committed to reducing fresh water use.";
+  data::DetailRecord record = baseline.Extract(target);
+  EXPECT_EQ(record.FieldOrEmpty("Action"), "reducing");
+}
+
+TEST(BaselineTest, TimerAccumulatesAndResets) {
+  PromptingBaseline baseline(data::SustainabilityGoalKinds(),
+                             /*few_shot=*/false, 1);
+  data::Objective o;
+  o.text = "Reduce waste by 10%.";
+  baseline.Extract(o);
+  double after_one = baseline.simulated_seconds();
+  baseline.Extract(o);
+  EXPECT_GT(baseline.simulated_seconds(), after_one);
+  baseline.ResetTimer();
+  EXPECT_EQ(baseline.simulated_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace goalex::llm

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "nn/adam.h"
+#include "nn/linear.h"
+#include "nn/serialize.h"
+#include "nn/transformer.h"
+
+namespace goalex::nn {
+namespace {
+
+TransformerConfig SmallConfig() {
+  TransformerConfig config;
+  config.vocab_size = 50;
+  config.max_seq_len = 16;
+  config.d_model = 16;
+  config.heads = 2;
+  config.layers = 2;
+  config.ffn_dim = 32;
+  config.dropout = 0.0f;
+  return config;
+}
+
+TEST(LinearTest, OutputShape) {
+  Rng rng(1);
+  Linear layer(4, 6, rng);
+  tensor::Var x = tensor::Leaf(
+      tensor::Tensor::RandomNormal({3, 4}, 1.0f, rng), false);
+  tensor::Var y = layer.Forward(x);
+  EXPECT_EQ(y->value().dim(0), 3);
+  EXPECT_EQ(y->value().dim(1), 6);
+}
+
+TEST(LinearTest, ParameterEnumeration) {
+  Rng rng(2);
+  Linear layer(4, 6, rng);
+  std::vector<NamedParam> params = layer.NamedParameters();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].name, "weight");
+  EXPECT_EQ(params[1].name, "bias");
+  EXPECT_EQ(layer.ParameterCount(), 4 * 6 + 6);
+}
+
+TEST(TransformerTest, ForwardShape) {
+  Rng rng(3);
+  TransformerEncoder encoder(SmallConfig(), rng);
+  tensor::Var out = encoder.Forward({2, 5, 7, 9}, false, rng);
+  EXPECT_EQ(out->value().dim(0), 4);
+  EXPECT_EQ(out->value().dim(1), 16);
+}
+
+TEST(TransformerTest, TruncatesLongInput) {
+  Rng rng(4);
+  TransformerEncoder encoder(SmallConfig(), rng);
+  std::vector<int32_t> ids(40, 5);
+  tensor::Var out = encoder.Forward(ids, false, rng);
+  EXPECT_EQ(out->value().dim(0), 16);
+}
+
+TEST(TransformerTest, DeterministicEval) {
+  Rng rng(5);
+  TransformerEncoder encoder(SmallConfig(), rng);
+  Rng r1(0), r2(0);
+  tensor::Var a = encoder.Forward({1, 2, 3}, false, r1);
+  tensor::Var b = encoder.Forward({1, 2, 3}, false, r2);
+  for (int64_t i = 0; i < a->value().numel(); ++i) {
+    EXPECT_EQ(a->value().data()[i], b->value().data()[i]);
+  }
+}
+
+TEST(TransformerTest, OutputIsFinite) {
+  Rng rng(6);
+  TransformerEncoder encoder(SmallConfig(), rng);
+  tensor::Var out = encoder.Forward({2, 5, 7, 9, 11, 13}, false, rng);
+  EXPECT_FALSE(out->value().HasNonFinite());
+}
+
+TEST(TransformerTest, SinusoidalPositionsNotTrainable) {
+  Rng rng(7);
+  TransformerConfig config = SmallConfig();
+  config.sinusoidal_positions = true;
+  TransformerEncoder sin_encoder(config, rng);
+  config.sinusoidal_positions = false;
+  TransformerEncoder learned_encoder(config, rng);
+  // Learned-positions model has one extra parameter tensor.
+  EXPECT_EQ(learned_encoder.NamedParameters().size(),
+            sin_encoder.NamedParameters().size() + 1);
+}
+
+TEST(TokenClassifierTest, LogitsShapeAndPredict) {
+  Rng rng(8);
+  TokenClassifier model(SmallConfig(), 7, rng);
+  Rng fwd(0);
+  tensor::Var logits = model.ForwardLogits({1, 2, 3, 4, 5}, false, fwd);
+  EXPECT_EQ(logits->value().dim(0), 5);
+  EXPECT_EQ(logits->value().dim(1), 7);
+  std::vector<int32_t> pred = model.Predict({1, 2, 3, 4, 5});
+  EXPECT_EQ(pred.size(), 5u);
+  for (int32_t p : pred) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 7);
+  }
+}
+
+TEST(TokenClassifierTest, LossIsPositiveAtInit) {
+  Rng rng(9);
+  TokenClassifier model(SmallConfig(), 7, rng);
+  Rng fwd(0);
+  tensor::Var loss =
+      model.ForwardLoss({1, 2, 3}, {0, 1, 2}, false, fwd);
+  EXPECT_GT(loss->value().at(0), 0.5f);  // Roughly log(7) ~ 1.95 at init.
+  EXPECT_LT(loss->value().at(0), 4.0f);
+}
+
+// The decisive training test: a tiny classifier must overfit a toy
+// sequence-labeling task (label = token id parity) in a few hundred steps.
+TEST(TokenClassifierTest, LearnsToyTask) {
+  Rng rng(10);
+  TransformerConfig config = SmallConfig();
+  config.layers = 1;
+  TokenClassifier model(config, 2, rng);
+  Adam optimizer(model.Parameters(), AdamOptions{.learning_rate = 1e-2f});
+
+  std::vector<std::vector<int32_t>> inputs = {
+      {4, 5, 6, 7}, {8, 9, 10, 11}, {12, 13, 14, 15}, {5, 8, 13, 4}};
+  auto parity_targets = [](const std::vector<int32_t>& ids) {
+    std::vector<int32_t> t;
+    for (int32_t id : ids) t.push_back(id % 2);
+    return t;
+  };
+
+  Rng train_rng(0);
+  for (int step = 0; step < 150; ++step) {
+    for (const auto& ids : inputs) {
+      tensor::Var loss =
+          model.ForwardLoss(ids, parity_targets(ids), true, train_rng);
+      tensor::Backward(loss);
+    }
+    optimizer.Step();
+  }
+
+  int correct = 0, total = 0;
+  for (const auto& ids : inputs) {
+    std::vector<int32_t> pred = model.Predict(ids);
+    std::vector<int32_t> gold = parity_targets(ids);
+    for (size_t i = 0; i < pred.size(); ++i) {
+      correct += (pred[i] == gold[i]);
+      ++total;
+    }
+  }
+  EXPECT_GE(static_cast<double>(correct) / total, 0.9);
+}
+
+TEST(SequenceClassifierTest, PredictAndLearnToyTask) {
+  Rng rng(11);
+  TransformerConfig config = SmallConfig();
+  config.layers = 1;
+  SequenceClassifier model(config, 2, rng);
+  Adam optimizer(model.Parameters(), AdamOptions{.learning_rate = 1e-2f});
+
+  // Class 1 iff token 7 appears.
+  std::vector<std::pair<std::vector<int32_t>, int32_t>> dataset = {
+      {{4, 7, 6}, 1}, {{4, 5, 6}, 0}, {{7, 9, 9}, 1},
+      {{8, 9, 9}, 0}, {{10, 7, 12}, 1}, {{10, 11, 12}, 0}};
+
+  Rng train_rng(0);
+  for (int step = 0; step < 150; ++step) {
+    for (const auto& [ids, label] : dataset) {
+      tensor::Var loss = model.ForwardLoss(ids, label, true, train_rng);
+      tensor::Backward(loss);
+    }
+    optimizer.Step();
+  }
+  int correct = 0;
+  for (const auto& [ids, label] : dataset) {
+    correct += (model.Predict(ids) == label);
+  }
+  EXPECT_GE(correct, 5);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize ||w - target||^2 via autograd.
+  Rng rng(12);
+  tensor::Var w =
+      tensor::Leaf(tensor::Tensor::RandomNormal({1, 4}, 1.0f, rng), true);
+  tensor::Tensor target = tensor::Tensor::FromValues({1, 4}, {1, -2, 3, 0});
+  Adam optimizer({w}, AdamOptions{.learning_rate = 5e-2f, .clip_norm = 0});
+  for (int step = 0; step < 400; ++step) {
+    tensor::Var diff =
+        tensor::Add(w, tensor::Leaf(
+                           [&] {
+                             tensor::Tensor t = target.Clone();
+                             for (int64_t i = 0; i < t.numel(); ++i) {
+                               t.data()[i] = -t.data()[i];
+                             }
+                             return t;
+                           }(),
+                           false));
+    tensor::Var sq = tensor::Mul(diff, diff);
+    tensor::Var ones =
+        tensor::Leaf(tensor::Tensor::Full({4, 1}, 1.0f), false);
+    tensor::Var loss = tensor::MatMul(sq, ones);
+    tensor::Backward(loss);
+    optimizer.Step();
+  }
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(w->value().at(0, i), target.at(0, i), 0.05f);
+  }
+}
+
+TEST(AdamTest, ClipNormBoundsUpdates) {
+  tensor::Var w = tensor::Leaf(tensor::Tensor::Zeros({1, 2}), true);
+  Adam optimizer({w}, AdamOptions{.learning_rate = 1.0f, .clip_norm = 1.0f});
+  w->grad().data()[0] = 1e6f;
+  w->grad().data()[1] = 1e6f;
+  optimizer.Step();
+  // Update magnitude is bounded by learning_rate regardless of huge grads.
+  EXPECT_LT(std::fabs(w->value().at(0, 0)), 1.5f);
+}
+
+TEST(SerializeTest, RoundTripExact) {
+  Rng rng(13);
+  TokenClassifier model(SmallConfig(), 5, rng);
+  std::string path =
+      (std::filesystem::temp_directory_path() / "goalex_nn_test.bin")
+          .string();
+  ASSERT_TRUE(SaveParameters(model, path).ok());
+
+  Rng rng2(99);  // Different init.
+  TokenClassifier restored(SmallConfig(), 5, rng2);
+  ASSERT_TRUE(LoadParameters(restored, path).ok());
+
+  std::vector<int32_t> ids = {1, 2, 3, 4};
+  std::vector<int32_t> a = model.Predict(ids);
+  std::vector<int32_t> b = restored.Predict(ids);
+  EXPECT_EQ(a, b);
+
+  // Logits match exactly, not just argmax.
+  Rng f1(0), f2(0);
+  tensor::Var la = model.ForwardLogits(ids, false, f1);
+  tensor::Var lb = restored.ForwardLogits(ids, false, f2);
+  for (int64_t i = 0; i < la->value().numel(); ++i) {
+    EXPECT_EQ(la->value().data()[i], lb->value().data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsArchitectureMismatch) {
+  Rng rng(14);
+  TokenClassifier model(SmallConfig(), 5, rng);
+  std::string path =
+      (std::filesystem::temp_directory_path() / "goalex_nn_test2.bin")
+          .string();
+  ASSERT_TRUE(SaveParameters(model, path).ok());
+
+  TransformerConfig other = SmallConfig();
+  other.d_model = 32;
+  other.heads = 2;
+  Rng rng2(15);
+  TokenClassifier different(other, 5, rng2);
+  EXPECT_FALSE(LoadParameters(different, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileIsNotFound) {
+  Rng rng(16);
+  TokenClassifier model(SmallConfig(), 5, rng);
+  Status s = LoadParameters(model, "/nonexistent/path/weights.bin");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace goalex::nn

@@ -1,0 +1,83 @@
+#include "text/normalizer.h"
+
+#include <gtest/gtest.h>
+
+namespace goalex::text {
+namespace {
+
+TEST(NormalizerTest, CollapsesWhitespace) {
+  EXPECT_EQ(Normalize("  reduce\t\nemissions   now "),
+            "reduce emissions now");
+}
+
+TEST(NormalizerTest, RemovesControlCharacters) {
+  EXPECT_EQ(Normalize("net\x02zero"), "netzero");
+  EXPECT_EQ(Normalize("a\x7F""b"), "ab");
+}
+
+TEST(NormalizerTest, RemovesZeroWidthCharacters) {
+  // ZWSP between "net" and "zero".
+  EXPECT_EQ(Normalize("net\xE2\x80\x8Bzero"), "netzero");
+  // BOM at start.
+  EXPECT_EQ(Normalize("\xEF\xBB\xBFhello"), "hello");
+}
+
+TEST(NormalizerTest, FoldsCurlyQuotes) {
+  EXPECT_EQ(Normalize("\xE2\x80\x9Cnet-zero\xE2\x80\x9D"), "\"net-zero\"");
+  EXPECT_EQ(Normalize("company\xE2\x80\x99s"), "company's");
+}
+
+TEST(NormalizerTest, FoldsDashes) {
+  EXPECT_EQ(Normalize("2017\xE2\x80\x93"
+                      "2025"),
+            "2017-2025");
+  EXPECT_EQ(Normalize("goal \xE2\x80\x94 reached"), "goal - reached");
+}
+
+TEST(NormalizerTest, FoldsNonBreakingSpace) {
+  EXPECT_EQ(Normalize("20\xC2\xA0%"), "20 %");
+}
+
+TEST(NormalizerTest, RemovesBullets) {
+  EXPECT_EQ(Normalize("\xE2\x80\xA2 Reduce waste"), "Reduce waste");
+}
+
+TEST(NormalizerTest, PassesThroughOtherUtf8) {
+  // Emission subscript (CO₂) should survive.
+  EXPECT_EQ(Normalize("CO\xE2\x82\x82 emissions"),
+            "CO\xE2\x82\x82 emissions");
+}
+
+TEST(NormalizerTest, LowercaseOption) {
+  NormalizerOptions opts;
+  opts.lowercase = true;
+  EXPECT_EQ(Normalize("Reduce CO2", opts), "reduce co2");
+}
+
+TEST(NormalizerTest, OptionsCanDisableFolding) {
+  NormalizerOptions opts;
+  opts.fold_unicode_punctuation = false;
+  EXPECT_EQ(Normalize("a\xE2\x80\x93z", opts), "a\xE2\x80\x93z");
+}
+
+TEST(NormalizerTest, EmptyInput) { EXPECT_EQ(Normalize(""), ""); }
+
+TEST(NormalizerTest, WhitespaceOnlyInput) {
+  EXPECT_EQ(Normalize(" \n\t "), "");
+}
+
+TEST(NormalizerTest, InvalidUtf8TreatedAsBytes) {
+  // Lone continuation byte passes through without crashing.
+  std::string s = "a";
+  s += static_cast<char>(0xBF);
+  s += "b";
+  std::string out = Normalize(s);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(NormalizerTest, EllipsisFold) {
+  EXPECT_EQ(Normalize("wait\xE2\x80\xA6 done"), "wait... done");
+}
+
+}  // namespace
+}  // namespace goalex::text

@@ -1,0 +1,97 @@
+#include "segment/segmenter.h"
+
+#include <gtest/gtest.h>
+
+namespace goalex::segment {
+namespace {
+
+std::vector<std::string> Texts(std::string_view objective) {
+  std::vector<std::string> out;
+  for (const Segment& s : ObjectiveSegmenter().Split(objective)) {
+    out.push_back(s.text);
+  }
+  return out;
+}
+
+TEST(SegmenterTest, SingleTargetIsOneSegment) {
+  EXPECT_EQ(Texts("Reduce energy consumption by 20% by 2025."),
+            (std::vector<std::string>{
+                "Reduce energy consumption by 20% by 2025."}));
+}
+
+TEST(SegmenterTest, AndGerundSplits) {
+  EXPECT_EQ(Texts("Reduce waste by 20% and expanding recycling programs "
+                  "by 50%."),
+            (std::vector<std::string>{
+                "Reduce waste by 20%",
+                "expanding recycling programs by 50%."}));
+}
+
+TEST(SegmenterTest, AndToVerbSplits) {
+  EXPECT_EQ(Texts("Cut emissions by 30% and to restore natural habitats."),
+            (std::vector<std::string>{
+                "Cut emissions by 30%",
+                "to restore natural habitats."}));
+}
+
+TEST(SegmenterTest, SemicolonSplits) {
+  EXPECT_EQ(Texts("Achieve net-zero by 2040; eliminate landfill waste."),
+            (std::vector<std::string>{
+                "Achieve net-zero by 2040",
+                "eliminate landfill waste."}));
+}
+
+TEST(SegmenterTest, AsWellAsSplits) {
+  EXPECT_EQ(
+      Texts("Double renewable capacity as well as cutting water use."),
+      (std::vector<std::string>{"Double renewable capacity",
+                                "cutting water use."}));
+}
+
+TEST(SegmenterTest, NounCoordinationDoesNotSplit) {
+  // "water and waste" is a coordinated noun phrase, not a second target.
+  EXPECT_EQ(Texts("Set new energy, water and waste targets by 2030."),
+            (std::vector<std::string>{
+                "Set new energy, water and waste targets by 2030."}));
+}
+
+TEST(SegmenterTest, ShortIngWordsDoNotTriggerSplit) {
+  // "king" is 4 letters: not treated as a gerund.
+  EXPECT_EQ(Texts("Support the community and king county programs."),
+            (std::vector<std::string>{
+                "Support the community and king county programs."}));
+}
+
+TEST(SegmenterTest, ThreeTargets) {
+  std::vector<std::string> out =
+      Texts("Reduce emissions by 20% and doubling solar capacity; "
+            "eliminate single-use plastics.");
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], "Reduce emissions by 20%");
+  EXPECT_EQ(out[1], "doubling solar capacity");
+  EXPECT_EQ(out[2], "eliminate single-use plastics.");
+}
+
+TEST(SegmenterTest, OffsetsSliceOriginal) {
+  std::string objective =
+      "Reduce waste by 20% and expanding recycling by 50%.";
+  for (const Segment& s : ObjectiveSegmenter().Split(objective)) {
+    EXPECT_EQ(objective.substr(s.begin, s.end - s.begin), s.text);
+  }
+}
+
+TEST(SegmenterTest, EmptyInput) {
+  std::vector<Segment> segments = ObjectiveSegmenter().Split("");
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].text, "");
+}
+
+TEST(SegmenterTest, IsMultiTarget) {
+  ObjectiveSegmenter segmenter;
+  EXPECT_FALSE(segmenter.IsMultiTarget("Reduce waste by 20%."));
+  EXPECT_TRUE(segmenter.IsMultiTarget(
+      "Reduce waste by 20% and expanding recycling."));
+}
+
+}  // namespace
+}  // namespace goalex::segment

@@ -1,0 +1,74 @@
+#include "text/sentence_splitter.h"
+
+#include <gtest/gtest.h>
+
+namespace goalex::text {
+namespace {
+
+std::vector<std::string> Split(std::string_view s) {
+  return SentenceSplitter().Split(s);
+}
+
+TEST(SentenceSplitterTest, TwoSimpleSentences) {
+  EXPECT_EQ(Split("We reduce waste. We save water."),
+            (std::vector<std::string>{"We reduce waste.",
+                                      "We save water."}));
+}
+
+TEST(SentenceSplitterTest, SingleSentenceNoTerminator) {
+  EXPECT_EQ(Split("Reduce energy consumption by 20%"),
+            (std::vector<std::string>{"Reduce energy consumption by 20%"}));
+}
+
+TEST(SentenceSplitterTest, DecimalNumbersDoNotSplit) {
+  EXPECT_EQ(Split("Voluntary turnover rate in 2021: 8.1% was reported."),
+            (std::vector<std::string>{
+                "Voluntary turnover rate in 2021: 8.1% was reported."}));
+}
+
+TEST(SentenceSplitterTest, AbbreviationsDoNotSplit) {
+  std::vector<std::string> out =
+      Split("Targets cover scopes, e.g. Scope 1. New goals follow.");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "Targets cover scopes, e.g. Scope 1.");
+  EXPECT_EQ(out[1], "New goals follow.");
+}
+
+TEST(SentenceSplitterTest, QuestionAndExclamation) {
+  EXPECT_EQ(Split("Can we do it? Yes! We will."),
+            (std::vector<std::string>{"Can we do it?", "Yes!", "We will."}));
+}
+
+TEST(SentenceSplitterTest, LowercaseContinuationDoesNotSplit) {
+  // "approx." followed by lowercase must not split.
+  EXPECT_EQ(Split("Contributions at approx. 7% of income."),
+            (std::vector<std::string>{
+                "Contributions at approx. 7% of income."}));
+}
+
+TEST(SentenceSplitterTest, EmptyInput) { EXPECT_TRUE(Split("").empty()); }
+
+TEST(SentenceSplitterTest, WhitespaceOnly) {
+  EXPECT_TRUE(Split("  \n ").empty());
+}
+
+TEST(SentenceSplitterTest, TrailingWhitespaceTrimmed) {
+  EXPECT_EQ(Split("  We act.  "), (std::vector<std::string>{"We act."}));
+}
+
+TEST(SentenceSplitterTest, DigitStartsNewSentence) {
+  EXPECT_EQ(Split("We set targets. 250 students joined."),
+            (std::vector<std::string>{"We set targets.",
+                                      "250 students joined."}));
+}
+
+TEST(SentenceSplitterTest, ClosingQuoteStaysWithSentence) {
+  std::vector<std::string> out =
+      Split("They said \"net-zero by 2040.\" We agree.");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "They said \"net-zero by 2040.\"");
+  EXPECT_EQ(out[1], "We agree.");
+}
+
+}  // namespace
+}  // namespace goalex::text

@@ -1,0 +1,77 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace goalex {
+namespace {
+
+TEST(StrSplitTest, BasicSplit) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StrSplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StrSplitTest, NoDelimiter) {
+  EXPECT_EQ(StrSplit("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StrSplitWhitespaceTest, DropsEmpty) {
+  EXPECT_EQ(StrSplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(StrSplitWhitespace("   ").empty());
+  EXPECT_TRUE(StrSplitWhitespace("").empty());
+}
+
+TEST(StrJoinTest, Joins) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"x"}, ","), "x");
+}
+
+TEST(StripTest, StripsBothEnds) {
+  EXPECT_EQ(StripAsciiWhitespace("  hi  "), "hi");
+  EXPECT_EQ(StripAsciiWhitespace("hi"), "hi");
+  EXPECT_EQ(StripAsciiWhitespace(" \t\n "), "");
+}
+
+TEST(AsciiToLowerTest, LowercasesAsciiOnly) {
+  EXPECT_EQ(AsciiToLower("AbC123"), "abc123");
+  // Multi-byte UTF-8 is passed through.
+  EXPECT_EQ(AsciiToLower("CO\xE2\x82\x82"), "co\xE2\x82\x82");
+}
+
+TEST(AffixTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("hello", "lo"));
+  EXPECT_TRUE(EndsWith("hello", "lo"));
+  EXPECT_FALSE(EndsWith("hello", "he"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+TEST(IsAsciiDigitsTest, Behaviour) {
+  EXPECT_TRUE(IsAsciiDigits("2040"));
+  EXPECT_FALSE(IsAsciiDigits("20.40"));
+  EXPECT_FALSE(IsAsciiDigits(""));
+  EXPECT_FALSE(IsAsciiDigits("20x"));
+}
+
+TEST(StrReplaceAllTest, ReplacesAllOccurrences) {
+  EXPECT_EQ(StrReplaceAll("aXbXc", "X", "__"), "a__b__c");
+  EXPECT_EQ(StrReplaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(StrReplaceAll("abc", "", "x"), "abc");
+}
+
+TEST(FormatDoubleTest, FixedPrecision) {
+  EXPECT_EQ(FormatDouble(0.856, 2), "0.86");
+  EXPECT_EQ(FormatDouble(3.0, 1), "3.0");
+  EXPECT_EQ(FormatDouble(-1.25, 2), "-1.25");
+}
+
+}  // namespace
+}  // namespace goalex

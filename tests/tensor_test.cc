@@ -1,0 +1,322 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+#include "tensor/variable.h"
+
+namespace goalex::tensor {
+namespace {
+
+TEST(TensorTest, ZerosShapeAndValues) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 0; j < 3; ++j) EXPECT_EQ(t.at(i, j), 0.0f);
+  }
+}
+
+TEST(TensorTest, FromValuesAndAccess) {
+  Tensor t = Tensor::FromValues({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(TensorTest, CopyIsShallowCloneIsDeep) {
+  Tensor a = Tensor::FromValues({2}, {1, 2});
+  Tensor shallow = a;
+  Tensor deep = a.Clone();
+  a.data()[0] = 99.0f;
+  EXPECT_EQ(shallow.at(0), 99.0f);
+  EXPECT_EQ(deep.at(0), 1.0f);
+}
+
+TEST(TensorTest, ReshapedSharesStorage) {
+  Tensor a = Tensor::FromValues({2, 2}, {1, 2, 3, 4});
+  Tensor flat = a.Reshaped({4});
+  EXPECT_EQ(flat.at(3), 4.0f);
+  flat.data()[3] = 7.0f;
+  EXPECT_EQ(a.at(1, 1), 7.0f);
+}
+
+TEST(TensorTest, SumAndFill) {
+  Tensor t = Tensor::Full({3, 2}, 2.0f);
+  EXPECT_DOUBLE_EQ(t.Sum(), 12.0);
+  t.Fill(-1.0f);
+  EXPECT_DOUBLE_EQ(t.Sum(), -6.0);
+}
+
+TEST(TensorTest, RandomNormalDeterministicWithSeed) {
+  Rng r1(5), r2(5);
+  Tensor a = Tensor::RandomNormal({4, 4}, 1.0f, r1);
+  Tensor b = Tensor::RandomNormal({4, 4}, 1.0f, r2);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(TensorTest, HasNonFinite) {
+  Tensor t = Tensor::Zeros({2});
+  EXPECT_FALSE(t.HasNonFinite());
+  t.data()[1] = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(t.HasNonFinite());
+}
+
+TEST(KernelsTest, GemmMatchesManual) {
+  // A = [[1,2],[3,4]], B = [[5,6],[7,8]] -> C = [[19,22],[43,50]]
+  float a[] = {1, 2, 3, 4};
+  float b[] = {5, 6, 7, 8};
+  float c[4];
+  Gemm(a, b, c, 2, 2, 2, false);
+  EXPECT_FLOAT_EQ(c[0], 19);
+  EXPECT_FLOAT_EQ(c[1], 22);
+  EXPECT_FLOAT_EQ(c[2], 43);
+  EXPECT_FLOAT_EQ(c[3], 50);
+}
+
+TEST(KernelsTest, GemmAccumulates) {
+  float a[] = {1, 0, 0, 1};
+  float b[] = {1, 2, 3, 4};
+  float c[] = {10, 10, 10, 10};
+  Gemm(a, b, c, 2, 2, 2, true);
+  EXPECT_FLOAT_EQ(c[0], 11);
+  EXPECT_FLOAT_EQ(c[3], 14);
+}
+
+TEST(KernelsTest, GemmTransBMatchesGemm) {
+  // A[2,3] * B[2,3]^T == A * B' where B' = transpose(B).
+  float a[] = {1, 2, 3, 4, 5, 6};
+  float b[] = {7, 8, 9, 10, 11, 12};
+  float bt[] = {7, 10, 8, 11, 9, 12};
+  float c1[4], c2[4];
+  GemmTransB(a, b, c1, 2, 3, 2, false);
+  Gemm(a, bt, c2, 2, 3, 2, false);
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(c1[i], c2[i]);
+}
+
+TEST(KernelsTest, GemmTransAMatchesGemm) {
+  float a[] = {1, 2, 3, 4, 5, 6};   // [3,2] -> A^T is [2,3]
+  float at[] = {1, 3, 5, 2, 4, 6};  // [2,3]
+  float b[] = {1, 0, 0, 1, 1, 1};   // [3,2]
+  float c1[4], c2[4];
+  GemmTransA(a, b, c1, 3, 2, 2, false);
+  Gemm(at, b, c2, 2, 3, 2, false);
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(c1[i], c2[i]);
+}
+
+TEST(KernelsTest, SoftmaxRowSumsToOne) {
+  float x[] = {1.0f, 2.0f, 3.0f, 4.0f};
+  float p[4];
+  SoftmaxRow(x, p, 4);
+  float sum = 0;
+  for (float v : p) {
+    EXPECT_GT(v, 0.0f);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  EXPECT_GT(p[3], p[0]);
+}
+
+TEST(KernelsTest, SoftmaxRowHandlesMask) {
+  float x[] = {1.0f, kSoftmaxMask, 2.0f};
+  float p[3];
+  SoftmaxRow(x, p, 3);
+  EXPECT_EQ(p[1], 0.0f);
+  EXPECT_NEAR(p[0] + p[2], 1.0f, 1e-6f);
+}
+
+TEST(KernelsTest, SoftmaxRowAllMaskedIsUniform) {
+  float x[] = {kSoftmaxMask, kSoftmaxMask};
+  float p[2];
+  SoftmaxRow(x, p, 2);
+  EXPECT_NEAR(p[0], 0.5f, 1e-6f);
+  EXPECT_NEAR(p[1], 0.5f, 1e-6f);
+}
+
+TEST(KernelsTest, LogSumExpStable) {
+  float x[] = {1000.0f, 1000.0f};
+  EXPECT_NEAR(LogSumExp(x, 2), 1000.0 + std::log(2.0), 1e-3);
+}
+
+TEST(VariableTest, LeafHoldsValue) {
+  Var v = Leaf(Tensor::FromValues({2}, {1, 2}), false);
+  EXPECT_EQ(v->value().at(0), 1.0f);
+  EXPECT_FALSE(v->requires_grad());
+}
+
+TEST(VariableTest, BackwardThroughAddChain) {
+  Var a = Leaf(Tensor::FromValues({1}, {2}), true);
+  Var b = Leaf(Tensor::FromValues({1}, {3}), true);
+  Var c = Add(a, b);
+  Var d = Add(c, c);  // d = 2(a+b); dd/da = 2.
+  Backward(d);
+  EXPECT_FLOAT_EQ(a->grad().at(0), 2.0f);
+  EXPECT_FLOAT_EQ(b->grad().at(0), 2.0f);
+}
+
+TEST(VariableTest, NoGradWhenNotRequired) {
+  Var a = Leaf(Tensor::FromValues({1}, {2}), false);
+  Var b = Leaf(Tensor::FromValues({1}, {3}), false);
+  Var c = Add(a, b);
+  EXPECT_FALSE(c->requires_grad());
+}
+
+TEST(VariableTest, GradAccumulatesAcrossBackwards) {
+  Var a = Leaf(Tensor::FromValues({1}, {2}), true);
+  Var b = Scale(a, 3.0f);
+  Backward(b);
+  EXPECT_FLOAT_EQ(a->grad().at(0), 3.0f);
+  Var c = Scale(a, 3.0f);
+  Backward(c);
+  EXPECT_FLOAT_EQ(a->grad().at(0), 6.0f);
+  a->ZeroGrad();
+  EXPECT_FLOAT_EQ(a->grad().at(0), 0.0f);
+}
+
+TEST(OpsTest, ArgmaxRows) {
+  Var x = Leaf(Tensor::FromValues({2, 3}, {1, 5, 2, 9, 0, 3}), false);
+  EXPECT_EQ(ArgmaxRows(x), (std::vector<int32_t>{1, 0}));
+}
+
+TEST(OpsTest, CrossEntropyPerfectPrediction) {
+  // Huge logit on the target class -> loss near zero.
+  Var logits = Leaf(Tensor::FromValues({1, 3}, {100, 0, 0}), false);
+  Var loss = CrossEntropy(logits, {0});
+  EXPECT_NEAR(loss->value().at(0), 0.0f, 1e-4f);
+}
+
+TEST(OpsTest, CrossEntropyUniformLogits) {
+  Var logits = Leaf(Tensor::FromValues({1, 4}, {0, 0, 0, 0}), false);
+  Var loss = CrossEntropy(logits, {2});
+  EXPECT_NEAR(loss->value().at(0), std::log(4.0f), 1e-5f);
+}
+
+TEST(OpsTest, CrossEntropyIgnoresNegativeTargets) {
+  Var logits = Leaf(Tensor::FromValues({2, 2}, {0, 0, 100, 0}), true);
+  Var loss = CrossEntropy(logits, {-1, 0});
+  // Only row 1 counts; its prediction is perfect.
+  EXPECT_NEAR(loss->value().at(0), 0.0f, 1e-4f);
+  Backward(loss);
+  // Ignored row contributes zero gradient.
+  EXPECT_FLOAT_EQ(logits->grad().at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(logits->grad().at(0, 1), 0.0f);
+}
+
+TEST(OpsTest, CrossEntropyAllIgnoredIsZeroLoss) {
+  Var logits = Leaf(Tensor::FromValues({1, 2}, {1, 2}), true);
+  Var loss = CrossEntropy(logits, {-1});
+  EXPECT_FLOAT_EQ(loss->value().at(0), 0.0f);
+  Backward(loss);
+  EXPECT_FLOAT_EQ(logits->grad().at(0, 0), 0.0f);
+}
+
+TEST(OpsTest, EmbeddingGatherPicksRows) {
+  Var table = Leaf(Tensor::FromValues({3, 2}, {1, 2, 3, 4, 5, 6}), false);
+  Var out = EmbeddingGather(table, {2, 0});
+  EXPECT_FLOAT_EQ(out->value().at(0, 0), 5);
+  EXPECT_FLOAT_EQ(out->value().at(0, 1), 6);
+  EXPECT_FLOAT_EQ(out->value().at(1, 0), 1);
+}
+
+TEST(OpsTest, EmbeddingGatherGradScatters) {
+  Var table = Leaf(Tensor::Zeros({3, 2}), true);
+  Var out = EmbeddingGather(table, {1, 1});  // Row 1 used twice.
+  Var pooled = MeanRows(out);                // [1,2]
+  Var s = SelectRow(pooled, 0);              // still [1,2]
+  // Reduce to scalar via CrossEntropy-free path: use Scale+Add trick.
+  // Simpler: sum via MatMul with ones vector.
+  Var ones = Leaf(Tensor::FromValues({2, 1}, {1, 1}), false);
+  Var scalar = MatMul(s, ones);  // [1,1]
+  Backward(scalar);
+  // d(scalar)/d(table[1][j]) = 2 uses * 0.5 mean = 1.
+  EXPECT_FLOAT_EQ(table->grad().at(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(table->grad().at(1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(table->grad().at(0, 0), 0.0f);
+}
+
+TEST(OpsTest, DropoutEvalModeIsIdentity) {
+  Rng rng(1);
+  Var x = Leaf(Tensor::FromValues({2, 2}, {1, 2, 3, 4}), false);
+  Var y = Dropout(x, 0.5f, /*training=*/false, rng);
+  EXPECT_EQ(y.get(), x.get());
+}
+
+TEST(OpsTest, DropoutTrainingZeroesAndScales) {
+  Rng rng(2);
+  Var x = Leaf(Tensor::Full({100, 10}, 1.0f), false);
+  Var y = Dropout(x, 0.5f, /*training=*/true, rng);
+  int zeros = 0, scaled = 0;
+  for (int64_t i = 0; i < y->value().numel(); ++i) {
+    float v = y->value().data()[i];
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, 2.0f, 1e-6f);
+      ++scaled;
+    }
+  }
+  EXPECT_GT(zeros, 300);
+  EXPECT_GT(scaled, 300);
+}
+
+TEST(OpsTest, AttentionOutputShape) {
+  Rng rng(3);
+  Var q = Leaf(Tensor::RandomNormal({5, 8}, 1.0f, rng), false);
+  Var k = Leaf(Tensor::RandomNormal({5, 8}, 1.0f, rng), false);
+  Var v = Leaf(Tensor::RandomNormal({5, 8}, 1.0f, rng), false);
+  Var out = AttentionCore(q, k, v, 2);
+  EXPECT_EQ(out->value().dim(0), 5);
+  EXPECT_EQ(out->value().dim(1), 8);
+}
+
+TEST(OpsTest, AttentionUniformKeysAveragesValues) {
+  // If all keys are identical, attention weights are uniform, so the output
+  // is the mean of values.
+  Var q = Leaf(Tensor::FromValues({2, 2}, {1, 0, 0, 1}), false);
+  Var k = Leaf(Tensor::FromValues({2, 2}, {1, 1, 1, 1}), false);
+  Var v = Leaf(Tensor::FromValues({2, 2}, {2, 4, 6, 8}), false);
+  Var out = AttentionCore(q, k, v, 1);
+  EXPECT_NEAR(out->value().at(0, 0), 4.0f, 1e-5f);
+  EXPECT_NEAR(out->value().at(0, 1), 6.0f, 1e-5f);
+  EXPECT_NEAR(out->value().at(1, 0), 4.0f, 1e-5f);
+}
+
+TEST(OpsTest, LayerNormOutputIsNormalized) {
+  Rng rng(4);
+  Var x = Leaf(Tensor::RandomNormal({3, 16}, 5.0f, rng), false);
+  Var gamma = Leaf(Tensor::Full({16}, 1.0f), false);
+  Var beta = Leaf(Tensor::Zeros({16}), false);
+  Var y = LayerNorm(x, gamma, beta);
+  for (int64_t i = 0; i < 3; ++i) {
+    double mean = 0, var = 0;
+    for (int64_t j = 0; j < 16; ++j) mean += y->value().at(i, j);
+    mean /= 16;
+    for (int64_t j = 0; j < 16; ++j) {
+      double d = y->value().at(i, j) - mean;
+      var += d * d;
+    }
+    var /= 16;
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(OpsTest, GeluKnownValues) {
+  Var x = Leaf(Tensor::FromValues({3}, {-10.0f, 0.0f, 10.0f}), false);
+  Var y = Gelu(x);
+  EXPECT_NEAR(y->value().at(0), 0.0f, 1e-3f);
+  EXPECT_NEAR(y->value().at(1), 0.0f, 1e-6f);
+  EXPECT_NEAR(y->value().at(2), 10.0f, 1e-3f);
+}
+
+}  // namespace
+}  // namespace goalex::tensor

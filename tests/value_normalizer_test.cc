@@ -1,0 +1,158 @@
+#include "values/value_normalizer.h"
+
+#include <gtest/gtest.h>
+
+namespace goalex::values {
+namespace {
+
+TEST(NormalizeAmountTest, Percentages) {
+  auto v = NormalizeAmount("20%");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->type, AmountType::kPercent);
+  EXPECT_DOUBLE_EQ(v->magnitude, 0.20);
+
+  v = NormalizeAmount("8.1%");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NEAR(v->magnitude, 0.081, 1e-12);
+
+  v = NormalizeAmount("25 percent");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->type, AmountType::kPercent);
+  EXPECT_DOUBLE_EQ(v->magnitude, 0.25);
+}
+
+TEST(NormalizeAmountTest, NetZeroForms) {
+  for (const char* raw : {"net-zero", "net zero", "zero", "Net-Zero"}) {
+    auto v = NormalizeAmount(raw);
+    ASSERT_TRUE(v.has_value()) << raw;
+    EXPECT_EQ(v->type, AmountType::kNetZero);
+  }
+}
+
+TEST(NormalizeAmountTest, Multipliers) {
+  EXPECT_DOUBLE_EQ(NormalizeAmount("double")->magnitude, 2.0);
+  EXPECT_DOUBLE_EQ(NormalizeAmount("half")->magnitude, 0.5);
+  EXPECT_NEAR(NormalizeAmount("two thirds")->magnitude, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(NormalizeAmount("one third")->magnitude, 1.0 / 3.0, 1e-12);
+}
+
+TEST(NormalizeAmountTest, Counts) {
+  auto v = NormalizeAmount("250");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->type, AmountType::kCount);
+  EXPECT_DOUBLE_EQ(v->magnitude, 250.0);
+
+  EXPECT_DOUBLE_EQ(NormalizeAmount("10,000")->magnitude, 10000.0);
+  EXPECT_DOUBLE_EQ(NormalizeAmount("1 million")->magnitude, 1e6);
+  EXPECT_DOUBLE_EQ(NormalizeAmount("100 million")->magnitude, 1e8);
+}
+
+TEST(NormalizeAmountTest, MassEnergyPower) {
+  auto mass = NormalizeAmount("500 tonnes");
+  ASSERT_TRUE(mass.has_value());
+  EXPECT_EQ(mass->type, AmountType::kMass);
+  EXPECT_DOUBLE_EQ(mass->magnitude, 500.0 * 1000.0);  // kg
+
+  auto mt = NormalizeAmount("1.5 Mt");
+  ASSERT_TRUE(mt.has_value());
+  EXPECT_DOUBLE_EQ(mt->magnitude, 1.5e9);
+
+  auto energy = NormalizeAmount("10 GWh");
+  ASSERT_TRUE(energy.has_value());
+  EXPECT_EQ(energy->type, AmountType::kEnergy);
+  EXPECT_DOUBLE_EQ(energy->magnitude, 10 * 3.6e12);  // J
+
+  auto power = NormalizeAmount("25 MW");
+  ASSERT_TRUE(power.has_value());
+  EXPECT_EQ(power->type, AmountType::kPower);
+  EXPECT_DOUBLE_EQ(power->magnitude, 25e6);  // W
+}
+
+TEST(NormalizeAmountTest, RejectsNonQuantities) {
+  EXPECT_FALSE(NormalizeAmount("").has_value());
+  EXPECT_FALSE(NormalizeAmount("energy consumption").has_value());
+  EXPECT_FALSE(NormalizeAmount("significantly").has_value());
+  EXPECT_FALSE(NormalizeAmount("20 gadgets").has_value());
+}
+
+TEST(NormalizeAmountTest, TypeNames) {
+  EXPECT_STREQ(AmountTypeName(AmountType::kPercent), "percent");
+  EXPECT_STREQ(AmountTypeName(AmountType::kNetZero), "net-zero");
+}
+
+TEST(NormalizeYearTest, BareAndEmbedded) {
+  EXPECT_EQ(NormalizeYear("2040").value(), 2040);
+  EXPECT_EQ(NormalizeYear("the end of 2035").value(), 2035);
+  EXPECT_EQ(NormalizeYear("fiscal year 2028").value(), 2028);
+}
+
+TEST(NormalizeYearTest, RejectsNonYears) {
+  EXPECT_FALSE(NormalizeYear("next year").has_value());
+  EXPECT_FALSE(NormalizeYear("123").has_value());
+  EXPECT_FALSE(NormalizeYear("20401").has_value());  // 5-digit run.
+  EXPECT_FALSE(NormalizeYear("1203").has_value());   // Implausible year.
+  EXPECT_FALSE(NormalizeYear("").has_value());
+}
+
+TEST(NormalizeActionTest, StripsWillAndLowercases) {
+  EXPECT_EQ(NormalizeAction("will Reduce"), "reduce");
+  EXPECT_EQ(NormalizeAction("Reduce"), "reduce");
+  EXPECT_EQ(NormalizeAction("REACH"), "reach");
+}
+
+TEST(NormalizeActionTest, GerundStemming) {
+  EXPECT_EQ(NormalizeAction("reducing"), "reduce");
+  EXPECT_EQ(NormalizeAction("cutting"), "cut");
+  EXPECT_EQ(NormalizeAction("planting"), "plant");
+  EXPECT_EQ(NormalizeAction("achieving"), "achieve");
+  EXPECT_EQ(NormalizeAction("phasing out"), "phase out");
+  EXPECT_EQ(NormalizeAction("restoring"), "restore");
+  EXPECT_EQ(NormalizeAction("doubling"), "double");
+  EXPECT_EQ(NormalizeAction("offsetting"), "offset");
+  EXPECT_EQ(NormalizeAction("installing"), "install");
+  EXPECT_EQ(NormalizeAction("expanding"), "expand");
+}
+
+TEST(NormalizeActionTest, SameLemmaForAllSurfaceForms) {
+  // The categorization use case: all three surface forms of "reduce"
+  // canonicalize identically, enabling cross-company grouping.
+  EXPECT_EQ(NormalizeAction("Reduce"), NormalizeAction("reducing"));
+  EXPECT_EQ(NormalizeAction("Reduce"), NormalizeAction("will reduce"));
+}
+
+TEST(NormalizeRecordTest, SustainabilityGoalsSchema) {
+  data::DetailRecord record;
+  record.fields = {{"Action", "will Reduce"},
+                   {"Amount", "20%"},
+                   {"Baseline", "2017"},
+                   {"Deadline", "2025"}};
+  TypedDetails typed = NormalizeRecord(record);
+  EXPECT_EQ(typed.action_lemma, "reduce");
+  ASSERT_TRUE(typed.amount.has_value());
+  EXPECT_DOUBLE_EQ(typed.amount->magnitude, 0.20);
+  EXPECT_EQ(typed.baseline_year.value(), 2017);
+  EXPECT_EQ(typed.deadline_year.value(), 2025);
+}
+
+TEST(NormalizeRecordTest, NetZeroFactsSchemaViaAliases) {
+  data::DetailRecord record;
+  record.fields = {{"TargetValue", "net zero"},
+                   {"ReferenceYear", "2015"},
+                   {"TargetYear", "2040"}};
+  TypedDetails typed = NormalizeRecord(record);
+  ASSERT_TRUE(typed.amount.has_value());
+  EXPECT_EQ(typed.amount->type, AmountType::kNetZero);
+  EXPECT_EQ(typed.baseline_year.value(), 2015);
+  EXPECT_EQ(typed.deadline_year.value(), 2040);
+}
+
+TEST(NormalizeRecordTest, EmptyRecord) {
+  TypedDetails typed = NormalizeRecord(data::DetailRecord{});
+  EXPECT_TRUE(typed.action_lemma.empty());
+  EXPECT_FALSE(typed.amount.has_value());
+  EXPECT_FALSE(typed.baseline_year.has_value());
+  EXPECT_FALSE(typed.deadline_year.has_value());
+}
+
+}  // namespace
+}  // namespace goalex::values

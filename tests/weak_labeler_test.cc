@@ -1,0 +1,200 @@
+#include "weaksup/weak_labeler.h"
+
+#include <gtest/gtest.h>
+
+#include "data/schema.h"
+#include "labels/iob.h"
+
+namespace goalex::weaksup {
+namespace {
+
+labels::LabelCatalog Catalog() {
+  return labels::LabelCatalog(data::SustainabilityGoalKinds());
+}
+
+data::Objective PaperObjective() {
+  data::Objective o;
+  o.id = "paper-fig3";
+  o.text =
+      "We co-founded The Climate Pledge, a commitment to reach net-zero "
+      "carbon by 2040.";
+  o.annotations = {{"Action", "reach"},
+                   {"Amount", "net-zero"},
+                   {"Qualifier", "carbon"},
+                   {"Baseline", ""},
+                   {"Deadline", "2040"}};
+  return o;
+}
+
+// The exact expected labeling from the paper's Table 3.
+TEST(WeakLabelerTest, ReproducesPaperTable3) {
+  labels::LabelCatalog catalog = Catalog();
+  WeakLabeler labeler(&catalog);
+  WeakLabeling out = labeler.Label(PaperObjective());
+
+  std::vector<std::string> expected_tokens = {
+      "We",     "co", "-",    "founded", "The",   "Climate",
+      "Pledge", ",",  "a",    "commitment", "to", "reach",
+      "net",    "-",  "zero", "carbon",  "by",    "2040", "."};
+  std::vector<std::string> expected_labels = {
+      "O", "O", "O", "O", "O", "O", "O", "O", "O", "O", "O",
+      "B-Action", "B-Amount", "I-Amount", "I-Amount", "B-Qualifier",
+      "O", "B-Deadline", "O"};
+
+  ASSERT_EQ(out.tokens.size(), expected_tokens.size());
+  ASSERT_EQ(out.label_ids.size(), expected_labels.size());
+  for (size_t i = 0; i < expected_tokens.size(); ++i) {
+    EXPECT_EQ(out.tokens[i].text, expected_tokens[i]) << "token " << i;
+    EXPECT_EQ(catalog.LabelName(out.label_ids[i]), expected_labels[i])
+        << "label " << i;
+  }
+  EXPECT_TRUE(out.unmatched_kinds.empty());
+}
+
+TEST(WeakLabelerTest, EmptyAnnotationValueSkipped) {
+  labels::LabelCatalog catalog = Catalog();
+  WeakLabeler labeler(&catalog);
+  data::Objective o;
+  o.text = "Reduce waste.";
+  o.annotations = {{"Baseline", ""}};
+  WeakLabeling out = labeler.Label(o);
+  for (labels::LabelId id : out.label_ids) {
+    EXPECT_EQ(id, labels::LabelCatalog::kOutsideId);
+  }
+  EXPECT_TRUE(out.unmatched_kinds.empty());
+}
+
+TEST(WeakLabelerTest, UnmatchableValueRecorded) {
+  labels::LabelCatalog catalog = Catalog();
+  WeakLabeler labeler(&catalog);
+  data::Objective o;
+  o.text = "Reduce waste by 2030.";
+  o.annotations = {{"Action", "Eliminate"}};  // Not in text.
+  WeakLabeling out = labeler.Label(o);
+  ASSERT_EQ(out.unmatched_kinds.size(), 1u);
+  EXPECT_EQ(out.unmatched_kinds[0], "Action");
+}
+
+TEST(WeakLabelerTest, ExactMatchIsCaseSensitive) {
+  labels::LabelCatalog catalog = Catalog();
+  WeakLabeler labeler(&catalog);
+  data::Objective o;
+  o.text = "Reduce waste by 2030.";
+  o.annotations = {{"Action", "reduce"}};  // Lowercase, text has "Reduce".
+  WeakLabeling out = labeler.Label(o);
+  EXPECT_EQ(out.unmatched_kinds.size(), 1u);
+}
+
+TEST(WeakLabelerTest, FuzzyMatchIgnoresCase) {
+  labels::LabelCatalog catalog = Catalog();
+  WeakLabelerOptions opts;
+  opts.exact_match = false;
+  WeakLabeler labeler(&catalog, opts);
+  data::Objective o;
+  o.text = "Reduce waste by 2030.";
+  o.annotations = {{"Action", "reduce"}};
+  WeakLabeling out = labeler.Label(o);
+  EXPECT_TRUE(out.unmatched_kinds.empty());
+  EXPECT_EQ(catalog.LabelName(out.label_ids[0]), "B-Action");
+}
+
+TEST(WeakLabelerTest, FuzzyMatchAbsorbsPunctuation) {
+  labels::LabelCatalog catalog = Catalog();
+  WeakLabelerOptions opts;
+  opts.exact_match = false;
+  WeakLabeler labeler(&catalog, opts);
+  data::Objective o;
+  o.text = "Achieve net-zero carbon by 2040.";
+  // Annotation written without the hyphen.
+  o.annotations = {{"Amount", "net zero"}};
+  WeakLabeling out = labeler.Label(o);
+  EXPECT_TRUE(out.unmatched_kinds.empty());
+  // Tokens: Achieve net - zero carbon ... -> B-Amount I-Amount I-Amount.
+  EXPECT_EQ(catalog.LabelName(out.label_ids[1]), "B-Amount");
+  EXPECT_EQ(catalog.LabelName(out.label_ids[2]), "I-Amount");
+  EXPECT_EQ(catalog.LabelName(out.label_ids[3]), "I-Amount");
+}
+
+TEST(WeakLabelerTest, FirstMatchWins) {
+  labels::LabelCatalog catalog = Catalog();
+  WeakLabeler labeler(&catalog);
+  data::Objective o;
+  o.text = "Reduce waste to reduce waste.";
+  o.annotations = {{"Qualifier", "waste"}};
+  WeakLabeling out = labeler.Label(o);
+  // Tokens: Reduce waste to reduce waste .
+  EXPECT_EQ(catalog.LabelName(out.label_ids[1]), "B-Qualifier");
+  EXPECT_EQ(catalog.LabelName(out.label_ids[4]), "O");
+}
+
+TEST(WeakLabelerTest, UnknownKindIgnored) {
+  labels::LabelCatalog catalog = Catalog();
+  WeakLabeler labeler(&catalog);
+  data::Objective o;
+  o.text = "Reduce waste.";
+  o.annotations = {{"NotAKind", "waste"}};
+  WeakLabeling out = labeler.Label(o);
+  for (labels::LabelId id : out.label_ids) {
+    EXPECT_EQ(id, labels::LabelCatalog::kOutsideId);
+  }
+}
+
+TEST(WeakLabelerTest, MultiTokenValueGetsBeginInside) {
+  labels::LabelCatalog catalog = Catalog();
+  WeakLabeler labeler(&catalog);
+  data::Objective o;
+  o.text = "Restore 100% of our global water use by 2025.";
+  o.annotations = {{"Amount", "100%"}, {"Qualifier", "global water use"}};
+  WeakLabeling out = labeler.Label(o);
+  // Tokens: Restore 100 % of our global water use by 2025 .
+  EXPECT_EQ(catalog.LabelName(out.label_ids[1]), "B-Amount");
+  EXPECT_EQ(catalog.LabelName(out.label_ids[2]), "I-Amount");
+  EXPECT_EQ(catalog.LabelName(out.label_ids[5]), "B-Qualifier");
+  EXPECT_EQ(catalog.LabelName(out.label_ids[6]), "I-Qualifier");
+  EXPECT_EQ(catalog.LabelName(out.label_ids[7]), "I-Qualifier");
+}
+
+TEST(WeakLabelerTest, LabelAllPreservesOrder) {
+  labels::LabelCatalog catalog = Catalog();
+  WeakLabeler labeler(&catalog);
+  data::Objective a = PaperObjective();
+  data::Objective b;
+  b.text = "Reduce energy consumption by 20% by 2025.";
+  b.annotations = {{"Action", "Reduce"}};
+  std::vector<WeakLabeling> all = labeler.LabelAll({a, b});
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].tokens.size(), 19u);
+  EXPECT_EQ(catalog.LabelName(all[1].label_ids[0]), "B-Action");
+}
+
+TEST(WeakLabelerTest, StatsAggregation) {
+  labels::LabelCatalog catalog = Catalog();
+  WeakLabeler labeler(&catalog);
+  data::Objective a = PaperObjective();  // 4 non-empty, all match.
+  data::Objective b;
+  b.text = "Reduce waste.";
+  b.annotations = {{"Action", "Grow"}};  // 1 non-empty, unmatched.
+  std::vector<data::Objective> objectives = {a, b};
+  std::vector<WeakLabeling> labelings = labeler.LabelAll(objectives);
+  WeakLabelStats stats = ComputeStats(objectives, labelings);
+  EXPECT_EQ(stats.objective_count, 2u);
+  EXPECT_EQ(stats.annotation_count, 5u);
+  EXPECT_EQ(stats.matched_count, 4u);
+  EXPECT_NEAR(stats.MatchRate(), 0.8, 1e-9);
+  EXPECT_GT(stats.total_token_count, stats.labeled_token_count);
+  // Table 3: 6 labeled tokens in objective a; 0 in b.
+  EXPECT_EQ(stats.labeled_token_count, 6u);
+}
+
+TEST(WeakLabelerTest, ValueLongerThanTextUnmatched) {
+  labels::LabelCatalog catalog = Catalog();
+  WeakLabeler labeler(&catalog);
+  data::Objective o;
+  o.text = "Act.";
+  o.annotations = {{"Qualifier", "a much longer phrase than the text"}};
+  WeakLabeling out = labeler.Label(o);
+  EXPECT_EQ(out.unmatched_kinds.size(), 1u);
+}
+
+}  // namespace
+}  // namespace goalex::weaksup

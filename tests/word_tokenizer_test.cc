@@ -1,0 +1,84 @@
+#include "text/word_tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace goalex::text {
+namespace {
+
+std::vector<std::string> Tok(std::string_view s) {
+  return WordTokenizer().TokenizeToStrings(s);
+}
+
+TEST(WordTokenizerTest, SimpleWords) {
+  EXPECT_EQ(Tok("reduce energy consumption"),
+            (std::vector<std::string>{"reduce", "energy", "consumption"}));
+}
+
+TEST(WordTokenizerTest, PaperTable3Example) {
+  // "We co-founded The Climate Pledge, a commitment to reach net-zero
+  // carbon by 2040." must tokenize exactly as the paper's Table 3 shows.
+  std::vector<std::string> expected = {
+      "We",   "co",         "-",  "founded", "The",    "Climate", "Pledge",
+      ",",    "a",          "commitment",    "to",     "reach",   "net",
+      "-",    "zero",       "carbon",        "by",     "2040",    "."};
+  EXPECT_EQ(Tok("We co-founded The Climate Pledge, a commitment to reach "
+                "net-zero carbon by 2040."),
+            expected);
+}
+
+TEST(WordTokenizerTest, PercentSplitsOff) {
+  EXPECT_EQ(Tok("20%"), (std::vector<std::string>{"20", "%"}));
+}
+
+TEST(WordTokenizerTest, NumbersKeepInternalSeparators) {
+  EXPECT_EQ(Tok("8.1%"), (std::vector<std::string>{"8.1", "%"}));
+  EXPECT_EQ(Tok("10,000 units"),
+            (std::vector<std::string>{"10,000", "units"}));
+  // A sentence-final period after a number is still its own token.
+  EXPECT_EQ(Tok("by 2040."), (std::vector<std::string>{"by", "2040", "."}));
+  // Separators not surrounded by digits split as usual.
+  EXPECT_EQ(Tok("a.b"), (std::vector<std::string>{"a", ".", "b"}));
+}
+
+TEST(WordTokenizerTest, OffsetsAreByteAccurate) {
+  WordTokenizer tokenizer;
+  std::string input = "net-zero by 2040.";
+  std::vector<Token> tokens = tokenizer.Tokenize(input);
+  ASSERT_EQ(tokens.size(), 6u);
+  for (const Token& t : tokens) {
+    EXPECT_EQ(input.substr(t.begin, t.end - t.begin), t.text);
+  }
+  EXPECT_EQ(tokens[0].text, "net");
+  EXPECT_EQ(tokens[0].begin, 0u);
+  EXPECT_EQ(tokens[5].text, ".");
+  EXPECT_EQ(tokens[5].end, input.size());
+}
+
+TEST(WordTokenizerTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(Tok("").empty());
+  EXPECT_TRUE(Tok("   \t\n").empty());
+}
+
+TEST(WordTokenizerTest, Utf8WordsStayTogether) {
+  EXPECT_EQ(Tok("CO\xE2\x82\x82 emissions"),
+            (std::vector<std::string>{"CO\xE2\x82\x82", "emissions"}));
+}
+
+TEST(WordTokenizerTest, MultiplePunctuation) {
+  EXPECT_EQ(Tok("(2017)"),
+            (std::vector<std::string>{"(", "2017", ")"}));
+}
+
+TEST(WordTokenizerTest, TokenizationIsIdempotentOnJoin) {
+  // Tokenizing the space-joined tokens yields the same token strings.
+  std::vector<std::string> once = Tok("Reduce energy use by 20% by 2025.");
+  std::string joined;
+  for (const std::string& t : once) {
+    if (!joined.empty()) joined += ' ';
+    joined += t;
+  }
+  EXPECT_EQ(Tok(joined), once);
+}
+
+}  // namespace
+}  // namespace goalex::text

@@ -1,0 +1,286 @@
+// Command-line interface to the GoalEx library — the tool a downstream
+// user runs without writing C++:
+//
+//   goalex_cli generate --dataset sg --count 1106 --out corpus.tsv
+//   goalex_cli train    --data corpus.tsv --model-dir ./model [--epochs 10]
+//                       [--preset roberta|distilroberta|bert|distilbert]
+//   goalex_cli extract  --model-dir ./model --text "Reduce waste by 20%."
+//   goalex_cli extract  --model-dir ./model --data corpus.tsv --csv out.csv
+//   goalex_cli eval     --model-dir ./model --data test.tsv
+//
+// TSV format: id <TAB> text <TAB> kind=value ... (see data/dataset.h).
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "core/database.h"
+#include "core/extractor.h"
+#include "data/dataset.h"
+#include "data/generator.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "eval/timer.h"
+#include "text/normalizer.h"
+#include "values/value_normalizer.h"
+
+namespace {
+
+using goalex::Status;
+
+// Minimal flag parser: --key value pairs after the subcommand.
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int start) {
+  std::map<std::string, std::string> flags;
+  for (int i = start; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) continue;
+    flags[argv[i] + 2] = argv[i + 1];
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: goalex_cli <generate|train|extract|eval> [flags]\n"
+               "  generate --dataset sg|nzf [--count N] [--seed S] "
+               "--out FILE\n"
+               "  train    --data FILE --model-dir DIR [--epochs N] "
+               "[--preset NAME] [--seed S]\n"
+               "  extract  --model-dir DIR (--text T | --data FILE) "
+               "[--csv FILE] [--typed 1]\n"
+               "  eval     --model-dir DIR --data FILE\n");
+  return 2;
+}
+
+goalex::StatusOr<goalex::core::ExtractorConfig> LoadConfig(
+    const std::string& model_dir) {
+  std::ifstream in(model_dir + "/config.txt");
+  if (!in) {
+    return goalex::NotFoundError("missing config.txt in " + model_dir);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return goalex::core::ExtractorConfig::FromText(buffer.str());
+}
+
+int CmdGenerate(const std::map<std::string, std::string>& flags) {
+  std::string dataset = FlagOr(flags, "dataset", "sg");
+  std::string out_path = FlagOr(flags, "out", "");
+  if (out_path.empty()) return Usage();
+  uint64_t seed = std::strtoull(FlagOr(flags, "seed", "42").c_str(),
+                                nullptr, 10);
+
+  std::vector<goalex::data::Objective> corpus;
+  if (dataset == "sg") {
+    goalex::data::SustainabilityGoalsConfig config;
+    config.seed = seed;
+    size_t count = std::strtoull(
+        FlagOr(flags, "count", std::to_string(config.objective_count))
+            .c_str(),
+        nullptr, 10);
+    config.objective_count = count;
+    corpus = goalex::data::GenerateSustainabilityGoals(config);
+  } else if (dataset == "nzf") {
+    goalex::data::NetZeroFactsConfig config;
+    config.seed = seed;
+    size_t count = std::strtoull(
+        FlagOr(flags, "count", std::to_string(config.sentence_count))
+            .c_str(),
+        nullptr, 10);
+    config.sentence_count = count;
+    corpus = goalex::data::GenerateNetZeroFacts(config);
+  } else {
+    return Usage();
+  }
+  Status status = goalex::data::SaveObjectives(corpus, out_path);
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %zu objectives to %s\n", corpus.size(),
+              out_path.c_str());
+  return 0;
+}
+
+int CmdTrain(const std::map<std::string, std::string>& flags) {
+  std::string data_path = FlagOr(flags, "data", "");
+  std::string model_dir = FlagOr(flags, "model-dir", "");
+  if (data_path.empty() || model_dir.empty()) return Usage();
+
+  auto corpus = goalex::data::LoadObjectives(data_path);
+  if (!corpus.ok()) return Fail(corpus.status());
+
+  // Schema = union of annotation kinds present in the data.
+  std::vector<std::string> kinds;
+  for (const goalex::data::Objective& o : *corpus) {
+    for (const goalex::data::Annotation& a : o.annotations) {
+      bool known = false;
+      for (const std::string& k : kinds) known |= (k == a.kind);
+      if (!known) kinds.push_back(a.kind);
+    }
+  }
+  if (kinds.empty()) {
+    return Fail(goalex::InvalidArgumentError(
+        "training data carries no annotations"));
+  }
+
+  goalex::core::ExtractorConfig config;
+  config.kinds = kinds;
+  config.epochs = std::atoi(FlagOr(flags, "epochs", "10").c_str());
+  config.seed =
+      std::strtoull(FlagOr(flags, "seed", "17").c_str(), nullptr, 10);
+  auto preset =
+      goalex::core::ParseModelPreset(FlagOr(flags, "preset", "roberta"));
+  if (!preset.ok()) return Fail(preset.status());
+  config.preset = *preset;
+
+  goalex::core::DetailExtractor extractor(config);
+  std::printf("training on %zu objectives (%zu fields, preset %s)...\n",
+              corpus->size(), kinds.size(),
+              goalex::core::ModelPresetName(config.preset));
+  goalex::eval::Timer timer;
+  Status status = extractor.Train(
+      *corpus, [](const goalex::core::EpochStats& stats) {
+        std::printf("  epoch %2d  loss %.4f\n", stats.epoch,
+                    stats.mean_train_loss);
+      });
+  if (!status.ok()) return Fail(status);
+  std::printf("trained in %.1f s; weak-label match rate %.3f\n",
+              timer.Seconds(), extractor.last_train_stats().MatchRate());
+
+  std::filesystem::create_directories(model_dir);
+  status = extractor.Save(model_dir);
+  if (!status.ok()) return Fail(status);
+  std::printf("model saved to %s\n", model_dir.c_str());
+  return 0;
+}
+
+void PrintRecord(const goalex::data::DetailRecord& record,
+                 const std::vector<std::string>& kinds, bool typed) {
+  goalex::eval::TextTable table({"Field", "Value"});
+  for (const std::string& kind : kinds) {
+    table.AddRow({kind, record.FieldOrEmpty(kind)});
+  }
+  std::printf("%s", table.Render(60).c_str());
+  if (typed) {
+    goalex::values::TypedDetails details =
+        goalex::values::NormalizeRecord(record);
+    std::printf("typed: action_lemma='%s'", details.action_lemma.c_str());
+    if (details.amount) {
+      std::printf(" amount=%g (%s)", details.amount->magnitude,
+                  goalex::values::AmountTypeName(details.amount->type));
+    }
+    if (details.baseline_year) {
+      std::printf(" baseline=%d", *details.baseline_year);
+    }
+    if (details.deadline_year) {
+      std::printf(" deadline=%d", *details.deadline_year);
+    }
+    std::printf("\n");
+  }
+}
+
+int CmdExtract(const std::map<std::string, std::string>& flags) {
+  std::string model_dir = FlagOr(flags, "model-dir", "");
+  if (model_dir.empty()) return Usage();
+  auto config = LoadConfig(model_dir);
+  if (!config.ok()) return Fail(config.status());
+  goalex::core::DetailExtractor extractor(*config);
+  Status status = extractor.Load(model_dir);
+  if (!status.ok()) return Fail(status);
+  bool typed = FlagOr(flags, "typed", "0") == "1";
+
+  std::string text = FlagOr(flags, "text", "");
+  if (!text.empty()) {
+    goalex::data::Objective objective;
+    objective.id = "cli";
+    objective.text = text;
+    PrintRecord(extractor.Extract(objective), config->kinds, typed);
+    return 0;
+  }
+
+  std::string data_path = FlagOr(flags, "data", "");
+  if (data_path.empty()) return Usage();
+  auto corpus = goalex::data::LoadObjectives(data_path);
+  if (!corpus.ok()) return Fail(corpus.status());
+
+  goalex::core::ObjectiveDatabase database;
+  for (const goalex::data::Objective& objective : *corpus) {
+    database.Insert(extractor.Extract(objective), objective.company,
+                    objective.document, objective.page);
+  }
+  std::string csv_path = FlagOr(flags, "csv", "");
+  std::string csv = database.ExportCsv(config->kinds);
+  if (csv_path.empty()) {
+    std::printf("%s", csv.c_str());
+  } else {
+    std::ofstream out(csv_path, std::ios::trunc);
+    out << csv;
+    std::printf("wrote %zu rows to %s\n", database.size(),
+                csv_path.c_str());
+  }
+  return 0;
+}
+
+int CmdEval(const std::map<std::string, std::string>& flags) {
+  std::string model_dir = FlagOr(flags, "model-dir", "");
+  std::string data_path = FlagOr(flags, "data", "");
+  if (model_dir.empty() || data_path.empty()) return Usage();
+
+  auto config = LoadConfig(model_dir);
+  if (!config.ok()) return Fail(config.status());
+  goalex::core::DetailExtractor extractor(*config);
+  Status status = extractor.Load(model_dir);
+  if (!status.ok()) return Fail(status);
+
+  auto corpus = goalex::data::LoadObjectives(data_path);
+  if (!corpus.ok()) return Fail(corpus.status());
+
+  goalex::eval::FieldEvaluator evaluator(config->kinds);
+  for (const goalex::data::Objective& objective : *corpus) {
+    goalex::data::Objective normalized = objective;
+    normalized.text = goalex::text::Normalize(objective.text);
+    for (goalex::data::Annotation& a : normalized.annotations) {
+      a.value = goalex::text::Normalize(a.value);
+    }
+    evaluator.Add(normalized, extractor.Extract(objective));
+  }
+  goalex::eval::TextTable table({"Field", "P", "R", "F1"});
+  for (const std::string& kind : config->kinds) {
+    goalex::eval::Prf prf = evaluator.ForKind(kind);
+    table.AddRow({kind, goalex::FormatDouble(prf.precision, 3),
+                  goalex::FormatDouble(prf.recall, 3),
+                  goalex::FormatDouble(prf.f1, 3)});
+  }
+  goalex::eval::Prf overall = evaluator.Overall();
+  table.AddRow({"<overall>", goalex::FormatDouble(overall.precision, 3),
+                goalex::FormatDouble(overall.recall, 3),
+                goalex::FormatDouble(overall.f1, 3)});
+  std::printf("%s", table.Render().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::map<std::string, std::string> flags = ParseFlags(argc, argv, 2);
+  std::string command = argv[1];
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "train") return CmdTrain(flags);
+  if (command == "extract") return CmdExtract(flags);
+  if (command == "eval") return CmdEval(flags);
+  return Usage();
+}
