@@ -51,6 +51,8 @@ void Run() {
   std::printf("swept %lld blocks in %.1f s; database now holds %zu rows\n",
               static_cast<long long>(total.blocks), sweep_timer.Seconds(),
               database.size());
+  std::printf("detail extraction runtime: %s\n",
+              total.extraction.ToString().c_str());
   std::printf(
       "Paper reference (Table 5): 380 documents, 37871 pages, 3580 "
       "extracted objectives in total (e.g., C1: 20/2131/150, C8: "

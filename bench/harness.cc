@@ -11,6 +11,7 @@
 #include "eval/timer.h"
 #include "labels/iob.h"
 #include "llm/llm_extractor.h"
+#include "runtime/batch_runner.h"
 #include "text/normalizer.h"
 #include "text/word_tokenizer.h"
 #include "weaksup/weak_labeler.h"
@@ -132,31 +133,35 @@ ApproachResult RunCrfBaseline(const data::Split& split, Corpus corpus) {
   crf::LinearChainCrf model(catalog.label_count());
   model.Train(train_instances, crf::CrfOptions());
 
+  // Per-example evaluation fan-out: CRF Viterbi decoding is const and
+  // self-contained, so each test objective is predicted on a worker;
+  // prediction i always belongs to test objective i.
   text::WordTokenizer tokenizer;
-  std::vector<data::DetailRecord> predictions;
-  predictions.reserve(split.test.size());
-  for (const data::Objective& objective : split.test) {
-    std::string normalized = text::Normalize(objective.text);
-    std::vector<text::Token> tokens = tokenizer.Tokenize(normalized);
-    data::DetailRecord record;
-    record.objective_id = objective.id;
-    record.objective_text = objective.text;
-    if (!tokens.empty()) {
-      std::vector<std::string> words;
-      for (const text::Token& t : tokens) words.push_back(t.text);
-      std::vector<labels::LabelId> predicted = model.Predict(
-          crf::ExtractFeatures(words, crf::FeatureTemplate::kBasic));
-      for (const labels::Span& span : catalog.DecodeSpans(predicted)) {
-        const std::string& kind =
-            catalog.kinds()[static_cast<size_t>(span.kind)];
-        if (record.fields.count(kind) > 0) continue;
-        size_t begin = tokens[span.begin].begin;
-        size_t end = tokens[span.end - 1].end;
-        record.fields[kind] = normalized.substr(begin, end - begin);
-      }
-    }
-    predictions.push_back(std::move(record));
-  }
+  runtime::BatchRunner runner(/*num_threads=*/0);
+  std::vector<data::DetailRecord> predictions =
+      runner.Map<data::DetailRecord>(split.test.size(), [&](size_t idx) {
+        const data::Objective& objective = split.test[idx];
+        std::string normalized = text::Normalize(objective.text);
+        std::vector<text::Token> tokens = tokenizer.Tokenize(normalized);
+        data::DetailRecord record;
+        record.objective_id = objective.id;
+        record.objective_text = objective.text;
+        if (!tokens.empty()) {
+          std::vector<std::string> words;
+          for (const text::Token& t : tokens) words.push_back(t.text);
+          std::vector<labels::LabelId> predicted = model.Predict(
+              crf::ExtractFeatures(words, crf::FeatureTemplate::kBasic));
+          for (const labels::Span& span : catalog.DecodeSpans(predicted)) {
+            const std::string& kind =
+                catalog.kinds()[static_cast<size_t>(span.kind)];
+            if (record.fields.count(kind) > 0) continue;
+            size_t begin = tokens[span.begin].begin;
+            size_t end = tokens[span.end - 1].end;
+            record.fields[kind] = normalized.substr(begin, end - begin);
+          }
+        }
+        return record;
+      });
 
   ApproachResult result;
   result.minutes = timer.Minutes();

@@ -225,6 +225,10 @@ bench/CMakeFiles/bench_ablation_crf_features.dir/bench_ablation_crf_features.cc.
  /root/repo/src/labels/iob.h /root/repo/src/text/word_tokenizer.h \
  /usr/include/c++/12/cstddef /root/repo/src/core/extractor.h \
  /root/repo/src/bpe/bpe_tokenizer.h /root/repo/src/bpe/vocab.h \
+ /root/repo/src/runtime/stats.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/data/dataset.h /root/repo/src/eval/metrics.h \
  /root/repo/src/goalspotter/detector.h \
  /root/repo/src/common/string_util.h /root/repo/src/crf/crf.h \

@@ -225,7 +225,11 @@ bench/CMakeFiles/bench_figure4_labels.dir/bench_figure4_labels.cc.o: \
  /usr/include/c++/12/optional /root/repo/src/labels/iob.h \
  /root/repo/src/text/word_tokenizer.h /usr/include/c++/12/cstddef \
  /root/repo/src/core/extractor.h /root/repo/src/bpe/bpe_tokenizer.h \
- /root/repo/src/bpe/vocab.h /root/repo/src/data/dataset.h \
- /root/repo/src/eval/metrics.h /root/repo/src/goalspotter/detector.h \
+ /root/repo/src/bpe/vocab.h /root/repo/src/runtime/stats.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/data/dataset.h /root/repo/src/eval/metrics.h \
+ /root/repo/src/goalspotter/detector.h \
  /root/repo/src/common/string_util.h /root/repo/src/eval/table.h \
  /root/repo/src/text/normalizer.h

@@ -228,7 +228,7 @@ bench/CMakeFiles/bench_table7_single_report.dir/bench_table7_single_report.cc.o:
  /root/repo/src/labels/iob.h /root/repo/src/text/word_tokenizer.h \
  /usr/include/c++/12/cstddef /root/repo/src/core/extractor.h \
  /root/repo/src/bpe/bpe_tokenizer.h /root/repo/src/bpe/vocab.h \
- /root/repo/src/data/dataset.h /root/repo/src/eval/metrics.h \
- /root/repo/src/goalspotter/detector.h /root/repo/src/core/database.h \
- /root/repo/src/data/report.h /root/repo/src/eval/table.h \
- /root/repo/src/goalspotter/pipeline.h
+ /root/repo/src/runtime/stats.h /root/repo/src/data/dataset.h \
+ /root/repo/src/eval/metrics.h /root/repo/src/goalspotter/detector.h \
+ /root/repo/src/core/database.h /root/repo/src/data/report.h \
+ /root/repo/src/eval/table.h /root/repo/src/goalspotter/pipeline.h

@@ -224,6 +224,10 @@ bench/CMakeFiles/goalex_bench_harness.dir/harness.cc.o: \
  /root/repo/src/labels/iob.h /root/repo/src/text/word_tokenizer.h \
  /usr/include/c++/12/cstddef /root/repo/src/core/extractor.h \
  /root/repo/src/bpe/bpe_tokenizer.h /root/repo/src/bpe/vocab.h \
+ /root/repo/src/runtime/stats.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/data/dataset.h /root/repo/src/eval/metrics.h \
  /root/repo/src/goalspotter/detector.h \
  /root/repo/src/common/string_util.h /root/repo/src/crf/crf.h \
@@ -232,4 +236,16 @@ bench/CMakeFiles/goalex_bench_harness.dir/harness.cc.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /root/repo/src/llm/llm_extractor.h /root/repo/src/llm/prompt.h \
- /root/repo/src/llm/sim_llm.h /root/repo/src/text/normalizer.h
+ /root/repo/src/llm/sim_llm.h /root/repo/src/runtime/batch_runner.h \
+ /root/repo/src/runtime/thread_pool.h \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /root/repo/src/text/normalizer.h

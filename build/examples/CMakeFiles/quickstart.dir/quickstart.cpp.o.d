@@ -223,5 +223,8 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
  /root/repo/src/labels/iob.h /root/repo/src/text/word_tokenizer.h \
- /usr/include/c++/12/cstddef /root/repo/src/data/generator.h \
- /root/repo/src/eval/table.h
+ /usr/include/c++/12/cstddef /root/repo/src/runtime/stats.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/data/generator.h /root/repo/src/eval/table.h

@@ -229,6 +229,7 @@ examples/CMakeFiles/report_analysis.dir/report_analysis.cpp.o: \
  /root/repo/src/tensor/tensor.h /root/repo/src/tensor/ops.h \
  /root/repo/src/weaksup/weak_labeler.h /root/repo/src/labels/iob.h \
  /root/repo/src/text/word_tokenizer.h /usr/include/c++/12/cstddef \
- /root/repo/src/data/generator.h /root/repo/src/data/report.h \
- /root/repo/src/eval/table.h /root/repo/src/goalspotter/detector.h \
+ /root/repo/src/runtime/stats.h /root/repo/src/data/generator.h \
+ /root/repo/src/data/report.h /root/repo/src/eval/table.h \
+ /root/repo/src/goalspotter/detector.h \
  /root/repo/src/goalspotter/pipeline.h

@@ -17,6 +17,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/data/CMakeFiles/goalex_data.dir/DependInfo.cmake"
   "/root/repo/build/src/eval/CMakeFiles/goalex_eval.dir/DependInfo.cmake"
   "/root/repo/build/src/bpe/CMakeFiles/goalex_bpe.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/goalex_runtime.dir/DependInfo.cmake"
   "/root/repo/build/src/text/CMakeFiles/goalex_text.dir/DependInfo.cmake"
   "/root/repo/build/src/labels/CMakeFiles/goalex_labels.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/goalex_common.dir/DependInfo.cmake"

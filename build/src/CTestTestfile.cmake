@@ -5,6 +5,7 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 subdirs("common")
+subdirs("runtime")
 subdirs("text")
 subdirs("bpe")
 subdirs("tensor")

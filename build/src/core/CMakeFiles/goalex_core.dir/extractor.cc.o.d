@@ -223,8 +223,8 @@ src/core/CMakeFiles/goalex_core.dir/extractor.cc.o: \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
  /root/repo/src/labels/iob.h /root/repo/src/text/word_tokenizer.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/cstddef /root/repo/src/runtime/stats.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
@@ -233,6 +233,17 @@ src/core/CMakeFiles/goalex_core.dir/extractor.cc.o: \
  /usr/include/c++/12/bits/fstream.tcc /root/repo/src/eval/timer.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /root/repo/src/nn/adam.h \
- /root/repo/src/nn/serialize.h /root/repo/src/segment/segmenter.h \
- /root/repo/src/text/normalizer.h
+ /usr/include/c++/12/ctime /root/repo/src/runtime/batch_runner.h \
+ /root/repo/src/runtime/thread_pool.h \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /root/repo/src/nn/adam.h /root/repo/src/nn/serialize.h \
+ /root/repo/src/segment/segmenter.h /root/repo/src/text/normalizer.h

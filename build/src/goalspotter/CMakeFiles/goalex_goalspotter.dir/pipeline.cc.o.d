@@ -225,4 +225,8 @@ src/goalspotter/CMakeFiles/goalex_goalspotter.dir/pipeline.cc.o: \
  /root/repo/src/tensor/tensor.h /root/repo/src/tensor/ops.h \
  /root/repo/src/weaksup/weak_labeler.h /root/repo/src/labels/iob.h \
  /root/repo/src/text/word_tokenizer.h /usr/include/c++/12/cstddef \
+ /root/repo/src/runtime/stats.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/data/report.h /root/repo/src/goalspotter/detector.h

@@ -223,8 +223,11 @@ tests/CMakeFiles/extractor_test.dir/extractor_test.cc.o: \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
  /root/repo/src/labels/iob.h /root/repo/src/text/word_tokenizer.h \
- /usr/include/c++/12/cstddef /root/miniconda/include/gtest/gtest.h \
- /usr/include/c++/12/limits \
+ /usr/include/c++/12/cstddef /root/repo/src/runtime/stats.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

@@ -302,6 +302,10 @@ tests/CMakeFiles/goalspotter_test.dir/goalspotter_test.cc.o: \
  /root/repo/src/tensor/variable.h /root/repo/src/tensor/tensor.h \
  /root/repo/src/tensor/ops.h /root/repo/src/weaksup/weak_labeler.h \
  /root/repo/src/labels/iob.h /root/repo/src/text/word_tokenizer.h \
+ /root/repo/src/runtime/stats.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/data/generator.h /root/repo/src/data/report.h \
  /root/repo/src/goalspotter/detector.h \
  /root/repo/src/goalspotter/pipeline.h

@@ -242,8 +242,12 @@ tools/CMakeFiles/goalex_cli.dir/goalex_cli.cc.o: \
  /root/repo/src/tensor/variable.h /root/repo/src/tensor/tensor.h \
  /root/repo/src/tensor/ops.h /root/repo/src/weaksup/weak_labeler.h \
  /root/repo/src/labels/iob.h /root/repo/src/text/word_tokenizer.h \
- /usr/include/c++/12/cstddef /root/repo/src/data/dataset.h \
- /root/repo/src/data/generator.h /root/repo/src/eval/metrics.h \
- /root/repo/src/eval/table.h /root/repo/src/eval/timer.h \
- /usr/include/c++/12/chrono /root/repo/src/text/normalizer.h \
+ /usr/include/c++/12/cstddef /root/repo/src/runtime/stats.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/data/dataset.h /root/repo/src/data/generator.h \
+ /root/repo/src/eval/metrics.h /root/repo/src/eval/table.h \
+ /root/repo/src/eval/timer.h /usr/include/c++/12/chrono \
+ /root/repo/src/text/normalizer.h \
  /root/repo/src/values/value_normalizer.h

@@ -147,7 +147,7 @@ std::vector<std::string> BpeModel::ApplyMerges(const std::string& word) const {
     symbols.erase(symbols.begin() + best_pos + 1);
   }
 
-  if (cache_.size() < 200000) cache_.emplace(word, symbols);
+  if (!frozen_ && cache_.size() < 200000) cache_.emplace(word, symbols);
   return symbols;
 }
 

@@ -65,6 +65,13 @@ class BpeModel {
   /// Restores a model from Serialize() output.
   static StatusOr<BpeModel> Deserialize(std::string_view data);
 
+  /// Freezes the per-word encode cache: after this call Encode/EncodeWords
+  /// never mutate the model, making concurrent encoding safe. Words absent
+  /// from the cache are still encoded correctly (recomputed per call).
+  /// Called once the training corpus has been encoded (or after loading).
+  void Freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+
  private:
   BpeModel() = default;
 
@@ -76,8 +83,10 @@ class BpeModel {
   /// rank of each merge pair, keyed by "left\x1Fright".
   std::unordered_map<std::string, size_t> merge_ranks_;
   bool lowercase_ = false;
-  /// Per-word encode cache (word -> subword strings). Mutable hot path.
+  /// Per-word encode cache (word -> subword strings). Lazily filled on the
+  /// hot path until Freeze(); immutable (and thus thread-safe) afterwards.
   mutable std::unordered_map<std::string, std::vector<std::string>> cache_;
+  bool frozen_ = false;
 };
 
 }  // namespace goalex::bpe

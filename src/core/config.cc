@@ -66,6 +66,7 @@ std::string ExtractorConfig::ToText() const {
       << "ffn_dim=" << ffn_dim << "\n"
       << "base_layers=" << base_layers << "\n"
       << "normalize_text=" << (normalize_text ? 1 : 0) << "\n"
+      << "num_threads=" << num_threads << "\n"
       << "segment_multi_target=" << (segment_multi_target ? 1 : 0) << "\n"
       << "exact_match=" << (weak_labeler.exact_match ? 1 : 0) << "\n";
   return out.str();
@@ -116,6 +117,8 @@ StatusOr<ExtractorConfig> ExtractorConfig::FromText(std::string_view text) {
       config.base_layers = std::atoi(value.c_str());
     } else if (key == "normalize_text") {
       config.normalize_text = (value == "1");
+    } else if (key == "num_threads") {
+      config.num_threads = std::atoi(value.c_str());
     } else if (key == "segment_multi_target") {
       config.segment_multi_target = (value == "1");
     } else if (key == "exact_match") {

@@ -62,6 +62,12 @@ struct ExtractorConfig {
   /// GoalSpotter-style text normalization before tokenization.
   bool normalize_text = true;
 
+  /// Worker threads for the corpus-scale fan-out stages (ExtractAll,
+  /// LabelAll): 0 = auto (std::thread::hardware_concurrency()), 1 = the
+  /// serial seed-reproducible path. Outputs are order-preserving and
+  /// byte-identical for every setting; only throughput changes.
+  int32_t num_threads = 0;
+
   /// Objective segmentation (Section 5.3 future work): at extraction time,
   /// split multi-target objectives into single-target clauses, extract per
   /// clause, and merge (first non-empty value per field wins). Off by

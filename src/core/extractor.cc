@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "eval/timer.h"
+#include "runtime/batch_runner.h"
 #include "nn/adam.h"
 #include "nn/serialize.h"
 #include "tensor/ops.h"
@@ -75,8 +76,11 @@ Status DetailExtractor::Train(
   tokenizer_ = std::make_unique<bpe::BpeModel>(bpe::BpeModel::Train(
       corpus, config_.bpe_merges, config_.LowercaseTokenizer()));
 
-  // Step 2: weak supervision token labeling (Algorithm 1).
-  std::vector<weaksup::WeakLabeling> labelings = labeler_.LabelAll(prepared);
+  // Step 2: weak supervision token labeling (Algorithm 1), fanned out over
+  // the configured worker count (order-preserving, so the training set is
+  // identical for every thread count).
+  std::vector<weaksup::WeakLabeling> labelings =
+      labeler_.LabelAll(prepared, config_.num_threads);
   train_stats_ = weaksup::ComputeStats(prepared, labelings);
 
   std::vector<EncodedExample> examples;
@@ -88,6 +92,10 @@ Status DetailExtractor::Train(
   if (examples.empty()) {
     return FailedPreconditionError("no trainable examples after encoding");
   }
+  // The corpus is fully encoded (the per-word cache is warm); freeze the
+  // tokenizer so nothing on the inference path mutates shared state and
+  // concurrent ExtractAll workers are safe.
+  tokenizer_->Freeze();
 
   // Step 3: fine-tune the transformer sequence labeler.
   Rng init_rng(config_.seed);
@@ -133,16 +141,17 @@ Status DetailExtractor::Train(
   return Status::Ok();
 }
 
-std::vector<labels::LabelId> DetailExtractor::PredictWordLabels(
+DetailExtractor::WordPrediction DetailExtractor::PredictPrepared(
     const std::string& text) const {
   GOALEX_CHECK_MSG(model_ != nullptr, "extractor is not trained");
-  std::string prepared = Prepare(text);
-  std::vector<text::Token> tokens = word_tokenizer_.Tokenize(prepared);
-  if (tokens.empty()) return {};
+  WordPrediction out;
+  out.prepared = Prepare(text);
+  out.tokens = word_tokenizer_.Tokenize(out.prepared);
+  if (out.tokens.empty()) return out;
 
   std::vector<std::string> words;
-  words.reserve(tokens.size());
-  for (const text::Token& t : tokens) words.push_back(t.text);
+  words.reserve(out.tokens.size());
+  for (const text::Token& t : out.tokens) words.push_back(t.text);
   std::vector<bpe::Subword> subwords = tokenizer_->EncodeWords(words);
 
   std::vector<int32_t> ids;
@@ -152,18 +161,23 @@ std::vector<labels::LabelId> DetailExtractor::PredictWordLabels(
 
   std::vector<int32_t> predictions = model_->Predict(ids);
 
-  std::vector<labels::LabelId> word_labels(
-      tokens.size(), labels::LabelCatalog::kOutsideId);
+  out.word_labels.assign(out.tokens.size(),
+                         labels::LabelCatalog::kOutsideId);
   // Position p in the prediction corresponds to subword p-1 (skip BOS);
   // the tail may be truncated by max_seq_len.
   for (size_t p = 1; p < predictions.size(); ++p) {
     size_t sub = p - 1;
     if (sub >= subwords.size()) break;  // EOS position or truncation.
     if (subwords[sub].is_word_start) {
-      word_labels[subwords[sub].word_index] = predictions[p];
+      out.word_labels[subwords[sub].word_index] = predictions[p];
     }
   }
-  return word_labels;
+  return out;
+}
+
+std::vector<labels::LabelId> DetailExtractor::PredictWordLabels(
+    const std::string& text) const {
+  return PredictPrepared(text).word_labels;
 }
 
 data::DetailRecord DetailExtractor::Extract(
@@ -200,31 +214,39 @@ data::DetailRecord DetailExtractor::ExtractSingle(
   record.objective_id = objective.id;
   record.objective_text = objective.text;
 
-  std::string prepared = Prepare(objective.text);
-  std::vector<text::Token> tokens = word_tokenizer_.Tokenize(prepared);
-  if (tokens.empty()) return record;
-
-  std::vector<labels::LabelId> word_labels = PredictWordLabels(objective.text);
-  std::vector<labels::Span> spans = catalog_.DecodeSpans(word_labels);
+  // One pass through the inference pipeline: normalization, word
+  // tokenization, and BPE encoding all happen exactly once per objective.
+  WordPrediction prediction = PredictPrepared(objective.text);
+  if (prediction.tokens.empty()) return record;
+  std::vector<labels::Span> spans =
+      catalog_.DecodeSpans(prediction.word_labels);
 
   for (const labels::Span& span : spans) {
     const std::string& kind =
         catalog_.kinds()[static_cast<size_t>(span.kind)];
     if (record.fields.count(kind) > 0) continue;  // First span wins.
-    size_t begin = tokens[span.begin].begin;
-    size_t end = tokens[span.end - 1].end;
-    record.fields[kind] = prepared.substr(begin, end - begin);
+    size_t begin = prediction.tokens[span.begin].begin;
+    size_t end = prediction.tokens[span.end - 1].end;
+    record.fields[kind] = prediction.prepared.substr(begin, end - begin);
   }
   return record;
 }
 
 std::vector<data::DetailRecord> DetailExtractor::ExtractAll(
     const std::vector<data::Objective>& objectives) const {
-  std::vector<data::DetailRecord> out;
-  out.reserve(objectives.size());
-  for (const data::Objective& objective : objectives) {
-    out.push_back(Extract(objective));
-  }
+  return ExtractAll(objectives, config_.num_threads, nullptr);
+}
+
+std::vector<data::DetailRecord> DetailExtractor::ExtractAll(
+    const std::vector<data::Objective>& objectives, int32_t num_threads,
+    runtime::Stats* stats) const {
+  GOALEX_CHECK_MSG(model_ != nullptr, "extractor is not trained");
+  runtime::BatchRunner runner(num_threads);
+  std::vector<data::DetailRecord> out = runner.Map<data::DetailRecord>(
+      objectives.size(), [this, &objectives](size_t i) {
+        return Extract(objectives[i]);
+      });
+  if (stats != nullptr) *stats = runner.last_stats();
   return out;
 }
 
@@ -255,6 +277,9 @@ Status DetailExtractor::Load(const std::string& directory) {
   auto tokenizer = bpe::BpeModel::Deserialize(buffer.str());
   if (!tokenizer.ok()) return tokenizer.status();
   tokenizer_ = std::make_unique<bpe::BpeModel>(*std::move(tokenizer));
+  // Loaded models go straight to (possibly concurrent) inference: freeze
+  // the tokenizer so the encode cache is immutable from here on.
+  tokenizer_->Freeze();
 
   Rng init_rng(config_.seed);
   nn::TransformerConfig arch = config_.BuildTransformerConfig(

@@ -12,6 +12,7 @@
 #include "data/schema.h"
 #include "labels/iob.h"
 #include "nn/transformer.h"
+#include "runtime/stats.h"
 #include "text/word_tokenizer.h"
 #include "weaksup/weak_labeler.h"
 
@@ -57,9 +58,18 @@ class DetailExtractor {
   /// loaded) model.
   data::DetailRecord Extract(const data::Objective& objective) const;
 
-  /// Extracts details for a whole collection.
+  /// Extracts details for a whole collection, fanning the per-objective
+  /// inference out over `config().num_threads` workers. The output is
+  /// order-preserving (record i belongs to objective i) and byte-identical
+  /// to the serial path for every thread count.
   std::vector<data::DetailRecord> ExtractAll(
       const std::vector<data::Objective>& objectives) const;
+
+  /// Same, with an explicit thread count (<= 0 = hardware concurrency,
+  /// 1 = serial) and optional throughput counters for observability.
+  std::vector<data::DetailRecord> ExtractAll(
+      const std::vector<data::Objective>& objectives, int32_t num_threads,
+      runtime::Stats* stats = nullptr) const;
 
   /// Predicts word-level IOB label ids for a raw text (diagnostics and
   /// tests). Requires a trained model.
@@ -87,6 +97,19 @@ class DetailExtractor {
     std::vector<int32_t> ids;       ///< Subword ids with BOS/EOS.
     std::vector<int32_t> targets;   ///< Label per position (-1 = ignore).
   };
+
+  /// The production-phase inference pipeline for one text, run exactly
+  /// once per objective: normalize -> word-tokenize -> BPE-encode ->
+  /// transformer predict -> word-level labels.
+  struct WordPrediction {
+    std::string prepared;                     ///< Normalized text.
+    std::vector<text::Token> tokens;          ///< Word tokens of prepared.
+    std::vector<labels::LabelId> word_labels; ///< One label per token.
+  };
+
+  /// Runs the inference pipeline once. Thread-safe after Train()/Load():
+  /// the model, tokenizer, and catalog are immutable by then.
+  WordPrediction PredictPrepared(const std::string& text) const;
 
   /// Extracts from one (already single-target) objective.
   data::DetailRecord ExtractSingle(const data::Objective& objective) const;

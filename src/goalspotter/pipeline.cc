@@ -10,6 +10,9 @@ PipelineStats GoalSpotter::ProcessReport(
   PipelineStats stats;
   stats.documents = 1;
   stats.pages = report.page_count;
+
+  // Stage 1 (serial): detect the objective blocks of this report.
+  std::vector<data::Objective> objectives;
   for (const data::ReportBlock& block : report.blocks) {
     ++stats.blocks;
     if (!detector_->IsObjective(block.text, threshold_)) continue;
@@ -21,9 +24,19 @@ PipelineStats GoalSpotter::ProcessReport(
     objective.company = report.company;
     objective.document = report.document;
     objective.page = block.page;
+    objectives.push_back(std::move(objective));
+  }
 
-    data::DetailRecord record = extractor_->Extract(objective);
-    database->Insert(record, report.company, report.document, block.page);
+  // Stage 2 (parallel): batched detail extraction over the detected
+  // objectives; record i belongs to objective i, so database insertion
+  // order matches the serial pipeline exactly.
+  runtime::Stats extract_stats;
+  std::vector<data::DetailRecord> records = extractor_->ExtractAll(
+      objectives, extractor_->config().num_threads, &extract_stats);
+  stats.extraction = extract_stats;
+  for (size_t i = 0; i < records.size(); ++i) {
+    database->Insert(records[i], report.company, report.document,
+                     objectives[i].page);
   }
   return stats;
 }

@@ -9,6 +9,7 @@
 #include "core/extractor.h"
 #include "data/report.h"
 #include "goalspotter/detector.h"
+#include "runtime/stats.h"
 
 namespace goalex::goalspotter {
 
@@ -18,12 +19,16 @@ struct PipelineStats {
   int64_t pages = 0;
   int64_t blocks = 0;
   int64_t detected_objectives = 0;
+  /// Throughput counters of the batched detail-extraction stage
+  /// (objectives, wall seconds, worker threads).
+  runtime::Stats extraction;
 
   PipelineStats& operator+=(const PipelineStats& other) {
     documents += other.documents;
     pages += other.pages;
     blocks += other.blocks;
     detected_objectives += other.detected_objectives;
+    extraction += other.extraction;
     return *this;
   }
 };

@@ -1,0 +1,55 @@
+#ifndef GOALEX_RUNTIME_BATCH_RUNNER_H_
+#define GOALEX_RUNTIME_BATCH_RUNNER_H_
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+#include "runtime/stats.h"
+#include "runtime/thread_pool.h"
+
+namespace goalex::runtime {
+
+/// Drives an embarrassingly parallel batched stage with deterministic,
+/// order-preserving output: result i is always produced by input i and
+/// written into a pre-sized vector by index — never appended — so the
+/// output is byte-identical regardless of thread count or scheduling.
+///
+/// The mapped callable must be safe to invoke concurrently from multiple
+/// threads (const inference paths, no lazily-mutated shared state).
+class BatchRunner {
+ public:
+  /// `num_threads <= 0` = auto (hardware concurrency), 1 = serial.
+  explicit BatchRunner(int num_threads) : pool_(num_threads) {}
+
+  /// Computes {fn(0), fn(1), ..., fn(n-1)} in index order. T must be
+  /// default-constructible. Rethrows the first exception any fn(i) throws.
+  template <typename T, typename Fn>
+  std::vector<T> Map(size_t n, Fn&& fn) {
+    auto start = std::chrono::steady_clock::now();
+    std::vector<T> out(n);
+    pool_.ParallelFor(n, [&out, &fn](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) out[i] = fn(i);
+    });
+    last_stats_.items = n;
+    last_stats_.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    last_stats_.threads = pool_.thread_count();
+    return out;
+  }
+
+  int thread_count() const { return pool_.thread_count(); }
+
+  /// Counters of the most recent Map() call.
+  const Stats& last_stats() const { return last_stats_; }
+
+ private:
+  ThreadPool pool_;
+  Stats last_stats_;
+};
+
+}  // namespace goalex::runtime
+
+#endif  // GOALEX_RUNTIME_BATCH_RUNNER_H_

@@ -1,0 +1,15 @@
+#include "runtime/stats.h"
+
+#include <cstdio>
+
+namespace goalex::runtime {
+
+std::string Stats::ToString() const {
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer), "%zu items in %.2f s (%.1f/s, %d %s)",
+                items, seconds, ItemsPerSecond(), threads,
+                threads == 1 ? "thread" : "threads");
+  return buffer;
+}
+
+}  // namespace goalex::runtime

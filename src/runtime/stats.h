@@ -1,0 +1,37 @@
+#ifndef GOALEX_RUNTIME_STATS_H_
+#define GOALEX_RUNTIME_STATS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+
+namespace goalex::runtime {
+
+/// Lightweight throughput counters for a batched run (the observability
+/// the deployment discussion calls for: items processed, wall time, and
+/// the parallelism that produced them).
+struct Stats {
+  size_t items = 0;      ///< Work items completed (e.g. objectives).
+  double seconds = 0.0;  ///< Wall-clock time of the batched run.
+  int threads = 1;       ///< Worker threads used.
+
+  double ItemsPerSecond() const {
+    return seconds > 0.0 ? static_cast<double>(items) / seconds : 0.0;
+  }
+
+  /// Accumulates over several runs: items and time add, threads report the
+  /// widest fan-out seen.
+  Stats& operator+=(const Stats& other) {
+    items += other.items;
+    seconds += other.seconds;
+    threads = std::max(threads, other.threads);
+    return *this;
+  }
+
+  /// "380 items in 1.24 s (306.5/s, 8 threads)".
+  std::string ToString() const;
+};
+
+}  // namespace goalex::runtime
+
+#endif  // GOALEX_RUNTIME_STATS_H_

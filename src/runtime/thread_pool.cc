@@ -1,0 +1,103 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace goalex::runtime {
+
+int ThreadPool::DefaultThreadCount() {
+  unsigned int n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  thread_count_ = num_threads <= 0 ? DefaultThreadCount() : num_threads;
+  if (thread_count_ == 1) return;  // Serial fallback: inline execution.
+  workers_.reserve(static_cast<size_t>(thread_count_));
+  for (int i = 0; i < thread_count_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::RunTask(const std::function<void()>& task) {
+  try {
+    task();
+  } catch (...) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    RunTask(task);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    RunTask(task);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++in_flight_;
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, const std::function<void(size_t, size_t)>& chunk) {
+  if (n == 0) return;
+  size_t chunks = std::min(n, static_cast<size_t>(thread_count_));
+  if (chunks <= 1) {
+    chunk(0, n);
+    return;
+  }
+  // Static chunking: contiguous ranges of size n/chunks, the first
+  // n % chunks ranges one element larger.
+  size_t base = n / chunks;
+  size_t extra = n % chunks;
+  size_t begin = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    size_t size = base + (c < extra ? 1 : 0);
+    size_t end = begin + size;
+    Submit([&chunk, begin, end] { chunk(begin, end); });
+    begin = end;
+  }
+  Wait();
+}
+
+}  // namespace goalex::runtime

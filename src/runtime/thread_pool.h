@@ -1,0 +1,76 @@
+#ifndef GOALEX_RUNTIME_THREAD_POOL_H_
+#define GOALEX_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace goalex::runtime {
+
+/// A fixed-size worker pool for the embarrassingly parallel fan-out stages
+/// of the system (corpus-scale extraction, weak labeling, evaluation).
+///
+/// Dependency-free by design: plain std::thread workers pulling from a
+/// mutex-guarded queue. A pool resolved to one thread runs every task
+/// inline on the calling thread, so `num_threads = 1` reproduces serial
+/// behavior exactly (no worker threads are ever spawned).
+///
+/// Exceptions thrown by tasks are captured; the first one is rethrown on
+/// the calling thread by Wait() / ParallelFor(), never swallowed and never
+/// allowed to deadlock the pool.
+class ThreadPool {
+ public:
+  /// `num_threads <= 0` resolves to DefaultThreadCount().
+  explicit ThreadPool(int num_threads = 0);
+
+  /// Joins all workers. Pending tasks are still executed.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of threads doing work (>= 1; 1 means inline execution).
+  int thread_count() const { return thread_count_; }
+
+  /// std::thread::hardware_concurrency(), with a floor of 1.
+  static int DefaultThreadCount();
+
+  /// Enqueues one task. With thread_count() == 1 the task runs inline
+  /// before Submit returns.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first captured task exception (if any) and clears it.
+  void Wait();
+
+  /// Runs `chunk(begin, end)` over a static partition of [0, n) into at
+  /// most thread_count() contiguous ranges and blocks until all complete.
+  /// Rethrows the first exception thrown by any chunk. Not reentrant: do
+  /// not call ParallelFor from inside a task running on this pool.
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t, size_t)>& chunk);
+
+ private:
+  void WorkerLoop();
+  void RunTask(const std::function<void()>& task);
+
+  int thread_count_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  ///< Queued + currently running tasks.
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace goalex::runtime
+
+#endif  // GOALEX_RUNTIME_THREAD_POOL_H_

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/string_util.h"
+#include "runtime/batch_runner.h"
 
 namespace goalex::weaksup {
 namespace {
@@ -24,9 +25,13 @@ bool TokensEqualFuzzy(const std::string& a, const std::string& b) {
 int64_t WeakLabeler::FindSubsequence(
     const std::vector<text::Token>& haystack,
     const std::vector<text::Token>& needle) const {
-  if (needle.empty() || needle.size() > haystack.size()) return -1;
+  if (needle.empty()) return -1;
 
   if (options_.exact_match) {
+    // The length guard only holds for exact matching; in fuzzy mode the
+    // needle may legitimately be longer than the haystack because
+    // annotator punctuation is tolerated ("net - zero" vs "net zero").
+    if (needle.size() > haystack.size()) return -1;
     for (size_t s = 0; s + needle.size() <= haystack.size(); ++s) {
       bool match = true;
       for (size_t i = 0; i < needle.size(); ++i) {
@@ -77,6 +82,11 @@ size_t WeakLabeler::AlignFuzzy(const std::vector<text::Token>& haystack,
   // Any remaining needle tokens must be punctuation-only.
   while (n < needle.size() && IsPunctuationToken(needle[n].text)) ++n;
   if (n < needle.size()) return haystack.size() + 1;
+  // A window that never matched a content token (possible when the value
+  // is punctuation-only) is zero-length: it covers no haystack token, so
+  // treating it as a match would label a token that is not part of the
+  // value. Report no alignment instead.
+  if (last_matched_end <= start) return haystack.size() + 1;
   return last_matched_end;
 }
 
@@ -92,12 +102,20 @@ WeakLabeling WeakLabeler::Label(const data::Objective& objective) const {
   for (const data::Annotation& annotation : objective.annotations) {
     if (annotation.value.empty()) continue;
     auto kind = catalog_->KindIndex(annotation.kind);
-    if (!kind.ok()) continue;  // Kind outside the schema carries no signal.
+    if (!kind.ok()) {
+      // Kind outside the schema carries no signal; record it so match
+      // statistics do not silently count it as located.
+      result.skipped_kinds.push_back(annotation.kind);
+      continue;
+    }
 
     // Step 4: tokenize the annotation value into U.
     std::vector<text::Token> value_tokens =
         tokenizer_.Tokenize(annotation.value);
-    if (value_tokens.empty()) continue;
+    if (value_tokens.empty()) {
+      result.skipped_kinds.push_back(annotation.kind);
+      continue;
+    }
 
     // Step 5: find the start index s of U within T.
     int64_t s = FindSubsequence(result.tokens, value_tokens);
@@ -113,7 +131,13 @@ WeakLabeling WeakLabeler::Label(const data::Objective& objective) const {
     if (!options_.exact_match) {
       size_t aligned_end =
           AlignFuzzy(result.tokens, value_tokens, static_cast<size_t>(s));
-      GOALEX_CHECK_LE(aligned_end, result.tokens.size());
+      // A zero-length or failed realignment covers no token; writing B-k
+      // at `s` would label a token that is not part of the value.
+      if (aligned_end <= static_cast<size_t>(s) ||
+          aligned_end > result.tokens.size()) {
+        result.unmatched_kinds.push_back(annotation.kind);
+        continue;
+      }
       end = aligned_end;
     }
     GOALEX_CHECK_LE(end, result.tokens.size());
@@ -126,13 +150,12 @@ WeakLabeling WeakLabeler::Label(const data::Objective& objective) const {
 }
 
 std::vector<WeakLabeling> WeakLabeler::LabelAll(
-    const std::vector<data::Objective>& objectives) const {
-  std::vector<WeakLabeling> out;
-  out.reserve(objectives.size());
-  for (const data::Objective& objective : objectives) {
-    out.push_back(Label(objective));
-  }
-  return out;
+    const std::vector<data::Objective>& objectives, int num_threads) const {
+  runtime::BatchRunner runner(num_threads);
+  return runner.Map<WeakLabeling>(
+      objectives.size(), [this, &objectives](size_t i) {
+        return Label(objectives[i]);
+      });
 }
 
 WeakLabelStats ComputeStats(const std::vector<data::Objective>& objectives,
@@ -146,7 +169,12 @@ WeakLabelStats ComputeStats(const std::vector<data::Objective>& objectives,
       if (!a.value.empty()) ++non_empty;
     }
     stats.annotation_count += non_empty;
-    stats.matched_count += non_empty - labelings[i].unmatched_kinds.size();
+    stats.skipped_count += labelings[i].skipped_kinds.size();
+    // Only annotations the labeler actually located count as matches:
+    // non-empty minus the unlocatable ones minus the out-of-schema /
+    // token-less ones it skipped without attempting a match.
+    stats.matched_count += non_empty - labelings[i].unmatched_kinds.size() -
+                           labelings[i].skipped_kinds.size();
     stats.total_token_count += labelings[i].tokens.size();
     for (labels::LabelId id : labelings[i].label_ids) {
       if (id != labels::LabelCatalog::kOutsideId) ++stats.labeled_token_count;

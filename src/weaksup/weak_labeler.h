@@ -30,6 +30,10 @@ struct WeakLabeling {
   /// Annotation kinds whose value could not be located in the text (the
   /// exact-matching limitation discussed in Section 5.3).
   std::vector<std::string> unmatched_kinds;
+  /// Annotation kinds the labeler skipped without attempting a match:
+  /// kinds outside the schema, or non-empty values that tokenize to
+  /// nothing. Tracked so coverage statistics do not count them as matched.
+  std::vector<std::string> skipped_kinds;
 };
 
 /// Implements Algorithm 1 (WeakSupervisionTokenLabeling): converts coarse
@@ -49,9 +53,12 @@ class WeakLabeler {
   WeakLabeling Label(const data::Objective& objective) const;
 
   /// Labels a whole training set; the i-th result corresponds to the i-th
-  /// objective.
+  /// objective. `num_threads` fans the per-objective work out on a
+  /// runtime::BatchRunner (<= 0 = hardware concurrency, 1 = serial); the
+  /// output is order-preserving and identical for every thread count.
   std::vector<WeakLabeling> LabelAll(
-      const std::vector<data::Objective>& objectives) const;
+      const std::vector<data::Objective>& objectives,
+      int num_threads = 1) const;
 
   const labels::LabelCatalog& catalog() const { return *catalog_; }
   const WeakLabelerOptions& options() const { return options_; }
@@ -80,13 +87,18 @@ struct WeakLabelStats {
   size_t objective_count = 0;
   size_t annotation_count = 0;   ///< Non-empty annotations seen.
   size_t matched_count = 0;      ///< Annotations located in the text.
+  size_t skipped_count = 0;      ///< Out-of-schema / token-less annotations.
   size_t labeled_token_count = 0;
   size_t total_token_count = 0;
 
+  /// Match rate over the annotations the labeler could attempt (non-empty,
+  /// in-schema, tokenizable). Skipped annotations carry no token signal
+  /// either way, so they are excluded from the denominator.
   double MatchRate() const {
-    return annotation_count == 0
+    size_t matchable = annotation_count - skipped_count;
+    return matchable == 0
                ? 0.0
-               : static_cast<double>(matched_count) / annotation_count;
+               : static_cast<double>(matched_count) / matchable;
   }
 };
 

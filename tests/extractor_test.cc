@@ -84,6 +84,25 @@ TEST_F(TrainedExtractorTest, ExtractionIsDeterministic) {
   EXPECT_EQ(a.fields, b.fields);
 }
 
+TEST_F(TrainedExtractorTest, ParallelExtractAllByteIdenticalToSerial) {
+  runtime::Stats serial_stats;
+  runtime::Stats parallel_stats;
+  std::vector<data::DetailRecord> serial =
+      extractor_->ExtractAll(split_->test, /*num_threads=*/1, &serial_stats);
+  std::vector<data::DetailRecord> parallel =
+      extractor_->ExtractAll(split_->test, /*num_threads=*/4,
+                             &parallel_stats);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].objective_id, parallel[i].objective_id) << i;
+    EXPECT_EQ(serial[i].objective_text, parallel[i].objective_text) << i;
+    EXPECT_EQ(serial[i].fields, parallel[i].fields) << i;
+  }
+  EXPECT_EQ(serial_stats.items, split_->test.size());
+  EXPECT_EQ(serial_stats.threads, 1);
+  EXPECT_EQ(parallel_stats.threads, 4);
+}
+
 TEST_F(TrainedExtractorTest, EmptyTextYieldsEmptyRecord) {
   data::Objective o;
   o.id = "empty";

@@ -196,5 +196,87 @@ TEST(WeakLabelerTest, ValueLongerThanTextUnmatched) {
   EXPECT_EQ(out.unmatched_kinds.size(), 1u);
 }
 
+// Regression: an annotation kind outside the schema is skipped by Label
+// without attempting a match; it must not count as matched in the stats.
+TEST(WeakLabelerTest, StatsDoNotCountUnknownKindAsMatched) {
+  labels::LabelCatalog catalog = Catalog();
+  WeakLabeler labeler(&catalog);
+  data::Objective o;
+  o.text = "Reduce waste.";
+  // The value even occurs in the text, but the kind carries no signal.
+  o.annotations = {{"NotAKind", "waste"}};
+  std::vector<data::Objective> objectives = {o};
+  std::vector<WeakLabeling> labelings = labeler.LabelAll(objectives);
+  ASSERT_EQ(labelings[0].skipped_kinds.size(), 1u);
+  EXPECT_EQ(labelings[0].skipped_kinds[0], "NotAKind");
+  WeakLabelStats stats = ComputeStats(objectives, labelings);
+  EXPECT_EQ(stats.annotation_count, 1u);
+  EXPECT_EQ(stats.skipped_count, 1u);
+  EXPECT_EQ(stats.matched_count, 0u);
+  EXPECT_EQ(stats.MatchRate(), 0.0);
+}
+
+// Regression: in fuzzy mode a punctuation-only value produces a zero-length
+// alignment; it must be reported unmatched instead of labeling a token that
+// is not part of the value.
+TEST(WeakLabelerTest, FuzzyPunctuationOnlyValueUnmatched) {
+  labels::LabelCatalog catalog = Catalog();
+  WeakLabelerOptions opts;
+  opts.exact_match = false;
+  WeakLabeler labeler(&catalog, opts);
+  data::Objective o;
+  o.text = "Reduce waste by 2030.";
+  o.annotations = {{"Amount", "-"}};
+  WeakLabeling out = labeler.Label(o);
+  ASSERT_EQ(out.unmatched_kinds.size(), 1u);
+  EXPECT_EQ(out.unmatched_kinds[0], "Amount");
+  for (labels::LabelId id : out.label_ids) {
+    EXPECT_EQ(id, labels::LabelCatalog::kOutsideId);
+  }
+}
+
+// Regression: in fuzzy mode the needle may be longer than the haystack
+// because annotator punctuation is tolerated; the exact-mode length guard
+// must not reject it.
+TEST(WeakLabelerTest, FuzzyNeedleLongerThanHaystackStillMatches) {
+  labels::LabelCatalog catalog = Catalog();
+  WeakLabelerOptions opts;
+  opts.exact_match = false;
+  WeakLabeler labeler(&catalog, opts);
+  data::Objective o;
+  o.text = "net zero";  // 2 tokens.
+  o.annotations = {{"Amount", "net - zero"}};  // 3 tokens.
+  WeakLabeling out = labeler.Label(o);
+  EXPECT_TRUE(out.unmatched_kinds.empty());
+  ASSERT_EQ(out.label_ids.size(), 2u);
+  EXPECT_EQ(catalog.LabelName(out.label_ids[0]), "B-Amount");
+  EXPECT_EQ(catalog.LabelName(out.label_ids[1]), "I-Amount");
+}
+
+TEST(WeakLabelerTest, ParallelLabelAllMatchesSerial) {
+  labels::LabelCatalog catalog = Catalog();
+  WeakLabeler labeler(&catalog);
+  std::vector<data::Objective> objectives;
+  for (int i = 0; i < 64; ++i) {
+    data::Objective o = PaperObjective();
+    o.id = "obj-" + std::to_string(i);
+    objectives.push_back(o);
+    data::Objective b;
+    b.id = "short-" + std::to_string(i);
+    b.text = "Reduce energy consumption by 20% by 2025.";
+    b.annotations = {{"Action", "Reduce"}, {"Deadline", "2025"}};
+    objectives.push_back(b);
+  }
+  std::vector<WeakLabeling> serial = labeler.LabelAll(objectives, 1);
+  std::vector<WeakLabeling> parallel = labeler.LabelAll(objectives, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].tokens, parallel[i].tokens) << "objective " << i;
+    EXPECT_EQ(serial[i].label_ids, parallel[i].label_ids) << "objective " << i;
+    EXPECT_EQ(serial[i].unmatched_kinds, parallel[i].unmatched_kinds);
+    EXPECT_EQ(serial[i].skipped_kinds, parallel[i].skipped_kinds);
+  }
+}
+
 }  // namespace
 }  // namespace goalex::weaksup
