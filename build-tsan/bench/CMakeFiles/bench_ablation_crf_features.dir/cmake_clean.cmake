@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_crf_features.dir/bench_ablation_crf_features.cc.o"
+  "CMakeFiles/bench_ablation_crf_features.dir/bench_ablation_crf_features.cc.o.d"
+  "bench_ablation_crf_features"
+  "bench_ablation_crf_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_crf_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

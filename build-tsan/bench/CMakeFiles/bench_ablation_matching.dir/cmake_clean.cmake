@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_matching.dir/bench_ablation_matching.cc.o"
+  "CMakeFiles/bench_ablation_matching.dir/bench_ablation_matching.cc.o.d"
+  "bench_ablation_matching"
+  "bench_ablation_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

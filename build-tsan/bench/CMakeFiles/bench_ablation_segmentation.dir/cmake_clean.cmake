@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_segmentation.dir/bench_ablation_segmentation.cc.o"
+  "CMakeFiles/bench_ablation_segmentation.dir/bench_ablation_segmentation.cc.o.d"
+  "bench_ablation_segmentation"
+  "bench_ablation_segmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

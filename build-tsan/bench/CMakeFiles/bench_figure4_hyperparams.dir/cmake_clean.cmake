@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure4_hyperparams.dir/bench_figure4_hyperparams.cc.o"
+  "CMakeFiles/bench_figure4_hyperparams.dir/bench_figure4_hyperparams.cc.o.d"
+  "bench_figure4_hyperparams"
+  "bench_figure4_hyperparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure4_hyperparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

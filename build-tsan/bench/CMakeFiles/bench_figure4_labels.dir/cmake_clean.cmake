@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure4_labels.dir/bench_figure4_labels.cc.o"
+  "CMakeFiles/bench_figure4_labels.dir/bench_figure4_labels.cc.o.d"
+  "bench_figure4_labels"
+  "bench_figure4_labels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure4_labels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

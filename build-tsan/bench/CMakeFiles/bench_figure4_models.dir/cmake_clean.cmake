@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure4_models.dir/bench_figure4_models.cc.o"
+  "CMakeFiles/bench_figure4_models.dir/bench_figure4_models.cc.o.d"
+  "bench_figure4_models"
+  "bench_figure4_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure4_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_parallel.dir/bench_micro_parallel.cc.o"
+  "CMakeFiles/bench_micro_parallel.dir/bench_micro_parallel.cc.o.d"
+  "bench_micro_parallel"
+  "bench_micro_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

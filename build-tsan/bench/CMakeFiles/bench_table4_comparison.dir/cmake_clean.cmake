@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_comparison.dir/bench_table4_comparison.cc.o"
+  "CMakeFiles/bench_table4_comparison.dir/bench_table4_comparison.cc.o.d"
+  "bench_table4_comparison"
+  "bench_table4_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

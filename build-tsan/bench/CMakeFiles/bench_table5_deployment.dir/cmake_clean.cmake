@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_deployment.dir/bench_table5_deployment.cc.o"
+  "CMakeFiles/bench_table5_deployment.dir/bench_table5_deployment.cc.o.d"
+  "bench_table5_deployment"
+  "bench_table5_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_top_objectives.dir/bench_table6_top_objectives.cc.o"
+  "CMakeFiles/bench_table6_top_objectives.dir/bench_table6_top_objectives.cc.o.d"
+  "bench_table6_top_objectives"
+  "bench_table6_top_objectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_top_objectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

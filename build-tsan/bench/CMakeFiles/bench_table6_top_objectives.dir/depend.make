@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table6_top_objectives.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_single_report.dir/bench_table7_single_report.cc.o"
+  "CMakeFiles/bench_table7_single_report.dir/bench_table7_single_report.cc.o.d"
+  "bench_table7_single_report"
+  "bench_table7_single_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_single_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

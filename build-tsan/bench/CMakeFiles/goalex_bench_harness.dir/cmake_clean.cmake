@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libgoalex_bench_harness.a"
+  "../lib/libgoalex_bench_harness.pdb"
+  "CMakeFiles/goalex_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/goalex_bench_harness.dir/harness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goalex_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

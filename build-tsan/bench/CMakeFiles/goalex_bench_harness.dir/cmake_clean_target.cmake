@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libgoalex_bench_harness.a"
+)

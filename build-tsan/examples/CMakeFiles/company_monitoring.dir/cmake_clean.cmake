@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/company_monitoring.dir/company_monitoring.cpp.o"
+  "CMakeFiles/company_monitoring.dir/company_monitoring.cpp.o.d"
+  "company_monitoring"
+  "company_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/company_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

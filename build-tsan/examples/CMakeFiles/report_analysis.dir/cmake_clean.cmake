@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_analysis.dir/report_analysis.cpp.o"
+  "CMakeFiles/report_analysis.dir/report_analysis.cpp.o.d"
+  "report_analysis"
+  "report_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

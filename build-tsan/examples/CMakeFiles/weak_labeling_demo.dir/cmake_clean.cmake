@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weak_labeling_demo.dir/weak_labeling_demo.cpp.o"
+  "CMakeFiles/weak_labeling_demo.dir/weak_labeling_demo.cpp.o.d"
+  "weak_labeling_demo"
+  "weak_labeling_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weak_labeling_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

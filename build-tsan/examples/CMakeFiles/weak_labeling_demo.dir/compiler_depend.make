@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for weak_labeling_demo.
+# This may be replaced when dependencies are built.

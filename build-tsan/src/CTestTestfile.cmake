@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("runtime")
+subdirs("text")
+subdirs("bpe")
+subdirs("tensor")
+subdirs("nn")
+subdirs("labels")
+subdirs("weaksup")
+subdirs("crf")
+subdirs("llm")
+subdirs("data")
+subdirs("eval")
+subdirs("segment")
+subdirs("values")
+subdirs("goalspotter")
+subdirs("core")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bpe/bpe_tokenizer.cc" "src/bpe/CMakeFiles/goalex_bpe.dir/bpe_tokenizer.cc.o" "gcc" "src/bpe/CMakeFiles/goalex_bpe.dir/bpe_tokenizer.cc.o.d"
+  "/root/repo/src/bpe/vocab.cc" "src/bpe/CMakeFiles/goalex_bpe.dir/vocab.cc.o" "gcc" "src/bpe/CMakeFiles/goalex_bpe.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/goalex_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/text/CMakeFiles/goalex_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

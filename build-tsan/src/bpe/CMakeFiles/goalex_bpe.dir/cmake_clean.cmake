@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goalex_bpe.dir/bpe_tokenizer.cc.o"
+  "CMakeFiles/goalex_bpe.dir/bpe_tokenizer.cc.o.d"
+  "CMakeFiles/goalex_bpe.dir/vocab.cc.o"
+  "CMakeFiles/goalex_bpe.dir/vocab.cc.o.d"
+  "libgoalex_bpe.a"
+  "libgoalex_bpe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goalex_bpe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

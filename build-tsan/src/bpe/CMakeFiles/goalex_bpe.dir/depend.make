@@ -1,0 +1,2 @@
+# Empty dependencies file for goalex_bpe.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/check.cc" "src/common/CMakeFiles/goalex_common.dir/check.cc.o" "gcc" "src/common/CMakeFiles/goalex_common.dir/check.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/common/CMakeFiles/goalex_common.dir/rng.cc.o" "gcc" "src/common/CMakeFiles/goalex_common.dir/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/goalex_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/goalex_common.dir/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/common/CMakeFiles/goalex_common.dir/string_util.cc.o" "gcc" "src/common/CMakeFiles/goalex_common.dir/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

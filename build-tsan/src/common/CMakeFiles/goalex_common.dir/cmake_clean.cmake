@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goalex_common.dir/check.cc.o"
+  "CMakeFiles/goalex_common.dir/check.cc.o.d"
+  "CMakeFiles/goalex_common.dir/rng.cc.o"
+  "CMakeFiles/goalex_common.dir/rng.cc.o.d"
+  "CMakeFiles/goalex_common.dir/status.cc.o"
+  "CMakeFiles/goalex_common.dir/status.cc.o.d"
+  "CMakeFiles/goalex_common.dir/string_util.cc.o"
+  "CMakeFiles/goalex_common.dir/string_util.cc.o.d"
+  "libgoalex_common.a"
+  "libgoalex_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goalex_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goalex_core.dir/config.cc.o"
+  "CMakeFiles/goalex_core.dir/config.cc.o.d"
+  "CMakeFiles/goalex_core.dir/database.cc.o"
+  "CMakeFiles/goalex_core.dir/database.cc.o.d"
+  "CMakeFiles/goalex_core.dir/extractor.cc.o"
+  "CMakeFiles/goalex_core.dir/extractor.cc.o.d"
+  "libgoalex_core.a"
+  "libgoalex_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goalex_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

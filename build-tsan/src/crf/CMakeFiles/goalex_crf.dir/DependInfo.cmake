@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crf/crf.cc" "src/crf/CMakeFiles/goalex_crf.dir/crf.cc.o" "gcc" "src/crf/CMakeFiles/goalex_crf.dir/crf.cc.o.d"
+  "/root/repo/src/crf/features.cc" "src/crf/CMakeFiles/goalex_crf.dir/features.cc.o" "gcc" "src/crf/CMakeFiles/goalex_crf.dir/features.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/goalex_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/labels/CMakeFiles/goalex_labels.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goalex_crf.dir/crf.cc.o"
+  "CMakeFiles/goalex_crf.dir/crf.cc.o.d"
+  "CMakeFiles/goalex_crf.dir/features.cc.o"
+  "CMakeFiles/goalex_crf.dir/features.cc.o.d"
+  "libgoalex_crf.a"
+  "libgoalex_crf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goalex_crf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

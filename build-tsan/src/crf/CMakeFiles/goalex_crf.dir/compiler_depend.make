@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for goalex_crf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goalex_data.dir/dataset.cc.o"
+  "CMakeFiles/goalex_data.dir/dataset.cc.o.d"
+  "CMakeFiles/goalex_data.dir/generator.cc.o"
+  "CMakeFiles/goalex_data.dir/generator.cc.o.d"
+  "CMakeFiles/goalex_data.dir/report.cc.o"
+  "CMakeFiles/goalex_data.dir/report.cc.o.d"
+  "libgoalex_data.a"
+  "libgoalex_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goalex_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

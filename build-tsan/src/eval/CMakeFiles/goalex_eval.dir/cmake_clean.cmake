@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goalex_eval.dir/metrics.cc.o"
+  "CMakeFiles/goalex_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/goalex_eval.dir/table.cc.o"
+  "CMakeFiles/goalex_eval.dir/table.cc.o.d"
+  "libgoalex_eval.a"
+  "libgoalex_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goalex_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

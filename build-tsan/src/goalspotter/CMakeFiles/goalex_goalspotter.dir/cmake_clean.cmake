@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goalex_goalspotter.dir/detector.cc.o"
+  "CMakeFiles/goalex_goalspotter.dir/detector.cc.o.d"
+  "CMakeFiles/goalex_goalspotter.dir/pipeline.cc.o"
+  "CMakeFiles/goalex_goalspotter.dir/pipeline.cc.o.d"
+  "libgoalex_goalspotter.a"
+  "libgoalex_goalspotter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goalex_goalspotter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

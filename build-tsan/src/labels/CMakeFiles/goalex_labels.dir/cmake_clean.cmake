@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goalex_labels.dir/iob.cc.o"
+  "CMakeFiles/goalex_labels.dir/iob.cc.o.d"
+  "libgoalex_labels.a"
+  "libgoalex_labels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goalex_labels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgoalex_labels.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/llm/heuristics.cc" "src/llm/CMakeFiles/goalex_llm.dir/heuristics.cc.o" "gcc" "src/llm/CMakeFiles/goalex_llm.dir/heuristics.cc.o.d"
+  "/root/repo/src/llm/llm_extractor.cc" "src/llm/CMakeFiles/goalex_llm.dir/llm_extractor.cc.o" "gcc" "src/llm/CMakeFiles/goalex_llm.dir/llm_extractor.cc.o.d"
+  "/root/repo/src/llm/prompt.cc" "src/llm/CMakeFiles/goalex_llm.dir/prompt.cc.o" "gcc" "src/llm/CMakeFiles/goalex_llm.dir/prompt.cc.o.d"
+  "/root/repo/src/llm/sim_llm.cc" "src/llm/CMakeFiles/goalex_llm.dir/sim_llm.cc.o" "gcc" "src/llm/CMakeFiles/goalex_llm.dir/sim_llm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/goalex_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/goalex_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/text/CMakeFiles/goalex_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goalex_llm.dir/heuristics.cc.o"
+  "CMakeFiles/goalex_llm.dir/heuristics.cc.o.d"
+  "CMakeFiles/goalex_llm.dir/llm_extractor.cc.o"
+  "CMakeFiles/goalex_llm.dir/llm_extractor.cc.o.d"
+  "CMakeFiles/goalex_llm.dir/prompt.cc.o"
+  "CMakeFiles/goalex_llm.dir/prompt.cc.o.d"
+  "CMakeFiles/goalex_llm.dir/sim_llm.cc.o"
+  "CMakeFiles/goalex_llm.dir/sim_llm.cc.o.d"
+  "libgoalex_llm.a"
+  "libgoalex_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goalex_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

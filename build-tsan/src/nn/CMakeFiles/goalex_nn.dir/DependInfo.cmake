@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adam.cc" "src/nn/CMakeFiles/goalex_nn.dir/adam.cc.o" "gcc" "src/nn/CMakeFiles/goalex_nn.dir/adam.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/goalex_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/goalex_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/goalex_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/goalex_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/transformer.cc" "src/nn/CMakeFiles/goalex_nn.dir/transformer.cc.o" "gcc" "src/nn/CMakeFiles/goalex_nn.dir/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/goalex_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/goalex_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

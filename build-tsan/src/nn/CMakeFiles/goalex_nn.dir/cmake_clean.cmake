@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goalex_nn.dir/adam.cc.o"
+  "CMakeFiles/goalex_nn.dir/adam.cc.o.d"
+  "CMakeFiles/goalex_nn.dir/linear.cc.o"
+  "CMakeFiles/goalex_nn.dir/linear.cc.o.d"
+  "CMakeFiles/goalex_nn.dir/serialize.cc.o"
+  "CMakeFiles/goalex_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/goalex_nn.dir/transformer.cc.o"
+  "CMakeFiles/goalex_nn.dir/transformer.cc.o.d"
+  "libgoalex_nn.a"
+  "libgoalex_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goalex_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goalex_runtime.dir/stats.cc.o"
+  "CMakeFiles/goalex_runtime.dir/stats.cc.o.d"
+  "CMakeFiles/goalex_runtime.dir/thread_pool.cc.o"
+  "CMakeFiles/goalex_runtime.dir/thread_pool.cc.o.d"
+  "libgoalex_runtime.a"
+  "libgoalex_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goalex_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

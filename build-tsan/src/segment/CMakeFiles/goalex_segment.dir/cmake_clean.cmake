@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goalex_segment.dir/segmenter.cc.o"
+  "CMakeFiles/goalex_segment.dir/segmenter.cc.o.d"
+  "libgoalex_segment.a"
+  "libgoalex_segment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goalex_segment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

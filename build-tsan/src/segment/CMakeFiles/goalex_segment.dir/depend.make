@@ -1,0 +1,2 @@
+# Empty dependencies file for goalex_segment.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/kernels.cc" "src/tensor/CMakeFiles/goalex_tensor.dir/kernels.cc.o" "gcc" "src/tensor/CMakeFiles/goalex_tensor.dir/kernels.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "src/tensor/CMakeFiles/goalex_tensor.dir/ops.cc.o" "gcc" "src/tensor/CMakeFiles/goalex_tensor.dir/ops.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/tensor/CMakeFiles/goalex_tensor.dir/tensor.cc.o" "gcc" "src/tensor/CMakeFiles/goalex_tensor.dir/tensor.cc.o.d"
+  "/root/repo/src/tensor/variable.cc" "src/tensor/CMakeFiles/goalex_tensor.dir/variable.cc.o" "gcc" "src/tensor/CMakeFiles/goalex_tensor.dir/variable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/goalex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

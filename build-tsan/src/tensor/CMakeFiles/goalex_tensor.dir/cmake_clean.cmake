@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goalex_tensor.dir/kernels.cc.o"
+  "CMakeFiles/goalex_tensor.dir/kernels.cc.o.d"
+  "CMakeFiles/goalex_tensor.dir/ops.cc.o"
+  "CMakeFiles/goalex_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/goalex_tensor.dir/tensor.cc.o"
+  "CMakeFiles/goalex_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/goalex_tensor.dir/variable.cc.o"
+  "CMakeFiles/goalex_tensor.dir/variable.cc.o.d"
+  "libgoalex_tensor.a"
+  "libgoalex_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goalex_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

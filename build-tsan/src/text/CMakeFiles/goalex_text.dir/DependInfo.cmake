@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/normalizer.cc" "src/text/CMakeFiles/goalex_text.dir/normalizer.cc.o" "gcc" "src/text/CMakeFiles/goalex_text.dir/normalizer.cc.o.d"
+  "/root/repo/src/text/sentence_splitter.cc" "src/text/CMakeFiles/goalex_text.dir/sentence_splitter.cc.o" "gcc" "src/text/CMakeFiles/goalex_text.dir/sentence_splitter.cc.o.d"
+  "/root/repo/src/text/word_tokenizer.cc" "src/text/CMakeFiles/goalex_text.dir/word_tokenizer.cc.o" "gcc" "src/text/CMakeFiles/goalex_text.dir/word_tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/goalex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goalex_text.dir/normalizer.cc.o"
+  "CMakeFiles/goalex_text.dir/normalizer.cc.o.d"
+  "CMakeFiles/goalex_text.dir/sentence_splitter.cc.o"
+  "CMakeFiles/goalex_text.dir/sentence_splitter.cc.o.d"
+  "CMakeFiles/goalex_text.dir/word_tokenizer.cc.o"
+  "CMakeFiles/goalex_text.dir/word_tokenizer.cc.o.d"
+  "libgoalex_text.a"
+  "libgoalex_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goalex_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

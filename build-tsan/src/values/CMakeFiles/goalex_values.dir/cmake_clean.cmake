@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goalex_values.dir/value_normalizer.cc.o"
+  "CMakeFiles/goalex_values.dir/value_normalizer.cc.o.d"
+  "libgoalex_values.a"
+  "libgoalex_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goalex_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

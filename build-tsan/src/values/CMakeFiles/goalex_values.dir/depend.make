@@ -1,0 +1,2 @@
+# Empty dependencies file for goalex_values.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goalex_weaksup.dir/alignment.cc.o"
+  "CMakeFiles/goalex_weaksup.dir/alignment.cc.o.d"
+  "CMakeFiles/goalex_weaksup.dir/weak_labeler.cc.o"
+  "CMakeFiles/goalex_weaksup.dir/weak_labeler.cc.o.d"
+  "libgoalex_weaksup.a"
+  "libgoalex_weaksup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goalex_weaksup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

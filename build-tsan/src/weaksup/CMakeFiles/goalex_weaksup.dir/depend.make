@@ -1,0 +1,2 @@
+# Empty dependencies file for goalex_weaksup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alignment_test.dir/alignment_test.cc.o"
+  "CMakeFiles/alignment_test.dir/alignment_test.cc.o.d"
+  "alignment_test"
+  "alignment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alignment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

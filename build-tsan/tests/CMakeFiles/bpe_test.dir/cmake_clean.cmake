@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpe_test.dir/bpe_test.cc.o"
+  "CMakeFiles/bpe_test.dir/bpe_test.cc.o.d"
+  "bpe_test"
+  "bpe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crf_test.dir/crf_test.cc.o"
+  "CMakeFiles/crf_test.dir/crf_test.cc.o.d"
+  "crf_test"
+  "crf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

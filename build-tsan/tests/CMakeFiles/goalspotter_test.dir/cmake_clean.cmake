@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goalspotter_test.dir/goalspotter_test.cc.o"
+  "CMakeFiles/goalspotter_test.dir/goalspotter_test.cc.o.d"
+  "goalspotter_test"
+  "goalspotter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goalspotter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

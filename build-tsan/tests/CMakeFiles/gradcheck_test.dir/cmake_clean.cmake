@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradcheck_test.dir/gradcheck_test.cc.o"
+  "CMakeFiles/gradcheck_test.dir/gradcheck_test.cc.o.d"
+  "gradcheck_test"
+  "gradcheck_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradcheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/harness_path_test.cc" "tests/CMakeFiles/harness_path_test.dir/harness_path_test.cc.o" "gcc" "tests/CMakeFiles/harness_path_test.dir/harness_path_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/crf/CMakeFiles/goalex_crf.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/llm/CMakeFiles/goalex_llm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/weaksup/CMakeFiles/goalex_weaksup.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/eval/CMakeFiles/goalex_eval.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/goalex_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/text/CMakeFiles/goalex_text.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/bpe/CMakeFiles/goalex_bpe.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/runtime/CMakeFiles/goalex_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/labels/CMakeFiles/goalex_labels.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/goalex_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

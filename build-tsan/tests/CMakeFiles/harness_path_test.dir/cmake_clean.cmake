@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_path_test.dir/harness_path_test.cc.o"
+  "CMakeFiles/harness_path_test.dir/harness_path_test.cc.o.d"
+  "harness_path_test"
+  "harness_path_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iob_test.dir/iob_test.cc.o"
+  "CMakeFiles/iob_test.dir/iob_test.cc.o.d"
+  "iob_test"
+  "iob_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iob_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

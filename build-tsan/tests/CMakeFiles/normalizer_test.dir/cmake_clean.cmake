@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/normalizer_test.dir/normalizer_test.cc.o"
+  "CMakeFiles/normalizer_test.dir/normalizer_test.cc.o.d"
+  "normalizer_test"
+  "normalizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/normalizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rng_test.dir/rng_test.cc.o"
+  "CMakeFiles/rng_test.dir/rng_test.cc.o.d"
+  "rng_test"
+  "rng_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segmenter_test.dir/segmenter_test.cc.o"
+  "CMakeFiles/segmenter_test.dir/segmenter_test.cc.o.d"
+  "segmenter_test"
+  "segmenter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segmenter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sentence_splitter_test.dir/sentence_splitter_test.cc.o"
+  "CMakeFiles/sentence_splitter_test.dir/sentence_splitter_test.cc.o.d"
+  "sentence_splitter_test"
+  "sentence_splitter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sentence_splitter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

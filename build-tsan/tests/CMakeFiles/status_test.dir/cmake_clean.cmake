@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/status_test.dir/status_test.cc.o"
+  "CMakeFiles/status_test.dir/status_test.cc.o.d"
+  "status_test"
+  "status_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/status_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/string_util_test.dir/string_util_test.cc.o"
+  "CMakeFiles/string_util_test.dir/string_util_test.cc.o.d"
+  "string_util_test"
+  "string_util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/string_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

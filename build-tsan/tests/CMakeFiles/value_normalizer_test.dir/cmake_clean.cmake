@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_normalizer_test.dir/value_normalizer_test.cc.o"
+  "CMakeFiles/value_normalizer_test.dir/value_normalizer_test.cc.o.d"
+  "value_normalizer_test"
+  "value_normalizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_normalizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weak_labeler_test.dir/weak_labeler_test.cc.o"
+  "CMakeFiles/weak_labeler_test.dir/weak_labeler_test.cc.o.d"
+  "weak_labeler_test"
+  "weak_labeler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weak_labeler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/word_tokenizer_test.dir/word_tokenizer_test.cc.o"
+  "CMakeFiles/word_tokenizer_test.dir/word_tokenizer_test.cc.o.d"
+  "word_tokenizer_test"
+  "word_tokenizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/word_tokenizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

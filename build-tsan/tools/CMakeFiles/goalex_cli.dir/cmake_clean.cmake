@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goalex_cli.dir/goalex_cli.cc.o"
+  "CMakeFiles/goalex_cli.dir/goalex_cli.cc.o.d"
+  "goalex_cli"
+  "goalex_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goalex_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
