@@ -56,7 +56,8 @@ void Run() {
   std::printf(
       "Paper reference (Table 5): 380 documents, 37871 pages, 3580 "
       "extracted objectives in total (e.g., C1: 20/2131/150, C8: "
-      "22/5012/764, C14: 12/2531/43).\n");
+      "22/5012/764, C14: 12/2531/43).\n\n");
+  EmitMetricsSnapshot("deployment sweep");
 }
 
 }  // namespace

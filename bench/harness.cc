@@ -1,8 +1,12 @@
 #include "bench/harness.h"
 
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/check.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "common/string_util.h"
 #include "core/extractor.h"
 #include "crf/crf.h"
@@ -255,6 +259,21 @@ int RunCount() {
     if (runs > 0) return runs;
   }
   return 3;
+}
+
+void EmitMetricsSnapshot(const std::string& label) {
+  const char* format = std::getenv("GOALEX_METRICS");
+  if (format != nullptr && std::strcmp(format, "off") == 0) return;
+  obs::RegistrySnapshot snapshot = obs::MetricsRegistry::Default().Snapshot();
+  if (snapshot.Empty()) return;
+  std::printf("=== metrics (%s) ===\n", label.c_str());
+  if (format != nullptr && std::strcmp(format, "json") == 0) {
+    std::printf("%s\n", obs::ToJson(snapshot).c_str());
+  } else if (format != nullptr && std::strcmp(format, "prom") == 0) {
+    std::printf("%s", obs::ToPrometheus(snapshot).c_str());
+  } else {
+    std::printf("%s", obs::ToSummary(snapshot).c_str());
+  }
 }
 
 }  // namespace goalex::bench

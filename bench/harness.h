@@ -68,6 +68,13 @@ ApproachResult RunPromptingBaseline(const data::Split& split, Corpus corpus,
 /// paper uses 5 — raise via the environment when time permits).
 int RunCount();
 
+/// Prints a snapshot of the default metrics registry alongside the bench
+/// results, under a "=== metrics (<label>) ===" header. The format follows
+/// GOALEX_METRICS: unset/"summary" = human-readable, "json" = one JSON
+/// object, "prom" = Prometheus text exposition, "off" = print nothing.
+/// No-op when the registry is empty (e.g. metrics compiled out).
+void EmitMetricsSnapshot(const std::string& label);
+
 /// The deployed GoalSpotter system of Section 5: an objective detector and
 /// a detail extractor, both trained on the Sustainability Goals corpus.
 struct DeployedSystem {

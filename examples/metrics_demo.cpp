@@ -1,0 +1,69 @@
+// Demonstrates the observability layer (src/obs): trains a small detail
+// extractor, runs batched extraction with instrumentation enabled, and
+// prints the same metrics snapshot in all three export formats — the
+// human-readable summary, JSON, and Prometheus text exposition.
+//
+// Build & run:   cmake --build build && ./build/examples/metrics_demo
+#include <cstdio>
+
+#include "common/check.h"
+#include "core/extractor.h"
+#include "data/generator.h"
+#include "data/schema.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+int main() {
+  using namespace goalex;
+
+  std::printf("GoalEx observability demo\n");
+  std::printf("=========================\n\n");
+
+  // A small training corpus and a fresh evaluation batch.
+  data::SustainabilityGoalsConfig corpus_config;
+  corpus_config.objective_count = 300;
+  std::vector<data::Objective> train =
+      data::GenerateSustainabilityGoals(corpus_config);
+  data::SustainabilityGoalsConfig eval_config;
+  eval_config.objective_count = 200;
+  eval_config.seed += 4242;
+  std::vector<data::Objective> batch =
+      data::GenerateSustainabilityGoals(eval_config);
+
+  core::ExtractorConfig config;
+  config.kinds = data::SustainabilityGoalKinds();
+  config.epochs = 3;
+  config.enable_metrics = true;  // The default; spelled out for the demo.
+
+  core::DetailExtractor extractor(config);
+  std::printf("training on %zu objectives (metrics record per-stage "
+              "development timings too)...\n",
+              train.size());
+  GOALEX_CHECK_OK(extractor.Train(train));
+
+  std::printf("extracting %zu objectives...\n\n", batch.size());
+  std::vector<data::DetailRecord> records = extractor.ExtractAll(batch);
+  GOALEX_CHECK_EQ(records.size(), batch.size());
+
+  obs::RegistrySnapshot snapshot =
+      obs::MetricsRegistry::Default().Snapshot();
+
+  std::printf("--- summary export ---\n%s\n",
+              obs::ToSummary(snapshot).c_str());
+  std::printf("--- JSON export ---\n%s\n\n", obs::ToJson(snapshot).c_str());
+  std::printf("--- Prometheus export ---\n%s",
+              obs::ToPrometheus(snapshot).c_str());
+
+  // The runtime kill switch: with metrics disabled nothing is recorded.
+  obs::SetEnabled(false);
+  obs::MetricsRegistry::Default().Reset();
+  extractor.ExtractAll(batch);
+  obs::RegistrySnapshot quiet = obs::MetricsRegistry::Default().Snapshot();
+  uint64_t recorded = 0;
+  for (const obs::CounterSample& c : quiet.counters) recorded += c.value;
+  std::printf("\nafter obs::SetEnabled(false) + Reset(): counter total "
+              "across %zu metrics = %llu (nothing recorded)\n",
+              quiet.counters.size(),
+              static_cast<unsigned long long>(recorded));
+  return 0;
+}

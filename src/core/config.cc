@@ -67,6 +67,7 @@ std::string ExtractorConfig::ToText() const {
       << "base_layers=" << base_layers << "\n"
       << "normalize_text=" << (normalize_text ? 1 : 0) << "\n"
       << "num_threads=" << num_threads << "\n"
+      << "enable_metrics=" << (enable_metrics ? 1 : 0) << "\n"
       << "segment_multi_target=" << (segment_multi_target ? 1 : 0) << "\n"
       << "exact_match=" << (weak_labeler.exact_match ? 1 : 0) << "\n";
   return out.str();
@@ -119,6 +120,8 @@ StatusOr<ExtractorConfig> ExtractorConfig::FromText(std::string_view text) {
       config.normalize_text = (value == "1");
     } else if (key == "num_threads") {
       config.num_threads = std::atoi(value.c_str());
+    } else if (key == "enable_metrics") {
+      config.enable_metrics = (value == "1");
     } else if (key == "segment_multi_target") {
       config.segment_multi_target = (value == "1");
     } else if (key == "exact_match") {

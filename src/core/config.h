@@ -68,6 +68,13 @@ struct ExtractorConfig {
   /// byte-identical for every setting; only throughput changes.
   int32_t num_threads = 0;
 
+  /// Observability: when true, extraction and training record per-stage
+  /// latency histograms, span counters, and throughput gauges into
+  /// obs::MetricsRegistry::Default() (see DESIGN.md §7). Instrumentation
+  /// is also gated globally by obs::SetEnabled() and can be compiled out
+  /// entirely with -DGOALEX_DISABLE_METRICS; outputs never depend on it.
+  bool enable_metrics = true;
+
   /// Objective segmentation (Section 5.3 future work): at extraction time,
   /// split multi-target objectives into single-target clauses, extract per
   /// clause, and merge (first non-empty value per field wins). Off by

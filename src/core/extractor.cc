@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "eval/timer.h"
+#include "obs/scope.h"
 #include "runtime/batch_runner.h"
 #include "nn/adam.h"
 #include "nn/serialize.h"
@@ -21,6 +22,28 @@ DetailExtractor::DetailExtractor(ExtractorConfig config)
       labeler_(&catalog_, config_.weak_labeler) {
   GOALEX_CHECK_MSG(!config_.kinds.empty(),
                    "ExtractorConfig.kinds must not be empty");
+  if (config_.enable_metrics && obs::Active()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    metrics_.tokenize_seconds =
+        registry.GetLatencyHistogram("extractor.stage.tokenize.seconds");
+    metrics_.predict_seconds =
+        registry.GetLatencyHistogram("extractor.stage.predict.seconds");
+    metrics_.decode_seconds =
+        registry.GetLatencyHistogram("extractor.stage.decode.seconds");
+    metrics_.extract_seconds =
+        registry.GetLatencyHistogram("extractor.extract.seconds");
+    metrics_.objectives = registry.GetCounter("extractor.objectives");
+    metrics_.empty_objectives =
+        registry.GetCounter("extractor.objectives.empty");
+    metrics_.spans = registry.GetCounter("extractor.spans");
+    metrics_.spans_by_kind.reserve(config_.kinds.size());
+    for (const std::string& kind : config_.kinds) {
+      metrics_.spans_by_kind.push_back(
+          registry.GetCounter("extractor.spans." + kind));
+    }
+    metrics_.objectives_per_second =
+        registry.GetGauge("extractor.objectives_per_second");
+  }
 }
 
 DetailExtractor::~DetailExtractor() = default;
@@ -68,20 +91,29 @@ Status DetailExtractor::Train(
     for (data::Annotation& a : o.annotations) a.value = Prepare(a.value);
   }
 
+  // Per-stage tracing of the development phase; disarmed (null registry)
+  // when this extractor's metrics are off.
+  obs::MetricsRegistry* registry =
+      config_.enable_metrics ? &obs::MetricsRegistry::Default() : nullptr;
+
   // Step 1 (development phase): learn the subword tokenizer on the
   // training corpus.
+  obs::Span bpe_span(registry, "extractor.train.bpe");
   std::vector<std::string> corpus;
   corpus.reserve(prepared.size());
   for (const data::Objective& o : prepared) corpus.push_back(o.text);
   tokenizer_ = std::make_unique<bpe::BpeModel>(bpe::BpeModel::Train(
       corpus, config_.bpe_merges, config_.LowercaseTokenizer()));
+  bpe_span.Stop();
 
   // Step 2: weak supervision token labeling (Algorithm 1), fanned out over
   // the configured worker count (order-preserving, so the training set is
   // identical for every thread count).
+  obs::Span weaklabel_span(registry, "extractor.train.weaklabel");
   std::vector<weaksup::WeakLabeling> labelings =
       labeler_.LabelAll(prepared, config_.num_threads);
   train_stats_ = weaksup::ComputeStats(prepared, labelings);
+  weaklabel_span.Stop();
 
   std::vector<EncodedExample> examples;
   examples.reserve(labelings.size());
@@ -98,6 +130,7 @@ Status DetailExtractor::Train(
   tokenizer_->Freeze();
 
   // Step 3: fine-tune the transformer sequence labeler.
+  obs::Span finetune_span(registry, "extractor.train.finetune");
   Rng init_rng(config_.seed);
   nn::TransformerConfig arch = config_.BuildTransformerConfig(
       static_cast<int32_t>(tokenizer_->vocab().size()));
@@ -144,7 +177,10 @@ Status DetailExtractor::Train(
 DetailExtractor::WordPrediction DetailExtractor::PredictPrepared(
     const std::string& text) const {
   GOALEX_CHECK_MSG(model_ != nullptr, "extractor is not trained");
+  const bool instrument = InstrumentNow();
   WordPrediction out;
+  obs::ScopedTimer tokenize_timer(instrument ? metrics_.tokenize_seconds
+                                             : nullptr);
   out.prepared = Prepare(text);
   out.tokens = word_tokenizer_.Tokenize(out.prepared);
   if (out.tokens.empty()) return out;
@@ -158,8 +194,12 @@ DetailExtractor::WordPrediction DetailExtractor::PredictPrepared(
   ids.push_back(bpe::Vocab::kBosId);
   for (const bpe::Subword& sw : subwords) ids.push_back(sw.id);
   ids.push_back(bpe::Vocab::kEosId);
+  tokenize_timer.Stop();
 
+  obs::ScopedTimer predict_timer(instrument ? metrics_.predict_seconds
+                                            : nullptr);
   std::vector<int32_t> predictions = model_->Predict(ids);
+  predict_timer.Stop();
 
   out.word_labels.assign(out.tokens.size(),
                          labels::LabelCatalog::kOutsideId);
@@ -183,6 +223,10 @@ std::vector<labels::LabelId> DetailExtractor::PredictWordLabels(
 data::DetailRecord DetailExtractor::Extract(
     const data::Objective& objective) const {
   GOALEX_CHECK_MSG(model_ != nullptr, "extractor is not trained");
+  const bool instrument = InstrumentNow();
+  obs::ScopedTimer extract_timer(instrument ? metrics_.extract_seconds
+                                            : nullptr);
+  if (instrument) metrics_.objectives->Increment();
 
   if (config_.segment_multi_target) {
     segment::ObjectiveSegmenter segmenter;
@@ -216,14 +260,24 @@ data::DetailRecord DetailExtractor::ExtractSingle(
 
   // One pass through the inference pipeline: normalization, word
   // tokenization, and BPE encoding all happen exactly once per objective.
+  const bool instrument = InstrumentNow();
   WordPrediction prediction = PredictPrepared(objective.text);
-  if (prediction.tokens.empty()) return record;
+  if (prediction.tokens.empty()) {
+    if (instrument) metrics_.empty_objectives->Increment();
+    return record;
+  }
+  obs::ScopedTimer decode_timer(instrument ? metrics_.decode_seconds
+                                           : nullptr);
   std::vector<labels::Span> spans =
       catalog_.DecodeSpans(prediction.word_labels);
 
   for (const labels::Span& span : spans) {
     const std::string& kind =
         catalog_.kinds()[static_cast<size_t>(span.kind)];
+    if (instrument) {
+      metrics_.spans->Increment();
+      metrics_.spans_by_kind[static_cast<size_t>(span.kind)]->Increment();
+    }
     if (record.fields.count(kind) > 0) continue;  // First span wins.
     size_t begin = prediction.tokens[span.begin].begin;
     size_t end = prediction.tokens[span.end - 1].end;
@@ -247,6 +301,10 @@ std::vector<data::DetailRecord> DetailExtractor::ExtractAll(
         return Extract(objectives[i]);
       });
   if (stats != nullptr) *stats = runner.last_stats();
+  if (InstrumentNow()) {
+    metrics_.objectives_per_second->Set(
+        runner.last_stats().ItemsPerSecond());
+  }
   return out;
 }
 

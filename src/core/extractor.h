@@ -12,6 +12,7 @@
 #include "data/schema.h"
 #include "labels/iob.h"
 #include "nn/transformer.h"
+#include "obs/metrics.h"
 #include "runtime/stats.h"
 #include "text/word_tokenizer.h"
 #include "weaksup/weak_labeler.h"
@@ -92,6 +93,30 @@ class DetailExtractor {
   }
 
  private:
+  /// Observability handles into obs::MetricsRegistry::Default(), resolved
+  /// once at construction so the (concurrent, const) inference hot path
+  /// never touches the registry lock. All null when
+  /// ExtractorConfig::enable_metrics is false or instrumentation is
+  /// compiled out; each site additionally honors the obs::Enabled()
+  /// runtime toggle.
+  struct Metrics {
+    obs::Histogram* tokenize_seconds = nullptr;
+    obs::Histogram* predict_seconds = nullptr;
+    obs::Histogram* decode_seconds = nullptr;
+    obs::Histogram* extract_seconds = nullptr;
+    obs::Counter* objectives = nullptr;
+    obs::Counter* empty_objectives = nullptr;
+    obs::Counter* spans = nullptr;
+    std::vector<obs::Counter*> spans_by_kind;  ///< Parallel to kinds.
+    obs::Gauge* objectives_per_second = nullptr;
+  };
+
+  /// True when this call should record metrics (handles resolved and the
+  /// global runtime toggle is on).
+  bool InstrumentNow() const {
+    return metrics_.objectives != nullptr && obs::Enabled();
+  }
+
   /// One encoded training instance.
   struct EncodedExample {
     std::vector<int32_t> ids;       ///< Subword ids with BOS/EOS.
@@ -123,6 +148,7 @@ class DetailExtractor {
       const std::vector<labels::LabelId>& word_labels) const;
 
   ExtractorConfig config_;
+  Metrics metrics_;
   labels::LabelCatalog catalog_;
   weaksup::WeakLabeler labeler_;
   text::WordTokenizer word_tokenizer_;

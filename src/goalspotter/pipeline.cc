@@ -1,17 +1,25 @@
 #include "goalspotter/pipeline.h"
 
 #include "common/check.h"
+#include "obs/scope.h"
 
 namespace goalex::goalspotter {
 
 PipelineStats GoalSpotter::ProcessReport(
     const data::Report& report, core::ObjectiveDatabase* database) const {
   GOALEX_CHECK(database != nullptr);
+  // Per-document stage tracing, sharing the extractor's metrics toggle so
+  // one switch controls the whole serving path.
+  obs::MetricsRegistry* registry = extractor_->config().enable_metrics
+                                       ? &obs::MetricsRegistry::Default()
+                                       : nullptr;
+  obs::Span document_span(registry, "pipeline.document");
   PipelineStats stats;
   stats.documents = 1;
   stats.pages = report.page_count;
 
   // Stage 1 (serial): detect the objective blocks of this report.
+  obs::Span detect_span(registry, "pipeline.stage.detect");
   std::vector<data::Objective> objectives;
   for (const data::ReportBlock& block : report.blocks) {
     ++stats.blocks;
@@ -26,17 +34,30 @@ PipelineStats GoalSpotter::ProcessReport(
     objective.page = block.page;
     objectives.push_back(std::move(objective));
   }
+  detect_span.Stop();
 
   // Stage 2 (parallel): batched detail extraction over the detected
   // objectives; record i belongs to objective i, so database insertion
   // order matches the serial pipeline exactly.
+  obs::Span extract_span(registry, "pipeline.stage.extract");
   runtime::Stats extract_stats;
   std::vector<data::DetailRecord> records = extractor_->ExtractAll(
       objectives, extractor_->config().num_threads, &extract_stats);
   stats.extraction = extract_stats;
+  extract_span.Stop();
+
+  obs::Span insert_span(registry, "pipeline.stage.insert");
   for (size_t i = 0; i < records.size(); ++i) {
     database->Insert(records[i], report.company, report.document,
                      objectives[i].page);
+  }
+  insert_span.Stop();
+
+  if (registry != nullptr && obs::Active()) {
+    registry->GetCounter("pipeline.blocks")
+        ->Increment(static_cast<uint64_t>(stats.blocks));
+    registry->GetCounter("pipeline.objectives")
+        ->Increment(static_cast<uint64_t>(stats.detected_objectives));
   }
   return stats;
 }

@@ -1,0 +1,164 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace goalex::obs {
+namespace {
+
+/// Shortest round-trip-ish formatting: %.9g keeps latencies readable
+/// ("0.00025") without dumping 17 digits.
+std::string FormatNumber(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", v);
+  return std::string(buffer);
+}
+
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                    static_cast<unsigned>(c));
+      out += buffer;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// Prometheus metric name: [a-zA-Z_:][a-zA-Z0-9_:]*; everything else
+/// becomes '_'. A "goalex_" prefix namespaces the process.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "goalex_";
+  for (char c : name) {
+    out += std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToJson(const RegistrySnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{";
+
+  out << "\"counters\":{";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) out << ",";
+    out << JsonQuote(snapshot.counters[i].name) << ":"
+        << snapshot.counters[i].value;
+  }
+  out << "},";
+
+  out << "\"gauges\":{";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) out << ",";
+    out << JsonQuote(snapshot.gauges[i].name) << ":"
+        << FormatNumber(snapshot.gauges[i].value);
+  }
+  out << "},";
+
+  out << "\"histograms\":{";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    if (i > 0) out << ",";
+    const HistogramSnapshot& h = snapshot.histograms[i].snapshot;
+    out << JsonQuote(snapshot.histograms[i].name) << ":{"
+        << "\"count\":" << h.count << ","
+        << "\"sum\":" << FormatNumber(h.sum) << ","
+        << "\"mean\":" << FormatNumber(h.Mean()) << ","
+        << "\"min\":" << FormatNumber(h.min) << ","
+        << "\"max\":" << FormatNumber(h.max) << ","
+        << "\"p50\":" << FormatNumber(h.Quantile(0.50)) << ","
+        << "\"p95\":" << FormatNumber(h.Quantile(0.95)) << ","
+        << "\"p99\":" << FormatNumber(h.Quantile(0.99)) << ","
+        << "\"buckets\":[";
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) out << ",";
+      out << "{\"le\":";
+      if (b < h.bounds.size()) {
+        out << FormatNumber(h.bounds[b]);
+      } else {
+        out << "\"+Inf\"";
+      }
+      out << ",\"count\":" << h.buckets[b] << "}";
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string ToPrometheus(const RegistrySnapshot& snapshot) {
+  std::ostringstream out;
+  for (const CounterSample& c : snapshot.counters) {
+    std::string name = PrometheusName(c.name);
+    out << "# TYPE " << name << " counter\n"
+        << name << " " << c.value << "\n";
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    std::string name = PrometheusName(g.name);
+    out << "# TYPE " << name << " gauge\n"
+        << name << " " << FormatNumber(g.value) << "\n";
+  }
+  for (const HistogramSample& sample : snapshot.histograms) {
+    const HistogramSnapshot& h = sample.snapshot;
+    std::string name = PrometheusName(sample.name);
+    out << "# TYPE " << name << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      cumulative += h.buckets[b];
+      out << name << "_bucket{le=\"";
+      if (b < h.bounds.size()) {
+        out << FormatNumber(h.bounds[b]);
+      } else {
+        out << "+Inf";
+      }
+      out << "\"} " << cumulative << "\n";
+    }
+    out << name << "_sum " << FormatNumber(h.sum) << "\n"
+        << name << "_count " << h.count << "\n";
+  }
+  return out.str();
+}
+
+std::string ToSummary(const RegistrySnapshot& snapshot) {
+  std::ostringstream out;
+  if (!snapshot.counters.empty()) {
+    out << "counters:\n";
+    for (const CounterSample& c : snapshot.counters) {
+      out << "  " << c.name << " = " << c.value << "\n";
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    out << "gauges:\n";
+    for (const GaugeSample& g : snapshot.gauges) {
+      out << "  " << g.name << " = " << FormatNumber(g.value) << "\n";
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    out << "histograms:\n";
+    for (const HistogramSample& sample : snapshot.histograms) {
+      const HistogramSnapshot& h = sample.snapshot;
+      out << "  " << sample.name << ": count=" << h.count;
+      if (h.count > 0) {
+        out << " mean=" << FormatNumber(h.Mean())
+            << " p50=" << FormatNumber(h.Quantile(0.50))
+            << " p95=" << FormatNumber(h.Quantile(0.95))
+            << " p99=" << FormatNumber(h.Quantile(0.99))
+            << " max=" << FormatNumber(h.max);
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace goalex::obs

@@ -1,0 +1,30 @@
+#ifndef GOALEX_OBS_EXPORT_H_
+#define GOALEX_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace goalex::obs {
+
+/// Machine-readable JSON object:
+///   {"counters": {...}, "gauges": {...},
+///    "histograms": {name: {count, sum, mean, min, max, p50, p95, p99,
+///                          buckets: [{"le": bound, "count": n}, ...]}}}
+/// Bucket counts are per-bucket (not cumulative); the last bucket's "le"
+/// is the string "+Inf".
+std::string ToJson(const RegistrySnapshot& snapshot);
+
+/// Prometheus text exposition format (# TYPE lines, cumulative
+/// <name>_bucket{le="..."} series plus _sum/_count). Dotted metric names
+/// are mapped to legal identifiers ("extractor.stage.predict.seconds" ->
+/// "goalex_extractor_stage_predict_seconds").
+std::string ToPrometheus(const RegistrySnapshot& snapshot);
+
+/// Human-readable summary: one line per counter/gauge, one block per
+/// histogram with count/mean/p50/p95/p99/max.
+std::string ToSummary(const RegistrySnapshot& snapshot);
+
+}  // namespace goalex::obs
+
+#endif  // GOALEX_OBS_EXPORT_H_

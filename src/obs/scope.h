@@ -1,0 +1,73 @@
+#ifndef GOALEX_OBS_SCOPE_H_
+#define GOALEX_OBS_SCOPE_H_
+
+#include <chrono>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace goalex::obs {
+
+/// RAII stopwatch that records its lifetime (seconds) into a histogram.
+/// A null histogram disarms the timer entirely — the disabled path is one
+/// pointer test, no clock reads — so hot paths write
+///   obs::ScopedTimer timer(enabled ? stage_hist : nullptr);
+/// and pay nothing when observability is off.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram) : histogram_(histogram) {
+    if (histogram_ != nullptr) start_ = Clock::now();
+  }
+
+  ~ScopedTimer() { Stop(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Records now and disarms; returns the elapsed seconds (0 if disarmed).
+  double Stop() {
+    if (histogram_ == nullptr) return 0.0;
+    double seconds =
+        std::chrono::duration<double>(Clock::now() - start_).count();
+    histogram_->Observe(seconds);
+    histogram_ = nullptr;
+    return seconds;
+  }
+
+  bool armed() const { return histogram_ != nullptr; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Histogram* histogram_;  // Not owned; null = disarmed.
+  Clock::time_point start_;
+};
+
+/// Named tracing span for the cooler pipeline stages: on destruction it
+/// records "<stage>.seconds" (latency histogram) and bumps "<stage>.calls"
+/// in the given registry. Resolution happens at construction, so use
+/// ScopedTimer with a pre-resolved handle on per-token/per-objective hot
+/// paths and Span at per-document/per-batch granularity.
+class Span {
+ public:
+  /// A null registry (or inactive observability) produces a disarmed span.
+  Span(MetricsRegistry* registry, const std::string& stage)
+      : timer_(registry != nullptr && Active()
+                   ? registry->GetLatencyHistogram(stage + ".seconds")
+                   : nullptr) {
+    if (timer_.armed()) registry->GetCounter(stage + ".calls")->Increment();
+  }
+
+  /// Span in the default registry.
+  explicit Span(const std::string& stage)
+      : Span(&MetricsRegistry::Default(), stage) {}
+
+  /// Ends the span early (records the elapsed time once).
+  double Stop() { return timer_.Stop(); }
+
+ private:
+  ScopedTimer timer_;
+};
+
+}  // namespace goalex::obs
+
+#endif  // GOALEX_OBS_SCOPE_H_

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "runtime/stats.h"
 #include "runtime/thread_pool.h"
 
@@ -20,12 +21,24 @@ namespace goalex::runtime {
 class BatchRunner {
  public:
   /// `num_threads <= 0` = auto (hardware concurrency), 1 = serial.
-  explicit BatchRunner(int num_threads) : pool_(num_threads) {}
+  explicit BatchRunner(int num_threads) : pool_(num_threads) {
+    if (obs::Active()) {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+      batches_counter_ = registry.GetCounter("runtime.batches");
+      batch_items_hist_ = registry.GetHistogram("runtime.batch.items",
+                                                obs::DefaultSizeBounds());
+      batch_seconds_hist_ =
+          registry.GetLatencyHistogram("runtime.batch.seconds");
+      threads_gauge_ = registry.GetGauge("runtime.batch.threads");
+      utilization_gauge_ = registry.GetGauge("runtime.batch.utilization");
+    }
+  }
 
   /// Computes {fn(0), fn(1), ..., fn(n-1)} in index order. T must be
   /// default-constructible. Rethrows the first exception any fn(i) throws.
   template <typename T, typename Fn>
   std::vector<T> Map(size_t n, Fn&& fn) {
+    double busy_before = pool_.busy_seconds();
     auto start = std::chrono::steady_clock::now();
     std::vector<T> out(n);
     pool_.ParallelFor(n, [&out, &fn](size_t begin, size_t end) {
@@ -37,6 +50,7 @@ class BatchRunner {
                                       start)
             .count();
     last_stats_.threads = pool_.thread_count();
+    if (batches_counter_ != nullptr) RecordBatchMetrics(busy_before);
     return out;
   }
 
@@ -46,8 +60,32 @@ class BatchRunner {
   const Stats& last_stats() const { return last_stats_; }
 
  private:
+  /// Off the templated hot path: records size/latency distributions and the
+  /// worker-utilization gauge (busy worker seconds / (wall * threads)) for
+  /// the run summarized in last_stats_.
+  void RecordBatchMetrics(double busy_before) {
+    batches_counter_->Increment();
+    batch_items_hist_->Observe(static_cast<double>(last_stats_.items));
+    batch_seconds_hist_->Observe(last_stats_.seconds);
+    threads_gauge_->Set(static_cast<double>(last_stats_.threads));
+    // A serial pool runs chunks inline (no task accounting), so
+    // utilization is only meaningful for real worker fan-out.
+    if (last_stats_.threads > 1 && last_stats_.seconds > 0.0) {
+      double busy = pool_.busy_seconds() - busy_before;
+      utilization_gauge_->Set(
+          busy / (last_stats_.seconds * last_stats_.threads));
+    }
+  }
+
   ThreadPool pool_;
   Stats last_stats_;
+
+  // Observability handles (null when instrumentation is inactive).
+  obs::Counter* batches_counter_ = nullptr;
+  obs::Histogram* batch_items_hist_ = nullptr;
+  obs::Histogram* batch_seconds_hist_ = nullptr;
+  obs::Gauge* threads_gauge_ = nullptr;
+  obs::Gauge* utilization_gauge_ = nullptr;
 };
 
 }  // namespace goalex::runtime

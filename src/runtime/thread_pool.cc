@@ -1,6 +1,7 @@
 #include "runtime/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 namespace goalex::runtime {
@@ -12,6 +13,13 @@ int ThreadPool::DefaultThreadCount() {
 
 ThreadPool::ThreadPool(int num_threads) {
   thread_count_ = num_threads <= 0 ? DefaultThreadCount() : num_threads;
+  if (obs::Active()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    queue_depth_gauge_ = registry.GetGauge("runtime.pool.queue_depth");
+    tasks_counter_ = registry.GetCounter("runtime.pool.tasks");
+    task_seconds_hist_ =
+        registry.GetLatencyHistogram("runtime.pool.task.seconds");
+  }
   if (thread_count_ == 1) return;  // Serial fallback: inline execution.
   workers_.reserve(static_cast<size_t>(thread_count_));
   for (int i = 0; i < thread_count_; ++i) {
@@ -29,11 +37,24 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::RunTask(const std::function<void()>& task) {
+  std::chrono::steady_clock::time_point start;
+  if (task_seconds_hist_ != nullptr) start = std::chrono::steady_clock::now();
   try {
     task();
   } catch (...) {
     std::unique_lock<std::mutex> lock(mu_);
     if (!first_error_) first_error_ = std::current_exception();
+  }
+  if (task_seconds_hist_ != nullptr) {
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    task_seconds_hist_->Observe(seconds);
+    tasks_counter_->Increment();
+    double expected = busy_seconds_.load(std::memory_order_relaxed);
+    while (!busy_seconds_.compare_exchange_weak(
+        expected, expected + seconds, std::memory_order_relaxed)) {
+    }
   }
 }
 
@@ -46,6 +67,9 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stop_ set and nothing left to run.
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (queue_depth_gauge_ != nullptr) {
+        queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+      }
     }
     RunTask(task);
     {
@@ -64,6 +88,9 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::unique_lock<std::mutex> lock(mu_);
     ++in_flight_;
     queue_.push_back(std::move(task));
+    if (queue_depth_gauge_ != nullptr) {
+      queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+    }
   }
   task_ready_.notify_one();
 }

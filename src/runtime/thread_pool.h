@@ -1,6 +1,7 @@
 #ifndef GOALEX_RUNTIME_THREAD_POOL_H_
 #define GOALEX_RUNTIME_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -9,6 +10,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace goalex::runtime {
 
@@ -55,6 +58,14 @@ class ThreadPool {
   void ParallelFor(size_t n,
                    const std::function<void(size_t, size_t)>& chunk);
 
+  /// Cumulative seconds this pool's workers spent inside tasks. Maintained
+  /// only while observability is active at construction (otherwise 0);
+  /// BatchRunner divides a delta of this by wall * threads to report
+  /// worker utilization.
+  double busy_seconds() const {
+    return busy_seconds_.load(std::memory_order_relaxed);
+  }
+
  private:
   void WorkerLoop();
   void RunTask(const std::function<void()>& task);
@@ -69,6 +80,14 @@ class ThreadPool {
   size_t in_flight_ = 0;  ///< Queued + currently running tasks.
   bool stop_ = false;
   std::exception_ptr first_error_;
+
+  // Observability handles, resolved once at construction; all null when
+  // instrumentation is compiled out or disabled, making every update site
+  // a single pointer test.
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Counter* tasks_counter_ = nullptr;
+  obs::Histogram* task_seconds_hist_ = nullptr;
+  std::atomic<double> busy_seconds_{0.0};
 };
 
 }  // namespace goalex::runtime

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/string_util.h"
+#include "obs/scope.h"
 #include "runtime/batch_runner.h"
 
 namespace goalex::weaksup {
@@ -91,6 +92,7 @@ size_t WeakLabeler::AlignFuzzy(const std::vector<text::Token>& haystack,
 }
 
 WeakLabeling WeakLabeler::Label(const data::Objective& objective) const {
+  obs::ScopedTimer label_timer(label_seconds_hist_);
   WeakLabeling result;
   // Step 1 of Algorithm 1: tokenize the objective into T.
   result.tokens = tokenizer_.Tokenize(objective.text);
@@ -145,6 +147,11 @@ WeakLabeling WeakLabeler::Label(const data::Objective& objective) const {
     for (size_t i = static_cast<size_t>(s) + 1; i < end; ++i) {
       result.label_ids[i] = catalog_->InsideId(*kind);
     }
+    if (matched_counter_ != nullptr) matched_counter_->Increment();
+  }
+  if (skipped_counter_ != nullptr) {
+    skipped_counter_->Increment(result.skipped_kinds.size());
+    unmatched_counter_->Increment(result.unmatched_kinds.size());
   }
   return result;
 }

@@ -6,6 +6,7 @@
 
 #include "data/schema.h"
 #include "labels/iob.h"
+#include "obs/metrics.h"
 #include "text/word_tokenizer.h"
 
 namespace goalex::weaksup {
@@ -42,7 +43,17 @@ struct WeakLabeling {
 class WeakLabeler {
  public:
   WeakLabeler(const labels::LabelCatalog* catalog, WeakLabelerOptions options)
-      : catalog_(catalog), options_(options) {}
+      : catalog_(catalog), options_(options) {
+    if (obs::Active()) {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+      matched_counter_ = registry.GetCounter("weaklabel.annotations.matched");
+      unmatched_counter_ =
+          registry.GetCounter("weaklabel.annotations.unmatched");
+      skipped_counter_ = registry.GetCounter("weaklabel.annotations.skipped");
+      label_seconds_hist_ =
+          registry.GetLatencyHistogram("weaklabel.label.seconds");
+    }
+  }
 
   explicit WeakLabeler(const labels::LabelCatalog* catalog)
       : WeakLabeler(catalog, WeakLabelerOptions()) {}
@@ -79,6 +90,14 @@ class WeakLabeler {
   const labels::LabelCatalog* catalog_;  // Not owned.
   WeakLabelerOptions options_;
   text::WordTokenizer tokenizer_;
+
+  // Observability handles (null when instrumentation is inactive at
+  // construction). Counters are atomic, so concurrent LabelAll workers
+  // update them race-free.
+  obs::Counter* matched_counter_ = nullptr;
+  obs::Counter* unmatched_counter_ = nullptr;
+  obs::Counter* skipped_counter_ = nullptr;
+  obs::Histogram* label_seconds_hist_ = nullptr;
 };
 
 /// Statistics over a weak-labeled corpus, used by the ablation benches and
