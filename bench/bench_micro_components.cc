@@ -131,7 +131,7 @@ void BM_TransformerTrainStep(benchmark::State& state) {
   std::vector<int32_t> targets(32, 0);
   Rng train_rng(2);
   for (auto _ : state) {
-    tensor::Var loss = model.ForwardLoss(ids, targets, true, train_rng);
+    tensor::Var loss = model.ForwardLoss(ids, targets, train_rng);
     tensor::Backward(loss);
     optimizer.Step();
   }

@@ -1,0 +1,143 @@
+// Microbenchmark of the graph-free inference engine: the predict stage
+// (transformer forward + argmax) on the autograd evaluation path vs the
+// compiled arena-backed plan, at 1/4/8 worker threads, over realistic
+// sequence-length traffic. Outputs are cross-checked for exact equality
+// while timing, and each thread count emits one machine-readable JSON row
+// so CI can track the speedup over time.
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/extractor.h"
+#include "data/generator.h"
+#include "eval/table.h"
+#include "eval/timer.h"
+#include "infer/engine.h"
+#include "nn/transformer.h"
+#include "runtime/stats.h"
+
+namespace goalex::bench {
+namespace {
+
+/// Sequence-length traffic modeled on the extractor's production inputs:
+/// BOS + 8..70 subwords + EOS under max_seq_len 96.
+std::vector<std::vector<int32_t>> MakeTraffic(
+    const nn::TransformerConfig& config, size_t count, Rng& rng) {
+  std::vector<std::vector<int32_t>> traffic;
+  traffic.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    size_t len = static_cast<size_t>(rng.NextInt(10, 72));
+    std::vector<int32_t> ids(len);
+    for (size_t j = 0; j < len; ++j) {
+      ids[j] = rng.NextInt(0, config.vocab_size - 1);
+    }
+    traffic.push_back(std::move(ids));
+  }
+  return traffic;
+}
+
+/// Runs `predict` over the traffic partitioned across `threads` workers and
+/// returns wall-clock seconds.
+template <typename Predict>
+double TimedRun(const std::vector<std::vector<int32_t>>& traffic,
+                int threads, const Predict& predict) {
+  eval::Timer timer;
+  if (threads <= 1) {
+    for (const auto& ids : traffic) predict(ids);
+    return timer.Seconds();
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (size_t i = static_cast<size_t>(t); i < traffic.size();
+           i += static_cast<size_t>(threads)) {
+        predict(traffic[i]);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  return timer.Seconds();
+}
+
+void Run() {
+  // The production architecture (DefaultExtractorConfig dimensions); the
+  // weights are random — timing is weight-independent.
+  core::ExtractorConfig extractor_config =
+      DefaultExtractorConfig(Corpus::kSustainabilityGoals);
+  nn::TransformerConfig config =
+      extractor_config.BuildTransformerConfig(/*vocab_size=*/2800);
+  Rng rng(13);
+  nn::TokenClassifier model(config, /*num_labels=*/11, rng);
+  infer::Engine engine = infer::Engine::ForTokenClassifier(model);
+
+  Rng traffic_rng(14);
+  std::vector<std::vector<int32_t>> traffic =
+      MakeTraffic(config, /*count=*/1500, traffic_rng);
+
+  // Exactness first: every timed prediction pair must agree.
+  for (const auto& ids : traffic) {
+    GOALEX_CHECK(engine.PredictTokens(ids) == model.Predict(ids));
+  }
+  std::printf(
+      "Microbenchmark: graph-free inference engine vs autograd predict\n");
+  std::printf(
+      "model: d_model=%d heads=%d layers=%d ffn=%d max_seq_len=%d; "
+      "%zu sequences (engine output verified identical)\n\n",
+      config.d_model, config.heads, config.layers, config.ffn_dim,
+      config.max_seq_len, traffic.size());
+  std::printf("arena bytes per worker context: %zu\n\n",
+              engine.arena_bytes_per_context());
+
+  eval::TextTable table(
+      {"Threads", "Autograd s", "Engine s", "Autograd seq/s", "Engine seq/s",
+       "Speedup"});
+  auto fmt = [](double v, int precision) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", precision, v);
+    return std::string(buffer);
+  };
+  for (int threads : {1, 4, 8}) {
+    // Warm both paths (page in weights, size thread-local arenas) so the
+    // timed region is steady-state.
+    TimedRun(traffic, threads,
+             [&](const std::vector<int32_t>& ids) { model.Predict(ids); });
+    double autograd_s = TimedRun(
+        traffic, threads,
+        [&](const std::vector<int32_t>& ids) { model.Predict(ids); });
+    TimedRun(traffic, threads, [&](const std::vector<int32_t>& ids) {
+      engine.PredictTokens(ids);
+    });
+    double engine_s = TimedRun(traffic, threads,
+                               [&](const std::vector<int32_t>& ids) {
+                                 engine.PredictTokens(ids);
+                               });
+    double speedup = autograd_s / engine_s;
+    double n = static_cast<double>(traffic.size());
+    table.AddRow({std::to_string(threads), fmt(autograd_s, 3),
+                  fmt(engine_s, 3), fmt(n / autograd_s, 0),
+                  fmt(n / engine_s, 0), fmt(speedup, 2)});
+    // One JSON row per thread count for CI trend tracking.
+    std::printf(
+        "{\"bench\":\"micro_infer\",\"threads\":%d,\"sequences\":%zu,"
+        "\"autograd_seconds\":%.6f,\"engine_seconds\":%.6f,"
+        "\"autograd_seq_per_s\":%.1f,\"engine_seq_per_s\":%.1f,"
+        "\"speedup\":%.3f}\n",
+        threads, traffic.size(), autograd_s, engine_s, n / autograd_s,
+        n / engine_s, speedup);
+  }
+  std::printf("\n%s\n", table.Render().c_str());
+  EmitMetricsSnapshot("inference engine run");
+}
+
+}  // namespace
+}  // namespace goalex::bench
+
+int main() {
+  goalex::bench::Run();
+  return 0;
+}

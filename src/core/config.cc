@@ -68,6 +68,7 @@ std::string ExtractorConfig::ToText() const {
       << "normalize_text=" << (normalize_text ? 1 : 0) << "\n"
       << "num_threads=" << num_threads << "\n"
       << "enable_metrics=" << (enable_metrics ? 1 : 0) << "\n"
+      << "use_inference_engine=" << (use_inference_engine ? 1 : 0) << "\n"
       << "segment_multi_target=" << (segment_multi_target ? 1 : 0) << "\n"
       << "exact_match=" << (weak_labeler.exact_match ? 1 : 0) << "\n";
   return out.str();
@@ -122,6 +123,8 @@ StatusOr<ExtractorConfig> ExtractorConfig::FromText(std::string_view text) {
       config.num_threads = std::atoi(value.c_str());
     } else if (key == "enable_metrics") {
       config.enable_metrics = (value == "1");
+    } else if (key == "use_inference_engine") {
+      config.use_inference_engine = (value == "1");
     } else if (key == "segment_multi_target") {
       config.segment_multi_target = (value == "1");
     } else if (key == "exact_match") {

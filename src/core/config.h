@@ -75,6 +75,14 @@ struct ExtractorConfig {
   /// entirely with -DGOALEX_DISABLE_METRICS; outputs never depend on it.
   bool enable_metrics = true;
 
+  /// Production inference strategy. When true (default), Predict runs on
+  /// the graph-free infer::Engine: a plan compiled once at Train()/Load()
+  /// completion, executed against per-thread scratch arenas with borrowed
+  /// weights. When false, Predict walks the autograd evaluation path. Both
+  /// paths produce bit-identical outputs (enforced by infer_parity_test);
+  /// the flag exists as an escape hatch and for A/B benchmarking.
+  bool use_inference_engine = true;
+
   /// Objective segmentation (Section 5.3 future work): at extraction time,
   /// split multi-target objectives into single-target clauses, extract per
   /// clause, and merge (first non-empty value per field wins). Off by

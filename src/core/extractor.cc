@@ -152,8 +152,8 @@ Status DetailExtractor::Train(
     int32_t in_batch = 0;
     for (size_t idx : order) {
       const EncodedExample& example = examples[idx];
-      tensor::Var loss = model_->ForwardLoss(example.ids, example.targets,
-                                             /*training=*/true, train_rng);
+      tensor::Var loss =
+          model_->ForwardLoss(example.ids, example.targets, train_rng);
       loss_sum += loss->value().at(0);
       tensor::Backward(tensor::Scale(loss, inv_batch));
       if (++in_batch == config_.batch_size) {
@@ -168,10 +168,23 @@ Status DetailExtractor::Train(
       stats.epoch = epoch;
       stats.mean_train_loss = loss_sum / static_cast<double>(examples.size());
       stats.seconds = timer.Seconds();
+      // The callback may Extract(): make sure the engine exists. Adam
+      // updates weights in place, so the borrowed views stay current and
+      // the plan never needs recompiling across epochs.
+      if (engine_ == nullptr) RebuildEngine();
       on_epoch_end(stats);
     }
   }
+  RebuildEngine();
   return Status::Ok();
+}
+
+void DetailExtractor::RebuildEngine() {
+  engine_.reset();
+  if (!config_.use_inference_engine) return;
+  GOALEX_CHECK(model_ != nullptr);
+  engine_ = std::make_unique<infer::Engine>(
+      infer::Engine::ForTokenClassifier(*model_));
 }
 
 DetailExtractor::WordPrediction DetailExtractor::PredictPrepared(
@@ -198,7 +211,11 @@ DetailExtractor::WordPrediction DetailExtractor::PredictPrepared(
 
   obs::ScopedTimer predict_timer(instrument ? metrics_.predict_seconds
                                             : nullptr);
-  std::vector<int32_t> predictions = model_->Predict(ids);
+  // Engine and autograd paths are bit-identical (infer_parity_test); the
+  // engine is just graph-free and arena-backed.
+  std::vector<int32_t> predictions = engine_ != nullptr
+                                         ? engine_->PredictTokens(ids)
+                                         : model_->Predict(ids);
   predict_timer.Stop();
 
   out.word_labels.assign(out.tokens.size(),
@@ -344,7 +361,12 @@ Status DetailExtractor::Load(const std::string& directory) {
       static_cast<int32_t>(tokenizer_->vocab().size()));
   model_ = std::make_unique<nn::TokenClassifier>(arch, catalog_.label_count(),
                                                  init_rng);
-  return nn::LoadParameters(*model_, directory + "/model.bin");
+  Status status = nn::LoadParameters(*model_, directory + "/model.bin");
+  if (!status.ok()) return status;
+  // LoadParameters wrote into the parameter storage in place, so compiling
+  // here (or even before the load) sees the final weights.
+  RebuildEngine();
+  return Status::Ok();
 }
 
 }  // namespace goalex::core

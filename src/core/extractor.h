@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "core/config.h"
 #include "data/schema.h"
+#include "infer/engine.h"
 #include "labels/iob.h"
 #include "nn/transformer.h"
 #include "obs/metrics.h"
@@ -133,8 +134,14 @@ class DetailExtractor {
   };
 
   /// Runs the inference pipeline once. Thread-safe after Train()/Load():
-  /// the model, tokenizer, and catalog are immutable by then.
+  /// the model, tokenizer, and catalog are immutable by then, and each
+  /// worker thread executes the compiled plan in its own arena.
   WordPrediction PredictPrepared(const std::string& text) const;
+
+  /// Compiles the inference plan for the current model (no-op when
+  /// config_.use_inference_engine is false). Called when Train()/Load()
+  /// completes — the single point where the model's weights are final.
+  void RebuildEngine();
 
   /// Extracts from one (already single-target) objective.
   data::DetailRecord ExtractSingle(const data::Objective& objective) const;
@@ -154,6 +161,10 @@ class DetailExtractor {
   text::WordTokenizer word_tokenizer_;
   std::unique_ptr<bpe::BpeModel> tokenizer_;
   std::unique_ptr<nn::TokenClassifier> model_;
+  /// Compiled graph-free inference plan over model_'s weights (borrowed by
+  /// view — must be destroyed before or rebuilt with model_). Null until
+  /// trained/loaded, or when use_inference_engine is off.
+  std::unique_ptr<infer::Engine> engine_;
   weaksup::WeakLabelStats train_stats_;
 };
 

@@ -2,8 +2,14 @@
 
 #include <cmath>
 
+#include "bpe/bpe_tokenizer.h"
+#include "common/check.h"
 #include "common/string_util.h"
 #include "crf/features.h"
+#include "infer/engine.h"
+#include "nn/adam.h"
+#include "nn/transformer.h"
+#include "tensor/ops.h"
 #include "text/word_tokenizer.h"
 
 namespace goalex::goalspotter {
@@ -88,6 +94,83 @@ double ObjectiveDetector::Score(const std::string& text) const {
 bool ObjectiveDetector::IsObjective(const std::string& text,
                                     double threshold) const {
   return Score(text) >= threshold;
+}
+
+TransformerObjectiveDetector::TransformerObjectiveDetector(
+    TransformerDetectorOptions options)
+    : options_(options) {}
+
+TransformerObjectiveDetector::~TransformerObjectiveDetector() = default;
+
+std::vector<int32_t> TransformerObjectiveDetector::Encode(
+    const std::string& text) const {
+  GOALEX_CHECK(tokenizer_ != nullptr);
+  std::vector<int32_t> ids;
+  ids.push_back(bpe::Vocab::kBosId);
+  for (const bpe::Subword& sw : tokenizer_->Encode(text)) {
+    ids.push_back(sw.id);
+  }
+  ids.push_back(bpe::Vocab::kEosId);
+  return ids;
+}
+
+void TransformerObjectiveDetector::Train(
+    const std::vector<LabeledBlock>& blocks) {
+  GOALEX_CHECK(!blocks.empty());
+  std::vector<std::string> corpus;
+  corpus.reserve(blocks.size());
+  for (const LabeledBlock& block : blocks) corpus.push_back(block.text);
+  tokenizer_ = std::make_unique<bpe::BpeModel>(bpe::BpeModel::Train(
+      corpus, options_.bpe_merges, /*lowercase=*/true));
+  tokenizer_->Freeze();
+
+  nn::TransformerConfig arch;
+  arch.vocab_size = static_cast<int32_t>(tokenizer_->vocab().size());
+  arch.max_seq_len = options_.max_seq_len;
+  arch.d_model = options_.d_model;
+  arch.heads = options_.heads;
+  arch.layers = options_.layers;
+  arch.ffn_dim = options_.ffn_dim;
+  arch.dropout = options_.dropout;
+
+  Rng init_rng(options_.seed);
+  model_ = std::make_unique<nn::SequenceClassifier>(arch, /*num_classes=*/2,
+                                                    init_rng);
+  nn::AdamOptions adam_options;
+  adam_options.learning_rate = options_.learning_rate;
+  nn::Adam optimizer(model_->Parameters(), adam_options);
+
+  Rng train_rng(options_.seed + 1);
+  std::vector<size_t> order(blocks.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int32_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    train_rng.Shuffle(order);
+    for (size_t idx : order) {
+      const LabeledBlock& block = blocks[idx];
+      tensor::Var loss = model_->ForwardLoss(
+          Encode(block.text), block.is_objective ? 1 : 0, train_rng);
+      tensor::Backward(loss);
+      optimizer.Step();
+    }
+  }
+
+  engine_.reset();
+  if (options_.use_inference_engine) {
+    engine_ = std::make_unique<infer::Engine>(
+        infer::Engine::ForSequenceClassifier(*model_));
+  }
+}
+
+int32_t TransformerObjectiveDetector::PredictClass(
+    const std::string& text) const {
+  GOALEX_CHECK_MSG(model_ != nullptr, "detector is not trained");
+  std::vector<int32_t> ids = Encode(text);
+  return engine_ != nullptr ? engine_->PredictClass(ids)
+                            : model_->Predict(ids);
+}
+
+bool TransformerObjectiveDetector::IsObjective(const std::string& text) const {
+  return PredictClass(text) == 1;
 }
 
 }  // namespace goalex::goalspotter

@@ -2,10 +2,23 @@
 #define GOALEX_GOALSPOTTER_DETECTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+
+namespace goalex::bpe {
+class BpeModel;
+}  // namespace goalex::bpe
+
+namespace goalex::infer {
+class Engine;
+}  // namespace goalex::infer
+
+namespace goalex::nn {
+class SequenceClassifier;
+}  // namespace goalex::nn
 
 namespace goalex::goalspotter {
 
@@ -50,6 +63,63 @@ class ObjectiveDetector {
   std::vector<float> g2_;  ///< Adagrad accumulators.
   float bias_ = 0.0f;
   float bias_g2_ = 0.0f;
+};
+
+/// Options for the transformer-backed detector. Defaults are scaled down
+/// relative to the detail extractor: detection is a binary task over short
+/// blocks, so a 1-layer encoder suffices for the parity and smoke tests.
+struct TransformerDetectorOptions {
+  int32_t epochs = 4;
+  float learning_rate = 1e-3f;
+  uint64_t seed = 3;
+  size_t bpe_merges = 400;
+  int32_t max_seq_len = 64;
+  int32_t d_model = 32;
+  int32_t heads = 2;
+  int32_t layers = 1;
+  int32_t ffn_dim = 64;
+  float dropout = 0.1f;
+  /// Predict via the compiled graph-free engine (default) or the autograd
+  /// evaluation path. Bit-identical either way (goalspotter_test checks).
+  bool use_inference_engine = true;
+};
+
+/// Transformer variant of the detection substrate: BPE-encodes a block and
+/// classifies it with nn::SequenceClassifier (mean-pooled encoder), the
+/// model family the paper uses for detection. Production scoring runs on
+/// the compiled infer::Engine — the sequence-classification counterpart of
+/// the extractor's token-classification plan.
+class TransformerObjectiveDetector {
+ public:
+  explicit TransformerObjectiveDetector(
+      TransformerDetectorOptions options = {});
+  ~TransformerObjectiveDetector();
+
+  TransformerObjectiveDetector(const TransformerObjectiveDetector&) = delete;
+  TransformerObjectiveDetector& operator=(const TransformerObjectiveDetector&) =
+      delete;
+
+  /// Trains the tokenizer and classifier from labeled blocks, then compiles
+  /// the inference plan (when use_inference_engine is on).
+  void Train(const std::vector<LabeledBlock>& blocks);
+
+  /// Predicted class of `text`: 1 = objective, 0 = noise. Thread-safe after
+  /// Train() (per-thread engine contexts; frozen tokenizer).
+  int32_t PredictClass(const std::string& text) const;
+
+  /// PredictClass(text) == 1.
+  bool IsObjective(const std::string& text) const;
+
+  bool trained() const { return model_ != nullptr; }
+  const TransformerDetectorOptions& options() const { return options_; }
+
+ private:
+  std::vector<int32_t> Encode(const std::string& text) const;
+
+  TransformerDetectorOptions options_;
+  std::unique_ptr<bpe::BpeModel> tokenizer_;
+  std::unique_ptr<nn::SequenceClassifier> model_;
+  std::unique_ptr<infer::Engine> engine_;  ///< Null on the autograd path.
 };
 
 }  // namespace goalex::goalspotter

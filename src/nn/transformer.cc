@@ -47,8 +47,24 @@ EncoderLayer::EncoderLayer(const TransformerConfig& config, Rng& rng)
   ln2_beta_ = LayerNormParamBeta(d);
 }
 
-tensor::Var EncoderLayer::Forward(const tensor::Var& x, bool training,
-                                  Rng& rng) const {
+tensor::Var EncoderLayer::Forward(const tensor::Var& x) const {
+  // Attention block (pre-LN). No dropout call sites: this overload is the
+  // inference path and has no randomness to apply.
+  tensor::Var h = tensor::LayerNorm(x, ln1_gamma_, ln1_beta_);
+  tensor::Var q = q_proj_->Forward(h);
+  tensor::Var k = k_proj_->Forward(h);
+  tensor::Var v = v_proj_->Forward(h);
+  tensor::Var attn = tensor::AttentionCore(q, k, v, config_.heads);
+  attn = o_proj_->Forward(attn);
+  tensor::Var x1 = tensor::Add(x, attn);
+
+  // Feed-forward block (pre-LN).
+  tensor::Var h2 = tensor::LayerNorm(x1, ln2_gamma_, ln2_beta_);
+  tensor::Var ffn = ffn_out_->Forward(tensor::Gelu(ffn_in_->Forward(h2)));
+  return tensor::Add(x1, ffn);
+}
+
+tensor::Var EncoderLayer::Forward(const tensor::Var& x, Rng& rng) const {
   // Attention block (pre-LN).
   tensor::Var h = tensor::LayerNorm(x, ln1_gamma_, ln1_beta_);
   tensor::Var q = q_proj_->Forward(h);
@@ -56,13 +72,13 @@ tensor::Var EncoderLayer::Forward(const tensor::Var& x, bool training,
   tensor::Var v = v_proj_->Forward(h);
   tensor::Var attn = tensor::AttentionCore(q, k, v, config_.heads);
   attn = o_proj_->Forward(attn);
-  attn = tensor::Dropout(attn, config_.dropout, training, rng);
+  attn = tensor::Dropout(attn, config_.dropout, rng);
   tensor::Var x1 = tensor::Add(x, attn);
 
   // Feed-forward block (pre-LN).
   tensor::Var h2 = tensor::LayerNorm(x1, ln2_gamma_, ln2_beta_);
   tensor::Var ffn = ffn_out_->Forward(tensor::Gelu(ffn_in_->Forward(h2)));
-  ffn = tensor::Dropout(ffn, config_.dropout, training, rng);
+  ffn = tensor::Dropout(ffn, config_.dropout, rng);
   return tensor::Add(x1, ffn);
 }
 
@@ -107,23 +123,41 @@ TransformerEncoder::TransformerEncoder(const TransformerConfig& config,
   final_beta_ = LayerNormParamBeta(d);
 }
 
-tensor::Var TransformerEncoder::Forward(const std::vector<int32_t>& ids,
-                                        bool training, Rng& rng) const {
+std::vector<int32_t> TransformerEncoder::Truncated(
+    const std::vector<int32_t>& ids) const {
   GOALEX_CHECK(!ids.empty());
   std::vector<int32_t> truncated = ids;
   if (truncated.size() > static_cast<size_t>(config_.max_seq_len)) {
     truncated.resize(static_cast<size_t>(config_.max_seq_len));
   }
+  return truncated;
+}
+
+tensor::Var TransformerEncoder::Embed(
+    const std::vector<int32_t>& truncated) const {
   std::vector<int32_t> positions(truncated.size());
   for (size_t i = 0; i < positions.size(); ++i) {
     positions[i] = static_cast<int32_t>(i);
   }
-  tensor::Var x =
-      tensor::Add(tensor::EmbeddingGather(token_embedding_, truncated),
-                  tensor::EmbeddingGather(position_embedding_, positions));
-  x = tensor::Dropout(x, config_.dropout, training, rng);
+  return tensor::Add(tensor::EmbeddingGather(token_embedding_, truncated),
+                     tensor::EmbeddingGather(position_embedding_, positions));
+}
+
+tensor::Var TransformerEncoder::Forward(
+    const std::vector<int32_t>& ids) const {
+  tensor::Var x = Embed(Truncated(ids));
   for (const auto& layer : layers_) {
-    x = layer->Forward(x, training, rng);
+    x = layer->Forward(x);
+  }
+  return tensor::LayerNorm(x, final_gamma_, final_beta_);
+}
+
+tensor::Var TransformerEncoder::Forward(const std::vector<int32_t>& ids,
+                                        Rng& rng) const {
+  tensor::Var x = Embed(Truncated(ids));
+  x = tensor::Dropout(x, config_.dropout, rng);
+  for (const auto& layer : layers_) {
+    x = layer->Forward(x, rng);
   }
   return tensor::LayerNorm(x, final_gamma_, final_beta_);
 }
@@ -144,20 +178,23 @@ void TransformerEncoder::CollectParameters(
 
 TokenClassifier::TokenClassifier(const TransformerConfig& config,
                                  int32_t num_labels, Rng& rng)
-    : num_labels_(num_labels), inference_rng_(0) {
+    : num_labels_(num_labels) {
   encoder_ = std::make_unique<TransformerEncoder>(config, rng);
   head_ = std::make_unique<Linear>(config.d_model, num_labels, rng);
 }
 
-tensor::Var TokenClassifier::ForwardLogits(const std::vector<int32_t>& ids,
-                                           bool training, Rng& rng) const {
-  return head_->Forward(encoder_->Forward(ids, training, rng));
+tensor::Var TokenClassifier::ForwardLogits(
+    const std::vector<int32_t>& ids) const {
+  return head_->Forward(encoder_->Forward(ids));
 }
 
-tensor::Var TokenClassifier::ForwardLoss(const std::vector<int32_t>& ids,
-                                         const std::vector<int32_t>& targets,
-                                         bool training, Rng& rng) const {
-  tensor::Var logits = ForwardLogits(ids, training, rng);
+tensor::Var TokenClassifier::ForwardLogits(const std::vector<int32_t>& ids,
+                                           Rng& rng) const {
+  return head_->Forward(encoder_->Forward(ids, rng));
+}
+
+tensor::Var TokenClassifier::LossFromLogits(
+    const tensor::Var& logits, const std::vector<int32_t>& targets) const {
   std::vector<int32_t> truncated_targets = targets;
   size_t t = static_cast<size_t>(logits->value().dim(0));
   GOALEX_CHECK_GE(truncated_targets.size(), t);
@@ -165,11 +202,21 @@ tensor::Var TokenClassifier::ForwardLoss(const std::vector<int32_t>& ids,
   return tensor::CrossEntropy(logits, truncated_targets);
 }
 
+tensor::Var TokenClassifier::ForwardLoss(const std::vector<int32_t>& ids,
+                                         const std::vector<int32_t>& targets,
+                                         Rng& rng) const {
+  return LossFromLogits(ForwardLogits(ids, rng), targets);
+}
+
+tensor::Var TokenClassifier::ForwardLoss(
+    const std::vector<int32_t>& ids,
+    const std::vector<int32_t>& targets) const {
+  return LossFromLogits(ForwardLogits(ids), targets);
+}
+
 std::vector<int32_t> TokenClassifier::Predict(
     const std::vector<int32_t>& ids) const {
-  tensor::Var logits =
-      ForwardLogits(ids, /*training=*/false, inference_rng_);
-  return tensor::ArgmaxRows(logits);
+  return tensor::ArgmaxRows(ForwardLogits(ids));
 }
 
 void TokenClassifier::CollectParameters(const std::string& prefix,
@@ -180,29 +227,32 @@ void TokenClassifier::CollectParameters(const std::string& prefix,
 
 SequenceClassifier::SequenceClassifier(const TransformerConfig& config,
                                        int32_t num_classes, Rng& rng)
-    : num_classes_(num_classes), inference_rng_(0) {
+    : num_classes_(num_classes) {
   encoder_ = std::make_unique<TransformerEncoder>(config, rng);
   head_ = std::make_unique<Linear>(config.d_model, num_classes, rng);
 }
 
+tensor::Var SequenceClassifier::ForwardLogits(
+    const std::vector<int32_t>& ids) const {
+  tensor::Var states = encoder_->Forward(ids);
+  return head_->Forward(tensor::MeanRows(states));
+}
+
 tensor::Var SequenceClassifier::ForwardLogits(const std::vector<int32_t>& ids,
-                                              bool training, Rng& rng) const {
-  tensor::Var states = encoder_->Forward(ids, training, rng);
+                                              Rng& rng) const {
+  tensor::Var states = encoder_->Forward(ids, rng);
   return head_->Forward(tensor::MeanRows(states));
 }
 
 tensor::Var SequenceClassifier::ForwardLoss(const std::vector<int32_t>& ids,
-                                            int32_t target, bool training,
-                                            Rng& rng) const {
+                                            int32_t target, Rng& rng) const {
   GOALEX_CHECK(target >= 0 && target < num_classes_);
-  tensor::Var logits = ForwardLogits(ids, training, rng);
+  tensor::Var logits = ForwardLogits(ids, rng);
   return tensor::CrossEntropy(logits, {target});
 }
 
 int32_t SequenceClassifier::Predict(const std::vector<int32_t>& ids) const {
-  tensor::Var logits =
-      ForwardLogits(ids, /*training=*/false, inference_rng_);
-  return tensor::ArgmaxRows(logits)[0];
+  return tensor::ArgmaxRows(ForwardLogits(ids))[0];
 }
 
 void SequenceClassifier::CollectParameters(

@@ -31,14 +31,35 @@ struct TransformerConfig {
 /// One pre-LN encoder layer:
 ///   x = x + Attn(LN1(x));  x = x + FFN(LN2(x))
 /// with FFN(h) = Gelu(h W1 + b1) W2 + b2.
+///
+/// Forward comes in two structurally separate flavors: the training overload
+/// takes the dropout Rng, the evaluation overload has no Rng parameter and
+/// no dropout call sites at all — inference cannot apply dropout by
+/// construction, rather than by a correctly-passed flag.
 class EncoderLayer : public Module {
  public:
   EncoderLayer(const TransformerConfig& config, Rng& rng);
 
-  tensor::Var Forward(const tensor::Var& x, bool training, Rng& rng) const;
+  /// Evaluation forward (no dropout, deterministic).
+  tensor::Var Forward(const tensor::Var& x) const;
+
+  /// Training forward (applies dropout driven by `rng`).
+  tensor::Var Forward(const tensor::Var& x, Rng& rng) const;
 
   void CollectParameters(const std::string& prefix,
                          std::vector<NamedParam>& out) const override;
+
+  /// Borrowed-weight accessors for inference plan compilation (src/infer).
+  const Linear& q_proj() const { return *q_proj_; }
+  const Linear& k_proj() const { return *k_proj_; }
+  const Linear& v_proj() const { return *v_proj_; }
+  const Linear& o_proj() const { return *o_proj_; }
+  const Linear& ffn_in() const { return *ffn_in_; }
+  const Linear& ffn_out() const { return *ffn_out_; }
+  const tensor::Var& ln1_gamma() const { return ln1_gamma_; }
+  const tensor::Var& ln1_beta() const { return ln1_beta_; }
+  const tensor::Var& ln2_gamma() const { return ln2_gamma_; }
+  const tensor::Var& ln2_beta() const { return ln2_beta_; }
 
  private:
   TransformerConfig config_;
@@ -55,16 +76,34 @@ class TransformerEncoder : public Module {
  public:
   TransformerEncoder(const TransformerConfig& config, Rng& rng);
 
-  /// Encodes `ids` (length <= max_seq_len; longer inputs are truncated).
-  tensor::Var Forward(const std::vector<int32_t>& ids, bool training,
-                      Rng& rng) const;
+  /// Evaluation encode of `ids` (length <= max_seq_len; longer inputs are
+  /// truncated). Dropout-free by construction.
+  tensor::Var Forward(const std::vector<int32_t>& ids) const;
+
+  /// Training encode (embedding + per-layer dropout driven by `rng`).
+  tensor::Var Forward(const std::vector<int32_t>& ids, Rng& rng) const;
 
   void CollectParameters(const std::string& prefix,
                          std::vector<NamedParam>& out) const override;
 
   const TransformerConfig& config() const { return config_; }
 
+  /// Borrowed-weight accessors for inference plan compilation.
+  const tensor::Var& token_embedding() const { return token_embedding_; }
+  const tensor::Var& position_embedding() const {
+    return position_embedding_;
+  }
+  const std::vector<std::unique_ptr<EncoderLayer>>& layers() const {
+    return layers_;
+  }
+  const tensor::Var& final_gamma() const { return final_gamma_; }
+  const tensor::Var& final_beta() const { return final_beta_; }
+
  private:
+  /// Truncates to max_seq_len and builds the position id ramp.
+  std::vector<int32_t> Truncated(const std::vector<int32_t>& ids) const;
+  tensor::Var Embed(const std::vector<int32_t>& truncated) const;
+
   TransformerConfig config_;
   tensor::Var token_embedding_;     ///< [vocab, d_model]
   tensor::Var position_embedding_;  ///< [max_seq_len, d_model]
@@ -80,30 +119,43 @@ class TokenClassifier : public Module {
   TokenClassifier(const TransformerConfig& config, int32_t num_labels,
                   Rng& rng);
 
-  /// Returns per-token logits [T', num_labels] where T' = min(T, max_len).
-  tensor::Var ForwardLogits(const std::vector<int32_t>& ids, bool training,
-                            Rng& rng) const;
+  /// Evaluation logits [T', num_labels] where T' = min(T, max_len). This is
+  /// the autograd reference path the inference engine is bit-compared to.
+  tensor::Var ForwardLogits(const std::vector<int32_t>& ids) const;
 
-  /// Computes the mean cross-entropy loss against `targets` (-1 = ignore).
-  /// Target vector longer than the truncated input is truncated to match.
+  /// Training logits (dropout active).
+  tensor::Var ForwardLogits(const std::vector<int32_t>& ids, Rng& rng) const;
+
+  /// Mean cross-entropy loss against `targets` (-1 = ignore) with dropout
+  /// active (training). Target vector longer than the truncated input is
+  /// truncated to match.
   tensor::Var ForwardLoss(const std::vector<int32_t>& ids,
-                          const std::vector<int32_t>& targets, bool training,
+                          const std::vector<int32_t>& targets,
                           Rng& rng) const;
 
-  /// Greedy per-token prediction (argmax over labels).
+  /// Evaluation loss (no dropout) — diagnostics and tests.
+  tensor::Var ForwardLoss(const std::vector<int32_t>& ids,
+                          const std::vector<int32_t>& targets) const;
+
+  /// Greedy per-token prediction (argmax over labels) via the autograd
+  /// evaluation path. Production inference uses infer::Engine instead,
+  /// which is bit-identical and graph-free.
   std::vector<int32_t> Predict(const std::vector<int32_t>& ids) const;
 
   void CollectParameters(const std::string& prefix,
                          std::vector<NamedParam>& out) const override;
 
   const TransformerEncoder& encoder() const { return *encoder_; }
+  const Linear& head() const { return *head_; }
   int32_t num_labels() const { return num_labels_; }
 
  private:
+  tensor::Var LossFromLogits(const tensor::Var& logits,
+                             const std::vector<int32_t>& targets) const;
+
   std::unique_ptr<TransformerEncoder> encoder_;
   std::unique_ptr<Linear> head_;
   int32_t num_labels_;
-  mutable Rng inference_rng_;  ///< Unused randomness source for eval passes.
 };
 
 /// Sequence classification model: encoder + mean pooling + linear head.
@@ -113,20 +165,30 @@ class SequenceClassifier : public Module {
   SequenceClassifier(const TransformerConfig& config, int32_t num_classes,
                      Rng& rng);
 
-  tensor::Var ForwardLogits(const std::vector<int32_t>& ids, bool training,
-                            Rng& rng) const;
+  /// Evaluation logits [1, num_classes] (no dropout, deterministic).
+  tensor::Var ForwardLogits(const std::vector<int32_t>& ids) const;
+
+  /// Training logits (dropout active).
+  tensor::Var ForwardLogits(const std::vector<int32_t>& ids, Rng& rng) const;
+
+  /// Training loss (dropout active).
   tensor::Var ForwardLoss(const std::vector<int32_t>& ids, int32_t target,
-                          bool training, Rng& rng) const;
+                          Rng& rng) const;
+
+  /// Argmax class via the autograd evaluation path.
   int32_t Predict(const std::vector<int32_t>& ids) const;
 
   void CollectParameters(const std::string& prefix,
                          std::vector<NamedParam>& out) const override;
 
+  const TransformerEncoder& encoder() const { return *encoder_; }
+  const Linear& head() const { return *head_; }
+  int32_t num_classes() const { return num_classes_; }
+
  private:
   std::unique_ptr<TransformerEncoder> encoder_;
   std::unique_ptr<Linear> head_;
   int32_t num_classes_;
-  mutable Rng inference_rng_;
 };
 
 }  // namespace goalex::nn

@@ -1,0 +1,71 @@
+#ifndef GOALEX_TENSOR_ARENA_H_
+#define GOALEX_TENSOR_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "tensor/view.h"
+
+namespace goalex::tensor {
+
+/// Bump allocator over one contiguous float block. The inference engine
+/// gives each worker thread exactly one Arena, sized once from the compiled
+/// plan's peak requirement (a function of max_seq_len), and rewinds it
+/// between forward passes — so the steady-state hot path performs zero heap
+/// allocations and reuses cache-warm storage across calls.
+///
+/// Not thread-safe by design: one Arena belongs to one worker.
+class Arena {
+ public:
+  /// Reserves `capacity` floats up front. Capacity 0 is a valid empty arena
+  /// (useful as a placeholder before a plan is compiled).
+  explicit Arena(size_t capacity = 0) { Reserve(capacity); }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Grows capacity to at least `capacity` floats. Invalidates outstanding
+  /// pointers; only legal between forward passes (used_ must be 0).
+  void Reserve(size_t capacity) {
+    if (capacity <= capacity_) return;
+    GOALEX_CHECK_EQ(used_, 0u);
+    block_ = std::make_unique<float[]>(capacity);
+    capacity_ = capacity;
+  }
+
+  /// Returns `n` floats of uninitialized scratch. CHECK-fails when the
+  /// arena is undersized — plans compute their exact peak requirement, so
+  /// this firing means a plan/arena mismatch, not a data-dependent OOM.
+  float* Allocate(size_t n) {
+    GOALEX_CHECK_MSG(used_ + n <= capacity_,
+                     "arena overflow: " << used_ << " + " << n << " > "
+                                        << capacity_);
+    float* p = block_.get() + used_;
+    used_ += n;
+    return p;
+  }
+
+  /// Allocates a rows x cols matrix view.
+  TensorView AllocateMatrix(int64_t rows, int64_t cols) {
+    return TensorView(Allocate(static_cast<size_t>(rows * cols)), rows, cols);
+  }
+
+  /// Rewinds the bump pointer; storage is retained and reused.
+  void Reset() { used_ = 0; }
+
+  size_t capacity() const { return capacity_; }
+  size_t used() const { return used_; }
+  size_t bytes() const { return capacity_ * sizeof(float); }
+
+ private:
+  std::unique_ptr<float[]> block_;
+  size_t capacity_ = 0;
+  size_t used_ = 0;
+};
+
+}  // namespace goalex::tensor
+
+#endif  // GOALEX_TENSOR_ARENA_H_

@@ -1,0 +1,340 @@
+#include "tensor/forward.h"
+
+#include <algorithm>
+#include <cmath>
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+
+#include "common/check.h"
+#include "tensor/kernels.h"
+#include "tensor/mathfn.h"
+
+namespace goalex::tensor {
+namespace {
+
+/// C[m, n] = A[m, k] * B[k, n] with each output accumulated in registers
+/// over k. The per-output fmaf sequence (strict k order, single rounding
+/// per step, start from 0) is exactly the one kernels.cc Gemm performs, so
+/// results are bit-identical — minus the store/reload latency chain that
+/// bounds the memory-accumulating kernel on small n (attention head dims).
+void GemmRegAcc(const float* a, const float* b, float* c, int64_t m,
+                int64_t k, int64_t n) {
+#if defined(__AVX2__) && defined(__FMA__)
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    int64_t j0 = 0;
+    for (; j0 + 16 <= n; j0 += 16) {
+      const float* b_base = b + j0;
+      __m256 acc0 = _mm256_setzero_ps();
+      __m256 acc1 = _mm256_setzero_ps();
+      for (int64_t l = 0; l < k; ++l) {
+        const __m256 av = _mm256_set1_ps(a_row[l]);
+        const float* b_row = b_base + l * n;
+        acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b_row), acc0);
+        acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b_row + 8), acc1);
+      }
+      _mm256_storeu_ps(c_row + j0, acc0);
+      _mm256_storeu_ps(c_row + j0 + 8, acc1);
+    }
+    for (; j0 + 8 <= n; j0 += 8) {
+      const float* b_base = b + j0;
+      __m256 acc = _mm256_setzero_ps();
+      for (int64_t l = 0; l < k; ++l) {
+        acc = _mm256_fmadd_ps(_mm256_set1_ps(a_row[l]),
+                              _mm256_loadu_ps(b_base + l * n), acc);
+      }
+      _mm256_storeu_ps(c_row + j0, acc);
+    }
+    for (; j0 < n; ++j0) {
+      float acc = 0.0f;
+      for (int64_t l = 0; l < k; ++l) {
+        acc = std::fmaf(a_row[l], b[l * n + j0], acc);
+      }
+      c_row[j0] = acc;
+    }
+  }
+#else
+  Gemm(a, b, c, m, k, n, /*accumulate=*/false);
+#endif
+}
+
+}  // namespace
+
+void AddForward(const float* a, const float* b, float* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void LinearForward(const float* x, const float* w, const float* bias,
+                   float* out, int64_t m, int64_t in, int64_t out_dim) {
+  // Register-blocked GEMM with fused bias. Bit-compatibility with the
+  // tape's MatMul+AddBias (Gemm then Axpy) rests on two invariants that
+  // this blocking preserves:
+  //   - each output accumulates its k-products in the same strict k order,
+  //     one fused multiply-add (fmaf / vfmadd lane, single rounding) per
+  //     step, starting from 0; blocking only reorders across independent
+  //     outputs, never within one, and
+  //   - the bias is added once, after the full accumulation (an exact
+  //     match for Axpy's y += 1.0f * bias).
+  // Keeping a j-block of accumulators in registers removes the per-k
+  // store/reload of the output row that bounds the memory-accumulating
+  // kernel — the engine's main single-thread win over the tape at these
+  // matrix sizes. infer_parity_test pins the resulting bit-identity.
+#if defined(__AVX2__) && defined(__FMA__)
+  int64_t i = 0;
+  // 2 input rows at a time over 32-column blocks: each weight-row load
+  // feeds both rows' accumulators, halving load-port pressure in the
+  // load-bound inner loop (8 fmadds per 4 weight loads + 2 broadcasts).
+  for (; i + 2 <= m; i += 2) {
+    const float* x0 = x + i * in;
+    const float* x1 = x0 + in;
+    float* o0 = out + i * out_dim;
+    float* o1 = o0 + out_dim;
+    int64_t j0 = 0;
+    for (; j0 + 32 <= out_dim; j0 += 32) {
+      const float* w_base = w + j0;
+      __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+      __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+      __m256 b0 = _mm256_setzero_ps(), b1 = _mm256_setzero_ps();
+      __m256 b2 = _mm256_setzero_ps(), b3 = _mm256_setzero_ps();
+      for (int64_t l = 0; l < in; ++l) {
+        const __m256 xv0 = _mm256_set1_ps(x0[l]);
+        const __m256 xv1 = _mm256_set1_ps(x1[l]);
+        const float* w_row = w_base + l * out_dim;
+        const __m256 w0v = _mm256_loadu_ps(w_row);
+        const __m256 w1v = _mm256_loadu_ps(w_row + 8);
+        const __m256 w2v = _mm256_loadu_ps(w_row + 16);
+        const __m256 w3v = _mm256_loadu_ps(w_row + 24);
+        a0 = _mm256_fmadd_ps(xv0, w0v, a0);
+        a1 = _mm256_fmadd_ps(xv0, w1v, a1);
+        a2 = _mm256_fmadd_ps(xv0, w2v, a2);
+        a3 = _mm256_fmadd_ps(xv0, w3v, a3);
+        b0 = _mm256_fmadd_ps(xv1, w0v, b0);
+        b1 = _mm256_fmadd_ps(xv1, w1v, b1);
+        b2 = _mm256_fmadd_ps(xv1, w2v, b2);
+        b3 = _mm256_fmadd_ps(xv1, w3v, b3);
+      }
+      const __m256 bi0 = _mm256_loadu_ps(bias + j0);
+      const __m256 bi1 = _mm256_loadu_ps(bias + j0 + 8);
+      const __m256 bi2 = _mm256_loadu_ps(bias + j0 + 16);
+      const __m256 bi3 = _mm256_loadu_ps(bias + j0 + 24);
+      _mm256_storeu_ps(o0 + j0, _mm256_add_ps(a0, bi0));
+      _mm256_storeu_ps(o0 + j0 + 8, _mm256_add_ps(a1, bi1));
+      _mm256_storeu_ps(o0 + j0 + 16, _mm256_add_ps(a2, bi2));
+      _mm256_storeu_ps(o0 + j0 + 24, _mm256_add_ps(a3, bi3));
+      _mm256_storeu_ps(o1 + j0, _mm256_add_ps(b0, bi0));
+      _mm256_storeu_ps(o1 + j0 + 8, _mm256_add_ps(b1, bi1));
+      _mm256_storeu_ps(o1 + j0 + 16, _mm256_add_ps(b2, bi2));
+      _mm256_storeu_ps(o1 + j0 + 24, _mm256_add_ps(b3, bi3));
+    }
+    for (; j0 + 8 <= out_dim; j0 += 8) {
+      const float* w_base = w + j0;
+      __m256 a = _mm256_setzero_ps(), b = _mm256_setzero_ps();
+      for (int64_t l = 0; l < in; ++l) {
+        const __m256 wv = _mm256_loadu_ps(w_base + l * out_dim);
+        a = _mm256_fmadd_ps(_mm256_set1_ps(x0[l]), wv, a);
+        b = _mm256_fmadd_ps(_mm256_set1_ps(x1[l]), wv, b);
+      }
+      const __m256 bi = _mm256_loadu_ps(bias + j0);
+      _mm256_storeu_ps(o0 + j0, _mm256_add_ps(a, bi));
+      _mm256_storeu_ps(o1 + j0, _mm256_add_ps(b, bi));
+    }
+    for (; j0 < out_dim; ++j0) {
+      float a = 0.0f, b = 0.0f;
+      for (int64_t l = 0; l < in; ++l) {
+        const float wv = w[l * out_dim + j0];
+        a = std::fmaf(x0[l], wv, a);
+        b = std::fmaf(x1[l], wv, b);
+      }
+      o0[j0] = a + bias[j0];
+      o1[j0] = b + bias[j0];
+    }
+  }
+  for (; i < m; ++i) {
+    const float* x_row = x + i * in;
+    float* out_row = out + i * out_dim;
+    int64_t j0 = 0;
+    for (; j0 + 32 <= out_dim; j0 += 32) {
+      const float* w_base = w + j0;
+      __m256 acc0 = _mm256_setzero_ps();
+      __m256 acc1 = _mm256_setzero_ps();
+      __m256 acc2 = _mm256_setzero_ps();
+      __m256 acc3 = _mm256_setzero_ps();
+      for (int64_t l = 0; l < in; ++l) {
+        const __m256 xv = _mm256_set1_ps(x_row[l]);
+        const float* w_row = w_base + l * out_dim;
+        acc0 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(w_row), acc0);
+        acc1 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(w_row + 8), acc1);
+        acc2 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(w_row + 16), acc2);
+        acc3 = _mm256_fmadd_ps(xv, _mm256_loadu_ps(w_row + 24), acc3);
+      }
+      _mm256_storeu_ps(out_row + j0,
+                       _mm256_add_ps(acc0, _mm256_loadu_ps(bias + j0)));
+      _mm256_storeu_ps(out_row + j0 + 8,
+                       _mm256_add_ps(acc1, _mm256_loadu_ps(bias + j0 + 8)));
+      _mm256_storeu_ps(out_row + j0 + 16,
+                       _mm256_add_ps(acc2, _mm256_loadu_ps(bias + j0 + 16)));
+      _mm256_storeu_ps(out_row + j0 + 24,
+                       _mm256_add_ps(acc3, _mm256_loadu_ps(bias + j0 + 24)));
+    }
+    for (; j0 + 8 <= out_dim; j0 += 8) {
+      const float* w_base = w + j0;
+      __m256 acc = _mm256_setzero_ps();
+      for (int64_t l = 0; l < in; ++l) {
+        acc = _mm256_fmadd_ps(_mm256_set1_ps(x_row[l]),
+                              _mm256_loadu_ps(w_base + l * out_dim), acc);
+      }
+      _mm256_storeu_ps(out_row + j0,
+                       _mm256_add_ps(acc, _mm256_loadu_ps(bias + j0)));
+    }
+    for (; j0 < out_dim; ++j0) {
+      float acc = 0.0f;
+      for (int64_t l = 0; l < in; ++l) {
+        acc = std::fmaf(x_row[l], w[l * out_dim + j0], acc);
+      }
+      out_row[j0] = acc + bias[j0];
+    }
+  }
+#else
+  // Portable fallback: the tape's exact composition.
+  Gemm(x, w, out, m, in, out_dim, /*accumulate=*/false);
+  for (int64_t i = 0; i < m; ++i) {
+    Axpy(1.0f, bias, out + i * out_dim, out_dim);
+  }
+#endif
+}
+
+void GeluForward(const float* x, float* out, int64_t n) {
+  // Vectorized tanh-approximation GELU. The scalar tail reproduces the
+  // 8-lane arithmetic exactly (see mathfn.h), so results don't depend on
+  // where the vector/tail boundary falls. The backward pass (tensor/ops.cc
+  // Gelu) evaluates the same GeluTanhArg/FastTanhf pair.
+  int64_t i = 0;
+#if defined(__AVX2__) && defined(__FMA__)
+  const __m256 coef = _mm256_set1_ps(kGeluCoef);
+  const __m256 cubic = _mm256_set1_ps(kGeluCubic);
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 one = _mm256_set1_ps(1.0f);
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const __m256 cvv = _mm256_mul_ps(_mm256_mul_ps(cubic, v), v);
+    const __m256 u = _mm256_mul_ps(coef, _mm256_fmadd_ps(cvv, v, v));
+    const __m256 t = FastTanhf8(u);
+    _mm256_storeu_ps(
+        out + i,
+        _mm256_mul_ps(_mm256_mul_ps(half, v), _mm256_add_ps(one, t)));
+  }
+#endif
+  for (; i < n; ++i) {
+    float v = x[i];
+    float t = FastTanhf(GeluTanhArg(v));
+    out[i] = (0.5f * v) * (1.0f + t);
+  }
+}
+
+void LayerNormForward(const float* x, const float* gamma, const float* beta,
+                      float* out, int64_t m, int64_t n, float eps,
+                      float* xhat, float* inv_std) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = x + i * n;
+    double mean = 0.0;
+    for (int64_t j = 0; j < n; ++j) mean += row[j];
+    mean /= n;
+    double var = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      double d = row[j] - mean;
+      var += d * d;
+    }
+    var /= n;
+    float inv = static_cast<float>(1.0 / std::sqrt(var + eps));
+    if (inv_std != nullptr) inv_std[i] = inv;
+    for (int64_t j = 0; j < n; ++j) {
+      float h = (row[j] - static_cast<float>(mean)) * inv;
+      if (xhat != nullptr) xhat[i * n + j] = h;
+      out[i * n + j] = gamma[j] * h + beta[j];
+    }
+  }
+}
+
+void AttentionForward(const float* q, const float* k, const float* v,
+                      float* out, int64_t t, int64_t d, int32_t heads,
+                      float* probs, AttentionScratch& scratch) {
+  GOALEX_CHECK_GT(heads, 0);
+  GOALEX_CHECK_MSG(d % heads == 0, "d_model " << d << " not divisible by "
+                                              << heads << " heads");
+  int64_t dh = d / heads;
+  float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  scratch.Resize(t, dh);
+  float* qa = scratch.qa.data();
+  float* ka = scratch.ka.data();
+  float* va = scratch.va.data();
+  float* oa = scratch.oa.data();
+  float* kat = scratch.kat.data();
+  float* scores = scratch.scores.data();
+
+  auto slice_head = [t, d, dh](const float* src, int32_t head, float* dst) {
+    for (int64_t i = 0; i < t; ++i) {
+      const float* row = src + i * d + head * dh;
+      std::copy(row, row + dh, dst + i * dh);
+    }
+  };
+
+  for (int32_t a = 0; a < heads; ++a) {
+    slice_head(q, a, qa);
+    slice_head(k, a, ka);
+    slice_head(v, a, va);
+    // S = scale * Qa * Ka^T  [t, t]. Transposing Ka once turns the score
+    // matrix into a plain row-major GEMM whose inner loop streams over
+    // contiguous score rows — vectorizable, unlike the latency-chained
+    // serial dot products of GemmTransB. Per output the l-accumulation
+    // order is unchanged; Gemm pins each step's rounding with fmaf.
+    for (int64_t i = 0; i < t; ++i) {
+      for (int64_t l = 0; l < dh; ++l) kat[l * t + i] = ka[i * dh + l];
+    }
+    GemmRegAcc(qa, kat, scores, t, dh, t);
+    for (int64_t i = 0; i < t * t; ++i) scores[i] *= scale;
+    // P = row-softmax(S), written to the caller's capture buffer when the
+    // tape needs it for backward, else to scratch.
+    float* p = probs != nullptr ? probs + a * t * t : scores;
+    for (int64_t i = 0; i < t; ++i) {
+      SoftmaxRow(scores + i * t, p + i * t, t);
+    }
+    // Oa = P * Va  [t, dh]
+    GemmRegAcc(p, va, oa, t, t, dh);
+    for (int64_t i = 0; i < t; ++i) {
+      std::copy(oa + i * dh, oa + (i + 1) * dh, out + i * d + a * dh);
+    }
+  }
+}
+
+void EmbedSumForward(const float* token_table, int64_t vocab,
+                     const float* pos_table, const int32_t* ids, int64_t t,
+                     int64_t d, float* out) {
+  for (int64_t i = 0; i < t; ++i) {
+    GOALEX_CHECK_MSG(ids[i] >= 0 && ids[i] < vocab,
+                     "embedding id " << ids[i] << " out of range " << vocab);
+    const float* tok = token_table + ids[i] * d;
+    const float* pos = pos_table + i * d;
+    AddForward(tok, pos, out + i * d, d);
+  }
+}
+
+void MeanRowsForward(const float* x, float* out, int64_t m, int64_t n) {
+  GOALEX_CHECK_GT(m, 0);
+  std::fill(out, out + n, 0.0f);
+  for (int64_t i = 0; i < m; ++i) Axpy(1.0f, x + i * n, out, n);
+  float inv = 1.0f / static_cast<float>(m);
+  for (int64_t j = 0; j < n; ++j) out[j] *= inv;
+}
+
+int32_t ArgmaxRow(const float* row, int64_t n) {
+  int32_t best = 0;
+  for (int64_t j = 1; j < n; ++j) {
+    if (row[j] > row[best]) best = static_cast<int32_t>(j);
+  }
+  return best;
+}
+
+}  // namespace goalex::tensor

@@ -4,12 +4,19 @@
 #include <cmath>
 #include <cstring>
 
+#include "tensor/mathfn.h"
+
 namespace goalex::tensor {
 
 void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
           int64_t n, bool accumulate) {
   if (!accumulate) std::memset(c, 0, sizeof(float) * m * n);
   // ikj loop order: innermost loop streams over contiguous rows of B and C.
+  // The accumulate step is an explicit fused multiply-add so each output's
+  // rounding sequence is pinned by IEEE semantics, not by whatever
+  // contraction the compiler picks for this loop shape — the inference
+  // engine's register-blocked linear kernel (tensor/forward.cc) replays
+  // the same per-output fma sequence and must land on identical bits.
   for (int64_t i = 0; i < m; ++i) {
     const float* a_row = a + i * k;
     float* c_row = c + i * n;
@@ -18,7 +25,7 @@ void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
       if (a_val == 0.0f) continue;
       const float* b_row = b + l * n;
       for (int64_t j = 0; j < n; ++j) {
-        c_row[j] += a_val * b_row[j];
+        c_row[j] = std::fmaf(a_val, b_row[j], c_row[j]);
       }
     }
   }
@@ -71,17 +78,28 @@ void SoftmaxRow(const float* x, float* out, int64_t n) {
     for (int64_t i = 0; i < n; ++i) out[i] = uniform;
     return;
   }
+  // Exponentiate every entry with the shared fast exp (vector and scalar
+  // tail are bit-identical); masked entries produce a harmless tiny value
+  // and are zeroed in the summation pass below.
+  int64_t i = 0;
+#if defined(__AVX2__) && defined(__FMA__)
+  const __m256 shift = _mm256_set1_ps(max_val);
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        out + i, FastExpf8(_mm256_sub_ps(_mm256_loadu_ps(x + i), shift)));
+  }
+#endif
+  for (; i < n; ++i) out[i] = FastExpf(x[i] - max_val);
   double sum = 0.0;
-  for (int64_t i = 0; i < n; ++i) {
-    if (x[i] <= kSoftmaxMask / 2) {
-      out[i] = 0.0f;
+  for (int64_t j = 0; j < n; ++j) {
+    if (x[j] <= kSoftmaxMask / 2) {
+      out[j] = 0.0f;
     } else {
-      out[i] = std::exp(x[i] - max_val);
-      sum += out[i];
+      sum += out[j];
     }
   }
   float inv = static_cast<float>(1.0 / sum);
-  for (int64_t i = 0; i < n; ++i) out[i] *= inv;
+  for (int64_t j = 0; j < n; ++j) out[j] *= inv;
 }
 
 double LogSumExp(const float* x, int64_t n) {

@@ -4,13 +4,12 @@
 #include <memory>
 
 #include "common/check.h"
+#include "tensor/forward.h"
 #include "tensor/kernels.h"
+#include "tensor/mathfn.h"
 
 namespace goalex::tensor {
 namespace {
-
-constexpr float kGeluCoef = 0.7978845608028654f;  // sqrt(2/pi)
-constexpr float kGeluCubic = 0.044715f;
 
 void CheckSameShape(const Var& a, const Var& b) {
   GOALEX_CHECK(a != nullptr && b != nullptr);
@@ -23,8 +22,8 @@ void CheckSameShape(const Var& a, const Var& b) {
 
 Var Add(const Var& a, const Var& b) {
   CheckSameShape(a, b);
-  Tensor out = a->value().Clone();
-  Axpy(1.0f, b->value().data(), out.data(), out.numel());
+  Tensor out(a->value().shape());
+  AddForward(a->value().data(), b->value().data(), out.data(), out.numel());
   return MakeOp(std::move(out), {a, b}, [](Node& node) {
     const Tensor& g = node.grad();
     for (const Var& input : node.inputs()) {
@@ -121,13 +120,7 @@ Var MatMul(const Var& a, const Var& b) {
 
 Var Gelu(const Var& x) {
   Tensor out(x->value().shape());
-  const float* px = x->value().data();
-  float* po = out.data();
-  for (int64_t i = 0; i < out.numel(); ++i) {
-    float v = px[i];
-    float u = kGeluCoef * (v + kGeluCubic * v * v * v);
-    po[i] = 0.5f * v * (1.0f + std::tanh(u));
-  }
+  GeluForward(x->value().data(), out.data(), out.numel());
   return MakeOp(std::move(out), {x}, [](Node& node) {
     Var x_in = node.inputs()[0];
     if (!x_in->requires_grad()) return;
@@ -136,8 +129,9 @@ Var Gelu(const Var& x) {
     float* gx = x_in->grad().data();
     for (int64_t i = 0; i < node.grad().numel(); ++i) {
       float v = px[i];
-      float u = kGeluCoef * (v + kGeluCubic * v * v * v);
-      float t = std::tanh(u);
+      // Same tanh argument and tanh implementation as GeluForward, so the
+      // analytic gradient matches the forward the tape actually ran.
+      float t = FastTanhf(GeluTanhArg(v));
       float du = kGeluCoef * (1.0f + 3.0f * kGeluCubic * v * v);
       float dgelu = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
       gx[i] += g[i] * dgelu;
@@ -174,30 +168,9 @@ Var LayerNorm(const Var& x, const Var& gamma, const Var& beta, float eps) {
   // xhat and 1/std are needed in backward; store them in the closure.
   auto xhat = std::make_shared<Tensor>(Tensor({m, n}));
   auto inv_std = std::make_shared<std::vector<float>>(m);
-  const float* px = x->value().data();
-  const float* pg = gamma->value().data();
-  const float* pb = beta->value().data();
-  float* po = out.data();
-  float* ph = xhat->data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* row = px + i * n;
-    double mean = 0.0;
-    for (int64_t j = 0; j < n; ++j) mean += row[j];
-    mean /= n;
-    double var = 0.0;
-    for (int64_t j = 0; j < n; ++j) {
-      double d = row[j] - mean;
-      var += d * d;
-    }
-    var /= n;
-    float inv = static_cast<float>(1.0 / std::sqrt(var + eps));
-    (*inv_std)[i] = inv;
-    for (int64_t j = 0; j < n; ++j) {
-      float h = (row[j] - static_cast<float>(mean)) * inv;
-      ph[i * n + j] = h;
-      po[i * n + j] = pg[j] * h + pb[j];
-    }
-  }
+  LayerNormForward(x->value().data(), gamma->value().data(),
+                   beta->value().data(), out.data(), m, n, eps, xhat->data(),
+                   inv_std->data());
 
   return MakeOp(
       std::move(out), {x, gamma, beta}, [m, n, xhat, inv_std](Node& node) {
@@ -247,9 +220,9 @@ Var LayerNorm(const Var& x, const Var& gamma, const Var& beta, float eps) {
       });
 }
 
-Var Dropout(const Var& x, float p, bool training, Rng& rng) {
+Var Dropout(const Var& x, float p, Rng& rng) {
   GOALEX_CHECK(p >= 0.0f && p < 1.0f);
-  if (!training || p == 0.0f) return x;
+  if (p == 0.0f) return x;
   float keep = 1.0f - p;
   float scale = 1.0f / keep;
   auto mask = std::make_shared<std::vector<float>>(
@@ -309,45 +282,13 @@ Var AttentionCore(const Var& q, const Var& k, const Var& v, int32_t heads) {
   int64_t dh = d / heads;
   float scale = 1.0f / std::sqrt(static_cast<float>(dh));
 
-  // Per-head softmax probabilities, kept for backward: heads x [t, t].
-  auto probs = std::make_shared<std::vector<Tensor>>();
-  probs->reserve(static_cast<size_t>(heads));
+  // Per-head softmax probabilities, kept for backward: [heads, t, t].
+  auto probs = std::make_shared<Tensor>(Tensor({heads, t, t}));
 
   Tensor out({t, d});
-  std::vector<float> qa(t * dh), ka(t * dh), va(t * dh), oa(t * dh);
-  std::vector<float> scores(t * t);
-  const float* pq = q->value().data();
-  const float* pk = k->value().data();
-  const float* pv = v->value().data();
-  float* po = out.data();
-
-  auto slice_head = [t, d, dh](const float* src, int32_t head,
-                               std::vector<float>& dst) {
-    for (int64_t i = 0; i < t; ++i) {
-      const float* row = src + i * d + head * dh;
-      std::copy(row, row + dh, dst.begin() + i * dh);
-    }
-  };
-
-  for (int32_t a = 0; a < heads; ++a) {
-    slice_head(pq, a, qa);
-    slice_head(pk, a, ka);
-    slice_head(pv, a, va);
-    // S = scale * Qa * Ka^T  [t, t]
-    GemmTransB(qa.data(), ka.data(), scores.data(), t, dh, t, false);
-    for (float& s : scores) s *= scale;
-    Tensor p({t, t});
-    for (int64_t i = 0; i < t; ++i) {
-      SoftmaxRow(scores.data() + i * t, p.data() + i * t, t);
-    }
-    // Oa = P * Va  [t, dh]
-    Gemm(p.data(), va.data(), oa.data(), t, t, dh, false);
-    for (int64_t i = 0; i < t; ++i) {
-      std::copy(oa.begin() + i * dh, oa.begin() + (i + 1) * dh,
-                po + i * d + a * dh);
-    }
-    probs->push_back(std::move(p));
-  }
+  AttentionScratch scratch;
+  AttentionForward(q->value().data(), k->value().data(), v->value().data(),
+                   out.data(), t, d, heads, probs->data(), scratch);
 
   return MakeOp(
       std::move(out), {q, k, v},
@@ -388,14 +329,14 @@ Var AttentionCore(const Var& q, const Var& k, const Var& v, int32_t heads) {
             const float* row = g + i * d + a * dh;
             std::copy(row, row + dh, doa.begin() + i * dh);
           }
-          const Tensor& p = (*probs)[static_cast<size_t>(a)];
+          const float* p = probs->data() + a * t * t;
           // dP = dOa * Va^T  [t, t]
           GemmTransB(doa.data(), va.data(), dp.data(), t, dh, t, false);
           // dVa = P^T * dOa  [t, dh]
-          GemmTransA(p.data(), doa.data(), dva.data(), t, t, dh, false);
+          GemmTransA(p, doa.data(), dva.data(), t, t, dh, false);
           // dS[i,j] = P[i,j] * (dP[i,j] - sum_l dP[i,l] P[i,l])
           for (int64_t i = 0; i < t; ++i) {
-            const float* p_row = p.data() + i * t;
+            const float* p_row = p + i * t;
             const float* dp_row = dp.data() + i * t;
             float inner = static_cast<float>(Dot(dp_row, p_row, t));
             float* ds_row = ds.data() + i * t;
@@ -486,11 +427,8 @@ Var MeanRows(const Var& x) {
   int64_t n = x->value().dim(1);
   GOALEX_CHECK_GT(m, 0);
   Tensor out({1, n});
-  float* po = out.data();
-  const float* px = x->value().data();
-  for (int64_t i = 0; i < m; ++i) Axpy(1.0f, px + i * n, po, n);
+  MeanRowsForward(x->value().data(), out.data(), m, n);
   float inv = 1.0f / static_cast<float>(m);
-  for (int64_t j = 0; j < n; ++j) po[j] *= inv;
   return MakeOp(std::move(out), {x}, [m, n, inv](Node& node) {
     Var x_in = node.inputs()[0];
     if (!x_in->requires_grad()) return;
@@ -507,12 +445,7 @@ std::vector<int32_t> ArgmaxRows(const Var& x) {
   std::vector<int32_t> out(static_cast<size_t>(m));
   const float* px = x->value().data();
   for (int64_t i = 0; i < m; ++i) {
-    const float* row = px + i * n;
-    int32_t best = 0;
-    for (int64_t j = 1; j < n; ++j) {
-      if (row[j] > row[best]) best = static_cast<int32_t>(j);
-    }
-    out[static_cast<size_t>(i)] = best;
+    out[static_cast<size_t>(i)] = ArgmaxRow(px + i * n, n);
   }
   return out;
 }

@@ -38,9 +38,11 @@ Var TanhOp(const Var& x);
 Var LayerNorm(const Var& x, const Var& gamma, const Var& beta,
               float eps = 1e-5f);
 
-/// Inverted dropout. In training mode zeroes entries with probability p and
-/// scales survivors by 1/(1-p); in eval mode returns x unchanged.
-Var Dropout(const Var& x, float p, bool training, Rng& rng);
+/// Inverted dropout: zeroes entries with probability p and scales survivors
+/// by 1/(1-p). This is a training-only op — evaluation paths simply never
+/// call it (see nn/transformer.h: the eval Forward overloads have no Rng at
+/// all, so dropout is structurally unreachable at inference time).
+Var Dropout(const Var& x, float p, Rng& rng);
 
 /// Gathers rows of `table`[V,d] at `ids`, producing [ids.size(), d].
 /// Gradient scatters back into the table.

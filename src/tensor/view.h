@@ -1,0 +1,76 @@
+#ifndef GOALEX_TENSOR_VIEW_H_
+#define GOALEX_TENSOR_VIEW_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace goalex::tensor {
+
+/// Non-owning view of a dense row-major float matrix. The graph-free
+/// inference engine moves these around instead of Tensors: no shared_ptr
+/// traffic, no allocation, no zero-fill — the underlying storage belongs to
+/// a parameter tensor (borrowed weights) or to a scratch Arena.
+class TensorView {
+ public:
+  TensorView() = default;
+  TensorView(float* data, int64_t rows, int64_t cols)
+      : data_(data), rows_(rows), cols_(cols) {}
+
+  float* data() const { return data_; }
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t numel() const { return rows_ * cols_; }
+  bool empty() const { return numel() == 0; }
+
+  float* row(int64_t i) const {
+    GOALEX_CHECK(i >= 0 && i < rows_);
+    return data_ + i * cols_;
+  }
+
+  float at(int64_t i, int64_t j) const {
+    GOALEX_CHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  /// The first `rows` rows of this view (same storage).
+  TensorView Rows(int64_t rows) const {
+    GOALEX_CHECK(rows >= 0 && rows <= rows_);
+    return TensorView(data_, rows, cols_);
+  }
+
+ private:
+  float* data_ = nullptr;
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+};
+
+/// Read-only counterpart of TensorView (weight matrices borrowed from the
+/// trained module).
+class ConstTensorView {
+ public:
+  ConstTensorView() = default;
+  ConstTensorView(const float* data, int64_t rows, int64_t cols)
+      : data_(data), rows_(rows), cols_(cols) {}
+  /* implicit */ ConstTensorView(const TensorView& v)  // NOLINT
+      : data_(v.data()), rows_(v.rows()), cols_(v.cols()) {}
+
+  const float* data() const { return data_; }
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t numel() const { return rows_ * cols_; }
+
+  const float* row(int64_t i) const {
+    GOALEX_CHECK(i >= 0 && i < rows_);
+    return data_ + i * cols_;
+  }
+
+ private:
+  const float* data_ = nullptr;
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+};
+
+}  // namespace goalex::tensor
+
+#endif  // GOALEX_TENSOR_VIEW_H_

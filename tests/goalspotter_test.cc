@@ -51,6 +51,61 @@ TEST(DetectorTest, SeparatesObjectivesFromNoise) {
   EXPECT_GT(static_cast<double>(correct) / total, 0.9);
 }
 
+TEST(TransformerDetectorTest, EngineAndAutogradPredictionsIdentical) {
+  // Two detectors with identical training (same seeds, same data), one
+  // predicting via the compiled inference engine and one via the autograd
+  // evaluation path: every prediction must match exactly.
+  std::vector<LabeledBlock> blocks = DetectorTrainingSet(40, 40, 11);
+  TransformerDetectorOptions options;
+  options.epochs = 2;
+
+  options.use_inference_engine = true;
+  TransformerObjectiveDetector engine_detector(options);
+  engine_detector.Train(blocks);
+
+  options.use_inference_engine = false;
+  TransformerObjectiveDetector tape_detector(options);
+  tape_detector.Train(blocks);
+
+  data::SustainabilityGoalsConfig config;
+  config.objective_count = 20;
+  config.seed = 77;
+  for (const data::Objective& o :
+       data::GenerateSustainabilityGoals(config)) {
+    EXPECT_EQ(engine_detector.PredictClass(o.text),
+              tape_detector.PredictClass(o.text))
+        << "engine/autograd divergence on: " << o.text;
+  }
+  Rng rng(78);
+  for (int i = 0; i < 20; ++i) {
+    std::string noise = data::GenerateNoiseSentence(rng);
+    EXPECT_EQ(engine_detector.PredictClass(noise),
+              tape_detector.PredictClass(noise));
+  }
+}
+
+TEST(TransformerDetectorTest, LearnsToSeparateObjectivesFromNoise) {
+  TransformerObjectiveDetector detector;
+  detector.Train(DetectorTrainingSet(120, 120, 12));
+  ASSERT_TRUE(detector.trained());
+
+  data::SustainabilityGoalsConfig config;
+  config.objective_count = 30;
+  config.seed = 555;
+  int correct = 0, total = 0;
+  for (const data::Objective& o :
+       data::GenerateSustainabilityGoals(config)) {
+    correct += detector.IsObjective(o.text) ? 1 : 0;
+    ++total;
+  }
+  Rng rng(556);
+  for (int i = 0; i < 30; ++i) {
+    correct += detector.IsObjective(data::GenerateNoiseSentence(rng)) ? 0 : 1;
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.8);
+}
+
 TEST(DetectorTest, ScoreIsProbability) {
   ObjectiveDetector detector;
   detector.Train(DetectorTrainingSet(50, 50, 6), DetectorOptions());

@@ -47,7 +47,7 @@ TEST(LinearTest, ParameterEnumeration) {
 TEST(TransformerTest, ForwardShape) {
   Rng rng(3);
   TransformerEncoder encoder(SmallConfig(), rng);
-  tensor::Var out = encoder.Forward({2, 5, 7, 9}, false, rng);
+  tensor::Var out = encoder.Forward({2, 5, 7, 9});
   EXPECT_EQ(out->value().dim(0), 4);
   EXPECT_EQ(out->value().dim(1), 16);
 }
@@ -56,16 +56,15 @@ TEST(TransformerTest, TruncatesLongInput) {
   Rng rng(4);
   TransformerEncoder encoder(SmallConfig(), rng);
   std::vector<int32_t> ids(40, 5);
-  tensor::Var out = encoder.Forward(ids, false, rng);
+  tensor::Var out = encoder.Forward(ids);
   EXPECT_EQ(out->value().dim(0), 16);
 }
 
 TEST(TransformerTest, DeterministicEval) {
   Rng rng(5);
   TransformerEncoder encoder(SmallConfig(), rng);
-  Rng r1(0), r2(0);
-  tensor::Var a = encoder.Forward({1, 2, 3}, false, r1);
-  tensor::Var b = encoder.Forward({1, 2, 3}, false, r2);
+  tensor::Var a = encoder.Forward({1, 2, 3});
+  tensor::Var b = encoder.Forward({1, 2, 3});
   for (int64_t i = 0; i < a->value().numel(); ++i) {
     EXPECT_EQ(a->value().data()[i], b->value().data()[i]);
   }
@@ -74,7 +73,7 @@ TEST(TransformerTest, DeterministicEval) {
 TEST(TransformerTest, OutputIsFinite) {
   Rng rng(6);
   TransformerEncoder encoder(SmallConfig(), rng);
-  tensor::Var out = encoder.Forward({2, 5, 7, 9, 11, 13}, false, rng);
+  tensor::Var out = encoder.Forward({2, 5, 7, 9, 11, 13});
   EXPECT_FALSE(out->value().HasNonFinite());
 }
 
@@ -93,8 +92,7 @@ TEST(TransformerTest, SinusoidalPositionsNotTrainable) {
 TEST(TokenClassifierTest, LogitsShapeAndPredict) {
   Rng rng(8);
   TokenClassifier model(SmallConfig(), 7, rng);
-  Rng fwd(0);
-  tensor::Var logits = model.ForwardLogits({1, 2, 3, 4, 5}, false, fwd);
+  tensor::Var logits = model.ForwardLogits({1, 2, 3, 4, 5});
   EXPECT_EQ(logits->value().dim(0), 5);
   EXPECT_EQ(logits->value().dim(1), 7);
   std::vector<int32_t> pred = model.Predict({1, 2, 3, 4, 5});
@@ -108,9 +106,7 @@ TEST(TokenClassifierTest, LogitsShapeAndPredict) {
 TEST(TokenClassifierTest, LossIsPositiveAtInit) {
   Rng rng(9);
   TokenClassifier model(SmallConfig(), 7, rng);
-  Rng fwd(0);
-  tensor::Var loss =
-      model.ForwardLoss({1, 2, 3}, {0, 1, 2}, false, fwd);
+  tensor::Var loss = model.ForwardLoss({1, 2, 3}, {0, 1, 2});
   EXPECT_GT(loss->value().at(0), 0.5f);  // Roughly log(7) ~ 1.95 at init.
   EXPECT_LT(loss->value().at(0), 4.0f);
 }
@@ -136,7 +132,7 @@ TEST(TokenClassifierTest, LearnsToyTask) {
   for (int step = 0; step < 150; ++step) {
     for (const auto& ids : inputs) {
       tensor::Var loss =
-          model.ForwardLoss(ids, parity_targets(ids), true, train_rng);
+          model.ForwardLoss(ids, parity_targets(ids), train_rng);
       tensor::Backward(loss);
     }
     optimizer.Step();
@@ -169,7 +165,7 @@ TEST(SequenceClassifierTest, PredictAndLearnToyTask) {
   Rng train_rng(0);
   for (int step = 0; step < 150; ++step) {
     for (const auto& [ids, label] : dataset) {
-      tensor::Var loss = model.ForwardLoss(ids, label, true, train_rng);
+      tensor::Var loss = model.ForwardLoss(ids, label, train_rng);
       tensor::Backward(loss);
     }
     optimizer.Step();
@@ -239,9 +235,8 @@ TEST(SerializeTest, RoundTripExact) {
   EXPECT_EQ(a, b);
 
   // Logits match exactly, not just argmax.
-  Rng f1(0), f2(0);
-  tensor::Var la = model.ForwardLogits(ids, false, f1);
-  tensor::Var lb = restored.ForwardLogits(ids, false, f2);
+  tensor::Var la = model.ForwardLogits(ids);
+  tensor::Var lb = restored.ForwardLogits(ids);
   for (int64_t i = 0; i < la->value().numel(); ++i) {
     EXPECT_EQ(la->value().data()[i], lb->value().data()[i]);
   }

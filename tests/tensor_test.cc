@@ -243,17 +243,20 @@ TEST(OpsTest, EmbeddingGatherGradScatters) {
   EXPECT_FLOAT_EQ(table->grad().at(0, 0), 0.0f);
 }
 
-TEST(OpsTest, DropoutEvalModeIsIdentity) {
+TEST(OpsTest, DropoutZeroRateIsIdentity) {
+  // Dropout is a training-only op (the eval forward paths have no Dropout
+  // call sites at all); rate 0 must still be an exact pass-through that
+  // consumes no randomness.
   Rng rng(1);
   Var x = Leaf(Tensor::FromValues({2, 2}, {1, 2, 3, 4}), false);
-  Var y = Dropout(x, 0.5f, /*training=*/false, rng);
+  Var y = Dropout(x, 0.0f, rng);
   EXPECT_EQ(y.get(), x.get());
 }
 
-TEST(OpsTest, DropoutTrainingZeroesAndScales) {
+TEST(OpsTest, DropoutZeroesAndScales) {
   Rng rng(2);
   Var x = Leaf(Tensor::Full({100, 10}, 1.0f), false);
-  Var y = Dropout(x, 0.5f, /*training=*/true, rng);
+  Var y = Dropout(x, 0.5f, rng);
   int zeros = 0, scaled = 0;
   for (int64_t i = 0; i < y->value().numel(); ++i) {
     float v = y->value().data()[i];
