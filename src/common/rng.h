@@ -86,7 +86,26 @@ class Rng {
   /// state. Useful for giving each dataset instance its own stream.
   Rng Fork() { return Rng(NextUint64()); }
 
+  /// Derives a counter-based stream: an independent generator addressed by
+  /// (seed, a, b) with no sequential dependence on any other stream. The
+  /// data-parallel trainer keys dropout on (config seed, example index,
+  /// epoch) this way, so an example's mask depends only on the example —
+  /// never on thread scheduling or on how many examples ran before it.
+  static Rng Stream(uint64_t seed, uint64_t a, uint64_t b) {
+    uint64_t h = Mix64(seed + 0x9E3779B97F4A7C15ULL);
+    h = Mix64(h ^ Mix64(a + 0xBF58476D1CE4E5B9ULL));
+    h = Mix64(h ^ Mix64(b + 0x94D049BB133111EBULL));
+    return Rng(h);
+  }
+
  private:
+  /// SplitMix64 finalizer: a bijective avalanche mix.
+  static uint64_t Mix64(uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
   uint64_t state_;
   bool has_cached_gaussian_ = false;
   double cached_gaussian_ = 0.0;

@@ -63,9 +63,11 @@ struct ExtractorConfig {
   bool normalize_text = true;
 
   /// Worker threads for the corpus-scale fan-out stages (ExtractAll,
-  /// LabelAll): 0 = auto (std::thread::hardware_concurrency()), 1 = the
-  /// serial seed-reproducible path. Outputs are order-preserving and
-  /// byte-identical for every setting; only throughput changes.
+  /// LabelAll) and for the data-parallel fine-tuning loop in Train():
+  /// 0 = auto (std::thread::hardware_concurrency()), 1 = serial. Outputs —
+  /// including trained weights — are byte-identical for every setting
+  /// (nn/trainer.h pins the gradient-reduction order); only throughput
+  /// changes.
   int32_t num_threads = 0;
 
   /// Observability: when true, extraction and training record per-stage

@@ -10,6 +10,7 @@
 #include "runtime/batch_runner.h"
 #include "nn/adam.h"
 #include "nn/serialize.h"
+#include "nn/trainer.h"
 #include "tensor/ops.h"
 #include "segment/segmenter.h"
 #include "text/normalizer.h"
@@ -129,45 +130,70 @@ Status DetailExtractor::Train(
   // concurrent ExtractAll workers are safe.
   tokenizer_->Freeze();
 
-  // Step 3: fine-tune the transformer sequence labeler.
+  // Step 3: fine-tune the transformer sequence labeler on the
+  // data-parallel trainer. The replicas' parameter values alias the master
+  // model's storage; their gradients are the per-slot accumulation buffers.
+  // Training is bit-identical for every num_threads value (see
+  // nn/trainer.h).
   obs::Span finetune_span(registry, "extractor.train.finetune");
   Rng init_rng(config_.seed);
   nn::TransformerConfig arch = config_.BuildTransformerConfig(
       static_cast<int32_t>(tokenizer_->vocab().size()));
   model_ = std::make_unique<nn::TokenClassifier>(arch, catalog_.label_count(),
                                                  init_rng);
-  nn::AdamOptions adam_options;
-  adam_options.learning_rate = config_.EffectiveLearningRate();
-  nn::Adam optimizer(model_->Parameters(), adam_options);
+
+  const int32_t slot_count =
+      nn::DataParallelTrainer::SlotCount(config_.batch_size);
+  std::vector<std::unique_ptr<nn::TokenClassifier>> replicas;
+  std::vector<std::vector<tensor::Var>> replica_params;
+  replicas.reserve(static_cast<size_t>(slot_count));
+  replica_params.reserve(static_cast<size_t>(slot_count));
+  for (int32_t s = 0; s < slot_count; ++s) {
+    Rng replica_rng(config_.seed);  // Values get rebound to the master's.
+    replicas.push_back(std::make_unique<nn::TokenClassifier>(
+        arch, catalog_.label_count(), replica_rng));
+    replica_params.push_back(replicas.back()->Parameters());
+  }
+
+  nn::ParallelTrainerOptions trainer_options;
+  trainer_options.batch_size = config_.batch_size;
+  trainer_options.num_threads = config_.num_threads;
+  trainer_options.seed = config_.seed;
+  trainer_options.adam.learning_rate = config_.EffectiveLearningRate();
+  trainer_options.registry = registry;
+  nn::DataParallelTrainer trainer(model_->Parameters(),
+                                  std::move(replica_params), trainer_options);
+
+  obs::Gauge* examples_per_sec =
+      registry != nullptr && obs::Active()
+          ? registry->GetGauge("extractor.train.examples_per_sec")
+          : nullptr;
+
+  const nn::SlotLossFn loss_fn = [&replicas, &examples](
+                                     size_t slot, size_t example_index,
+                                     Rng& rng) {
+    const EncodedExample& example = examples[example_index];
+    return replicas[slot]->ForwardLoss(example.ids, example.targets, rng);
+  };
 
   Rng train_rng(config_.seed + 1);
   std::vector<size_t> order(examples.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
-  float inv_batch = 1.0f / static_cast<float>(config_.batch_size);
   for (int32_t epoch = 1; epoch <= config_.epochs; ++epoch) {
     eval::Timer timer;
     train_rng.Shuffle(order);
-    double loss_sum = 0.0;
-    int32_t in_batch = 0;
-    for (size_t idx : order) {
-      const EncodedExample& example = examples[idx];
-      tensor::Var loss =
-          model_->ForwardLoss(example.ids, example.targets, train_rng);
-      loss_sum += loss->value().at(0);
-      tensor::Backward(tensor::Scale(loss, inv_batch));
-      if (++in_batch == config_.batch_size) {
-        optimizer.Step();
-        in_batch = 0;
-      }
+    double loss_sum = trainer.RunEpoch(order, epoch, loss_fn);
+    double seconds = timer.Seconds();
+    if (examples_per_sec != nullptr && seconds > 0.0) {
+      examples_per_sec->Set(static_cast<double>(examples.size()) / seconds);
     }
-    if (in_batch > 0) optimizer.Step();
 
     if (on_epoch_end) {
       EpochStats stats;
       stats.epoch = epoch;
       stats.mean_train_loss = loss_sum / static_cast<double>(examples.size());
-      stats.seconds = timer.Seconds();
+      stats.seconds = seconds;
       // The callback may Extract(): make sure the engine exists. Adam
       // updates weights in place, so the borrowed views stay current and
       // the plan never needs recompiling across epochs.

@@ -8,7 +8,9 @@
 #include "crf/features.h"
 #include "infer/engine.h"
 #include "nn/adam.h"
+#include "nn/trainer.h"
 #include "nn/transformer.h"
+#include "obs/metrics.h"
 #include "tensor/ops.h"
 #include "text/word_tokenizer.h"
 
@@ -136,22 +138,54 @@ void TransformerObjectiveDetector::Train(
   Rng init_rng(options_.seed);
   model_ = std::make_unique<nn::SequenceClassifier>(arch, /*num_classes=*/2,
                                                     init_rng);
-  nn::AdamOptions adam_options;
-  adam_options.learning_rate = options_.learning_rate;
-  nn::Adam optimizer(model_->Parameters(), adam_options);
+
+  // Encode every block once up front — the id sequences are reused each
+  // epoch by all gradient slots.
+  std::vector<std::vector<int32_t>> encoded;
+  std::vector<int32_t> targets;
+  encoded.reserve(blocks.size());
+  targets.reserve(blocks.size());
+  for (const LabeledBlock& block : blocks) {
+    encoded.push_back(Encode(block.text));
+    targets.push_back(block.is_objective ? 1 : 0);
+  }
+
+  const int32_t slot_count =
+      nn::DataParallelTrainer::SlotCount(options_.batch_size);
+  std::vector<std::unique_ptr<nn::SequenceClassifier>> replicas;
+  std::vector<std::vector<tensor::Var>> replica_params;
+  replicas.reserve(static_cast<size_t>(slot_count));
+  replica_params.reserve(static_cast<size_t>(slot_count));
+  for (int32_t s = 0; s < slot_count; ++s) {
+    Rng replica_rng(options_.seed);  // Values get rebound to the master's.
+    replicas.push_back(std::make_unique<nn::SequenceClassifier>(
+        arch, /*num_classes=*/2, replica_rng));
+    replica_params.push_back(replicas.back()->Parameters());
+  }
+
+  nn::ParallelTrainerOptions trainer_options;
+  trainer_options.batch_size = options_.batch_size;
+  trainer_options.num_threads = options_.num_threads;
+  trainer_options.seed = options_.seed;
+  trainer_options.adam.learning_rate = options_.learning_rate;
+  trainer_options.registry =
+      obs::Active() ? &obs::MetricsRegistry::Default() : nullptr;
+  nn::DataParallelTrainer trainer(model_->Parameters(),
+                                  std::move(replica_params), trainer_options);
+
+  const nn::SlotLossFn loss_fn = [&replicas, &encoded, &targets](
+                                     size_t slot, size_t example_index,
+                                     Rng& rng) {
+    return replicas[slot]->ForwardLoss(encoded[example_index],
+                                       targets[example_index], rng);
+  };
 
   Rng train_rng(options_.seed + 1);
   std::vector<size_t> order(blocks.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   for (int32_t epoch = 0; epoch < options_.epochs; ++epoch) {
     train_rng.Shuffle(order);
-    for (size_t idx : order) {
-      const LabeledBlock& block = blocks[idx];
-      tensor::Var loss = model_->ForwardLoss(
-          Encode(block.text), block.is_objective ? 1 : 0, train_rng);
-      tensor::Backward(loss);
-      optimizer.Step();
-    }
+    trainer.RunEpoch(order, epoch, loss_fn);
   }
 
   engine_.reset();

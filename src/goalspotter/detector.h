@@ -79,6 +79,13 @@ struct TransformerDetectorOptions {
   int32_t layers = 1;
   int32_t ffn_dim = 64;
   float dropout = 0.1f;
+  /// Mini-batch size of the data-parallel trainer. The default of 1
+  /// preserves the historical per-example update cadence.
+  int32_t batch_size = 1;
+  /// Training workers: 0 = auto, 1 = serial. Weights are bit-identical for
+  /// every value (nn/trainer.h); with batch_size = 1 there is one gradient
+  /// slot, so extra threads add no parallelism.
+  int32_t num_threads = 1;
   /// Predict via the compiled graph-free engine (default) or the autograd
   /// evaluation path. Bit-identical either way (goalspotter_test checks).
   bool use_inference_engine = true;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "tensor/kernels.h"
 
 namespace goalex::nn {
 
@@ -20,15 +21,14 @@ Adam::Adam(std::vector<tensor::Var> params, AdamOptions options)
 void Adam::Step() {
   ++step_count_;
 
-  // Optional global-norm clipping across all parameters.
+  // Optional global-norm clipping across all parameters. GradSquaredSum uses
+  // fixed double accumulator lanes, so the norm (and therefore the clip
+  // scale) is identical whichever kernel variant runs.
   float clip_scale = 1.0f;
   if (options_.clip_norm > 0.0f) {
     double sq = 0.0;
     for (tensor::Var& p : params_) {
-      const float* g = p->grad().data();
-      for (int64_t i = 0; i < p->grad().numel(); ++i) {
-        sq += static_cast<double>(g[i]) * g[i];
-      }
+      sq += tensor::GradSquaredSum(p->grad().data(), p->grad().numel());
     }
     double norm = std::sqrt(sq);
     if (norm > options_.clip_norm) {
@@ -36,32 +36,36 @@ void Adam::Step() {
     }
   }
 
-  float bias1 = 1.0f - std::pow(options_.beta1,
-                                static_cast<float>(step_count_));
-  float bias2 = 1.0f - std::pow(options_.beta2,
-                                static_cast<float>(step_count_));
+  // Bias-correction terms in double: 1 - beta^t underflows float precision
+  // for small (1 - beta) * t products, and float std::pow drifts from the
+  // true power long before that. Only the final per-step constants drop to
+  // float, once, here.
+  double bias1 =
+      1.0 - std::pow(static_cast<double>(options_.beta1), step_count_);
+  double bias2 =
+      1.0 - std::pow(static_cast<double>(options_.beta2), step_count_);
+
+  tensor::AdamStepParams step;
+  step.clip_scale = clip_scale;
+  step.step_size =
+      static_cast<float>(static_cast<double>(options_.learning_rate) / bias1);
+  step.inv_sqrt_bias2 = static_cast<float>(1.0 / std::sqrt(bias2));
+  step.beta1 = options_.beta1;
+  step.one_minus_beta1 = 1.0f - options_.beta1;
+  step.beta2 = options_.beta2;
+  step.one_minus_beta2 = 1.0f - options_.beta2;
+  step.eps = options_.eps;
+  step.decay_scale = options_.weight_decay > 0.0f
+                         ? options_.learning_rate * options_.weight_decay
+                         : 0.0f;
 
   for (size_t idx = 0; idx < params_.size(); ++idx) {
     tensor::Var& p = params_[idx];
-    float* w = p->mutable_value().data();
-    float* g = p->grad().data();
-    float* m = m_[idx].data();
-    float* v = v_[idx].data();
-    int64_t n = p->value().numel();
-    for (int64_t i = 0; i < n; ++i) {
-      float grad = g[i] * clip_scale;
-      if (options_.weight_decay > 0.0f) {
-        // Decoupled (AdamW-style) weight decay.
-        w[i] -= options_.learning_rate * options_.weight_decay * w[i];
-      }
-      m[i] = options_.beta1 * m[i] + (1.0f - options_.beta1) * grad;
-      v[i] = options_.beta2 * v[i] + (1.0f - options_.beta2) * grad * grad;
-      float m_hat = m[i] / bias1;
-      float v_hat = v[i] / bias2;
-      w[i] -= options_.learning_rate * m_hat /
-              (std::sqrt(v_hat) + options_.eps);
-    }
-    p->ZeroGrad();
+    // The fused kernel zeroes the gradient as it streams through, so no
+    // separate ZeroGrad pass (which would re-touch every cache line).
+    tensor::AdamFusedStep(p->mutable_value().data(), p->grad().data(),
+                          m_[idx].data(), v_[idx].data(), p->value().numel(),
+                          step);
   }
 }
 

@@ -21,6 +21,13 @@ struct AdamOptions {
 
 /// Adam optimizer with bias correction and optional global-norm gradient
 /// clipping. Owns first/second-moment state per parameter.
+///
+/// Step() runs as a single fused pass per parameter (tensor::AdamFusedStep):
+/// clip scaling, decoupled weight decay, both moment updates, bias
+/// correction, weight update, and gradient zeroing in one sweep. The
+/// bias-correction terms 1 - beta^t are computed in double and only the
+/// final per-step constants are cast to float, so correction stays accurate
+/// at high step counts where float pow drifts.
 class Adam {
  public:
   Adam(std::vector<tensor::Var> params, AdamOptions options);

@@ -1,0 +1,177 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "obs/scope.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+
+namespace goalex::nn {
+
+int32_t DataParallelTrainer::SlotCount(int32_t batch_size) {
+  return std::min(batch_size, kMaxSlots);
+}
+
+DataParallelTrainer::DataParallelTrainer(
+    std::vector<tensor::Var> master_params,
+    std::vector<std::vector<tensor::Var>> replica_params,
+    ParallelTrainerOptions options)
+    : master_params_(std::move(master_params)),
+      replica_params_(std::move(replica_params)),
+      options_(std::move(options)),
+      slot_count_(SlotCount(options_.batch_size)),
+      pool_(std::min(options_.num_threads <= 0
+                         ? runtime::ThreadPool::DefaultThreadCount()
+                         : options_.num_threads,
+                     slot_count_)),
+      optimizer_(master_params_, options_.adam) {
+  GOALEX_CHECK_GE(options_.batch_size, 1);
+  GOALEX_CHECK_EQ(replica_params_.size(), static_cast<size_t>(slot_count_));
+
+  // Pre-touch every gradient here, outside any scratch scope: grad tensors
+  // allocate lazily, and a grad born inside a slot's ScratchScope would
+  // hand its storage back to the recycler when cleared. Cache the raw
+  // pointers — ZeroGrad and AccumulateAndClear keep allocations alive.
+  master_grad_.reserve(master_params_.size());
+  param_numel_.reserve(master_params_.size());
+  param_offset_.reserve(master_params_.size() + 1);
+  for (const tensor::Var& p : master_params_) {
+    GOALEX_CHECK(p != nullptr && p->requires_grad());
+    master_grad_.push_back(p->grad().data());
+    param_numel_.push_back(p->value().numel());
+    param_offset_.push_back(total_numel_);
+    total_numel_ += p->value().numel();
+  }
+  param_offset_.push_back(total_numel_);
+
+  replica_grad_.resize(replica_params_.size());
+  for (size_t s = 0; s < replica_params_.size(); ++s) {
+    GOALEX_CHECK_EQ(replica_params_[s].size(), master_params_.size());
+    replica_grad_[s].reserve(master_params_.size());
+    for (size_t i = 0; i < master_params_.size(); ++i) {
+      tensor::Var& rp = replica_params_[s][i];
+      GOALEX_CHECK(rp != nullptr && rp->requires_grad());
+      GOALEX_CHECK_EQ(rp->value().numel(), master_params_[i]->value().numel());
+      // Rebind the replica's value to the master storage (Tensor shares its
+      // buffer on copy-assign): optimizer updates to the master are
+      // immediately visible in every slot, no broadcast pass.
+      rp->mutable_value() = master_params_[i]->value();
+      replica_grad_[s].push_back(rp->grad().data());
+    }
+    scratch_.push_back(std::make_unique<tensor::ScratchAllocator>());
+  }
+
+  batch_losses_.resize(static_cast<size_t>(options_.batch_size));
+
+  if (options_.registry != nullptr && obs::Active()) {
+    reduce_hist_ =
+        options_.registry->GetLatencyHistogram("train.grad_reduce.seconds");
+    step_hist_ =
+        options_.registry->GetLatencyHistogram("train.optimizer_step.seconds");
+    options_.registry->GetGauge("train.workers")
+        ->Set(static_cast<double>(pool_.thread_count()));
+  }
+}
+
+double DataParallelTrainer::RunEpoch(const std::vector<size_t>& order,
+                                     int32_t epoch,
+                                     const SlotLossFn& loss_fn) {
+  double loss_sum = 0.0;
+  const size_t n = order.size();
+  for (size_t pos = 0; pos < n; pos += options_.batch_size) {
+    const int32_t batch = static_cast<int32_t>(
+        std::min<size_t>(options_.batch_size, n - pos));
+    // Fixed contiguous sharding over the slot count — a function of the
+    // batch size only, so the float-summation grouping (and therefore the
+    // resulting bits) cannot depend on how many threads execute the slots.
+    const int32_t chunk = (batch + slot_count_ - 1) / slot_count_;
+    const int32_t slots_used = (batch + chunk - 1) / chunk;
+    // Every example contributes grad/batch, including in a final partial
+    // batch: a tail of 3 examples averages over 3, not batch_size.
+    const float inv_batch = 1.0f / static_cast<float>(batch);
+
+    for (int32_t s = 0; s < slots_used; ++s) {
+      const int32_t begin = s * chunk;
+      const int32_t end = std::min(batch, begin + chunk);
+      pool_.Submit([this, s, begin, end, pos, epoch, inv_batch, &order,
+                    &loss_fn] {
+        tensor::ScratchScope scope(scratch_[static_cast<size_t>(s)].get());
+        for (int32_t j = begin; j < end; ++j) {
+          const size_t example = order[pos + static_cast<size_t>(j)];
+          Rng rng = Rng::Stream(options_.seed, static_cast<uint64_t>(example),
+                                static_cast<uint64_t>(epoch));
+          tensor::Var loss =
+              loss_fn(static_cast<size_t>(s), example, rng);
+          batch_losses_[static_cast<size_t>(j)] =
+              static_cast<double>(loss->value().at(0));
+          tensor::Backward(tensor::Scale(loss, inv_batch));
+        }
+      });
+    }
+    pool_.Wait();
+
+    // Batch-position order, independent of which slot ran where.
+    for (int32_t j = 0; j < batch; ++j) {
+      loss_sum += batch_losses_[static_cast<size_t>(j)];
+    }
+
+    ReduceAndStep(batch, slots_used);
+  }
+  return loss_sum;
+}
+
+void DataParallelTrainer::ReduceAndStep(int32_t batch_examples,
+                                        int32_t slots_used) {
+  {
+    obs::ScopedTimer timer(reduce_hist_);
+    // Element-parallel, slot-sequential: chunk boundaries vary with thread
+    // count, but each element's ascending-slot sum runs entirely inside the
+    // chunk that owns it, so the bits cannot.
+    pool_.ParallelFor(
+        static_cast<size_t>(total_numel_), [&](size_t begin, size_t end) {
+          size_t idx = static_cast<size_t>(
+              std::upper_bound(param_offset_.begin(), param_offset_.end(),
+                               static_cast<int64_t>(begin)) -
+              param_offset_.begin() - 1);
+          size_t elem = begin;
+          while (elem < end) {
+            const size_t param_end = static_cast<size_t>(param_offset_[idx + 1]);
+            const size_t run_end = std::min(end, param_end);
+            const int64_t offset =
+                static_cast<int64_t>(elem) - param_offset_[idx];
+            const int64_t len = static_cast<int64_t>(run_end - elem);
+            for (int32_t s = 0; s < slots_used; ++s) {
+              tensor::AccumulateAndClear(master_grad_[idx] + offset,
+                                         replica_grad_[static_cast<size_t>(s)][idx] + offset,
+                                         len);
+            }
+            elem = run_end;
+            ++idx;
+          }
+        });
+  }
+
+  if (options_.post_reduce_hook) {
+    options_.post_reduce_hook(batch_examples, master_params_);
+  }
+
+  {
+    obs::ScopedTimer timer(step_hist_);
+    optimizer_.Step();
+  }
+}
+
+uint64_t DataParallelTrainer::scratch_reuse_count() const {
+  uint64_t total = 0;
+  for (const auto& s : scratch_) total += s->reuse_count();
+  return total;
+}
+
+uint64_t DataParallelTrainer::scratch_alloc_count() const {
+  uint64_t total = 0;
+  for (const auto& s : scratch_) total += s->alloc_count();
+  return total;
+}
+
+}  // namespace goalex::nn

@@ -1,0 +1,128 @@
+#ifndef GOALEX_NN_TRAINER_H_
+#define GOALEX_NN_TRAINER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/adam.h"
+#include "obs/metrics.h"
+#include "runtime/thread_pool.h"
+#include "tensor/scratch.h"
+#include "tensor/variable.h"
+
+namespace goalex::nn {
+
+/// Computes the loss for one training example inside slot `slot`'s model
+/// replica. `example_index` is the index into the training set (not the
+/// batch position); `rng` is that example's private dropout stream,
+/// Rng::Stream(seed, example_index, epoch). Called concurrently for
+/// different slots, never concurrently for the same slot.
+using SlotLossFn =
+    std::function<tensor::Var(size_t slot, size_t example_index, Rng& rng)>;
+
+struct ParallelTrainerOptions {
+  int32_t batch_size = 16;
+  /// <= 0 resolves to runtime::ThreadPool::DefaultThreadCount().
+  int32_t num_threads = 1;
+  /// Base seed of the per-example dropout streams
+  /// (Rng::Stream(seed, example_index, epoch)).
+  uint64_t seed = 0;
+  AdamOptions adam;
+  /// Null disables instrumentation.
+  obs::MetricsRegistry* registry = nullptr;
+  /// Runs after each batch's gradients are reduced into the master
+  /// parameters, before the optimizer step. Test hook.
+  std::function<void(int32_t batch_examples,
+                     const std::vector<tensor::Var>& params)>
+      post_reduce_hook;
+};
+
+/// Deterministic data-parallel mini-batch trainer.
+///
+/// The batch positions are sharded over a fixed number of gradient "slots",
+/// each backed by a model replica whose parameter *values* alias the master
+/// parameters (shared tensor storage) while its *gradients* stay private —
+/// the replica gradients are the per-slot accumulation buffers. Slots run
+/// concurrently on a thread pool; after the batch, slot gradients are
+/// reduced into the master gradients in ascending slot order and the fused
+/// Adam step runs on the master parameters (visible to every replica
+/// through the shared storage).
+///
+/// Determinism across thread counts is structural, not incidental:
+///   * The batch -> slot assignment depends only on the batch size (fixed
+///     contiguous chunks over min(batch_size, kMaxSlots) slots), never on
+///     num_threads. Each slot accumulates its examples in ascending order.
+///   * Reduction always walks slots in ascending order. It is parallelized
+///     element-wise, which cannot change grouping: every element's
+///     slot-order sum happens entirely within whichever chunk owns it.
+///   * Dropout draws from Rng::Stream(seed, example_index, epoch) — a
+///     private counter-based stream per example, untouched by scheduling.
+/// Hence final weights are bit-identical for every num_threads value.
+class DataParallelTrainer {
+ public:
+  /// Upper bound on gradient slots (and thus replica gradient memory).
+  /// Grouping uses min(batch_size, kMaxSlots) slots regardless of
+  /// num_threads, so raising threads past this adds no parallelism but
+  /// never changes results.
+  static constexpr int32_t kMaxSlots = 16;
+
+  /// Number of gradient slots used for a given batch size.
+  static int32_t SlotCount(int32_t batch_size);
+
+  /// `master_params` receive the optimizer updates; `replica_params[s]`
+  /// must be shape-congruent with them (same order). Replica values are
+  /// rebound to share the master storage.
+  DataParallelTrainer(std::vector<tensor::Var> master_params,
+                      std::vector<std::vector<tensor::Var>> replica_params,
+                      ParallelTrainerOptions options);
+
+  /// Runs one epoch over `order` (example indices, already shuffled by the
+  /// caller). `epoch` feeds the per-example RNG streams. Returns the sum of
+  /// per-example losses, accumulated in example order (deterministic).
+  double RunEpoch(const std::vector<size_t>& order, int32_t epoch,
+                  const SlotLossFn& loss_fn);
+
+  Adam& optimizer() { return optimizer_; }
+  int thread_count() const { return pool_.thread_count(); }
+  int32_t slot_count() const { return slot_count_; }
+
+  /// Scratch-pool telemetry, summed over slots (test hook).
+  uint64_t scratch_reuse_count() const;
+  uint64_t scratch_alloc_count() const;
+
+ private:
+  void ReduceAndStep(int32_t batch_examples, int32_t slots_used);
+
+  std::vector<tensor::Var> master_params_;
+  std::vector<std::vector<tensor::Var>> replica_params_;
+  ParallelTrainerOptions options_;
+  int32_t slot_count_;
+  runtime::ThreadPool pool_;
+  Adam optimizer_;
+
+  // Raw gradient pointers, cached once: grad tensors are pre-touched in the
+  // constructor (outside any scratch scope) and ZeroGrad/AccumulateAndClear
+  // keep the allocation, so the pointers stay stable for our lifetime.
+  std::vector<float*> master_grad_;
+  std::vector<std::vector<float*>> replica_grad_;
+  std::vector<int64_t> param_numel_;
+  std::vector<int64_t> param_offset_;  ///< Prefix sums; total at back.
+  int64_t total_numel_ = 0;
+
+  // One recycling allocator per slot: a slot's forward/backward graphs are
+  // built and torn down on one task at a time, so each pool is effectively
+  // single-threaded on the hot path.
+  std::vector<std::unique_ptr<tensor::ScratchAllocator>> scratch_;
+
+  std::vector<double> batch_losses_;
+
+  obs::Histogram* reduce_hist_ = nullptr;
+  obs::Histogram* step_hist_ = nullptr;
+};
+
+}  // namespace goalex::nn
+
+#endif  // GOALEX_NN_TRAINER_H_

@@ -1,0 +1,90 @@
+#ifndef GOALEX_RUNTIME_BUFFER_POOL_H_
+#define GOALEX_RUNTIME_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace goalex::runtime {
+
+/// A recycling freelist of float storage blocks, keyed by capacity.
+///
+/// The training runtime allocates the same per-op scratch tensors for every
+/// example (forward activations, backward gradients); steady state should
+/// reuse those blocks instead of hitting the allocator each time. Acquire
+/// hands out the smallest cached block whose capacity covers the request
+/// (resized and zero-filled, matching a fresh allocation); Release returns
+/// a block to the freelist for the next example.
+///
+/// Thread-safe via a mutex. In the intended usage — one pool per gradient
+/// slot, whose work items are serialized — the lock is uncontended, and it
+/// keeps the pool correct if a block ever outlives its scope and is
+/// released from another thread.
+class BufferPool {
+ public:
+  using Block = std::vector<float>;
+
+  BufferPool() = default;
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns a zero-filled block of size `n` (capacity may be larger when
+  /// recycled). Falls back to a fresh allocation on a freelist miss.
+  std::unique_ptr<Block> Acquire(size_t n) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = free_.lower_bound(n);
+      if (it != free_.end()) {
+        std::unique_ptr<Block> block = std::move(it->second.back());
+        it->second.pop_back();
+        if (it->second.empty()) free_.erase(it);
+        cached_bytes_ -= block->capacity() * sizeof(float);
+        ++reuse_count_;
+        block->assign(n, 0.0f);
+        return block;
+      }
+      ++alloc_count_;
+    }
+    return std::make_unique<Block>(n, 0.0f);
+  }
+
+  /// Returns a block to the freelist.
+  void Release(std::unique_ptr<Block> block) {
+    if (block == nullptr) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    cached_bytes_ += block->capacity() * sizeof(float);
+    free_[block->capacity()].push_back(std::move(block));
+  }
+
+  /// Blocks handed out from the freelist (steady-state hits).
+  uint64_t reuse_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reuse_count_;
+  }
+
+  /// Blocks that had to be freshly allocated (cold misses).
+  uint64_t alloc_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return alloc_count_;
+  }
+
+  /// Bytes currently parked in the freelist.
+  size_t cached_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cached_bytes_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<size_t, std::vector<std::unique_ptr<Block>>> free_;
+  uint64_t reuse_count_ = 0;
+  uint64_t alloc_count_ = 0;
+  size_t cached_bytes_ = 0;
+};
+
+}  // namespace goalex::runtime
+
+#endif  // GOALEX_RUNTIME_BUFFER_POOL_H_

@@ -120,4 +120,96 @@ double Dot(const float* x, const float* y, int64_t n) {
   return sum;
 }
 
+void AccumulateAndClear(float* dst, float* src, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    dst[i] += src[i];
+    src[i] = 0.0f;
+  }
+}
+
+void AdamFusedStepScalar(float* w, float* g, float* m, float* v, int64_t n,
+                         const AdamStepParams& p) {
+  for (int64_t i = 0; i < n; ++i) {
+    float grad = g[i] * p.clip_scale;
+    float w_i = w[i];
+    if (p.decay_scale != 0.0f) w_i = std::fmaf(-p.decay_scale, w_i, w_i);
+    float m_i = std::fmaf(p.beta1, m[i], p.one_minus_beta1 * grad);
+    float v_i = std::fmaf(p.beta2, v[i], p.one_minus_beta2 * (grad * grad));
+    float denom = std::fmaf(std::sqrt(v_i), p.inv_sqrt_bias2, p.eps);
+    w[i] = w_i - (p.step_size * m_i) / denom;
+    m[i] = m_i;
+    v[i] = v_i;
+    g[i] = 0.0f;
+  }
+}
+
+void AdamFusedStep(float* w, float* g, float* m, float* v, int64_t n,
+                   const AdamStepParams& p) {
+  int64_t i = 0;
+#if defined(__AVX2__) && defined(__FMA__)
+  // Each intrinsic below mirrors one IEEE operation of the scalar variant
+  // in the same order (mul, fnmadd<->fmaf(-a,b,c), fmadd<->fmaf,
+  // sqrtps<->sqrtf, divps</>), so every lane lands on the scalar bits.
+  const __m256 clip = _mm256_set1_ps(p.clip_scale);
+  const __m256 beta1 = _mm256_set1_ps(p.beta1);
+  const __m256 om_beta1 = _mm256_set1_ps(p.one_minus_beta1);
+  const __m256 beta2 = _mm256_set1_ps(p.beta2);
+  const __m256 om_beta2 = _mm256_set1_ps(p.one_minus_beta2);
+  const __m256 inv_sqrt_bias2 = _mm256_set1_ps(p.inv_sqrt_bias2);
+  const __m256 eps = _mm256_set1_ps(p.eps);
+  const __m256 step = _mm256_set1_ps(p.step_size);
+  const __m256 decay = _mm256_set1_ps(p.decay_scale);
+  const __m256 zero = _mm256_setzero_ps();
+  const bool has_decay = p.decay_scale != 0.0f;
+  for (; i + 8 <= n; i += 8) {
+    __m256 grad = _mm256_mul_ps(_mm256_loadu_ps(g + i), clip);
+    __m256 wv = _mm256_loadu_ps(w + i);
+    if (has_decay) wv = _mm256_fnmadd_ps(decay, wv, wv);
+    __m256 mv = _mm256_fmadd_ps(beta1, _mm256_loadu_ps(m + i),
+                                _mm256_mul_ps(om_beta1, grad));
+    __m256 vv =
+        _mm256_fmadd_ps(beta2, _mm256_loadu_ps(v + i),
+                        _mm256_mul_ps(om_beta2, _mm256_mul_ps(grad, grad)));
+    __m256 denom = _mm256_fmadd_ps(_mm256_sqrt_ps(vv), inv_sqrt_bias2, eps);
+    wv = _mm256_sub_ps(wv, _mm256_div_ps(_mm256_mul_ps(step, mv), denom));
+    _mm256_storeu_ps(w + i, wv);
+    _mm256_storeu_ps(m + i, mv);
+    _mm256_storeu_ps(v + i, vv);
+    _mm256_storeu_ps(g + i, zero);
+  }
+#endif
+  AdamFusedStepScalar(w + i, g + i, m + i, v + i, n - i, p);
+}
+
+double GradSquaredSumScalar(const float* g, int64_t n) {
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  for (int64_t i = 0; i < n; ++i) {
+    double d = static_cast<double>(g[i]);
+    acc[i & 3] = std::fma(d, d, acc[i & 3]);
+  }
+  return ((acc[0] + acc[1]) + acc[2]) + acc[3];
+}
+
+double GradSquaredSum(const float* g, int64_t n) {
+#if defined(__AVX2__) && defined(__FMA__)
+  // 4 double lanes; element i accumulates into lane i mod 4 exactly as the
+  // scalar variant does, and the final combine is in lane order.
+  __m256d acc = _mm256_setzero_pd();
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d d = _mm256_cvtps_pd(_mm_loadu_ps(g + i));
+    acc = _mm256_fmadd_pd(d, d, acc);
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  for (; i < n; ++i) {
+    double d = static_cast<double>(g[i]);
+    lane[i & 3] = std::fma(d, d, lane[i & 3]);
+  }
+  return ((lane[0] + lane[1]) + lane[2]) + lane[3];
+#else
+  return GradSquaredSumScalar(g, n);
+#endif
+}
+
 }  // namespace goalex::tensor

@@ -36,6 +36,49 @@ void Axpy(float alpha, const float* x, float* y, int64_t n);
 /// Dot product over n entries.
 double Dot(const float* x, const float* y, int64_t n);
 
+/// dst[i] += src[i]; src[i] = 0 — the gradient-reduction primitive of the
+/// data-parallel trainer. Element-wise, so any partition of [0, n) yields
+/// identical bits; the caller fixes the slot order.
+void AccumulateAndClear(float* dst, float* src, int64_t n);
+
+/// Per-step constants of the fused Adam update, precomputed once per Step
+/// with the bias-correction terms held in double until the final cast (see
+/// nn/adam.cc).
+struct AdamStepParams {
+  float clip_scale = 1.0f;      ///< Global-norm clip factor applied to g.
+  float step_size = 0.0f;       ///< lr / (1 - beta1^t).
+  float inv_sqrt_bias2 = 1.0f;  ///< 1 / sqrt(1 - beta2^t).
+  float beta1 = 0.9f;
+  float one_minus_beta1 = 0.1f;
+  float beta2 = 0.999f;
+  float one_minus_beta2 = 0.001f;
+  float eps = 1e-8f;
+  float decay_scale = 0.0f;     ///< lr * weight_decay; 0 disables decay.
+};
+
+/// Fused Adam step over n elements: applies clip scaling, decoupled weight
+/// decay, both moment updates, bias correction, and the weight update in a
+/// single pass, then zeroes the gradient. Dispatches to the AVX2 variant
+/// when compiled in; same contract as tensor/mathfn.h — the vector body and
+/// the scalar tail are bit-identical lane for lane (fmaf <-> vfmadd,
+/// sqrtf <-> sqrtps, div <-> divps).
+void AdamFusedStep(float* w, float* g, float* m, float* v, int64_t n,
+                   const AdamStepParams& params);
+
+/// The scalar reference variant, exposed for the fused-vs-scalar parity
+/// test; AdamFusedStep must produce identical bits.
+void AdamFusedStepScalar(float* w, float* g, float* m, float* v, int64_t n,
+                         const AdamStepParams& params);
+
+/// Sum of g[i]^2 in double precision using four fixed accumulator lanes
+/// (element i feeds lane i mod 4, combined in lane order), so the result is
+/// independent of vector width: the AVX2 4-lane double FMA body and the
+/// scalar variant produce identical bits.
+double GradSquaredSum(const float* g, int64_t n);
+
+/// Scalar reference for GradSquaredSum (parity-tested).
+double GradSquaredSumScalar(const float* g, int64_t n);
+
 }  // namespace goalex::tensor
 
 #endif  // GOALEX_TENSOR_KERNELS_H_

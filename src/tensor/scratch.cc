@@ -1,0 +1,22 @@
+#include "tensor/scratch.h"
+
+namespace goalex::tensor {
+namespace {
+
+thread_local ScratchAllocator* current_allocator = nullptr;
+
+}  // namespace
+
+ScratchScope::ScratchScope(ScratchAllocator* allocator)
+    : previous_(current_allocator) {
+  current_allocator = allocator;
+}
+
+ScratchScope::~ScratchScope() { current_allocator = previous_; }
+
+std::shared_ptr<std::vector<float>> AllocateTensorStorage(size_t n) {
+  if (current_allocator != nullptr) return current_allocator->Acquire(n);
+  return std::make_shared<std::vector<float>>(n, 0.0f);
+}
+
+}  // namespace goalex::tensor

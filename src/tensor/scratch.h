@@ -1,0 +1,74 @@
+#ifndef GOALEX_TENSOR_SCRATCH_H_
+#define GOALEX_TENSOR_SCRATCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/buffer_pool.h"
+
+namespace goalex::tensor {
+
+/// Recycling allocator for autograd scratch tensors.
+///
+/// One training example builds and tears down an entire forward/backward
+/// graph — dozens of op-output and gradient tensors, all short-lived and
+/// identically shaped from example to example. Installing a ScratchScope
+/// routes Tensor's storage allocations on the current thread through an
+/// allocator whose blocks return to a freelist when the graph dies, so
+/// steady-state training stops allocating per-op tensors every example.
+///
+/// Recycled storage is zero-filled on reuse; a pooled tensor is
+/// indistinguishable from a freshly constructed one, so installing a scope
+/// never changes results.
+class ScratchAllocator {
+ public:
+  ScratchAllocator() : pool_(std::make_shared<runtime::BufferPool>()) {}
+
+  ScratchAllocator(const ScratchAllocator&) = delete;
+  ScratchAllocator& operator=(const ScratchAllocator&) = delete;
+
+  /// Returns zero-filled storage of size `n` whose deleter recycles the
+  /// block into this allocator's freelist. The deleter shares ownership of
+  /// the freelist, so storage that outlives the allocator stays valid and
+  /// is simply freed when the last block dies.
+  std::shared_ptr<std::vector<float>> Acquire(size_t n) {
+    std::vector<float>* raw = pool_->Acquire(n).release();
+    std::shared_ptr<runtime::BufferPool> pool = pool_;
+    return std::shared_ptr<std::vector<float>>(
+        raw, [pool](std::vector<float>* p) {
+          pool->Release(std::unique_ptr<std::vector<float>>(p));
+        });
+  }
+
+  uint64_t reuse_count() const { return pool_->reuse_count(); }
+  uint64_t alloc_count() const { return pool_->alloc_count(); }
+  size_t cached_bytes() const { return pool_->cached_bytes(); }
+
+ private:
+  std::shared_ptr<runtime::BufferPool> pool_;
+};
+
+/// RAII guard: while alive, Tensor storage allocations on this thread come
+/// from `allocator`. Scopes nest (the previous allocator is restored on
+/// destruction); a null allocator temporarily restores plain allocation.
+class ScratchScope {
+ public:
+  explicit ScratchScope(ScratchAllocator* allocator);
+  ~ScratchScope();
+
+  ScratchScope(const ScratchScope&) = delete;
+  ScratchScope& operator=(const ScratchScope&) = delete;
+
+ private:
+  ScratchAllocator* previous_;
+};
+
+/// Allocation hook used by Tensor: returns zero-filled storage of size `n`
+/// from the thread's current scratch allocator, or a plain allocation when
+/// no scope is installed.
+std::shared_ptr<std::vector<float>> AllocateTensorStorage(size_t n);
+
+}  // namespace goalex::tensor
+
+#endif  // GOALEX_TENSOR_SCRATCH_H_

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "tensor/scratch.h"
+
 namespace goalex::tensor {
 namespace {
 
@@ -19,8 +21,9 @@ int64_t ComputeNumel(const std::vector<int64_t>& shape) {
 
 Tensor::Tensor(std::vector<int64_t> shape)
     : shape_(std::move(shape)), numel_(ComputeNumel(shape_)) {
-  data_ = std::make_shared<std::vector<float>>(
-      static_cast<size_t>(numel_), 0.0f);
+  // Routed through the scratch hook: inside a ScratchScope (the training
+  // fast path) storage is recycled across examples instead of reallocated.
+  data_ = AllocateTensorStorage(static_cast<size_t>(numel_));
 }
 
 Tensor Tensor::Zeros(std::vector<int64_t> shape) {
@@ -67,8 +70,14 @@ Tensor Tensor::Clone() const {
   Tensor t;
   t.shape_ = shape_;
   t.numel_ = numel_;
-  t.data_ = data_ ? std::make_shared<std::vector<float>>(*data_)
-                  : std::make_shared<std::vector<float>>();
+  if (data_) {
+    // Pool-aware like the shape constructor (Scale clones per example on
+    // the training hot path).
+    t.data_ = AllocateTensorStorage(data_->size());
+    *t.data_ = *data_;
+  } else {
+    t.data_ = std::make_shared<std::vector<float>>();
+  }
   return t;
 }
 

@@ -1,0 +1,194 @@
+// Unit tests of the deterministic data-parallel trainer: batch-mean
+// gradient scaling (including the final partial batch), thread-count
+// invariance, the per-example RNG streams, and the scratch recycler.
+#include "nn/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/scratch.h"
+
+namespace goalex::nn {
+namespace {
+
+tensor::Var ScalarParam(float value) {
+  return tensor::Leaf(tensor::Tensor::FromValues({1}, {value}),
+                      /*requires_grad=*/true);
+}
+
+// Builds a trainer over one scalar master parameter with the required
+// number of slot replicas. Returns the master separately.
+struct ToySetup {
+  tensor::Var master;
+  std::vector<tensor::Var> replicas;  // One scalar param per slot.
+  std::unique_ptr<DataParallelTrainer> trainer;
+};
+
+ToySetup MakeToy(ParallelTrainerOptions options) {
+  ToySetup toy;
+  toy.master = ScalarParam(0.0f);
+  std::vector<std::vector<tensor::Var>> replica_params;
+  for (int32_t s = 0; s < DataParallelTrainer::SlotCount(options.batch_size);
+       ++s) {
+    toy.replicas.push_back(ScalarParam(0.0f));
+    replica_params.push_back({toy.replicas.back()});
+  }
+  toy.trainer = std::make_unique<DataParallelTrainer>(
+      std::vector<tensor::Var>{toy.master}, std::move(replica_params),
+      options);
+  return toy;
+}
+
+TEST(TrainerTest, SlotCountIsBatchSizeCappedAtMax) {
+  EXPECT_EQ(DataParallelTrainer::SlotCount(1), 1);
+  EXPECT_EQ(DataParallelTrainer::SlotCount(4), 4);
+  EXPECT_EQ(DataParallelTrainer::SlotCount(16), 16);
+  EXPECT_EQ(DataParallelTrainer::SlotCount(64), DataParallelTrainer::kMaxSlots);
+}
+
+TEST(TrainerTest, PartialTailBatchAveragesOverItsOwnSize) {
+  // Six examples with per-example gradient c_i, batch size 4: the full
+  // batch must reduce to mean(c_0..c_3) and the 2-example tail to
+  // mean(c_4, c_5) — not sum/4. All constants are powers of two, so the
+  // expected means are exact in float.
+  const std::vector<float> c = {1.0f, 2.0f, 4.0f, 8.0f, 16.0f, 32.0f};
+
+  ParallelTrainerOptions options;
+  options.batch_size = 4;
+  options.num_threads = 2;
+  std::vector<float> reduced_grads;
+  std::vector<int32_t> batch_sizes;
+  options.post_reduce_hook = [&](int32_t batch_examples,
+                                 const std::vector<tensor::Var>& params) {
+    batch_sizes.push_back(batch_examples);
+    reduced_grads.push_back(params[0]->grad().at(0));
+  };
+  ToySetup toy = MakeToy(options);
+
+  std::vector<size_t> order = {0, 1, 2, 3, 4, 5};
+  toy.trainer->RunEpoch(order, /*epoch=*/1,
+                        [&](size_t slot, size_t example, Rng&) {
+                          return tensor::Scale(toy.replicas[slot], c[example]);
+                        });
+
+  ASSERT_EQ(batch_sizes.size(), 2u);
+  EXPECT_EQ(batch_sizes[0], 4);
+  EXPECT_EQ(batch_sizes[1], 2);
+  ASSERT_EQ(reduced_grads.size(), 2u);
+  EXPECT_EQ(reduced_grads[0], (1.0f + 2.0f + 4.0f + 8.0f) / 4.0f);
+  EXPECT_EQ(reduced_grads[1], (16.0f + 32.0f) / 2.0f);
+}
+
+TEST(TrainerTest, EpochLossIsSummedInExampleOrder) {
+  const std::vector<float> c = {3.0f, 5.0f, 7.0f};
+  ParallelTrainerOptions options;
+  options.batch_size = 2;
+  // Freeze the weight (lr 0) so the second batch's losses are not shifted
+  // by the optimizer step taken after the first.
+  options.adam.learning_rate = 0.0f;
+  ToySetup toy = MakeToy(options);
+  toy.master->mutable_value().Fill(1.0f);
+  std::vector<size_t> order = {2, 0, 1};
+  double loss_sum = toy.trainer->RunEpoch(
+      order, /*epoch=*/1, [&](size_t slot, size_t example, Rng&) {
+        return tensor::Scale(toy.replicas[slot], c[example]);
+      });
+  EXPECT_DOUBLE_EQ(loss_sum, 7.0 + 3.0 + 5.0);
+}
+
+TEST(TrainerTest, ReducedGradientsAreIdenticalForEveryThreadCount) {
+  const std::vector<float> c = {0.5f, -1.25f, 3.75f, 2.5f, -0.125f,
+                                8.0f, 1.5f,   -2.0f, 0.25f};
+  std::vector<std::vector<float>> grads_by_threads;
+  std::vector<float> final_weights;
+  for (int32_t threads : {1, 2, 8}) {
+    ParallelTrainerOptions options;
+    options.batch_size = 4;
+    options.num_threads = threads;
+    std::vector<float> grads;
+    options.post_reduce_hook = [&](int32_t,
+                                   const std::vector<tensor::Var>& params) {
+      grads.push_back(params[0]->grad().at(0));
+    };
+    ToySetup toy = MakeToy(options);
+    std::vector<size_t> order(c.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    for (int32_t epoch = 1; epoch <= 3; ++epoch) {
+      toy.trainer->RunEpoch(order, epoch,
+                            [&](size_t slot, size_t example, Rng&) {
+                              return tensor::Scale(toy.replicas[slot],
+                                                   c[example]);
+                            });
+    }
+    grads_by_threads.push_back(grads);
+    final_weights.push_back(toy.master->value().at(0));
+  }
+  EXPECT_EQ(grads_by_threads[0], grads_by_threads[1]);
+  EXPECT_EQ(grads_by_threads[0], grads_by_threads[2]);
+  EXPECT_EQ(final_weights[0], final_weights[1]);
+  EXPECT_EQ(final_weights[0], final_weights[2]);
+}
+
+TEST(TrainerTest, ScratchStorageIsRecycledAcrossExamples) {
+  ParallelTrainerOptions options;
+  options.batch_size = 2;
+  options.num_threads = 1;
+  ToySetup toy = MakeToy(options);
+  std::vector<size_t> order = {0, 1, 2, 3};
+  for (int32_t epoch = 1; epoch <= 2; ++epoch) {
+    toy.trainer->RunEpoch(order, epoch, [&](size_t slot, size_t, Rng&) {
+      return tensor::Scale(toy.replicas[slot], 2.0f);
+    });
+  }
+  // Each example builds Scale nodes (value clones + gradient tensors)
+  // inside the slot's scratch scope; after warm-up those come from the
+  // freelist instead of fresh allocations.
+  EXPECT_GT(toy.trainer->scratch_reuse_count(), 0u);
+}
+
+TEST(ScratchAllocatorTest, ReusedBlocksAreZeroFilled) {
+  tensor::ScratchAllocator allocator;
+  {
+    std::shared_ptr<std::vector<float>> block = allocator.Acquire(16);
+    for (float& x : *block) x = 42.0f;
+  }  // Released back to the freelist here.
+  std::shared_ptr<std::vector<float>> again = allocator.Acquire(16);
+  EXPECT_EQ(allocator.reuse_count(), 1u);
+  for (float x : *again) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(ScratchAllocatorTest, StorageOutlivingTheScopeStaysValid) {
+  tensor::ScratchAllocator allocator;
+  tensor::Tensor escaped;
+  {
+    tensor::ScratchScope scope(&allocator);
+    escaped = tensor::Tensor::Full({4}, 2.5f);
+  }
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(escaped.at(i), 2.5f);
+}
+
+TEST(RngStreamTest, SameKeyYieldsSameSequence) {
+  Rng a = Rng::Stream(17, 3, 5);
+  Rng b = Rng::Stream(17, 3, 5);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngStreamTest, DifferentKeysYieldDifferentSequences) {
+  Rng base = Rng::Stream(17, 3, 5);
+  Rng other_example = Rng::Stream(17, 4, 5);
+  Rng other_epoch = Rng::Stream(17, 3, 6);
+  Rng other_seed = Rng::Stream(18, 3, 5);
+  uint64_t first = base.NextUint64();
+  EXPECT_NE(first, other_example.NextUint64());
+  EXPECT_NE(first, other_epoch.NextUint64());
+  EXPECT_NE(first, other_seed.NextUint64());
+}
+
+}  // namespace
+}  // namespace goalex::nn
