@@ -37,14 +37,14 @@ void Run() {
                          "Amount", "Qualifier", "Baseline", "Deadline"});
   for (const data::CompanyProfile& profile :
        data::PaperDeploymentProfiles()) {
-    std::vector<const core::DbRow*> rows = database.ByCompany(profile.name);
+    std::vector<core::DbRow> rows = database.ByCompany(profile.name);
     std::sort(rows.begin(), rows.end(),
-              [&](const core::DbRow* a, const core::DbRow* b) {
-                return system.detector->Score(a->record.objective_text) >
-                       system.detector->Score(b->record.objective_text);
+              [&](const core::DbRow& a, const core::DbRow& b) {
+                return system.detector->Score(a.record.objective_text) >
+                       system.detector->Score(b.record.objective_text);
               });
     for (size_t i = 0; i < rows.size() && i < 2; ++i) {
-      const data::DetailRecord& record = rows[i]->record;
+      const data::DetailRecord& record = rows[i].record;
       table.AddRow({profile.name, record.objective_text,
                     record.FieldOrEmpty("Action"),
                     record.FieldOrEmpty("Amount"),

@@ -34,23 +34,23 @@ void Run() {
               report.page_count, static_cast<long long>(stats.blocks),
               static_cast<long long>(stats.detected_objectives));
 
-  std::vector<const core::DbRow*> rows = database.ByCompany("ExampleCo");
+  std::vector<core::DbRow> rows = database.ByCompany("ExampleCo");
   std::sort(rows.begin(), rows.end(),
-            [&](const core::DbRow* a, const core::DbRow* b) {
-              return system.detector->Score(a->record.objective_text) >
-                     system.detector->Score(b->record.objective_text);
+            [&](const core::DbRow& a, const core::DbRow& b) {
+              return system.detector->Score(a.record.objective_text) >
+                     system.detector->Score(b.record.objective_text);
             });
 
   eval::TextTable table({"Sustainability Objective", "Action", "Amount",
                          "Qualifier", "Baseline", "Deadline", "Page"});
   for (size_t i = 0; i < rows.size() && i < 6; ++i) {
-    const data::DetailRecord& record = rows[i]->record;
+    const data::DetailRecord& record = rows[i].record;
     table.AddRow({record.objective_text, record.FieldOrEmpty("Action"),
                   record.FieldOrEmpty("Amount"),
                   record.FieldOrEmpty("Qualifier"),
                   record.FieldOrEmpty("Baseline"),
                   record.FieldOrEmpty("Deadline"),
-                  std::to_string(rows[i]->page)});
+                  std::to_string(rows[i].page)});
   }
   std::printf("%s\n", table.Render(52).c_str());
   std::printf(

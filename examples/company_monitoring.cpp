@@ -81,17 +81,18 @@ int main() {
   }
   std::printf("%s\n", table.Render().c_str());
 
-  // Commitment tracking: upcoming deadlines to re-check.
+  // Commitment tracking: upcoming deadlines to re-check, served straight
+  // from the database's normalized deadline-year index.
   std::printf("Commitments due by 2030 (to fact-check against future "
               "reports):\n");
   int shown = 0;
-  for (const goalex::core::DbRow* row : database.WithField("Deadline")) {
-    const std::string& year = row->record.FieldOrEmpty("Deadline");
-    if (year <= "2030" && shown < 5) {
-      std::printf("  [%s, due %s] %.70s...\n", row->company.c_str(),
-                  year.c_str(), row->record.objective_text.c_str());
-      ++shown;
-    }
+  for (const goalex::core::DbRow& row :
+       database.DeadlineYearBetween(2000, 2030)) {
+    if (shown >= 5) break;
+    std::printf("  [%s, due %s] %.70s...\n", row.company.c_str(),
+                row.record.FieldOrEmpty("Deadline").c_str(),
+                row.record.objective_text.c_str());
+    ++shown;
   }
   return 0;
 }

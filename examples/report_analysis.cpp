@@ -62,17 +62,16 @@ int main() {
 
   goalex::eval::TextTable table(
       {"Page", "Objective", "Action", "Amount", "Deadline"});
-  std::vector<const goalex::core::DbRow*> rows =
-      database.ByCompany("ExampleCo");
+  std::vector<goalex::core::DbRow> rows = database.ByCompany("ExampleCo");
   std::sort(rows.begin(), rows.end(),
-            [](const goalex::core::DbRow* a, const goalex::core::DbRow* b) {
-              return a->page < b->page;
+            [](const goalex::core::DbRow& a, const goalex::core::DbRow& b) {
+              return a.page < b.page;
             });
-  for (const goalex::core::DbRow* row : rows) {
-    table.AddRow({std::to_string(row->page), row->record.objective_text,
-                  row->record.FieldOrEmpty("Action"),
-                  row->record.FieldOrEmpty("Amount"),
-                  row->record.FieldOrEmpty("Deadline")});
+  for (const goalex::core::DbRow& row : rows) {
+    table.AddRow({std::to_string(row.page), row.record.objective_text,
+                  row.record.FieldOrEmpty("Action"),
+                  row.record.FieldOrEmpty("Amount"),
+                  row.record.FieldOrEmpty("Deadline")});
   }
   std::printf("%s\n", table.Render(48).c_str());
 

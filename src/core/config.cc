@@ -1,10 +1,41 @@
 #include "core/config.h"
 
+#include <charconv>
 #include <sstream>
 
 #include "common/string_util.h"
 
 namespace goalex::core {
+namespace {
+
+// Strict numeric parsing for config values. Malformed input — empty,
+// non-numeric, trailing garbage, or out of range — is rejected with an
+// InvalidArgumentError naming the key, never silently coerced (the old
+// atoi path turned "epochs=abc" into a model that trains for 0 epochs).
+template <typename T>
+Status ParseNumber(const std::string& key, const std::string& value,
+                   T* out) {
+  const char* begin = value.data();
+  const char* end = begin + value.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  if (ec == std::errc() && ptr == end && !value.empty()) {
+    return Status::Ok();
+  }
+  return InvalidArgumentError("config key '" + key +
+                              "': invalid numeric value \"" + value + "\"");
+}
+
+Status ParseBool(const std::string& key, const std::string& value,
+                 bool* out) {
+  if (value == "0" || value == "1") {
+    *out = (value == "1");
+    return Status::Ok();
+  }
+  return InvalidArgumentError("config key '" + key +
+                              "': expected 0 or 1, got \"" + value + "\"");
+}
+
+}  // namespace
 
 const char* ModelPresetName(ModelPreset preset) {
   switch (preset) {
@@ -94,41 +125,45 @@ StatusOr<ExtractorConfig> ExtractorConfig::FromText(std::string_view text) {
       if (!preset.ok()) return preset.status();
       config.preset = *preset;
     } else if (key == "epochs") {
-      config.epochs = std::atoi(value.c_str());
+      GOALEX_RETURN_IF_ERROR(ParseNumber(key, value, &config.epochs));
     } else if (key == "learning_rate") {
-      config.learning_rate = std::strtof(value.c_str(), nullptr);
+      GOALEX_RETURN_IF_ERROR(ParseNumber(key, value, &config.learning_rate));
     } else if (key == "learning_rate_scale") {
-      config.learning_rate_scale = std::strtof(value.c_str(), nullptr);
+      GOALEX_RETURN_IF_ERROR(
+          ParseNumber(key, value, &config.learning_rate_scale));
     } else if (key == "batch_size") {
-      config.batch_size = std::atoi(value.c_str());
+      GOALEX_RETURN_IF_ERROR(ParseNumber(key, value, &config.batch_size));
     } else if (key == "dropout") {
-      config.dropout = std::strtof(value.c_str(), nullptr);
+      GOALEX_RETURN_IF_ERROR(ParseNumber(key, value, &config.dropout));
     } else if (key == "seed") {
-      config.seed = std::strtoull(value.c_str(), nullptr, 10);
+      GOALEX_RETURN_IF_ERROR(ParseNumber(key, value, &config.seed));
     } else if (key == "bpe_merges") {
-      config.bpe_merges = std::strtoull(value.c_str(), nullptr, 10);
+      GOALEX_RETURN_IF_ERROR(ParseNumber(key, value, &config.bpe_merges));
     } else if (key == "max_seq_len") {
-      config.max_seq_len = std::atoi(value.c_str());
+      GOALEX_RETURN_IF_ERROR(ParseNumber(key, value, &config.max_seq_len));
     } else if (key == "d_model") {
-      config.d_model = std::atoi(value.c_str());
+      GOALEX_RETURN_IF_ERROR(ParseNumber(key, value, &config.d_model));
     } else if (key == "heads") {
-      config.heads = std::atoi(value.c_str());
+      GOALEX_RETURN_IF_ERROR(ParseNumber(key, value, &config.heads));
     } else if (key == "ffn_dim") {
-      config.ffn_dim = std::atoi(value.c_str());
+      GOALEX_RETURN_IF_ERROR(ParseNumber(key, value, &config.ffn_dim));
     } else if (key == "base_layers") {
-      config.base_layers = std::atoi(value.c_str());
+      GOALEX_RETURN_IF_ERROR(ParseNumber(key, value, &config.base_layers));
     } else if (key == "normalize_text") {
-      config.normalize_text = (value == "1");
+      GOALEX_RETURN_IF_ERROR(ParseBool(key, value, &config.normalize_text));
     } else if (key == "num_threads") {
-      config.num_threads = std::atoi(value.c_str());
+      GOALEX_RETURN_IF_ERROR(ParseNumber(key, value, &config.num_threads));
     } else if (key == "enable_metrics") {
-      config.enable_metrics = (value == "1");
+      GOALEX_RETURN_IF_ERROR(ParseBool(key, value, &config.enable_metrics));
     } else if (key == "use_inference_engine") {
-      config.use_inference_engine = (value == "1");
+      GOALEX_RETURN_IF_ERROR(
+          ParseBool(key, value, &config.use_inference_engine));
     } else if (key == "segment_multi_target") {
-      config.segment_multi_target = (value == "1");
+      GOALEX_RETURN_IF_ERROR(
+          ParseBool(key, value, &config.segment_multi_target));
     } else if (key == "exact_match") {
-      config.weak_labeler.exact_match = (value == "1");
+      GOALEX_RETURN_IF_ERROR(
+          ParseBool(key, value, &config.weak_labeler.exact_match));
     } else {
       return InvalidArgumentError("unknown config key: " + key);
     }

@@ -110,7 +110,11 @@ struct ExtractorConfig {
   /// trained model directory).
   std::string ToText() const;
 
-  /// Parses ToText() output.
+  /// Parses ToText() output. Strict by design: numeric values are parsed
+  /// with std::from_chars and malformed input (empty, non-numeric, trailing
+  /// garbage, out of range — e.g. "epochs=abc") is rejected with an
+  /// InvalidArgumentError naming the key, never silently coerced to 0;
+  /// boolean keys accept only "0" or "1".
   static StatusOr<ExtractorConfig> FromText(std::string_view text);
 };
 

@@ -1,12 +1,24 @@
 #include "core/database.h"
 
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <mutex>
 #include <sstream>
+
+#include "obs/scope.h"
+#include "values/value_normalizer.h"
 
 namespace goalex::core {
 namespace {
 
 std::string CsvEscape(const std::string& raw) {
-  bool needs_quote = raw.find_first_of(",\"\n") != std::string::npos;
+  // RFC 4180: quote when the field contains a separator, a quote, or any
+  // line-break byte. CR matters as much as LF — a bare carriage return in
+  // objective text would otherwise split the row in most readers.
+  bool needs_quote = raw.find_first_of(",\"\n\r") != std::string::npos;
   if (!needs_quote) return raw;
   std::string out = "\"";
   for (char c : raw) {
@@ -17,77 +29,307 @@ std::string CsvEscape(const std::string& raw) {
   return out;
 }
 
+/// The deadline field of a record under either schema (Sustainability
+/// Goals "Deadline", NetZeroFacts "TargetYear"), normalized to a calendar
+/// year for the year index.
+std::optional<int> DeadlineYearOf(const data::DetailRecord& record) {
+  std::string value = record.FieldOrEmpty("Deadline");
+  if (value.empty()) value = record.FieldOrEmpty("TargetYear");
+  if (value.empty()) return std::nullopt;
+  return values::NormalizeYear(value);
+}
+
+void SortByRowId(std::vector<DbRow>* rows) {
+  std::sort(rows->begin(), rows->end(),
+            [](const DbRow& a, const DbRow& b) { return a.row_id < b.row_id; });
+}
+
+// --- Binary snapshot encoding (Save/Load) ---------------------------------
+
+constexpr char kMagic[8] = {'G', 'O', 'A', 'L', 'E', 'X', 'D', 'B'};
+constexpr uint32_t kFormatVersion = 1;
+constexpr uint64_t kMaxStringBytes = uint64_t{1} << 30;
+
+void WriteU32(std::ostream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteU64(std::ostream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteI64(std::ostream& out, int64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteI32(std::ostream& out, int32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteString(std::ostream& out, const std::string& s) {
+  WriteU64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadU32(std::istream& in, uint32_t* v) {
+  return static_cast<bool>(in.read(reinterpret_cast<char*>(v), sizeof(*v)));
+}
+
+bool ReadU64(std::istream& in, uint64_t* v) {
+  return static_cast<bool>(in.read(reinterpret_cast<char*>(v), sizeof(*v)));
+}
+
+bool ReadI64(std::istream& in, int64_t* v) {
+  return static_cast<bool>(in.read(reinterpret_cast<char*>(v), sizeof(*v)));
+}
+
+bool ReadI32(std::istream& in, int32_t* v) {
+  return static_cast<bool>(in.read(reinterpret_cast<char*>(v), sizeof(*v)));
+}
+
+bool ReadString(std::istream& in, std::string* s) {
+  uint64_t size = 0;
+  if (!ReadU64(in, &size) || size > kMaxStringBytes) return false;
+  s->resize(size);
+  return static_cast<bool>(
+      in.read(s->data(), static_cast<std::streamsize>(size)));
+}
+
+std::string SnapshotPath(const std::string& dir) {
+  return (std::filesystem::path(dir) / "objectives.db").string();
+}
+
 }  // namespace
+
+ObjectiveDatabase::ObjectiveDatabase(int num_shards) {
+  if (num_shards < 1) num_shards = 1;
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (obs::Active()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    insert_seconds_ = registry.GetLatencyHistogram("db.insert.seconds");
+    query_seconds_ = registry.GetLatencyHistogram("db.query.seconds");
+    insert_counter_ = registry.GetCounter("db.inserts");
+    query_counter_ = registry.GetCounter("db.queries");
+    rows_gauge_ = registry.GetGauge("db.rows");
+    rows_per_shard_gauge_ = registry.GetGauge("db.rows_per_shard");
+    registry.GetGauge("db.shards")->Set(static_cast<double>(num_shards));
+  }
+}
+
+ObjectiveDatabase::Shard& ObjectiveDatabase::ShardFor(
+    const std::string& company) {
+  return *shards_[std::hash<std::string>{}(company) % shards_.size()];
+}
+
+const ObjectiveDatabase::Shard& ObjectiveDatabase::ShardFor(
+    const std::string& company) const {
+  return *shards_[std::hash<std::string>{}(company) % shards_.size()];
+}
+
+void ObjectiveDatabase::AppendLocked(Shard& shard, DbRow row) {
+  size_t index = shard.rows.size();
+  shard.by_company[row.company].push_back(index);
+  for (const auto& [kind, value] : row.record.fields) {
+    if (value.empty()) continue;
+    shard.by_field[kind].push_back(index);
+    shard.by_field_value[kind][value].push_back(index);
+    ++shard.field_count_by_company[row.company][kind];
+  }
+  if (std::optional<int> year = DeadlineYearOf(row.record)) {
+    shard.by_deadline_year[*year].push_back(index);
+  }
+  shard.rows.push_back(std::move(row));
+}
 
 int64_t ObjectiveDatabase::Insert(const data::DetailRecord& record,
                                   const std::string& company,
                                   const std::string& document, int page) {
-  DbRow row;
-  row.row_id = static_cast<int64_t>(rows_.size());
-  row.company = company;
-  row.document = document;
-  row.page = page;
-  row.record = record;
-  company_index_.emplace(company, rows_.size());
-  rows_.push_back(std::move(row));
-  return rows_.back().row_id;
+  obs::ScopedTimer timer(insert_seconds_);
+  Shard& shard = ShardFor(company);
+  int64_t id;
+  {
+    std::unique_lock lock(shard.mu);
+    // Id assignment happens under the shard lock so each shard's deque
+    // stays sorted by row id (Get binary-searches on that invariant).
+    id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    DbRow row;
+    row.row_id = id;
+    row.company = company;
+    row.document = document;
+    row.page = page;
+    row.record = record;
+    AppendLocked(shard, std::move(row));
+  }
+  size_t total = size_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (insert_counter_ != nullptr) {
+    insert_counter_->Increment();
+    rows_gauge_->Set(static_cast<double>(total));
+    rows_per_shard_gauge_->Set(static_cast<double>(total) /
+                               static_cast<double>(shards_.size()));
+  }
+  return id;
 }
 
-std::vector<const DbRow*> ObjectiveDatabase::ByCompany(
+std::vector<size_t> ObjectiveDatabase::RowsPerShard() const {
+  std::vector<size_t> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    out.push_back(shard->rows.size());
+  }
+  return out;
+}
+
+obs::Histogram* ObjectiveDatabase::QueryHistogram() const {
+  if (query_counter_ != nullptr) query_counter_->Increment();
+  return query_seconds_;
+}
+
+std::optional<DbRow> ObjectiveDatabase::Get(int64_t row_id) const {
+  obs::ScopedTimer timer(QueryHistogram());
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    auto it = std::lower_bound(
+        shard->rows.begin(), shard->rows.end(), row_id,
+        [](const DbRow& row, int64_t id) { return row.row_id < id; });
+    if (it != shard->rows.end() && it->row_id == row_id) return *it;
+  }
+  return std::nullopt;
+}
+
+void ObjectiveDatabase::CollectLocked(const Shard& shard,
+                                      const std::vector<size_t>& indices,
+                                      std::vector<DbRow>* out) {
+  for (size_t index : indices) out->push_back(shard.rows[index]);
+}
+
+std::vector<DbRow> ObjectiveDatabase::ByCompany(
     const std::string& company) const {
-  std::vector<const DbRow*> out;
-  auto [begin, end] = company_index_.equal_range(company);
-  for (auto it = begin; it != end; ++it) out.push_back(&rows_[it->second]);
-  return out;
+  obs::ScopedTimer timer(QueryHistogram());
+  std::vector<DbRow> out;
+  const Shard& shard = ShardFor(company);
+  std::shared_lock lock(shard.mu);
+  auto it = shard.by_company.find(company);
+  if (it != shard.by_company.end()) CollectLocked(shard, it->second, &out);
+  return out;  // Index order is ascending row id within the shard.
 }
 
-std::vector<const DbRow*> ObjectiveDatabase::WithField(
+std::vector<DbRow> ObjectiveDatabase::WithField(
     const std::string& kind) const {
-  std::vector<const DbRow*> out;
-  for (const DbRow& row : rows_) {
-    if (!row.record.FieldOrEmpty(kind).empty()) out.push_back(&row);
+  obs::ScopedTimer timer(QueryHistogram());
+  std::vector<DbRow> out;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    auto it = shard->by_field.find(kind);
+    if (it != shard->by_field.end()) CollectLocked(*shard, it->second, &out);
   }
+  SortByRowId(&out);
   return out;
 }
 
-std::vector<const DbRow*> ObjectiveDatabase::WhereFieldEquals(
+std::vector<DbRow> ObjectiveDatabase::WhereFieldEquals(
     const std::string& kind, const std::string& value) const {
-  std::vector<const DbRow*> out;
-  for (const DbRow& row : rows_) {
-    if (row.record.FieldOrEmpty(kind) == value) out.push_back(&row);
+  obs::ScopedTimer timer(QueryHistogram());
+  std::vector<DbRow> out;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    auto kind_it = shard->by_field_value.find(kind);
+    if (kind_it == shard->by_field_value.end()) continue;
+    auto value_it = kind_it->second.find(value);
+    if (value_it == kind_it->second.end()) continue;
+    CollectLocked(*shard, value_it->second, &out);
   }
+  SortByRowId(&out);
+  return out;
+}
+
+std::vector<DbRow> ObjectiveDatabase::ByDeadlineYear(int year) const {
+  return DeadlineYearBetween(year, year);
+}
+
+std::vector<DbRow> ObjectiveDatabase::DeadlineYearBetween(
+    int min_year, int max_year) const {
+  obs::ScopedTimer timer(QueryHistogram());
+  std::vector<DbRow> out;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    auto it = shard->by_deadline_year.lower_bound(min_year);
+    for (; it != shard->by_deadline_year.end() && it->first <= max_year;
+         ++it) {
+      CollectLocked(*shard, it->second, &out);
+    }
+  }
+  SortByRowId(&out);
+  return out;
+}
+
+std::vector<std::string> ObjectiveDatabase::Companies() const {
+  obs::ScopedTimer timer(QueryHistogram());
+  std::vector<std::string> out;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    for (const auto& [company, indices] : shard->by_company) {
+      out.push_back(company);
+    }
+  }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 std::map<std::string, int64_t> ObjectiveDatabase::CountPerCompany() const {
+  obs::ScopedTimer timer(QueryHistogram());
   std::map<std::string, int64_t> out;
-  for (const DbRow& row : rows_) ++out[row.company];
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    for (const auto& [company, indices] : shard->by_company) {
+      out[company] += static_cast<int64_t>(indices.size());
+    }
+  }
   return out;
 }
 
 std::map<std::string, double> ObjectiveDatabase::FieldCoverageByCompany(
     const std::string& kind) const {
-  std::map<std::string, int64_t> total;
-  std::map<std::string, int64_t> with_field;
-  for (const DbRow& row : rows_) {
-    ++total[row.company];
-    if (!row.record.FieldOrEmpty(kind).empty()) ++with_field[row.company];
-  }
+  obs::ScopedTimer timer(QueryHistogram());
   std::map<std::string, double> out;
-  for (const auto& [company, count] : total) {
-    out[company] =
-        static_cast<double>(with_field[company]) / static_cast<double>(count);
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    for (const auto& [company, indices] : shard->by_company) {
+      int64_t with_field = 0;
+      auto company_it = shard->field_count_by_company.find(company);
+      if (company_it != shard->field_count_by_company.end()) {
+        auto kind_it = company_it->second.find(kind);
+        if (kind_it != company_it->second.end()) with_field = kind_it->second;
+      }
+      out[company] = static_cast<double>(with_field) /
+                     static_cast<double>(indices.size());
+    }
   }
+  return out;
+}
+
+std::vector<DbRow> ObjectiveDatabase::SnapshotRows() const {
+  std::vector<DbRow> out;
+  out.reserve(size());
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    for (const DbRow& row : shard->rows) out.push_back(row);
+  }
+  SortByRowId(&out);
   return out;
 }
 
 std::string ObjectiveDatabase::ExportCsv(
     const std::vector<std::string>& kinds) const {
+  obs::ScopedTimer timer(QueryHistogram());
   std::ostringstream out;
   out << "row_id,company,document,page,objective";
   for (const std::string& kind : kinds) out << ',' << CsvEscape(kind);
   out << '\n';
-  for (const DbRow& row : rows_) {
+  for (const DbRow& row : SnapshotRows()) {
     out << row.row_id << ',' << CsvEscape(row.company) << ','
         << CsvEscape(row.document) << ',' << row.page << ','
         << CsvEscape(row.record.objective_text);
@@ -97,6 +339,111 @@ std::string ObjectiveDatabase::ExportCsv(
     out << '\n';
   }
   return out.str();
+}
+
+Status ObjectiveDatabase::Save(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return InternalError("cannot create directory " + dir + ": " +
+                         ec.message());
+  }
+  std::string path = SnapshotPath(dir);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return InternalError("cannot open " + path + " for writing");
+
+  std::vector<DbRow> rows = SnapshotRows();
+  out.write(kMagic, sizeof(kMagic));
+  WriteU32(out, kFormatVersion);
+  WriteU64(out, rows.size());
+  for (const DbRow& row : rows) {
+    WriteI64(out, row.row_id);
+    WriteString(out, row.company);
+    WriteString(out, row.document);
+    WriteI32(out, row.page);
+    WriteString(out, row.record.objective_id);
+    WriteString(out, row.record.objective_text);
+    WriteU64(out, row.record.fields.size());
+    for (const auto& [kind, value] : row.record.fields) {
+      WriteString(out, kind);
+      WriteString(out, value);
+    }
+  }
+  out.flush();
+  if (!out) return DataLossError("short write to " + path);
+  return Status::Ok();
+}
+
+Status ObjectiveDatabase::Load(const std::string& dir) {
+  std::string path = SnapshotPath(dir);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("cannot open " + path);
+
+  char magic[sizeof(kMagic)];
+  if (!in.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return DataLossError(path + " is not an objectives.db snapshot");
+  }
+  uint32_t version = 0;
+  if (!ReadU32(in, &version) || version != kFormatVersion) {
+    return DataLossError("unsupported objectives.db version in " + path);
+  }
+  uint64_t row_count = 0;
+  if (!ReadU64(in, &row_count)) {
+    return DataLossError("truncated objectives.db header in " + path);
+  }
+
+  std::vector<DbRow> rows;
+  rows.reserve(row_count);
+  int64_t max_id = -1;
+  for (uint64_t i = 0; i < row_count; ++i) {
+    DbRow row;
+    uint64_t field_count = 0;
+    if (!ReadI64(in, &row.row_id) || !ReadString(in, &row.company) ||
+        !ReadString(in, &row.document) || !ReadI32(in, &row.page) ||
+        !ReadString(in, &row.record.objective_id) ||
+        !ReadString(in, &row.record.objective_text) ||
+        !ReadU64(in, &field_count)) {
+      return DataLossError("truncated row in " + path);
+    }
+    for (uint64_t f = 0; f < field_count; ++f) {
+      std::string kind, value;
+      if (!ReadString(in, &kind) || !ReadString(in, &value)) {
+        return DataLossError("truncated field in " + path);
+      }
+      row.record.fields.emplace(std::move(kind), std::move(value));
+    }
+    max_id = std::max(max_id, row.row_id);
+    rows.push_back(std::move(row));
+  }
+
+  // Replace the contents. Load is an administrative operation: the caller
+  // must ensure no concurrent access (each shard is still locked while it
+  // is rebuilt, so readers see either the old or the new shard state).
+  for (const auto& shard : shards_) {
+    std::unique_lock lock(shard->mu);
+    shard->rows.clear();
+    shard->by_company.clear();
+    shard->by_field.clear();
+    shard->by_field_value.clear();
+    shard->by_deadline_year.clear();
+    shard->field_count_by_company.clear();
+  }
+  // Snapshot rows are sorted by id, so appending in file order preserves
+  // each shard's ascending-id invariant.
+  for (DbRow& row : rows) {
+    Shard& shard = ShardFor(row.company);
+    std::unique_lock lock(shard.mu);
+    AppendLocked(shard, std::move(row));
+  }
+  size_.store(rows.size(), std::memory_order_release);
+  next_id_.store(max_id + 1, std::memory_order_relaxed);
+  if (rows_gauge_ != nullptr) {
+    rows_gauge_->Set(static_cast<double>(rows.size()));
+    rows_per_shard_gauge_->Set(static_cast<double>(rows.size()) /
+                               static_cast<double>(shards_.size()));
+  }
+  return Status::Ok();
 }
 
 }  // namespace goalex::core

@@ -1,12 +1,20 @@
 #ifndef GOALEX_CORE_DATABASE_H_
 #define GOALEX_CORE_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "data/schema.h"
+#include "obs/metrics.h"
 
 namespace goalex::core {
 
@@ -22,44 +30,153 @@ struct DbRow {
   data::DetailRecord record;
 };
 
-/// In-memory structured store for extracted sustainability objectives with
-/// the query operations the paper's deployment scenarios exercise.
+/// Thread-safe sharded serving store for extracted sustainability
+/// objectives (DESIGN.md §10).
+///
+/// Rows are partitioned into shards by a hash of the company name, each
+/// shard guarded by its own reader/writer lock, so pipeline workers can
+/// Insert concurrently while analyst queries run. Within a shard rows live
+/// in a std::deque (stable storage — no reallocation ever moves a row) and
+/// secondary indexes are maintained at insert time:
+///
+///   - by company (ByCompany, CountPerCompany, FieldCoverageByCompany),
+///   - by non-empty field kind (WithField),
+///   - by exact field value (WhereFieldEquals),
+///   - by normalized deadline year via values::NormalizeYear
+///     (ByDeadlineYear, DeadlineYearBetween).
+///
+/// Every query returns copies of rows (or plain row ids), never pointers
+/// into internal storage, so results stay valid across later inserts.
+/// Row ids are assigned from a global counter under the owning shard's
+/// lock; serial insertion yields the sequential ids 0, 1, 2, ... and every
+/// query result is sorted by row id, so single-threaded behavior is
+/// deterministic and matches the pre-sharding store exactly.
 class ObjectiveDatabase {
  public:
+  /// Default shard count: enough to keep a machine-sized worker pool from
+  /// serializing on one lock, small enough that per-shard overhead is noise.
+  static constexpr int kDefaultShards = 16;
+
+  explicit ObjectiveDatabase(int num_shards = kDefaultShards);
+
+  ObjectiveDatabase(const ObjectiveDatabase&) = delete;
+  ObjectiveDatabase& operator=(const ObjectiveDatabase&) = delete;
+
   /// Inserts a record with source metadata; returns its row id.
+  /// Thread-safe: concurrent inserts to different companies usually land on
+  /// different shards and proceed in parallel.
   int64_t Insert(const data::DetailRecord& record,
                  const std::string& company,
                  const std::string& document = "", int page = 0);
 
-  size_t size() const { return rows_.size(); }
-  const std::vector<DbRow>& rows() const { return rows_; }
+  /// Total row count (exact; maintained atomically).
+  size_t size() const { return size_.load(std::memory_order_acquire); }
 
-  /// All rows of one company.
-  std::vector<const DbRow*> ByCompany(const std::string& company) const;
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Row count of each shard (for balance inspection and the
+  /// db.rows_per_shard gauge).
+  std::vector<size_t> RowsPerShard() const;
+
+  /// Looks up one row by id. O(num_shards * log rows).
+  std::optional<DbRow> Get(int64_t row_id) const;
+
+  /// All rows of one company, sorted by row id. Indexed: touches only the
+  /// company's shard.
+  std::vector<DbRow> ByCompany(const std::string& company) const;
 
   /// Rows whose extracted `kind` field is non-empty (e.g., all objectives
-  /// with a Deadline, for commitment tracking).
-  std::vector<const DbRow*> WithField(const std::string& kind) const;
+  /// with a Deadline, for commitment tracking), sorted by row id. Indexed.
+  std::vector<DbRow> WithField(const std::string& kind) const;
 
-  /// Rows whose `kind` field equals `value` exactly.
-  std::vector<const DbRow*> WhereFieldEquals(const std::string& kind,
-                                             const std::string& value) const;
+  /// Rows whose `kind` field equals `value` exactly, sorted by row id.
+  /// Indexed.
+  std::vector<DbRow> WhereFieldEquals(const std::string& kind,
+                                      const std::string& value) const;
 
-  /// Objective counts per company (Table 5's last column).
+  /// Rows whose Deadline (or NetZeroFacts TargetYear) normalizes to `year`
+  /// via values::NormalizeYear, sorted by row id. Indexed.
+  std::vector<DbRow> ByDeadlineYear(int year) const;
+
+  /// Rows whose normalized deadline year lies in [min_year, max_year],
+  /// sorted by row id — the "commitments due by 2030" query of the
+  /// deployment scenarios.
+  std::vector<DbRow> DeadlineYearBetween(int min_year, int max_year) const;
+
+  /// All distinct company names, sorted.
+  std::vector<std::string> Companies() const;
+
+  /// Objective counts per company (Table 5's last column). Indexed.
   std::map<std::string, int64_t> CountPerCompany() const;
 
   /// Fraction of rows per company carrying the given field — the
   /// "specificity" signal the deployment discussion derives from Table 6
-  /// (companies quoting amounts/deadlines are more specific).
+  /// (companies quoting amounts/deadlines are more specific). Indexed.
   std::map<std::string, double> FieldCoverageByCompany(
       const std::string& kind) const;
 
-  /// Exports all rows as CSV with the given field columns.
+  /// A consistent copy of every row, sorted by row id.
+  std::vector<DbRow> SnapshotRows() const;
+
+  /// Exports all rows (sorted by row id) as CSV with the given field
+  /// columns. Fields containing commas, quotes, CR, or LF are quoted.
   std::string ExportCsv(const std::vector<std::string>& kinds) const;
 
+  /// Persists every row to `<dir>/objectives.db` (versioned binary format,
+  /// DESIGN.md §10.3). Creates `dir` if needed.
+  Status Save(const std::string& dir) const;
+
+  /// Replaces the database contents with a snapshot written by Save().
+  /// Row ids are preserved, indexes are rebuilt, and the next insert
+  /// continues above the highest loaded id.
+  Status Load(const std::string& dir);
+
  private:
-  std::vector<DbRow> rows_;
-  std::multimap<std::string, size_t> company_index_;
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::deque<DbRow> rows;  ///< Ascending row_id (ids assigned under mu).
+    /// Secondary indexes; values are indices into `rows` in ascending order.
+    std::unordered_map<std::string, std::vector<size_t>> by_company;
+    std::unordered_map<std::string, std::vector<size_t>> by_field;
+    std::unordered_map<std::string,
+                       std::unordered_map<std::string, std::vector<size_t>>>
+        by_field_value;
+    std::map<int, std::vector<size_t>> by_deadline_year;
+    /// company -> kind -> number of rows with a non-empty value, so
+    /// FieldCoverageByCompany is O(companies), not O(rows).
+    std::unordered_map<std::string, std::unordered_map<std::string, int64_t>>
+        field_count_by_company;
+  };
+
+  Shard& ShardFor(const std::string& company);
+  const Shard& ShardFor(const std::string& company) const;
+
+  /// Appends `row` to `shard` and maintains every index. Caller holds the
+  /// shard's exclusive lock.
+  static void AppendLocked(Shard& shard, DbRow row);
+
+  /// Collects copies of the rows at `indices`, sorted by row id, into
+  /// `out`. Caller holds at least the shard's shared lock.
+  static void CollectLocked(const Shard& shard,
+                            const std::vector<size_t>& indices,
+                            std::vector<DbRow>* out);
+
+  /// Arms `timer` with the query-latency histogram and bumps the query
+  /// counter when observability is active.
+  obs::Histogram* QueryHistogram() const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<int64_t> next_id_{0};
+  std::atomic<size_t> size_{0};
+
+  // Observability handles, resolved once at construction; all null when
+  // instrumentation is compiled out or disabled (DESIGN.md §7 idiom).
+  obs::Histogram* insert_seconds_ = nullptr;
+  obs::Histogram* query_seconds_ = nullptr;
+  obs::Counter* insert_counter_ = nullptr;
+  obs::Counter* query_counter_ = nullptr;
+  obs::Gauge* rows_gauge_ = nullptr;
+  obs::Gauge* rows_per_shard_gauge_ = nullptr;
 };
 
 }  // namespace goalex::core

@@ -1,12 +1,22 @@
 #include "goalspotter/pipeline.h"
 
+#include <mutex>
+
 #include "common/check.h"
 #include "obs/scope.h"
+#include "runtime/thread_pool.h"
 
 namespace goalex::goalspotter {
 
 PipelineStats GoalSpotter::ProcessReport(
     const data::Report& report, core::ObjectiveDatabase* database) const {
+  return ProcessReportImpl(report, database,
+                           extractor_->config().num_threads);
+}
+
+PipelineStats GoalSpotter::ProcessReportImpl(
+    const data::Report& report, core::ObjectiveDatabase* database,
+    int extract_threads) const {
   GOALEX_CHECK(database != nullptr);
   // Per-document stage tracing, sharing the extractor's metrics toggle so
   // one switch controls the whole serving path.
@@ -41,8 +51,8 @@ PipelineStats GoalSpotter::ProcessReport(
   // order matches the serial pipeline exactly.
   obs::Span extract_span(registry, "pipeline.stage.extract");
   runtime::Stats extract_stats;
-  std::vector<data::DetailRecord> records = extractor_->ExtractAll(
-      objectives, extractor_->config().num_threads, &extract_stats);
+  std::vector<data::DetailRecord> records =
+      extractor_->ExtractAll(objectives, extract_threads, &extract_stats);
   stats.extraction = extract_stats;
   extract_span.Stop();
 
@@ -69,6 +79,27 @@ PipelineStats GoalSpotter::ProcessReports(
   for (const data::Report& report : reports) {
     total += ProcessReport(report, database);
   }
+  return total;
+}
+
+PipelineStats GoalSpotter::ProcessReportsParallel(
+    const std::vector<data::Report>& reports,
+    core::ObjectiveDatabase* database, int num_threads) const {
+  GOALEX_CHECK(database != nullptr);
+  runtime::ThreadPool pool(num_threads);
+  PipelineStats total;
+  std::mutex total_mu;
+  for (const data::Report& report : reports) {
+    pool.Submit([this, &report, database, &total, &total_mu] {
+      // Extraction runs serially (1 thread) inside each worker: the
+      // document fan-out already saturates the pool, and nesting pools
+      // would oversubscribe the machine.
+      PipelineStats stats = ProcessReportImpl(report, database, 1);
+      std::lock_guard<std::mutex> lock(total_mu);
+      total += stats;
+    });
+  }
+  pool.Wait();
   return total;
 }
 

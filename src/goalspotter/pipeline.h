@@ -49,15 +49,31 @@ class GoalSpotter {
   PipelineStats ProcessReport(const data::Report& report,
                               core::ObjectiveDatabase* database) const;
 
-  /// Processes a whole fleet of reports.
+  /// Processes a whole fleet of reports serially (deterministic row ids).
   PipelineStats ProcessReports(const std::vector<data::Report>& reports,
                                core::ObjectiveDatabase* database) const;
+
+  /// Processes a fleet of reports with document-level parallelism: reports
+  /// fan out across a runtime::ThreadPool and every worker ingests into the
+  /// shared sharded database concurrently (detail extraction runs serially
+  /// inside each worker, so the pool is never oversubscribed).
+  /// `num_threads` follows the ThreadPool convention (<= 0 = auto). The
+  /// resulting database holds exactly the rows of the serial path, but row
+  /// ids depend on worker interleaving — use ProcessReports when ids must
+  /// be reproducible.
+  PipelineStats ProcessReportsParallel(const std::vector<data::Report>& reports,
+                                       core::ObjectiveDatabase* database,
+                                       int num_threads = 0) const;
 
   /// Detection threshold (probability) for objective blocks.
   void set_threshold(double threshold) { threshold_ = threshold; }
   double threshold() const { return threshold_; }
 
  private:
+  PipelineStats ProcessReportImpl(const data::Report& report,
+                                  core::ObjectiveDatabase* database,
+                                  int extract_threads) const;
+
   const ObjectiveDetector* detector_;      // Not owned.
   const core::DetailExtractor* extractor_;  // Not owned.
   double threshold_ = 0.5;

@@ -9,13 +9,21 @@ namespace goalex::values {
 namespace {
 
 // Parses a number with optional thousands separators and decimal point at
-// the start of `text`; returns consumed length via *length.
+// the start of `text`; returns consumed length via *length. A comma is a
+// thousands separator only when followed by a group of exactly 3 digits
+// (not more, not fewer); otherwise parsing stops before it, so European
+// decimals like "2,5" parse as 2 (and the caller's unit match then fails)
+// rather than silently gluing into 25.
 std::optional<double> ParseLeadingNumber(std::string_view text,
                                          size_t* length) {
   std::string digits;
   size_t i = 0;
   bool seen_digit = false;
   bool seen_dot = false;
+  auto is_digit_at = [&text](size_t pos) {
+    return pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos]));
+  };
   while (i < text.size()) {
     char c = text[i];
     if (std::isdigit(static_cast<unsigned char>(c))) {
@@ -23,7 +31,13 @@ std::optional<double> ParseLeadingNumber(std::string_view text,
       seen_digit = true;
       ++i;
     } else if (c == ',' && seen_digit && !seen_dot) {
-      ++i;  // Thousands separator.
+      bool group_of_three = is_digit_at(i + 1) && is_digit_at(i + 2) &&
+                            is_digit_at(i + 3) && !is_digit_at(i + 4);
+      if (!group_of_three) break;
+      digits.push_back(text[i + 1]);
+      digits.push_back(text[i + 2]);
+      digits.push_back(text[i + 3]);
+      i += 4;
     } else if (c == '.' && seen_digit && !seen_dot && i + 1 < text.size() &&
                std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
       digits.push_back('.');

@@ -2,6 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
 namespace goalex::core {
 namespace {
 
@@ -11,6 +20,50 @@ data::DetailRecord MakeRecord(const std::string& text,
   record.objective_text = text;
   record.fields = std::move(fields);
   return record;
+}
+
+/// Minimal RFC 4180 CSV reader used by the round-trip tests: splits into
+/// records honoring quoted fields with doubled quotes and embedded
+/// separators / CR / LF.
+std::vector<std::vector<std::string>> ParseCsv(const std::string& csv) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < csv.size()) {
+    char c = csv[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < csv.size() && csv[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      fields.push_back(std::move(field));
+      field.clear();
+      records.push_back(std::move(fields));
+      fields.clear();
+    } else {
+      field.push_back(c);
+    }
+    ++i;
+  }
+  if (!field.empty() || !fields.empty()) {
+    fields.push_back(std::move(field));
+    records.push_back(std::move(fields));
+  }
+  return records;
 }
 
 TEST(DatabaseTest, InsertAssignsSequentialIds) {
@@ -25,10 +78,10 @@ TEST(DatabaseTest, ByCompany) {
   db.Insert(MakeRecord("a", {}), "C1");
   db.Insert(MakeRecord("b", {}), "C2");
   db.Insert(MakeRecord("c", {}), "C1");
-  std::vector<const DbRow*> rows = db.ByCompany("C1");
+  std::vector<DbRow> rows = db.ByCompany("C1");
   ASSERT_EQ(rows.size(), 2u);
-  EXPECT_EQ(rows[0]->record.objective_text, "a");
-  EXPECT_EQ(rows[1]->record.objective_text, "c");
+  EXPECT_EQ(rows[0].record.objective_text, "a");
+  EXPECT_EQ(rows[1].record.objective_text, "c");
   EXPECT_TRUE(db.ByCompany("C9").empty());
 }
 
@@ -37,18 +90,55 @@ TEST(DatabaseTest, WithFieldFiltersEmpty) {
   db.Insert(MakeRecord("a", {{"Deadline", "2030"}}), "C1");
   db.Insert(MakeRecord("b", {}), "C1");
   db.Insert(MakeRecord("c", {{"Deadline", ""}}), "C1");
-  std::vector<const DbRow*> rows = db.WithField("Deadline");
+  std::vector<DbRow> rows = db.WithField("Deadline");
   ASSERT_EQ(rows.size(), 1u);
-  EXPECT_EQ(rows[0]->record.objective_text, "a");
+  EXPECT_EQ(rows[0].record.objective_text, "a");
 }
 
 TEST(DatabaseTest, WhereFieldEquals) {
   ObjectiveDatabase db;
   db.Insert(MakeRecord("a", {{"Deadline", "2030"}}), "C1");
   db.Insert(MakeRecord("b", {{"Deadline", "2040"}}), "C1");
-  std::vector<const DbRow*> rows = db.WhereFieldEquals("Deadline", "2040");
-  ASSERT_EQ(rows.size(), 1u);
-  EXPECT_EQ(rows[0]->record.objective_text, "b");
+  db.Insert(MakeRecord("c", {{"Deadline", "2040"}}), "C2");
+  std::vector<DbRow> rows = db.WhereFieldEquals("Deadline", "2040");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].record.objective_text, "b");
+  EXPECT_EQ(rows[1].record.objective_text, "c");
+  EXPECT_TRUE(db.WhereFieldEquals("Deadline", "1999").empty());
+  EXPECT_TRUE(db.WhereFieldEquals("NoSuchKind", "2040").empty());
+}
+
+TEST(DatabaseTest, GetByRowId) {
+  ObjectiveDatabase db;
+  db.Insert(MakeRecord("a", {}), "C1");
+  int64_t id = db.Insert(MakeRecord("b", {}), "C2", "doc.pdf", 7);
+  std::optional<DbRow> row = db.Get(id);
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->record.objective_text, "b");
+  EXPECT_EQ(row->document, "doc.pdf");
+  EXPECT_EQ(row->page, 7);
+  EXPECT_FALSE(db.Get(999).has_value());
+}
+
+TEST(DatabaseTest, DeadlineYearIndex) {
+  ObjectiveDatabase db;
+  db.Insert(MakeRecord("a", {{"Deadline", "2030"}}), "C1");
+  db.Insert(MakeRecord("b", {{"Deadline", "by the end of 2025"}}), "C2");
+  db.Insert(MakeRecord("c", {{"Deadline", "soon"}}), "C3");
+  db.Insert(MakeRecord("d", {{"TargetYear", "2040"}}), "C4");
+  db.Insert(MakeRecord("e", {}), "C5");
+
+  std::vector<DbRow> y2030 = db.ByDeadlineYear(2030);
+  ASSERT_EQ(y2030.size(), 1u);
+  EXPECT_EQ(y2030[0].record.objective_text, "a");
+
+  std::vector<DbRow> due = db.DeadlineYearBetween(2025, 2035);
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_EQ(due[0].record.objective_text, "a");
+  EXPECT_EQ(due[1].record.objective_text, "b");
+
+  EXPECT_EQ(db.DeadlineYearBetween(1900, 2100).size(), 3u);
+  EXPECT_TRUE(db.ByDeadlineYear(1999).empty());
 }
 
 TEST(DatabaseTest, CountPerCompany) {
@@ -61,6 +151,14 @@ TEST(DatabaseTest, CountPerCompany) {
   EXPECT_EQ(counts["C2"], 1);
 }
 
+TEST(DatabaseTest, Companies) {
+  ObjectiveDatabase db;
+  db.Insert(MakeRecord("a", {}), "Zeta");
+  db.Insert(MakeRecord("b", {}), "Alpha");
+  db.Insert(MakeRecord("c", {}), "Alpha");
+  EXPECT_EQ(db.Companies(), (std::vector<std::string>{"Alpha", "Zeta"}));
+}
+
 TEST(DatabaseTest, FieldCoverageByCompany) {
   ObjectiveDatabase db;
   db.Insert(MakeRecord("a", {{"Amount", "20%"}}), "C1");
@@ -69,6 +167,76 @@ TEST(DatabaseTest, FieldCoverageByCompany) {
   std::map<std::string, double> coverage = db.FieldCoverageByCompany("Amount");
   EXPECT_NEAR(coverage["C1"], 0.5, 1e-9);
   EXPECT_NEAR(coverage["C2"], 1.0, 1e-9);
+}
+
+TEST(DatabaseTest, FieldCoverageGolden) {
+  // Coverage across many companies and shards, against hand-computed
+  // fractions (empty values never count as coverage).
+  ObjectiveDatabase db(4);
+  for (int company = 0; company < 8; ++company) {
+    std::string name = "Co" + std::to_string(company);
+    for (int row = 0; row < 4; ++row) {
+      std::map<std::string, std::string> fields;
+      if (row < company % 5) fields["Deadline"] = "2030";
+      if (row == 0) fields["Qualifier"] = "";  // Empty: not covered.
+      db.Insert(MakeRecord("obj", fields), name);
+    }
+  }
+  std::map<std::string, double> deadline = db.FieldCoverageByCompany("Deadline");
+  for (int company = 0; company < 8; ++company) {
+    std::string name = "Co" + std::to_string(company);
+    EXPECT_NEAR(deadline[name], (company % 5) / 4.0, 1e-9) << name;
+  }
+  std::map<std::string, double> qualifier =
+      db.FieldCoverageByCompany("Qualifier");
+  for (const auto& [name, fraction] : qualifier) {
+    EXPECT_DOUBLE_EQ(fraction, 0.0) << name;
+  }
+}
+
+TEST(DatabaseTest, RowsPerShardSumsToSize) {
+  ObjectiveDatabase db(4);
+  for (int i = 0; i < 100; ++i) {
+    db.Insert(MakeRecord("obj", {}), "Company" + std::to_string(i % 13));
+  }
+  std::vector<size_t> per_shard = db.RowsPerShard();
+  EXPECT_EQ(per_shard.size(), 4u);
+  size_t total = 0;
+  for (size_t n : per_shard) total += n;
+  EXPECT_EQ(total, 100u);
+}
+
+// Regression for the seed-era dangling-pointer bug: query results used to be
+// const DbRow* into a std::vector that reallocated on the next Insert. Now
+// results are copies (and rows live in per-shard deques), so results read
+// back identically after the store has grown far past any reallocation
+// boundary.
+TEST(DatabaseTest, QueryResultsSurviveGrowth) {
+  ObjectiveDatabase db;
+  db.Insert(MakeRecord("first", {{"Deadline", "2030"}}), "C1");
+  db.Insert(MakeRecord("second", {{"Deadline", "2040"}}), "C1");
+
+  std::vector<DbRow> by_company = db.ByCompany("C1");
+  std::vector<DbRow> with_field = db.WithField("Deadline");
+  ASSERT_EQ(by_company.size(), 2u);
+  ASSERT_EQ(with_field.size(), 2u);
+
+  // Grow the store by several thousand rows — far past every capacity
+  // doubling a vector-backed store would have performed.
+  for (int i = 0; i < 5000; ++i) {
+    db.Insert(MakeRecord("filler" + std::to_string(i), {}),
+              "C" + std::to_string(i % 7));
+  }
+
+  EXPECT_EQ(by_company[0].record.objective_text, "first");
+  EXPECT_EQ(by_company[1].record.objective_text, "second");
+  EXPECT_EQ(with_field[0].record.FieldOrEmpty("Deadline"), "2030");
+  EXPECT_EQ(with_field[1].record.FieldOrEmpty("Deadline"), "2040");
+
+  // Row-id handles stay resolvable too.
+  std::optional<DbRow> reread = db.Get(by_company[0].row_id);
+  ASSERT_TRUE(reread.has_value());
+  EXPECT_EQ(reread->record.objective_text, "first");
 }
 
 TEST(DatabaseTest, ExportCsvEscapes) {
@@ -83,6 +251,51 @@ TEST(DatabaseTest, ExportCsvEscapes) {
             std::string::npos);
 }
 
+// Regression: a bare carriage return used to pass through unquoted and
+// split the CSV row in most readers.
+TEST(DatabaseTest, ExportCsvQuotesCarriageReturn) {
+  ObjectiveDatabase db;
+  db.Insert(MakeRecord("line1\rline2", {}), "C1");
+  std::string csv = db.ExportCsv({});
+  EXPECT_NE(csv.find("\"line1\rline2\""), std::string::npos);
+  // Exactly header + 1 row when parsed (the CR is inside quotes).
+  EXPECT_EQ(ParseCsv(csv).size(), 2u);
+}
+
+TEST(DatabaseTest, ExportCsvRoundTripsTrickyContent) {
+  ObjectiveDatabase db;
+  db.Insert(MakeRecord("embedded\r\nnewline, and \"quotes\"",
+                       {{"Qualifier", "a\rb"}, {"Action", "x,y"}}),
+            "Comma, Inc.", "doc\r.pdf", 1);
+  db.Insert(MakeRecord("plain", {{"Action", "reduce"}}), "C2");
+  std::string csv = db.ExportCsv({"Action", "Qualifier"});
+
+  std::vector<std::vector<std::string>> records = ParseCsv(csv);
+  ASSERT_EQ(records.size(), 3u);  // Header + 2 rows.
+  EXPECT_EQ(records[0],
+            (std::vector<std::string>{"row_id", "company", "document", "page",
+                                      "objective", "Action", "Qualifier"}));
+  EXPECT_EQ(records[1],
+            (std::vector<std::string>{"0", "Comma, Inc.", "doc\r.pdf", "1",
+                                      "embedded\r\nnewline, and \"quotes\"",
+                                      "x,y", "a\rb"}));
+  EXPECT_EQ(records[2], (std::vector<std::string>{"1", "C2", "", "0", "plain",
+                                                  "reduce", ""}));
+}
+
+TEST(DatabaseTest, ExportCsvGoldenColumnOrdering) {
+  ObjectiveDatabase db;
+  db.Insert(MakeRecord("cut emissions",
+                       {{"Action", "cut"}, {"Deadline", "2030"}}),
+            "Acme", "report.pdf", 12);
+  db.Insert(MakeRecord("plant trees", {{"Action", "plant"}}), "Beta");
+  std::string expected =
+      "row_id,company,document,page,objective,Action,Amount,Deadline\n"
+      "0,Acme,report.pdf,12,cut emissions,cut,,2030\n"
+      "1,Beta,,0,plant trees,plant,,\n";
+  EXPECT_EQ(db.ExportCsv({"Action", "Amount", "Deadline"}), expected);
+}
+
 TEST(DatabaseTest, ExportCsvRowCount) {
   ObjectiveDatabase db;
   db.Insert(MakeRecord("a", {}), "C1");
@@ -90,6 +303,129 @@ TEST(DatabaseTest, ExportCsvRowCount) {
   std::string csv = db.ExportCsv({});
   // Header + 2 rows = 3 newline-terminated lines.
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(DatabaseTest, SaveLoadRoundTripsByteIdentically) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     "goalex_db_roundtrip")
+                        .string();
+  std::filesystem::remove_all(dir);
+
+  ObjectiveDatabase db;
+  db.Insert(MakeRecord("cut, emissions \"fast\"\r\nnow",
+                       {{"Action", "cut"},
+                        {"Amount", "20%"},
+                        {"Deadline", "by 2030"}}),
+            "Acme Corp", "esg report.pdf", 4);
+  db.Insert(MakeRecord("net zero", {{"Amount", "net-zero"}}), "Beta");
+  for (int i = 0; i < 200; ++i) {
+    db.Insert(MakeRecord("obj" + std::to_string(i),
+                         {{"Deadline", std::to_string(2025 + i % 20)}}),
+              "Company" + std::to_string(i % 9));
+  }
+  ASSERT_TRUE(db.Save(dir).ok());
+
+  ObjectiveDatabase loaded(/*num_shards=*/4);  // Re-sharding must not matter.
+  ASSERT_TRUE(loaded.Load(dir).ok());
+  EXPECT_EQ(loaded.size(), db.size());
+
+  std::vector<std::string> kinds = {"Action", "Amount", "Deadline"};
+  EXPECT_EQ(loaded.ExportCsv(kinds), db.ExportCsv(kinds));
+  EXPECT_EQ(loaded.CountPerCompany(), db.CountPerCompany());
+  EXPECT_EQ(loaded.FieldCoverageByCompany("Deadline"),
+            db.FieldCoverageByCompany("Deadline"));
+  EXPECT_EQ(loaded.ByDeadlineYear(2030).size(), db.ByDeadlineYear(2030).size());
+
+  // Inserts continue above the highest loaded id.
+  int64_t next = loaded.Insert(MakeRecord("new", {}), "Acme Corp");
+  EXPECT_EQ(next, static_cast<int64_t>(db.size()));
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatabaseTest, LoadRejectsMissingAndCorruptSnapshots) {
+  ObjectiveDatabase db;
+  Status missing = db.Load("/nonexistent/goalex-db-dir");
+  EXPECT_EQ(missing.code(), StatusCode::kNotFound);
+
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     "goalex_db_corrupt")
+                        .string();
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream out(dir + "/objectives.db", std::ios::binary);
+    out << "not a snapshot";
+  }
+  Status corrupt = db.Load(dir);
+  EXPECT_EQ(corrupt.code(), StatusCode::kDataLoss);
+  std::filesystem::remove_all(dir);
+}
+
+// Concurrency stress: writers insert across companies (and thus shards)
+// while readers hammer every indexed query and the exporter. Run under the
+// TSAN CI job; invariants are re-checked after the threads join.
+TEST(DatabaseTest, ConcurrentInsertAndQueryStress) {
+  ObjectiveDatabase db(8);
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 4;
+  constexpr int kRowsPerWriter = 500;
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&db, w] {
+      for (int i = 0; i < kRowsPerWriter; ++i) {
+        std::map<std::string, std::string> fields;
+        if (i % 2 == 0) fields["Deadline"] = std::to_string(2025 + i % 10);
+        if (i % 3 == 0) fields["Amount"] = "20%";
+        // A per-writer company plus one shared hot company.
+        std::string company =
+            i % 5 == 0 ? "Shared" : "Writer" + std::to_string(w);
+        db.Insert(MakeRecord("w" + std::to_string(w) + "#" +
+                                 std::to_string(i),
+                             fields),
+                  company, "doc", i);
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&db, &done, r] {
+      size_t checksum = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        checksum += db.ByCompany("Shared").size();
+        checksum += db.WithField("Deadline").size();
+        checksum += db.WhereFieldEquals("Amount", "20%").size();
+        checksum += db.DeadlineYearBetween(2025, 2030).size();
+        checksum += db.CountPerCompany().size();
+        checksum += db.FieldCoverageByCompany("Amount").size();
+        if (r == 0) checksum += db.ExportCsv({"Deadline"}).size();
+        std::optional<DbRow> row = db.Get(static_cast<int64_t>(checksum % 97));
+        if (row.has_value()) checksum += row->record.objective_text.size();
+      }
+      volatile size_t sink = checksum;  // Keep the reads observable.
+      (void)sink;
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  done.store(true, std::memory_order_release);
+  for (size_t i = kWriters; i < threads.size(); ++i) threads[i].join();
+
+  // Post-conditions: every row landed exactly once with a unique id.
+  ASSERT_EQ(db.size(), static_cast<size_t>(kWriters * kRowsPerWriter));
+  std::vector<DbRow> rows = db.SnapshotRows();
+  std::set<int64_t> ids;
+  for (const DbRow& row : rows) ids.insert(row.row_id);
+  EXPECT_EQ(ids.size(), rows.size());
+  EXPECT_EQ(*ids.begin(), 0);
+  EXPECT_EQ(*ids.rbegin(), static_cast<int64_t>(rows.size()) - 1);
+
+  std::map<std::string, int64_t> counts = db.CountPerCompany();
+  int64_t total = 0;
+  for (const auto& [company, count] : counts) total += count;
+  EXPECT_EQ(total, kWriters * kRowsPerWriter);
+  EXPECT_EQ(counts["Shared"], kWriters * (kRowsPerWriter / 5));
+  EXPECT_EQ(db.WithField("Deadline").size(),
+            static_cast<size_t>(kWriters * (kRowsPerWriter / 2)));
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 // pipeline (detection -> extraction -> structured database).
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "core/database.h"
 #include "core/extractor.h"
 #include "data/generator.h"
@@ -185,7 +188,7 @@ TEST_F(PipelineTest, ProcessesSingleReport) {
   EXPECT_GE(stats.detected_objectives, 5);
   EXPECT_LE(stats.detected_objectives, 12);
   EXPECT_EQ(db.size(), static_cast<size_t>(stats.detected_objectives));
-  for (const core::DbRow& row : db.rows()) {
+  for (const core::DbRow& row : db.SnapshotRows()) {
     EXPECT_EQ(row.company, "DemoCo");
     EXPECT_GE(row.page, 1);
   }
@@ -202,6 +205,38 @@ TEST_F(PipelineTest, ProcessesFleetAndAggregates) {
   EXPECT_EQ(stats.pages, 60);
   EXPECT_GT(stats.detected_objectives, 6);
   EXPECT_EQ(db.CountPerCompany()["C10"], stats.detected_objectives);
+}
+
+TEST_F(PipelineTest, ParallelIngestMatchesSerial) {
+  data::CompanyProfile profile{"C11", 6, 90, 18};
+  std::vector<data::Report> reports =
+      data::GenerateCompanyReports(profile, 47);
+  GoalSpotter pipeline(detector_, extractor_);
+
+  core::ObjectiveDatabase serial_db;
+  PipelineStats serial = pipeline.ProcessReports(reports, &serial_db);
+
+  core::ObjectiveDatabase parallel_db;
+  PipelineStats parallel =
+      pipeline.ProcessReportsParallel(reports, &parallel_db, 4);
+
+  EXPECT_EQ(parallel.documents, serial.documents);
+  EXPECT_EQ(parallel.pages, serial.pages);
+  EXPECT_EQ(parallel.blocks, serial.blocks);
+  EXPECT_EQ(parallel.detected_objectives, serial.detected_objectives);
+  EXPECT_EQ(parallel_db.size(), serial_db.size());
+  EXPECT_EQ(parallel_db.CountPerCompany(), serial_db.CountPerCompany());
+
+  // Row ids differ by interleaving, but the stored rows are the same set:
+  // compare the objective texts as multisets.
+  auto texts = [](const core::ObjectiveDatabase& db) {
+    std::multiset<std::string> out;
+    for (const core::DbRow& row : db.SnapshotRows()) {
+      out.insert(row.record.objective_text);
+    }
+    return out;
+  };
+  EXPECT_EQ(texts(parallel_db), texts(serial_db));
 }
 
 TEST_F(PipelineTest, ExtractedRowsCarryFields) {

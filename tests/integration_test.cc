@@ -75,10 +75,10 @@ TEST_F(EndToEndTest, ReportToDatabaseToTypedQuery) {
 
   // Typed layer: every stored Deadline normalizes to a plausible year.
   int typed_deadlines = 0;
-  for (const core::DbRow* row : database.WithField("Deadline")) {
-    values::TypedDetails typed = values::NormalizeRecord(row->record);
+  for (const core::DbRow& row : database.WithField("Deadline")) {
+    values::TypedDetails typed = values::NormalizeRecord(row.record);
     ASSERT_TRUE(typed.deadline_year.has_value())
-        << row->record.FieldOrEmpty("Deadline");
+        << row.record.FieldOrEmpty("Deadline");
     EXPECT_GE(*typed.deadline_year, 2000);
     EXPECT_LE(*typed.deadline_year, 2100);
     ++typed_deadlines;

@@ -68,6 +68,23 @@ TEST(NormalizeAmountTest, MassEnergyPower) {
   EXPECT_DOUBLE_EQ(power->magnitude, 25e6);  // W
 }
 
+TEST(NormalizeAmountTest, ThousandsSeparatorRequiresGroupsOfThree) {
+  // Valid separators: comma groups of exactly 3 digits.
+  EXPECT_DOUBLE_EQ(NormalizeAmount("1,000")->magnitude, 1000.0);
+  EXPECT_DOUBLE_EQ(NormalizeAmount("12,345.6")->magnitude, 12345.6);
+  EXPECT_DOUBLE_EQ(NormalizeAmount("1,234,567")->magnitude, 1234567.0);
+
+  // Regression: "2,5" (a European decimal) used to glue into 25, so
+  // "2,5 million" parsed as 25 million. The comma is now rejected as a
+  // separator and the leftover ",5 ..." makes the whole form unparseable
+  // rather than silently 10x off.
+  EXPECT_FALSE(NormalizeAmount("2,5").has_value());
+  EXPECT_FALSE(NormalizeAmount("2,5 million").has_value());
+  // Regression: "1,00" used to parse as 100 and "1,0000" as 10000.
+  EXPECT_FALSE(NormalizeAmount("1,00").has_value());
+  EXPECT_FALSE(NormalizeAmount("1,0000").has_value());
+}
+
 TEST(NormalizeAmountTest, RejectsNonQuantities) {
   EXPECT_FALSE(NormalizeAmount("").has_value());
   EXPECT_FALSE(NormalizeAmount("energy consumption").has_value());
