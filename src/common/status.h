@@ -20,6 +20,7 @@ enum class StatusCode : int32_t {
   kUnimplemented = 6,
   kInternal = 7,
   kDataLoss = 8,
+  kResourceExhausted = 9,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -74,6 +75,7 @@ Status OutOfRangeError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status DataLossError(std::string message);
+Status ResourceExhaustedError(std::string message);
 
 /// Union of a value and an error Status. Callers must check ok() before
 /// accessing the value; accessing the value of a non-OK StatusOr aborts.

@@ -174,4 +174,24 @@ StatusOr<ExtractorConfig> ExtractorConfig::FromText(std::string_view text) {
   return config;
 }
 
+Status ServeConfig::Validate() const {
+  if (max_batch_size <= 0) {
+    return InvalidArgumentError("serve: max_batch_size must be positive");
+  }
+  if (batch_deadline_ms <= 0.0) {
+    return InvalidArgumentError("serve: batch_deadline_ms must be positive");
+  }
+  if (max_queue_depth <= 0) {
+    return InvalidArgumentError("serve: max_queue_depth must be positive");
+  }
+  if (slo_p99_ms <= 0.0) {
+    return InvalidArgumentError("serve: slo_p99_ms must be positive");
+  }
+  if (service_time_ema_alpha <= 0.0 || service_time_ema_alpha > 1.0) {
+    return InvalidArgumentError(
+        "serve: service_time_ema_alpha must be in (0, 1]");
+  }
+  return Status::Ok();
+}
+
 }  // namespace goalex::core

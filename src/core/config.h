@@ -121,6 +121,56 @@ struct ExtractorConfig {
 /// Parses a preset name ("roberta", "distilbert", ...).
 StatusOr<ModelPreset> ParseModelPreset(std::string_view name);
 
+/// Knobs of the extraction service (src/serve): a long-running scheduler
+/// that turns the batch ExtractAll path into a request/response service
+/// with continuous batch formation and SLO-aware admission control (see
+/// DESIGN.md §11).
+struct ServeConfig {
+  /// A forming batch closes as soon as it holds this many requests...
+  int32_t max_batch_size = 16;
+
+  /// ...or when the oldest waiting request has been queued this long,
+  /// whichever happens first. This bounds the queueing delay a lone
+  /// request pays for batching.
+  double batch_deadline_ms = 5.0;
+
+  /// Admission control: new requests are shed (Status kResourceExhausted)
+  /// once this many admitted requests are waiting to be scheduled.
+  /// Bulk-priority requests are shed at half this depth so interactive
+  /// traffic keeps headroom under load.
+  int32_t max_queue_depth = 1024;
+
+  /// Admission control: requests are also shed when the estimated
+  /// queueing delay — queue depth times the EMA of observed per-request
+  /// service time — exceeds this bound. <= 0 derives the bound from the
+  /// SLO: slo_p99_ms - batch_deadline_ms (the queue may consume whatever
+  /// part of the latency budget batch formation does not).
+  double max_queue_delay_ms = 0.0;
+
+  /// End-to-end p99 latency target the service is operated against. Used
+  /// to derive the shed threshold (above) and reported against by
+  /// bench_serve; the scheduler itself never drops an admitted request.
+  double slo_p99_ms = 50.0;
+
+  /// Worker threads of the BatchRunner the service dispatches batches
+  /// onto: 0 = auto, 1 = serial (inference runs on the scheduler thread).
+  int32_t num_threads = 1;
+
+  /// EMA smoothing factor for the per-request service-time estimate in
+  /// (0, 1]; higher adapts faster, lower rides out bursts.
+  double service_time_ema_alpha = 0.2;
+
+  /// Effective queue-delay bound in seconds (resolves the <= 0 default).
+  double EffectiveQueueDelaySeconds() const {
+    double ms = max_queue_delay_ms > 0.0 ? max_queue_delay_ms
+                                         : slo_p99_ms - batch_deadline_ms;
+    return ms > 0.0 ? ms / 1000.0 : 0.0;
+  }
+
+  /// Rejects non-positive sizes/deadlines and out-of-range alpha.
+  Status Validate() const;
+};
+
 }  // namespace goalex::core
 
 #endif  // GOALEX_CORE_CONFIG_H_

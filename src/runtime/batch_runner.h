@@ -68,8 +68,10 @@ class BatchRunner {
     batch_items_hist_->Observe(static_cast<double>(last_stats_.items));
     batch_seconds_hist_->Observe(last_stats_.seconds);
     threads_gauge_->Set(static_cast<double>(last_stats_.threads));
-    // A serial pool runs chunks inline (no task accounting), so
-    // utilization is only meaningful for real worker fan-out.
+    // A serial pool's utilization is trivially ~1, so the gauge is only
+    // reported for real multi-thread pools. Single-chunk runs on such
+    // pools are still accounted (ParallelFor routes the inline chunk
+    // through the pool's task accounting).
     if (last_stats_.threads > 1 && last_stats_.seconds > 0.0) {
       double busy = pool_.busy_seconds() - busy_before;
       utilization_gauge_->Set(

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <utility>
 
 namespace goalex::runtime {
@@ -34,6 +35,23 @@ ThreadPool::~ThreadPool() {
   }
   task_ready_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  // Error-delivery contract: an exception captured from a task that was
+  // never followed by a Wait() cannot be rethrown here (throwing from a
+  // destructor would terminate), so it is logged and dropped.
+  if (first_error_) {
+    try {
+      std::rethrow_exception(first_error_);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "goalex: ThreadPool destroyed with unretrieved task "
+                   "error: %s\n",
+                   e.what());
+    } catch (...) {
+      std::fprintf(stderr,
+                   "goalex: ThreadPool destroyed with unretrieved non-"
+                   "std::exception task error\n");
+    }
+  }
 }
 
 void ThreadPool::RunTask(const std::function<void()>& task) {
@@ -110,7 +128,12 @@ void ThreadPool::ParallelFor(
   if (n == 0) return;
   size_t chunks = std::min(n, static_cast<size_t>(thread_count_));
   if (chunks <= 1) {
-    chunk(0, n);
+    // Run the single chunk inline, but through RunTask so busy-seconds
+    // accounting (and thus BatchRunner's utilization gauge) covers
+    // single-chunk runs on multi-thread pools too; Wait() rethrows the
+    // chunk's exception exactly like the fan-out path does.
+    RunTask([&chunk, n] { chunk(0, n); });
+    Wait();
     return;
   }
   // Static chunking: contiguous ranges of size n/chunks, the first

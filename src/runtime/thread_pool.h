@@ -23,9 +23,16 @@ namespace goalex::runtime {
 /// inline on the calling thread, so `num_threads = 1` reproduces serial
 /// behavior exactly (no worker threads are ever spawned).
 ///
-/// Exceptions thrown by tasks are captured; the first one is rethrown on
-/// the calling thread by Wait() / ParallelFor(), never swallowed and never
-/// allowed to deadlock the pool.
+/// Error-delivery contract: exceptions thrown by tasks are captured; the
+/// first one is rethrown on the calling thread by the next Wait() /
+/// ParallelFor() and cleared there, never allowed to deadlock the pool.
+/// Two corollaries, pinned by runtime_stress_test.cc:
+///  - A captured error with no later Wait() (fire-and-forget Submit, or
+///    tasks drained during ~ThreadPool) is logged to stderr by the
+///    destructor and dropped — destruction never throws or terminates.
+///  - On a serial (thread_count() == 1) pool, Submit runs the task inline
+///    and returns normally even when the task throws; the error surfaces
+///    on the next Wait(), exactly like the threaded path.
 class ThreadPool {
  public:
   /// `num_threads <= 0` resolves to DefaultThreadCount().
@@ -58,10 +65,12 @@ class ThreadPool {
   void ParallelFor(size_t n,
                    const std::function<void(size_t, size_t)>& chunk);
 
-  /// Cumulative seconds this pool's workers spent inside tasks. Maintained
-  /// only while observability is active at construction (otherwise 0);
-  /// BatchRunner divides a delta of this by wall * threads to report
-  /// worker utilization.
+  /// Cumulative seconds this pool's workers spent inside tasks — including
+  /// the inline single-chunk path of ParallelFor, so small batches on a
+  /// multi-thread pool are accounted too. Maintained only while
+  /// observability is active at construction (otherwise 0); BatchRunner
+  /// divides a delta of this by wall * threads to report worker
+  /// utilization.
   double busy_seconds() const {
     return busy_seconds_.load(std::memory_order_relaxed);
   }

@@ -1,0 +1,52 @@
+#ifndef GOALEX_SERVE_REQUEST_H_
+#define GOALEX_SERVE_REQUEST_H_
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+
+#include "common/status.h"
+#include "data/schema.h"
+
+namespace goalex::serve {
+
+/// Request priority classes. Interactive requests (a user waiting on a
+/// dashboard) are always dequeued before bulk requests (corpus backfill,
+/// re-extraction jobs) and keep admission headroom under load.
+enum class Priority : uint8_t {
+  kInteractive = 0,
+  kBulk = 1,
+};
+
+inline constexpr int kPriorityCount = 2;
+
+/// "interactive" / "bulk".
+const char* PriorityName(Priority priority);
+
+/// A completed extraction as delivered to the caller: the record plus the
+/// end-to-end latency (enqueue to completion) the scheduler measured for
+/// this request, so open-loop clients can build latency distributions
+/// without timing future.get() themselves.
+struct Completion {
+  data::DetailRecord record;
+  double latency_seconds = 0.0;
+  Priority priority = Priority::kInteractive;
+};
+
+/// The caller's handle on an admitted request.
+using ResultFuture = std::future<StatusOr<Completion>>;
+
+/// One queued request. Owned by the producer until the lock-free push
+/// completes, by the scheduler thereafter; the scheduler deletes it after
+/// fulfilling the promise.
+struct Request {
+  data::Objective objective;
+  Priority priority = Priority::kInteractive;
+  std::promise<StatusOr<Completion>> promise;
+  std::chrono::steady_clock::time_point enqueue_time;
+  Request* next = nullptr;  ///< Intrusive link of the MPSC queue.
+};
+
+}  // namespace goalex::serve
+
+#endif  // GOALEX_SERVE_REQUEST_H_

@@ -1,0 +1,28 @@
+#include "serve/service.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace goalex::serve {
+
+ExtractionService::ExtractionService(const core::DetailExtractor* extractor,
+                                     const core::ServeConfig& config)
+    : extractor_(extractor) {
+  GOALEX_CHECK(extractor_ != nullptr);
+  GOALEX_CHECK_MSG(extractor_->trained(),
+                   "ExtractionService needs a trained extractor");
+  runner_ = std::make_unique<runtime::BatchRunner>(config.num_threads);
+  scheduler_ = std::make_unique<Scheduler>(
+      config,
+      [this](const std::vector<const data::Objective*>& batch) {
+        return runner_->Map<data::DetailRecord>(
+            batch.size(),
+            [this, &batch](size_t i) {
+              return extractor_->Extract(*batch[i]);
+            });
+      });
+}
+
+}  // namespace goalex::serve

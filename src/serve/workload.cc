@@ -1,0 +1,287 @@
+#include "serve/workload.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+
+namespace goalex::serve {
+namespace {
+
+/// Placeholder pools of the objective templates, scalar_bench style: a
+/// template string with {name} slots plus a named pool per slot.
+const std::map<std::string, std::vector<std::string>>& TemplatePools() {
+  static const std::map<std::string, std::vector<std::string>>* const
+      kPools = new std::map<std::string, std::vector<std::string>>{
+          {"company",
+           {"Aurora Materials", "Borealis Foods", "Cascadia Energy",
+            "Delta Logistics", "Evergreen Retail", "Fjord Shipping",
+            "Granite Construction", "Helios Chemicals"}},
+          {"action",
+           {"reduce", "cut", "lower", "decrease", "increase", "double",
+            "achieve", "reach", "eliminate", "offset"}},
+          {"metric",
+           {"CO2 emissions", "scope 1 emissions", "scope 2 emissions",
+            "energy consumption", "water usage", "waste to landfill",
+            "the share of renewable electricity", "plastic packaging",
+            "fleet fuel consumption"}},
+          {"amount",
+           {"20%", "25%", "30%", "40%", "50 percent", "1.5 Mt", "10 GWh",
+            "net zero", "1,000 tonnes", "two thirds"}},
+          {"year",
+           {"2025", "2027", "2028", "2030", "2032", "2035", "2040",
+            "2045", "2050"}},
+          {"qualifier",
+           {"across all sites", "in our supply chain",
+            "for scope 1 and 2", "globally", "in our European operations",
+            "per unit of production"}},
+          {"baseline",
+           {"from a 2015 baseline", "compared with 2019",
+            "against 2020 levels", "relative to fiscal year 2018"}},
+          {"boilerplate",
+           {"As part of our long-term ESG commitments, we report progress "
+            "annually.",
+            "Our board reviews sustainability performance every quarter.",
+            "These targets were validated by an external assurance "
+            "provider.",
+            "Stakeholder engagement informs our materiality assessment."}},
+      };
+  return *kPools;
+}
+
+const std::vector<std::string>& ShortTemplates() {
+  static const std::vector<std::string>* const kTemplates =
+      new std::vector<std::string>{
+          "{action} {metric} by {amount} by {year}",
+          "{action} {metric} to {amount} by {year}",
+          "we will {action} {metric} by {amount} by {year}",
+      };
+  return *kTemplates;
+}
+
+const std::vector<std::string>& MediumTemplates() {
+  static const std::vector<std::string>* const kTemplates =
+      new std::vector<std::string>{
+          "{company} will {action} {metric} by {amount} by {year} "
+          "{baseline}.",
+          "We commit to {action} {metric} by {amount} {qualifier} by "
+          "{year}.",
+          "By {year}, {company} aims to {action} {metric} by {amount} "
+          "{baseline}.",
+      };
+  return *kTemplates;
+}
+
+bool InBurst(double t, const TrafficConfig& config) {
+  if (config.burst_period_s <= 0.0) return false;
+  double phase = std::fmod(t, config.burst_period_s);
+  return phase < config.burst_duration_s;
+}
+
+SizeClass DrawSizeClass(const TrafficConfig& config, Rng& rng) {
+  double total = config.short_weight + config.medium_weight +
+                 config.long_weight;
+  if (total <= 0.0) return SizeClass::kShort;
+  double draw = rng.NextDouble() * total;
+  if (draw < config.short_weight) return SizeClass::kShort;
+  if (draw < config.short_weight + config.medium_weight) {
+    return SizeClass::kMedium;
+  }
+  return SizeClass::kLong;
+}
+
+}  // namespace
+
+const char* SizeClassName(SizeClass size_class) {
+  switch (size_class) {
+    case SizeClass::kShort:
+      return "short";
+    case SizeClass::kMedium:
+      return "medium";
+    case SizeClass::kLong:
+      return "long";
+  }
+  return "unknown";
+}
+
+std::string ExpandTemplate(
+    const std::string& template_text,
+    const std::map<std::string, std::vector<std::string>>& pools,
+    Rng& rng) {
+  std::string out;
+  out.reserve(template_text.size());
+  size_t i = 0;
+  while (i < template_text.size()) {
+    char c = template_text[i];
+    if (c != '{') {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    size_t close = template_text.find('}', i + 1);
+    if (close == std::string::npos) {
+      out.append(template_text, i, std::string::npos);
+      break;
+    }
+    std::string name = template_text.substr(i + 1, close - i - 1);
+    auto it = pools.find(name);
+    if (it == pools.end() || it->second.empty()) {
+      out.append(template_text, i, close - i + 1);  // Leave verbatim.
+    } else {
+      out += rng.Choose(it->second);
+    }
+    i = close + 1;
+  }
+  return out;
+}
+
+std::string TemplatedObjectiveText(SizeClass size_class, Rng& rng) {
+  const auto& pools = TemplatePools();
+  switch (size_class) {
+    case SizeClass::kShort:
+      return ExpandTemplate(rng.Choose(ShortTemplates()), pools, rng);
+    case SizeClass::kMedium:
+      return ExpandTemplate(rng.Choose(MediumTemplates()), pools, rng);
+    case SizeClass::kLong: {
+      std::string text =
+          ExpandTemplate(rng.Choose(pools.at("boilerplate")), pools, rng);
+      text += " ";
+      text += ExpandTemplate(rng.Choose(MediumTemplates()), pools, rng);
+      text += " This target applies ";
+      text += rng.Choose(pools.at("qualifier"));
+      text += ". ";
+      text += ExpandTemplate(rng.Choose(pools.at("boilerplate")), pools,
+                             rng);
+      return text;
+    }
+  }
+  return std::string();
+}
+
+std::vector<TimedRequest> GenerateTrace(const TrafficConfig& config) {
+  GOALEX_CHECK(config.rate_qps > 0.0);
+  GOALEX_CHECK(config.duration_s > 0.0);
+  Rng rng(config.seed);
+  std::vector<TimedRequest> trace;
+  trace.reserve(static_cast<size_t>(config.rate_qps * config.duration_s *
+                                    1.2) +
+                16);
+  double t = 0.0;
+  size_t index = 0;
+  for (;;) {
+    // Open-loop Poisson: exponential inter-arrival at the rate in effect
+    // at the current time (burst episodes multiply the base rate).
+    double rate = config.rate_qps *
+                  (InBurst(t, config) ? config.burst_multiplier : 1.0);
+    double u = rng.NextDouble();
+    t += -std::log1p(-u) / rate;
+    if (t >= config.duration_s) break;
+
+    TimedRequest request;
+    request.arrival_s = t;
+    request.priority = rng.NextBernoulli(config.interactive_fraction)
+                           ? Priority::kInteractive
+                           : Priority::kBulk;
+    request.size_class = DrawSizeClass(config, rng);
+    request.objective.id = "traffic-" + std::to_string(index);
+    request.objective.text = TemplatedObjectiveText(request.size_class, rng);
+    request.objective.company =
+        rng.Choose(TemplatePools().at("company"));
+    request.objective.document = "traffic_gen";
+    trace.push_back(std::move(request));
+    ++index;
+  }
+  return trace;
+}
+
+double SortedPercentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  if (rank > 0) --rank;
+  rank = std::min(rank, sorted.size() - 1);
+  return sorted[rank];
+}
+
+double ReplayResult::LatencyPercentile(double q) const {
+  return SortedPercentile(latencies_s, q);
+}
+
+double ReplayResult::InteractiveLatencyPercentile(double q) const {
+  return SortedPercentile(interactive_latencies_s, q);
+}
+
+ReplayResult ReplayTrace(Scheduler& scheduler,
+                         const std::vector<TimedRequest>& trace) {
+  using SteadyClock = std::chrono::steady_clock;
+  ReplayResult result;
+  if (trace.empty()) return result;
+
+  std::vector<ResultFuture> futures;
+  futures.reserve(trace.size());
+  uint64_t behind = 0;
+  const SteadyClock::time_point start = SteadyClock::now();
+  for (const TimedRequest& request : trace) {
+    // Open-loop: fire at the scheduled offset no matter how far behind
+    // the service is. When behind schedule, submit immediately — that is
+    // what keeps queue pressure honest — but yield periodically: on a
+    // machine with fewer cores than actors, a never-yielding producer
+    // starves the scheduler thread outright and measures its own
+    // contention instead of the service's latency.
+    const SteadyClock::time_point target =
+        start + std::chrono::duration_cast<SteadyClock::duration>(
+                    std::chrono::duration<double>(request.arrival_s));
+    if (SteadyClock::now() < target) {
+      std::this_thread::sleep_until(target);
+    } else if ((++behind & 127) == 0) {
+      std::this_thread::yield();
+    }
+    ++result.submitted;
+    StatusOr<ResultFuture> submitted =
+        scheduler.Submit(request.objective, request.priority);
+    if (!submitted.ok()) {
+      ++result.shed;
+      continue;
+    }
+    ++result.admitted;
+    futures.push_back(std::move(submitted).value());
+  }
+
+  result.latencies_s.reserve(futures.size());
+  for (ResultFuture& future : futures) {
+    StatusOr<Completion> completion = future.get();
+    if (!completion.ok()) {
+      ++result.failed;
+      continue;
+    }
+    result.latencies_s.push_back(completion->latency_seconds);
+    if (completion->priority == Priority::kInteractive) {
+      result.interactive_latencies_s.push_back(completion->latency_seconds);
+    } else {
+      result.bulk_latencies_s.push_back(completion->latency_seconds);
+    }
+  }
+  result.wall_s = std::chrono::duration<double>(SteadyClock::now() - start)
+                      .count();
+  std::sort(result.latencies_s.begin(), result.latencies_s.end());
+  std::sort(result.interactive_latencies_s.begin(),
+            result.interactive_latencies_s.end());
+  std::sort(result.bulk_latencies_s.begin(), result.bulk_latencies_s.end());
+
+  const double trace_span = trace.back().arrival_s;
+  result.offered_qps = trace_span > 0.0
+                           ? static_cast<double>(result.submitted) /
+                                 trace_span
+                           : 0.0;
+  result.completed_qps =
+      result.wall_s > 0.0
+          ? static_cast<double>(result.latencies_s.size()) / result.wall_s
+          : 0.0;
+  return result;
+}
+
+}  // namespace goalex::serve

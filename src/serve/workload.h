@@ -1,0 +1,110 @@
+#ifndef GOALEX_SERVE_WORKLOAD_H_
+#define GOALEX_SERVE_WORKLOAD_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/schema.h"
+#include "serve/request.h"
+#include "serve/scheduler.h"
+
+namespace goalex::serve {
+
+/// Request text size classes, mirroring how real reports mix one-line
+/// targets with paragraph-length objectives.
+enum class SizeClass : uint8_t {
+  kShort = 0,   ///< One clause: "reduce CO2 emissions by 30% by 2030".
+  kMedium = 1,  ///< Adds a baseline/qualifier clause.
+  kLong = 2,    ///< Adds boilerplate sentences around the objective.
+};
+
+const char* SizeClassName(SizeClass size_class);
+
+/// Configuration of the synthetic serving workload: an open-loop arrival
+/// process (requests fire at their scheduled time regardless of service
+/// progress — the only honest way to measure tail latency under load)
+/// with Poisson inter-arrivals, optional burst episodes, a request-size
+/// mix, and a priority mix.
+struct TrafficConfig {
+  double rate_qps = 200.0;   ///< Mean arrival rate outside bursts.
+  double duration_s = 2.0;   ///< Trace length in arrival time.
+  uint64_t seed = 42;
+
+  /// Burst episodes: every `burst_period_s` of trace time, the arrival
+  /// rate is multiplied by `burst_multiplier` for `burst_duration_s`.
+  /// period <= 0 disables bursts.
+  double burst_period_s = 0.0;
+  double burst_duration_s = 0.25;
+  double burst_multiplier = 4.0;
+
+  /// Fraction of requests submitted at interactive priority.
+  double interactive_fraction = 0.7;
+
+  /// Relative weights of the request-size mix.
+  double short_weight = 0.5;
+  double medium_weight = 0.35;
+  double long_weight = 0.15;
+};
+
+/// One scheduled request of a synthetic trace.
+struct TimedRequest {
+  double arrival_s = 0.0;  ///< Offset from trace start.
+  Priority priority = Priority::kInteractive;
+  SizeClass size_class = SizeClass::kShort;
+  data::Objective objective;
+};
+
+/// Expands a milvus-scalar_bench-style template: every "{name}" is
+/// replaced by a uniformly chosen entry of pools["name"]. Unknown names
+/// and unterminated braces are left verbatim.
+std::string ExpandTemplate(
+    const std::string& template_text,
+    const std::map<std::string, std::vector<std::string>>& pools, Rng& rng);
+
+/// Generates one templated objective text of the given size class.
+std::string TemplatedObjectiveText(SizeClass size_class, Rng& rng);
+
+/// Generates the full trace: arrival times (open-loop Poisson with burst
+/// episodes), priorities, size classes, and objective texts. Arrival
+/// times are strictly increasing; the trace is deterministic per config.
+std::vector<TimedRequest> GenerateTrace(const TrafficConfig& config);
+
+/// Rank-based percentile of an ascending-sorted sample; q in [0, 1],
+/// 0 when the sample is empty.
+double SortedPercentile(const std::vector<double>& sorted, double q);
+
+/// Result of replaying a trace against a scheduler.
+struct ReplayResult {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t shed = 0;
+  uint64_t failed = 0;     ///< Admitted but completed with an error.
+  double wall_s = 0.0;     ///< Submit of first request to last completion.
+  double offered_qps = 0.0;
+  double completed_qps = 0.0;
+  /// End-to-end latencies (seconds) of successful completions, sorted —
+  /// all classes together and per priority class. The split matters under
+  /// overload: bulk schedules strictly after interactive, so its tail is
+  /// unbounded by design while the interactive tail is what the SLO
+  /// protects.
+  std::vector<double> latencies_s;
+  std::vector<double> interactive_latencies_s;
+  std::vector<double> bulk_latencies_s;
+
+  double LatencyPercentile(double q) const;  ///< Over all classes.
+  double InteractiveLatencyPercentile(double q) const;
+};
+
+/// Replays `trace` open-loop against `scheduler`: a producer walks the
+/// arrival schedule submitting at (trace start + arrival_s) without ever
+/// waiting on completions, then all futures are collected. Shed requests
+/// count toward offered load but not latency.
+ReplayResult ReplayTrace(Scheduler& scheduler,
+                         const std::vector<TimedRequest>& trace);
+
+}  // namespace goalex::serve
+
+#endif  // GOALEX_SERVE_WORKLOAD_H_

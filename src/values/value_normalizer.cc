@@ -52,6 +52,22 @@ std::optional<double> ParseLeadingNumber(std::string_view text,
   return std::strtod(digits.c_str(), nullptr);
 }
 
+// Removes trailing sentence punctuation ("40 percent.", "1,000 tonnes,")
+// so values clipped from running text still normalize. '%' is meaningful
+// and is never stripped.
+std::string_view StripTrailingPunctuation(std::string_view text) {
+  while (!text.empty()) {
+    char c = text.back();
+    if (c == '.' || c == ',' || c == ';' || c == ':' || c == '!' ||
+        c == '?') {
+      text.remove_suffix(1);
+    } else {
+      break;
+    }
+  }
+  return text;
+}
+
 struct UnitSpec {
   const char* name;       // Lowercased unit token.
   AmountType type;
@@ -98,7 +114,8 @@ const char* AmountTypeName(AmountType type) {
 }
 
 std::optional<NormalizedAmount> NormalizeAmount(std::string_view raw) {
-  std::string lower = AsciiToLower(StripAsciiWhitespace(raw));
+  std::string lower(StripAsciiWhitespace(
+      StripTrailingPunctuation(AsciiToLower(StripAsciiWhitespace(raw)))));
   if (lower.empty()) return std::nullopt;
 
   // Special forms first.
@@ -176,16 +193,34 @@ std::string NormalizeAction(std::string_view raw) {
     std::string stem = head.substr(0, head.size() - 3);
     // Undo common gerund spellings: "reducing" -> "reduce" (restore 'e'),
     // "cutting" -> "cut" (drop doubled consonant), "planting" -> "plant".
-    // Words whose base form genuinely ends in a doubled consonant.
-    static const char* kKeepDoubled[] = {"install", "fulfill", "enroll"};
+    //
+    // De-doubling applies only to the consonants English actually doubles
+    // before "-ing" (CVC doubling: cut/cutting, plan/planning). A doubled
+    // vowel is never gerund doubling — "agreeing"/"seeing" keep their
+    // "ee" — and letters like 's' or 'f' that end many base forms
+    // ("press", "staff") but essentially never double are left alone.
+    // Base forms that legitimately end in a doubling consonant pair are
+    // allowlisted.
+    static const char* kKeepDoubled[] = {
+        "install", "fulfill", "enroll", "sell",  "roll",  "fall",
+        "fill",    "tell",    "call",   "spill", "smell", "drill",
+        "poll",    "add",     "err"};
     bool keep_doubled = false;
     for (const char* word : kKeepDoubled) keep_doubled |= (stem == word);
 
-    if (!keep_doubled && stem.size() >= 3 &&
-        stem[stem.size() - 1] == stem[stem.size() - 2] &&
-        !std::isdigit(static_cast<unsigned char>(stem.back()))) {
+    char last = stem.empty() ? '\0' : stem.back();
+    bool doubling_consonant = last == 'b' || last == 'd' || last == 'g' ||
+                              last == 'l' || last == 'm' || last == 'n' ||
+                              last == 'p' || last == 'r' || last == 't';
+    bool doubled_tail =
+        stem.size() >= 3 && stem[stem.size() - 1] == stem[stem.size() - 2];
+    if (!keep_doubled && doubling_consonant && doubled_tail) {
       // Gerund doubling: "cutting" -> "cutt" -> "cut".
       head = stem.substr(0, stem.size() - 1);
+    } else if (doubled_tail) {
+      // A doubled tail we chose to keep ("agree", "sell", "press") is
+      // already the base word; never run the restore-'e' heuristics on it.
+      head = stem;
     } else if (EndsWith(stem, "c") || EndsWith(stem, "v") ||
                EndsWith(stem, "u") || EndsWith(stem, "s") ||
                EndsWith(stem, "z")) {

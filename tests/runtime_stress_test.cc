@@ -191,6 +191,87 @@ TEST(BatchRunnerInstrumentationTest, DisabledRuntimeRecordsNothing) {
   EXPECT_EQ(registry.GetCounter("runtime.pool.tasks")->Value(), 0u);
 }
 
+TEST(BatchRunnerInstrumentationTest, SingleChunkRunOnMultiThreadPoolHasUtilization) {
+  // Regression: ParallelFor with a single chunk used to run it inline
+  // without busy-seconds accounting, so runtime.batch.utilization read ~0
+  // for every small batch on a multi-thread pool even though the guard
+  // (threads > 1) passed.
+  if (!obs::Active()) GTEST_SKIP() << "metrics compiled out";
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  registry.Reset();
+
+  BatchRunner runner(4);
+  runner.Map<int>(1, [](size_t) {
+    // Busy-spin ~2ms so the chunk's busy time dominates clock noise.
+    auto until = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(2);
+    while (std::chrono::steady_clock::now() < until) {
+    }
+    return 0;
+  });
+
+  double utilization =
+      registry.GetGauge("runtime.batch.utilization")->Value();
+  // One busy chunk on a 4-thread pool: utilization ~0.25. Anything
+  // strictly positive proves the inline chunk was accounted; the upper
+  // bound guards against double-counting.
+  EXPECT_GT(utilization, 0.05);
+  EXPECT_LE(utilization, 1.05);
+  // The inline chunk also shows up in the pool's task counters.
+  EXPECT_EQ(registry.GetCounter("runtime.pool.tasks")->Value(), 1u);
+  registry.Reset();
+}
+
+TEST(ThreadPoolErrorDeliveryTest, DestructorLogsAndDropsUnretrievedError) {
+  // Fire-and-forget Submit whose error is never retrieved by Wait(): the
+  // destructor must log-and-drop it, never throw or terminate.
+  {
+    ThreadPool pool(4);
+    pool.Submit([] { throw std::runtime_error("never waited on"); });
+    // No Wait(): the pool is destroyed with the captured error pending.
+  }
+  SUCCEED();
+}
+
+TEST(ThreadPoolErrorDeliveryTest, SerialInlineSubmitErrorSurfacesOnNextWait) {
+  // On a serial pool Submit runs the task inline but still returns
+  // normally when the task throws; the error is delivered by the next
+  // Wait(), exactly like the threaded path.
+  ThreadPool pool(1);
+  pool.Submit([] { throw std::invalid_argument("serial boom"); });
+  EXPECT_THROW(pool.Wait(), std::invalid_argument);
+  // The error is cleared by delivery: a second Wait is clean.
+  pool.Wait();
+  // And the pool is still usable.
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolErrorDeliveryTest, OnlyFirstErrorIsDelivered) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([] { throw std::runtime_error("task error"); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  pool.Wait();  // Later errors were not queued up behind the first.
+}
+
+TEST(ThreadPoolErrorDeliveryTest, ParallelForInlineChunkErrorPropagates) {
+  // The single-chunk inline path routes through the same capture/rethrow
+  // machinery; the exception must still reach the caller synchronously.
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(1,
+                       [](size_t, size_t) {
+                         throw std::runtime_error("inline chunk");
+                       }),
+      std::runtime_error);
+  // Cleared on delivery.
+  pool.Wait();
+}
+
 TEST(ThreadPoolStressTest, ConcurrentSubmittersAllExecute) {
   ThreadPool pool(8);
   std::atomic<int> executed{0};

@@ -41,6 +41,13 @@ TEST(StatusTest, AllErrorFactoriesProduceDistinctCodes) {
   EXPECT_EQ(UnimplementedError("").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(InternalError("").code(), StatusCode::kInternal);
   EXPECT_EQ(DataLossError("").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(ResourceExhaustedError("").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, ResourceExhaustedRendersName) {
+  EXPECT_EQ(ResourceExhaustedError("queue full").ToString(),
+            "RESOURCE_EXHAUSTED: queue full");
 }
 
 TEST(StatusOrTest, HoldsValue) {

@@ -85,6 +85,45 @@ TEST(NormalizeAmountTest, ThousandsSeparatorRequiresGroupsOfThree) {
   EXPECT_FALSE(NormalizeAmount("1,0000").has_value());
 }
 
+TEST(NormalizeAmountTest, TrailingPunctuationIsStripped) {
+  // Regression: values clipped from running text carry sentence
+  // punctuation; "40 percent." used to return nullopt because the special
+  // forms and units were matched against the raw remainder.
+  auto v = NormalizeAmount("40 percent.");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->type, AmountType::kPercent);
+  EXPECT_DOUBLE_EQ(v->magnitude, 0.40);
+
+  v = NormalizeAmount("40%.");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->type, AmountType::kPercent);
+  EXPECT_DOUBLE_EQ(v->magnitude, 0.40);
+
+  v = NormalizeAmount("30 per cent,");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->type, AmountType::kPercent);
+  EXPECT_DOUBLE_EQ(v->magnitude, 0.30);
+
+  v = NormalizeAmount("net zero.");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->type, AmountType::kNetZero);
+
+  v = NormalizeAmount("1,000 tonnes,");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->type, AmountType::kMass);
+  EXPECT_DOUBLE_EQ(v->magnitude, 1000.0 * 1000.0);  // kg
+
+  // Repeated punctuation and trailing whitespace after stripping.
+  EXPECT_DOUBLE_EQ(NormalizeAmount("double.")->magnitude, 2.0);
+  EXPECT_DOUBLE_EQ(NormalizeAmount("25 percent!?")->magnitude, 0.25);
+
+  // A bare '%' is a unit, not punctuation — it must survive stripping.
+  EXPECT_DOUBLE_EQ(NormalizeAmount("15%")->magnitude, 0.15);
+
+  // European decimals stay rejected: the comma is internal, not trailing.
+  EXPECT_FALSE(NormalizeAmount("2,5 million").has_value());
+}
+
 TEST(NormalizeAmountTest, RejectsNonQuantities) {
   EXPECT_FALSE(NormalizeAmount("").has_value());
   EXPECT_FALSE(NormalizeAmount("energy consumption").has_value());
@@ -128,6 +167,50 @@ TEST(NormalizeActionTest, GerundStemming) {
   EXPECT_EQ(NormalizeAction("offsetting"), "offset");
   EXPECT_EQ(NormalizeAction("installing"), "install");
   EXPECT_EQ(NormalizeAction("expanding"), "expand");
+}
+
+TEST(NormalizeActionTest, GerundDeDoublingKeepsLegitimateDoubledBases) {
+  // Regression: de-doubling used to strip any trailing doubled letter not
+  // on a three-word allowlist, truncating stems whose base form genuinely
+  // ends in a doubled letter ("selling" -> "sel", "agreeing" -> "agre").
+  struct Case {
+    const char* gerund;
+    const char* lemma;
+  };
+  const Case kCases[] = {
+      // Doubled vowels are never gerund doubling.
+      {"agreeing", "agree"},
+      {"seeing", "see"},
+      {"fleeing", "flee"},
+      {"freeing up", "free up"},
+      // Base forms ending in a doubled consonant (allowlisted).
+      {"selling", "sell"},
+      {"rolling out", "roll out"},
+      {"falling", "fall"},
+      {"filling", "fill"},
+      {"installing", "install"},
+      {"fulfilling", "fulfill"},
+      {"enrolling", "enroll"},
+      {"adding", "add"},
+      // Letters that never double before -ing keep their pair.
+      {"pressing", "press"},
+      {"passing", "pass"},
+      {"assessing", "assess"},
+      {"discussing", "discuss"},
+      {"addressing", "address"},
+      {"crossing", "cross"},
+      // True CVC doubling still de-doubles.
+      {"cutting", "cut"},
+      {"running", "run"},
+      {"planning", "plan"},
+      {"stopping", "stop"},
+      {"offsetting", "offset"},
+      {"committing", "commit"},
+      {"equipping", "equip"},
+  };
+  for (const Case& c : kCases) {
+    EXPECT_EQ(NormalizeAction(c.gerund), c.lemma) << c.gerund;
+  }
 }
 
 TEST(NormalizeActionTest, SameLemmaForAllSurfaceForms) {
