@@ -54,25 +54,40 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::RunTask(const std::function<void()>& task) {
-  std::chrono::steady_clock::time_point start;
-  if (task_seconds_hist_ != nullptr) start = std::chrono::steady_clock::now();
+void ThreadPool::AccountTask(std::chrono::steady_clock::time_point start) {
+  double seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  task_seconds_hist_->Observe(seconds);
+  tasks_counter_->Increment();
+  double expected = busy_seconds_.load(std::memory_order_relaxed);
+  while (!busy_seconds_.compare_exchange_weak(
+      expected, expected + seconds, std::memory_order_relaxed)) {
+  }
+}
+
+void ThreadPool::RunTimed(const std::function<void()>& task) {
+  if (task_seconds_hist_ == nullptr) {
+    task();
+    return;
+  }
+  const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
   try {
     task();
   } catch (...) {
+    AccountTask(start);
+    throw;
+  }
+  AccountTask(start);
+}
+
+void ThreadPool::RunTask(const std::function<void()>& task) {
+  try {
+    RunTimed(task);
+  } catch (...) {
     std::unique_lock<std::mutex> lock(mu_);
     if (!first_error_) first_error_ = std::current_exception();
-  }
-  if (task_seconds_hist_ != nullptr) {
-    double seconds = std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - start)
-                         .count();
-    task_seconds_hist_->Observe(seconds);
-    tasks_counter_->Increment();
-    double expected = busy_seconds_.load(std::memory_order_relaxed);
-    while (!busy_seconds_.compare_exchange_weak(
-        expected, expected + seconds, std::memory_order_relaxed)) {
-    }
   }
 }
 
@@ -128,12 +143,13 @@ void ThreadPool::ParallelFor(
   if (n == 0) return;
   size_t chunks = std::min(n, static_cast<size_t>(thread_count_));
   if (chunks <= 1) {
-    // Run the single chunk inline, but through RunTask so busy-seconds
-    // accounting (and thus BatchRunner's utilization gauge) covers
-    // single-chunk runs on multi-thread pools too; Wait() rethrows the
-    // chunk's exception exactly like the fan-out path does.
-    RunTask([&chunk, n] { chunk(0, n); });
-    Wait();
+    // Run the single chunk inline with busy-seconds accounting (so
+    // BatchRunner's utilization gauge covers single-chunk runs on
+    // multi-thread pools) but without touching Wait()/first_error_: the
+    // caller must not stall behind unrelated in-flight Submit() work or
+    // receive an earlier unrelated task's exception — only the chunk's
+    // own exception propagates.
+    RunTimed([&chunk, n] { chunk(0, n); });
     return;
   }
   // Static chunking: contiguous ranges of size n/chunks, the first

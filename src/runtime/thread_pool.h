@@ -2,6 +2,7 @@
 #define GOALEX_RUNTIME_THREAD_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -62,6 +63,11 @@ class ThreadPool {
   /// most thread_count() contiguous ranges and blocks until all complete.
   /// Rethrows the first exception thrown by any chunk. Not reentrant: do
   /// not call ParallelFor from inside a task running on this pool.
+  ///
+  /// When the partition resolves to a single chunk it runs inline on the
+  /// calling thread without synchronizing with the pool: it neither waits
+  /// for unrelated in-flight Submit() tasks nor consumes their captured
+  /// errors — only the chunk's own exception propagates, directly.
   void ParallelFor(size_t n,
                    const std::function<void(size_t, size_t)>& chunk);
 
@@ -77,7 +83,13 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
+  /// Runs `task` with timing/busy-seconds accounting; exceptions (still
+  /// accounted) propagate to the caller.
+  void RunTimed(const std::function<void()>& task);
+  /// RunTimed, but captures the first exception into first_error_ for
+  /// delivery by the next Wait() instead of propagating.
   void RunTask(const std::function<void()>& task);
+  void AccountTask(std::chrono::steady_clock::time_point start);
 
   int thread_count_ = 1;
   std::vector<std::thread> workers_;

@@ -166,15 +166,23 @@ void Scheduler::Loop() {
   const size_t max_batch = static_cast<size_t>(config_.max_batch_size);
   for (;;) {
     queue_.Drain();
-    const size_t ready = queue_.ready_size();
     bool stopping;
     {
       std::lock_guard<std::mutex> lock(wake_mu_);
       stopping = stop_;
     }
+    if (stopping) {
+      // A Submit may have pushed between the drain above and the stop_
+      // read. Stop() sets stop_ only after every in-flight Submit's push
+      // has landed, so one more drain — strictly after observing stop_ —
+      // is guaranteed to see every request that will ever exist; exit
+      // only when it leaves nothing behind.
+      queue_.Drain();
+      if (queue_.ready_size() == 0) break;
+    }
+    const size_t ready = queue_.ready_size();
 
     if (ready == 0) {
-      if (stopping) break;  // Nothing pending and no new pushes can land.
       std::unique_lock<std::mutex> lock(wake_mu_);
       wake_cv_.wait(lock, [this] { return wake_signal_ || stop_; });
       wake_signal_ = false;
@@ -243,8 +251,13 @@ void Scheduler::RunBatch(std::vector<Request*>& batch, CloseTrigger trigger) {
   }
 
   const SteadyClock::time_point batch_end = SteadyClock::now();
-  admission_.ObserveBatch(SecondsBetween(batch_start, batch_end),
-                          batch.size());
+  // Only successful batches feed the service-time EMA: a fast-failing
+  // handler would otherwise drive the estimate toward zero and disable
+  // delay-based shedding exactly while the service is erroring.
+  if (failure.ok()) {
+    admission_.ObserveBatch(SecondsBetween(batch_start, batch_end),
+                            batch.size());
+  }
 
   // All accounting lands before any promise is fulfilled, so stats() read
   // after a future resolves already reflects that request's batch.

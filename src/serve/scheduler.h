@@ -35,8 +35,10 @@ class AdmissionController {
   /// Decides admission for a request seeing `queue_depth` waiters.
   Status Admit(size_t queue_depth, Priority priority) const;
 
-  /// Scheduler feedback: folds a completed batch into the service-time
-  /// EMA (seconds per request).
+  /// Scheduler feedback: folds a successfully completed batch into the
+  /// service-time EMA (seconds per request). The scheduler does not call
+  /// this for failed batches — error-path timings would drag the estimate
+  /// toward zero and disable delay-based shedding during an outage.
   void ObserveBatch(double batch_seconds, size_t batch_size);
 
   /// Current per-request service-time estimate (0 until the first batch).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <thread>
 #include <utility>
 
@@ -176,8 +177,19 @@ std::vector<TimedRequest> GenerateTrace(const TrafficConfig& config) {
     // at the current time (burst episodes multiply the base rate).
     double rate = config.rate_qps *
                   (InBurst(t, config) ? config.burst_multiplier : 1.0);
-    double u = rng.NextDouble();
-    t += -std::log1p(-u) / rate;
+    // Draw u from (0, 1): u == 0 would give a zero inter-arrival gap and
+    // break the strictly-increasing arrival guarantee.
+    double u;
+    do {
+      u = rng.NextDouble();
+    } while (u == 0.0);
+    double next = t + -std::log1p(-u) / rate;
+    // A gap below one ulp of t would still collapse two arrivals; nudge
+    // forward so the strict ordering holds even then.
+    if (!(next > t)) {
+      next = std::nextafter(t, std::numeric_limits<double>::infinity());
+    }
+    t = next;
     if (t >= config.duration_s) break;
 
     TimedRequest request;

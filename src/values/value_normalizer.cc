@@ -199,22 +199,36 @@ std::string NormalizeAction(std::string_view raw) {
     // vowel is never gerund doubling — "agreeing"/"seeing" keep their
     // "ee" — and letters like 's' or 'f' that end many base forms
     // ("press", "staff") but essentially never double are left alone.
-    // Base forms that legitimately end in a doubling consonant pair are
-    // allowlisted.
-    static const char* kKeepDoubled[] = {
-        "install", "fulfill", "enroll", "sell",  "roll",  "fall",
-        "fill",    "tell",    "call",   "spill", "smell", "drill",
-        "poll",    "add",     "err"};
-    bool keep_doubled = false;
-    for (const char* word : kKeepDoubled) keep_doubled |= (stem == word);
-
+    //
+    // 'l' is the inverted case: base verbs ending in "-ll" vastly
+    // outnumber single-'l' verbs that double (sell, pull, kill, fill,
+    // call, roll, ...), so "-ll" stems keep the pair by default and only
+    // the known doubling bases — CVC stress doubling (control, compel,
+    // propel) and British-style '-l' doubling (travel, label, model) —
+    // are de-doubled. For the other doubling consonants the default is
+    // reversed: de-double unless the stem is one of the few base forms
+    // that genuinely end doubled ("add", "err", "ebb", ...).
     char last = stem.empty() ? '\0' : stem.back();
-    bool doubling_consonant = last == 'b' || last == 'd' || last == 'g' ||
-                              last == 'l' || last == 'm' || last == 'n' ||
-                              last == 'p' || last == 'r' || last == 't';
     bool doubled_tail =
         stem.size() >= 3 && stem[stem.size() - 1] == stem[stem.size() - 2];
-    if (!keep_doubled && doubling_consonant && doubled_tail) {
+    bool de_double = false;
+    if (doubled_tail && last == 'l') {
+      static const char* kDeDoubleL[] = {
+          "controll", "compell", "propell", "repell",  "expell",
+          "excell",   "patroll", "extoll",  "fuell",   "modell",
+          "labell",   "travell", "cancell", "levell",  "signall",
+          "totall",   "equall",  "rivall",  "channell"};
+      for (const char* word : kDeDoubleL) de_double |= (stem == word);
+    } else if (doubled_tail &&
+               (last == 'b' || last == 'd' || last == 'g' || last == 'm' ||
+                last == 'n' || last == 'p' || last == 'r' || last == 't')) {
+      static const char* kKeepDoubled[] = {"add",  "err",  "ebb",
+                                           "egg",  "purr", "putt"};
+      bool keep_doubled = false;
+      for (const char* word : kKeepDoubled) keep_doubled |= (stem == word);
+      de_double = !keep_doubled;
+    }
+    if (de_double) {
       // Gerund doubling: "cutting" -> "cutt" -> "cut".
       head = stem.substr(0, stem.size() - 1);
     } else if (doubled_tail) {

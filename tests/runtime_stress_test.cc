@@ -259,8 +259,8 @@ TEST(ThreadPoolErrorDeliveryTest, OnlyFirstErrorIsDelivered) {
 }
 
 TEST(ThreadPoolErrorDeliveryTest, ParallelForInlineChunkErrorPropagates) {
-  // The single-chunk inline path routes through the same capture/rethrow
-  // machinery; the exception must still reach the caller synchronously.
+  // The single-chunk inline path propagates the chunk's own exception
+  // directly to the caller, without parking it in first_error_.
   ThreadPool pool(4);
   EXPECT_THROW(
       pool.ParallelFor(1,
@@ -268,8 +268,23 @@ TEST(ThreadPoolErrorDeliveryTest, ParallelForInlineChunkErrorPropagates) {
                          throw std::runtime_error("inline chunk");
                        }),
       std::runtime_error);
-  // Cleared on delivery.
+  // Nothing was captured: the next Wait() is clean.
   pool.Wait();
+}
+
+TEST(ThreadPoolErrorDeliveryTest, SingleChunkParallelForIgnoresUnrelatedErrors) {
+  // Regression: the single-chunk path used to route through Wait(), which
+  // both stalled behind unrelated in-flight Submit() work and rethrew an
+  // earlier unrelated task's captured error as if the chunk had failed.
+  ThreadPool pool(4);
+  pool.Submit([] { throw std::runtime_error("unrelated"); });
+  // Whether or not the unrelated error has been captured yet, a clean
+  // chunk must return normally...
+  std::atomic<bool> ran{false};
+  pool.ParallelFor(1, [&ran](size_t, size_t) { ran = true; });
+  EXPECT_TRUE(ran.load());
+  // ...and the unrelated error is still delivered by the next Wait().
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
 }
 
 TEST(ThreadPoolStressTest, ConcurrentSubmittersAllExecute) {

@@ -460,6 +460,51 @@ TEST(SchedulerTest, StopDrainsInFlightAndQueuedRequests) {
   EXPECT_EQ(scheduler.stats().rejected, 1u);
 }
 
+TEST(SchedulerTest, StopRacingSubmitNeverAbandonsAdmittedFutures) {
+  // Regression: the scheduler loop used to read stop_ only after its
+  // queue drain, so a Submit pushing in the window between the two could
+  // be left in the queue when the loop exited — destroying the request
+  // with its promise unfulfilled (future.get() then throws
+  // broken_promise). Hammer the Stop/Submit race; every admitted future
+  // must resolve.
+  for (int round = 0; round < 50; ++round) {
+    core::ServeConfig config = FastConfig();
+    config.batch_deadline_ms = 0.1;
+    Scheduler scheduler(config, EchoHandler(nullptr));
+
+    std::vector<ResultFuture> admitted;
+    std::thread producer([&scheduler, &admitted] {
+      for (int i = 0;; ++i) {
+        StatusOr<ResultFuture> submitted =
+            scheduler.Submit(MakeObjective("r" + std::to_string(i)));
+        if (!submitted.ok()) {
+          if (submitted.status().code() ==
+              StatusCode::kResourceExhausted) {
+            continue;  // Shed under load; keep hammering.
+          }
+          EXPECT_EQ(submitted.status().code(),
+                    StatusCode::kFailedPrecondition)
+              << submitted.status();
+          return;
+        }
+        admitted.push_back(std::move(submitted).value());
+      }
+    });
+    // Stop while the producer is mid-stream, at a varying offset so the
+    // race window is sampled at different queue states.
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(50 * (round % 5)));
+    scheduler.Stop();
+    producer.join();
+
+    for (ResultFuture& future : admitted) {
+      StatusOr<Completion> completion = future.get();  // Must not throw.
+      EXPECT_TRUE(completion.ok()) << completion.status();
+    }
+    EXPECT_EQ(scheduler.stats().completed, admitted.size());
+  }
+}
+
 TEST(SchedulerTest, StopIsIdempotentAndDestructorIsClean) {
   Scheduler scheduler(FastConfig(), EchoHandler(nullptr));
   EXPECT_TRUE(scheduler.Submit(MakeObjective("x")).value().get().ok());
@@ -490,6 +535,36 @@ TEST(SchedulerTest, HandlerExceptionFailsTheBatchNotTheService) {
   ServeStats stats = scheduler.stats();
   EXPECT_EQ(stats.failed, 1u);
   EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(SchedulerTest, FailedBatchesDoNotFeedTheServiceTimeEma) {
+  // A fast-failing handler must not drag the service-time estimate toward
+  // zero — that would disable delay-based shedding exactly while the
+  // service is erroring. With no successful batch the estimate stays
+  // unset; a later success seeds it.
+  core::ServeConfig config = FastConfig();
+  config.max_batch_size = 1;
+  std::atomic<int> calls{0};
+  Scheduler scheduler(
+      config, [&calls](const std::vector<const data::Objective*>& batch)
+                  -> std::vector<data::DetailRecord> {
+        if (calls.fetch_add(1) < 3) throw std::runtime_error("outage");
+        // Measurable service time so the EMA seed is strictly positive.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return std::vector<data::DetailRecord>(batch.size());
+      });
+
+  for (int i = 0; i < 3; ++i) {
+    StatusOr<Completion> failed =
+        scheduler.Submit(MakeObjective("f" + std::to_string(i)))
+            .value()
+            .get();
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(scheduler.admission().EstimatedServiceSeconds(), 0.0);
+  }
+
+  EXPECT_TRUE(scheduler.Submit(MakeObjective("ok")).value().get().ok());
+  EXPECT_GT(scheduler.admission().EstimatedServiceSeconds(), 0.0);
 }
 
 TEST(SchedulerTest, ConcurrentProducersAreRaceFree) {

@@ -183,7 +183,8 @@ TEST(NormalizeActionTest, GerundDeDoublingKeepsLegitimateDoubledBases) {
       {"seeing", "see"},
       {"fleeing", "flee"},
       {"freeing up", "free up"},
-      // Base forms ending in a doubled consonant (allowlisted).
+      // Base forms ending in "-ll" keep the pair by default — no
+      // allowlist enumeration required.
       {"selling", "sell"},
       {"rolling out", "roll out"},
       {"falling", "fall"},
@@ -191,7 +192,29 @@ TEST(NormalizeActionTest, GerundDeDoublingKeepsLegitimateDoubledBases) {
       {"installing", "install"},
       {"fulfilling", "fulfill"},
       {"enrolling", "enroll"},
+      {"pulling", "pull"},
+      {"killing", "kill"},
+      {"willing", "will"},
+      {"chilling", "chill"},
+      {"grilling", "grill"},
+      {"billing", "bill"},
+      {"milling", "mill"},
+      {"scrolling", "scroll"},
+      {"spelling", "spell"},
+      {"drilling", "drill"},
+      {"recalling", "recall"},
+      // ...while known single-'l' bases that double still de-double.
+      {"controlling", "control"},
+      {"compelling", "compel"},
+      {"propelling", "propel"},
+      {"expelling", "expel"},
+      {"travelling", "travel"},
+      {"labelling", "label"},
+      {"modelling", "model"},
+      {"cancelling", "cancel"},
+      // Non-'l' base forms that genuinely end doubled (allowlisted).
       {"adding", "add"},
+      {"erring", "err"},
       // Letters that never double before -ing keep their pair.
       {"pressing", "press"},
       {"passing", "pass"},
