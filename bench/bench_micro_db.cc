@@ -1,16 +1,22 @@
 // Microbenchmark of the sharded ObjectiveDatabase serving store: bulk
 // insert throughput at 1/2/4/8 writer threads, mixed concurrent
-// insert+query throughput, and indexed queries vs. the seed-era full-scan
-// path on a >=100k-row synthetic database. Indexed results are
-// cross-checked against the scans before any timing is reported, and one
-// machine-readable JSON row per configuration lets CI track the numbers.
+// insert+query throughput, indexed queries vs. the seed-era full-scan path
+// on a >=100k-row synthetic database, and the storage engine's cold-start
+// story: loading an mmap'ed v2 segment snapshot vs. fully deserializing
+// the legacy v1 single-file snapshot (1M rows; --smoke drops to 120k and
+// relaxes the speedup gate so CI can run it on every push). Indexed and
+// QueryText results are cross-checked against the scans before any timing
+// is reported, and one machine-readable JSON row per configuration lets CI
+// track the numbers.
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <optional>
 #include <random>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench/harness.h"
@@ -20,6 +26,7 @@
 #include "eval/table.h"
 #include "eval/timer.h"
 #include "runtime/thread_pool.h"
+#include "storage/segment.h"
 #include "values/value_normalizer.h"
 
 namespace goalex::bench {
@@ -37,11 +44,11 @@ struct SyntheticRow {
 /// Deterministic synthetic fleet: ~40 companies, half the rows carry a
 /// Deadline, a third carry an Amount drawn from a small value pool (so
 /// WhereFieldEquals has selective hits).
-std::vector<SyntheticRow> MakeRows() {
+std::vector<SyntheticRow> MakeRows(size_t count) {
   std::mt19937_64 rng(20260806);
   std::vector<SyntheticRow> rows;
-  rows.reserve(kRows);
-  for (size_t i = 0; i < kRows; ++i) {
+  rows.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
     SyntheticRow row;
     row.company = "Company" + std::to_string(rng() % kCompanies);
     row.page = static_cast<int>(rng() % 200);
@@ -88,15 +95,17 @@ std::vector<core::DbRow> FullScan(const std::vector<core::DbRow>& snapshot,
   return hits;
 }
 
-void Run() {
-  std::printf("Microbenchmark: sharded ObjectiveDatabase serving store\n");
+void Run(bool smoke) {
+  std::printf("Microbenchmark: sharded ObjectiveDatabase serving store%s\n",
+              smoke ? " (smoke)" : "");
   std::printf("%zu synthetic rows, %d companies, %d shards\n\n", kRows,
               kCompanies, core::ObjectiveDatabase::kDefaultShards);
-  std::vector<SyntheticRow> rows = MakeRows();
+  std::vector<SyntheticRow> rows = MakeRows(kRows);
 
   // --- 1. Bulk insert throughput by writer-thread count. -----------------
   eval::TextTable insert_table({"Writers", "Seconds", "Inserts/s"});
-  for (int threads : {1, 2, 4, 8}) {
+  for (int threads : smoke ? std::vector<int>{1, 4}
+                           : std::vector<int>{1, 2, 4, 8}) {
     core::ObjectiveDatabase db;
     double seconds = InsertAll(&db, rows, threads);
     GOALEX_CHECK(db.size() == kRows);
@@ -270,13 +279,129 @@ void Run() {
         speedup);
   }
   std::printf("\n%s\n", query_table.Render().c_str());
+
+  // --- 4. Cold start: mmap'ed v2 segments vs legacy full deserialize. ----
+  {
+    const size_t persist_rows = smoke ? kRows : 1000000;
+    std::string legacy_dir = (std::filesystem::temp_directory_path() /
+                              "goalex_bench_db_legacy")
+                                 .string();
+    std::string v2_dir = (std::filesystem::temp_directory_path() /
+                          "goalex_bench_db_v2")
+                             .string();
+    std::filesystem::remove_all(legacy_dir);
+    std::filesystem::remove_all(v2_dir);
+    {
+      // Build and snapshot in a scope so the source store's memory is
+      // returned before the cold-start loads are timed.
+      std::vector<SyntheticRow> persist =
+          persist_rows == kRows ? std::move(rows) : MakeRows(persist_rows);
+      core::ObjectiveDatabase source;
+      InsertAll(&source, persist, 4);
+      GOALEX_CHECK(source.SaveLegacy(legacy_dir).ok());
+      GOALEX_CHECK(source.Save(v2_dir).ok());
+    }
+
+    double legacy_seconds = 0.0;
+    std::map<std::string, int64_t> legacy_counts;
+    {
+      core::ObjectiveDatabase cold;
+      eval::Timer timer;
+      GOALEX_CHECK(cold.Load(legacy_dir).ok());
+      legacy_seconds = timer.Seconds();
+      GOALEX_CHECK(cold.size() == persist_rows);
+      legacy_counts = cold.CountPerCompany();
+    }
+    core::ObjectiveDatabase mapped;
+    double mmap_seconds = 0.0;
+    {
+      eval::Timer timer;
+      GOALEX_CHECK(mapped.Load(v2_dir).ok());
+      mmap_seconds = timer.Seconds();
+    }
+    GOALEX_CHECK(mapped.size() == persist_rows);
+    GOALEX_CHECK(mapped.CountPerCompany() == legacy_counts);
+    double speedup = legacy_seconds / mmap_seconds;
+    std::printf(
+        "cold start at %zu rows: legacy deserialize %.3f s, mmap %.3f s "
+        "(%.1fx)\n",
+        persist_rows, legacy_seconds, mmap_seconds, speedup);
+    std::printf(
+        "{\"bench\":\"micro_db\",\"mode\":\"cold_start\",\"rows\":%zu,"
+        "\"legacy_seconds\":%.6f,\"mmap_seconds\":%.6f,\"speedup\":%.2f}\n",
+        persist_rows, legacy_seconds, mmap_seconds, speedup);
+    // CI gate: the mmap path regressing to within 3x (10x at full scale)
+    // of a row-by-row rebuild means the cold-start story is broken.
+    double required = smoke ? 3.0 : 10.0;
+    GOALEX_CHECK_MSG(speedup >= required,
+                     "mmap cold start regressed vs full deserialize");
+
+    // QueryText on the mmap'ed store vs an honest full scan that
+    // re-derives each row's term set the way the index does.
+    const std::string term = "2031";
+    size_t indexed_hits = 0;
+    constexpr int kTextReps = 5;
+    eval::Timer indexed_timer;
+    for (int rep = 0; rep < kTextReps; ++rep) {
+      indexed_hits = mapped.QueryText(term, core::TextFilter{}).size();
+    }
+    double indexed_seconds = indexed_timer.Seconds() / kTextReps;
+
+    std::vector<core::DbRow> snapshot = mapped.SnapshotRows();
+    size_t scan_hits = 0;
+    eval::Timer scan_timer;
+    for (const core::DbRow& row : snapshot) {
+      bool hit = false;
+      for (const std::string& token :
+           storage::TextIndexTerms(row.record.objective_text)) {
+        if (token == term) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) {
+        for (const auto& [kind, value] : row.record.fields) {
+          if (value.empty() || hit) continue;
+          for (const std::string& token : storage::TextIndexTerms(value)) {
+            if (token == term) {
+              hit = true;
+              break;
+            }
+          }
+        }
+      }
+      if (hit) ++scan_hits;
+    }
+    double scan_seconds = scan_timer.Seconds();
+    GOALEX_CHECK_MSG(indexed_hits == scan_hits, "QueryText parity");
+    GOALEX_CHECK(indexed_hits > 0);
+    double text_speedup = scan_seconds / indexed_seconds;
+    std::printf(
+        "QueryText(\"%s\"): %zu hits, indexed %.1f us vs scan %.1f ms "
+        "(%.0fx)\n",
+        term.c_str(), indexed_hits, indexed_seconds * 1e6,
+        scan_seconds * 1e3, text_speedup);
+    std::printf(
+        "{\"bench\":\"micro_db\",\"mode\":\"query_text\",\"rows\":%zu,"
+        "\"hits\":%zu,\"indexed_seconds\":%.9f,\"scan_seconds\":%.9f,"
+        "\"speedup\":%.2f}\n\n",
+        persist_rows, indexed_hits, indexed_seconds, scan_seconds,
+        text_speedup);
+
+    std::filesystem::remove_all(legacy_dir);
+    std::filesystem::remove_all(v2_dir);
+  }
   EmitMetricsSnapshot("db microbenchmark");
 }
 
 }  // namespace
 }  // namespace goalex::bench
 
-int main() {
-  goalex::bench::Run();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") smoke = true;
+  }
+  goalex::bench::Run(smoke);
   return 0;
 }

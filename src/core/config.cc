@@ -191,6 +191,10 @@ Status ServeConfig::Validate() const {
     return InvalidArgumentError(
         "serve: service_time_ema_alpha must be in (0, 1]");
   }
+  if (db_wal_fsync_interval < 0) {
+    return InvalidArgumentError(
+        "serve: db_wal_fsync_interval must be >= 0");
+  }
   return Status::Ok();
 }
 

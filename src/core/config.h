@@ -160,6 +160,13 @@ struct ServeConfig {
   /// (0, 1]; higher adapts faster, lower rides out bursts.
   double service_time_ema_alpha = 0.2;
 
+  /// WAL durability policy of the result database when the service runs
+  /// against an attached (Open()ed) ObjectiveDatabase — forwarded to
+  /// DbOptions::wal_fsync_interval. 1 fsyncs every record (crash-safe
+  /// default), N > 1 every N-th record (bounded loss window, higher
+  /// ingest throughput), 0 never (the OS decides when to flush).
+  int32_t db_wal_fsync_interval = 1;
+
   /// Effective queue-delay bound in seconds (resolves the <= 0 default).
   double EffectiveQueueDelaySeconds() const {
     double ms = max_queue_delay_ms > 0.0 ? max_queue_delay_ms

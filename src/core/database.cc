@@ -5,11 +5,12 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
-#include <mutex>
+#include <limits>
 #include <sstream>
+#include <utility>
 
 #include "obs/scope.h"
-#include "values/value_normalizer.h"
+#include "storage/row.h"
 
 namespace goalex::core {
 namespace {
@@ -29,25 +30,15 @@ std::string CsvEscape(const std::string& raw) {
   return out;
 }
 
-/// The deadline field of a record under either schema (Sustainability
-/// Goals "Deadline", NetZeroFacts "TargetYear"), normalized to a calendar
-/// year for the year index.
-std::optional<int> DeadlineYearOf(const data::DetailRecord& record) {
-  std::string value = record.FieldOrEmpty("Deadline");
-  if (value.empty()) value = record.FieldOrEmpty("TargetYear");
-  if (value.empty()) return std::nullopt;
-  return values::NormalizeYear(value);
-}
-
 void SortByRowId(std::vector<DbRow>* rows) {
   std::sort(rows->begin(), rows->end(),
             [](const DbRow& a, const DbRow& b) { return a.row_id < b.row_id; });
 }
 
-// --- Binary snapshot encoding (Save/Load) ---------------------------------
+// --- Legacy v1 binary snapshot (SaveLegacy / LoadLegacyFile) ---------------
 
 constexpr char kMagic[8] = {'G', 'O', 'A', 'L', 'E', 'X', 'D', 'B'};
-constexpr uint32_t kFormatVersion = 1;
+constexpr uint32_t kLegacyFormatVersion = 1;
 constexpr uint64_t kMaxStringBytes = uint64_t{1} << 30;
 
 void WriteU32(std::ostream& out, uint32_t v) {
@@ -99,61 +90,232 @@ std::string SnapshotPath(const std::string& dir) {
   return (std::filesystem::path(dir) / "objectives.db").string();
 }
 
+std::string SegmentFileName(size_t shard_index, uint64_t sequence) {
+  return "seg-" + std::to_string(shard_index) + "-" +
+         std::to_string(sequence) + ".gxseg";
+}
+
+std::string WalFileName(size_t shard_index) {
+  return "wal-" + std::to_string(shard_index) + ".log";
+}
+
+/// The WAL framing overhead per record: [u32 crc][u32 len].
+constexpr uint64_t kWalRecordHeaderBytes = 8;
+
+// --- QueryText helpers -----------------------------------------------------
+
+struct ParsedTextQuery {
+  /// Distinct terms, all of which must appear in a matching row.
+  std::vector<std::string> terms;
+  /// Multi-term phrases that must additionally appear contiguously.
+  std::vector<std::vector<std::string>> phrases;
+};
+
+/// Splits `query` into bare terms and "quoted phrases". Phrase terms also
+/// join the AND term set (the index prunes candidates; contiguity is
+/// checked on the materialized row). An unterminated quote runs to the end
+/// of the query.
+ParsedTextQuery ParseTextQuery(const std::string& query) {
+  ParsedTextQuery parsed;
+  std::string bare;
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t open = query.find('"', pos);
+    if (open == std::string::npos) {
+      bare.append(query, pos, query.size() - pos);
+      break;
+    }
+    bare.append(query, pos, open - pos);
+    bare.push_back(' ');
+    size_t close = query.find('"', open + 1);
+    std::string inside = close == std::string::npos
+                             ? query.substr(open + 1)
+                             : query.substr(open + 1, close - open - 1);
+    std::vector<std::string> terms = storage::TextIndexTerms(inside);
+    for (const std::string& term : terms) parsed.terms.push_back(term);
+    if (terms.size() > 1) parsed.phrases.push_back(std::move(terms));
+    pos = close == std::string::npos ? query.size() : close + 1;
+  }
+  for (std::string& term : storage::TextIndexTerms(bare)) {
+    parsed.terms.push_back(std::move(term));
+  }
+  std::sort(parsed.terms.begin(), parsed.terms.end());
+  parsed.terms.erase(std::unique(parsed.terms.begin(), parsed.terms.end()),
+                     parsed.terms.end());
+  return parsed;
+}
+
+/// True when every phrase appears contiguously in the row's objective text
+/// or in one of its non-empty field values.
+bool RowMatchesPhrases(const DbRow& row,
+                       const std::vector<std::vector<std::string>>& phrases) {
+  for (const std::vector<std::string>& phrase : phrases) {
+    if (storage::ContainsPhrase(row.record.objective_text, phrase)) continue;
+    bool matched = false;
+    for (const auto& [kind, value] : row.record.fields) {
+      if (!value.empty() && storage::ContainsPhrase(value, phrase)) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+/// Intersects a sorted candidate vector with a sorted posting list.
+std::vector<uint32_t> IntersectWithView(const std::vector<uint32_t>& a,
+                                        const storage::PostingsView& b) {
+  std::vector<uint32_t> out;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    uint32_t x = a[i], y = b.At(j);
+    if (x == y) {
+      out.push_back(x);
+      ++i;
+      ++j;
+    } else if (x < y) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<T> IntersectSorted(const std::vector<T>& a,
+                               const std::vector<T>& b) {
+  std::vector<T> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+/// Year bounds for a deadline filter, clamped to values YearKey encodes
+/// losslessly (NormalizeYear never leaves this range).
+constexpr int kMinFilterYear = -1000000;
+constexpr int kMaxFilterYear = 1000000;
+
 }  // namespace
 
-ObjectiveDatabase::ObjectiveDatabase(int num_shards) {
-  if (num_shards < 1) num_shards = 1;
-  shards_.reserve(static_cast<size_t>(num_shards));
-  for (int i = 0; i < num_shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
-  }
+void ObjectiveDatabase::Growing::Clear() {
+  rows.clear();
+  by_company.clear();
+  by_field.clear();
+  by_field_value.clear();
+  by_deadline_year.clear();
+  by_term.clear();
+  field_count_by_company.clear();
+}
+
+ObjectiveDatabase::ObjectiveDatabase(int num_shards, DbOptions options)
+    : options_(options),
+      env_(options.env != nullptr ? options.env : storage::Env::Default()) {
   if (obs::Active()) {
     obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
     insert_seconds_ = registry.GetLatencyHistogram("db.insert.seconds");
     query_seconds_ = registry.GetLatencyHistogram("db.query.seconds");
+    mmap_load_seconds_ = registry.GetLatencyHistogram("db.mmap_load.seconds");
     insert_counter_ = registry.GetCounter("db.inserts");
     query_counter_ = registry.GetCounter("db.queries");
+    wal_append_counter_ = registry.GetCounter("db.wal.appends");
+    wal_error_counter_ = registry.GetCounter("db.wal.errors");
+    wal_replayed_counter_ = registry.GetCounter("db.wal.replayed_records");
+    wal_truncated_bytes_counter_ =
+        registry.GetCounter("db.wal.truncated_bytes");
+    seal_counter_ = registry.GetCounter("db.segment.seals");
+    seal_error_counter_ = registry.GetCounter("db.segment.seal_errors");
     rows_gauge_ = registry.GetGauge("db.rows");
     rows_per_shard_gauge_ = registry.GetGauge("db.rows_per_shard");
-    registry.GetGauge("db.shards")->Set(static_cast<double>(num_shards));
+    segments_gauge_ = registry.GetGauge("db.segments");
+  }
+  ResetShards(num_shards);
+}
+
+ObjectiveDatabase::~ObjectiveDatabase() { StopSealer(); }
+
+void ObjectiveDatabase::ResetShards(int count) {
+  if (count < 1) count = 1;
+  std::vector<std::unique_ptr<Shard>> fresh;
+  fresh.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) fresh.push_back(std::make_unique<Shard>());
+  shards_.swap(fresh);
+  size_.store(0, std::memory_order_release);
+  next_id_.store(0, std::memory_order_relaxed);
+  if (obs::Active()) {
+    obs::MetricsRegistry::Default().GetGauge("db.shards")->Set(
+        static_cast<double>(count));
   }
 }
 
-ObjectiveDatabase::Shard& ObjectiveDatabase::ShardFor(
-    const std::string& company) {
-  return *shards_[std::hash<std::string>{}(company) % shards_.size()];
+size_t ObjectiveDatabase::ShardIndexFor(const std::string& company) const {
+  return std::hash<std::string>{}(company) % shards_.size();
 }
 
-const ObjectiveDatabase::Shard& ObjectiveDatabase::ShardFor(
-    const std::string& company) const {
-  return *shards_[std::hash<std::string>{}(company) % shards_.size()];
-}
-
-void ObjectiveDatabase::AppendLocked(Shard& shard, DbRow row) {
-  size_t index = shard.rows.size();
-  shard.by_company[row.company].push_back(index);
+void ObjectiveDatabase::IndexGrowingRowLocked(Growing& growing,
+                                              const DbRow& row,
+                                              size_t ordinal) {
+  growing.by_company[row.company].push_back(ordinal);
   for (const auto& [kind, value] : row.record.fields) {
     if (value.empty()) continue;
-    shard.by_field[kind].push_back(index);
-    shard.by_field_value[kind][value].push_back(index);
-    ++shard.field_count_by_company[row.company][kind];
+    growing.by_field[kind].push_back(ordinal);
+    growing.by_field_value[kind][value].push_back(ordinal);
+    ++growing.field_count_by_company[row.company][kind];
   }
-  if (std::optional<int> year = DeadlineYearOf(row.record)) {
-    shard.by_deadline_year[*year].push_back(index);
+  if (std::optional<int> year = storage::DeadlineYearOfRecord(row.record)) {
+    growing.by_deadline_year[*year].push_back(ordinal);
   }
-  shard.rows.push_back(std::move(row));
+  // Text index: distinct terms of the objective text plus every non-empty
+  // field value — the same term set SegmentBuilder freezes at seal time.
+  std::set<std::string> terms;
+  for (std::string& term :
+       storage::TextIndexTerms(row.record.objective_text)) {
+    terms.insert(std::move(term));
+  }
+  for (const auto& [kind, value] : row.record.fields) {
+    if (value.empty()) continue;
+    for (std::string& term : storage::TextIndexTerms(value)) {
+      terms.insert(std::move(term));
+    }
+  }
+  for (const std::string& term : terms) {
+    growing.by_term[term].push_back(ordinal);
+  }
+}
+
+void ObjectiveDatabase::AppendGrowingLocked(Shard& shard, DbRow row) {
+  IndexGrowingRowLocked(shard.growing, row, shard.growing.rows.size());
+  shard.growing.rows.push_back(std::move(row));
+}
+
+void ObjectiveDatabase::RebuildGrowingLocked(Shard& shard) {
+  Growing& growing = shard.growing;
+  growing.by_company.clear();
+  growing.by_field.clear();
+  growing.by_field_value.clear();
+  growing.by_deadline_year.clear();
+  growing.by_term.clear();
+  growing.field_count_by_company.clear();
+  size_t ordinal = 0;
+  for (const DbRow& row : growing.rows) {
+    IndexGrowingRowLocked(growing, row, ordinal++);
+  }
 }
 
 int64_t ObjectiveDatabase::Insert(const data::DetailRecord& record,
                                   const std::string& company,
                                   const std::string& document, int page) {
   obs::ScopedTimer timer(insert_seconds_);
-  Shard& shard = ShardFor(company);
+  size_t shard_index = ShardIndexFor(company);
+  Shard& shard = *shards_[shard_index];
   int64_t id;
+  bool want_seal = false;
   {
     std::unique_lock lock(shard.mu);
-    // Id assignment happens under the shard lock so each shard's deque
-    // stays sorted by row id (Get binary-searches on that invariant).
+    // Id assignment happens under the shard lock so each shard's rows stay
+    // sorted by row id (Get binary-searches on that invariant, and the WAL
+    // records land in id order).
     id = next_id_.fetch_add(1, std::memory_order_relaxed);
     DbRow row;
     row.row_id = id;
@@ -161,16 +323,37 @@ int64_t ObjectiveDatabase::Insert(const data::DetailRecord& record,
     row.document = document;
     row.page = page;
     row.record = record;
-    AppendLocked(shard, std::move(row));
+    if (shard.wal != nullptr) {
+      std::string payload;
+      storage::EncodeRow(row, &payload);
+      Status logged = shard.wal->Append(payload);
+      if (logged.ok()) {
+        if (wal_append_counter_ != nullptr) wal_append_counter_->Increment();
+      } else if (wal_error_counter_ != nullptr) {
+        wal_error_counter_->Increment();
+      }
+    }
+    AppendGrowingLocked(shard, std::move(row));
+    want_seal =
+        attached_.load(std::memory_order_acquire) &&
+        options_.seal_threshold > 0 &&
+        shard.growing.rows.size() >=
+            static_cast<size_t>(options_.seal_threshold);
   }
   size_t total = size_.fetch_add(1, std::memory_order_acq_rel) + 1;
   if (insert_counter_ != nullptr) {
     insert_counter_->Increment();
-    rows_gauge_->Set(static_cast<double>(total));
-    rows_per_shard_gauge_->Set(static_cast<double>(total) /
-                               static_cast<double>(shards_.size()));
+    UpdateRowGauges(total);
   }
+  if (want_seal) RequestSeal(shard_index);
   return id;
+}
+
+void ObjectiveDatabase::UpdateRowGauges(size_t total) const {
+  if (rows_gauge_ == nullptr) return;
+  rows_gauge_->Set(static_cast<double>(total));
+  rows_per_shard_gauge_->Set(static_cast<double>(total) /
+                             static_cast<double>(shards_.size()));
 }
 
 std::vector<size_t> ObjectiveDatabase::RowsPerShard() const {
@@ -178,9 +361,20 @@ std::vector<size_t> ObjectiveDatabase::RowsPerShard() const {
   out.reserve(shards_.size());
   for (const auto& shard : shards_) {
     std::shared_lock lock(shard->mu);
-    out.push_back(shard->rows.size());
+    size_t rows = shard->growing.rows.size();
+    for (const auto& segment : shard->sealed) rows += segment->num_rows();
+    out.push_back(rows);
   }
   return out;
+}
+
+size_t ObjectiveDatabase::SealedSegmentCount() const {
+  size_t count = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard->mu);
+    count += shard->sealed.size();
+  }
+  return count;
 }
 
 obs::Histogram* ObjectiveDatabase::QueryHistogram() const {
@@ -192,29 +386,55 @@ std::optional<DbRow> ObjectiveDatabase::Get(int64_t row_id) const {
   obs::ScopedTimer timer(QueryHistogram());
   for (const auto& shard : shards_) {
     std::shared_lock lock(shard->mu);
+    for (const auto& segment : shard->sealed) {
+      if (row_id < segment->min_row_id() || row_id > segment->max_row_id()) {
+        continue;
+      }
+      if (std::optional<uint64_t> ordinal = segment->FindRowId(row_id)) {
+        DbRow row;
+        if (segment->ReadRow(*ordinal, &row)) return row;
+      }
+    }
+    const std::deque<DbRow>& rows = shard->growing.rows;
     auto it = std::lower_bound(
-        shard->rows.begin(), shard->rows.end(), row_id,
+        rows.begin(), rows.end(), row_id,
         [](const DbRow& row, int64_t id) { return row.row_id < id; });
-    if (it != shard->rows.end() && it->row_id == row_id) return *it;
+    if (it != rows.end() && it->row_id == row_id) return *it;
   }
   return std::nullopt;
 }
 
-void ObjectiveDatabase::CollectLocked(const Shard& shard,
-                                      const std::vector<size_t>& indices,
+void ObjectiveDatabase::CollectGrowing(const Shard& shard,
+                                       const std::vector<size_t>& ordinals,
+                                       std::vector<DbRow>* out) {
+  for (size_t ordinal : ordinals) out->push_back(shard.growing.rows[ordinal]);
+}
+
+void ObjectiveDatabase::CollectSealed(const storage::SealedSegment& segment,
+                                      const storage::PostingsView& postings,
                                       std::vector<DbRow>* out) {
-  for (size_t index : indices) out->push_back(shard.rows[index]);
+  for (size_t i = 0; i < postings.size(); ++i) {
+    DbRow row;
+    if (segment.ReadRow(postings.At(i), &row)) out->push_back(std::move(row));
+  }
 }
 
 std::vector<DbRow> ObjectiveDatabase::ByCompany(
     const std::string& company) const {
   obs::ScopedTimer timer(QueryHistogram());
   std::vector<DbRow> out;
-  const Shard& shard = ShardFor(company);
+  const Shard& shard = *shards_[ShardIndexFor(company)];
   std::shared_lock lock(shard.mu);
-  auto it = shard.by_company.find(company);
-  if (it != shard.by_company.end()) CollectLocked(shard, it->second, &out);
-  return out;  // Index order is ascending row id within the shard.
+  for (const auto& segment : shard.sealed) {
+    CollectSealed(*segment,
+                  segment->Postings(storage::SegmentIndex::kCompany, company),
+                  &out);
+  }
+  auto it = shard.growing.by_company.find(company);
+  if (it != shard.growing.by_company.end()) {
+    CollectGrowing(shard, it->second, &out);
+  }
+  return out;  // Sealed segments then growing is ascending row id.
 }
 
 std::vector<DbRow> ObjectiveDatabase::WithField(
@@ -223,8 +443,15 @@ std::vector<DbRow> ObjectiveDatabase::WithField(
   std::vector<DbRow> out;
   for (const auto& shard : shards_) {
     std::shared_lock lock(shard->mu);
-    auto it = shard->by_field.find(kind);
-    if (it != shard->by_field.end()) CollectLocked(*shard, it->second, &out);
+    for (const auto& segment : shard->sealed) {
+      CollectSealed(*segment,
+                    segment->Postings(storage::SegmentIndex::kFieldKind, kind),
+                    &out);
+    }
+    auto it = shard->growing.by_field.find(kind);
+    if (it != shard->growing.by_field.end()) {
+      CollectGrowing(*shard, it->second, &out);
+    }
   }
   SortByRowId(&out);
   return out;
@@ -234,13 +461,19 @@ std::vector<DbRow> ObjectiveDatabase::WhereFieldEquals(
     const std::string& kind, const std::string& value) const {
   obs::ScopedTimer timer(QueryHistogram());
   std::vector<DbRow> out;
+  std::string key = storage::FieldValueKey(kind, value);
   for (const auto& shard : shards_) {
     std::shared_lock lock(shard->mu);
-    auto kind_it = shard->by_field_value.find(kind);
-    if (kind_it == shard->by_field_value.end()) continue;
+    for (const auto& segment : shard->sealed) {
+      CollectSealed(*segment,
+                    segment->Postings(storage::SegmentIndex::kFieldValue, key),
+                    &out);
+    }
+    auto kind_it = shard->growing.by_field_value.find(kind);
+    if (kind_it == shard->growing.by_field_value.end()) continue;
     auto value_it = kind_it->second.find(value);
     if (value_it == kind_it->second.end()) continue;
-    CollectLocked(*shard, value_it->second, &out);
+    CollectGrowing(*shard, value_it->second, &out);
   }
   SortByRowId(&out);
   return out;
@@ -256,11 +489,159 @@ std::vector<DbRow> ObjectiveDatabase::DeadlineYearBetween(
   std::vector<DbRow> out;
   for (const auto& shard : shards_) {
     std::shared_lock lock(shard->mu);
-    auto it = shard->by_deadline_year.lower_bound(min_year);
-    for (; it != shard->by_deadline_year.end() && it->first <= max_year;
-         ++it) {
-      CollectLocked(*shard, it->second, &out);
+    for (const auto& segment : shard->sealed) {
+      segment->ForEachYearInRange(
+          min_year, max_year, [&](const storage::PostingsView& postings) {
+            CollectSealed(*segment, postings, &out);
+          });
     }
+    const auto& by_year = shard->growing.by_deadline_year;
+    for (auto it = by_year.lower_bound(min_year);
+         it != by_year.end() && it->first <= max_year; ++it) {
+      CollectGrowing(*shard, it->second, &out);
+    }
+  }
+  SortByRowId(&out);
+  return out;
+}
+
+std::vector<DbRow> ObjectiveDatabase::QueryText(
+    const std::string& query, const TextFilter& filter) const {
+  obs::ScopedTimer timer(QueryHistogram());
+  std::vector<DbRow> out;
+  ParsedTextQuery parsed = ParseTextQuery(query);
+  bool use_year = filter.min_deadline_year.has_value() ||
+                  filter.max_deadline_year.has_value();
+  bool has_filter =
+      !filter.company.empty() || !filter.with_field.empty() || use_year;
+  if (parsed.terms.empty() && !has_filter) return out;
+  int min_year = filter.min_deadline_year.value_or(kMinFilterYear);
+  int max_year = filter.max_deadline_year.value_or(kMaxFilterYear);
+
+  auto eval_segment = [&](const storage::SealedSegment& segment) {
+    // Gather every posting list the row must appear in; any empty list
+    // rules the whole segment out.
+    std::vector<storage::PostingsView> views;
+    for (const std::string& term : parsed.terms) {
+      storage::PostingsView view =
+          segment.Postings(storage::SegmentIndex::kText, term);
+      if (view.empty()) return;
+      views.push_back(view);
+    }
+    if (!filter.company.empty()) {
+      storage::PostingsView view =
+          segment.Postings(storage::SegmentIndex::kCompany, filter.company);
+      if (view.empty()) return;
+      views.push_back(view);
+    }
+    if (!filter.with_field.empty()) {
+      storage::PostingsView view = segment.Postings(
+          storage::SegmentIndex::kFieldKind, filter.with_field);
+      if (view.empty()) return;
+      views.push_back(view);
+    }
+    std::vector<uint32_t> year_rows;
+    if (use_year) {
+      segment.ForEachYearInRange(
+          min_year, max_year, [&](const storage::PostingsView& postings) {
+            for (size_t i = 0; i < postings.size(); ++i) {
+              year_rows.push_back(postings.At(i));
+            }
+          });
+      std::sort(year_rows.begin(), year_rows.end());
+      if (year_rows.empty()) return;
+    }
+    std::vector<uint32_t> candidates;
+    if (!views.empty()) {
+      size_t smallest = 0;
+      for (size_t i = 1; i < views.size(); ++i) {
+        if (views[i].size() < views[smallest].size()) smallest = i;
+      }
+      candidates.reserve(views[smallest].size());
+      for (size_t i = 0; i < views[smallest].size(); ++i) {
+        candidates.push_back(views[smallest].At(i));
+      }
+      for (size_t i = 0; i < views.size(); ++i) {
+        if (i == smallest) continue;
+        candidates = IntersectWithView(candidates, views[i]);
+        if (candidates.empty()) return;
+      }
+      if (use_year) candidates = IntersectSorted(candidates, year_rows);
+    } else {
+      candidates = std::move(year_rows);
+    }
+    for (uint32_t ordinal : candidates) {
+      DbRow row;
+      if (!segment.ReadRow(ordinal, &row)) continue;
+      if (!RowMatchesPhrases(row, parsed.phrases)) continue;
+      out.push_back(std::move(row));
+    }
+  };
+
+  auto eval_growing = [&](const Shard& shard) {
+    const Growing& growing = shard.growing;
+    if (growing.rows.empty()) return;
+    std::vector<const std::vector<size_t>*> lists;
+    for (const std::string& term : parsed.terms) {
+      auto it = growing.by_term.find(term);
+      if (it == growing.by_term.end()) return;
+      lists.push_back(&it->second);
+    }
+    if (!filter.company.empty()) {
+      auto it = growing.by_company.find(filter.company);
+      if (it == growing.by_company.end()) return;
+      lists.push_back(&it->second);
+    }
+    if (!filter.with_field.empty()) {
+      auto it = growing.by_field.find(filter.with_field);
+      if (it == growing.by_field.end()) return;
+      lists.push_back(&it->second);
+    }
+    std::vector<size_t> year_rows;
+    if (use_year) {
+      for (auto it = growing.by_deadline_year.lower_bound(min_year);
+           it != growing.by_deadline_year.end() && it->first <= max_year;
+           ++it) {
+        year_rows.insert(year_rows.end(), it->second.begin(),
+                         it->second.end());
+      }
+      std::sort(year_rows.begin(), year_rows.end());
+      if (year_rows.empty()) return;
+    }
+    std::vector<size_t> candidates;
+    if (!lists.empty()) {
+      size_t smallest = 0;
+      for (size_t i = 1; i < lists.size(); ++i) {
+        if (lists[i]->size() < lists[smallest]->size()) smallest = i;
+      }
+      candidates = *lists[smallest];
+      for (size_t i = 0; i < lists.size(); ++i) {
+        if (i == smallest) continue;
+        candidates = IntersectSorted(candidates, *lists[i]);
+        if (candidates.empty()) return;
+      }
+      if (use_year) candidates = IntersectSorted(candidates, year_rows);
+    } else {
+      candidates = std::move(year_rows);
+    }
+    for (size_t ordinal : candidates) {
+      const DbRow& row = growing.rows[ordinal];
+      if (!RowMatchesPhrases(row, parsed.phrases)) continue;
+      out.push_back(row);
+    }
+  };
+
+  auto visit_shard = [&](const Shard& shard) {
+    std::shared_lock lock(shard.mu);
+    for (const auto& segment : shard.sealed) eval_segment(*segment);
+    eval_growing(shard);
+  };
+
+  if (!filter.company.empty()) {
+    // Rows of one company live in exactly one shard.
+    visit_shard(*shards_[ShardIndexFor(filter.company)]);
+  } else {
+    for (const auto& shard : shards_) visit_shard(*shard);
   }
   SortByRowId(&out);
   return out;
@@ -268,15 +649,19 @@ std::vector<DbRow> ObjectiveDatabase::DeadlineYearBetween(
 
 std::vector<std::string> ObjectiveDatabase::Companies() const {
   obs::ScopedTimer timer(QueryHistogram());
-  std::vector<std::string> out;
+  std::set<std::string> names;
   for (const auto& shard : shards_) {
     std::shared_lock lock(shard->mu);
-    for (const auto& [company, indices] : shard->by_company) {
-      out.push_back(company);
+    for (const auto& segment : shard->sealed) {
+      segment->ForEachKey(
+          storage::SegmentIndex::kCompany,
+          [&](std::string_view name) { names.insert(std::string(name)); });
+    }
+    for (const auto& [company, ordinals] : shard->growing.by_company) {
+      names.insert(company);
     }
   }
-  std::sort(out.begin(), out.end());
-  return out;
+  return std::vector<std::string>(names.begin(), names.end());
 }
 
 std::map<std::string, int64_t> ObjectiveDatabase::CountPerCompany() const {
@@ -284,8 +669,13 @@ std::map<std::string, int64_t> ObjectiveDatabase::CountPerCompany() const {
   std::map<std::string, int64_t> out;
   for (const auto& shard : shards_) {
     std::shared_lock lock(shard->mu);
-    for (const auto& [company, indices] : shard->by_company) {
-      out[company] += static_cast<int64_t>(indices.size());
+    for (const auto& segment : shard->sealed) {
+      for (const auto& [company, count] : segment->company_rows()) {
+        out[company] += count;
+      }
+    }
+    for (const auto& [company, ordinals] : shard->growing.by_company) {
+      out[company] += static_cast<int64_t>(ordinals.size());
     }
   }
   return out;
@@ -294,29 +684,64 @@ std::map<std::string, int64_t> ObjectiveDatabase::CountPerCompany() const {
 std::map<std::string, double> ObjectiveDatabase::FieldCoverageByCompany(
     const std::string& kind) const {
   obs::ScopedTimer timer(QueryHistogram());
-  std::map<std::string, double> out;
+  std::map<std::string, int64_t> totals;
+  std::map<std::string, int64_t> with_field;
   for (const auto& shard : shards_) {
     std::shared_lock lock(shard->mu);
-    for (const auto& [company, indices] : shard->by_company) {
-      int64_t with_field = 0;
-      auto company_it = shard->field_count_by_company.find(company);
-      if (company_it != shard->field_count_by_company.end()) {
-        auto kind_it = company_it->second.find(kind);
-        if (kind_it != company_it->second.end()) with_field = kind_it->second;
+    for (const auto& segment : shard->sealed) {
+      for (const auto& [company, count] : segment->company_rows()) {
+        totals[company] += count;
+        auto it =
+            segment->company_kind_rows().find(storage::FieldValueKey(company,
+                                                                     kind));
+        if (it != segment->company_kind_rows().end()) {
+          with_field[company] += it->second;
+        }
       }
-      out[company] = static_cast<double>(with_field) /
-                     static_cast<double>(indices.size());
+    }
+    for (const auto& [company, ordinals] : shard->growing.by_company) {
+      totals[company] += static_cast<int64_t>(ordinals.size());
+      auto company_it = shard->growing.field_count_by_company.find(company);
+      if (company_it != shard->growing.field_count_by_company.end()) {
+        auto kind_it = company_it->second.find(kind);
+        if (kind_it != company_it->second.end()) {
+          with_field[company] += kind_it->second;
+        }
+      }
     }
   }
+  std::map<std::string, double> out;
+  for (const auto& [company, total] : totals) {
+    int64_t covered = 0;
+    auto it = with_field.find(company);
+    if (it != with_field.end()) covered = it->second;
+    out[company] =
+        static_cast<double>(covered) / static_cast<double>(total);
+  }
   return out;
+}
+
+std::vector<DbRow> ObjectiveDatabase::CollectShardRows(
+    const Shard& shard) const {
+  std::shared_lock lock(shard.mu);
+  std::vector<DbRow> rows;
+  for (const auto& segment : shard.sealed) {
+    for (uint64_t ordinal = 0; ordinal < segment->num_rows(); ++ordinal) {
+      DbRow row;
+      if (segment->ReadRow(ordinal, &row)) rows.push_back(std::move(row));
+    }
+  }
+  for (const DbRow& row : shard.growing.rows) rows.push_back(row);
+  return rows;
 }
 
 std::vector<DbRow> ObjectiveDatabase::SnapshotRows() const {
   std::vector<DbRow> out;
   out.reserve(size());
   for (const auto& shard : shards_) {
-    std::shared_lock lock(shard->mu);
-    for (const DbRow& row : shard->rows) out.push_back(row);
+    std::vector<DbRow> rows = CollectShardRows(*shard);
+    out.insert(out.end(), std::make_move_iterator(rows.begin()),
+               std::make_move_iterator(rows.end()));
   }
   SortByRowId(&out);
   return out;
@@ -341,20 +766,57 @@ std::string ObjectiveDatabase::ExportCsv(
   return out.str();
 }
 
+// --- Persistence -----------------------------------------------------------
+
+std::string ObjectiveDatabase::WalPath(size_t shard_index) const {
+  return dir_ + "/" + WalFileName(shard_index);
+}
+
 Status ObjectiveDatabase::Save(const std::string& dir) const {
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) {
-    return InternalError("cannot create directory " + dir + ": " +
-                         ec.message());
+  if (attached_.load(std::memory_order_acquire) && dir == dir_) {
+    return FailedPreconditionError(
+        "Save into the attached directory; use Flush()");
   }
+  GOALEX_RETURN_IF_ERROR(env_->CreateDirs(dir));
+  storage::Manifest manifest;
+  manifest.num_shards = num_shards();
+  uint64_t sequence = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::vector<DbRow> rows = CollectShardRows(*shards_[i]);
+    if (rows.empty()) continue;
+    storage::SegmentBuilder builder;
+    for (const DbRow& row : rows) builder.Add(row);
+    std::string name = SegmentFileName(i, sequence++);
+    std::string path = dir + "/" + name;
+    GOALEX_RETURN_IF_ERROR(builder.WriteTo(env_, path + ".tmp"));
+    GOALEX_RETURN_IF_ERROR(env_->Rename(path + ".tmp", path));
+    storage::ManifestSegment entry;
+    entry.shard = static_cast<int>(i);
+    entry.file = name;
+    entry.rows = rows.size();
+    entry.min_row_id = rows.front().row_id;
+    entry.max_row_id = rows.back().row_id;
+    manifest.segments.push_back(std::move(entry));
+  }
+  manifest.next_segment = sequence;
+  GOALEX_RETURN_IF_ERROR(storage::WriteManifest(env_, dir, manifest));
+  // Drop stale shard WALs (e.g. Save over a directory a database was once
+  // attached to), so a later Load sees exactly this snapshot.
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    (void)env_->RemoveFile(dir + "/" + WalFileName(i));
+  }
+  return Status::Ok();
+}
+
+Status ObjectiveDatabase::SaveLegacy(const std::string& dir) const {
+  GOALEX_RETURN_IF_ERROR(env_->CreateDirs(dir));
   std::string path = SnapshotPath(dir);
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return InternalError("cannot open " + path + " for writing");
 
   std::vector<DbRow> rows = SnapshotRows();
   out.write(kMagic, sizeof(kMagic));
-  WriteU32(out, kFormatVersion);
+  WriteU32(out, kLegacyFormatVersion);
   WriteU64(out, rows.size());
   for (const DbRow& row : rows) {
     WriteI64(out, row.row_id);
@@ -374,8 +836,7 @@ Status ObjectiveDatabase::Save(const std::string& dir) const {
   return Status::Ok();
 }
 
-Status ObjectiveDatabase::Load(const std::string& dir) {
-  std::string path = SnapshotPath(dir);
+Status ObjectiveDatabase::LoadLegacyFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return NotFoundError("cannot open " + path);
 
@@ -385,7 +846,7 @@ Status ObjectiveDatabase::Load(const std::string& dir) {
     return DataLossError(path + " is not an objectives.db snapshot");
   }
   uint32_t version = 0;
-  if (!ReadU32(in, &version) || version != kFormatVersion) {
+  if (!ReadU32(in, &version) || version != kLegacyFormatVersion) {
     return DataLossError("unsupported objectives.db version in " + path);
   }
   uint64_t row_count = 0;
@@ -417,33 +878,303 @@ Status ObjectiveDatabase::Load(const std::string& dir) {
     rows.push_back(std::move(row));
   }
 
-  // Replace the contents. Load is an administrative operation: the caller
-  // must ensure no concurrent access (each shard is still locked while it
-  // is rebuilt, so readers see either the old or the new shard state).
-  for (const auto& shard : shards_) {
-    std::unique_lock lock(shard->mu);
-    shard->rows.clear();
-    shard->by_company.clear();
-    shard->by_field.clear();
-    shard->by_field_value.clear();
-    shard->by_deadline_year.clear();
-    shard->field_count_by_company.clear();
-  }
   // Snapshot rows are sorted by id, so appending in file order preserves
   // each shard's ascending-id invariant.
   for (DbRow& row : rows) {
-    Shard& shard = ShardFor(row.company);
+    Shard& shard = *shards_[ShardIndexFor(row.company)];
     std::unique_lock lock(shard.mu);
-    AppendLocked(shard, std::move(row));
+    AppendGrowingLocked(shard, std::move(row));
   }
   size_.store(rows.size(), std::memory_order_release);
   next_id_.store(max_id + 1, std::memory_order_relaxed);
-  if (rows_gauge_ != nullptr) {
-    rows_gauge_->Set(static_cast<double>(rows.size()));
-    rows_per_shard_gauge_->Set(static_cast<double>(rows.size()) /
-                               static_cast<double>(shards_.size()));
+  UpdateRowGauges(rows.size());
+  return Status::Ok();
+}
+
+Status ObjectiveDatabase::LoadManifest(const storage::Manifest& manifest,
+                                       bool read_write) {
+  obs::ScopedTimer timer(mmap_load_seconds_);
+  ResetShards(manifest.num_shards);
+  {
+    std::lock_guard<std::mutex> lock(manifest_mu_);
+    manifest_ = manifest;
+  }
+  next_segment_.store(manifest.next_segment, std::memory_order_relaxed);
+
+  int64_t max_id = -1;
+  size_t total = 0;
+  for (const storage::ManifestSegment& entry : manifest.segments) {
+    std::string path = dir_ + "/" + entry.file;
+    StatusOr<std::shared_ptr<storage::SealedSegment>> segment =
+        storage::SealedSegment::Open(env_, path);
+    if (!segment.ok()) return segment.status();
+    Shard& shard = *shards_[static_cast<size_t>(entry.shard)];
+    if ((*segment)->num_rows() != entry.rows ||
+        (*segment)->min_row_id() != entry.min_row_id ||
+        (*segment)->max_row_id() != entry.max_row_id ||
+        entry.min_row_id <= shard.max_sealed_id) {
+      return DataLossError(path + " does not match its manifest entry");
+    }
+    shard.max_sealed_id = entry.max_row_id;
+    shard.sealed.push_back(std::move(segment).value());
+    total += entry.rows;
+    max_id = std::max(max_id, entry.max_row_id);
+  }
+
+  // Replay each shard's WAL on top of the sealed segments. Records already
+  // covered by a sealed segment (a crash between manifest commit and WAL
+  // shrink) are dropped; the first record that fails to decode or breaks
+  // the ascending-id invariant ends the valid prefix, exactly like a torn
+  // tail at the framing layer.
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    std::string path = WalPath(i);
+    StatusOr<storage::WalReplayResult> replayed =
+        storage::ReplayWal(env_, path);
+    if (!replayed.ok()) return replayed.status();
+    uint64_t valid_bytes = 0;
+    bool stopped_early = false;
+    int64_t last_id = shard.max_sealed_id;
+    size_t appended = 0;
+    for (const std::string& payload : replayed->payloads) {
+      DbRow row;
+      bool decoded = storage::DecodeRowExact(payload, &row);
+      if (!decoded || (decoded && row.row_id > shard.max_sealed_id &&
+                       row.row_id <= last_id)) {
+        stopped_early = true;
+        break;
+      }
+      valid_bytes += kWalRecordHeaderBytes + payload.size();
+      if (row.row_id <= shard.max_sealed_id) continue;  // Already sealed.
+      last_id = row.row_id;
+      std::unique_lock lock(shard.mu);
+      AppendGrowingLocked(shard, std::move(row));
+      ++appended;
+    }
+    total += appended;
+    if (appended > 0) max_id = std::max(max_id, last_id);
+    if (wal_replayed_counter_ != nullptr && appended > 0) {
+      wal_replayed_counter_->Increment(static_cast<uint64_t>(appended));
+    }
+    if (stopped_early || replayed->truncated_tail) {
+      uint64_t keep = stopped_early ? valid_bytes : replayed->valid_bytes;
+      if (env_->FileExists(path)) {
+        StatusOr<uint64_t> file_size = env_->FileSize(path);
+        if (file_size.ok() && wal_truncated_bytes_counter_ != nullptr &&
+            *file_size > keep) {
+          wal_truncated_bytes_counter_->Increment(*file_size - keep);
+        }
+        if (read_write) {
+          GOALEX_RETURN_IF_ERROR(env_->Truncate(path, keep));
+        }
+      }
+    }
+  }
+
+  size_.store(total, std::memory_order_release);
+  next_id_.store(max_id + 1, std::memory_order_relaxed);
+  UpdateRowGauges(total);
+  if (segments_gauge_ != nullptr) {
+    segments_gauge_->Set(static_cast<double>(manifest.segments.size()));
   }
   return Status::Ok();
+}
+
+Status ObjectiveDatabase::Load(const std::string& dir) {
+  if (attached_.load(std::memory_order_acquire)) {
+    return FailedPreconditionError(
+        "Load on an attached database; construct a fresh one");
+  }
+  StatusOr<storage::Manifest> manifest = storage::ReadManifest(env_, dir);
+  if (manifest.ok()) {
+    dir_ = dir;
+    return LoadManifest(manifest.value(), /*read_write=*/false);
+  }
+  if (manifest.status().code() != StatusCode::kNotFound) {
+    return manifest.status();
+  }
+  std::string legacy = SnapshotPath(dir);
+  if (!env_->FileExists(legacy)) return NotFoundError("cannot open " + legacy);
+  ResetShards(num_shards());
+  return LoadLegacyFile(legacy);
+}
+
+Status ObjectiveDatabase::Open(const std::string& dir) {
+  if (attached_.load(std::memory_order_acquire)) {
+    return FailedPreconditionError("database is already attached");
+  }
+  GOALEX_RETURN_IF_ERROR(env_->CreateDirs(dir));
+  dir_ = dir;
+  bool migrate_legacy = false;
+  StatusOr<storage::Manifest> manifest = storage::ReadManifest(env_, dir);
+  if (manifest.ok()) {
+    GOALEX_RETURN_IF_ERROR(LoadManifest(manifest.value(),
+                                        /*read_write=*/true));
+  } else if (manifest.status().code() == StatusCode::kNotFound) {
+    ResetShards(num_shards());
+    std::string legacy = SnapshotPath(dir);
+    if (env_->FileExists(legacy)) {
+      GOALEX_RETURN_IF_ERROR(LoadLegacyFile(legacy));
+      migrate_legacy = true;
+    }
+    {
+      std::lock_guard<std::mutex> lock(manifest_mu_);
+      manifest_ = storage::Manifest();
+      manifest_.num_shards = num_shards();
+      GOALEX_RETURN_IF_ERROR(storage::WriteManifest(env_, dir_, manifest_));
+    }
+    next_segment_.store(0, std::memory_order_relaxed);
+  } else {
+    return manifest.status();
+  }
+
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    StatusOr<std::unique_ptr<storage::WalWriter>> wal = storage::WalWriter::Open(
+        env_, WalPath(i), options_.wal_fsync_interval);
+    if (!wal.ok()) return wal.status();
+    std::unique_lock lock(shards_[i]->mu);
+    shards_[i]->wal = std::move(wal).value();
+  }
+  attached_.store(true, std::memory_order_release);
+
+  // A legacy store has its rows only in memory at this point — seal them
+  // immediately so the directory is v2 (and crash-safe) from here on.
+  if (migrate_legacy) GOALEX_RETURN_IF_ERROR(Flush());
+
+  if (options_.background_seal && !sealer_.joinable()) {
+    stop_sealer_ = false;
+    sealer_ = std::thread(&ObjectiveDatabase::SealerLoop, this);
+  }
+  return Status::Ok();
+}
+
+Status ObjectiveDatabase::Flush() {
+  if (!attached_.load(std::memory_order_acquire)) {
+    return FailedPreconditionError("Flush requires an attached database");
+  }
+  std::lock_guard<std::mutex> op(seal_op_mu_);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    GOALEX_RETURN_IF_ERROR(SealShard(i));
+  }
+  return Status::Ok();
+}
+
+Status ObjectiveDatabase::SealShard(size_t index) {
+  Shard& shard = *shards_[index];
+  // Snapshot the rows to seal; inserts landing after this stay growing.
+  std::vector<DbRow> rows;
+  {
+    std::shared_lock lock(shard.mu);
+    if (shard.growing.rows.empty()) return Status::Ok();
+    rows.assign(shard.growing.rows.begin(), shard.growing.rows.end());
+  }
+  storage::SegmentBuilder builder;
+  for (const DbRow& row : rows) builder.Add(row);
+  uint64_t sequence = next_segment_.fetch_add(1, std::memory_order_relaxed);
+  std::string name = SegmentFileName(index, sequence);
+  std::string path = dir_ + "/" + name;
+  GOALEX_RETURN_IF_ERROR(builder.WriteTo(env_, path + ".tmp"));
+  GOALEX_RETURN_IF_ERROR(env_->Rename(path + ".tmp", path));
+  StatusOr<std::shared_ptr<storage::SealedSegment>> segment =
+      storage::SealedSegment::Open(env_, path);
+  if (!segment.ok()) return segment.status();
+
+  std::unique_lock lock(shard.mu);
+  {
+    // Commit the manifest before touching in-memory state or the WAL: a
+    // crash after this point replays the (still complete) WAL and drops
+    // everything the new segment covers; a crash before it leaves the new
+    // segment an ignored orphan.
+    std::lock_guard<std::mutex> mlock(manifest_mu_);
+    storage::ManifestSegment entry;
+    entry.shard = static_cast<int>(index);
+    entry.file = name;
+    entry.rows = rows.size();
+    entry.min_row_id = rows.front().row_id;
+    entry.max_row_id = rows.back().row_id;
+    manifest_.segments.push_back(std::move(entry));
+    manifest_.next_segment = next_segment_.load(std::memory_order_relaxed);
+    Status committed = storage::WriteManifest(env_, dir_, manifest_);
+    if (!committed.ok()) {
+      manifest_.segments.pop_back();
+      return committed;
+    }
+  }
+  shard.sealed.push_back(std::move(segment).value());
+  shard.max_sealed_id = rows.back().row_id;
+  for (size_t i = 0; i < rows.size(); ++i) shard.growing.rows.pop_front();
+  RebuildGrowingLocked(shard);
+  if (seal_counter_ != nullptr) seal_counter_->Increment();
+  if (segments_gauge_ != nullptr) {
+    std::lock_guard<std::mutex> mlock(manifest_mu_);
+    segments_gauge_->Set(static_cast<double>(manifest_.segments.size()));
+  }
+  RewriteWalLocked(shard, index);
+  return Status::Ok();
+}
+
+void ObjectiveDatabase::RewriteWalLocked(Shard& shard, size_t index) {
+  std::string path = WalPath(index);
+  std::string tmp = path + ".tmp";
+  (void)env_->RemoveFile(tmp);  // Stale temp from an earlier failure.
+  StatusOr<std::unique_ptr<storage::WalWriter>> writer =
+      storage::WalWriter::Open(env_, tmp, /*fsync_interval=*/0);
+  if (!writer.ok()) return;
+  for (const DbRow& row : shard.growing.rows) {
+    std::string payload;
+    storage::EncodeRow(row, &payload);
+    if (!(*writer)->Append(payload).ok()) return;
+  }
+  if (!(*writer)->Sync().ok()) return;
+  writer->reset();  // Close before the rename commits the new log.
+  if (!env_->Rename(tmp, path).ok()) return;
+  shard.wal.reset();
+  StatusOr<std::unique_ptr<storage::WalWriter>> reopened =
+      storage::WalWriter::Open(env_, path, options_.wal_fsync_interval);
+  if (reopened.ok()) {
+    shard.wal = std::move(reopened).value();
+  } else if (wal_error_counter_ != nullptr) {
+    // Logging is disarmed for this shard (only reachable when the storage
+    // environment is failing every write — i.e. mid-crash).
+    wal_error_counter_->Increment();
+  }
+}
+
+void ObjectiveDatabase::RequestSeal(size_t index) {
+  std::lock_guard<std::mutex> lock(seal_mu_);
+  if (!sealer_.joinable() || stop_sealer_) return;
+  seal_pending_.insert(index);
+  seal_cv_.notify_one();
+}
+
+void ObjectiveDatabase::SealerLoop() {
+  std::unique_lock<std::mutex> lock(seal_mu_);
+  while (true) {
+    seal_cv_.wait(lock,
+                  [this] { return stop_sealer_ || !seal_pending_.empty(); });
+    if (stop_sealer_) return;
+    size_t index = *seal_pending_.begin();
+    seal_pending_.erase(seal_pending_.begin());
+    lock.unlock();
+    {
+      std::lock_guard<std::mutex> op(seal_op_mu_);
+      Status sealed = SealShard(index);
+      if (!sealed.ok() && seal_error_counter_ != nullptr) {
+        seal_error_counter_->Increment();
+      }
+    }
+    lock.lock();
+  }
+}
+
+void ObjectiveDatabase::StopSealer() {
+  {
+    std::lock_guard<std::mutex> lock(seal_mu_);
+    if (!sealer_.joinable()) return;
+    stop_sealer_ = true;
+  }
+  seal_cv_.notify_all();
+  sealer_.join();
 }
 
 }  // namespace goalex::core

@@ -2,69 +2,127 @@
 #define GOALEX_CORE_DATABASE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
 #include "data/schema.h"
 #include "obs/metrics.h"
+#include "storage/env.h"
+#include "storage/manifest.h"
+#include "storage/row.h"
+#include "storage/segment.h"
+#include "storage/wal.h"
 
 namespace goalex::core {
 
 /// A stored row of the structured sustainability database the paper
 /// motivates (Section 2.4): the extracted details plus source metadata, so
 /// domain experts can index, filter, and compare objectives across
-/// companies and track them over time.
-struct DbRow {
-  int64_t row_id = 0;
-  std::string company;
-  std::string document;
-  int page = 0;
-  data::DetailRecord record;
+/// companies and track them over time. Defined at the storage layer (the
+/// WAL and segment codecs speak it directly) and re-exported here as the
+/// public query-result type.
+using DbRow = storage::Row;
+
+/// Tuning knobs of ObjectiveDatabase (DESIGN.md §12).
+struct DbOptions {
+  /// Rows a shard's growing segment may hold before a background seal is
+  /// requested (only meaningful once Open() has attached a directory).
+  /// <= 0 disables automatic sealing; Flush() still seals on demand.
+  int64_t seal_threshold = 64 * 1024;
+
+  /// WAL durability policy: 1 fsyncs after every record (default,
+  /// crash-safe), N > 1 after every N-th record (bounded loss window,
+  /// higher throughput), 0 never (the OS decides). Mirrors
+  /// core::ServeConfig::db_wal_fsync_interval.
+  int32_t wal_fsync_interval = 1;
+
+  /// Run sealing on a dedicated background thread. When false, sealing
+  /// happens only inside Flush().
+  bool background_seal = true;
+
+  /// Storage environment. Null means storage::Env::Default(); tests inject
+  /// a storage::FaultInjectionEnv here to crash the database at an exact
+  /// write offset.
+  storage::Env* env = nullptr;
+};
+
+/// Company / field / deadline constraints combined (AND) with a QueryText
+/// term match. Empty members are inactive.
+struct TextFilter {
+  std::string company;     ///< Exact company name.
+  std::string with_field;  ///< Field kind that must be non-empty.
+  std::optional<int> min_deadline_year;
+  std::optional<int> max_deadline_year;
 };
 
 /// Thread-safe sharded serving store for extracted sustainability
-/// objectives (DESIGN.md §10).
+/// objectives (DESIGN.md §10, storage engine §12).
 ///
-/// Rows are partitioned into shards by a hash of the company name, each
-/// shard guarded by its own reader/writer lock, so pipeline workers can
-/// Insert concurrently while analyst queries run. Within a shard rows live
-/// in a std::deque (stable storage — no reallocation ever moves a row) and
-/// secondary indexes are maintained at insert time:
+/// Rows are partitioned into shards by a hash of the company name. Each
+/// shard is a small LSM: a mutable *growing* segment (std::deque of rows
+/// plus in-memory secondary indexes, guarded by the shard's reader/writer
+/// lock) in front of a stack of immutable *sealed* segments — columnar,
+/// index-complete files that Load()/Open() mmap back in without
+/// deserializing, so a million-row cold start is a CRC pass over the
+/// mapped bytes instead of a row-by-row rebuild.
+///
+/// Durability: Open(dir) attaches a directory read-write. Every Insert is
+/// then appended to the owning shard's write-ahead log (per-record CRC;
+/// fsync policy via DbOptions::wal_fsync_interval) before it becomes
+/// visible. When a growing segment passes DbOptions::seal_threshold, a
+/// background thread seals it: segment file (temp + fsync + rename), then
+/// manifest commit, then WAL shrink — in that order, so a crash at any
+/// byte leaves a prefix-consistent store (replay dedups rows whose id is
+/// already covered by a sealed segment; orphan segment files are ignored).
+///
+/// Queries merge sealed posting lists with the growing indexes:
 ///
 ///   - by company (ByCompany, CountPerCompany, FieldCoverageByCompany),
 ///   - by non-empty field kind (WithField),
 ///   - by exact field value (WhereFieldEquals),
 ///   - by normalized deadline year via values::NormalizeYear
-///     (ByDeadlineYear, DeadlineYearBetween).
+///     (ByDeadlineYear, DeadlineYearBetween),
+///   - by full text over objective text and field values (QueryText:
+///     AND of terms and "quoted phrases", optional TextFilter).
 ///
 /// Every query returns copies of rows (or plain row ids), never pointers
-/// into internal storage, so results stay valid across later inserts.
-/// Row ids are assigned from a global counter under the owning shard's
-/// lock; serial insertion yields the sequential ids 0, 1, 2, ... and every
-/// query result is sorted by row id, so single-threaded behavior is
-/// deterministic and matches the pre-sharding store exactly.
+/// into internal storage, so results stay valid across later inserts and
+/// seals. Row ids are assigned from a global counter under the owning
+/// shard's lock; serial insertion yields the sequential ids 0, 1, 2, ...
+/// and every query result is sorted by row id, so single-threaded behavior
+/// is deterministic and matches the pre-storage-engine store exactly.
 class ObjectiveDatabase {
  public:
   /// Default shard count: enough to keep a machine-sized worker pool from
   /// serializing on one lock, small enough that per-shard overhead is noise.
   static constexpr int kDefaultShards = 16;
 
-  explicit ObjectiveDatabase(int num_shards = kDefaultShards);
+  explicit ObjectiveDatabase(int num_shards = kDefaultShards,
+                             DbOptions options = DbOptions());
 
   ObjectiveDatabase(const ObjectiveDatabase&) = delete;
   ObjectiveDatabase& operator=(const ObjectiveDatabase&) = delete;
 
+  /// Stops the background sealer. Does not flush: an attached database
+  /// whose growing rows are only in the WAL recovers them on next Open().
+  ~ObjectiveDatabase();
+
   /// Inserts a record with source metadata; returns its row id.
   /// Thread-safe: concurrent inserts to different companies usually land on
-  /// different shards and proceed in parallel.
+  /// different shards and proceed in parallel. When attached, the row is
+  /// WAL-logged before it becomes visible.
   int64_t Insert(const data::DetailRecord& record,
                  const std::string& company,
                  const std::string& document = "", int page = 0);
@@ -74,11 +132,11 @@ class ObjectiveDatabase {
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
-  /// Row count of each shard (for balance inspection and the
-  /// db.rows_per_shard gauge).
+  /// Row count of each shard — sealed plus growing (for balance inspection
+  /// and the db.rows_per_shard gauge).
   std::vector<size_t> RowsPerShard() const;
 
-  /// Looks up one row by id. O(num_shards * log rows).
+  /// Looks up one row by id. O(num_shards * (segments + log rows)).
   std::optional<DbRow> Get(int64_t row_id) const;
 
   /// All rows of one company, sorted by row id. Indexed: touches only the
@@ -103,6 +161,20 @@ class ObjectiveDatabase {
   /// deployment scenarios.
   std::vector<DbRow> DeadlineYearBetween(int min_year, int max_year) const;
 
+  /// Full-text query over objective text and extracted field values,
+  /// sorted by row id. `query` is parsed into bare terms and "quoted
+  /// phrases" (tokenized with src/text's WordTokenizer, ASCII-lowercased).
+  /// A row matches when every term appears somewhere in its text (objective
+  /// text or any non-empty field value), every phrase appears contiguously
+  /// within one of those texts, and `filter`'s active constraints hold.
+  /// Terms that tokenize to nothing (punctuation-only) are ignored; a query
+  /// with no effective terms returns only what `filter` alone selects — or
+  /// nothing when the filter is empty too. Served from the inverted text
+  /// index of each sealed segment plus the growing segment's term map;
+  /// no row scan.
+  std::vector<DbRow> QueryText(const std::string& query,
+                               const TextFilter& filter = TextFilter()) const;
+
   /// All distinct company names, sorted.
   std::vector<std::string> Companies() const;
 
@@ -122,61 +194,194 @@ class ObjectiveDatabase {
   /// columns. Fields containing commas, quotes, CR, or LF are quoted.
   std::string ExportCsv(const std::vector<std::string>& kinds) const;
 
-  /// Persists every row to `<dir>/objectives.db` (versioned binary format,
-  /// DESIGN.md §10.3). Creates `dir` if needed.
+  /// Attaches `dir` read-write (creating it if needed) and recovers
+  /// whatever it holds: a v2 manifest (sealed segments are mmap'ed, shard
+  /// WALs replayed — rows already covered by a sealed segment are skipped,
+  /// a torn or corrupt WAL tail is truncated), a legacy v1 objectives.db
+  /// (loaded, then migrated to v2 by an immediate Flush), or nothing (a
+  /// fresh database). After Open, inserts are WAL-logged and the
+  /// background sealer (if enabled) keeps growing segments bounded.
+  /// The shard count is adopted from an existing manifest.
+  /// Fails with FailedPrecondition when already attached, DataLoss when the
+  /// directory holds an unrecoverable store.
+  Status Open(const std::string& dir);
+
+  /// Seals every non-empty growing segment to the attached directory and
+  /// syncs the manifest, leaving the WALs empty. FailedPrecondition when
+  /// not attached.
+  Status Flush();
+
+  /// True after a successful Open().
+  bool attached() const { return attached_; }
+
+  /// Sealed segments currently serving, across all shards.
+  size_t SealedSegmentCount() const;
+
+  /// Writes a complete, self-contained v2 snapshot of the current contents
+  /// into `dir` (segment per non-empty shard + manifest, committed via
+  /// temp + rename), independent of any attached directory. Stale shard
+  /// WALs in `dir` are removed so a later Load sees exactly this snapshot.
+  /// FailedPrecondition when `dir` is the attached directory (use Flush).
   Status Save(const std::string& dir) const;
 
-  /// Replaces the database contents with a snapshot written by Save().
-  /// Row ids are preserved, indexes are rebuilt, and the next insert
-  /// continues above the highest loaded id.
+  /// Writes the legacy v1 single-file snapshot (`<dir>/objectives.db`) —
+  /// kept as the cold-start baseline bench_micro_db compares mmap loading
+  /// against, and for downgrade escapes.
+  Status SaveLegacy(const std::string& dir) const;
+
+  /// Replaces the database contents from `dir`, read-only: a v2 manifest
+  /// (sealed segments mmap'ed in place — near-instant even at millions of
+  /// rows) or a legacy v1 objectives.db. Does not attach: WALs in `dir`
+  /// are replayed into memory but never written, and subsequent inserts
+  /// stay in memory (row ids continue above the highest loaded id).
+  /// NotFound when `dir` holds neither format.
   Status Load(const std::string& dir);
 
  private:
-  struct Shard {
-    mutable std::shared_mutex mu;
+  /// The mutable head of a shard: rows not yet sealed, with in-memory
+  /// secondary indexes (values are indices into `rows`, ascending).
+  struct Growing {
     std::deque<DbRow> rows;  ///< Ascending row_id (ids assigned under mu).
-    /// Secondary indexes; values are indices into `rows` in ascending order.
     std::unordered_map<std::string, std::vector<size_t>> by_company;
     std::unordered_map<std::string, std::vector<size_t>> by_field;
     std::unordered_map<std::string,
                        std::unordered_map<std::string, std::vector<size_t>>>
         by_field_value;
     std::map<int, std::vector<size_t>> by_deadline_year;
+    /// Lowercased term -> rows containing it (objective text or any
+    /// non-empty field value) — the growing side of the text index.
+    std::unordered_map<std::string, std::vector<size_t>> by_term;
     /// company -> kind -> number of rows with a non-empty value, so
     /// FieldCoverageByCompany is O(companies), not O(rows).
     std::unordered_map<std::string, std::unordered_map<std::string, int64_t>>
         field_count_by_company;
+
+    void Clear();
   };
 
-  Shard& ShardFor(const std::string& company);
-  const Shard& ShardFor(const std::string& company) const;
+  struct Shard {
+    mutable std::shared_mutex mu;
+    Growing growing;
+    /// Immutable mmap-backed segments, in seal order (ascending row-id
+    /// ranges, disjoint). shared_ptr so queries can keep serving a segment
+    /// snapshot without holding the shard lock.
+    std::vector<std::shared_ptr<storage::SealedSegment>> sealed;
+    /// Highest row id covered by `sealed` (-1 when none): WAL replay drops
+    /// records at or below it.
+    int64_t max_sealed_id = -1;
+    /// Armed by Open(); null when detached.
+    std::unique_ptr<storage::WalWriter> wal;
+  };
 
-  /// Appends `row` to `shard` and maintains every index. Caller holds the
-  /// shard's exclusive lock.
-  static void AppendLocked(Shard& shard, DbRow row);
+  size_t ShardIndexFor(const std::string& company) const;
 
-  /// Collects copies of the rows at `indices`, sorted by row id, into
-  /// `out`. Caller holds at least the shard's shared lock.
-  static void CollectLocked(const Shard& shard,
-                            const std::vector<size_t>& indices,
+  /// Registers `row` (stored at `ordinal`) in every growing index.
+  static void IndexGrowingRowLocked(Growing& growing, const DbRow& row,
+                                    size_t ordinal);
+
+  /// Appends `row` to the growing segment and maintains every index.
+  /// Caller holds the shard's exclusive lock.
+  static void AppendGrowingLocked(Shard& shard, DbRow row);
+
+  /// Rebuilds the growing indexes from its rows (after a seal erased the
+  /// front of the deque, shifting every ordinal). Caller holds the
+  /// exclusive lock.
+  static void RebuildGrowingLocked(Shard& shard);
+
+  /// Copies the growing rows at `ordinals` into `out`. Caller holds at
+  /// least the shard's shared lock.
+  static void CollectGrowing(const Shard& shard,
+                             const std::vector<size_t>& ordinals,
+                             std::vector<DbRow>* out);
+
+  /// Materializes the rows of `postings` from `segment` into `out`.
+  static void CollectSealed(const storage::SealedSegment& segment,
+                            const storage::PostingsView& postings,
                             std::vector<DbRow>* out);
+
+  /// Copies every row of one shard (sealed segments in order, then
+  /// growing), ascending by row id.
+  std::vector<DbRow> CollectShardRows(const Shard& shard) const;
+
+  /// Replaces all shards with `count` fresh ones (detached state is
+  /// untouched). Caller must ensure no concurrent access.
+  void ResetShards(int count);
+
+  /// Loads a v2 store described by `manifest` from `dir_`. In `read_write`
+  /// mode torn WAL tails are truncated on disk; otherwise the directory is
+  /// never written.
+  Status LoadManifest(const storage::Manifest& manifest, bool read_write);
+
+  /// Loads the legacy v1 snapshot file at `path` into the growing
+  /// segments.
+  Status LoadLegacyFile(const std::string& path);
+
+  /// Seals shard `index`'s growing rows into a new segment file, commits
+  /// the manifest, and shrinks the WAL (DESIGN.md §12.6 ordering). No-op
+  /// for an empty shard.
+  Status SealShard(size_t index);
+
+  /// Queues shard `index` for the background sealer (or ignores the
+  /// request when sealing is synchronous-only).
+  void RequestSeal(size_t index);
+
+  /// Rewrites shard `index`'s WAL to hold only the still-growing rows.
+  /// Best-effort: on any failure the previous WAL stays in place, which is
+  /// correct (replay drops rows already covered by a sealed segment).
+  /// Caller holds the shard's exclusive lock.
+  void RewriteWalLocked(Shard& shard, size_t index);
+
+  void SealerLoop();
+  void StopSealer();
+
+  std::string WalPath(size_t shard_index) const;
 
   /// Arms `timer` with the query-latency histogram and bumps the query
   /// counter when observability is active.
   obs::Histogram* QueryHistogram() const;
 
+  void UpdateRowGauges(size_t total) const;
+
+  DbOptions options_;
+  storage::Env* env_;  ///< Never null (DbOptions::env or Env::Default()).
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<int64_t> next_id_{0};
   std::atomic<size_t> size_{0};
+
+  // --- Attached (read-write) state -----------------------------------------
+  std::atomic<bool> attached_{false};
+  std::string dir_;
+  std::atomic<uint64_t> next_segment_{0};
+  /// Guards manifest_ and the on-disk MANIFEST commit sequence.
+  mutable std::mutex manifest_mu_;
+  storage::Manifest manifest_;
+
+  // --- Background sealer ---------------------------------------------------
+  std::mutex seal_mu_;
+  std::condition_variable seal_cv_;
+  std::set<size_t> seal_pending_;
+  bool stop_sealer_ = false;
+  std::thread sealer_;
+  /// Serializes whole seal operations (background sealer vs. Flush), so a
+  /// shard is never snapshotted by two concurrent seals.
+  std::mutex seal_op_mu_;
 
   // Observability handles, resolved once at construction; all null when
   // instrumentation is compiled out or disabled (DESIGN.md §7 idiom).
   obs::Histogram* insert_seconds_ = nullptr;
   obs::Histogram* query_seconds_ = nullptr;
+  obs::Histogram* mmap_load_seconds_ = nullptr;
   obs::Counter* insert_counter_ = nullptr;
   obs::Counter* query_counter_ = nullptr;
+  obs::Counter* wal_append_counter_ = nullptr;
+  obs::Counter* wal_error_counter_ = nullptr;
+  obs::Counter* wal_replayed_counter_ = nullptr;
+  obs::Counter* wal_truncated_bytes_counter_ = nullptr;
+  obs::Counter* seal_counter_ = nullptr;
+  obs::Counter* seal_error_counter_ = nullptr;
   obs::Gauge* rows_gauge_ = nullptr;
   obs::Gauge* rows_per_shard_gauge_ = nullptr;
+  obs::Gauge* segments_gauge_ = nullptr;
 };
 
 }  // namespace goalex::core

@@ -1,0 +1,196 @@
+#include "storage/env.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace goalex::storage {
+namespace {
+
+std::string Errno(const std::string& op, const std::string& path) {
+  return op + " " + path + ": " + std::strerror(errno);
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) Close();
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return InternalError("append to closed file " + path_);
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return InternalError(Errno("write", path_));
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return InternalError("sync of closed file " + path_);
+    if (::fsync(fd_) != 0) return InternalError(Errno("fsync", path_));
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return InternalError("double close of " + path_);
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return InternalError(Errno("close", path_));
+    return Status::Ok();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixMmapFile : public MmapFile {
+ public:
+  PosixMmapFile(void* base, size_t size) : base_(base), size_(size) {}
+
+  ~PosixMmapFile() override {
+    if (base_ != nullptr) ::munmap(base_, size_);
+  }
+
+  const uint8_t* data() const override {
+    return static_cast<const uint8_t*>(base_);
+  }
+  size_t size() const override { return size_; }
+
+ private:
+  void* base_;
+  size_t size_;
+};
+
+class PosixEnv : public Env {
+ public:
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    int flags = O_WRONLY | O_CREAT | (truncate ? O_TRUNC : O_APPEND);
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return InternalError(Errno("open", path));
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  StatusOr<std::string> ReadFileToString(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) return NotFoundError("no such file: " + path);
+      return InternalError(Errno("open", path));
+    }
+    std::string out;
+    char buf[1 << 16];
+    for (;;) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        Status status = InternalError(Errno("read", path));
+        ::close(fd);
+        return status;
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  StatusOr<std::unique_ptr<MmapFile>> MmapReadOnly(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) return NotFoundError("no such file: " + path);
+      return InternalError(Errno("open", path));
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      Status status = InternalError(Errno("fstat", path));
+      ::close(fd);
+      return status;
+    }
+    size_t size = static_cast<size_t>(st.st_size);
+    void* base = nullptr;
+    if (size > 0) {
+      base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (base == MAP_FAILED) {
+        Status status = InternalError(Errno("mmap", path));
+        ::close(fd);
+        return status;
+      }
+    }
+    ::close(fd);  // The mapping outlives the descriptor.
+    return std::unique_ptr<MmapFile>(
+        std::make_unique<PosixMmapFile>(size > 0 ? base : nullptr, size));
+  }
+
+  StatusOr<uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      if (errno == ENOENT) return NotFoundError("no such file: " + path);
+      return InternalError(Errno("stat", path));
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Status Truncate(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return InternalError(Errno("truncate", path));
+    }
+    return Status::Ok();
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return InternalError(Errno("rename", from + " -> " + to));
+    }
+    return Status::Ok();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return InternalError(Errno("unlink", path));
+    }
+    return Status::Ok();
+  }
+
+  Status CreateDirs(const std::string& dir) override {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      return InternalError("cannot create directory " + dir + ": " +
+                           ec.message());
+    }
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* const env = new PosixEnv();
+  return env;
+}
+
+}  // namespace goalex::storage

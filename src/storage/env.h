@@ -1,0 +1,82 @@
+#ifndef GOALEX_STORAGE_ENV_H_
+#define GOALEX_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace goalex::storage {
+
+/// A sequential-write handle produced by Env::NewWritableFile. Append goes
+/// to the OS immediately (no user-space buffer), Sync makes it durable.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` at the end of the file. A failed append may have
+  /// written a prefix of `data` (that is exactly the torn-write case the
+  /// WAL recovery path is built for).
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Flushes file data to stable storage (fsync).
+  virtual Status Sync() = 0;
+
+  /// Closes the handle. Further calls fail. Called by the destructor if
+  /// the caller did not; destructor-time errors are dropped.
+  virtual Status Close() = 0;
+};
+
+/// A read-only memory mapping of a whole file. Keeps the mapping alive for
+/// its own lifetime; sealed segments hold one for as long as they serve
+/// queries. Empty files map to {nullptr, 0}.
+class MmapFile {
+ public:
+  virtual ~MmapFile() = default;
+  virtual const uint8_t* data() const = 0;
+  virtual size_t size() const = 0;
+};
+
+/// Filesystem seam of the storage layer (DESIGN.md §12.5). Every byte the
+/// WAL, segment, and manifest code reads or writes goes through an Env, so
+/// the crash/corruption harness can interpose a FaultInjectionEnv and kill
+/// the "process" at any write offset without mocking any storage logic.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `path` for writing. `truncate` discards existing contents;
+  /// otherwise writes append after the current end.
+  virtual StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+
+  /// Reads the entire file into a string. NotFound when absent.
+  virtual StatusOr<std::string> ReadFileToString(const std::string& path) = 0;
+
+  /// Maps the entire file read-only. NotFound when absent.
+  virtual StatusOr<std::unique_ptr<MmapFile>> MmapReadOnly(
+      const std::string& path) = 0;
+
+  virtual StatusOr<uint64_t> FileSize(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Truncates `path` to `size` bytes (WAL torn-tail repair).
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+
+  /// Atomically renames `from` over `to` (the commit point of segment and
+  /// manifest writes).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status CreateDirs(const std::string& dir) = 0;
+
+  /// The process-wide POSIX environment.
+  static Env* Default();
+};
+
+}  // namespace goalex::storage
+
+#endif  // GOALEX_STORAGE_ENV_H_

@@ -1,0 +1,114 @@
+#include "storage/fault_env.h"
+
+namespace goalex::storage {
+namespace {
+
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(FaultInjectionEnv* env, std::unique_ptr<WritableFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Append(std::string_view data) override {
+    size_t allowed = env_->ClaimBytes(data.size());
+    if (allowed > 0) {
+      Status status = base_->Append(data.substr(0, allowed));
+      if (!status.ok()) return status;
+    }
+    if (allowed < data.size()) {
+      return InternalError("fault injection: write budget exhausted");
+    }
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (env_->killed()) return env_->DeadStatus();
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+}  // namespace
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base) : base_(base) {}
+
+void FaultInjectionEnv::SetWriteBudget(int64_t bytes) {
+  budget_.store(bytes, std::memory_order_release);
+  killed_.store(false, std::memory_order_release);
+}
+
+size_t FaultInjectionEnv::ClaimBytes(size_t want) {
+  if (killed_.load(std::memory_order_acquire)) return 0;
+  int64_t budget = budget_.load(std::memory_order_acquire);
+  size_t allowed = want;
+  if (budget >= 0) {
+    // Single-writer harness: a plain compare-and-store is enough, and it
+    // keeps the torn boundary exactly at the configured byte.
+    allowed = static_cast<size_t>(
+        std::min<int64_t>(budget, static_cast<int64_t>(want)));
+    budget_.store(budget - static_cast<int64_t>(allowed),
+                  std::memory_order_release);
+    if (allowed < want) killed_.store(true, std::memory_order_release);
+  }
+  total_written_.fetch_add(allowed, std::memory_order_acq_rel);
+  return allowed;
+}
+
+Status FaultInjectionEnv::DeadStatus() const {
+  return InternalError("fault injection: process killed");
+}
+
+StatusOr<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  if (killed()) return DeadStatus();
+  StatusOr<std::unique_ptr<WritableFile>> base =
+      base_->NewWritableFile(path, truncate);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultWritableFile>(this, std::move(base.value())));
+}
+
+StatusOr<std::string> FaultInjectionEnv::ReadFileToString(
+    const std::string& path) {
+  return base_->ReadFileToString(path);
+}
+
+StatusOr<std::unique_ptr<MmapFile>> FaultInjectionEnv::MmapReadOnly(
+    const std::string& path) {
+  return base_->MmapReadOnly(path);
+}
+
+StatusOr<uint64_t> FaultInjectionEnv::FileSize(const std::string& path) {
+  return base_->FileSize(path);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status FaultInjectionEnv::Truncate(const std::string& path, uint64_t size) {
+  if (killed()) return DeadStatus();
+  return base_->Truncate(path, size);
+}
+
+Status FaultInjectionEnv::Rename(const std::string& from,
+                                 const std::string& to) {
+  if (killed()) return DeadStatus();
+  return base_->Rename(from, to);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  if (killed()) return DeadStatus();
+  return base_->RemoveFile(path);
+}
+
+Status FaultInjectionEnv::CreateDirs(const std::string& dir) {
+  if (killed()) return DeadStatus();
+  return base_->CreateDirs(dir);
+}
+
+}  // namespace goalex::storage

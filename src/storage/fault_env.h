@@ -1,0 +1,70 @@
+#ifndef GOALEX_STORAGE_FAULT_ENV_H_
+#define GOALEX_STORAGE_FAULT_ENV_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "storage/env.h"
+
+namespace goalex::storage {
+
+/// Fault-injection Env for the crash/corruption harness (DESIGN.md §12.5).
+/// Wraps a real Env and forwards everything until a configured write budget
+/// is exhausted; from that instant the "process is dead": an in-flight
+/// Append persists only the bytes that fit the budget (a torn write) and
+/// every subsequent mutating operation — Append, Sync, Truncate, Rename,
+/// RemoveFile, CreateDirs, NewWritableFile — fails with kUnavailable-style
+/// InternalError. Reads keep working so a test can inspect the "disk".
+///
+/// Driving `SetWriteBudget` across every offset in [0, TotalBytesWritten()]
+/// is the kill-at-every-write-offset sweep: each budget value simulates a
+/// crash at that exact byte of the storage write stream.
+class FaultInjectionEnv : public Env {
+ public:
+  /// Wraps `base` (not owned; typically Env::Default()).
+  explicit FaultInjectionEnv(Env* base);
+
+  /// Sets the remaining write budget in bytes. Negative = unlimited
+  /// (default). Resets the killed state.
+  void SetWriteBudget(int64_t bytes);
+
+  /// True once the budget has been exhausted (the crash happened).
+  bool killed() const { return killed_.load(std::memory_order_acquire); }
+
+  /// Total payload bytes successfully appended through this env since
+  /// construction (torn bytes included).
+  uint64_t TotalBytesWritten() const {
+    return total_written_.load(std::memory_order_acquire);
+  }
+
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  StatusOr<std::string> ReadFileToString(const std::string& path) override;
+  StatusOr<std::unique_ptr<MmapFile>> MmapReadOnly(
+      const std::string& path) override;
+  StatusOr<uint64_t> FileSize(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status CreateDirs(const std::string& dir) override;
+
+  /// Internal (used by the wrapped WritableFile): claims up to `want`
+  /// bytes from the budget. Returns how many bytes may still be written (0
+  /// once dead); flips `killed_` when the claim is cut short.
+  size_t ClaimBytes(size_t want);
+  /// Internal: the status every post-kill mutation fails with.
+  Status DeadStatus() const;
+
+ private:
+  Env* base_;
+  std::atomic<int64_t> budget_{-1};
+  std::atomic<bool> killed_{false};
+  std::atomic<uint64_t> total_written_{0};
+};
+
+}  // namespace goalex::storage
+
+#endif  // GOALEX_STORAGE_FAULT_ENV_H_

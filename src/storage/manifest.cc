@@ -1,0 +1,166 @@
+#include "storage/manifest.h"
+
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+
+#include "storage/crc32.h"
+
+namespace goalex::storage {
+namespace {
+
+constexpr char kHeaderLine[] = "goalexdb-manifest-v2";
+
+/// Strict integer parse of a full token (no sign for unsigned, no trailing
+/// garbage).
+template <typename T>
+bool ParseInt(std::string_view token, T* out) {
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+/// Splits `line` on single spaces into tokens.
+std::vector<std::string_view> SplitTokens(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t pos = 0;
+  while (pos <= line.size()) {
+    size_t space = line.find(' ', pos);
+    if (space == std::string_view::npos) {
+      tokens.push_back(line.substr(pos));
+      break;
+    }
+    tokens.push_back(line.substr(pos, space - pos));
+    pos = space + 1;
+  }
+  return tokens;
+}
+
+}  // namespace
+
+std::string Manifest::Serialize() const {
+  std::string out = kHeaderLine;
+  out.push_back('\n');
+  char line[256];
+  std::snprintf(line, sizeof(line), "shards %d\n", num_shards);
+  out.append(line);
+  std::snprintf(line, sizeof(line), "next_segment %" PRIu64 "\n",
+                next_segment);
+  out.append(line);
+  for (const ManifestSegment& segment : segments) {
+    std::snprintf(line, sizeof(line),
+                  "segment %d %s %" PRIu64 " %" PRId64 " %" PRId64 "\n",
+                  segment.shard, segment.file.c_str(), segment.rows,
+                  segment.min_row_id, segment.max_row_id);
+    out.append(line);
+  }
+  std::snprintf(line, sizeof(line), "crc %08x\n", Crc32(out));
+  out.append(line);
+  return out;
+}
+
+StatusOr<Manifest> ParseManifest(std::string_view text) {
+  // Separate the trailing "crc XXXXXXXX\n" line and verify it first.
+  constexpr size_t kCrcLineBytes = 4 + 8 + 1;  // "crc " + 8 hex + '\n'
+  if (text.size() < kCrcLineBytes || text.back() != '\n') {
+    return DataLossError("manifest truncated");
+  }
+  size_t crc_line = text.size() - kCrcLineBytes;
+  if (text.substr(crc_line, 4) != "crc ") {
+    return DataLossError("manifest missing checksum line");
+  }
+  uint32_t stored = 0;
+  {
+    std::string_view hex = text.substr(crc_line + 4, 8);
+    const char* begin = hex.data();
+    auto [ptr, ec] = std::from_chars(begin, begin + hex.size(), stored, 16);
+    if (ec != std::errc() || ptr != begin + hex.size()) {
+      return DataLossError("manifest malformed checksum");
+    }
+  }
+  std::string_view body = text.substr(0, crc_line);
+  if (Crc32(body) != stored) {
+    return DataLossError("manifest checksum mismatch");
+  }
+
+  Manifest manifest;
+  bool saw_header = false;
+  bool saw_shards = false;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string_view::npos) {
+      return DataLossError("manifest missing final newline");
+    }
+    std::string_view line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (!saw_header) {
+      if (line != kHeaderLine) return DataLossError("manifest bad header");
+      saw_header = true;
+      continue;
+    }
+    std::vector<std::string_view> tokens = SplitTokens(line);
+    if (tokens.size() == 2 && tokens[0] == "shards") {
+      if (!ParseInt(tokens[1], &manifest.num_shards) ||
+          manifest.num_shards < 1 || manifest.num_shards > 4096) {
+        return DataLossError("manifest bad shard count");
+      }
+      saw_shards = true;
+    } else if (tokens.size() == 2 && tokens[0] == "next_segment") {
+      if (!ParseInt(tokens[1], &manifest.next_segment)) {
+        return DataLossError("manifest bad next_segment");
+      }
+    } else if (tokens.size() == 6 && tokens[0] == "segment") {
+      ManifestSegment segment;
+      segment.file = std::string(tokens[2]);
+      if (!ParseInt(tokens[1], &segment.shard) || segment.shard < 0 ||
+          segment.file.empty() ||
+          segment.file.find('/') != std::string::npos ||
+          !ParseInt(tokens[3], &segment.rows) ||
+          !ParseInt(tokens[4], &segment.min_row_id) ||
+          !ParseInt(tokens[5], &segment.max_row_id)) {
+        return DataLossError("manifest bad segment line");
+      }
+      manifest.segments.push_back(std::move(segment));
+    } else {
+      return DataLossError("manifest unknown line");
+    }
+  }
+  if (!saw_header || !saw_shards) {
+    return DataLossError("manifest incomplete");
+  }
+  for (const ManifestSegment& segment : manifest.segments) {
+    if (segment.shard >= manifest.num_shards) {
+      return DataLossError("manifest segment shard out of range");
+    }
+  }
+  return manifest;
+}
+
+StatusOr<Manifest> ReadManifest(Env* env, const std::string& dir) {
+  StatusOr<std::string> text =
+      env->ReadFileToString(dir + "/" + kManifestFile);
+  if (!text.ok()) return text.status();
+  StatusOr<Manifest> manifest = ParseManifest(text.value());
+  if (!manifest.ok()) {
+    return Status(StatusCode::kDataLoss, dir + "/" + kManifestFile + ": " +
+                                             manifest.status().message());
+  }
+  return manifest;
+}
+
+Status WriteManifest(Env* env, const std::string& dir,
+                     const Manifest& manifest) {
+  std::string path = dir + "/" + kManifestFile;
+  std::string tmp = path + ".tmp";
+  StatusOr<std::unique_ptr<WritableFile>> file =
+      env->NewWritableFile(tmp, /*truncate=*/true);
+  if (!file.ok()) return file.status();
+  GOALEX_RETURN_IF_ERROR((*file)->Append(manifest.Serialize()));
+  GOALEX_RETURN_IF_ERROR((*file)->Sync());
+  GOALEX_RETURN_IF_ERROR((*file)->Close());
+  return env->Rename(tmp, path);
+}
+
+}  // namespace goalex::storage

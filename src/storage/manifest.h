@@ -1,0 +1,56 @@
+#ifndef GOALEX_STORAGE_MANIFEST_H_
+#define GOALEX_STORAGE_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/env.h"
+
+namespace goalex::storage {
+
+/// One sealed segment registered in the manifest.
+struct ManifestSegment {
+  int shard = 0;
+  std::string file;  ///< Basename inside the database directory.
+  uint64_t rows = 0;
+  int64_t min_row_id = 0;
+  int64_t max_row_id = -1;
+};
+
+/// The authoritative directory catalog of a v2 database (DESIGN.md §12.4):
+/// shard count, segment registry, and the next segment sequence number. A
+/// segment file exists logically only once the manifest lists it — orphan
+/// .gxseg files (a crash between segment rename and manifest commit) are
+/// ignored and overwritten by the next seal.
+///
+/// Serialized as a line-based text file whose last line is a CRC-32 of
+/// everything before it; any mismatch or malformed line is DataLoss.
+/// Commits go through write-temp + fsync + rename.
+struct Manifest {
+  int num_shards = 0;
+  uint64_t next_segment = 0;
+  std::vector<ManifestSegment> segments;
+
+  std::string Serialize() const;
+};
+
+/// Name of the manifest file inside a database directory.
+inline const char* kManifestFile = "MANIFEST";
+
+/// Parses a serialized manifest. DataLoss on bad checksum or any malformed
+/// content.
+StatusOr<Manifest> ParseManifest(std::string_view text);
+
+/// Reads `<dir>/MANIFEST`. NotFound when absent; DataLoss when corrupt.
+StatusOr<Manifest> ReadManifest(Env* env, const std::string& dir);
+
+/// Atomically commits `manifest` to `<dir>/MANIFEST` (temp + fsync +
+/// rename).
+Status WriteManifest(Env* env, const std::string& dir,
+                     const Manifest& manifest);
+
+}  // namespace goalex::storage
+
+#endif  // GOALEX_STORAGE_MANIFEST_H_

@@ -1,0 +1,126 @@
+#include "storage/row.h"
+
+#include <cstring>
+
+#include "values/value_normalizer.h"
+
+namespace goalex::storage {
+namespace {
+
+/// Hard cap on any single length field. Far above anything the system
+/// produces; its job is to make corrupt lengths fail fast instead of
+/// attempting a huge allocation.
+constexpr uint64_t kMaxStringBytes = uint64_t{1} << 30;
+constexpr uint64_t kMaxFields = uint64_t{1} << 20;
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+void AppendI32(std::string* out, int32_t v) {
+  AppendU32(out, static_cast<uint32_t>(v));
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+void AppendLenPrefixed(std::string* out, const std::string& s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool ReadU32(const uint8_t* data, size_t size, size_t* pos, uint32_t* v) {
+  if (size - *pos < sizeof(*v)) return false;
+  std::memcpy(v, data + *pos, sizeof(*v));
+  *pos += sizeof(*v);
+  return true;
+}
+
+bool ReadI32(const uint8_t* data, size_t size, size_t* pos, int32_t* v) {
+  uint32_t raw = 0;
+  if (!ReadU32(data, size, pos, &raw)) return false;
+  std::memcpy(v, &raw, sizeof(raw));
+  return true;
+}
+
+bool ReadI64(const uint8_t* data, size_t size, size_t* pos, int64_t* v) {
+  if (size - *pos < sizeof(*v)) return false;
+  std::memcpy(v, data + *pos, sizeof(*v));
+  *pos += sizeof(*v);
+  return true;
+}
+
+bool ReadLenPrefixed(const uint8_t* data, size_t size, size_t* pos,
+                     std::string* s) {
+  uint32_t len = 0;
+  if (!ReadU32(data, size, pos, &len)) return false;
+  if (len > kMaxStringBytes || size - *pos < len) return false;
+  s->assign(reinterpret_cast<const char*>(data) + *pos, len);
+  *pos += len;
+  return true;
+}
+
+}  // namespace
+
+void EncodeRow(const Row& row, std::string* out) {
+  AppendI64(out, row.row_id);
+  AppendI32(out, row.page);
+  AppendLenPrefixed(out, row.company);
+  AppendLenPrefixed(out, row.document);
+  AppendLenPrefixed(out, row.record.objective_id);
+  AppendLenPrefixed(out, row.record.objective_text);
+  AppendU32(out, static_cast<uint32_t>(row.record.fields.size()));
+  for (const auto& [kind, value] : row.record.fields) {
+    AppendLenPrefixed(out, kind);
+    AppendLenPrefixed(out, value);
+  }
+}
+
+bool DecodeRow(const uint8_t* data, size_t size, size_t* pos, Row* out) {
+  if (*pos > size) return false;
+  if (!ReadI64(data, size, pos, &out->row_id)) return false;
+  int32_t page = 0;
+  if (!ReadI32(data, size, pos, &page)) return false;
+  out->page = page;
+  if (!ReadLenPrefixed(data, size, pos, &out->company) ||
+      !ReadLenPrefixed(data, size, pos, &out->document) ||
+      !ReadLenPrefixed(data, size, pos, &out->record.objective_id) ||
+      !ReadLenPrefixed(data, size, pos, &out->record.objective_text)) {
+    return false;
+  }
+  uint32_t field_count = 0;
+  if (!ReadU32(data, size, pos, &field_count)) return false;
+  if (field_count > kMaxFields) return false;
+  out->record.fields.clear();
+  for (uint32_t i = 0; i < field_count; ++i) {
+    std::string kind;
+    std::string value;
+    if (!ReadLenPrefixed(data, size, pos, &kind) ||
+        !ReadLenPrefixed(data, size, pos, &value)) {
+      return false;
+    }
+    out->record.fields.emplace(std::move(kind), std::move(value));
+  }
+  return true;
+}
+
+bool DecodeRowExact(std::string_view payload, Row* out) {
+  size_t pos = 0;
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(payload.data());
+  if (!DecodeRow(data, payload.size(), &pos, out)) return false;
+  return pos == payload.size();
+}
+
+std::optional<int> DeadlineYearOfRecord(const data::DetailRecord& record) {
+  std::string value = record.FieldOrEmpty("Deadline");
+  if (value.empty()) value = record.FieldOrEmpty("TargetYear");
+  if (value.empty()) return std::nullopt;
+  return values::NormalizeYear(value);
+}
+
+}  // namespace goalex::storage

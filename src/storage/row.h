@@ -1,0 +1,49 @@
+#ifndef GOALEX_STORAGE_ROW_H_
+#define GOALEX_STORAGE_ROW_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/schema.h"
+
+namespace goalex::storage {
+
+/// A stored row of the objective database: the extracted details plus source
+/// metadata. Defined at the storage layer so the WAL and segment codecs can
+/// speak it directly; `core::ObjectiveDatabase` re-exports it as
+/// `core::DbRow` (the public query-result type).
+struct Row {
+  int64_t row_id = 0;
+  std::string company;
+  std::string document;
+  int page = 0;
+  data::DetailRecord record;
+};
+
+/// Appends the canonical binary encoding of `row` to `out` (DESIGN.md
+/// §12.2): row_id i64, page i32, then length-prefixed company, document,
+/// objective_id, objective_text, then a u32 field count and length-prefixed
+/// kind/value pairs. Fields encode in std::map order, so the encoding of a
+/// row is deterministic. The same payload is used for WAL records and for
+/// the row-data section of sealed segments.
+void EncodeRow(const Row& row, std::string* out);
+
+/// Decodes one row from `data[*pos, size)`, advancing `*pos` past it.
+/// Every length is bounds-checked against the remaining bytes; on any
+/// malformed input (truncation, oversized length, trailing garbage inside
+/// the row) returns false with `*pos` unspecified — never reads out of
+/// bounds. `out` may hold partial fields on failure.
+bool DecodeRow(const uint8_t* data, size_t size, size_t* pos, Row* out);
+
+/// Convenience: decodes a row that must occupy `payload` exactly (the WAL
+/// record case). Returns false on any error or trailing bytes.
+bool DecodeRowExact(std::string_view payload, Row* out);
+
+/// The deadline field of a record under either schema (Sustainability Goals
+/// "Deadline", NetZeroFacts "TargetYear"), normalized to a calendar year via
+/// values::NormalizeYear — the key the deadline-year index is built on.
+std::optional<int> DeadlineYearOfRecord(const data::DetailRecord& record);
+
+}  // namespace goalex::storage
+
+#endif  // GOALEX_STORAGE_ROW_H_

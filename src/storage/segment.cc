@@ -1,0 +1,540 @@
+#include "storage/segment.h"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "storage/crc32.h"
+#include "text/word_tokenizer.h"
+
+namespace goalex::storage {
+namespace {
+
+constexpr char kMagic[8] = {'G', 'X', 'S', 'E', 'G', '0', '0', '1'};
+constexpr char kEndMagic[8] = {'G', 'X', 'S', 'E', 'G', 'E', 'N', 'D'};
+constexpr uint32_t kFormatVersion = 1;
+constexpr size_t kHeaderBytes = 24;  // magic + version + reserved + row_count
+constexpr size_t kTailBytes = 20;    // table_offset + crc + end magic
+
+// Section ids of the fixed layout.
+constexpr uint32_t kSecRowIds = 1;
+constexpr uint32_t kSecRowOffsets = 2;
+constexpr uint32_t kSecRowData = 3;
+constexpr uint32_t kSecStats = 9;
+
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+int64_t LoadI64(const uint8_t* p) {
+  int64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  AppendU64(out, static_cast<uint64_t>(v));
+}
+
+/// Serializes a sorted term -> postings map in the flat dictionary layout:
+/// u64 T, u64 key_offsets[T+1], u64 post_offsets[T+1], key blob,
+/// u32 postings[].
+std::string SerializeDict(
+    const std::map<std::string, std::vector<uint32_t>, std::less<>>& dict) {
+  std::string out;
+  uint64_t term_count = dict.size();
+  AppendU64(&out, term_count);
+  uint64_t key_offset = 0;
+  AppendU64(&out, key_offset);
+  for (const auto& [key, postings] : dict) {
+    key_offset += key.size();
+    AppendU64(&out, key_offset);
+  }
+  uint64_t post_offset = 0;
+  AppendU64(&out, post_offset);
+  for (const auto& [key, postings] : dict) {
+    post_offset += postings.size();
+    AppendU64(&out, post_offset);
+  }
+  for (const auto& [key, postings] : dict) out.append(key);
+  for (const auto& [key, postings] : dict) {
+    for (uint32_t ordinal : postings) AppendU32(&out, ordinal);
+  }
+  return out;
+}
+
+void AppendStatsMap(std::string* out,
+                    const std::map<std::string, int64_t>& counts) {
+  AppendU64(out, counts.size());
+  for (const auto& [key, count] : counts) {
+    AppendU32(out, static_cast<uint32_t>(key.size()));
+    out->append(key);
+    AppendI64(out, count);
+  }
+}
+
+bool ParseStatsMap(const uint8_t* data, size_t size, size_t* pos,
+                   std::unordered_map<std::string, int64_t>* out) {
+  if (size - *pos < sizeof(uint64_t)) return false;
+  uint64_t count = LoadU64(data + *pos);
+  *pos += sizeof(uint64_t);
+  if (count > size) return false;  // Cheap sanity bound.
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    if (size - *pos < sizeof(uint32_t)) return false;
+    uint64_t len = LoadU32(data + *pos);
+    *pos += sizeof(uint32_t);
+    if (size - *pos < len + sizeof(int64_t)) return false;
+    std::string key(reinterpret_cast<const char*>(data) + *pos, len);
+    *pos += len;
+    int64_t value = LoadI64(data + *pos);
+    *pos += sizeof(int64_t);
+    (*out)[std::move(key)] = value;
+  }
+  return true;
+}
+
+bool IsIndexableToken(std::string_view token) {
+  for (char c : token) {
+    unsigned char b = static_cast<unsigned char>(c);
+    if (std::isalnum(b) || b >= 0x80) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string FieldValueKey(std::string_view kind, std::string_view value) {
+  std::string key(kind);
+  key.push_back('\x1f');
+  key.append(value);
+  return key;
+}
+
+std::string YearKey(int year) {
+  // Bias so every int year maps to a non-negative value; zero-pad to a
+  // fixed 10 digits so lexicographic key order equals numeric year order.
+  constexpr int64_t kBias = 1000000000;
+  int64_t biased = static_cast<int64_t>(year) + kBias;
+  if (biased < 0) biased = 0;
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%010lld", static_cast<long long>(biased));
+  return std::string(buf);
+}
+
+std::vector<std::string> TextIndexTerms(std::string_view text) {
+  static const text::WordTokenizer* const tokenizer =
+      new text::WordTokenizer();
+  std::vector<std::string> terms;
+  for (text::Token& token : tokenizer->Tokenize(text)) {
+    if (!IsIndexableToken(token.text)) continue;
+    terms.push_back(AsciiToLower(token.text));
+  }
+  return terms;
+}
+
+bool ContainsPhrase(std::string_view text,
+                    const std::vector<std::string>& terms) {
+  if (terms.empty()) return true;
+  std::vector<std::string> stream = TextIndexTerms(text);
+  if (stream.size() < terms.size()) return false;
+  for (size_t start = 0; start + terms.size() <= stream.size(); ++start) {
+    bool match = true;
+    for (size_t i = 0; i < terms.size(); ++i) {
+      if (stream[start + i] != terms[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+uint32_t PostingsView::At(size_t i) const {
+  GOALEX_CHECK(i < count_);
+  return LoadU32(base_ + i * sizeof(uint32_t));
+}
+
+// --- SegmentBuilder --------------------------------------------------------
+
+void SegmentBuilder::Add(const Row& row) {
+  GOALEX_CHECK_MSG(row_ids_.empty() || row.row_id > row_ids_.back(),
+                   "segment rows must be added in ascending row_id order");
+  uint32_t ordinal = static_cast<uint32_t>(row_ids_.size());
+  row_ids_.push_back(row.row_id);
+  EncodeRow(row, &row_data_);
+  row_offsets_.push_back(row_data_.size());
+
+  company_[row.company].push_back(ordinal);
+  ++company_rows_[row.company];
+  for (const auto& [kind, value] : row.record.fields) {
+    if (value.empty()) continue;
+    field_kind_[kind].push_back(ordinal);
+    field_value_[FieldValueKey(kind, value)].push_back(ordinal);
+    ++company_kind_rows_[FieldValueKey(row.company, kind)];
+  }
+  if (std::optional<int> year = DeadlineYearOfRecord(row.record)) {
+    year_[YearKey(*year)].push_back(ordinal);
+  }
+
+  std::set<std::string> terms;
+  for (std::string& term : TextIndexTerms(row.record.objective_text)) {
+    terms.insert(std::move(term));
+  }
+  for (const auto& [kind, value] : row.record.fields) {
+    if (value.empty()) continue;
+    for (std::string& term : TextIndexTerms(value)) {
+      terms.insert(std::move(term));
+    }
+  }
+  for (const std::string& term : terms) text_[term].push_back(ordinal);
+}
+
+std::string SegmentBuilder::Serialize() const {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  AppendU32(&out, kFormatVersion);
+  AppendU32(&out, 0);  // reserved
+  AppendU64(&out, row_ids_.size());
+
+  struct Entry {
+    uint32_t id;
+    uint64_t offset;
+    uint64_t size;
+  };
+  std::vector<Entry> table;
+  auto add_section = [&](uint32_t id, const std::string& bytes) {
+    table.push_back({id, out.size(), bytes.size()});
+    out.append(bytes);
+  };
+
+  std::string row_ids;
+  for (int64_t id : row_ids_) AppendI64(&row_ids, id);
+  add_section(kSecRowIds, row_ids);
+
+  std::string row_offsets;
+  for (uint64_t offset : row_offsets_) AppendU64(&row_offsets, offset);
+  add_section(kSecRowOffsets, row_offsets);
+
+  add_section(kSecRowData, row_data_);
+  add_section(static_cast<uint32_t>(SegmentIndex::kCompany),
+              SerializeDict(company_));
+  add_section(static_cast<uint32_t>(SegmentIndex::kFieldKind),
+              SerializeDict(field_kind_));
+  add_section(static_cast<uint32_t>(SegmentIndex::kFieldValue),
+              SerializeDict(field_value_));
+  add_section(static_cast<uint32_t>(SegmentIndex::kDeadlineYear),
+              SerializeDict(year_));
+  add_section(static_cast<uint32_t>(SegmentIndex::kText),
+              SerializeDict(text_));
+
+  std::string stats;
+  AppendStatsMap(&stats, company_rows_);
+  AppendStatsMap(&stats, company_kind_rows_);
+  add_section(kSecStats, stats);
+
+  uint64_t table_offset = out.size();
+  AppendU32(&out, static_cast<uint32_t>(table.size()));
+  for (const Entry& entry : table) {
+    AppendU32(&out, entry.id);
+    AppendU64(&out, entry.offset);
+    AppendU64(&out, entry.size);
+  }
+
+  AppendU64(&out, table_offset);
+  // The CRC covers everything before itself: header, sections, table, and
+  // the table offset word.
+  AppendU32(&out, Crc32(out.data(), out.size()));
+  out.append(kEndMagic, sizeof(kEndMagic));
+  return out;
+}
+
+Status SegmentBuilder::WriteTo(Env* env, const std::string& path) const {
+  StatusOr<std::unique_ptr<WritableFile>> file =
+      env->NewWritableFile(path, /*truncate=*/true);
+  if (!file.ok()) return file.status();
+  GOALEX_RETURN_IF_ERROR((*file)->Append(Serialize()));
+  GOALEX_RETURN_IF_ERROR((*file)->Sync());
+  return (*file)->Close();
+}
+
+// --- SealedSegment ---------------------------------------------------------
+
+std::string_view SealedSegment::Dict::KeyAt(uint64_t i) const {
+  if (i >= term_count) return {};
+  uint64_t begin = LoadU64(key_offsets + i * sizeof(uint64_t));
+  uint64_t end = LoadU64(key_offsets + (i + 1) * sizeof(uint64_t));
+  if (begin > end || end > key_blob_size) return {};
+  return std::string_view(reinterpret_cast<const char*>(key_blob) + begin,
+                          end - begin);
+}
+
+PostingsView SealedSegment::Dict::PostingsAt(uint64_t i) const {
+  if (i >= term_count) return {};
+  uint64_t begin = LoadU64(post_offsets + i * sizeof(uint64_t));
+  uint64_t end = LoadU64(post_offsets + (i + 1) * sizeof(uint64_t));
+  if (begin > end || end > total_postings) return {};
+  return PostingsView(postings + begin * sizeof(uint32_t), end - begin);
+}
+
+uint64_t SealedSegment::Dict::LowerBound(std::string_view key) const {
+  uint64_t lo = 0;
+  uint64_t hi = term_count;
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (KeyAt(mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+StatusOr<std::shared_ptr<SealedSegment>> SealedSegment::Open(
+    Env* env, const std::string& path) {
+  StatusOr<std::unique_ptr<MmapFile>> file = env->MmapReadOnly(path);
+  if (!file.ok()) return file.status();
+  std::shared_ptr<SealedSegment> segment(new SealedSegment());
+  segment->path_ = path;
+  segment->file_ = std::move(file.value());
+  Status bound = segment->Bind();
+  if (!bound.ok()) {
+    return Status(StatusCode::kDataLoss,
+                  "corrupt segment " + path + ": " + bound.message());
+  }
+  return segment;
+}
+
+Status SealedSegment::Bind() {
+  const uint8_t* data = file_->data();
+  const uint64_t size = file_->size();
+  if (size < kHeaderBytes + sizeof(uint32_t) + kTailBytes) {
+    return DataLossError("file too small");
+  }
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    return DataLossError("bad magic");
+  }
+  if (LoadU32(data + 8) != kFormatVersion) {
+    return DataLossError("unsupported version");
+  }
+  if (std::memcmp(data + size - sizeof(kEndMagic), kEndMagic,
+                  sizeof(kEndMagic)) != 0) {
+    return DataLossError("bad end magic (truncated?)");
+  }
+  uint32_t stored_crc = LoadU32(data + size - 12);
+  if (Crc32(data, size - 12) != stored_crc) {
+    return DataLossError("body checksum mismatch");
+  }
+  row_count_ = LoadU64(data + 16);
+
+  uint64_t table_end = size - kTailBytes;
+  uint64_t table_offset = LoadU64(data + size - kTailBytes);
+  if (table_offset < kHeaderBytes || table_offset > table_end ||
+      table_end - table_offset < sizeof(uint32_t)) {
+    return DataLossError("section table offset out of range");
+  }
+  uint32_t section_count = LoadU32(data + table_offset);
+  constexpr uint64_t kEntryBytes = 4 + 8 + 8;
+  if (section_count > 64 ||
+      table_offset + sizeof(uint32_t) + section_count * kEntryBytes !=
+          table_end) {
+    return DataLossError("section table size mismatch");
+  }
+
+  struct Section {
+    const uint8_t* data = nullptr;
+    uint64_t size = 0;
+    bool present = false;
+  };
+  std::unordered_map<uint32_t, Section> sections;
+  const uint8_t* entry = data + table_offset + sizeof(uint32_t);
+  for (uint32_t i = 0; i < section_count; ++i, entry += kEntryBytes) {
+    uint32_t id = LoadU32(entry);
+    uint64_t offset = LoadU64(entry + 4);
+    uint64_t sec_size = LoadU64(entry + 12);
+    if (offset < kHeaderBytes || offset > table_offset ||
+        sec_size > table_offset - offset) {
+      return DataLossError("section bounds out of range");
+    }
+    sections[id] = Section{data + offset, sec_size, true};
+  }
+
+  auto require = [&](uint32_t id) -> Section* {
+    auto it = sections.find(id);
+    return it == sections.end() ? nullptr : &it->second;
+  };
+
+  Section* row_ids = require(kSecRowIds);
+  Section* row_offsets = require(kSecRowOffsets);
+  Section* row_data = require(kSecRowData);
+  Section* stats = require(kSecStats);
+  if (row_ids == nullptr || row_offsets == nullptr || row_data == nullptr ||
+      stats == nullptr) {
+    return DataLossError("missing mandatory section");
+  }
+  if (row_count_ > (uint64_t{1} << 32) - 1 ||
+      row_ids->size != row_count_ * sizeof(int64_t) ||
+      row_offsets->size != (row_count_ + 1) * sizeof(uint64_t)) {
+    return DataLossError("row column size mismatch");
+  }
+  row_ids_ = row_ids->data;
+  row_offsets_ = row_offsets->data;
+  row_data_ = row_data->data;
+  row_data_size_ = row_data->size;
+  if (LoadU64(row_offsets_) != 0 ||
+      LoadU64(row_offsets_ + row_count_ * sizeof(uint64_t)) !=
+          row_data_size_) {
+    return DataLossError("row offsets do not span row data");
+  }
+
+  auto bind_dict = [&](SegmentIndex index, Dict* dict) -> Status {
+    Section* section = require(static_cast<uint32_t>(index));
+    if (section == nullptr) return DataLossError("missing index section");
+    const uint8_t* base = section->data;
+    uint64_t sec_size = section->size;
+    if (sec_size < sizeof(uint64_t)) return DataLossError("index too small");
+    uint64_t term_count = LoadU64(base);
+    if (term_count > (sec_size - 8) / 16) {
+      return DataLossError("index term count out of range");
+    }
+    uint64_t arrays = 2 * (term_count + 1) * sizeof(uint64_t);
+    if (sec_size < sizeof(uint64_t) + arrays) {
+      return DataLossError("index arrays out of range");
+    }
+    dict->term_count = term_count;
+    dict->key_offsets = base + sizeof(uint64_t);
+    dict->post_offsets =
+        dict->key_offsets + (term_count + 1) * sizeof(uint64_t);
+    dict->key_blob = dict->post_offsets + (term_count + 1) * sizeof(uint64_t);
+    dict->key_blob_size =
+        LoadU64(dict->key_offsets + term_count * sizeof(uint64_t));
+    dict->total_postings =
+        LoadU64(dict->post_offsets + term_count * sizeof(uint64_t));
+    uint64_t body = sizeof(uint64_t) + arrays;
+    if (dict->key_blob_size > sec_size - body) {
+      return DataLossError("index key blob out of range");
+    }
+    dict->postings = dict->key_blob + dict->key_blob_size;
+    if (dict->total_postings * sizeof(uint32_t) !=
+        sec_size - body - dict->key_blob_size) {
+      return DataLossError("index postings out of range");
+    }
+    return Status::Ok();
+  };
+  GOALEX_RETURN_IF_ERROR(bind_dict(SegmentIndex::kCompany, &company_));
+  GOALEX_RETURN_IF_ERROR(bind_dict(SegmentIndex::kFieldKind, &field_kind_));
+  GOALEX_RETURN_IF_ERROR(bind_dict(SegmentIndex::kFieldValue, &field_value_));
+  GOALEX_RETURN_IF_ERROR(bind_dict(SegmentIndex::kDeadlineYear, &year_));
+  GOALEX_RETURN_IF_ERROR(bind_dict(SegmentIndex::kText, &text_));
+
+  size_t pos = 0;
+  if (!ParseStatsMap(stats->data, stats->size, &pos, &company_rows_) ||
+      !ParseStatsMap(stats->data, stats->size, &pos, &company_kind_rows_) ||
+      pos != stats->size) {
+    return DataLossError("corrupt stats section");
+  }
+  return Status::Ok();
+}
+
+int64_t SealedSegment::RowIdAt(uint64_t ordinal) const {
+  if (ordinal >= row_count_) return -1;
+  return LoadI64(row_ids_ + ordinal * sizeof(int64_t));
+}
+
+bool SealedSegment::ReadRow(uint64_t ordinal, Row* out) const {
+  if (ordinal >= row_count_) return false;
+  uint64_t begin = LoadU64(row_offsets_ + ordinal * sizeof(uint64_t));
+  uint64_t end = LoadU64(row_offsets_ + (ordinal + 1) * sizeof(uint64_t));
+  if (begin > end || end > row_data_size_) return false;
+  size_t pos = 0;
+  return DecodeRow(row_data_ + begin, end - begin, &pos, out) &&
+         pos == end - begin;
+}
+
+std::optional<uint64_t> SealedSegment::FindRowId(int64_t row_id) const {
+  uint64_t lo = 0;
+  uint64_t hi = row_count_;
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (RowIdAt(mid) < row_id) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < row_count_ && RowIdAt(lo) == row_id) return lo;
+  return std::nullopt;
+}
+
+const SealedSegment::Dict* SealedSegment::DictFor(SegmentIndex index) const {
+  switch (index) {
+    case SegmentIndex::kCompany:
+      return &company_;
+    case SegmentIndex::kFieldKind:
+      return &field_kind_;
+    case SegmentIndex::kFieldValue:
+      return &field_value_;
+    case SegmentIndex::kDeadlineYear:
+      return &year_;
+    case SegmentIndex::kText:
+      return &text_;
+  }
+  return nullptr;
+}
+
+PostingsView SealedSegment::Postings(SegmentIndex index,
+                                     std::string_view key) const {
+  const Dict* dict = DictFor(index);
+  if (dict == nullptr) return {};
+  uint64_t i = dict->LowerBound(key);
+  if (i < dict->term_count && dict->KeyAt(i) == key) {
+    return dict->PostingsAt(i);
+  }
+  return {};
+}
+
+void SealedSegment::ForEachKey(
+    SegmentIndex index,
+    const std::function<void(std::string_view)>& fn) const {
+  const Dict* dict = DictFor(index);
+  if (dict == nullptr) return;
+  for (uint64_t i = 0; i < dict->term_count; ++i) fn(dict->KeyAt(i));
+}
+
+void SealedSegment::ForEachYearInRange(
+    int min_year, int max_year,
+    const std::function<void(const PostingsView&)>& fn) const {
+  if (min_year > max_year) return;
+  std::string lo_key = YearKey(min_year);
+  std::string hi_key = YearKey(max_year);
+  for (uint64_t i = year_.LowerBound(lo_key);
+       i < year_.term_count && year_.KeyAt(i) <= hi_key; ++i) {
+    fn(year_.PostingsAt(i));
+  }
+}
+
+}  // namespace goalex::storage

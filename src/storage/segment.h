@@ -1,0 +1,195 @@
+#ifndef GOALEX_STORAGE_SEGMENT_H_
+#define GOALEX_STORAGE_SEGMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/env.h"
+#include "storage/row.h"
+
+namespace goalex::storage {
+
+/// Secondary-index sections of a sealed segment. Each is a sorted
+/// string-keyed dictionary of posting lists (ascending row ordinals within
+/// the segment), laid out flat so lookups are binary searches over the
+/// mmap'ed bytes — no deserialization on load.
+enum class SegmentIndex : uint32_t {
+  kCompany = 4,       ///< company -> rows
+  kFieldKind = 5,     ///< field kind (non-empty value) -> rows
+  kFieldValue = 6,    ///< FieldValueKey(kind, value) -> rows
+  kDeadlineYear = 7,  ///< YearKey(normalized deadline year) -> rows
+  kText = 8,          ///< lowercased word term -> rows (objective + details)
+};
+
+/// Composite key of the exact-value index.
+std::string FieldValueKey(std::string_view kind, std::string_view value);
+
+/// Order-preserving key encoding of a (possibly negative) year: biased and
+/// zero-padded so lexicographic order over keys equals numeric order over
+/// years, which is what makes deadline range scans a dictionary walk.
+std::string YearKey(int year);
+
+/// Lowercased indexable terms of `text`, in token order with duplicates
+/// preserved (the phrase side needs the sequence). A token is indexable
+/// when it contains an alphanumeric byte or any non-ASCII byte; pure
+/// punctuation tokens are dropped, mirroring what the index stores.
+std::vector<std::string> TextIndexTerms(std::string_view text);
+
+/// True when `terms` (from TextIndexTerms) appear contiguously, in order,
+/// in the token stream of `text` (case-insensitive). Empty phrases match.
+bool ContainsPhrase(std::string_view text,
+                    const std::vector<std::string>& terms);
+
+/// A posting list inside an mmap'ed segment: `count` little-endian u32
+/// ordinals, ascending. Accessed by value copy per element (the bytes may
+/// be unaligned).
+class PostingsView {
+ public:
+  PostingsView() = default;
+  PostingsView(const uint8_t* base, size_t count)
+      : base_(base), count_(count) {}
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  uint32_t At(size_t i) const;
+
+ private:
+  const uint8_t* base_ = nullptr;
+  size_t count_ = 0;
+};
+
+/// Builds a sealed-segment file from rows added in ascending row-id order:
+/// columnar row storage plus every secondary index and the inverted text
+/// index, serialized with a trailing section table and a whole-body CRC-32
+/// (format: DESIGN.md §12.2).
+class SegmentBuilder {
+ public:
+  /// Adds a row. Rows must arrive in strictly ascending row_id order.
+  void Add(const Row& row);
+
+  size_t num_rows() const { return row_ids_.size(); }
+
+  /// Serializes the complete segment file image.
+  std::string Serialize() const;
+
+  /// Writes Serialize() to `path` via `env` and fsyncs it. The caller is
+  /// responsible for the temp-file + rename commit protocol.
+  Status WriteTo(Env* env, const std::string& path) const;
+
+ private:
+  std::vector<int64_t> row_ids_;
+  std::vector<uint64_t> row_offsets_{0};
+  std::string row_data_;
+  /// std::map keeps keys sorted, which the on-disk dictionaries require.
+  std::map<std::string, std::vector<uint32_t>, std::less<>> company_;
+  std::map<std::string, std::vector<uint32_t>, std::less<>> field_kind_;
+  std::map<std::string, std::vector<uint32_t>, std::less<>> field_value_;
+  std::map<std::string, std::vector<uint32_t>, std::less<>> year_;
+  std::map<std::string, std::vector<uint32_t>, std::less<>> text_;
+  std::map<std::string, int64_t> company_rows_;
+  std::map<std::string, int64_t> company_kind_rows_;
+};
+
+/// An immutable, mmap-backed sealed segment. Open() maps the file, checks
+/// the framing magic and the whole-body CRC-32 (one streaming pass at
+/// memory bandwidth — this is what keeps million-row cold starts fast while
+/// still turning any bit flip into a clean DataLoss), and binds section
+/// pointers; rows and posting lists are then read straight out of the
+/// mapping, materialized only when a query touches them.
+///
+/// Every accessor is bounds-checked against the mapped region, so even a
+/// hypothetically corrupt segment (CRC collision) degrades to empty/missing
+/// results, never to out-of-bounds reads.
+class SealedSegment {
+ public:
+  static StatusOr<std::shared_ptr<SealedSegment>> Open(
+      Env* env, const std::string& path);
+
+  uint64_t num_rows() const { return row_count_; }
+  const std::string& path() const { return path_; }
+
+  /// Row id stored at `ordinal` (< num_rows).
+  int64_t RowIdAt(uint64_t ordinal) const;
+  int64_t min_row_id() const { return row_count_ == 0 ? 0 : RowIdAt(0); }
+  int64_t max_row_id() const {
+    return row_count_ == 0 ? -1 : RowIdAt(row_count_ - 1);
+  }
+
+  /// Materializes the row at `ordinal`. False only on a corrupt segment.
+  bool ReadRow(uint64_t ordinal, Row* out) const;
+
+  /// Binary-searches the row-id column. nullopt when absent.
+  std::optional<uint64_t> FindRowId(int64_t row_id) const;
+
+  /// Posting list for `key` in `index` (empty when the key is absent).
+  PostingsView Postings(SegmentIndex index, std::string_view key) const;
+
+  /// Visits every key of `index` in ascending order.
+  void ForEachKey(SegmentIndex index,
+                  const std::function<void(std::string_view)>& fn) const;
+
+  /// Visits the posting list of every deadline year in [min_year,
+  /// max_year], ascending.
+  void ForEachYearInRange(
+      int min_year, int max_year,
+      const std::function<void(const PostingsView&)>& fn) const;
+
+  /// Per-company row counts (STATS section, parsed at open).
+  const std::unordered_map<std::string, int64_t>& company_rows() const {
+    return company_rows_;
+  }
+  /// Per-(company, kind) non-empty-field counts, keyed
+  /// company + '\x1f' + kind.
+  const std::unordered_map<std::string, int64_t>& company_kind_rows() const {
+    return company_kind_rows_;
+  }
+
+ private:
+  /// A bound string-keyed dictionary section.
+  struct Dict {
+    uint64_t term_count = 0;
+    const uint8_t* key_offsets = nullptr;   ///< u64[term_count + 1]
+    const uint8_t* post_offsets = nullptr;  ///< u64[term_count + 1]
+    const uint8_t* key_blob = nullptr;
+    uint64_t key_blob_size = 0;
+    const uint8_t* postings = nullptr;  ///< u32[total_postings]
+    uint64_t total_postings = 0;
+
+    std::string_view KeyAt(uint64_t i) const;
+    PostingsView PostingsAt(uint64_t i) const;
+    /// Index of the first key >= `key`.
+    uint64_t LowerBound(std::string_view key) const;
+  };
+
+  SealedSegment() = default;
+
+  Status Bind();  // Parses the section table and binds pointers.
+  const Dict* DictFor(SegmentIndex index) const;
+
+  std::string path_;
+  std::unique_ptr<MmapFile> file_;
+  uint64_t row_count_ = 0;
+  const uint8_t* row_ids_ = nullptr;      ///< i64[row_count]
+  const uint8_t* row_offsets_ = nullptr;  ///< u64[row_count + 1]
+  const uint8_t* row_data_ = nullptr;
+  uint64_t row_data_size_ = 0;
+  Dict company_;
+  Dict field_kind_;
+  Dict field_value_;
+  Dict year_;
+  Dict text_;
+  std::unordered_map<std::string, int64_t> company_rows_;
+  std::unordered_map<std::string, int64_t> company_kind_rows_;
+};
+
+}  // namespace goalex::storage
+
+#endif  // GOALEX_STORAGE_SEGMENT_H_

@@ -1,0 +1,74 @@
+#ifndef GOALEX_STORAGE_WAL_H_
+#define GOALEX_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/env.h"
+
+namespace goalex::storage {
+
+/// Append-only write-ahead log (DESIGN.md §12.3). The file is a sequence of
+/// self-delimiting records:
+///
+///   [u32 crc][u32 len][len payload bytes]
+///
+/// crc is CRC-32 of the payload, len is never 0 (a zero length marks the
+/// end of valid data, so a zero-filled tail — the classic torn-page shape —
+/// can never parse as records). Each ObjectiveDatabase shard owns one WAL;
+/// payloads are EncodeRow() rows.
+class WalWriter {
+ public:
+  /// Opens `path` for appending (creating it if absent). `fsync_interval`
+  /// is the durability policy knob: 1 syncs after every record (default,
+  /// crash-safe), N > 1 syncs after every N-th record (bounded loss window,
+  /// higher throughput), 0 never syncs (the OS decides).
+  static StatusOr<std::unique_ptr<WalWriter>> Open(Env* env,
+                                                   const std::string& path,
+                                                   int32_t fsync_interval);
+
+  /// Appends one record and applies the fsync policy. On error the file may
+  /// hold a torn record at the tail; replay truncates it.
+  Status Append(std::string_view payload);
+
+  /// Forces an fsync regardless of the policy.
+  Status Sync();
+
+  uint64_t appended_records() const { return appended_; }
+
+ private:
+  WalWriter(std::unique_ptr<WritableFile> file, int32_t fsync_interval)
+      : file_(std::move(file)), fsync_interval_(fsync_interval) {}
+
+  std::unique_ptr<WritableFile> file_;
+  int32_t fsync_interval_;
+  uint64_t appended_ = 0;
+  uint64_t unsynced_ = 0;
+};
+
+/// Result of scanning a WAL file.
+struct WalReplayResult {
+  /// Payloads of every intact record, in file order.
+  std::vector<std::string> payloads;
+  /// Byte offset just past the last intact record. When < file size the
+  /// tail is torn or corrupt and should be truncated to this offset before
+  /// further appends.
+  uint64_t valid_bytes = 0;
+  /// True when a torn/corrupt tail was detected (valid_bytes < file size).
+  bool truncated_tail = false;
+};
+
+/// Scans the WAL at `path`. A missing file yields an empty result (a fresh
+/// database has no WAL yet). Corruption is never an error here: scanning
+/// simply stops at the first record whose length or checksum does not hold,
+/// and reports how many bytes were intact — recovery keeps the valid prefix
+/// and discards the rest, exactly the contract crash recovery needs.
+StatusOr<WalReplayResult> ReplayWal(Env* env, const std::string& path);
+
+}  // namespace goalex::storage
+
+#endif  // GOALEX_STORAGE_WAL_H_

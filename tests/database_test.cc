@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -426,6 +427,187 @@ TEST(DatabaseTest, ConcurrentInsertAndQueryStress) {
   EXPECT_EQ(counts["Shared"], kWriters * (kRowsPerWriter / 5));
   EXPECT_EQ(db.WithField("Deadline").size(),
             static_cast<size_t>(kWriters * (kRowsPerWriter / 2)));
+}
+
+TEST(DatabaseTest, LoadEmptyOrNonexistentDirIsCleanNotFound) {
+  ObjectiveDatabase db;
+  db.Insert(MakeRecord("keep me", {}), "Acme");
+
+  // Nonexistent directory.
+  Status missing = db.Load("/nonexistent/goalex-db-dir");
+  EXPECT_EQ(missing.code(), StatusCode::kNotFound);
+
+  // Existing but empty directory: neither a manifest nor a legacy file.
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     "goalex_db_empty_dir")
+                        .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  Status empty = db.Load(dir);
+  EXPECT_EQ(empty.code(), StatusCode::kNotFound);
+
+  // A failed Load leaves the database contents untouched.
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.ByCompany("Acme").size(), 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatabaseTest, SaveIntoUnwritableTargetFailsWithErrorStatus) {
+  std::string blocker = (std::filesystem::temp_directory_path() /
+                         "goalex_db_blocker")
+                            .string();
+  std::filesystem::remove_all(blocker);
+  {
+    std::ofstream out(blocker, std::ios::binary);
+    out << "a regular file where a directory is needed";
+  }
+
+  ObjectiveDatabase db;
+  db.Insert(MakeRecord("x", {}), "Acme");
+  // The target's parent is a regular file, so the directory cannot be
+  // created: Save must fail with an error Status, not crash or half-write.
+  Status status = db.Save(blocker + "/store");
+  EXPECT_FALSE(status.ok());
+  Status legacy = db.SaveLegacy(blocker + "/store");
+  EXPECT_FALSE(legacy.ok());
+  std::filesystem::remove_all(blocker);
+}
+
+TEST(DatabaseTest, OpenRecoversWalRowsAcrossReopen) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     "goalex_db_wal_reopen")
+                        .string();
+  std::filesystem::remove_all(dir);
+  DbOptions options;
+  options.background_seal = false;
+
+  std::string reference_csv;
+  {
+    ObjectiveDatabase db(4, options);
+    ASSERT_TRUE(db.Open(dir).ok());
+    EXPECT_TRUE(db.attached());
+    // Re-opening while attached is refused.
+    EXPECT_EQ(db.Open(dir).code(), StatusCode::kFailedPrecondition);
+    // Saving into the attached directory is refused (use Flush).
+    EXPECT_EQ(db.Save(dir).code(), StatusCode::kFailedPrecondition);
+    for (int i = 0; i < 50; ++i) {
+      db.Insert(MakeRecord("wal row " + std::to_string(i),
+                           {{"Amount", std::to_string(i) + "%"}}),
+                "Company" + std::to_string(i % 5));
+    }
+    reference_csv = db.ExportCsv({"Amount"});
+    // No Flush: all 50 rows live only in the shard WALs.
+    EXPECT_EQ(db.SealedSegmentCount(), 0u);
+  }
+
+  ObjectiveDatabase reopened(4, options);
+  ASSERT_TRUE(reopened.Open(dir).ok());
+  EXPECT_EQ(reopened.size(), 50u);
+  EXPECT_EQ(reopened.ExportCsv({"Amount"}), reference_csv);
+
+  // Ids continue after recovery, and recovered rows are queryable.
+  EXPECT_EQ(reopened.Insert(MakeRecord("new", {}), "Company0"), 50);
+  EXPECT_EQ(reopened.WhereFieldEquals("Amount", "7%").size(), 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatabaseTest, BackgroundSealerSealsPastThreshold) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     "goalex_db_background_seal")
+                        .string();
+  std::filesystem::remove_all(dir);
+  DbOptions options;
+  options.seal_threshold = 16;
+  options.background_seal = true;
+
+  ObjectiveDatabase db(2, options);
+  ASSERT_TRUE(db.Open(dir).ok());
+  for (int i = 0; i < 200; ++i) {
+    db.Insert(MakeRecord("row " + std::to_string(i),
+                         {{"Deadline", std::to_string(2025 + i % 10)}}),
+              "Company" + std::to_string(i % 4));
+  }
+  // The sealer runs asynchronously; poll until it has sealed something.
+  for (int spin = 0; spin < 500 && db.SealedSegmentCount() == 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(db.SealedSegmentCount(), 0u);
+
+  // Sealing moved rows out of the growing segments without losing any.
+  EXPECT_EQ(db.size(), 200u);
+  EXPECT_EQ(db.SnapshotRows().size(), 200u);
+  EXPECT_EQ(db.ByDeadlineYear(2025).size(), 20u);
+
+  // Everything — sealed and still-growing — survives a reopen.
+  ObjectiveDatabase reopened(2, options);
+  ASSERT_TRUE(reopened.Open(dir).ok());
+  EXPECT_EQ(reopened.size(), 200u);
+  EXPECT_EQ(reopened.ExportCsv({"Deadline"}), db.ExportCsv({"Deadline"}));
+  std::filesystem::remove_all(dir);
+}
+
+// Attached-mode concurrency stress: writers insert while the background
+// sealer compacts shards under a tiny threshold and readers query across
+// the sealed/growing boundary. Run under the TSAN CI job.
+TEST(DatabaseTest, AttachedConcurrentInsertQuerySealStress) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     "goalex_db_attached_stress")
+                        .string();
+  std::filesystem::remove_all(dir);
+  DbOptions options;
+  options.seal_threshold = 32;
+  options.background_seal = true;
+  options.wal_fsync_interval = 0;  // Throughput: this test is about races.
+
+  constexpr int kWriters = 3;
+  constexpr int kRowsPerWriter = 300;
+  {
+    ObjectiveDatabase db(4, options);
+    ASSERT_TRUE(db.Open(dir).ok());
+    std::atomic<bool> done{false};
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kWriters; ++w) {
+      threads.emplace_back([&db, w] {
+        for (int i = 0; i < kRowsPerWriter; ++i) {
+          std::map<std::string, std::string> fields;
+          if (i % 2 == 0) fields["Deadline"] = std::to_string(2025 + i % 10);
+          db.Insert(MakeRecord("w" + std::to_string(w) + "#" +
+                                   std::to_string(i),
+                               fields),
+                    i % 4 == 0 ? "Shared" : "Writer" + std::to_string(w));
+        }
+      });
+    }
+    for (int r = 0; r < 2; ++r) {
+      threads.emplace_back([&db, &done] {
+        size_t checksum = 0;
+        while (!done.load(std::memory_order_acquire)) {
+          checksum += db.ByCompany("Shared").size();
+          checksum += db.DeadlineYearBetween(2025, 2030).size();
+          checksum += db.QueryText("w0", TextFilter{}).size();
+          checksum += db.SnapshotRows().size();
+        }
+        volatile size_t sink = checksum;
+        (void)sink;
+      });
+    }
+    for (int w = 0; w < kWriters; ++w) threads[w].join();
+    done.store(true, std::memory_order_release);
+    for (size_t i = kWriters; i < threads.size(); ++i) threads[i].join();
+    ASSERT_TRUE(db.Flush().ok());
+    ASSERT_EQ(db.size(), static_cast<size_t>(kWriters * kRowsPerWriter));
+  }
+
+  // Every row survives the concurrent seals and a reopen, exactly once.
+  ObjectiveDatabase reopened(4, options);
+  ASSERT_TRUE(reopened.Open(dir).ok());
+  ASSERT_EQ(reopened.size(), static_cast<size_t>(kWriters * kRowsPerWriter));
+  std::set<int64_t> ids;
+  for (const DbRow& row : reopened.SnapshotRows()) ids.insert(row.row_id);
+  EXPECT_EQ(ids.size(), static_cast<size_t>(kWriters * kRowsPerWriter));
+  EXPECT_EQ(*ids.rbegin(),
+            static_cast<int64_t>(kWriters * kRowsPerWriter) - 1);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

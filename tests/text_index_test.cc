@@ -1,0 +1,393 @@
+// QueryText correctness: the inverted-index path (growing term maps plus
+// sealed-segment posting lists) is checked against a brute-force scan that
+// re-derives term sets, phrase containment, and filter predicates per row
+// from first principles, over generated corpora and handmade edge cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/database.h"
+#include "data/generator.h"
+#include "data/schema.h"
+#include "storage/row.h"
+#include "storage/segment.h"
+
+namespace goalex::core {
+namespace {
+
+const std::vector<std::string> kCompanies = {
+    "Acme Corp", "Borealis",  "Cypress",  "Dynamo",  "Everline", "Fjord",
+    "Gecko",     "Helix",     "Ionia",    "Juniper", "Krait",    "Lumen",
+};
+
+/// A query together with the term/phrase decomposition the brute-force
+/// side uses. The terms here are the *effective* AND set: phrase terms are
+/// part of it (a row must contain each phrase word before contiguity is
+/// even checked), matching the documented QueryText semantics.
+struct QueryCase {
+  std::string query;
+  std::vector<std::string> terms;
+  std::vector<std::vector<std::string>> phrases;
+  TextFilter filter;
+};
+
+/// Every text QueryText matches against: the objective text plus each
+/// non-empty field value.
+std::vector<std::string_view> RowTexts(const DbRow& row) {
+  std::vector<std::string_view> texts;
+  texts.push_back(row.record.objective_text);
+  for (const auto& [kind, value] : row.record.fields) {
+    if (!value.empty()) texts.push_back(value);
+  }
+  return texts;
+}
+
+std::unordered_set<std::string> RowTermSet(const DbRow& row) {
+  std::unordered_set<std::string> terms;
+  for (std::string_view text : RowTexts(row)) {
+    for (std::string& term : storage::TextIndexTerms(text)) {
+      terms.insert(std::move(term));
+    }
+  }
+  return terms;
+}
+
+bool MatchesFilter(const DbRow& row, const TextFilter& filter) {
+  if (!filter.company.empty() && row.company != filter.company) return false;
+  if (!filter.with_field.empty() &&
+      row.record.FieldOrEmpty(filter.with_field).empty()) {
+    return false;
+  }
+  if (filter.min_deadline_year || filter.max_deadline_year) {
+    std::optional<int> year = storage::DeadlineYearOfRecord(row.record);
+    if (!year) return false;
+    if (filter.min_deadline_year && *year < *filter.min_deadline_year) {
+      return false;
+    }
+    if (filter.max_deadline_year && *year > *filter.max_deadline_year) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MatchesCase(const DbRow& row, const QueryCase& query_case,
+                 const std::unordered_set<std::string>& row_terms) {
+  if (!MatchesFilter(row, query_case.filter)) return false;
+  // A query with no effective terms selects nothing unless the filter is
+  // active.
+  if (query_case.terms.empty() && query_case.phrases.empty()) {
+    return !query_case.filter.company.empty() ||
+           !query_case.filter.with_field.empty() ||
+           query_case.filter.min_deadline_year.has_value() ||
+           query_case.filter.max_deadline_year.has_value();
+  }
+  for (const std::string& term : query_case.terms) {
+    if (!row_terms.count(term)) return false;
+  }
+  for (const std::vector<std::string>& phrase : query_case.phrases) {
+    bool contiguous = false;
+    for (std::string_view text : RowTexts(row)) {
+      if (storage::ContainsPhrase(text, phrase)) {
+        contiguous = true;
+        break;
+      }
+    }
+    if (!contiguous) return false;
+  }
+  return true;
+}
+
+std::vector<int64_t> BruteForce(const std::vector<DbRow>& rows,
+                                const QueryCase& query_case) {
+  std::vector<int64_t> ids;
+  for (const DbRow& row : rows) {
+    if (MatchesCase(row, query_case, RowTermSet(row))) {
+      ids.push_back(row.row_id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<int64_t> Ids(const std::vector<DbRow>& rows) {
+  std::vector<int64_t> ids;
+  for (const DbRow& row : rows) ids.push_back(row.row_id);
+  return ids;
+}
+
+/// Inserts the generated corpus, assigning companies round-robin (the
+/// generator leaves Objective::company empty).
+void FillFromCorpus(ObjectiveDatabase* db, size_t count, uint64_t seed) {
+  data::SustainabilityGoalsConfig config;
+  config.objective_count = count;
+  config.seed = seed;
+  std::vector<data::Objective> corpus =
+      data::GenerateSustainabilityGoals(config);
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    data::DetailRecord record;
+    record.objective_id = corpus[i].id;
+    record.objective_text = corpus[i].text;
+    for (const data::Annotation& annotation : corpus[i].annotations) {
+      record.fields[annotation.kind] = annotation.value;
+    }
+    db->Insert(record, kCompanies[i % kCompanies.size()],
+               "report-" + std::to_string(i % 7), static_cast<int>(i % 40));
+  }
+}
+
+std::vector<QueryCase> CorpusQueries() {
+  std::vector<QueryCase> cases;
+  cases.push_back({"emissions", {"emissions"}, {}, {}});
+  cases.push_back({"reduce 2030", {"reduce", "2030"}, {}, {}});
+  cases.push_back({"CO2", {"co2"}, {}, {}});
+  cases.push_back({"50", {"50"}, {}, {}});
+  cases.push_back({"zz-no-such-term", {"zz-no-such-term"}, {}, {}});
+  cases.push_back(
+      {"\"net zero\"", {"net", "zero"}, {{"net", "zero"}}, {}});
+  cases.push_back({"reduce \"supply chain\"",
+                   {"reduce", "supply", "chain"},
+                   {{"supply", "chain"}},
+                   {}});
+  {
+    QueryCase with_company;
+    with_company.query = "emissions";
+    with_company.terms = {"emissions"};
+    with_company.filter.company = "Borealis";
+    cases.push_back(with_company);
+  }
+  {
+    QueryCase with_field;
+    with_field.query = "by";
+    with_field.terms = {"by"};
+    with_field.filter.with_field = "Deadline";
+    cases.push_back(with_field);
+  }
+  {
+    QueryCase with_years;
+    with_years.query = "reduce";
+    with_years.terms = {"reduce"};
+    with_years.filter.min_deadline_year = 2028;
+    with_years.filter.max_deadline_year = 2035;
+    cases.push_back(with_years);
+  }
+  {
+    QueryCase everything;
+    everything.query = "\"per cent\" emissions";
+    everything.terms = {"per", "cent", "emissions"};
+    everything.phrases = {{"per", "cent"}};
+    everything.filter.with_field = "Amount";
+    everything.filter.max_deadline_year = 2040;
+    cases.push_back(everything);
+  }
+  {
+    QueryCase filter_only;
+    filter_only.query = "";
+    filter_only.filter.company = "Acme Corp";
+    filter_only.filter.with_field = "Amount";
+    cases.push_back(filter_only);
+  }
+  return cases;
+}
+
+void ExpectParity(const ObjectiveDatabase& db,
+                  const std::vector<DbRow>& rows,
+                  const std::vector<QueryCase>& cases,
+                  const std::string& label) {
+  for (const QueryCase& query_case : cases) {
+    std::vector<int64_t> expected = BruteForce(rows, query_case);
+    std::vector<int64_t> actual =
+        Ids(db.QueryText(query_case.query, query_case.filter));
+    EXPECT_EQ(actual, expected)
+        << label << ": query \"" << query_case.query << "\"";
+  }
+}
+
+TEST(TextIndexTest, GrowingStoreMatchesBruteForceOnGeneratedCorpus) {
+  ObjectiveDatabase db(4);
+  FillFromCorpus(&db, 3000, /*seed=*/7);
+  std::vector<DbRow> rows = db.SnapshotRows();
+  ASSERT_EQ(rows.size(), 3000u);
+  ExpectParity(db, rows, CorpusQueries(), "growing");
+}
+
+TEST(TextIndexTest, SealedAndMixedStoresMatchGrowingExactly) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     "goalex_text_index_test")
+                        .string();
+  std::filesystem::remove_all(dir);
+
+  // Growing-only store.
+  ObjectiveDatabase growing(4);
+  FillFromCorpus(&growing, 2000, /*seed=*/11);
+  std::vector<DbRow> rows = growing.SnapshotRows();
+
+  // All-sealed store: Save + mmap Load.
+  ASSERT_TRUE(growing.Save(dir).ok());
+  ObjectiveDatabase sealed(4);
+  ASSERT_TRUE(sealed.Load(dir).ok());
+  ASSERT_GT(sealed.SealedSegmentCount(), 0u);
+  ASSERT_EQ(sealed.size(), rows.size());
+
+  // Mixed store: an attached database with sealed segments below live
+  // growing rows (insert, Flush, insert more).
+  std::string mixed_dir = dir + "_mixed";
+  std::filesystem::remove_all(mixed_dir);
+  DbOptions options;
+  options.background_seal = false;
+  ObjectiveDatabase mixed(4, options);
+  ASSERT_TRUE(mixed.Open(mixed_dir).ok());
+  {
+    data::SustainabilityGoalsConfig config;
+    config.objective_count = 2000;
+    config.seed = 11;
+    std::vector<data::Objective> corpus =
+        data::GenerateSustainabilityGoals(config);
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      if (i == corpus.size() * 2 / 3) {
+        ASSERT_TRUE(mixed.Flush().ok());
+      }
+      data::DetailRecord record;
+      record.objective_id = corpus[i].id;
+      record.objective_text = corpus[i].text;
+      for (const data::Annotation& annotation : corpus[i].annotations) {
+        record.fields[annotation.kind] = annotation.value;
+      }
+      mixed.Insert(record, kCompanies[i % kCompanies.size()],
+                   "report-" + std::to_string(i % 7),
+                   static_cast<int>(i % 40));
+    }
+  }
+  ASSERT_GT(mixed.SealedSegmentCount(), 0u);
+  ASSERT_EQ(mixed.size(), rows.size());
+
+  std::vector<QueryCase> cases = CorpusQueries();
+  ExpectParity(growing, rows, cases, "growing");
+  ExpectParity(sealed, rows, cases, "sealed");
+  ExpectParity(mixed, rows, cases, "mixed");
+
+  std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(mixed_dir);
+}
+
+TEST(TextIndexTest, EdgeTermsPhrasesAndFilters) {
+  ObjectiveDatabase db(2);
+  auto insert = [&](const std::string& text, const std::string& company,
+                    std::map<std::string, std::string> fields =
+                        std::map<std::string, std::string>{}) {
+    data::DetailRecord record;
+    record.objective_id = "e";
+    record.objective_text = text;
+    record.fields = std::move(fields);
+    return db.Insert(record, company);
+  };
+  int64_t r0 = insert("Cut CO2 emissions by 50% by 2030.", "Acme",
+                      {{"Amount", "50%"}, {"Deadline", "2030"}});
+  int64_t r1 = insert("Emissions will be cut in half.", "Beta");
+  int64_t r2 = insert("Réduire les émissions de moitié.", "Acme");
+  int64_t r3 = insert("Source renewable energy.", "Beta",
+                      {{"Qualifier", "supply chain only"}});
+  int64_t r4 = insert("cut costs, then cut emissions", "Gamma");
+
+  auto ids = [&](const std::string& query, TextFilter filter = {}) {
+    return Ids(db.QueryText(query, filter));
+  };
+  using IdList = std::vector<int64_t>;
+
+  // Case-insensitive matching over objective text.
+  EXPECT_EQ(ids("EMISSIONS"), (IdList{r0, r1, r4}));
+  EXPECT_EQ(ids("emissions"), (IdList{r0, r1, r4}));
+  // Terms found only in a field value still match.
+  EXPECT_EQ(ids("chain"), (IdList{r3}));
+  // Non-ASCII terms round-trip through the index.
+  EXPECT_EQ(ids("émissions"), (IdList{r2}));
+  // AND semantics across terms; duplicates collapse.
+  EXPECT_EQ(ids("cut emissions"), (IdList{r0, r1, r4}));
+  EXPECT_EQ(ids("cut cut emissions"), (IdList{r0, r1, r4}));
+  EXPECT_EQ(ids("cut renewable"), IdList{});
+  // Punctuation-only and empty queries select nothing without a filter.
+  EXPECT_EQ(ids(""), IdList{});
+  EXPECT_EQ(ids("?!... ,,"), IdList{});
+  // ...but with a filter they mean "everything the filter selects".
+  {
+    TextFilter acme;
+    acme.company = "Acme";
+    EXPECT_EQ(ids("", acme), (IdList{r0, r2}));
+    EXPECT_EQ(ids("emissions", acme), (IdList{r0}));
+  }
+  // Phrases require contiguity; the same words scattered do not match.
+  EXPECT_EQ(ids("\"cut emissions\""), (IdList{r4}));
+  EXPECT_EQ(ids("\"emissions by 50\""), (IdList{r0}));
+  EXPECT_EQ(ids("\"supply chain\""), (IdList{r3}));
+  EXPECT_EQ(ids("\"emissions cut\""), IdList{});
+  // A single-word phrase behaves like a plain term.
+  EXPECT_EQ(ids("\"emissions\""), (IdList{r0, r1, r4}));
+  // An unterminated quote runs to the end of the query.
+  EXPECT_EQ(ids("\"cut emissions"), (IdList{r4}));
+  // Field filters and deadline windows compose with terms.
+  {
+    TextFilter deadline;
+    deadline.with_field = "Deadline";
+    EXPECT_EQ(ids("emissions", deadline), (IdList{r0}));
+  }
+  {
+    TextFilter window;
+    window.min_deadline_year = 2029;
+    window.max_deadline_year = 2031;
+    EXPECT_EQ(ids("emissions", window), (IdList{r0}));
+    window.max_deadline_year = 2029;
+    EXPECT_EQ(ids("emissions", window), IdList{});
+  }
+}
+
+TEST(TextIndexTest, LargeCorpusParity) {
+  // Acceptance-scale check: QueryText must be multiset-equal to the brute
+  // force on a 100k+ row store. Term-only queries keep the brute force to
+  // one term-set pass per row.
+  ObjectiveDatabase db(8);
+  FillFromCorpus(&db, 100'000, /*seed=*/3);
+  std::vector<DbRow> rows = db.SnapshotRows();
+  ASSERT_EQ(rows.size(), 100'000u);
+
+  std::vector<QueryCase> cases;
+  cases.push_back({"emissions", {"emissions"}, {}, {}});
+  cases.push_back({"reduce 2030", {"reduce", "2030"}, {}, {}});
+  {
+    QueryCase filtered;
+    filtered.query = "by";
+    filtered.terms = {"by"};
+    filtered.filter.company = kCompanies[2];
+    filtered.filter.with_field = "Deadline";
+    cases.push_back(filtered);
+  }
+
+  // One brute-force pass computes each row's term set once for all cases.
+  std::vector<std::vector<int64_t>> expected(cases.size());
+  for (const DbRow& row : rows) {
+    std::unordered_set<std::string> terms = RowTermSet(row);
+    for (size_t c = 0; c < cases.size(); ++c) {
+      if (MatchesCase(row, cases[c], terms)) {
+        expected[c].push_back(row.row_id);
+      }
+    }
+  }
+  for (size_t c = 0; c < cases.size(); ++c) {
+    std::sort(expected[c].begin(), expected[c].end());
+    std::vector<int64_t> actual =
+        Ids(db.QueryText(cases[c].query, cases[c].filter));
+    EXPECT_EQ(actual, expected[c])
+        << "query \"" << cases[c].query << "\"";
+    if (c == 0) {
+      EXPECT_GT(actual.size(), 0u) << "degenerate corpus: nothing matched";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace goalex::core
