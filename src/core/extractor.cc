@@ -1,13 +1,16 @@
 #include "core/extractor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <fstream>
 #include <sstream>
 
 #include "common/check.h"
 #include "eval/timer.h"
+#include "exec/executor.h"
+#include "exec/graph.h"
 #include "obs/scope.h"
-#include "runtime/batch_runner.h"
+#include "runtime/thread_pool.h"
 #include "nn/adam.h"
 #include "nn/serialize.h"
 #include "nn/trainer.h"
@@ -44,6 +47,8 @@ DetailExtractor::DetailExtractor(ExtractorConfig config)
     }
     metrics_.objectives_per_second =
         registry.GetGauge("extractor.objectives_per_second");
+    metrics_.staged_peak =
+        registry.GetGauge("extractor.pipeline.staged_peak");
   }
 }
 
@@ -213,54 +218,100 @@ void DetailExtractor::RebuildEngine() {
       infer::Engine::ForTokenClassifier(*model_));
 }
 
-DetailExtractor::WordPrediction DetailExtractor::PredictPrepared(
-    const std::string& text) const {
-  GOALEX_CHECK_MSG(model_ != nullptr, "extractor is not trained");
-  const bool instrument = InstrumentNow();
-  WordPrediction out;
-  obs::ScopedTimer tokenize_timer(instrument ? metrics_.tokenize_seconds
-                                             : nullptr);
+void DetailExtractor::TokenizeStage(const std::string& text,
+                                    StagedClause& clause) const {
+  obs::ScopedTimer tokenize_timer(
+      InstrumentNow() ? metrics_.tokenize_seconds : nullptr);
+  WordPrediction& out = clause.prediction;
   out.prepared = Prepare(text);
   out.tokens = word_tokenizer_.Tokenize(out.prepared);
-  if (out.tokens.empty()) return out;
+  if (out.tokens.empty()) return;
 
   std::vector<std::string> words;
   words.reserve(out.tokens.size());
   for (const text::Token& t : out.tokens) words.push_back(t.text);
-  std::vector<bpe::Subword> subwords = tokenizer_->EncodeWords(words);
+  clause.subwords = tokenizer_->EncodeWords(words);
 
-  std::vector<int32_t> ids;
-  ids.push_back(bpe::Vocab::kBosId);
-  for (const bpe::Subword& sw : subwords) ids.push_back(sw.id);
-  ids.push_back(bpe::Vocab::kEosId);
-  tokenize_timer.Stop();
+  clause.ids.clear();
+  clause.ids.push_back(bpe::Vocab::kBosId);
+  for (const bpe::Subword& sw : clause.subwords) clause.ids.push_back(sw.id);
+  clause.ids.push_back(bpe::Vocab::kEosId);
+}
 
-  obs::ScopedTimer predict_timer(instrument ? metrics_.predict_seconds
-                                            : nullptr);
+void DetailExtractor::PredictStage(StagedClause& clause) const {
+  obs::ScopedTimer predict_timer(
+      InstrumentNow() ? metrics_.predict_seconds : nullptr);
   // Engine and autograd paths are bit-identical (infer_parity_test); the
   // engine is just graph-free and arena-backed.
-  std::vector<int32_t> predictions = engine_ != nullptr
-                                         ? engine_->PredictTokens(ids)
-                                         : model_->Predict(ids);
-  predict_timer.Stop();
+  clause.predictions = engine_ != nullptr ? engine_->PredictTokens(clause.ids)
+                                          : model_->Predict(clause.ids);
+}
 
+void DetailExtractor::DecodeStage(StagedClause& clause) const {
+  WordPrediction& out = clause.prediction;
   out.word_labels.assign(out.tokens.size(),
                          labels::LabelCatalog::kOutsideId);
   // Position p in the prediction corresponds to subword p-1 (skip BOS);
   // the tail may be truncated by max_seq_len.
-  for (size_t p = 1; p < predictions.size(); ++p) {
+  for (size_t p = 1; p < clause.predictions.size(); ++p) {
     size_t sub = p - 1;
-    if (sub >= subwords.size()) break;  // EOS position or truncation.
-    if (subwords[sub].is_word_start) {
-      out.word_labels[subwords[sub].word_index] = predictions[p];
+    if (sub >= clause.subwords.size()) break;  // EOS or truncation.
+    if (clause.subwords[sub].is_word_start) {
+      out.word_labels[clause.subwords[sub].word_index] =
+          clause.predictions[p];
     }
   }
-  return out;
+}
+
+DetailExtractor::WordPrediction DetailExtractor::PredictPrepared(
+    const std::string& text) const {
+  GOALEX_CHECK_MSG(model_ != nullptr, "extractor is not trained");
+  StagedClause clause;
+  TokenizeStage(text, clause);
+  if (clause.prediction.tokens.empty()) return std::move(clause.prediction);
+  PredictStage(clause);
+  DecodeStage(clause);
+  return std::move(clause.prediction);
 }
 
 std::vector<labels::LabelId> DetailExtractor::PredictWordLabels(
     const std::string& text) const {
   return PredictPrepared(text).word_labels;
+}
+
+std::vector<std::string> DetailExtractor::ClauseTexts(
+    const std::string& text) const {
+  if (config_.segment_multi_target) {
+    segment::ObjectiveSegmenter segmenter;
+    std::vector<segment::Segment> segments = segmenter.Split(text);
+    if (segments.size() > 1) {
+      std::vector<std::string> clauses;
+      clauses.reserve(segments.size());
+      for (segment::Segment& seg : segments) {
+        clauses.push_back(std::move(seg.text));
+      }
+      return clauses;
+    }
+  }
+  // Single-target: extract from the original text, not the segmenter's
+  // view of it.
+  return {text};
+}
+
+data::DetailRecord DetailExtractor::MergeClauseRecords(
+    const data::Objective& objective,
+    std::vector<data::DetailRecord>& parts) const {
+  if (parts.size() == 1) return std::move(parts[0]);
+  // The first clause's value wins per field (it is the annotated target).
+  data::DetailRecord merged;
+  merged.objective_id = objective.id;
+  merged.objective_text = objective.text;
+  for (data::DetailRecord& part : parts) {
+    for (const auto& [kind, value] : part.fields) {
+      merged.fields.emplace(kind, value);  // Keeps the first value.
+    }
+  }
+  return merged;
 }
 
 data::DetailRecord DetailExtractor::Extract(
@@ -271,40 +322,34 @@ data::DetailRecord DetailExtractor::Extract(
                                             : nullptr);
   if (instrument) metrics_.objectives->Increment();
 
-  if (config_.segment_multi_target) {
-    segment::ObjectiveSegmenter segmenter;
-    std::vector<segment::Segment> segments = segmenter.Split(objective.text);
-    if (segments.size() > 1) {
-      // Extract each single-target clause independently and merge; the
-      // first clause's value wins per field (it is the annotated target).
-      data::DetailRecord merged;
-      merged.objective_id = objective.id;
-      merged.objective_text = objective.text;
-      for (const segment::Segment& seg : segments) {
-        data::Objective clause;
-        clause.id = objective.id;
-        clause.text = seg.text;
-        data::DetailRecord part = ExtractSingle(clause);
-        for (const auto& [kind, value] : part.fields) {
-          merged.fields.emplace(kind, value);  // Keeps the first value.
-        }
-      }
-      return merged;
-    }
+  std::vector<std::string> clause_texts = ClauseTexts(objective.text);
+  if (clause_texts.size() == 1) return ExtractSingle(objective);
+  std::vector<data::DetailRecord> parts;
+  parts.reserve(clause_texts.size());
+  for (const std::string& clause_text : clause_texts) {
+    data::Objective clause;
+    clause.id = objective.id;
+    clause.text = clause_text;
+    parts.push_back(ExtractSingle(clause));
   }
-  return ExtractSingle(objective);
+  return MergeClauseRecords(objective, parts);
 }
 
 data::DetailRecord DetailExtractor::ExtractSingle(
     const data::Objective& objective) const {
+  // One pass through the inference pipeline: normalization, word
+  // tokenization, and BPE encoding all happen exactly once per objective.
+  return DecodeRecord(objective, PredictPrepared(objective.text));
+}
+
+data::DetailRecord DetailExtractor::DecodeRecord(
+    const data::Objective& objective,
+    const WordPrediction& prediction) const {
   data::DetailRecord record;
   record.objective_id = objective.id;
   record.objective_text = objective.text;
 
-  // One pass through the inference pipeline: normalization, word
-  // tokenization, and BPE encoding all happen exactly once per objective.
   const bool instrument = InstrumentNow();
-  WordPrediction prediction = PredictPrepared(objective.text);
   if (prediction.tokens.empty()) {
     if (instrument) metrics_.empty_objectives->Increment();
     return record;
@@ -338,15 +383,89 @@ std::vector<data::DetailRecord> DetailExtractor::ExtractAll(
     const std::vector<data::Objective>& objectives, int32_t num_threads,
     runtime::Stats* stats) const {
   GOALEX_CHECK_MSG(model_ != nullptr, "extractor is not trained");
-  runtime::BatchRunner runner(num_threads);
-  std::vector<data::DetailRecord> out = runner.Map<data::DetailRecord>(
-      objectives.size(), [this, &objectives](size_t i) {
-        return Extract(objectives[i]);
-      });
-  if (stats != nullptr) *stats = runner.last_stats();
-  if (InstrumentNow()) {
-    metrics_.objectives_per_second->Set(
-        runner.last_stats().ItemsPerSecond());
+  const size_t n = objectives.size();
+  std::vector<data::DetailRecord> out(n);
+  runtime::ThreadPool pool(num_threads);
+  runtime::Stats run_stats;
+  run_stats.items = n;
+  run_stats.threads = pool.thread_count();
+  if (n == 0) {
+    if (stats != nullptr) *stats = run_stats;
+    return out;
+  }
+
+  // Pipeline state held between an objective's stage nodes; released at
+  // the decode node (its last use), so in-flight memory tracks executor
+  // concurrency, not corpus size — the LIFO own-queue runs chains
+  // depth-first instead of tokenizing everything before predicting.
+  struct StagedObjective {
+    std::vector<std::string> clause_texts;
+    std::vector<StagedClause> clauses;
+  };
+  std::vector<StagedObjective> staged(n);
+  std::atomic<int64_t> in_flight{0};
+  std::atomic<int64_t> staged_peak{0};
+
+  const bool instrument = InstrumentNow();
+  exec::Executor executor(&pool);
+  exec::Graph graph;
+  for (size_t i = 0; i < n; ++i) {
+    const exec::NodeId tokenize = graph.Add([this, i, &objectives, &staged,
+                                             &in_flight, &staged_peak,
+                                             instrument] {
+      if (instrument) metrics_.objectives->Increment();
+      const int64_t now = in_flight.fetch_add(1, std::memory_order_relaxed) + 1;
+      int64_t peak = staged_peak.load(std::memory_order_relaxed);
+      while (now > peak && !staged_peak.compare_exchange_weak(
+                               peak, now, std::memory_order_relaxed)) {
+      }
+      StagedObjective& obj = staged[i];
+      obj.clause_texts = ClauseTexts(objectives[i].text);
+      obj.clauses.resize(obj.clause_texts.size());
+      for (size_t c = 0; c < obj.clause_texts.size(); ++c) {
+        TokenizeStage(obj.clause_texts[c], obj.clauses[c]);
+      }
+    });
+    const exec::NodeId predict = graph.Add(
+        [this, i, &staged] {
+          for (StagedClause& clause : staged[i].clauses) {
+            if (!clause.prediction.tokens.empty()) PredictStage(clause);
+          }
+        },
+        {tokenize});
+    graph.Add(
+        [this, i, &objectives, &staged, &out, &in_flight] {
+          StagedObjective& obj = staged[i];
+          std::vector<data::DetailRecord> parts;
+          parts.reserve(obj.clauses.size());
+          const bool single = obj.clauses.size() == 1;
+          for (size_t c = 0; c < obj.clauses.size(); ++c) {
+            StagedClause& clause = obj.clauses[c];
+            if (!clause.prediction.tokens.empty()) DecodeStage(clause);
+            data::Objective clause_obj;
+            clause_obj.id = objectives[i].id;
+            // Single-target objectives decode against the original text,
+            // exactly like Extract().
+            clause_obj.text =
+                single ? objectives[i].text : obj.clause_texts[c];
+            parts.push_back(DecodeRecord(clause_obj, clause.prediction));
+          }
+          out[i] = MergeClauseRecords(objectives[i], parts);
+          staged[i] = StagedObjective{};  // Last use: free staged buffers.
+          in_flight.fetch_sub(1, std::memory_order_relaxed);
+        },
+        {predict});
+  }
+
+  Status status = executor.Run(graph);  // Rethrows stage exceptions.
+  GOALEX_CHECK_OK(status);              // Chains cannot form a cycle.
+  run_stats.seconds = executor.last_run().wall_seconds;
+  run_stats.busy_seconds = executor.last_run().busy_seconds;
+  if (stats != nullptr) *stats = run_stats;
+  if (instrument) {
+    metrics_.objectives_per_second->Set(run_stats.ItemsPerSecond());
+    metrics_.staged_peak->Set(
+        static_cast<double>(staged_peak.load(std::memory_order_relaxed)));
   }
   return out;
 }

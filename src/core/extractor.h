@@ -60,10 +60,15 @@ class DetailExtractor {
   /// loaded) model.
   data::DetailRecord Extract(const data::Objective& objective) const;
 
-  /// Extracts details for a whole collection, fanning the per-objective
-  /// inference out over `config().num_threads` workers. The output is
-  /// order-preserving (record i belongs to objective i) and byte-identical
-  /// to the serial path for every thread count.
+  /// Extracts details for a whole collection as a staged task graph: each
+  /// objective is a tokenize -> predict -> decode node chain on a
+  /// work-stealing executor, so stages of different examples overlap (one
+  /// worker can decode objective 3 while another predicts objective 7).
+  /// Chains run depth-first (LIFO own-queue), so staged buffers die at the
+  /// decode node and in-flight memory stays ~O(workers), not O(n). The
+  /// output is order-preserving (record i belongs to objective i) and
+  /// byte-identical to the serial Extract() path for every thread count —
+  /// the stages are the same code Extract() composes inline.
   std::vector<data::DetailRecord> ExtractAll(
       const std::vector<data::Objective>& objectives) const;
 
@@ -110,6 +115,9 @@ class DetailExtractor {
     obs::Counter* spans = nullptr;
     std::vector<obs::Counter*> spans_by_kind;  ///< Parallel to kinds.
     obs::Gauge* objectives_per_second = nullptr;
+    /// High-water count of objectives simultaneously holding staged
+    /// pipeline state (tokenized but not yet decoded) in ExtractAll.
+    obs::Gauge* staged_peak = nullptr;
   };
 
   /// True when this call should record metrics (handles resolved and the
@@ -133,9 +141,36 @@ class DetailExtractor {
     std::vector<labels::LabelId> word_labels; ///< One label per token.
   };
 
-  /// Runs the inference pipeline once. Thread-safe after Train()/Load():
-  /// the model, tokenizer, and catalog are immutable by then, and each
-  /// worker thread executes the compiled plan in its own arena.
+  /// Pipeline state of one (single-target) clause between stages. The
+  /// serial Extract() path and the staged ExtractAll() graph run the exact
+  /// same three stage methods over this struct, which is what makes their
+  /// outputs byte-identical.
+  struct StagedClause {
+    WordPrediction prediction;
+    std::vector<bpe::Subword> subwords;
+    std::vector<int32_t> ids;          ///< Subword ids with BOS/EOS.
+    std::vector<int32_t> predictions;  ///< Model output per position.
+  };
+
+  /// Stage 1: normalize, word-tokenize, and BPE-encode `text` into
+  /// `clause`. After it, `clause.prediction.tokens.empty()` means there is
+  /// nothing to predict (stages 2/3 must be skipped).
+  void TokenizeStage(const std::string& text, StagedClause& clause) const;
+
+  /// Stage 2: run the model (engine or autograd) over clause.ids.
+  void PredictStage(StagedClause& clause) const;
+
+  /// Stage 3 (first half): map subword predictions back to word labels.
+  void DecodeStage(StagedClause& clause) const;
+
+  /// Splits an objective text into single-target clause texts; returns the
+  /// whole text as one clause unless segmentation is on and finds > 1.
+  std::vector<std::string> ClauseTexts(const std::string& text) const;
+
+  /// Runs the inference pipeline once (the three stages back to back).
+  /// Thread-safe after Train()/Load(): the model, tokenizer, and catalog
+  /// are immutable by then, and each worker thread executes the compiled
+  /// plan in its own arena.
   WordPrediction PredictPrepared(const std::string& text) const;
 
   /// Compiles the inference plan for the current model (no-op when
@@ -145,6 +180,17 @@ class DetailExtractor {
 
   /// Extracts from one (already single-target) objective.
   data::DetailRecord ExtractSingle(const data::Objective& objective) const;
+
+  /// Stage 3 (second half): decode IOB spans from a finished prediction
+  /// and read the surface values out of the prepared text.
+  data::DetailRecord DecodeRecord(const data::Objective& objective,
+                                  const WordPrediction& prediction) const;
+
+  /// Merges per-clause records in clause order (first value wins per
+  /// field) under the original objective's id/text. `parts` is consumed.
+  data::DetailRecord MergeClauseRecords(
+      const data::Objective& objective,
+      std::vector<data::DetailRecord>& parts) const;
 
   /// Normalizes an objective text per config.
   std::string Prepare(const std::string& text) const;

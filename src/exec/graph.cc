@@ -1,0 +1,68 @@
+#include "exec/graph.h"
+
+#include <deque>
+
+#include "common/check.h"
+
+namespace goalex::exec {
+
+NodeId Graph::Add(std::function<void()> fn, std::vector<NodeId> deps,
+                  NodeOptions options) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  for (NodeId dep : deps) {
+    GOALEX_CHECK(dep >= 0 && dep < id);
+    nodes_[static_cast<size_t>(dep)].dependents.push_back(id);
+  }
+  Node node;
+  node.fn = std::move(fn);
+  node.deps = std::move(deps);
+  node.uses_scratch = options.uses_scratch;
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+Status Graph::AddEdge(NodeId from, NodeId to) {
+  const NodeId n = static_cast<NodeId>(nodes_.size());
+  if (from < 0 || from >= n || to < 0 || to >= n) {
+    return InvalidArgumentError("AddEdge: unknown node id");
+  }
+  if (from == to) return InvalidArgumentError("AddEdge: self-dependency");
+  nodes_[static_cast<size_t>(from)].dependents.push_back(to);
+  nodes_[static_cast<size_t>(to)].deps.push_back(from);
+  return Status::Ok();
+}
+
+std::vector<NodeId> Graph::TopologicalOrder() const {
+  const size_t n = nodes_.size();
+  std::vector<int32_t> pending(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    pending[i] = static_cast<int32_t>(nodes_[i].deps.size());
+  }
+  // A deque seeded and drained in ascending-id order makes the result
+  // stable: it is also the serial executor's execution order fallback.
+  std::deque<NodeId> ready;
+  for (size_t i = 0; i < n; ++i) {
+    if (pending[i] == 0) ready.push_back(static_cast<NodeId>(i));
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    NodeId id = ready.front();
+    ready.pop_front();
+    order.push_back(id);
+    for (NodeId dep : nodes_[static_cast<size_t>(id)].dependents) {
+      if (--pending[static_cast<size_t>(dep)] == 0) ready.push_back(dep);
+    }
+  }
+  if (order.size() != n) order.clear();  // Cycle.
+  return order;
+}
+
+Status Graph::Validate() const {
+  if (!nodes_.empty() && TopologicalOrder().empty()) {
+    return InvalidArgumentError("task graph contains a cycle");
+  }
+  return Status::Ok();
+}
+
+}  // namespace goalex::exec

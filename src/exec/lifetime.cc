@@ -1,0 +1,103 @@
+#include "exec/lifetime.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace goalex::exec {
+
+LifetimePlan PlanScratchLifetimes(const Graph& graph, int worker_count) {
+  GOALEX_CHECK_GE(worker_count, 1);
+  LifetimePlan plan;
+  const size_t n = graph.node_count();
+  // chain[i] = scratch nodes on the heaviest dependency chain ending at i.
+  // Nodes only depend on earlier ids through Add; AddEdge can introduce
+  // back-edges, but planning runs on builder-constructed graphs — walk in
+  // id order and ignore any dep with a larger id (a cyclic graph is
+  // rejected by the executor before scratch sizing matters).
+  std::vector<uint32_t> chain(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t deepest = 0;
+    for (NodeId dep : graph.deps(static_cast<NodeId>(i))) {
+      if (static_cast<size_t>(dep) < i) {
+        deepest = std::max(deepest, chain[static_cast<size_t>(dep)]);
+      }
+    }
+    chain[i] = deepest + (graph.uses_scratch(static_cast<NodeId>(i)) ? 1 : 0);
+    if (graph.uses_scratch(static_cast<NodeId>(i))) ++plan.scratch_nodes;
+    plan.longest_scratch_chain =
+        std::max<size_t>(plan.longest_scratch_chain, chain[i]);
+  }
+  if (plan.scratch_nodes == 0) return plan;
+  const size_t antichain_bound =
+      plan.scratch_nodes - plan.longest_scratch_chain + 1;
+  plan.lease_count = static_cast<int>(
+      std::min({static_cast<size_t>(worker_count), plan.scratch_nodes,
+                antichain_bound}));
+  plan.lease_count = std::max(plan.lease_count, 1);
+  return plan;
+}
+
+void ScratchPool::EnsureCapacity(int lease_count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max(capacity_, lease_count);
+}
+
+tensor::ScratchAllocator* ScratchPool::Acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!free_.empty()) {
+    tensor::ScratchAllocator* allocator = free_.back();
+    free_.pop_back();
+    return allocator;
+  }
+  GOALEX_CHECK_MSG(static_cast<int>(allocators_.size()) < capacity_,
+                   "ScratchPool lease demand exceeded the planned capacity");
+  allocators_.push_back(std::make_unique<tensor::ScratchAllocator>());
+  return allocators_.back().get();
+}
+
+void ScratchPool::Release(tensor::ScratchAllocator* allocator) {
+  if (allocator == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(allocator);
+}
+
+int ScratchPool::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+int ScratchPool::resident_allocators() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(allocators_.size());
+}
+
+size_t ScratchPool::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& a : allocators_) total += a->cached_bytes();
+  return total;
+}
+
+size_t ScratchPool::peak_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& a : allocators_) total += a->peak_bytes();
+  return total;
+}
+
+uint64_t ScratchPool::reuse_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& a : allocators_) total += a->reuse_count();
+  return total;
+}
+
+uint64_t ScratchPool::alloc_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& a : allocators_) total += a->alloc_count();
+  return total;
+}
+
+}  // namespace goalex::exec

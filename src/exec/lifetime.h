@@ -1,0 +1,101 @@
+#ifndef GOALEX_EXEC_LIFETIME_H_
+#define GOALEX_EXEC_LIFETIME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "exec/graph.h"
+#include "tensor/scratch.h"
+
+namespace goalex::exec {
+
+/// Result of the buffer-lifetime pass over one graph.
+struct LifetimePlan {
+  /// Scratch allocators the executor can ever need live at once for this
+  /// graph: min(worker_count, scratch node count, antichain bound).
+  int lease_count = 0;
+  /// Scratch-tagged nodes in the graph.
+  size_t scratch_nodes = 0;
+  /// Longest dependency chain measured in scratch nodes.
+  size_t longest_scratch_chain = 0;
+};
+
+/// Walks `graph` and bounds how many scratch-tagged nodes can execute
+/// concurrently. Two bounds compose:
+///  * the executor never runs more than `worker_count` nodes at once;
+///  * scratch nodes on a common dependency chain can never overlap, so a
+///    maximum antichain has at most S - L + 1 nodes, where S is the number
+///    of scratch nodes and L the longest scratch chain (removing a maximum
+///    chain costs any antichain at most one node).
+/// The pre-refactor eager plan pinned one allocator per gradient slot for
+/// the trainer's whole lifetime; this plan is what lets a 16-slot batch on
+/// 4 workers hold 4 allocators instead of 16, and lets every allocator be
+/// released at its node's completion (last use) instead of end-of-batch.
+LifetimePlan PlanScratchLifetimes(const Graph& graph, int worker_count);
+
+/// A bounded pool of tensor::ScratchAllocators leased to scratch-tagged
+/// nodes for the duration of their execution. Allocators are created
+/// lazily up to the capacity, so the resident set reflects actual peak
+/// concurrency, not the configured ceiling. Recycled storage is zero-filled
+/// (BufferPool contract), so which lease a node receives can never change
+/// results — determinism is preserved by construction.
+///
+/// Thread-safe; Acquire aborts (CHECK) if demand ever exceeds capacity,
+/// which the executor rules out by sizing capacity from PlanScratchLifetimes
+/// with the worker count as a floor bound.
+class ScratchPool {
+ public:
+  ScratchPool() = default;
+
+  /// Grows capacity to at least `lease_count` (monotone; never shrinks).
+  void EnsureCapacity(int lease_count);
+
+  tensor::ScratchAllocator* Acquire();
+  void Release(tensor::ScratchAllocator* allocator);
+
+  int capacity() const;
+  /// Allocators actually materialized so far (<= capacity()).
+  int resident_allocators() const;
+
+  /// Sum of freelist bytes across resident allocators (steady-state
+  /// resident scratch once all leases are returned).
+  size_t resident_bytes() const;
+  /// Sum of per-allocator high-water bytes — the plan's peak scratch
+  /// footprint, reported via the exec.scratch.peak_bytes gauge.
+  size_t peak_bytes() const;
+
+  uint64_t reuse_count() const;
+  uint64_t alloc_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  int capacity_ = 0;
+  std::vector<std::unique_ptr<tensor::ScratchAllocator>> allocators_;
+  std::vector<tensor::ScratchAllocator*> free_;
+};
+
+/// RAII lease used by the executor around a scratch node's callback.
+class ScratchLease {
+ public:
+  explicit ScratchLease(ScratchPool* pool)
+      : pool_(pool), allocator_(pool != nullptr ? pool->Acquire() : nullptr) {}
+  ~ScratchLease() {
+    if (allocator_ != nullptr) pool_->Release(allocator_);
+  }
+
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+
+  tensor::ScratchAllocator* get() const { return allocator_; }
+
+ private:
+  ScratchPool* pool_;
+  tensor::ScratchAllocator* allocator_;
+};
+
+}  // namespace goalex::exec
+
+#endif  // GOALEX_EXEC_LIFETIME_H_

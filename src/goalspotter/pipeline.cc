@@ -1,12 +1,42 @@
 #include "goalspotter/pipeline.h"
 
-#include <mutex>
-
 #include "common/check.h"
+#include "exec/executor.h"
+#include "exec/graph.h"
 #include "obs/scope.h"
 #include "runtime/thread_pool.h"
 
 namespace goalex::goalspotter {
+
+std::vector<data::Objective> GoalSpotter::DetectObjectives(
+    const data::Report& report, PipelineStats* stats) const {
+  std::vector<data::Objective> objectives;
+  for (const data::ReportBlock& block : report.blocks) {
+    ++stats->blocks;
+    if (!detector_->IsObjective(block.text, threshold_)) continue;
+    ++stats->detected_objectives;
+
+    data::Objective objective;
+    objective.id = report.document + "#" + std::to_string(stats->blocks);
+    objective.text = block.text;
+    objective.company = report.company;
+    objective.document = report.document;
+    objective.page = block.page;
+    objectives.push_back(std::move(objective));
+  }
+  return objectives;
+}
+
+void GoalSpotter::InsertRecords(
+    const data::Report& report,
+    const std::vector<data::Objective>& objectives,
+    const std::vector<data::DetailRecord>& records,
+    core::ObjectiveDatabase* database) const {
+  for (size_t i = 0; i < records.size(); ++i) {
+    database->Insert(records[i], report.company, report.document,
+                     objectives[i].page);
+  }
+}
 
 PipelineStats GoalSpotter::ProcessReport(
     const data::Report& report, core::ObjectiveDatabase* database) const {
@@ -30,20 +60,8 @@ PipelineStats GoalSpotter::ProcessReportImpl(
 
   // Stage 1 (serial): detect the objective blocks of this report.
   obs::Span detect_span(registry, "pipeline.stage.detect");
-  std::vector<data::Objective> objectives;
-  for (const data::ReportBlock& block : report.blocks) {
-    ++stats.blocks;
-    if (!detector_->IsObjective(block.text, threshold_)) continue;
-    ++stats.detected_objectives;
-
-    data::Objective objective;
-    objective.id = report.document + "#" + std::to_string(stats.blocks);
-    objective.text = block.text;
-    objective.company = report.company;
-    objective.document = report.document;
-    objective.page = block.page;
-    objectives.push_back(std::move(objective));
-  }
+  std::vector<data::Objective> objectives =
+      DetectObjectives(report, &stats);
   detect_span.Stop();
 
   // Stage 2 (parallel): batched detail extraction over the detected
@@ -57,10 +75,7 @@ PipelineStats GoalSpotter::ProcessReportImpl(
   extract_span.Stop();
 
   obs::Span insert_span(registry, "pipeline.stage.insert");
-  for (size_t i = 0; i < records.size(); ++i) {
-    database->Insert(records[i], report.company, report.document,
-                     objectives[i].page);
-  }
+  InsertRecords(report, objectives, records, database);
   insert_span.Stop();
 
   if (registry != nullptr && obs::Active()) {
@@ -86,20 +101,69 @@ PipelineStats GoalSpotter::ProcessReportsParallel(
     const std::vector<data::Report>& reports,
     core::ObjectiveDatabase* database, int num_threads) const {
   GOALEX_CHECK(database != nullptr);
+  const size_t n = reports.size();
   runtime::ThreadPool pool(num_threads);
-  PipelineStats total;
-  std::mutex total_mu;
-  for (const data::Report& report : reports) {
-    pool.Submit([this, &report, database, &total, &total_mu] {
-      // Extraction runs serially (1 thread) inside each worker: the
-      // document fan-out already saturates the pool, and nesting pools
-      // would oversubscribe the machine.
-      PipelineStats stats = ProcessReportImpl(report, database, 1);
-      std::lock_guard<std::mutex> lock(total_mu);
-      total += stats;
+  exec::Executor executor(&pool);
+  obs::MetricsRegistry* registry = extractor_->config().enable_metrics
+                                       ? &obs::MetricsRegistry::Default()
+                                       : nullptr;
+
+  // Per-report pipeline state, indexed by report so the final summation is
+  // deterministic regardless of which worker ran which chain.
+  struct ReportState {
+    PipelineStats stats;
+    std::vector<data::Objective> objectives;
+    std::vector<data::DetailRecord> records;
+  };
+  std::vector<ReportState> states(n);
+
+  exec::Graph graph;
+  for (size_t i = 0; i < n; ++i) {
+    const exec::NodeId detect = graph.Add([this, i, &reports, &states,
+                                           registry] {
+      obs::Span span(registry, "pipeline.stage.detect");
+      ReportState& state = states[i];
+      state.stats.documents = 1;
+      state.stats.pages = reports[i].page_count;
+      state.objectives = DetectObjectives(reports[i], &state.stats);
     });
+    const exec::NodeId extract = graph.Add(
+        [this, i, &states, registry] {
+          // Extraction runs serially (1 thread) inside the chain: the
+          // document fan-out already saturates the pool, and nesting
+          // pools would oversubscribe the machine.
+          obs::Span span(registry, "pipeline.stage.extract");
+          ReportState& state = states[i];
+          state.records = extractor_->ExtractAll(state.objectives, 1,
+                                                 &state.stats.extraction);
+        },
+        {detect});
+    graph.Add(
+        [this, i, &reports, &states, database, registry] {
+          obs::Span span(registry, "pipeline.stage.insert");
+          ReportState& state = states[i];
+          InsertRecords(reports[i], state.objectives, state.records,
+                        database);
+          if (registry != nullptr && obs::Active()) {
+            registry->GetCounter("pipeline.blocks")
+                ->Increment(static_cast<uint64_t>(state.stats.blocks));
+            registry->GetCounter("pipeline.objectives")
+                ->Increment(
+                    static_cast<uint64_t>(state.stats.detected_objectives));
+          }
+          // Last use of the staged rows: free them here, not at run end.
+          state.objectives = {};
+          state.records = {};
+        },
+        {extract});
   }
-  pool.Wait();
+
+  Status status = executor.Run(graph);  // Rethrows stage exceptions.
+  GOALEX_CHECK_OK(status);              // Chains cannot form a cycle.
+
+  // Document order, independent of worker interleaving.
+  PipelineStats total;
+  for (const ReportState& state : states) total += state.stats;
   return total;
 }
 

@@ -53,10 +53,13 @@ class GoalSpotter {
   PipelineStats ProcessReports(const std::vector<data::Report>& reports,
                                core::ObjectiveDatabase* database) const;
 
-  /// Processes a fleet of reports with document-level parallelism: reports
-  /// fan out across a runtime::ThreadPool and every worker ingests into the
-  /// shared sharded database concurrently (detail extraction runs serially
-  /// inside each worker, so the pool is never oversubscribed).
+  /// Processes a fleet of reports with document-level parallelism: each
+  /// report becomes a detect -> extract -> insert node chain on a
+  /// work-stealing task-graph executor, so stages of different documents
+  /// overlap while every chain runs depth-first (detail extraction runs
+  /// serially inside each chain, so the pool is never oversubscribed).
+  /// Per-document statistics land in a report-indexed slot and are summed
+  /// in document order, so the returned PipelineStats are deterministic.
   /// `num_threads` follows the ThreadPool convention (<= 0 = auto). The
   /// resulting database holds exactly the rows of the serial path, but row
   /// ids depend on worker interleaving — use ProcessReports when ids must
@@ -73,6 +76,17 @@ class GoalSpotter {
   PipelineStats ProcessReportImpl(const data::Report& report,
                                   core::ObjectiveDatabase* database,
                                   int extract_threads) const;
+
+  /// Stage 1: scans the report's blocks and returns the detected
+  /// objectives, updating blocks/detected_objectives in `stats`.
+  std::vector<data::Objective> DetectObjectives(const data::Report& report,
+                                                PipelineStats* stats) const;
+
+  /// Stage 3: inserts record i under objective i's page.
+  void InsertRecords(const data::Report& report,
+                     const std::vector<data::Objective>& objectives,
+                     const std::vector<data::DetailRecord>& records,
+                     core::ObjectiveDatabase* database) const;
 
   const ObjectiveDetector* detector_;      // Not owned.
   const core::DetailExtractor* extractor_;  // Not owned.

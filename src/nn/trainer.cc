@@ -25,7 +25,8 @@ DataParallelTrainer::DataParallelTrainer(
                          ? runtime::ThreadPool::DefaultThreadCount()
                          : options_.num_threads,
                      slot_count_)),
-      optimizer_(master_params_, options_.adam) {
+      optimizer_(master_params_, options_.adam),
+      executor_(&pool_, &scratch_pool_) {
   GOALEX_CHECK_GE(options_.batch_size, 1);
   GOALEX_CHECK_EQ(replica_params_.size(), static_cast<size_t>(slot_count_));
 
@@ -59,7 +60,9 @@ DataParallelTrainer::DataParallelTrainer(
       rp->mutable_value() = master_params_[i]->value();
       replica_grad_[s].push_back(rp->grad().data());
     }
-    scratch_.push_back(std::make_unique<tensor::ScratchAllocator>());
+    if (options_.eager_scratch) {
+      scratch_.push_back(std::make_unique<tensor::ScratchAllocator>());
+    }
   }
 
   batch_losses_.resize(static_cast<size_t>(options_.batch_size));
@@ -91,12 +94,18 @@ double DataParallelTrainer::RunEpoch(const std::vector<size_t>& order,
     // batch: a tail of 3 examples averages over 3, not batch_size.
     const float inv_batch = 1.0f / static_cast<float>(batch);
 
+    // One task graph per batch: slot nodes (independent, scratch-leased)
+    // -> reduce-chunk nodes (each depends on every slot) -> one fused step
+    // node. The graph constrains scheduling only; every value lands in a
+    // caller-indexed slot, so the bits cannot depend on thread count.
+    exec::Graph graph;
+    std::vector<exec::NodeId> slot_nodes;
+    slot_nodes.reserve(static_cast<size_t>(slots_used));
     for (int32_t s = 0; s < slots_used; ++s) {
       const int32_t begin = s * chunk;
       const int32_t end = std::min(batch, begin + chunk);
-      pool_.Submit([this, s, begin, end, pos, epoch, inv_batch, &order,
-                    &loss_fn] {
-        tensor::ScratchScope scope(scratch_[static_cast<size_t>(s)].get());
+      auto body = [this, s, begin, end, pos, epoch, inv_batch, &order,
+                   &loss_fn] {
         for (int32_t j = begin; j < end; ++j) {
           const size_t example = order[pos + static_cast<size_t>(j)];
           Rng rng = Rng::Stream(options_.seed, static_cast<uint64_t>(example),
@@ -107,70 +116,105 @@ double DataParallelTrainer::RunEpoch(const std::vector<size_t>& order,
               static_cast<double>(loss->value().at(0));
           tensor::Backward(tensor::Scale(loss, inv_batch));
         }
-      });
+      };
+      if (options_.eager_scratch) {
+        // Eager plan: the slot's pinned allocator, installed by the node
+        // itself; the executor's scratch pool stays untouched.
+        slot_nodes.push_back(graph.Add([this, s, body] {
+          tensor::ScratchScope scope(scratch_[static_cast<size_t>(s)].get());
+          body();
+        }));
+      } else {
+        slot_nodes.push_back(
+            graph.Add(body, {}, exec::NodeOptions{/*uses_scratch=*/true}));
+      }
     }
-    pool_.Wait();
+
+    // Element-parallel, slot-sequential reduction: chunk boundaries vary
+    // with thread count, but each element's ascending-slot sum runs
+    // entirely inside the chunk node that owns it, so the bits cannot.
+    const size_t numel = static_cast<size_t>(total_numel_);
+    const size_t reduce_chunks =
+        std::min(numel, static_cast<size_t>(pool_.thread_count()));
+    std::vector<exec::NodeId> reduce_nodes;
+    reduce_nodes.reserve(reduce_chunks);
+    if (numel > 0) {
+      const size_t rbase = numel / reduce_chunks;
+      const size_t rextra = numel % reduce_chunks;
+      size_t rbegin = 0;
+      for (size_t c = 0; c < reduce_chunks; ++c) {
+        const size_t rend = rbegin + rbase + (c < rextra ? 1 : 0);
+        reduce_nodes.push_back(graph.Add(
+            [this, rbegin, rend, slots_used] {
+              obs::ScopedTimer timer(reduce_hist_);
+              ReduceRange(rbegin, rend, slots_used);
+            },
+            slot_nodes));
+        rbegin = rend;
+      }
+    }
+
+    graph.Add(
+        [this, batch] {
+          if (options_.post_reduce_hook) {
+            options_.post_reduce_hook(batch, master_params_);
+          }
+          obs::ScopedTimer timer(step_hist_);
+          optimizer_.Step();
+        },
+        reduce_nodes.empty() ? slot_nodes : reduce_nodes);
+
+    Status status = executor_.Run(graph);  // Rethrows loss_fn exceptions.
+    GOALEX_CHECK_OK(status);               // The batch graph is a DAG.
 
     // Batch-position order, independent of which slot ran where.
     for (int32_t j = 0; j < batch; ++j) {
       loss_sum += batch_losses_[static_cast<size_t>(j)];
     }
-
-    ReduceAndStep(batch, slots_used);
   }
   return loss_sum;
 }
 
-void DataParallelTrainer::ReduceAndStep(int32_t batch_examples,
-                                        int32_t slots_used) {
-  {
-    obs::ScopedTimer timer(reduce_hist_);
-    // Element-parallel, slot-sequential: chunk boundaries vary with thread
-    // count, but each element's ascending-slot sum runs entirely inside the
-    // chunk that owns it, so the bits cannot.
-    pool_.ParallelFor(
-        static_cast<size_t>(total_numel_), [&](size_t begin, size_t end) {
-          size_t idx = static_cast<size_t>(
-              std::upper_bound(param_offset_.begin(), param_offset_.end(),
-                               static_cast<int64_t>(begin)) -
-              param_offset_.begin() - 1);
-          size_t elem = begin;
-          while (elem < end) {
-            const size_t param_end = static_cast<size_t>(param_offset_[idx + 1]);
-            const size_t run_end = std::min(end, param_end);
-            const int64_t offset =
-                static_cast<int64_t>(elem) - param_offset_[idx];
-            const int64_t len = static_cast<int64_t>(run_end - elem);
-            for (int32_t s = 0; s < slots_used; ++s) {
-              tensor::AccumulateAndClear(master_grad_[idx] + offset,
-                                         replica_grad_[static_cast<size_t>(s)][idx] + offset,
-                                         len);
-            }
-            elem = run_end;
-            ++idx;
-          }
-        });
-  }
-
-  if (options_.post_reduce_hook) {
-    options_.post_reduce_hook(batch_examples, master_params_);
-  }
-
-  {
-    obs::ScopedTimer timer(step_hist_);
-    optimizer_.Step();
+void DataParallelTrainer::ReduceRange(size_t begin, size_t end,
+                                      int32_t slots_used) {
+  size_t idx = static_cast<size_t>(
+      std::upper_bound(param_offset_.begin(), param_offset_.end(),
+                       static_cast<int64_t>(begin)) -
+      param_offset_.begin() - 1);
+  size_t elem = begin;
+  while (elem < end) {
+    const size_t param_end = static_cast<size_t>(param_offset_[idx + 1]);
+    const size_t run_end = std::min(end, param_end);
+    const int64_t offset = static_cast<int64_t>(elem) - param_offset_[idx];
+    const int64_t len = static_cast<int64_t>(run_end - elem);
+    for (int32_t s = 0; s < slots_used; ++s) {
+      tensor::AccumulateAndClear(
+          master_grad_[idx] + offset,
+          replica_grad_[static_cast<size_t>(s)][idx] + offset, len);
+    }
+    elem = run_end;
+    ++idx;
   }
 }
 
 uint64_t DataParallelTrainer::scratch_reuse_count() const {
+  if (!options_.eager_scratch) return scratch_pool_.reuse_count();
   uint64_t total = 0;
   for (const auto& s : scratch_) total += s->reuse_count();
   return total;
 }
 
 uint64_t DataParallelTrainer::scratch_alloc_count() const {
+  if (!options_.eager_scratch) return scratch_pool_.alloc_count();
   uint64_t total = 0;
   for (const auto& s : scratch_) total += s->alloc_count();
+  return total;
+}
+
+size_t DataParallelTrainer::scratch_peak_bytes() const {
+  if (!options_.eager_scratch) return scratch_pool_.peak_bytes();
+  size_t total = 0;
+  for (const auto& s : scratch_) total += s->peak_bytes();
   return total;
 }
 

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "exec/executor.h"
+#include "exec/lifetime.h"
 #include "nn/adam.h"
 #include "obs/metrics.h"
 #include "runtime/thread_pool.h"
@@ -38,6 +40,12 @@ struct ParallelTrainerOptions {
   std::function<void(int32_t batch_examples,
                      const std::vector<tensor::Var>& params)>
       post_reduce_hook;
+  /// Test hook: pin one ScratchAllocator per gradient slot for the
+  /// trainer's whole lifetime (the pre-graph eager plan) instead of leasing
+  /// from the executor's ScratchPool per node. Results are bit-identical
+  /// either way (recycled scratch is zero-filled); this exists as the
+  /// peak-bytes baseline the lifetime-pass test compares against.
+  bool eager_scratch = false;
 };
 
 /// Deterministic data-parallel mini-batch trainer.
@@ -51,15 +59,27 @@ struct ParallelTrainerOptions {
 /// Adam step runs on the master parameters (visible to every replica
 /// through the shared storage).
 ///
+/// Since the task-graph refactor each batch is one exec::Graph: independent
+/// slot nodes fan into fixed-order reduce-chunk nodes which fan into a
+/// single fused step node (post_reduce_hook + Adam), all scheduled on the
+/// executor's work-stealing queues. Slot scratch comes from the executor's
+/// ScratchPool, leased per node execution and released at the node's
+/// completion (its last use) rather than pinned for the trainer's lifetime.
+///
 /// Determinism across thread counts is structural, not incidental:
-///   * The batch -> slot assignment depends only on the batch size (fixed
-///     contiguous chunks over min(batch_size, kMaxSlots) slots), never on
-///     num_threads. Each slot accumulates its examples in ascending order.
+///   * The graph encodes ordering constraints only; every result lands in a
+///     caller-indexed slot. The batch -> slot assignment depends only on
+///     the batch size (fixed contiguous chunks over min(batch_size,
+///     kMaxSlots) slots), never on num_threads. Each slot accumulates its
+///     examples in ascending order.
 ///   * Reduction always walks slots in ascending order. It is parallelized
-///     element-wise, which cannot change grouping: every element's
-///     slot-order sum happens entirely within whichever chunk owns it.
+///     element-wise across reduce nodes, which cannot change grouping:
+///     every element's slot-order sum happens entirely within whichever
+///     chunk node owns it, and all of them precede the step node.
 ///   * Dropout draws from Rng::Stream(seed, example_index, epoch) — a
 ///     private counter-based stream per example, untouched by scheduling.
+///   * Scratch leases hand out zero-filled recycled storage, so which
+///     allocator a slot node receives cannot change bits.
 /// Hence final weights are bit-identical for every num_threads value.
 class DataParallelTrainer {
  public:
@@ -89,12 +109,22 @@ class DataParallelTrainer {
   int thread_count() const { return pool_.thread_count(); }
   int32_t slot_count() const { return slot_count_; }
 
-  /// Scratch-pool telemetry, summed over slots (test hook).
+  /// Scratch telemetry: leased-pool counters on the graph plan, summed
+  /// per-slot counters under eager_scratch (test hook).
   uint64_t scratch_reuse_count() const;
   uint64_t scratch_alloc_count() const;
 
+  /// Peak scratch bytes of the active plan: the ScratchPool high-water for
+  /// the graph plan, the summed per-slot high-water under eager_scratch.
+  size_t scratch_peak_bytes() const;
+
+  /// The executor's scratch pool (test hook for lifetime-pass assertions).
+  const exec::ScratchPool& scratch_pool() const { return scratch_pool_; }
+
  private:
-  void ReduceAndStep(int32_t batch_examples, int32_t slots_used);
+  /// Ascending-slot accumulation of replica gradients into the master
+  /// gradients for elements [begin, end) of the flattened parameter space.
+  void ReduceRange(size_t begin, size_t end, int32_t slots_used);
 
   std::vector<tensor::Var> master_params_;
   std::vector<std::vector<tensor::Var>> replica_params_;
@@ -102,6 +132,8 @@ class DataParallelTrainer {
   int32_t slot_count_;
   runtime::ThreadPool pool_;
   Adam optimizer_;
+  exec::ScratchPool scratch_pool_;
+  exec::Executor executor_;
 
   // Raw gradient pointers, cached once: grad tensors are pre-touched in the
   // constructor (outside any scratch scope) and ZeroGrad/AccumulateAndClear
@@ -112,9 +144,9 @@ class DataParallelTrainer {
   std::vector<int64_t> param_offset_;  ///< Prefix sums; total at back.
   int64_t total_numel_ = 0;
 
-  // One recycling allocator per slot: a slot's forward/backward graphs are
-  // built and torn down on one task at a time, so each pool is effectively
-  // single-threaded on the hot path.
+  // Eager plan only (options_.eager_scratch): one recycling allocator
+  // pinned per slot for the trainer's lifetime. Empty on the default graph
+  // plan, which leases allocators from scratch_pool_ per slot node.
   std::vector<std::unique_ptr<tensor::ScratchAllocator>> scratch_;
 
   std::vector<double> batch_losses_;

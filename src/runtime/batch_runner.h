@@ -1,10 +1,13 @@
 #ifndef GOALEX_RUNTIME_BATCH_RUNNER_H_
 #define GOALEX_RUNTIME_BATCH_RUNNER_H_
 
-#include <chrono>
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
+#include "common/check.h"
+#include "exec/executor.h"
+#include "exec/graph.h"
 #include "obs/metrics.h"
 #include "runtime/stats.h"
 #include "runtime/thread_pool.h"
@@ -16,12 +19,20 @@ namespace goalex::runtime {
 /// written into a pre-sized vector by index — never appended — so the
 /// output is byte-identical regardless of thread count or scheduling.
 ///
+/// Since the task-graph refactor this is a thin convenience over
+/// exec::Executor: Map builds a linear map-graph (one independent node per
+/// contiguous chunk, same static partition ParallelFor used) and runs it on
+/// the executor's sharded work-stealing queues. Exceptions and metrics
+/// follow the executor's contracts; the first exception any fn(i) throws is
+/// rethrown after the remaining chunks settle.
+///
 /// The mapped callable must be safe to invoke concurrently from multiple
 /// threads (const inference paths, no lazily-mutated shared state).
 class BatchRunner {
  public:
   /// `num_threads <= 0` = auto (hardware concurrency), 1 = serial.
-  explicit BatchRunner(int num_threads) : pool_(num_threads) {
+  explicit BatchRunner(int num_threads)
+      : pool_(num_threads), executor_(&pool_) {
     if (obs::Active()) {
       obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
       batches_counter_ = registry.GetCounter("runtime.batches");
@@ -38,19 +49,32 @@ class BatchRunner {
   /// default-constructible. Rethrows the first exception any fn(i) throws.
   template <typename T, typename Fn>
   std::vector<T> Map(size_t n, Fn&& fn) {
-    double busy_before = pool_.busy_seconds();
-    auto start = std::chrono::steady_clock::now();
     std::vector<T> out(n);
-    pool_.ParallelFor(n, [&out, &fn](size_t begin, size_t end) {
-      for (size_t i = begin; i < end; ++i) out[i] = fn(i);
-    });
+    last_stats_ = Stats{};
     last_stats_.items = n;
-    last_stats_.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
     last_stats_.threads = pool_.thread_count();
-    if (batches_counter_ != nullptr) RecordBatchMetrics(busy_before);
+    if (n == 0) return out;
+
+    // Same static partition as the old ParallelFor: at most thread_count()
+    // contiguous ranges, the first n % chunks one element larger.
+    const size_t chunks =
+        std::min(n, static_cast<size_t>(pool_.thread_count()));
+    const size_t base = n / chunks;
+    const size_t extra = n % chunks;
+    exec::Graph graph;
+    size_t begin = 0;
+    for (size_t c = 0; c < chunks; ++c) {
+      const size_t end = begin + base + (c < extra ? 1 : 0);
+      graph.Add([&out, &fn, begin, end] {
+        for (size_t i = begin; i < end; ++i) out[i] = fn(i);
+      });
+      begin = end;
+    }
+    Status status = executor_.Run(graph);  // Rethrows fn exceptions.
+    GOALEX_CHECK_OK(status);               // A map-graph cannot be cyclic.
+    last_stats_.seconds = executor_.last_run().wall_seconds;
+    last_stats_.busy_seconds = executor_.last_run().busy_seconds;
+    if (batches_counter_ != nullptr) RecordBatchMetrics();
     return out;
   }
 
@@ -59,27 +83,31 @@ class BatchRunner {
   /// Counters of the most recent Map() call.
   const Stats& last_stats() const { return last_stats_; }
 
+  /// The underlying pool/executor, for callers that schedule non-map
+  /// graphs on this runner's workers (e.g. the staged extraction path).
+  ThreadPool& pool() { return pool_; }
+  exec::Executor& executor() { return executor_; }
+
  private:
   /// Off the templated hot path: records size/latency distributions and the
-  /// worker-utilization gauge (busy worker seconds / (wall * threads)) for
-  /// the run summarized in last_stats_.
-  void RecordBatchMetrics(double busy_before) {
+  /// worker-utilization gauge for the run summarized in last_stats_.
+  void RecordBatchMetrics() {
     batches_counter_->Increment();
     batch_items_hist_->Observe(static_cast<double>(last_stats_.items));
     batch_seconds_hist_->Observe(last_stats_.seconds);
     threads_gauge_->Set(static_cast<double>(last_stats_.threads));
     // A serial pool's utilization is trivially ~1, so the gauge is only
-    // reported for real multi-thread pools. Single-chunk runs on such
-    // pools are still accounted (ParallelFor routes the inline chunk
-    // through the pool's task accounting).
+    // reported for real multi-thread pools. Busy time is the sum of node
+    // execution times over one wall clock (Stats::Utilization), so a
+    // single-chunk run on a multi-thread pool reads ~1/threads and
+    // overlapping pipeline stages cannot double-count.
     if (last_stats_.threads > 1 && last_stats_.seconds > 0.0) {
-      double busy = pool_.busy_seconds() - busy_before;
-      utilization_gauge_->Set(
-          busy / (last_stats_.seconds * last_stats_.threads));
+      utilization_gauge_->Set(last_stats_.Utilization());
     }
   }
 
   ThreadPool pool_;
+  exec::Executor executor_;
   Stats last_stats_;
 
   // Observability handles (null when instrumentation is inactive).

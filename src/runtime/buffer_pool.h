@@ -1,6 +1,7 @@
 #ifndef GOALEX_RUNTIME_BUFFER_POOL_H_
 #define GOALEX_RUNTIME_BUFFER_POOL_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -44,9 +45,11 @@ class BufferPool {
         cached_bytes_ -= block->capacity() * sizeof(float);
         ++reuse_count_;
         block->assign(n, 0.0f);
+        NoteOutstanding(block->capacity());
         return block;
       }
       ++alloc_count_;
+      NoteOutstanding(n);
     }
     return std::make_unique<Block>(n, 0.0f);
   }
@@ -55,7 +58,9 @@ class BufferPool {
   void Release(std::unique_ptr<Block> block) {
     if (block == nullptr) return;
     std::lock_guard<std::mutex> lock(mu_);
-    cached_bytes_ += block->capacity() * sizeof(float);
+    const size_t bytes = block->capacity() * sizeof(float);
+    cached_bytes_ += bytes;
+    outstanding_bytes_ -= std::min(outstanding_bytes_, bytes);
     free_[block->capacity()].push_back(std::move(block));
   }
 
@@ -77,12 +82,37 @@ class BufferPool {
     return cached_bytes_;
   }
 
+  /// Bytes currently handed out to live blocks.
+  size_t outstanding_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return outstanding_bytes_;
+  }
+
+  /// High-water mark of cached + outstanding bytes — the peak scratch
+  /// footprint this pool has ever been responsible for. The buffer-lifetime
+  /// pass (exec/lifetime.h) reports the sum of these across leased
+  /// allocators as the plan's peak.
+  size_t peak_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_bytes_;
+  }
+
  private:
+  /// Caller holds mu_. Block capacities are stable for their lifetime (the
+  /// tensor layer never grows a pooled block), so the acquire-time figure
+  /// matches what Release sees.
+  void NoteOutstanding(size_t capacity) {
+    outstanding_bytes_ += capacity * sizeof(float);
+    peak_bytes_ = std::max(peak_bytes_, cached_bytes_ + outstanding_bytes_);
+  }
+
   mutable std::mutex mu_;
   std::map<size_t, std::vector<std::unique_ptr<Block>>> free_;
   uint64_t reuse_count_ = 0;
   uint64_t alloc_count_ = 0;
   size_t cached_bytes_ = 0;
+  size_t outstanding_bytes_ = 0;
+  size_t peak_bytes_ = 0;
 };
 
 }  // namespace goalex::runtime

@@ -14,16 +14,33 @@ struct Stats {
   size_t items = 0;      ///< Work items completed (e.g. objectives).
   double seconds = 0.0;  ///< Wall-clock time of the batched run.
   int threads = 1;       ///< Worker threads used.
+  /// Worker seconds spent inside items. For a staged/pipelined run this is
+  /// the sum of per-node execution times over ONE shared wall clock —
+  /// overlapping stages must not each contribute their own wall time, or
+  /// utilization double-counts the overlap (the bug the pre-graph staged
+  /// paths had). 0 when the producing path does not account busy time.
+  double busy_seconds = 0.0;
 
   double ItemsPerSecond() const {
     return seconds > 0.0 ? static_cast<double>(items) / seconds : 0.0;
   }
 
-  /// Accumulates over several runs: items and time add, threads report the
-  /// widest fan-out seen.
+  /// Fraction of available worker time (wall * threads) spent busy, in
+  /// [0, ~1]. 0 when busy time was not accounted.
+  double Utilization() const {
+    return seconds > 0.0 && threads > 0 && busy_seconds > 0.0
+               ? busy_seconds / (seconds * static_cast<double>(threads))
+               : 0.0;
+  }
+
+  /// Accumulates over several sequential runs: items, time, and busy time
+  /// add; threads report the widest fan-out seen. Only valid for runs that
+  /// do not overlap in time (concurrent stages share a wall clock and must
+  /// be merged by the scheduler that timed them, not with +=).
   Stats& operator+=(const Stats& other) {
     items += other.items;
     seconds += other.seconds;
+    busy_seconds += other.busy_seconds;
     threads = std::max(threads, other.threads);
     return *this;
   }

@@ -128,6 +128,29 @@ void ThreadPool::Submit(std::function<void()> task) {
   task_ready_.notify_one();
 }
 
+void ThreadPool::SubmitBatch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (workers_.empty()) {
+    for (std::function<void()>& task : tasks) RunTask(task);
+    return;
+  }
+  size_t enqueued = tasks.size();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    in_flight_ += enqueued;
+    for (std::function<void()>& task : tasks) {
+      queue_.push_back(std::move(task));
+    }
+    if (queue_depth_gauge_ != nullptr) {
+      queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+    }
+  }
+  // A wave of k tasks needs at most min(k, workers) of them awake; waking
+  // the rest would just have them contend on mu_ and go back to sleep.
+  size_t wake = std::min(enqueued, workers_.size());
+  for (size_t i = 0; i < wake; ++i) task_ready_.notify_one();
+}
+
 void ThreadPool::Wait() {
   std::exception_ptr error;
   {
@@ -153,16 +176,20 @@ void ThreadPool::ParallelFor(
     return;
   }
   // Static chunking: contiguous ranges of size n/chunks, the first
-  // n % chunks ranges one element larger.
+  // n % chunks ranges one element larger. The chunks are enqueued as one
+  // wave (single lock, batched wakeups).
   size_t base = n / chunks;
   size_t extra = n % chunks;
   size_t begin = 0;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(chunks);
   for (size_t c = 0; c < chunks; ++c) {
     size_t size = base + (c < extra ? 1 : 0);
     size_t end = begin + size;
-    Submit([&chunk, begin, end] { chunk(begin, end); });
+    tasks.push_back([&chunk, begin, end] { chunk(begin, end); });
     begin = end;
   }
+  SubmitBatch(std::move(tasks));
   Wait();
 }
 

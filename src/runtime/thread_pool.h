@@ -55,6 +55,14 @@ class ThreadPool {
   /// before Submit returns.
   void Submit(std::function<void()> task);
 
+  /// Enqueues a wave of tasks under one lock and wakes exactly
+  /// min(tasks, thread_count()) workers instead of notifying per task —
+  /// releasing a wave of N ready graph nodes used to stampede every
+  /// sleeping worker awake. The queue-depth gauge is updated once with the
+  /// post-enqueue depth. On a serial pool the tasks run inline in order,
+  /// matching Submit's contract.
+  void SubmitBatch(std::vector<std::function<void()>> tasks);
+
   /// Blocks until every submitted task has finished, then rethrows the
   /// first captured task exception (if any) and clears it.
   void Wait();

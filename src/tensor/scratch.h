@@ -44,6 +44,9 @@ class ScratchAllocator {
   uint64_t reuse_count() const { return pool_->reuse_count(); }
   uint64_t alloc_count() const { return pool_->alloc_count(); }
   size_t cached_bytes() const { return pool_->cached_bytes(); }
+  size_t outstanding_bytes() const { return pool_->outstanding_bytes(); }
+  /// High-water cached + outstanding bytes (see BufferPool::peak_bytes).
+  size_t peak_bytes() const { return pool_->peak_bytes(); }
 
  private:
   std::shared_ptr<runtime::BufferPool> pool_;

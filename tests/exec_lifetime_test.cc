@@ -1,0 +1,158 @@
+// Buffer-lifetime pass comparison: on a fixed training plus
+// batched-inference workload, the graph plan (ScratchPool leases released
+// at each node's completion, capacity bounded by the lifetime pass) must
+// hold no more peak scratch bytes than the pre-refactor eager plan (one
+// allocator pinned per slot for the run's whole lifetime).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/executor.h"
+#include "exec/graph.h"
+#include "exec/lifetime.h"
+#include "nn/trainer.h"
+#include "runtime/thread_pool.h"
+#include "tensor/ops.h"
+#include "tensor/scratch.h"
+
+namespace goalex::exec {
+namespace {
+
+tensor::Var ScalarParam(float value) {
+  return tensor::Leaf(tensor::Tensor::FromValues({1}, {value}),
+                      /*requires_grad=*/true);
+}
+
+struct ToySetup {
+  tensor::Var master;
+  std::vector<tensor::Var> replicas;
+  std::unique_ptr<nn::DataParallelTrainer> trainer;
+};
+
+ToySetup MakeToy(nn::ParallelTrainerOptions options) {
+  ToySetup toy;
+  toy.master = ScalarParam(0.0f);
+  std::vector<std::vector<tensor::Var>> replica_params;
+  for (int32_t s = 0;
+       s < nn::DataParallelTrainer::SlotCount(options.batch_size); ++s) {
+    toy.replicas.push_back(ScalarParam(0.0f));
+    replica_params.push_back({toy.replicas.back()});
+  }
+  toy.trainer = std::make_unique<nn::DataParallelTrainer>(
+      std::vector<tensor::Var>{toy.master}, std::move(replica_params),
+      options);
+  return toy;
+}
+
+// The fixed training workload: 32 examples, batch 16 (16 slots), two
+// epochs, two worker threads. Returns {peak scratch bytes, final weight}.
+struct TrainOutcome {
+  size_t peak_bytes = 0;
+  float final_weight = 0.0f;
+  uint64_t reuse_count = 0;
+};
+
+TrainOutcome TrainWorkload(bool eager_scratch) {
+  nn::ParallelTrainerOptions options;
+  options.batch_size = 16;
+  options.num_threads = 2;
+  options.eager_scratch = eager_scratch;
+  ToySetup toy = MakeToy(options);
+  std::vector<size_t> order(32);
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int32_t epoch = 1; epoch <= 2; ++epoch) {
+    toy.trainer->RunEpoch(order, epoch, [&](size_t slot, size_t example,
+                                            Rng&) {
+      // A few chained ops so each example builds several scratch tensors.
+      tensor::Var x = tensor::Scale(toy.replicas[slot],
+                                    0.5f + static_cast<float>(example % 4));
+      return tensor::Scale(x, 2.0f);
+    });
+  }
+  TrainOutcome outcome;
+  outcome.peak_bytes = toy.trainer->scratch_peak_bytes();
+  outcome.final_weight = toy.master->value().at(0);
+  outcome.reuse_count = toy.trainer->scratch_reuse_count();
+  return outcome;
+}
+
+TEST(LifetimePassTest, TrainingGraphPlanPeaksAtOrBelowEagerPlan) {
+  const TrainOutcome eager = TrainWorkload(/*eager_scratch=*/true);
+  const TrainOutcome graph = TrainWorkload(/*eager_scratch=*/false);
+
+  // Identical math on both plans (zero-filled recycled scratch), and the
+  // leased plan touches at most min(workers, slots) = 2 allocators where
+  // the eager plan pins all 16.
+  EXPECT_EQ(graph.final_weight, eager.final_weight);
+  ASSERT_GT(eager.peak_bytes, 0u);
+  ASSERT_GT(graph.peak_bytes, 0u);
+  EXPECT_LE(graph.peak_bytes, eager.peak_bytes);
+  // Leases still recycle storage across examples and batches.
+  EXPECT_GT(graph.reuse_count, 0u);
+}
+
+// The batched-inference half of the workload: 16 per-item "inference"
+// nodes, each allocating the same per-item scratch, on two workers. The
+// graph plan leases min(workers, items) allocators; the eager plan pins
+// one per item for the whole batch (the pre-refactor ExtractAll shape).
+TEST(LifetimePassTest, BatchedInferenceGraphPlanPeaksAtOrBelowEagerPlan) {
+  constexpr int kItems = 16;
+  constexpr size_t kFloatsPerItem = 4096;
+
+  auto run_item = [] {
+    std::shared_ptr<std::vector<float>> block =
+        tensor::AllocateTensorStorage(kFloatsPerItem);
+    (*block)[0] = 1.0f;
+  };
+
+  // Eager plan: a pinned allocator per item, all resident until the batch
+  // ends.
+  size_t eager_peak = 0;
+  {
+    std::vector<std::unique_ptr<tensor::ScratchAllocator>> pinned;
+    for (int i = 0; i < kItems; ++i) {
+      pinned.push_back(std::make_unique<tensor::ScratchAllocator>());
+    }
+    runtime::ThreadPool pool(2);
+    Executor executor(&pool);
+    Graph graph;
+    for (int i = 0; i < kItems; ++i) {
+      tensor::ScratchAllocator* allocator = pinned[static_cast<size_t>(i)].get();
+      graph.Add([allocator, &run_item] {
+        tensor::ScratchScope scope(allocator);
+        run_item();
+      });
+    }
+    ASSERT_TRUE(executor.Run(graph).ok());
+    for (const auto& allocator : pinned) eager_peak += allocator->peak_bytes();
+  }
+
+  // Graph plan: scratch-tagged nodes leasing from the executor's pool,
+  // each lease released at its node's completion.
+  size_t graph_peak = 0;
+  {
+    runtime::ThreadPool pool(2);
+    ScratchPool scratch;
+    Executor executor(&pool, &scratch);
+    Graph graph;
+    for (int i = 0; i < kItems; ++i) {
+      graph.Add([&run_item] { run_item(); }, {},
+                NodeOptions{/*uses_scratch=*/true});
+    }
+    ASSERT_TRUE(executor.Run(graph).ok());
+    graph_peak = scratch.peak_bytes();
+    // The lifetime pass capped the resident set at the worker count.
+    EXPECT_LE(scratch.resident_allocators(), 2);
+  }
+
+  ASSERT_GT(eager_peak, 0u);
+  ASSERT_GT(graph_peak, 0u);
+  EXPECT_LE(graph_peak, eager_peak);
+  // The bound is not just "no worse": 2 leases vs 16 pinned allocators.
+  EXPECT_LE(graph_peak * 4, eager_peak);
+}
+
+}  // namespace
+}  // namespace goalex::exec

@@ -217,8 +217,10 @@ TEST(BatchRunnerInstrumentationTest, SingleChunkRunOnMultiThreadPoolHasUtilizati
   // bound guards against double-counting.
   EXPECT_GT(utilization, 0.05);
   EXPECT_LE(utilization, 1.05);
-  // The inline chunk also shows up in the pool's task counters.
-  EXPECT_EQ(registry.GetCounter("runtime.pool.tasks")->Value(), 1u);
+  // Since the task-graph refactor the inline chunk is an executor node
+  // (a one-node graph runs serially on the calling thread), so it shows
+  // up in the executor's node counter rather than the pool's.
+  EXPECT_EQ(registry.GetCounter("exec.nodes")->Value(), 1u);
   registry.Reset();
 }
 
