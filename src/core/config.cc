@@ -100,6 +100,9 @@ std::string ExtractorConfig::ToText() const {
       << "num_threads=" << num_threads << "\n"
       << "enable_metrics=" << (enable_metrics ? 1 : 0) << "\n"
       << "use_inference_engine=" << (use_inference_engine ? 1 : 0) << "\n"
+      << "packed_inference=" << (packed_inference ? 1 : 0) << "\n"
+      << "packed_chunk_tokens=" << packed_chunk_tokens << "\n"
+      << "quantize_int8=" << (quantize_int8 ? 1 : 0) << "\n"
       << "segment_multi_target=" << (segment_multi_target ? 1 : 0) << "\n"
       << "exact_match=" << (weak_labeler.exact_match ? 1 : 0) << "\n";
   return out.str();
@@ -158,6 +161,13 @@ StatusOr<ExtractorConfig> ExtractorConfig::FromText(std::string_view text) {
     } else if (key == "use_inference_engine") {
       GOALEX_RETURN_IF_ERROR(
           ParseBool(key, value, &config.use_inference_engine));
+    } else if (key == "packed_inference") {
+      GOALEX_RETURN_IF_ERROR(ParseBool(key, value, &config.packed_inference));
+    } else if (key == "packed_chunk_tokens") {
+      GOALEX_RETURN_IF_ERROR(
+          ParseNumber(key, value, &config.packed_chunk_tokens));
+    } else if (key == "quantize_int8") {
+      GOALEX_RETURN_IF_ERROR(ParseBool(key, value, &config.quantize_int8));
     } else if (key == "segment_multi_target") {
       GOALEX_RETURN_IF_ERROR(
           ParseBool(key, value, &config.segment_multi_target));

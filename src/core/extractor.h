@@ -11,12 +11,17 @@
 #include "core/config.h"
 #include "data/schema.h"
 #include "infer/engine.h"
+#include "infer/packed.h"
 #include "labels/iob.h"
 #include "nn/transformer.h"
 #include "obs/metrics.h"
 #include "runtime/stats.h"
 #include "text/word_tokenizer.h"
 #include "weaksup/weak_labeler.h"
+
+namespace goalex::runtime {
+class ThreadPool;
+}  // namespace goalex::runtime
 
 namespace goalex::core {
 
@@ -77,6 +82,19 @@ class DetailExtractor {
   std::vector<data::DetailRecord> ExtractAll(
       const std::vector<data::Objective>& objectives, int32_t num_threads,
       runtime::Stats* stats = nullptr) const;
+
+  /// Extracts a batch presented by pointer — the serve scheduler's view of
+  /// a closed batch — on `pool` (null = a private pool with
+  /// config.num_threads workers). Semantically identical to calling
+  /// Extract() per objective: record i belongs to *objectives[i] and is
+  /// byte-identical to the serial path. With packed inference enabled
+  /// (ExtractorConfig::packed_inference) the predict stage runs as
+  /// padding-free packed chunks on infer::PackedEngine instead of one plan
+  /// execution per clause; otherwise it falls back to the staged
+  /// per-objective node chains.
+  std::vector<data::DetailRecord> ExtractBatch(
+      const std::vector<const data::Objective*>& objectives,
+      runtime::ThreadPool* pool, runtime::Stats* stats = nullptr) const;
 
   /// Predicts word-level IOB label ids for a raw text (diagnostics and
   /// tests). Requires a trained model.
@@ -174,9 +192,19 @@ class DetailExtractor {
   WordPrediction PredictPrepared(const std::string& text) const;
 
   /// Compiles the inference plan for the current model (no-op when
-  /// config_.use_inference_engine is false). Called when Train()/Load()
-  /// completes — the single point where the model's weights are final.
+  /// config_.use_inference_engine is false) and, when packed inference is
+  /// configured, the packed-batch engine. Called when Train()/Load()
+  /// completes — the single point where the model's weights are final —
+  /// and again per training epoch while a packed engine exists (it derives
+  /// state from the weights at build time; see the packed_engine_ comment).
   void RebuildEngine();
+
+  /// Shared implementation of both ExtractAll overloads and ExtractBatch:
+  /// picks the packed two-phase pipeline when packed_engine_ exists, the
+  /// per-objective staged chains otherwise.
+  std::vector<data::DetailRecord> ExtractBatchImpl(
+      const std::vector<const data::Objective*>& objectives,
+      runtime::ThreadPool& pool, runtime::Stats* stats) const;
 
   /// Extracts from one (already single-target) objective.
   data::DetailRecord ExtractSingle(const data::Objective& objective) const;
@@ -211,6 +239,13 @@ class DetailExtractor {
   /// view — must be destroyed before or rebuilt with model_). Null until
   /// trained/loaded, or when use_inference_engine is off.
   std::unique_ptr<infer::Engine> engine_;
+  /// Packed-batch engine for ExtractAll/ExtractBatch (DESIGN.md §14). Null
+  /// until trained/loaded or when packed_inference/use_inference_engine is
+  /// off. Unlike engine_ (whose borrowed views track in-place Adam updates
+  /// automatically), this one *derives* state at construction — the padded
+  /// classifier head and any int8 codes — so Train() rebuilds it every
+  /// epoch while it exists.
+  std::unique_ptr<infer::PackedEngine> packed_engine_;
   weaksup::WeakLabelStats train_stats_;
 };
 

@@ -13,15 +13,11 @@ ExtractionService::ExtractionService(const core::DetailExtractor* extractor,
   GOALEX_CHECK(extractor_ != nullptr);
   GOALEX_CHECK_MSG(extractor_->trained(),
                    "ExtractionService needs a trained extractor");
-  runner_ = std::make_unique<runtime::BatchRunner>(config.num_threads);
+  pool_ = std::make_unique<runtime::ThreadPool>(config.num_threads);
   scheduler_ = std::make_unique<Scheduler>(
       config,
       [this](const std::vector<const data::Objective*>& batch) {
-        return runner_->Map<data::DetailRecord>(
-            batch.size(),
-            [this, &batch](size_t i) {
-              return extractor_->Extract(*batch[i]);
-            });
+        return extractor_->ExtractBatch(batch, pool_.get());
       });
 }
 

@@ -5,17 +5,20 @@
 
 #include "core/config.h"
 #include "core/extractor.h"
-#include "runtime/batch_runner.h"
+#include "runtime/thread_pool.h"
 #include "serve/request.h"
 #include "serve/scheduler.h"
 
 namespace goalex::serve {
 
 /// Extraction-as-a-service: binds the continuous-batching Scheduler to a
-/// trained DetailExtractor. Each formed batch fans out over a
-/// runtime::BatchRunner (config.num_threads workers; 1 = inference inline
-/// on the scheduler thread), exactly the ExtractAll fan-out — so a served
-/// request returns byte-identical records to the batch path.
+/// trained DetailExtractor. Each formed batch runs through
+/// DetailExtractor::ExtractBatch on a persistent worker pool
+/// (config.num_threads workers; 1 = inference inline on the scheduler
+/// thread) — the same staged/packed pipeline as ExtractAll, so a served
+/// request returns byte-identical records to the batch path, and with
+/// packed inference on the batch's clauses share padding-free packed
+/// chunks instead of one plan execution each.
 ///
 /// The extractor must outlive the service and stay immutable while it is
 /// serving (the same contract concurrent ExtractAll callers already
@@ -44,7 +47,9 @@ class ExtractionService {
 
  private:
   const core::DetailExtractor* extractor_;  ///< Not owned.
-  std::unique_ptr<runtime::BatchRunner> runner_;
+  /// Declared before scheduler_: the scheduler thread dispatches batches
+  /// onto this pool, so it must still exist while the scheduler drains.
+  std::unique_ptr<runtime::ThreadPool> pool_;
   std::unique_ptr<Scheduler> scheduler_;  ///< Last member: stops first.
 };
 

@@ -61,6 +61,141 @@ void GemmRegAcc(const float* a, const float* b, float* c, int64_t m,
 #endif
 }
 
+#if defined(__AVX2__) && defined(__FMA__)
+
+/// LinearForward's exact 2x32 register blocking with a fused epilogue
+/// applied at each output store: kEpi 0 = plain affine, 1 = tanh-GELU,
+/// 2 = residual add. The k-accumulation chains are untouched (strict k
+/// order, fmadd from 0, bias added once after), so each variant stays
+/// bit-identical to LinearForward composed with GeluForward / AddForward —
+/// the epilogue consumes the identical post-bias float it would otherwise
+/// round-trip through memory.
+template <int kEpi>
+void LinearFusedEpi(const float* x, const float* w, const float* bias,
+                    float* out, int64_t m, int64_t in, int64_t out_dim,
+                    const float* residual) {
+  const __m256 coef = _mm256_set1_ps(kGeluCoef);
+  const __m256 cubic = _mm256_set1_ps(kGeluCubic);
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 one = _mm256_set1_ps(1.0f);
+  auto epi8 = [&](__m256 acc, const float* bias_p, const float* res_p) {
+    acc = _mm256_add_ps(acc, _mm256_loadu_ps(bias_p));
+    if constexpr (kEpi == 1) {
+      // GeluForward's vector chain verbatim (see mathfn.h).
+      const __m256 cvv = _mm256_mul_ps(_mm256_mul_ps(cubic, acc), acc);
+      const __m256 u = _mm256_mul_ps(coef, _mm256_fmadd_ps(cvv, acc, acc));
+      acc = _mm256_mul_ps(_mm256_mul_ps(half, acc),
+                          _mm256_add_ps(one, FastTanhf8(u)));
+    } else if constexpr (kEpi == 2) {
+      // AddForward's operand order: residual + linear.
+      acc = _mm256_add_ps(_mm256_loadu_ps(res_p), acc);
+    }
+    return acc;
+  };
+  auto epi1 = [&](float acc, float b, const float* res_p) {
+    acc += b;
+    if constexpr (kEpi == 1) {
+      acc = (0.5f * acc) * (1.0f + FastTanhf(GeluTanhArg(acc)));
+    } else if constexpr (kEpi == 2) {
+      acc = *res_p + acc;
+    }
+    return acc;
+  };
+  int64_t i = 0;
+  for (; i + 2 <= m; i += 2) {
+    const float* x0 = x + i * in;
+    const float* x1 = x0 + in;
+    float* o0 = out + i * out_dim;
+    float* o1 = o0 + out_dim;
+    const float* r0 = residual != nullptr ? residual + i * out_dim : nullptr;
+    const float* r1 = r0 != nullptr ? r0 + out_dim : nullptr;
+    int64_t j0 = 0;
+    for (; j0 + 32 <= out_dim; j0 += 32) {
+      const float* w_base = w + j0;
+      __m256 a0 = _mm256_setzero_ps(), a1 = _mm256_setzero_ps();
+      __m256 a2 = _mm256_setzero_ps(), a3 = _mm256_setzero_ps();
+      __m256 b0 = _mm256_setzero_ps(), b1 = _mm256_setzero_ps();
+      __m256 b2 = _mm256_setzero_ps(), b3 = _mm256_setzero_ps();
+      for (int64_t l = 0; l < in; ++l) {
+        const __m256 xv0 = _mm256_set1_ps(x0[l]);
+        const __m256 xv1 = _mm256_set1_ps(x1[l]);
+        const float* w_row = w_base + l * out_dim;
+        const __m256 w0v = _mm256_loadu_ps(w_row);
+        const __m256 w1v = _mm256_loadu_ps(w_row + 8);
+        const __m256 w2v = _mm256_loadu_ps(w_row + 16);
+        const __m256 w3v = _mm256_loadu_ps(w_row + 24);
+        a0 = _mm256_fmadd_ps(xv0, w0v, a0);
+        a1 = _mm256_fmadd_ps(xv0, w1v, a1);
+        a2 = _mm256_fmadd_ps(xv0, w2v, a2);
+        a3 = _mm256_fmadd_ps(xv0, w3v, a3);
+        b0 = _mm256_fmadd_ps(xv1, w0v, b0);
+        b1 = _mm256_fmadd_ps(xv1, w1v, b1);
+        b2 = _mm256_fmadd_ps(xv1, w2v, b2);
+        b3 = _mm256_fmadd_ps(xv1, w3v, b3);
+      }
+      _mm256_storeu_ps(o0 + j0, epi8(a0, bias + j0, r0 ? r0 + j0 : nullptr));
+      _mm256_storeu_ps(o0 + j0 + 8,
+                       epi8(a1, bias + j0 + 8, r0 ? r0 + j0 + 8 : nullptr));
+      _mm256_storeu_ps(o0 + j0 + 16,
+                       epi8(a2, bias + j0 + 16, r0 ? r0 + j0 + 16 : nullptr));
+      _mm256_storeu_ps(o0 + j0 + 24,
+                       epi8(a3, bias + j0 + 24, r0 ? r0 + j0 + 24 : nullptr));
+      _mm256_storeu_ps(o1 + j0, epi8(b0, bias + j0, r1 ? r1 + j0 : nullptr));
+      _mm256_storeu_ps(o1 + j0 + 8,
+                       epi8(b1, bias + j0 + 8, r1 ? r1 + j0 + 8 : nullptr));
+      _mm256_storeu_ps(o1 + j0 + 16,
+                       epi8(b2, bias + j0 + 16, r1 ? r1 + j0 + 16 : nullptr));
+      _mm256_storeu_ps(o1 + j0 + 24,
+                       epi8(b3, bias + j0 + 24, r1 ? r1 + j0 + 24 : nullptr));
+    }
+    for (; j0 + 8 <= out_dim; j0 += 8) {
+      const float* w_base = w + j0;
+      __m256 a = _mm256_setzero_ps(), b = _mm256_setzero_ps();
+      for (int64_t l = 0; l < in; ++l) {
+        const __m256 wv = _mm256_loadu_ps(w_base + l * out_dim);
+        a = _mm256_fmadd_ps(_mm256_set1_ps(x0[l]), wv, a);
+        b = _mm256_fmadd_ps(_mm256_set1_ps(x1[l]), wv, b);
+      }
+      _mm256_storeu_ps(o0 + j0, epi8(a, bias + j0, r0 ? r0 + j0 : nullptr));
+      _mm256_storeu_ps(o1 + j0, epi8(b, bias + j0, r1 ? r1 + j0 : nullptr));
+    }
+    for (; j0 < out_dim; ++j0) {
+      float a = 0.0f, b = 0.0f;
+      for (int64_t l = 0; l < in; ++l) {
+        const float wv = w[l * out_dim + j0];
+        a = std::fmaf(x0[l], wv, a);
+        b = std::fmaf(x1[l], wv, b);
+      }
+      o0[j0] = epi1(a, bias[j0], r0 ? r0 + j0 : nullptr);
+      o1[j0] = epi1(b, bias[j0], r1 ? r1 + j0 : nullptr);
+    }
+  }
+  for (; i < m; ++i) {
+    const float* x0 = x + i * in;
+    float* o0 = out + i * out_dim;
+    const float* r0 = residual != nullptr ? residual + i * out_dim : nullptr;
+    int64_t j0 = 0;
+    for (; j0 + 8 <= out_dim; j0 += 8) {
+      const float* w_base = w + j0;
+      __m256 a = _mm256_setzero_ps();
+      for (int64_t l = 0; l < in; ++l) {
+        a = _mm256_fmadd_ps(_mm256_set1_ps(x0[l]),
+                            _mm256_loadu_ps(w_base + l * out_dim), a);
+      }
+      _mm256_storeu_ps(o0 + j0, epi8(a, bias + j0, r0 ? r0 + j0 : nullptr));
+    }
+    for (; j0 < out_dim; ++j0) {
+      float a = 0.0f;
+      for (int64_t l = 0; l < in; ++l) {
+        a = std::fmaf(x0[l], w[l * out_dim + j0], a);
+      }
+      o0[j0] = epi1(a, bias[j0], r0 ? r0 + j0 : nullptr);
+    }
+  }
+}
+
+#endif  // AVX2 && FMA
+
 }  // namespace
 
 void AddForward(const float* a, const float* b, float* out, int64_t n) {
@@ -203,6 +338,28 @@ void LinearForward(const float* x, const float* w, const float* bias,
   for (int64_t i = 0; i < m; ++i) {
     Axpy(1.0f, bias, out + i * out_dim, out_dim);
   }
+#endif
+}
+
+void LinearGeluForward(const float* x, const float* w, const float* bias,
+                       float* out, int64_t m, int64_t in, int64_t out_dim) {
+#if defined(__AVX2__) && defined(__FMA__)
+  LinearFusedEpi<1>(x, w, bias, out, m, in, out_dim, nullptr);
+#else
+  // Portable fallback: the unfused composition it is defined against.
+  LinearForward(x, w, bias, out, m, in, out_dim);
+  GeluForward(out, out, m * out_dim);
+#endif
+}
+
+void LinearResidualForward(const float* x, const float* w, const float* bias,
+                           const float* residual, float* out, int64_t m,
+                           int64_t in, int64_t out_dim) {
+#if defined(__AVX2__) && defined(__FMA__)
+  LinearFusedEpi<2>(x, w, bias, out, m, in, out_dim, residual);
+#else
+  LinearForward(x, w, bias, out, m, in, out_dim);
+  AddForward(residual, out, out, m * out_dim);
 #endif
 }
 

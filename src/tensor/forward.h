@@ -24,6 +24,20 @@ void AddForward(const float* a, const float* b, float* out, int64_t n);
 void LinearForward(const float* x, const float* w, const float* bias,
                    float* out, int64_t m, int64_t in, int64_t out_dim);
 
+/// Affine layer with the tanh-GELU epilogue fused into the output stores:
+/// out = gelu(x W + bias). Bit-identical to LinearForward followed by
+/// GeluForward — the accumulation chains are LinearForward's and the GELU
+/// is applied to the same post-bias float it would otherwise reload.
+void LinearGeluForward(const float* x, const float* w, const float* bias,
+                       float* out, int64_t m, int64_t in, int64_t out_dim);
+
+/// Affine layer with a residual add fused into the output stores:
+/// out = residual + (x W + bias), residual shaped like out. Bit-identical
+/// to LinearForward followed by AddForward(residual, linear_out).
+void LinearResidualForward(const float* x, const float* w, const float* bias,
+                           const float* residual, float* out, int64_t m,
+                           int64_t in, int64_t out_dim);
+
 /// GELU (tanh approximation), elementwise over n entries.
 void GeluForward(const float* x, float* out, int64_t n);
 

@@ -1,0 +1,262 @@
+#include "tensor/qlinear.h"
+
+#include <algorithm>
+#include <cmath>
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+
+#include "common/check.h"
+#include "tensor/mathfn.h"
+
+namespace goalex::tensor {
+namespace {
+
+/// Quantizes one activation row to u8 codes in [0, 127]:
+/// xq[l] = round((x[l] - min) / sx) with sx = (max - min) / 127. The
+/// asymmetric zero point keeps the full 7-bit budget on the actual
+/// activation range (post-layer-norm rows are roughly symmetric, but GELU
+/// outputs are not), and u8 codes are what maddubs wants on the left.
+/// Codes past `n` are zeroed so the grouped kernel can read whole groups.
+void QuantizeRow(const float* x, int64_t n, uint8_t* xq, int64_t n_groups,
+                 float* min_out, float* sx_out) {
+  float mn = x[0], mx = x[0];
+  int64_t l = 0;
+#if defined(__AVX2__) && defined(__FMA__)
+  if (n >= 8) {
+    __m256 vmn = _mm256_loadu_ps(x), vmx = vmn;
+    for (l = 8; l + 8 <= n; l += 8) {
+      const __m256 v = _mm256_loadu_ps(x + l);
+      vmn = _mm256_min_ps(vmn, v);
+      vmx = _mm256_max_ps(vmx, v);
+    }
+    alignas(32) float a[8], b[8];
+    _mm256_store_ps(a, vmn);
+    _mm256_store_ps(b, vmx);
+    mn = a[0];
+    mx = b[0];
+    for (int z = 1; z < 8; ++z) {
+      mn = std::min(mn, a[z]);
+      mx = std::max(mx, b[z]);
+    }
+  }
+#endif
+  for (; l < n; ++l) {
+    mn = std::min(mn, x[l]);
+    mx = std::max(mx, x[l]);
+  }
+  const float range = mx - mn;
+  const float sx = range > 0.0f ? range / 127.0f : 1.0f;
+  const float inv = 1.0f / sx;
+  l = 0;
+#if defined(__AVX2__) && defined(__FMA__)
+  const __m256 vinv = _mm256_set1_ps(inv);
+  const __m256 vmn8 = _mm256_set1_ps(mn);
+  for (; l + 32 <= n; l += 32) {
+    const __m256i i0 = _mm256_cvtps_epi32(
+        _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(x + l), vmn8), vinv));
+    const __m256i i1 = _mm256_cvtps_epi32(
+        _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(x + l + 8), vmn8), vinv));
+    const __m256i i2 = _mm256_cvtps_epi32(
+        _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(x + l + 16), vmn8), vinv));
+    const __m256i i3 = _mm256_cvtps_epi32(
+        _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(x + l + 24), vmn8), vinv));
+    // packs/packus interleave 128-bit lanes; one permute restores order.
+    __m256i p01 = _mm256_packs_epi32(i0, i1);
+    __m256i p23 = _mm256_packs_epi32(i2, i3);
+    __m256i u = _mm256_packus_epi16(p01, p23);
+    u = _mm256_permutevar8x32_epi32(u,
+                                    _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(xq + l), u);
+  }
+#endif
+  for (; l < n; ++l) {
+    xq[l] = static_cast<uint8_t>(std::lrintf((x[l] - mn) * inv));
+  }
+  for (int64_t z = n; z < n_groups * 4; ++z) xq[z] = 0;
+  *min_out = mn;
+  *sx_out = sx;
+}
+
+/// Dequantized output for one column given the exact int32 accumulator:
+/// sx·sw·acc + (mn·sw·colsum + bias), fmaf chains matching the SIMD
+/// epilogue so vector/tail columns agree.
+inline float Dequant(int32_t acc, float sx, float mn, float sw, float colsum,
+                     float bias) {
+  return std::fmaf(sx * sw, static_cast<float>(acc),
+                   std::fmaf(mn * sw, colsum, bias));
+}
+
+/// One quantized row×layer product into out_row, epilogue fused at store.
+/// kEpi: 0 none, 1 GELU, 2 residual add.
+template <int kEpi>
+void QuantizedRowForward(const uint8_t* xq, float mn, float sx,
+                         const QuantizedLinear& q, float* o,
+                         const float* res) {
+  const int64_t od = q.out;
+  const int64_t groups = q.in_groups;
+  int64_t j0 = 0;
+#if defined(__AVX2__) && defined(__FMA__)
+  const __m256i ones = _mm256_set1_epi16(1);
+  const __m256 coef = _mm256_set1_ps(kGeluCoef);
+  const __m256 cubic = _mm256_set1_ps(kGeluCubic);
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 vone = _mm256_set1_ps(1.0f);
+  const __m256 vsx = _mm256_set1_ps(sx);
+  const __m256 vmn = _mm256_set1_ps(mn);
+  for (; j0 + 32 <= od; j0 += 32) {
+    // Each maddubs pairs u8 activations (≤127) with s8 codes; the pair sum
+    // is ≤ 2·127·127, safely inside int16, and madd(…, ones) widens to
+    // int32 — the accumulation is exact.
+    __m256i a0 = _mm256_setzero_si256(), a1 = _mm256_setzero_si256();
+    __m256i a2 = _mm256_setzero_si256(), a3 = _mm256_setzero_si256();
+    const int8_t* wb = q.codes.data() + j0 * 4;
+    for (int64_t b = 0; b < groups; ++b) {
+      const __m256i act = _mm256_set1_epi32(
+          *reinterpret_cast<const int32_t*>(xq + b * 4));
+      const int8_t* wrow = wb + b * od * 4;
+      a0 = _mm256_add_epi32(
+          a0, _mm256_madd_epi16(
+                  _mm256_maddubs_epi16(
+                      act, _mm256_loadu_si256(
+                               reinterpret_cast<const __m256i*>(wrow))),
+                  ones));
+      a1 = _mm256_add_epi32(
+          a1, _mm256_madd_epi16(
+                  _mm256_maddubs_epi16(
+                      act, _mm256_loadu_si256(
+                               reinterpret_cast<const __m256i*>(wrow + 32))),
+                  ones));
+      a2 = _mm256_add_epi32(
+          a2, _mm256_madd_epi16(
+                  _mm256_maddubs_epi16(
+                      act, _mm256_loadu_si256(
+                               reinterpret_cast<const __m256i*>(wrow + 64))),
+                  ones));
+      a3 = _mm256_add_epi32(
+          a3, _mm256_madd_epi16(
+                  _mm256_maddubs_epi16(
+                      act, _mm256_loadu_si256(
+                               reinterpret_cast<const __m256i*>(wrow + 96))),
+                  ones));
+    }
+    for (int g = 0; g < 4; ++g) {
+      const __m256i acc = g == 0 ? a0 : g == 1 ? a1 : g == 2 ? a2 : a3;
+      const int64_t j = j0 + g * 8;
+      const __m256 swv = _mm256_loadu_ps(q.scale.data() + j);
+      const __m256 csv = _mm256_loadu_ps(q.colsum.data() + j);
+      const __m256 bv = _mm256_loadu_ps(q.bias.data() + j);
+      __m256 v = _mm256_fmadd_ps(
+          _mm256_mul_ps(vsx, swv), _mm256_cvtepi32_ps(acc),
+          _mm256_fmadd_ps(_mm256_mul_ps(vmn, swv), csv, bv));
+      if constexpr (kEpi == 1) {
+        const __m256 cvv = _mm256_mul_ps(_mm256_mul_ps(cubic, v), v);
+        const __m256 u = _mm256_mul_ps(coef, _mm256_fmadd_ps(cvv, v, v));
+        v = _mm256_mul_ps(_mm256_mul_ps(half, v),
+                          _mm256_add_ps(vone, FastTanhf8(u)));
+      } else if constexpr (kEpi == 2) {
+        v = _mm256_add_ps(_mm256_loadu_ps(res + j), v);
+      }
+      _mm256_storeu_ps(o + j, v);
+    }
+  }
+#endif
+  for (; j0 < od; ++j0) {
+    int32_t acc = 0;
+    for (int64_t b = 0; b < groups; ++b) {
+      const int8_t* wg = q.codes.data() + (b * od + j0) * 4;
+      const uint8_t* xg = xq + b * 4;
+      for (int z = 0; z < 4; ++z) {
+        acc += static_cast<int32_t>(xg[z]) * static_cast<int32_t>(wg[z]);
+      }
+    }
+    float v = Dequant(acc, sx, mn, q.scale[j0], q.colsum[j0], q.bias[j0]);
+    if constexpr (kEpi == 1) {
+      v = (0.5f * v) * (1.0f + FastTanhf(GeluTanhArg(v)));
+    } else if constexpr (kEpi == 2) {
+      v = res[j0] + v;
+    }
+    o[j0] = v;
+  }
+}
+
+template <int kEpi>
+void QuantizedForwardImpl(const float* x, const QuantizedLinear& q,
+                          float* out, int64_t m, const float* residual) {
+  std::vector<uint8_t> xq(static_cast<size_t>(q.in_groups) * 4);
+  for (int64_t i = 0; i < m; ++i) {
+    float mn, sx;
+    QuantizeRow(x + i * q.in, q.in, xq.data(), q.in_groups, &mn, &sx);
+    QuantizedRowForward<kEpi>(
+        xq.data(), mn, sx, q, out + i * q.out,
+        residual != nullptr ? residual + i * q.out : nullptr);
+  }
+}
+
+}  // namespace
+
+QuantizedLinear QuantizeLinear(const float* w, const float* bias, int64_t in,
+                               int64_t out) {
+  GOALEX_CHECK_GT(in, 0);
+  GOALEX_CHECK_GT(out, 0);
+  QuantizedLinear q;
+  q.in = in;
+  q.out = out;
+  q.in_groups = (in + 3) / 4;
+  q.codes.assign(static_cast<size_t>(q.in_groups) * out * 4, 0);
+  q.scale.resize(out);
+  q.colsum.assign(out, 0.0f);
+  q.bias.assign(bias, bias + out);
+  for (int64_t j = 0; j < out; ++j) {
+    float mx = 0.0f;
+    for (int64_t l = 0; l < in; ++l) {
+      mx = std::max(mx, std::fabs(w[l * out + j]));
+    }
+    const float s = mx > 0.0f ? mx / 127.0f : 1.0f;
+    q.scale[j] = s;
+    int32_t cs = 0;
+    for (int64_t l = 0; l < in; ++l) {
+      const int32_t code =
+          static_cast<int32_t>(std::lrintf(w[l * out + j] / s));
+      q.codes[((l / 4) * out + j) * 4 + (l % 4)] = static_cast<int8_t>(code);
+      cs += code;
+    }
+    q.colsum[j] = static_cast<float>(cs);
+  }
+  return q;
+}
+
+void QuantizedLinearForward(const float* x, const QuantizedLinear& q,
+                            float* out, int64_t m, LinearEpilogue epilogue,
+                            const float* residual) {
+  switch (epilogue) {
+    case LinearEpilogue::kNone:
+      QuantizedForwardImpl<0>(x, q, out, m, nullptr);
+      break;
+    case LinearEpilogue::kGelu:
+      QuantizedForwardImpl<1>(x, q, out, m, nullptr);
+      break;
+    case LinearEpilogue::kResidual:
+      GOALEX_CHECK(residual != nullptr);
+      QuantizedForwardImpl<2>(x, q, out, m, residual);
+      break;
+  }
+}
+
+void QuantizedQkvForward(const float* x, const QuantizedLinear& wq,
+                         const QuantizedLinear& wk, const QuantizedLinear& wv,
+                         float* out_q, float* out_k, float* out_v, int64_t m) {
+  GOALEX_CHECK(wq.in == wk.in && wk.in == wv.in);
+  GOALEX_CHECK(wq.out == wk.out && wk.out == wv.out);
+  std::vector<uint8_t> xq(static_cast<size_t>(wq.in_groups) * 4);
+  for (int64_t i = 0; i < m; ++i) {
+    float mn, sx;
+    QuantizeRow(x + i * wq.in, wq.in, xq.data(), wq.in_groups, &mn, &sx);
+    QuantizedRowForward<0>(xq.data(), mn, sx, wq, out_q + i * wq.out, nullptr);
+    QuantizedRowForward<0>(xq.data(), mn, sx, wk, out_k + i * wk.out, nullptr);
+    QuantizedRowForward<0>(xq.data(), mn, sx, wv, out_v + i * wv.out, nullptr);
+  }
+}
+
+}  // namespace goalex::tensor

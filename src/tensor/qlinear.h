@@ -1,0 +1,65 @@
+#ifndef GOALEX_TENSOR_QLINEAR_H_
+#define GOALEX_TENSOR_QLINEAR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace goalex::tensor {
+
+/// int8 quantized linear layers (DESIGN.md §14). Weights are quantized once
+/// at load with per-output-channel scales; activations are quantized per
+/// row on the fly (asymmetric, [0, 127]); accumulation runs in int32 and
+/// dequantizes to float before the bias and epilogue, so everything around
+/// a quantized layer (layer norm, attention, residuals) stays float.
+///
+/// Unlike the float kernels these are approximations — outputs track the
+/// float path within a small tolerance rather than bit-identically.
+/// infer_packed_test pins the tolerance; the bench smoke gate pins
+/// end-to-end extraction F1 against float.
+
+/// Elementwise epilogue fused into the quantized kernels' dequant stores.
+enum class LinearEpilogue {
+  kNone,      ///< out = x W + b
+  kGelu,      ///< out = gelu(x W + b)
+  kResidual,  ///< out = residual + (x W + b)
+};
+
+/// One quantized affine layer. Codes use symmetric per-output-channel
+/// scales scale[j] = max|W[:, j]| / 127 and are repacked into the
+/// [in_groups][out][4] layout the SIMD kernel consumes (groups of four
+/// consecutive inputs per output column, zero-padded past `in`); colsum[j]
+/// carries the column code sum for the activation zero-point correction.
+struct QuantizedLinear {
+  int64_t in = 0;
+  int64_t out = 0;
+  int64_t in_groups = 0;      ///< ceil(in / 4)
+  std::vector<int8_t> codes;  ///< [in_groups * out * 4]
+  std::vector<float> scale;   ///< [out]
+  std::vector<float> colsum;  ///< [out]
+  std::vector<float> bias;    ///< [out], float (never quantized)
+};
+
+/// Quantizes w[in, out] (row-major, LinearForward's layout) + bias.
+QuantizedLinear QuantizeLinear(const float* w, const float* bias, int64_t in,
+                               int64_t out);
+
+/// Quantized LinearForward over x[m, in]: per row, x is quantized to u8
+/// codes with min/scale, the int8 GEMM accumulates exactly in int32, and
+/// out[i, j] = sx·scale[j]·acc + min·scale[j]·colsum[j] + bias[j], then the
+/// epilogue. `residual` is required (shaped like out) iff epilogue is
+/// kResidual, ignored otherwise.
+void QuantizedLinearForward(const float* x, const QuantizedLinear& q,
+                            float* out, int64_t m, LinearEpilogue epilogue,
+                            const float* residual);
+
+/// The q/k/v projection trio sharing one activation quantization per row
+/// (all three consume the same layer-normed input). Equivalent to three
+/// QuantizedLinearForward(…, kNone) calls, one row quantize instead of
+/// three. All three layers must share `in` and `out`.
+void QuantizedQkvForward(const float* x, const QuantizedLinear& wq,
+                         const QuantizedLinear& wk, const QuantizedLinear& wv,
+                         float* out_q, float* out_k, float* out_v, int64_t m);
+
+}  // namespace goalex::tensor
+
+#endif  // GOALEX_TENSOR_QLINEAR_H_
