@@ -232,7 +232,7 @@ void Run(bool smoke) {
     for (int rep = 0; rep < kReps; ++rep) {
       q.scan_hits = FullScan(snapshot, [](const core::DbRow& row) {
         std::optional<int> year =
-            values::NormalizeYear(row.record.FieldOrEmpty("Deadline"));
+            values::NormalizeDeadlineYear(row.record.FieldOrEmpty("Deadline"));
         return year.has_value() && *year >= 2030 && *year <= 2032;
       }).size();
     }

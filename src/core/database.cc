@@ -1,6 +1,7 @@
 #include "core/database.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -9,8 +10,11 @@
 #include <sstream>
 #include <utility>
 
+#include "common/check.h"
+#include "common/string_util.h"
 #include "obs/scope.h"
 #include "storage/row.h"
+#include "values/value_normalizer.h"
 
 namespace goalex::core {
 namespace {
@@ -197,7 +201,62 @@ std::vector<T> IntersectSorted(const std::vector<T>& a,
 constexpr int kMinFilterYear = -1000000;
 constexpr int kMaxFilterYear = 1000000;
 
+// --- Versioned-upsert helpers ----------------------------------------------
+
+void SetRecordVersion(data::DetailRecord* record, int32_t version) {
+  record->fields[kVersionField] = std::to_string(version);
+}
+
+void SetRecordSequence(data::DetailRecord* record, int64_t sequence) {
+  record->fields[kSequenceField] = std::to_string(sequence);
+}
+
+/// True when two rows of the same objective identity carry identical
+/// content — metadata, text, and every field including _version (callers
+/// build the candidate with the live row's version, so a pure restatement
+/// compares equal and becomes a no-op).
+bool SameObjectiveContent(const DbRow& a, const DbRow& b) {
+  return a.company == b.company && a.document == b.document &&
+         a.page == b.page && a.record.objective_id == b.record.objective_id &&
+         a.record.objective_text == b.record.objective_text &&
+         a.record.fields == b.record.fields;
+}
+
 }  // namespace
+
+int32_t RecordVersion(const data::DetailRecord& record) {
+  const std::string value = record.FieldOrEmpty(kVersionField);
+  if (value.empty()) return 1;
+  int version = std::atoi(value.c_str());
+  return version >= 1 ? version : 1;
+}
+
+int64_t RecordSequence(const data::DetailRecord& record) {
+  const std::string value = record.FieldOrEmpty(kSequenceField);
+  if (value.empty()) return -1;
+  int64_t sequence = std::atoll(value.c_str());
+  return sequence >= 0 ? sequence : -1;
+}
+
+std::string ObjectiveUpsertKey(const std::string& company,
+                               const data::DetailRecord& record) {
+  std::string action = record.FieldOrEmpty("Action");
+  std::string lemma =
+      action.empty() ? std::string() : values::NormalizeAction(action);
+  std::string qualifier =
+      AsciiToLower(StripAsciiWhitespace(record.FieldOrEmpty("Qualifier")));
+  std::string key;
+  key.reserve(company.size() + lemma.size() + qualifier.size() + 3);
+  key += company;
+  key += '\x1f';
+  key += lemma;
+  key += '\x1f';
+  key += qualifier;
+  if (lemma.empty() && qualifier.empty()) {
+    key += AsciiToLower(StripAsciiWhitespace(record.objective_text));
+  }
+  return key;
+}
 
 void ObjectiveDatabase::Growing::Clear() {
   rows.clear();
@@ -229,6 +288,12 @@ ObjectiveDatabase::ObjectiveDatabase(int num_shards, DbOptions options)
     rows_gauge_ = registry.GetGauge("db.rows");
     rows_per_shard_gauge_ = registry.GetGauge("db.rows_per_shard");
     segments_gauge_ = registry.GetGauge("db.segments");
+    if (options.track_upserts) {
+      upsert_inserted_counter_ = registry.GetCounter("db.upserts.inserted");
+      upsert_updated_counter_ = registry.GetCounter("db.upserts.updated");
+      upsert_unchanged_counter_ = registry.GetCounter("db.upserts.unchanged");
+      superseded_gauge_ = registry.GetGauge("db.superseded_rows");
+    }
   }
   ResetShards(num_shards);
 }
@@ -243,6 +308,8 @@ void ObjectiveDatabase::ResetShards(int count) {
   shards_.swap(fresh);
   size_.store(0, std::memory_order_release);
   next_id_.store(0, std::memory_order_relaxed);
+  superseded_count_.store(0, std::memory_order_release);
+  if (superseded_gauge_ != nullptr) superseded_gauge_->Set(0.0);
   if (obs::Active()) {
     obs::MetricsRegistry::Default().GetGauge("db.shards")->Set(
         static_cast<double>(count));
@@ -253,21 +320,28 @@ size_t ObjectiveDatabase::ShardIndexFor(const std::string& company) const {
   return std::hash<std::string>{}(company) % shards_.size();
 }
 
-void ObjectiveDatabase::IndexGrowingRowLocked(Growing& growing,
-                                              const DbRow& row,
-                                              size_t ordinal) {
-  growing.by_company[row.company].push_back(ordinal);
-  for (const auto& [kind, value] : row.record.fields) {
-    if (value.empty()) continue;
-    growing.by_field[kind].push_back(ordinal);
-    growing.by_field_value[kind][value].push_back(ordinal);
-    ++growing.field_count_by_company[row.company][kind];
-  }
-  if (std::optional<int> year = storage::DeadlineYearOfRecord(row.record)) {
-    growing.by_deadline_year[*year].push_back(ordinal);
-  }
-  // Text index: distinct terms of the objective text plus every non-empty
-  // field value — the same term set SegmentBuilder freezes at seal time.
+namespace {
+
+/// Inserts `ordinal` into a sorted posting vector. Appends are O(1) past
+/// the lower_bound probe (the common Insert path passes the largest
+/// ordinal); in-place updates land mid-vector.
+void InsertOrdinal(std::vector<size_t>& postings, size_t ordinal) {
+  auto it = std::lower_bound(postings.begin(), postings.end(), ordinal);
+  if (it != postings.end() && *it == ordinal) return;
+  postings.insert(it, ordinal);
+}
+
+/// Removes `ordinal` from a sorted posting vector; returns true when the
+/// vector emptied out (the caller should erase the index entry).
+bool EraseOrdinal(std::vector<size_t>& postings, size_t ordinal) {
+  auto it = std::lower_bound(postings.begin(), postings.end(), ordinal);
+  if (it != postings.end() && *it == ordinal) postings.erase(it);
+  return postings.empty();
+}
+
+/// The distinct text-index terms of a row — the same set SegmentBuilder
+/// freezes at seal time.
+std::set<std::string> RowTerms(const DbRow& row) {
   std::set<std::string> terms;
   for (std::string& term :
        storage::TextIndexTerms(row.record.objective_text)) {
@@ -279,9 +353,110 @@ void ObjectiveDatabase::IndexGrowingRowLocked(Growing& growing,
       terms.insert(std::move(term));
     }
   }
-  for (const std::string& term : terms) {
-    growing.by_term[term].push_back(ordinal);
+  return terms;
+}
+
+}  // namespace
+
+void ObjectiveDatabase::IndexGrowingRowLocked(Growing& growing,
+                                              const DbRow& row,
+                                              size_t ordinal) {
+  InsertOrdinal(growing.by_company[row.company], ordinal);
+  for (const auto& [kind, value] : row.record.fields) {
+    if (value.empty()) continue;
+    InsertOrdinal(growing.by_field[kind], ordinal);
+    InsertOrdinal(growing.by_field_value[kind][value], ordinal);
+    ++growing.field_count_by_company[row.company][kind];
   }
+  if (std::optional<int> year = storage::DeadlineYearOfRecord(row.record)) {
+    InsertOrdinal(growing.by_deadline_year[*year], ordinal);
+  }
+  for (const std::string& term : RowTerms(row)) {
+    InsertOrdinal(growing.by_term[term], ordinal);
+  }
+}
+
+void ObjectiveDatabase::DeindexGrowingRowLocked(Growing& growing,
+                                                const DbRow& row,
+                                                size_t ordinal) {
+  auto company_it = growing.by_company.find(row.company);
+  if (company_it != growing.by_company.end() &&
+      EraseOrdinal(company_it->second, ordinal)) {
+    growing.by_company.erase(company_it);
+  }
+  for (const auto& [kind, value] : row.record.fields) {
+    if (value.empty()) continue;
+    auto field_it = growing.by_field.find(kind);
+    if (field_it != growing.by_field.end() &&
+        EraseOrdinal(field_it->second, ordinal)) {
+      growing.by_field.erase(field_it);
+    }
+    auto kind_it = growing.by_field_value.find(kind);
+    if (kind_it != growing.by_field_value.end()) {
+      auto value_it = kind_it->second.find(value);
+      if (value_it != kind_it->second.end() &&
+          EraseOrdinal(value_it->second, ordinal)) {
+        kind_it->second.erase(value_it);
+      }
+      if (kind_it->second.empty()) growing.by_field_value.erase(kind_it);
+    }
+    auto counts_it = growing.field_count_by_company.find(row.company);
+    if (counts_it != growing.field_count_by_company.end()) {
+      auto count_it = counts_it->second.find(kind);
+      if (count_it != counts_it->second.end() && --count_it->second <= 0) {
+        counts_it->second.erase(count_it);
+      }
+      if (counts_it->second.empty()) {
+        growing.field_count_by_company.erase(counts_it);
+      }
+    }
+  }
+  if (std::optional<int> year = storage::DeadlineYearOfRecord(row.record)) {
+    auto year_it = growing.by_deadline_year.find(*year);
+    if (year_it != growing.by_deadline_year.end() &&
+        EraseOrdinal(year_it->second, ordinal)) {
+      growing.by_deadline_year.erase(year_it);
+    }
+  }
+  for (const std::string& term : RowTerms(row)) {
+    auto term_it = growing.by_term.find(term);
+    if (term_it != growing.by_term.end() &&
+        EraseOrdinal(term_it->second, ordinal)) {
+      growing.by_term.erase(term_it);
+    }
+  }
+}
+
+void ObjectiveDatabase::ReplaceGrowingLocked(Shard& shard, size_t ordinal,
+                                             DbRow row) {
+  DbRow& slot = shard.growing.rows[ordinal];
+  DeindexGrowingRowLocked(shard.growing, slot, ordinal);
+  slot = std::move(row);
+  IndexGrowingRowLocked(shard.growing, slot, ordinal);
+}
+
+std::optional<size_t> ObjectiveDatabase::FindGrowingOrdinalLocked(
+    const Shard& shard, int64_t row_id) {
+  const std::deque<DbRow>& rows = shard.growing.rows;
+  auto it = std::lower_bound(
+      rows.begin(), rows.end(), row_id,
+      [](const DbRow& row, int64_t id) { return row.row_id < id; });
+  if (it == rows.end() || it->row_id != row_id) return std::nullopt;
+  return static_cast<size_t>(it - rows.begin());
+}
+
+std::optional<DbRow> ObjectiveDatabase::ReadSealedRowLocked(
+    const Shard& shard, int64_t row_id) {
+  for (const auto& segment : shard.sealed) {
+    if (row_id < segment->min_row_id() || row_id > segment->max_row_id()) {
+      continue;
+    }
+    if (std::optional<uint64_t> ordinal = segment->FindRowId(row_id)) {
+      DbRow row;
+      if (segment->ReadRow(*ordinal, &row)) return row;
+    }
+  }
+  return std::nullopt;
 }
 
 void ObjectiveDatabase::AppendGrowingLocked(Shard& shard, DbRow row) {
@@ -300,6 +475,18 @@ void ObjectiveDatabase::RebuildGrowingLocked(Shard& shard) {
   size_t ordinal = 0;
   for (const DbRow& row : growing.rows) {
     IndexGrowingRowLocked(growing, row, ordinal++);
+  }
+}
+
+void ObjectiveDatabase::LogRowLocked(Shard& shard, const DbRow& row) {
+  if (shard.wal == nullptr) return;
+  std::string payload;
+  storage::EncodeRow(row, &payload);
+  Status logged = shard.wal->Append(payload);
+  if (logged.ok()) {
+    if (wal_append_counter_ != nullptr) wal_append_counter_->Increment();
+  } else if (wal_error_counter_ != nullptr) {
+    wal_error_counter_->Increment();
   }
 }
 
@@ -323,15 +510,11 @@ int64_t ObjectiveDatabase::Insert(const data::DetailRecord& record,
     row.document = document;
     row.page = page;
     row.record = record;
-    if (shard.wal != nullptr) {
-      std::string payload;
-      storage::EncodeRow(row, &payload);
-      Status logged = shard.wal->Append(payload);
-      if (logged.ok()) {
-        if (wal_append_counter_ != nullptr) wal_append_counter_->Increment();
-      } else if (wal_error_counter_ != nullptr) {
-        wal_error_counter_->Increment();
-      }
+    LogRowLocked(shard, row);
+    if (options_.track_upserts) {
+      // Insert bypasses dedup by design, but keep the identity map
+      // coherent for later Upserts: the newest row wins the key.
+      shard.latest_by_key[ObjectiveUpsertKey(company, record)] = id;
     }
     AppendGrowingLocked(shard, std::move(row));
     want_seal =
@@ -347,6 +530,133 @@ int64_t ObjectiveDatabase::Insert(const data::DetailRecord& record,
   }
   if (want_seal) RequestSeal(shard_index);
   return id;
+}
+
+UpsertResult ObjectiveDatabase::Upsert(const data::DetailRecord& record,
+                                       const std::string& company,
+                                       const std::string& document,
+                                       int page, int64_t source_sequence) {
+  GOALEX_CHECK_MSG(options_.track_upserts,
+                   "Upsert requires DbOptions::track_upserts");
+  obs::ScopedTimer timer(insert_seconds_);
+  size_t shard_index = ShardIndexFor(company);
+  Shard& shard = *shards_[shard_index];
+  std::string key = ObjectiveUpsertKey(company, record);
+  UpsertResult result;
+  bool appended_row = false;
+  bool want_seal = false;
+  {
+    std::unique_lock lock(shard.mu);
+    auto make_row = [&](int64_t id, int32_t version) {
+      DbRow row;
+      row.row_id = id;
+      row.company = company;
+      row.document = document;
+      row.page = page;
+      row.record = record;
+      SetRecordVersion(&row.record, version);
+      if (source_sequence >= 0) {
+        SetRecordSequence(&row.record, source_sequence);
+      }
+      return row;
+    };
+    auto key_it = shard.latest_by_key.find(key);
+    if (key_it == shard.latest_by_key.end()) {
+      // First sighting of this objective identity.
+      result.row_id = next_id_.fetch_add(1, std::memory_order_relaxed);
+      result.version = 1;
+      result.inserted = true;
+      DbRow row = make_row(result.row_id, 1);
+      LogRowLocked(shard, row);
+      AppendGrowingLocked(shard, std::move(row));
+      shard.latest_by_key.emplace(std::move(key), result.row_id);
+      appended_row = true;
+    } else {
+      int64_t live_id = key_it->second;
+      bool live_in_growing = live_id > shard.max_sealed_id;
+      std::optional<size_t> ordinal;
+      std::optional<DbRow> old;
+      if (live_in_growing) {
+        ordinal = FindGrowingOrdinalLocked(shard, live_id);
+        GOALEX_CHECK_MSG(ordinal.has_value(),
+                         "live row " << live_id << " missing from growing");
+        old = shard.growing.rows[*ordinal];
+      } else {
+        old = ReadSealedRowLocked(shard, live_id);
+        GOALEX_CHECK_MSG(old.has_value(),
+                         "live row " << live_id << " missing from segments");
+      }
+      int32_t old_version = RecordVersion(old->record);
+      const int64_t live_sequence = RecordSequence(old->record);
+      if (source_sequence >= 0 && live_sequence >= 0 &&
+          source_sequence < live_sequence) {
+        // A replayed historical publication of this target: the feed
+        // already delivered something newer. Drop it — re-applying old
+        // content would walk the row backwards through its history.
+        result.row_id = live_id;
+        result.version = old_version;
+        result.stale = true;
+      } else {
+        DbRow fresh = make_row(live_id, old_version);
+        if (SameObjectiveContent(*old, fresh)) {
+          // Byte-identical restatement: replaying a feed is idempotent.
+          result.row_id = live_id;
+          result.version = old_version;
+        } else {
+          result.version = old_version + 1;
+          result.updated = true;
+          SetRecordVersion(&fresh.record, result.version);
+          if (live_in_growing) {
+            // Update in place: same row id, WAL re-logs it (replay
+            // replaces the original record by id).
+            result.row_id = live_id;
+            LogRowLocked(shard, fresh);
+            ReplaceGrowingLocked(shard, *ordinal, std::move(fresh));
+          } else {
+            // The live row is frozen in a sealed segment. New versions
+            // must keep growing ids above max_sealed_id, so the update
+            // becomes a fresh row and the sealed one is masked via the
+            // overlay.
+            result.row_id = next_id_.fetch_add(1, std::memory_order_relaxed);
+            fresh.row_id = result.row_id;
+            LogRowLocked(shard, fresh);
+            AppendGrowingLocked(shard, std::move(fresh));
+            shard.superseded.emplace(live_id, std::move(*old));
+            superseded_count_.fetch_add(1, std::memory_order_acq_rel);
+            key_it->second = result.row_id;
+            appended_row = true;
+          }
+        }
+      }
+    }
+    want_seal =
+        appended_row && attached_.load(std::memory_order_acquire) &&
+        options_.seal_threshold > 0 &&
+        shard.growing.rows.size() >=
+            static_cast<size_t>(options_.seal_threshold);
+  }
+  if (appended_row) {
+    size_t total = size_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (insert_counter_ != nullptr) {
+      insert_counter_->Increment();
+      UpdateRowGauges(total);
+    }
+  }
+  if (result.inserted) {
+    if (upsert_inserted_counter_ != nullptr) {
+      upsert_inserted_counter_->Increment();
+    }
+  } else if (result.updated) {
+    if (upsert_updated_counter_ != nullptr) upsert_updated_counter_->Increment();
+  } else if (upsert_unchanged_counter_ != nullptr) {
+    upsert_unchanged_counter_->Increment();
+  }
+  if (superseded_gauge_ != nullptr) {
+    superseded_gauge_->Set(
+        static_cast<double>(superseded_count_.load(std::memory_order_acquire)));
+  }
+  if (want_seal) RequestSeal(shard_index);
+  return result;
 }
 
 void ObjectiveDatabase::UpdateRowGauges(size_t total) const {
@@ -407,15 +717,28 @@ std::optional<DbRow> ObjectiveDatabase::Get(int64_t row_id) const {
 void ObjectiveDatabase::CollectGrowing(const Shard& shard,
                                        const std::vector<size_t>& ordinals,
                                        std::vector<DbRow>* out) {
-  for (size_t ordinal : ordinals) out->push_back(shard.growing.rows[ordinal]);
+  for (size_t ordinal : ordinals) {
+    const DbRow& row = shard.growing.rows[ordinal];
+    if (!shard.superseded.empty() &&
+        shard.superseded.count(row.row_id) > 0) {
+      continue;
+    }
+    out->push_back(row);
+  }
 }
 
-void ObjectiveDatabase::CollectSealed(const storage::SealedSegment& segment,
+void ObjectiveDatabase::CollectSealed(const Shard& shard,
+                                      const storage::SealedSegment& segment,
                                       const storage::PostingsView& postings,
                                       std::vector<DbRow>* out) {
   for (size_t i = 0; i < postings.size(); ++i) {
     DbRow row;
-    if (segment.ReadRow(postings.At(i), &row)) out->push_back(std::move(row));
+    if (!segment.ReadRow(postings.At(i), &row)) continue;
+    if (!shard.superseded.empty() &&
+        shard.superseded.count(row.row_id) > 0) {
+      continue;
+    }
+    out->push_back(std::move(row));
   }
 }
 
@@ -426,7 +749,7 @@ std::vector<DbRow> ObjectiveDatabase::ByCompany(
   const Shard& shard = *shards_[ShardIndexFor(company)];
   std::shared_lock lock(shard.mu);
   for (const auto& segment : shard.sealed) {
-    CollectSealed(*segment,
+    CollectSealed(shard, *segment,
                   segment->Postings(storage::SegmentIndex::kCompany, company),
                   &out);
   }
@@ -444,7 +767,7 @@ std::vector<DbRow> ObjectiveDatabase::WithField(
   for (const auto& shard : shards_) {
     std::shared_lock lock(shard->mu);
     for (const auto& segment : shard->sealed) {
-      CollectSealed(*segment,
+      CollectSealed(*shard, *segment,
                     segment->Postings(storage::SegmentIndex::kFieldKind, kind),
                     &out);
     }
@@ -465,7 +788,7 @@ std::vector<DbRow> ObjectiveDatabase::WhereFieldEquals(
   for (const auto& shard : shards_) {
     std::shared_lock lock(shard->mu);
     for (const auto& segment : shard->sealed) {
-      CollectSealed(*segment,
+      CollectSealed(*shard, *segment,
                     segment->Postings(storage::SegmentIndex::kFieldValue, key),
                     &out);
     }
@@ -492,7 +815,7 @@ std::vector<DbRow> ObjectiveDatabase::DeadlineYearBetween(
     for (const auto& segment : shard->sealed) {
       segment->ForEachYearInRange(
           min_year, max_year, [&](const storage::PostingsView& postings) {
-            CollectSealed(*segment, postings, &out);
+            CollectSealed(*shard, *segment, postings, &out);
           });
     }
     const auto& by_year = shard->growing.by_deadline_year;
@@ -518,7 +841,8 @@ std::vector<DbRow> ObjectiveDatabase::QueryText(
   int min_year = filter.min_deadline_year.value_or(kMinFilterYear);
   int max_year = filter.max_deadline_year.value_or(kMaxFilterYear);
 
-  auto eval_segment = [&](const storage::SealedSegment& segment) {
+  auto eval_segment = [&](const Shard& shard,
+                          const storage::SealedSegment& segment) {
     // Gather every posting list the row must appear in; any empty list
     // rules the whole segment out.
     std::vector<storage::PostingsView> views;
@@ -573,6 +897,10 @@ std::vector<DbRow> ObjectiveDatabase::QueryText(
     for (uint32_t ordinal : candidates) {
       DbRow row;
       if (!segment.ReadRow(ordinal, &row)) continue;
+      if (!shard.superseded.empty() &&
+          shard.superseded.count(row.row_id) > 0) {
+        continue;
+      }
       if (!RowMatchesPhrases(row, parsed.phrases)) continue;
       out.push_back(std::move(row));
     }
@@ -626,6 +954,10 @@ std::vector<DbRow> ObjectiveDatabase::QueryText(
     }
     for (size_t ordinal : candidates) {
       const DbRow& row = growing.rows[ordinal];
+      if (!shard.superseded.empty() &&
+          shard.superseded.count(row.row_id) > 0) {
+        continue;
+      }
       if (!RowMatchesPhrases(row, parsed.phrases)) continue;
       out.push_back(row);
     }
@@ -633,7 +965,7 @@ std::vector<DbRow> ObjectiveDatabase::QueryText(
 
   auto visit_shard = [&](const Shard& shard) {
     std::shared_lock lock(shard.mu);
-    for (const auto& segment : shard.sealed) eval_segment(*segment);
+    for (const auto& segment : shard.sealed) eval_segment(shard, *segment);
     eval_growing(shard);
   };
 
@@ -677,6 +1009,14 @@ std::map<std::string, int64_t> ObjectiveDatabase::CountPerCompany() const {
     for (const auto& [company, ordinals] : shard->growing.by_company) {
       out[company] += static_cast<int64_t>(ordinals.size());
     }
+    // The sealed per-company counts (and the growing index, for stale
+    // duplicates found on load) include rows masked by a newer version;
+    // subtract their stored copies. The overlay is small — a handful of
+    // restated objectives, not a row scan.
+    for (const auto& [row_id, row] : shard->superseded) {
+      auto it = out.find(row.company);
+      if (it != out.end() && --it->second <= 0) out.erase(it);
+    }
   }
   return out;
 }
@@ -709,6 +1049,19 @@ std::map<std::string, double> ObjectiveDatabase::FieldCoverageByCompany(
         }
       }
     }
+    // Subtract rows masked by a newer version (see CountPerCompany).
+    for (const auto& [row_id, row] : shard->superseded) {
+      auto total_it = totals.find(row.company);
+      if (total_it != totals.end() && --total_it->second <= 0) {
+        totals.erase(total_it);
+      }
+      if (!row.record.FieldOrEmpty(kind).empty()) {
+        auto field_it = with_field.find(row.company);
+        if (field_it != with_field.end() && --field_it->second <= 0) {
+          with_field.erase(field_it);
+        }
+      }
+    }
   }
   std::map<std::string, double> out;
   for (const auto& [company, total] : totals) {
@@ -725,13 +1078,20 @@ std::vector<DbRow> ObjectiveDatabase::CollectShardRows(
     const Shard& shard) const {
   std::shared_lock lock(shard.mu);
   std::vector<DbRow> rows;
+  auto masked = [&shard](int64_t row_id) {
+    return !shard.superseded.empty() && shard.superseded.count(row_id) > 0;
+  };
   for (const auto& segment : shard.sealed) {
     for (uint64_t ordinal = 0; ordinal < segment->num_rows(); ++ordinal) {
       DbRow row;
-      if (segment->ReadRow(ordinal, &row)) rows.push_back(std::move(row));
+      if (!segment->ReadRow(ordinal, &row)) continue;
+      if (masked(row.row_id)) continue;
+      rows.push_back(std::move(row));
     }
   }
-  for (const DbRow& row : shard.growing.rows) rows.push_back(row);
+  for (const DbRow& row : shard.growing.rows) {
+    if (!masked(row.row_id)) rows.push_back(row);
+  }
   return rows;
 }
 
@@ -888,7 +1248,57 @@ Status ObjectiveDatabase::LoadLegacyFile(const std::string& path) {
   size_.store(rows.size(), std::memory_order_release);
   next_id_.store(max_id + 1, std::memory_order_relaxed);
   UpdateRowGauges(rows.size());
+  BuildUpsertState();
   return Status::Ok();
+}
+
+void ObjectiveDatabase::BuildUpsertState() {
+  if (!options_.track_upserts) return;
+  size_t masked_total = 0;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::unique_lock lock(shard.mu);
+    shard.latest_by_key.clear();
+    shard.superseded.clear();
+    // Winner per key = highest (_version, row_id). A loser is masked only
+    // when the winner carries a strictly newer version: plain Insert can
+    // legitimately write several same-version rows for one key (dedup
+    // bypass), and those all stay visible.
+    std::unordered_map<std::string, DbRow> winners;
+    auto offer = [&](DbRow row) {
+      std::string key = ObjectiveUpsertKey(row.company, row.record);
+      auto [it, inserted] = winners.try_emplace(std::move(key), row);
+      if (inserted) return;
+      DbRow& incumbent = it->second;
+      int32_t row_version = RecordVersion(row.record);
+      int32_t incumbent_version = RecordVersion(incumbent.record);
+      if (std::pair(row_version, row.row_id) >
+          std::pair(incumbent_version, incumbent.row_id)) {
+        if (row_version > incumbent_version) {
+          shard.superseded.emplace(incumbent.row_id, incumbent);
+        }
+        incumbent = std::move(row);
+      } else if (incumbent_version > row_version) {
+        shard.superseded.emplace(row.row_id, std::move(row));
+      }
+    };
+    for (const auto& segment : shard.sealed) {
+      for (uint64_t ordinal = 0; ordinal < segment->num_rows(); ++ordinal) {
+        DbRow row;
+        if (segment->ReadRow(ordinal, &row)) offer(std::move(row));
+      }
+    }
+    for (const DbRow& row : shard.growing.rows) offer(row);
+    shard.latest_by_key.reserve(winners.size());
+    for (const auto& [key, row] : winners) {
+      shard.latest_by_key.emplace(key, row.row_id);
+    }
+    masked_total += shard.superseded.size();
+  }
+  superseded_count_.store(masked_total, std::memory_order_release);
+  if (superseded_gauge_ != nullptr) {
+    superseded_gauge_->Set(static_cast<double>(masked_total));
+  }
 }
 
 Status ObjectiveDatabase::LoadManifest(const storage::Manifest& manifest,
@@ -938,11 +1348,25 @@ Status ObjectiveDatabase::LoadManifest(const storage::Manifest& manifest,
     size_t appended = 0;
     for (const std::string& payload : replayed->payloads) {
       DbRow row;
-      bool decoded = storage::DecodeRowExact(payload, &row);
-      if (!decoded || (decoded && row.row_id > shard.max_sealed_id &&
-                       row.row_id <= last_id)) {
+      if (!storage::DecodeRowExact(payload, &row)) {
         stopped_early = true;
         break;
+      }
+      if (row.row_id > shard.max_sealed_id && row.row_id <= last_id) {
+        // A re-logged id is how Upsert records an in-place update of a
+        // growing row: same row_id, newer content. Replay it as a
+        // replacement. An id we have never seen in the growing deque is
+        // genuine corruption and ends the valid prefix.
+        std::unique_lock lock(shard.mu);
+        std::optional<size_t> ordinal =
+            FindGrowingOrdinalLocked(shard, row.row_id);
+        if (!ordinal.has_value()) {
+          stopped_early = true;
+          break;
+        }
+        valid_bytes += kWalRecordHeaderBytes + payload.size();
+        ReplaceGrowingLocked(shard, *ordinal, std::move(row));
+        continue;
       }
       valid_bytes += kWalRecordHeaderBytes + payload.size();
       if (row.row_id <= shard.max_sealed_id) continue;  // Already sealed.
@@ -977,6 +1401,7 @@ Status ObjectiveDatabase::LoadManifest(const storage::Manifest& manifest,
   if (segments_gauge_ != nullptr) {
     segments_gauge_->Set(static_cast<double>(manifest.segments.size()));
   }
+  BuildUpsertState();
   return Status::Ok();
 }
 

@@ -56,6 +56,59 @@ struct DbOptions {
   /// a storage::FaultInjectionEnv here to crash the database at an exact
   /// write offset.
   storage::Env* env = nullptr;
+
+  /// Maintain the per-shard objective-identity map that Upsert() dedups
+  /// against (DESIGN.md §15.2). Off by default: plain Insert ingest pays
+  /// nothing for it. When on, Open()/Load() additionally rebuild the map
+  /// (and the superseded-row overlay) by scanning every loaded row.
+  bool track_upserts = false;
+};
+
+/// The reserved field kind Upsert() stores an objective's version number
+/// under ("1", "2", ...). Rides the ordinary field codec, so versions
+/// survive the WAL, sealed segments, and snapshots without a format bump;
+/// exportable like any other kind (e.g. ExportCsv({"_version"})).
+inline constexpr char kVersionField[] = "_version";
+
+/// The version of `record` as stored by Upsert(); 1 when the row has no
+/// _version field (plain Insert rows, pre-upsert data).
+int32_t RecordVersion(const data::DetailRecord& record);
+
+/// The reserved field kind Upsert() stores the delivery's source sequence
+/// under when the caller provides one. Persisting it on the row (same
+/// codec ride-along as _version) is what makes feed replay idempotent
+/// across reopen: a replayed *earlier* publication of a restated target
+/// carries a sequence below the live row's and is dropped as stale
+/// instead of ping-ponging the row back through its history.
+inline constexpr char kSequenceField[] = "_seq";
+
+/// The source sequence of `record` as stored by Upsert(); -1 when the row
+/// has no _seq field (sequence-less upserts, plain Insert rows).
+int64_t RecordSequence(const data::DetailRecord& record);
+
+/// The dedup identity of an objective row: company + normalized action
+/// lemma (values::NormalizeAction) + lowercased qualifier, '\x1f'-joined.
+/// Two statements of the same target — "Reduce water usage by 20% by
+/// 2030" restated as "Reducing water usage by 35% by 2035" — share a key
+/// and therefore one versioned row. Records carrying neither an Action
+/// nor a Qualifier field (e.g. NetZeroFacts rows) fall back to the
+/// lowercased objective text, so unextractable rows never collapse into
+/// one identity per company.
+std::string ObjectiveUpsertKey(const std::string& company,
+                               const data::DetailRecord& record);
+
+/// What Upsert() did with a record.
+struct UpsertResult {
+  int64_t row_id = -1;   ///< The live row holding this objective now.
+  int32_t version = 1;   ///< Its version after the call.
+  bool inserted = false; ///< New objective identity: fresh row, version 1.
+  bool updated = false;  ///< Existing identity, content changed: bumped.
+  /// Delivery's source sequence was older than the live row's: a replayed
+  /// historical publication. Dropped without a write (implies unchanged()).
+  bool stale = false;
+  /// !inserted && !updated: byte-identical restatement or stale replay;
+  /// no write at all.
+  bool unchanged() const { return !inserted && !updated; }
 };
 
 /// Company / field / deadline constraints combined (AND) with a QueryText
@@ -92,7 +145,7 @@ struct TextFilter {
 ///   - by company (ByCompany, CountPerCompany, FieldCoverageByCompany),
 ///   - by non-empty field kind (WithField),
 ///   - by exact field value (WhereFieldEquals),
-///   - by normalized deadline year via values::NormalizeYear
+///   - by normalized deadline year via values::NormalizeDeadlineYear
 ///     (ByDeadlineYear, DeadlineYearBetween),
 ///   - by full text over objective text and field values (QueryText:
 ///     AND of terms and "quoted phrases", optional TextFilter).
@@ -127,8 +180,50 @@ class ObjectiveDatabase {
                  const std::string& company,
                  const std::string& document = "", int page = 0);
 
+  /// Versioned insert-or-update (requires DbOptions::track_upserts; the
+  /// streaming pipeline's write path, DESIGN.md §15.2). The record's
+  /// ObjectiveUpsertKey decides its fate:
+  ///
+  ///   - unseen key: inserted as a fresh row at version 1;
+  ///   - known key, identical content (metadata, text, and fields all
+  ///     equal): no write at all — replaying a feed is idempotent;
+  ///   - known key, changed content: the version is bumped. A still-
+  ///     growing live row is updated *in place* (same row id, WAL re-logs
+  ///     the id); a sealed live row is immutable, so the new version gets
+  ///     a fresh row id and the sealed row is masked from every query via
+  ///     the superseded overlay (Get(old_id) still returns it — that is
+  ///     the version history).
+  ///
+  /// `source_sequence` (>= 0) is the delivery's position in its source
+  /// feed; it is stored on the row under kSequenceField and guards
+  /// against out-of-order redelivery: a known key whose live row carries
+  /// a *newer* sequence drops the upsert as stale (UpsertResult::stale)
+  /// instead of regressing the row to older content. Feed replay is
+  /// therefore idempotent even for multiply-restated targets — earlier
+  /// publications replay as stale, the final one as byte-identical. Pass
+  /// -1 (default) for sequence-less upserts; mixing sequenced and
+  /// sequence-less upserts on one key is not meaningful (the _seq field
+  /// itself participates in the content comparison).
+  ///
+  /// Thread-safe like Insert. Concurrent upserts of the same key are
+  /// serialized by the shard lock.
+  UpsertResult Upsert(const data::DetailRecord& record,
+                      const std::string& company,
+                      const std::string& document = "", int page = 0,
+                      int64_t source_sequence = -1);
+
   /// Total row count (exact; maintained atomically).
   size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  /// Rows visible to queries: size() minus superseded (masked) rows.
+  size_t live_size() const {
+    return size() - superseded_count_.load(std::memory_order_acquire);
+  }
+
+  /// Sealed rows masked by a newer version of the same objective.
+  size_t superseded_count() const {
+    return superseded_count_.load(std::memory_order_acquire);
+  }
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
@@ -153,7 +248,7 @@ class ObjectiveDatabase {
                                       const std::string& value) const;
 
   /// Rows whose Deadline (or NetZeroFacts TargetYear) normalizes to `year`
-  /// via values::NormalizeYear, sorted by row id. Indexed.
+  /// via values::NormalizeDeadlineYear, sorted by row id. Indexed.
   std::vector<DbRow> ByDeadlineYear(int year) const;
 
   /// Rows whose normalized deadline year lies in [min_year, max_year],
@@ -271,13 +366,58 @@ class ObjectiveDatabase {
     int64_t max_sealed_id = -1;
     /// Armed by Open(); null when detached.
     std::unique_ptr<storage::WalWriter> wal;
+
+    // --- Versioned-upsert state (populated only with track_upserts) ------
+    /// ObjectiveUpsertKey -> row id of the live (newest) version.
+    std::unordered_map<std::string, int64_t> latest_by_key;
+    /// Rows replaced by a newer version that could not be updated in place
+    /// (sealed at update time, or stale duplicates found on load). Keyed
+    /// by row id, holding a full copy of the masked row so count-style
+    /// queries can subtract its contributions without touching a segment.
+    /// Every query path filters against this map; Get() alone serves the
+    /// masked rows as version history.
+    std::unordered_map<int64_t, DbRow> superseded;
   };
 
   size_t ShardIndexFor(const std::string& company) const;
 
   /// Registers `row` (stored at `ordinal`) in every growing index.
+  /// Ordinals are kept sorted within each posting vector, so this works
+  /// both for appends (ordinal is the largest) and for in-place updates
+  /// (ordinal lands mid-vector).
   static void IndexGrowingRowLocked(Growing& growing, const DbRow& row,
                                     size_t ordinal);
+
+  /// Removes `row` (stored at `ordinal`) from every growing index — the
+  /// exact inverse of IndexGrowingRowLocked, erasing entries that empty
+  /// out so Companies()/coverage queries never see ghosts.
+  static void DeindexGrowingRowLocked(Growing& growing, const DbRow& row,
+                                      size_t ordinal);
+
+  /// Replaces the growing row at `ordinal` with `row` (same row id),
+  /// keeping every index exact. Caller holds the exclusive lock.
+  static void ReplaceGrowingLocked(Shard& shard, size_t ordinal, DbRow row);
+
+  /// Ordinal of the growing row with id `row_id`, if present. Caller holds
+  /// at least the shared lock.
+  static std::optional<size_t> FindGrowingOrdinalLocked(const Shard& shard,
+                                                        int64_t row_id);
+
+  /// Reads the sealed row with id `row_id`, if any segment holds it.
+  /// Caller holds at least the shared lock.
+  static std::optional<DbRow> ReadSealedRowLocked(const Shard& shard,
+                                                  int64_t row_id);
+
+  /// WAL-logs `row` when attached (shared by Insert and Upsert). Caller
+  /// holds the exclusive lock.
+  void LogRowLocked(Shard& shard, const DbRow& row);
+
+  /// Rebuilds every shard's latest_by_key map and superseded overlay from
+  /// the loaded rows: per key the highest (version, row id) pair is live,
+  /// every other row is masked. Called by Open()/Load() when
+  /// track_upserts is on — the overlay has no on-disk form; it is derived
+  /// state, which also makes it self-healing after crashes.
+  void BuildUpsertState();
 
   /// Appends `row` to the growing segment and maintains every index.
   /// Caller holds the shard's exclusive lock.
@@ -294,8 +434,10 @@ class ObjectiveDatabase {
                              const std::vector<size_t>& ordinals,
                              std::vector<DbRow>* out);
 
-  /// Materializes the rows of `postings` from `segment` into `out`.
-  static void CollectSealed(const storage::SealedSegment& segment,
+  /// Materializes the rows of `postings` from `segment` into `out`,
+  /// skipping rows masked by `shard`'s superseded overlay.
+  static void CollectSealed(const Shard& shard,
+                            const storage::SealedSegment& segment,
                             const storage::PostingsView& postings,
                             std::vector<DbRow>* out);
 
@@ -347,6 +489,8 @@ class ObjectiveDatabase {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<int64_t> next_id_{0};
   std::atomic<size_t> size_{0};
+  /// Sum of every shard's superseded overlay size.
+  std::atomic<size_t> superseded_count_{0};
 
   // --- Attached (read-write) state -----------------------------------------
   std::atomic<bool> attached_{false};
@@ -382,6 +526,10 @@ class ObjectiveDatabase {
   obs::Gauge* rows_gauge_ = nullptr;
   obs::Gauge* rows_per_shard_gauge_ = nullptr;
   obs::Gauge* segments_gauge_ = nullptr;
+  obs::Counter* upsert_inserted_counter_ = nullptr;
+  obs::Counter* upsert_updated_counter_ = nullptr;
+  obs::Counter* upsert_unchanged_counter_ = nullptr;
+  obs::Gauge* superseded_gauge_ = nullptr;
 };
 
 }  // namespace goalex::core

@@ -1,0 +1,317 @@
+#include "data/stream.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/rng.h"
+#include "data/generator.h"
+
+namespace goalex::data {
+namespace {
+
+/// Multi-domain company pool: energy, food, logistics, retail, materials,
+/// health, tech, transport, utilities. Streamed corpora mix sectors so the
+/// SDG distribution is not dominated by a single goal.
+const std::vector<std::string>& StreamCompanies() {
+  static const std::vector<std::string>* const kCompanies =
+      new std::vector<std::string>{
+          "Aurora Energy",     "Boreal Foods",    "Cascadia Logistics",
+          "Delta Textiles",    "Equinox Retail",  "Fjord Shipping",
+          "Granite Materials", "Helios Power",    "Iris Health",
+          "Juniper Technologies", "Kestrel Airlines", "Lumen Utilities",
+          "Meridian Mining",   "Nimbus Foods",    "Orchid Apparel",
+          "Pinnacle Chemicals",
+      };
+  return *kCompanies;
+}
+
+struct ActionVerb {
+  const char* base;    ///< "Reduce"
+  const char* future;  ///< "will reduce"
+};
+
+const std::vector<ActionVerb>& StreamActions() {
+  static const std::vector<ActionVerb>* const kActions =
+      new std::vector<ActionVerb>{
+          {"Reduce", "will reduce"},   {"Cut", "will cut"},
+          {"Increase", "will increase"}, {"Achieve", "will achieve"},
+          {"Eliminate", "will eliminate"}, {"Expand", "will expand"},
+          {"Lower", "will lower"},     {"Improve", "will improve"},
+      };
+  return *kActions;
+}
+
+/// Qualifier pool aligned with both the synthetic-corpus generator and
+/// the SDG lexicon, so streamed objectives classify onto varied goals.
+const std::vector<std::string>& StreamQualifiers() {
+  static const std::vector<std::string>* const kQualifiers =
+      new std::vector<std::string>{
+          "greenhouse gas emissions", "water usage",
+          "renewable electricity",    "single-use plastics",
+          "waste to landfill",        "energy consumption",
+          "carbon footprint",         "food waste",
+          "fresh water withdrawal",   "hazardous waste",
+          "recycled content",         "employee training hours",
+          "women in leadership positions", "supplier audits",
+          "fleet electrification",    "reforestation projects",
+          "air travel emissions",     "plastic packaging",
+          "community investment",     "solar generation capacity",
+      };
+  return *kQualifiers;
+}
+
+/// A live target of one company.
+struct ActiveTarget {
+  size_t truth_index = 0;
+  std::string action;
+  std::string qualifier;
+  int percent = 0;
+  int deadline = 0;
+  bool abandoned = false;
+};
+
+struct StreamCompany {
+  std::string name;
+  std::vector<ActiveTarget> targets;
+  std::set<std::pair<std::string, std::string>> used_keys;
+};
+
+std::string CompactName(const std::string& company) {
+  std::string out;
+  for (char c : company) {
+    if (c != ' ') out.push_back(c);
+  }
+  return out;
+}
+
+std::string ObjectiveSentence(const ActiveTarget& target, Rng& rng) {
+  const std::string amount = std::to_string(target.percent) + "%";
+  const std::string year = std::to_string(target.deadline);
+  std::string lower_action = target.action;
+  if (!lower_action.empty()) {
+    lower_action[0] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(lower_action[0])));
+  }
+  switch (rng.NextIndex(3)) {
+    case 0:
+      return target.action + " " + target.qualifier + " by " + amount +
+             " by " + year + ".";
+    case 1:
+      return "We " + std::string("will ") + lower_action + " " +
+             target.qualifier + " by " + amount + " by " + year + ".";
+    default:
+      return "By " + year + ", " + lower_action + " " + target.qualifier +
+             " by " + amount + ".";
+  }
+}
+
+std::string WithdrawalSentence(const ActiveTarget& target, Rng& rng) {
+  std::string lower_action = target.action;
+  if (!lower_action.empty()) {
+    lower_action[0] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(lower_action[0])));
+  }
+  switch (rng.NextIndex(3)) {
+    case 0:
+      return "We are no longer pursuing our target to " + lower_action +
+             " " + target.qualifier + ".";
+    case 1:
+      return "We have withdrawn our commitment to " + lower_action + " " +
+             target.qualifier + ".";
+    default:
+      // The action + qualifier stay in verb-object order at sentence end
+      // so detail extraction recovers the same dedup key as the original
+      // objective statement.
+      return "We have abandoned our plan to " + lower_action + " " +
+             target.qualifier + ".";
+  }
+}
+
+ReportBlock MakeObjectiveBlock(const ActiveTarget& target, Rng& rng) {
+  ReportBlock block;
+  block.is_objective = true;
+  block.text = ObjectiveSentence(target, rng);
+  block.annotations = {
+      {"Action", target.action},
+      {"Qualifier", target.qualifier},
+      {"Amount", std::to_string(target.percent) + "%"},
+      {"Deadline", std::to_string(target.deadline)},
+  };
+  return block;
+}
+
+ReportBlock MakeWithdrawalBlock(const ActiveTarget& target, Rng& rng) {
+  ReportBlock block;
+  block.is_objective = true;
+  block.text = WithdrawalSentence(target, rng);
+  block.annotations = {
+      {"Action", target.action},
+      {"Qualifier", target.qualifier},
+  };
+  return block;
+}
+
+ActiveTarget NewTarget(StreamCompany& company, int year, Rng& rng,
+                       StreamTruth* truth) {
+  ActiveTarget target;
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    const ActionVerb& verb =
+        StreamActions()[rng.NextIndex(StreamActions().size())];
+    const std::string& qualifier =
+        StreamQualifiers()[rng.NextIndex(StreamQualifiers().size())];
+    if (company.used_keys.count({verb.base, qualifier}) > 0) continue;
+    target.action = verb.base;
+    target.qualifier = qualifier;
+    break;
+  }
+  if (target.action.empty()) {
+    // Pool exhausted (tiny configured streams only): reuse deterministic
+    // first entries; the duplicate key simply restates.
+    target.action = StreamActions()[0].base;
+    target.qualifier = StreamQualifiers()[0];
+  }
+  company.used_keys.insert({target.action, target.qualifier});
+  target.percent = 10 + 5 * static_cast<int>(rng.NextIndex(15));  // 10..80
+  target.deadline = year + 3 + static_cast<int>(rng.NextIndex(12));
+  if (truth != nullptr) {
+    StreamTargetTruth entry;
+    entry.company = company.name;
+    entry.action = target.action;
+    entry.qualifier = target.qualifier;
+    target.truth_index = truth->targets.size();
+    truth->targets.push_back(std::move(entry));
+  }
+  return target;
+}
+
+}  // namespace
+
+std::vector<TimedDocument> GenerateReportStream(
+    const ReportStreamConfig& config, StreamTruth* truth) {
+  Rng rng(config.seed);
+  std::vector<TimedDocument> documents;
+  std::vector<StreamCompany> companies;
+
+  const int initial =
+      std::clamp(config.initial_companies, 1,
+                 static_cast<int>(StreamCompanies().size()));
+  for (int i = 0; i < initial; ++i) {
+    StreamCompany company;
+    company.name = StreamCompanies()[static_cast<size_t>(i)];
+    companies.push_back(std::move(company));
+  }
+
+  int64_t sequence = 0;
+  for (int year_index = 0; year_index < std::max(config.years, 1);
+       ++year_index) {
+    const int year = config.start_year + year_index;
+    if (year_index > 0) {
+      for (int i = 0; i < config.new_companies_per_year &&
+                      companies.size() < StreamCompanies().size();
+           ++i) {
+        StreamCompany company;
+        company.name = StreamCompanies()[companies.size()];
+        companies.push_back(std::move(company));
+      }
+    }
+    for (StreamCompany& company : companies) {
+      // Each yearly report lists only new and changed targets, mirroring
+      // the "updates to our goals" section of real reports. Unchanged
+      // targets are not repeated, so a deduplicating ingest sees a
+      // version bump exactly when something changed.
+      std::vector<ReportBlock> blocks;
+      const bool first_report = company.targets.empty();
+      if (first_report) {
+        for (int i = 0; i < std::max(config.initial_targets_per_company, 1);
+             ++i) {
+          company.targets.push_back(NewTarget(company, year, rng, truth));
+          blocks.push_back(MakeObjectiveBlock(company.targets.back(), rng));
+        }
+      } else {
+        for (ActiveTarget& target : company.targets) {
+          if (target.abandoned) continue;
+          if (rng.NextBernoulli(config.abandonment_rate)) {
+            target.abandoned = true;
+            blocks.push_back(MakeWithdrawalBlock(target, rng));
+            if (truth != nullptr) {
+              truth->targets[target.truth_index].abandoned = true;
+              ++truth->targets[target.truth_index].versions;
+              ++truth->abandonments;
+            }
+            continue;
+          }
+          if (rng.NextBernoulli(config.restatement_rate)) {
+            // Restate: tighten the amount and/or move the deadline. The
+            // key (action + qualifier) is untouched — this must land as
+            // an update, not a new row.
+            if (rng.NextBernoulli(0.7)) {
+              target.percent = std::min(target.percent + 5 * (1 + static_cast<int>(rng.NextIndex(3))), 95);
+            } else {
+              target.deadline += 1 + static_cast<int>(rng.NextIndex(4));
+            }
+            blocks.push_back(MakeObjectiveBlock(target, rng));
+            if (truth != nullptr) {
+              ++truth->targets[target.truth_index].versions;
+              ++truth->restatements;
+            }
+          }
+        }
+        int fresh = (rng.NextBernoulli(config.new_target_rate) ? 1 : 0) +
+                    (rng.NextBernoulli(config.new_target_rate * 0.4) ? 1 : 0);
+        for (int i = 0; i < fresh; ++i) {
+          company.targets.push_back(NewTarget(company, year, rng, truth));
+          blocks.push_back(MakeObjectiveBlock(company.targets.back(), rng));
+        }
+      }
+
+      // Interleave noise between objective blocks at stable positions.
+      std::vector<ReportBlock> with_noise;
+      for (size_t i = 0; i < blocks.size(); ++i) {
+        if (i > 0 && config.noise_blocks_per_report > 0) {
+          ReportBlock noise;
+          noise.text = GenerateNoiseSentence(rng);
+          with_noise.push_back(std::move(noise));
+        }
+        with_noise.push_back(std::move(blocks[i]));
+      }
+      for (int i = 0; i < config.noise_blocks_per_report; ++i) {
+        ReportBlock noise;
+        noise.text = GenerateNoiseSentence(rng);
+        with_noise.push_back(std::move(noise));
+      }
+
+      TimedDocument document;
+      document.sequence = sequence;
+      document.timestamp_ms =
+          static_cast<int64_t>(year - 1970) * 31557600000LL +
+          sequence * config.inter_arrival_ms;
+      document.report.company = company.name;
+      document.report.document =
+          CompactName(company.name) + "-" + std::to_string(year) + ".pdf";
+      document.report.blocks = std::move(with_noise);
+      int page = 1;
+      for (size_t i = 0; i < document.report.blocks.size(); ++i) {
+        document.report.blocks[i].page = page;
+        if (i % 3 == 2) ++page;
+      }
+      document.report.page_count = page;
+      int objective_blocks = 0;
+      for (const ReportBlock& block : document.report.blocks) {
+        if (block.is_objective) ++objective_blocks;
+      }
+      if (truth != nullptr) truth->total_objective_blocks += objective_blocks;
+      documents.push_back(std::move(document));
+      ++sequence;
+    }
+  }
+  if (truth != nullptr) {
+    truth->total_documents = static_cast<int>(documents.size());
+    // Withdrawal blocks were counted as objective blocks above; the truth
+    // field promises restated+initial objectives only.
+    truth->total_objective_blocks -= truth->abandonments;
+  }
+  return documents;
+}
+
+}  // namespace goalex::data

@@ -1,0 +1,82 @@
+#ifndef GOALEX_DATA_STREAM_H_
+#define GOALEX_DATA_STREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/report.h"
+
+namespace goalex::data {
+
+/// One document of a timestamped corpus feed: a report plus its position
+/// in the stream. `sequence` is the global arrival order (0-based) and is
+/// what the streaming pipeline uses for deterministic replay; the
+/// wall-clock timestamp is presentation metadata.
+struct TimedDocument {
+  int64_t sequence = 0;
+  int64_t timestamp_ms = 0;
+  Report report;
+};
+
+/// Configuration of the multi-domain multi-year report stream. Each
+/// simulated year every active company publishes one report; year over
+/// year a company restates some targets (same action + qualifier, new
+/// amount/deadline — the versioned-upsert case), abandons some, adds new
+/// ones, and new companies join the corpus.
+struct ReportStreamConfig {
+  int start_year = 2019;
+  int years = 4;
+  int initial_companies = 6;
+  int new_companies_per_year = 1;
+  /// Targets in a company's first report.
+  int initial_targets_per_company = 5;
+  /// Per-year, per-target probability of a restatement (new amount and/or
+  /// deadline under the same action + qualifier).
+  double restatement_rate = 0.35;
+  /// Per-year, per-target probability the target is withdrawn. The report
+  /// then carries an explicit withdrawal block instead of the objective.
+  double abandonment_rate = 0.08;
+  /// Expected new targets per company per year (drawn 0..2).
+  double new_target_rate = 0.6;
+  /// Noise blocks inserted between objective blocks.
+  int noise_blocks_per_report = 4;
+  uint64_t seed = 42;
+  /// Simulated milliseconds between consecutive documents.
+  int64_t inter_arrival_ms = 1000;
+};
+
+/// Generation-time ground truth for one (company, target) pair across the
+/// whole stream, keyed the same way the database dedups upserts.
+struct StreamTargetTruth {
+  std::string company;
+  std::string action;     ///< Surface action verb (base form).
+  std::string qualifier;  ///< Surface qualifier phrase.
+  /// Number of distinct versions published (1 = never restated).
+  int versions = 1;
+  bool abandoned = false;
+};
+
+/// Aggregate ground truth of a generated stream.
+struct StreamTruth {
+  std::vector<StreamTargetTruth> targets;
+  int total_documents = 0;
+  int total_objective_blocks = 0;  ///< Incl. restatements, excl. withdrawals.
+  int restatements = 0;
+  int abandonments = 0;
+
+  /// Number of distinct (company, action, qualifier) keys — the row count
+  /// a deduplicating ingest must converge to (abandoned targets keep
+  /// their row, flagged, so they count too).
+  size_t unique_targets() const { return targets.size(); }
+};
+
+/// Generates the stream, documents ordered by (year, company). The same
+/// config always yields byte-identical documents. When `truth` is
+/// non-null it receives the generation-time ground truth.
+std::vector<TimedDocument> GenerateReportStream(
+    const ReportStreamConfig& config, StreamTruth* truth = nullptr);
+
+}  // namespace goalex::data
+
+#endif  // GOALEX_DATA_STREAM_H_

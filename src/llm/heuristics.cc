@@ -14,16 +14,30 @@ int YearOf(const std::string& digits) {
   return std::stoi(digits);
 }
 
+// Number/unit separators are \s* rather than a fixed \s? / \s: real
+// reports produce both "40  percent" (double space after line rewrapping)
+// and "40million" (lost space), and a rigid separator silently drops the
+// amount entirely.
 const std::regex& PercentRegex() {
   static const std::regex* const kRegex =
-      new std::regex(R"((\d+(?:\.\d+)?)\s?(%|percent))");
+      new std::regex(R"((\d+(?:\.\d+)?)\s*(%|percent))");
   return *kRegex;
 }
 
 const std::regex& UnitAmountRegex() {
   static const std::regex* const kRegex = new std::regex(
-      R"((\d[\d,\.]*)\s(million|billion|thousand|tonnes|GWh|MWh|MW|Mt(?:\sCO2e)?))");
+      R"((\d[\d,\.]*)\s*(million|billion|thousand|tonnes|GWh|MWh|MW|Mt(?:\sCO2e)?))");
   return *kRegex;
+}
+
+// The UnitAmountRegex number capture (\d[\d,\.]*) may end in a trailing
+// ','/'.' ("1,500. tonnes"); strip it so the captured value parses clean.
+std::string TrimTrailingNumberPunct(std::string number) {
+  while (!number.empty() &&
+         (number.back() == ',' || number.back() == '.')) {
+    number.pop_back();
+  }
+  return number;
 }
 
 const std::regex& CommaNumberRegex() {
@@ -68,6 +82,15 @@ std::string ExtractAmount(const std::string& text) {
       best = text.substr(pos, length);
     }
   };
+  // Same, but with an explicit value replacing the raw slice — used when
+  // trailing punctuation was trimmed out of the captured number.
+  auto consider_value = [&](size_t pos, std::string value) {
+    if (pos == std::string::npos) return;
+    if (pos < best_pos) {
+      best_pos = pos;
+      best = std::move(value);
+    }
+  };
 
   std::smatch match;
   if (std::regex_search(text, match, PercentRegex())) {
@@ -79,8 +102,17 @@ std::string ExtractAmount(const std::string& text) {
   if (nz == std::string::npos) nz = lower.find("net zero");
   if (nz != std::string::npos) consider(nz, 8);
   if (std::regex_search(text, match, UnitAmountRegex())) {
-    consider(static_cast<size_t>(match.position(0)),
-             static_cast<size_t>(match.length(0)));
+    std::string number = match[1].str();
+    std::string trimmed = TrimTrailingNumberPunct(number);
+    if (trimmed == number) {
+      // Keep the raw surface slice when the capture is already clean, so
+      // weak labels still align with the objective text byte-for-byte.
+      consider(static_cast<size_t>(match.position(0)),
+               static_cast<size_t>(match.length(0)));
+    } else if (!trimmed.empty()) {
+      consider_value(static_cast<size_t>(match.position(0)),
+                     trimmed + " " + match[2].str());
+    }
   }
   if (std::regex_search(text, match, CommaNumberRegex())) {
     consider(static_cast<size_t>(match.position(1)),

@@ -1,0 +1,198 @@
+#include "pipeline/feed.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace goalex::pipeline {
+namespace {
+
+constexpr char kHeader[] = "goalexfeed v1";
+
+void AppendEscaped(std::string_view field, std::string* out) {
+  for (char c : field) {
+    switch (c) {
+      case '\\': *out += "\\\\"; break;
+      case '\t': *out += "\\t"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      default: out->push_back(c);
+    }
+  }
+}
+
+StatusOr<std::string> Unescape(std::string_view field) {
+  std::string out;
+  out.reserve(field.size());
+  for (size_t i = 0; i < field.size(); ++i) {
+    if (field[i] != '\\') {
+      out.push_back(field[i]);
+      continue;
+    }
+    if (i + 1 >= field.size()) {
+      return InvalidArgumentError("dangling escape in feed field");
+    }
+    switch (field[++i]) {
+      case '\\': out.push_back('\\'); break;
+      case 't': out.push_back('\t'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      default:
+        return InvalidArgumentError("unknown escape in feed field");
+    }
+  }
+  return out;
+}
+
+bool ParseInt64(std::string_view field, int64_t* out) {
+  if (field.empty()) return false;
+  int64_t value = 0;
+  size_t i = 0;
+  bool negative = field[0] == '-';
+  if (negative) i = 1;
+  if (i >= field.size()) return false;
+  for (; i < field.size(); ++i) {
+    if (field[i] < '0' || field[i] > '9') return false;
+    value = value * 10 + (field[i] - '0');
+  }
+  *out = negative ? -value : value;
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeFeed(const std::vector<data::TimedDocument>& documents) {
+  std::string out = kHeader;
+  out += '\n';
+  for (const data::TimedDocument& document : documents) {
+    out += "doc\t";
+    out += std::to_string(document.sequence);
+    out += '\t';
+    out += std::to_string(document.timestamp_ms);
+    out += '\t';
+    AppendEscaped(document.report.company, &out);
+    out += '\t';
+    AppendEscaped(document.report.document, &out);
+    out += '\n';
+    for (const data::ReportBlock& block : document.report.blocks) {
+      out += "block\t";
+      out += std::to_string(block.page);
+      out += '\t';
+      out += block.is_objective ? '1' : '0';
+      out += '\t';
+      AppendEscaped(block.text, &out);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<data::TimedDocument>> ParseFeed(std::string_view text) {
+  std::vector<std::string> lines = StrSplit(text, '\n');
+  if (lines.empty() || lines[0] != kHeader) {
+    return InvalidArgumentError("feed is missing its 'goalexfeed v1' header");
+  }
+  std::vector<data::TimedDocument> documents;
+  for (size_t line_no = 1; line_no < lines.size(); ++line_no) {
+    const std::string& line = lines[line_no];
+    if (line.empty()) continue;
+    std::vector<std::string> fields = StrSplit(line, '\t');
+    const std::string where = " at feed line " + std::to_string(line_no + 1);
+    if (fields[0] == "doc") {
+      if (fields.size() != 5) {
+        return InvalidArgumentError("malformed doc record" + where);
+      }
+      data::TimedDocument document;
+      if (!ParseInt64(fields[1], &document.sequence) ||
+          !ParseInt64(fields[2], &document.timestamp_ms)) {
+        return InvalidArgumentError("bad doc numbers" + where);
+      }
+      StatusOr<std::string> company = Unescape(fields[3]);
+      if (!company.ok()) return company.status();
+      StatusOr<std::string> name = Unescape(fields[4]);
+      if (!name.ok()) return name.status();
+      document.report.company = std::move(company).value();
+      document.report.document = std::move(name).value();
+      documents.push_back(std::move(document));
+    } else if (fields[0] == "block") {
+      if (documents.empty()) {
+        return InvalidArgumentError("block before first doc" + where);
+      }
+      if (fields.size() != 4 || (fields[2] != "0" && fields[2] != "1")) {
+        return InvalidArgumentError("malformed block record" + where);
+      }
+      data::ReportBlock block;
+      int64_t page = 0;
+      if (!ParseInt64(fields[1], &page)) {
+        return InvalidArgumentError("bad block page" + where);
+      }
+      block.page = static_cast<int>(page);
+      block.is_objective = fields[2] == "1";
+      StatusOr<std::string> body = Unescape(fields[3]);
+      if (!body.ok()) return body.status();
+      block.text = std::move(body).value();
+      data::Report& report = documents.back().report;
+      report.page_count = std::max(report.page_count, block.page);
+      report.blocks.push_back(std::move(block));
+    } else {
+      return InvalidArgumentError("unknown feed record '" + fields[0] + "'" +
+                                  where);
+    }
+  }
+  return documents;
+}
+
+Status WriteFeedFile(const std::string& path,
+                     const std::vector<data::TimedDocument>& documents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return NotFoundError("cannot write feed file " + path);
+  const std::string encoded = EncodeFeed(documents);
+  out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
+  out.flush();
+  if (!out) return DataLossError("short write to feed file " + path);
+  return Status::Ok();
+}
+
+StatusOr<std::vector<data::TimedDocument>> ReadFeedFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("cannot open feed file " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseFeed(buffer.str());
+}
+
+StatusOr<std::vector<data::TimedDocument>> DirectoryFeed::Poll() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::vector<std::string> fresh;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string path = entry.path().string();
+    if (entry.path().extension() != ".goalexfeed") continue;
+    if (processed_.count(path) > 0) continue;
+    fresh.push_back(path);
+  }
+  if (ec) {
+    return NotFoundError("cannot scan feed directory " + dir_ + ": " +
+                         ec.message());
+  }
+  std::sort(fresh.begin(), fresh.end());
+  std::vector<data::TimedDocument> documents;
+  for (const std::string& path : fresh) {
+    processed_.insert(path);  // Before parsing: a poison file is consumed.
+    StatusOr<std::vector<data::TimedDocument>> parsed = ReadFeedFile(path);
+    if (!parsed.ok()) return parsed.status();
+    for (data::TimedDocument& document : parsed.value()) {
+      documents.push_back(std::move(document));
+    }
+  }
+  return documents;
+}
+
+}  // namespace goalex::pipeline

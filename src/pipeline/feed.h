@@ -1,0 +1,62 @@
+#ifndef GOALEX_PIPELINE_FEED_H_
+#define GOALEX_PIPELINE_FEED_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "data/stream.h"
+
+namespace goalex::pipeline {
+
+/// Text codec for timestamped document feeds ("goalexfeed v1").
+///
+/// Line-oriented and tab-separated so feeds diff/grep cleanly:
+///
+///   goalexfeed v1
+///   doc <sequence> <timestamp_ms> <company> <document>
+///   block <page> <is_objective:0|1> <text>
+///   ...
+///
+/// Free-text fields escape backslash, tab, CR and LF (\\, \t, \r, \n), so
+/// a raw tab is always a field separator and a raw newline always ends a
+/// record. Generation-time annotations are NOT serialized: a feed carries
+/// exactly what a production corpus drop would — text and provenance —
+/// and the pipeline re-derives everything else. `Report::page_count` is
+/// reconstructed as the maximum block page.
+std::string EncodeFeed(const std::vector<data::TimedDocument>& documents);
+
+/// Parses a feed; fails with InvalidArgument on a bad header, an unknown
+/// record tag, a malformed field, or a block before the first doc.
+StatusOr<std::vector<data::TimedDocument>> ParseFeed(std::string_view text);
+
+/// EncodeFeed to / ParseFeed from a file.
+Status WriteFeedFile(const std::string& path,
+                     const std::vector<data::TimedDocument>& documents);
+StatusOr<std::vector<data::TimedDocument>> ReadFeedFile(
+    const std::string& path);
+
+/// Polling directory watch over `*.goalexfeed` files: each Poll() scans
+/// the directory, parses files not seen by a previous Poll (lexicographic
+/// filename order — name feed drops monotonically), and returns their
+/// documents concatenated. A file is marked processed even when it fails
+/// to parse (a poison file must not wedge the feed); the parse error is
+/// returned once and skipped thereafter.
+class DirectoryFeed {
+ public:
+  explicit DirectoryFeed(std::string dir) : dir_(std::move(dir)) {}
+
+  StatusOr<std::vector<data::TimedDocument>> Poll();
+
+  size_t processed_files() const { return processed_.size(); }
+
+ private:
+  std::string dir_;
+  std::set<std::string> processed_;
+};
+
+}  // namespace goalex::pipeline
+
+#endif  // GOALEX_PIPELINE_FEED_H_

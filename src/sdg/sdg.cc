@@ -1,0 +1,319 @@
+#include "sdg/sdg.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/string_util.h"
+#include "text/word_tokenizer.h"
+
+namespace goalex::sdg {
+namespace {
+
+const std::array<std::string, kNumGoals + 1>& GoalNames() {
+  static const std::array<std::string, kNumGoals + 1>* const kNames =
+      new std::array<std::string, kNumGoals + 1>{
+          "Unknown",
+          "No Poverty",
+          "Zero Hunger",
+          "Good Health and Well-Being",
+          "Quality Education",
+          "Gender Equality",
+          "Clean Water and Sanitation",
+          "Affordable and Clean Energy",
+          "Decent Work and Economic Growth",
+          "Industry, Innovation and Infrastructure",
+          "Reduced Inequalities",
+          "Sustainable Cities and Communities",
+          "Responsible Consumption and Production",
+          "Climate Action",
+          "Life Below Water",
+          "Life on Land",
+          "Peace, Justice and Strong Institutions",
+          "Partnerships for the Goals",
+      };
+  return *kNames;
+}
+
+std::vector<std::vector<std::string>> KeywordSystem() {
+  return {
+      /*1*/ {"poverty", "microfinance"},
+      /*2*/ {"hunger", "smallholder", "agriculture", "nutrition"},
+      /*3*/ {"health", "wellbeing", "disease", "vaccination"},
+      /*4*/ {"education", "training", "literacy", "upskilling"},
+      /*5*/ {"gender", "women"},
+      /*6*/ {"water", "sanitation", "wastewater"},
+      /*7*/ {"energy", "renewable", "solar", "wind", "electricity",
+             "electrification"},
+      /*8*/ {"employment", "jobs", "labor", "wages", "hiring",
+             "volunteering"},
+      /*9*/ {"infrastructure", "innovation", "manufacturing",
+             "digitalization"},
+      /*10*/ {"inequality", "inclusion", "diversity", "accessibility"},
+      /*11*/ {"cities", "community", "housing", "transit"},
+      /*12*/ {"waste", "recycling", "recycled", "recyclability",
+              "packaging", "circular", "procurement", "sourcing",
+              "plastics"},
+      /*13*/ {"climate", "carbon", "emissions", "decarbonization",
+              "methane"},
+      /*14*/ {"ocean", "marine", "fisheries", "aquaculture"},
+      /*15*/ {"biodiversity", "forest", "reforestation", "deforestation",
+              "wildlife", "habitat"},
+      /*16*/ {"corruption", "governance", "ethics", "compliance",
+              "bribery"},
+      /*17*/ {"partnership", "partnerships", "collaboration", "alliances"},
+  };
+}
+
+std::vector<std::vector<std::string>> PhraseSystem() {
+  return {
+      /*1*/ {"living wage", "financial inclusion", "poverty reduction"},
+      /*2*/ {"food security", "smallholder farmer",
+             "sustainable agriculture"},
+      /*3*/ {"health and safety", "safety training", "safety incidents",
+             "occupational safety"},
+      /*4*/ {"employee training", "training hours", "skills development"},
+      /*5*/ {"gender pay", "women in leadership", "board diversity",
+             "pay equity"},
+      /*6*/ {"water usage", "water use", "fresh water", "potable water",
+             "water intensity", "water withdrawal"},
+      /*7*/ {"renewable electricity", "renewable energy",
+             "solar generation", "energy efficiency", "clean cooking",
+             "data center energy", "energy consumption"},
+      /*8*/ {"local hiring", "employee volunteering", "decent work",
+             "charitable contributions"},
+      /*9*/ {"sustainable infrastructure", "research and development"},
+      /*10*/ {"equal opportunity", "accessibility standards"},
+      /*11*/ {"community investment", "green building", "public transit",
+              "zero-emission vehicles", "fleet electrification"},
+      /*12*/ {"single-use plastics", "waste to landfill", "landfill waste",
+              "food waste", "recycled content", "circular economy",
+              "responsible procurement", "supplier audits",
+              "sustainable sourcing", "raw material sourcing",
+              "plastic packaging", "hazardous waste", "electronic waste",
+              "paper consumption", "packaging materials",
+              "product recyclability"},
+      /*13*/ {"greenhouse gas", "carbon footprint", "net-zero",
+              "scope 1 emissions", "scope 2 emissions", "scope 3 emissions",
+              "air travel emissions", "methane leakage", "climate change",
+              "science-based targets"},
+      /*14*/ {"marine ecosystems", "ocean plastics",
+              "sustainable fisheries"},
+      /*15*/ {"biodiversity protection", "reforestation projects",
+              "land restoration", "habitat conservation"},
+      /*16*/ {"anti-corruption", "business ethics", "human rights",
+              "responsible governance"},
+      /*17*/ {"industry partnerships", "community partnerships",
+              "multi-stakeholder initiatives"},
+  };
+}
+
+std::vector<std::string> LowerTokens(std::string_view text) {
+  static const text::WordTokenizer tokenizer;
+  return tokenizer.TokenizeToStrings(AsciiToLower(text));
+}
+
+/// True when `needle` appears as a contiguous token run in `haystack`.
+bool ContainsRun(const std::vector<std::string>& haystack,
+                 const std::vector<std::string>& needle) {
+  if (needle.empty() || haystack.size() < needle.size()) return false;
+  const size_t last_start = haystack.size() - needle.size();
+  for (size_t start = 0; start <= last_start; ++start) {
+    size_t i = 0;
+    while (i < needle.size() && haystack[start + i] == needle[i]) ++i;
+    if (i == needle.size()) return true;
+  }
+  return false;
+}
+
+/// Shared tail of both classify paths: filter by the options and sort by
+/// (score desc, goal asc).
+std::vector<SdgScore> FilterAndRank(std::vector<SdgScore> scores,
+                                    const SdgClassifierOptions& options) {
+  scores.erase(std::remove_if(scores.begin(), scores.end(),
+                              [&options](const SdgScore& s) {
+                                return s.systems < options.min_systems ||
+                                       s.score < options.min_score;
+                              }),
+               scores.end());
+  std::sort(scores.begin(), scores.end(),
+            [](const SdgScore& a, const SdgScore& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.goal < b.goal;
+            });
+  if (options.max_goals > 0 &&
+      scores.size() > static_cast<size_t>(options.max_goals)) {
+    scores.resize(static_cast<size_t>(options.max_goals));
+  }
+  return scores;
+}
+
+}  // namespace
+
+const std::string& GoalName(int goal) {
+  if (goal < 1 || goal > kNumGoals) return GoalNames()[0];
+  return GoalNames()[static_cast<size_t>(goal)];
+}
+
+const std::vector<LexiconSystem>& BuiltinLexicon() {
+  static const std::vector<LexiconSystem>* const kLexicon = [] {
+    auto* systems = new std::vector<LexiconSystem>(2);
+    (*systems)[0].name = "keywords";
+    (*systems)[0].terms = KeywordSystem();
+    (*systems)[1].name = "phrases";
+    (*systems)[1].terms = PhraseSystem();
+    return systems;
+  }();
+  return *kLexicon;
+}
+
+SdgClassifier::SdgClassifier(const std::vector<LexiconSystem>& systems,
+                             SdgClassifierOptions options)
+    : systems_(systems), options_(options) {
+  for (size_t s = 0; s < systems_.size(); ++s) {
+    const LexiconSystem& system = systems_[s];
+    for (size_t g = 0; g < system.terms.size() &&
+                       g < static_cast<size_t>(kNumGoals);
+         ++g) {
+      for (const std::string& term : system.terms[g]) {
+        CompiledTerm compiled;
+        compiled.system = static_cast<int>(s);
+        compiled.goal = static_cast<int>(g) + 1;
+        compiled.tokens = LowerTokens(term);
+        if (compiled.tokens.empty()) continue;
+        by_first_token_[compiled.tokens.front()].push_back(terms_.size());
+        terms_.push_back(std::move(compiled));
+      }
+    }
+  }
+}
+
+std::vector<SdgScore> SdgClassifier::Aggregate(
+    const std::vector<bool>& matched) const {
+  // systems_hit is a bitmask over system indexes (the ensemble is small).
+  struct GoalAccumulator {
+    double score = 0.0;
+    unsigned systems_hit = 0;
+  };
+  std::array<GoalAccumulator, kNumGoals + 1> goals{};
+  for (size_t i = 0; i < terms_.size(); ++i) {
+    if (!matched[i]) continue;
+    const CompiledTerm& term = terms_[i];
+    goals[static_cast<size_t>(term.goal)].score +=
+        static_cast<double>(term.tokens.size());
+    goals[static_cast<size_t>(term.goal)].systems_hit |=
+        1u << static_cast<unsigned>(term.system);
+  }
+  std::vector<SdgScore> scores;
+  for (int goal = 1; goal <= kNumGoals; ++goal) {
+    const GoalAccumulator& acc = goals[static_cast<size_t>(goal)];
+    if (acc.systems_hit == 0) continue;
+    SdgScore score;
+    score.goal = goal;
+    score.score = acc.score;
+    score.systems = __builtin_popcount(acc.systems_hit);
+    scores.push_back(score);
+  }
+  return FilterAndRank(std::move(scores), options_);
+}
+
+std::vector<SdgScore> SdgClassifier::Classify(std::string_view text) const {
+  const std::vector<std::string> tokens = LowerTokens(text);
+  std::vector<bool> matched(terms_.size(), false);
+  for (size_t pos = 0; pos < tokens.size(); ++pos) {
+    auto it = by_first_token_.find(tokens[pos]);
+    if (it == by_first_token_.end()) continue;
+    for (size_t term_index : it->second) {
+      if (matched[term_index]) continue;
+      const std::vector<std::string>& needle = terms_[term_index].tokens;
+      if (pos + needle.size() > tokens.size()) continue;
+      size_t i = 1;  // tokens[pos] already matched the first token.
+      while (i < needle.size() && tokens[pos + i] == needle[i]) ++i;
+      if (i == needle.size()) matched[term_index] = true;
+    }
+  }
+  return Aggregate(matched);
+}
+
+std::vector<SdgScore> SdgClassifier::ClassifyBruteForce(
+    std::string_view text) const {
+  const std::vector<std::string> tokens = LowerTokens(text);
+  // Recompute from the raw lexicon — deliberately ignores the compiled
+  // index so tests comparing the two paths mean something.
+  std::vector<SdgScore> scores;
+  for (int goal = 1; goal <= kNumGoals; ++goal) {
+    double score = 0.0;
+    int systems = 0;
+    for (const LexiconSystem& system : systems_) {
+      if (static_cast<size_t>(goal) > system.terms.size()) continue;
+      bool system_hit = false;
+      for (const std::string& term :
+           system.terms[static_cast<size_t>(goal) - 1]) {
+        std::vector<std::string> needle = LowerTokens(term);
+        if (ContainsRun(tokens, needle)) {
+          score += static_cast<double>(needle.size());
+          system_hit = true;
+        }
+      }
+      if (system_hit) ++systems;
+    }
+    if (systems > 0) {
+      SdgScore entry;
+      entry.goal = goal;
+      entry.score = score;
+      entry.systems = systems;
+      scores.push_back(entry);
+    }
+  }
+  return FilterAndRank(std::move(scores), options_);
+}
+
+std::string LabelString(const std::vector<SdgScore>& scores) {
+  std::string out;
+  for (const SdgScore& score : scores) {
+    if (!out.empty()) out += ' ';
+    out += "SDG" + std::to_string(score.goal);
+  }
+  return out;
+}
+
+SdgSummary Summarize(const SdgClassifier& classifier,
+                     const std::vector<std::string>& objective_texts,
+                     size_t top_k) {
+  struct Ranked {
+    double score;
+    size_t order;  ///< Input position: stable tie-break.
+    const std::string* text;
+  };
+  std::map<int, std::vector<Ranked>> per_goal;
+  for (size_t i = 0; i < objective_texts.size(); ++i) {
+    for (const SdgScore& score : classifier.Classify(objective_texts[i])) {
+      per_goal[score.goal].push_back(
+          Ranked{score.score, i, &objective_texts[i]});
+    }
+  }
+  SdgSummary summary;
+  for (auto& [goal, ranked] : per_goal) {
+    std::sort(ranked.begin(), ranked.end(),
+              [](const Ranked& a, const Ranked& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.order < b.order;
+              });
+    SdgSummary::PerGoal entry;
+    entry.goal = goal;
+    entry.objective_count = static_cast<int>(ranked.size());
+    for (size_t i = 0; i < ranked.size() && i < top_k; ++i) {
+      entry.top_objectives.push_back(*ranked[i].text);
+    }
+    summary.goals.push_back(std::move(entry));
+  }
+  std::sort(summary.goals.begin(), summary.goals.end(),
+            [](const SdgSummary::PerGoal& a, const SdgSummary::PerGoal& b) {
+              if (a.objective_count != b.objective_count) {
+                return a.objective_count > b.objective_count;
+              }
+              return a.goal < b.goal;
+            });
+  return summary;
+}
+
+}  // namespace goalex::sdg

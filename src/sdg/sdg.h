@@ -1,0 +1,125 @@
+#ifndef GOALEX_SDG_SDG_H_
+#define GOALEX_SDG_SDG_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace goalex::sdg {
+
+/// Number of UN Sustainable Development Goals.
+inline constexpr int kNumGoals = 17;
+
+/// Short official-style name for goal `goal` in [1, 17] ("Climate Action",
+/// "Clean Water and Sanitation", ...). Returns "Unknown" outside the range.
+const std::string& GoalName(int goal);
+
+/// One keyword/phrase system of the ensemble lexicon. Mirrors the
+/// text2sdg design where several independently curated query systems vote
+/// on each document; agreement across systems is the confidence signal.
+struct LexiconSystem {
+  std::string name;
+  /// terms[goal - 1] lists the lowercase surface terms (single words or
+  /// multi-word phrases) that map to that goal under this system.
+  std::vector<std::vector<std::string>> terms;
+};
+
+/// The built-in ensemble: two dependency-free systems curated for the
+/// sustainability-objective domain (aligned with the phrase inventory the
+/// synthetic report generator draws from, so generated corpora exercise
+/// every goal). System "keywords" holds high-recall single tokens;
+/// system "phrases" holds high-precision multi-word phrases.
+const std::vector<LexiconSystem>& BuiltinLexicon();
+
+/// A goal hit for one piece of text.
+struct SdgScore {
+  int goal = 0;        ///< 1..17.
+  double score = 0.0;  ///< Sum of matched-term weights across systems.
+  int systems = 0;     ///< Distinct systems with at least one matching term.
+
+  friend bool operator==(const SdgScore& a, const SdgScore& b) {
+    return a.goal == b.goal && a.score == b.score && a.systems == b.systems;
+  }
+};
+
+struct SdgClassifierOptions {
+  /// A goal is reported only when at least this many systems matched it.
+  int min_systems = 1;
+  /// Minimum summed term weight for a goal to be reported.
+  double min_score = 1.0;
+  /// At most this many goals per text (highest score first); <= 0 keeps all.
+  int max_goals = 3;
+};
+
+/// Ensemble keyword classifier mapping free text to SDG goals.
+///
+/// Matching is token-exact: the text is lowercased and word-tokenized, and
+/// a term matches when its token sequence appears contiguously. Each term
+/// matches at most once (presence, not frequency) and contributes a weight
+/// equal to its token count, so multi-word phrases outrank bare keywords.
+/// Construction compiles the lexicon into first-token hash maps; Classify
+/// is O(tokens) with no per-call allocation proportional to the lexicon.
+class SdgClassifier {
+ public:
+  explicit SdgClassifier(SdgClassifierOptions options = {})
+      : SdgClassifier(BuiltinLexicon(), options) {}
+  SdgClassifier(const std::vector<LexiconSystem>& systems,
+                SdgClassifierOptions options);
+
+  /// Scores `text` against the ensemble. Results are filtered by the
+  /// options and sorted by (score desc, goal asc).
+  std::vector<SdgScore> Classify(std::string_view text) const;
+
+  /// Reference implementation: scans every term of every system with no
+  /// compiled index. Same contract as Classify; exists so tests can assert
+  /// the compiled fast path agrees with the obvious quadratic scan.
+  std::vector<SdgScore> ClassifyBruteForce(std::string_view text) const;
+
+  const SdgClassifierOptions& options() const { return options_; }
+
+ private:
+  struct CompiledTerm {
+    int system = 0;             ///< Index into systems_.
+    int goal = 0;               ///< 1..17.
+    std::vector<std::string> tokens;
+  };
+
+  std::vector<SdgScore> Aggregate(
+      const std::vector<bool>& matched) const;
+
+  std::vector<LexiconSystem> systems_;
+  SdgClassifierOptions options_;
+  std::vector<CompiledTerm> terms_;
+  /// First token of each term -> indexes into terms_.
+  std::unordered_map<std::string, std::vector<size_t>> by_first_token_;
+};
+
+/// "SDG13 SDG7" rendering of a Classify result (empty string when no goal
+/// cleared the thresholds). Order follows the input.
+std::string LabelString(const std::vector<SdgScore>& scores);
+
+/// sustain.AI-style per-report rollup: which goals a report's objectives
+/// address, and the strongest objectives for each.
+struct SdgSummary {
+  struct PerGoal {
+    int goal = 0;
+    int objective_count = 0;  ///< Objectives that hit this goal at all.
+    /// Objective texts ranked by their score on this goal, best first,
+    /// truncated to the `top_k` passed to Summarize.
+    std::vector<std::string> top_objectives;
+  };
+  /// Sorted by (objective_count desc, goal asc).
+  std::vector<PerGoal> goals;
+};
+
+/// Classifies every objective text and aggregates per goal.
+SdgSummary Summarize(const SdgClassifier& classifier,
+                     const std::vector<std::string>& objective_texts,
+                     size_t top_k = 3);
+
+}  // namespace goalex::sdg
+
+#endif  // GOALEX_SDG_SDG_H_

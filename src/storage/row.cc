@@ -120,7 +120,7 @@ std::optional<int> DeadlineYearOfRecord(const data::DetailRecord& record) {
   std::string value = record.FieldOrEmpty("Deadline");
   if (value.empty()) value = record.FieldOrEmpty("TargetYear");
   if (value.empty()) return std::nullopt;
-  return values::NormalizeYear(value);
+  return values::NormalizeDeadlineYear(value);
 }
 
 }  // namespace goalex::storage

@@ -41,7 +41,8 @@ bool DecodeRowExact(std::string_view payload, Row* out);
 
 /// The deadline field of a record under either schema (Sustainability Goals
 /// "Deadline", NetZeroFacts "TargetYear"), normalized to a calendar year via
-/// values::NormalizeYear — the key the deadline-year index is built on.
+/// values::NormalizeDeadlineYear — the key the deadline-year index is
+/// built on.
 std::optional<int> DeadlineYearOfRecord(const data::DetailRecord& record);
 
 }  // namespace goalex::storage

@@ -158,8 +158,19 @@ std::optional<NormalizedAmount> NormalizeAmount(std::string_view raw) {
   return std::nullopt;
 }
 
-std::optional<int> NormalizeYear(std::string_view raw) {
-  std::string text(raw);
+namespace {
+
+/// A plausible calendar year found in running text: its value and the byte
+/// offset of its first digit.
+struct YearRun {
+  int year = 0;
+  size_t pos = 0;
+};
+
+/// Every bounded (not part of a longer digit run) 4-digit run in
+/// [1900, 2100], left to right.
+std::vector<YearRun> BoundedYearRuns(std::string_view text) {
+  std::vector<YearRun> runs;
   for (size_t i = 0; i + 4 <= text.size(); ++i) {
     bool is_year = true;
     for (size_t j = 0; j < 4; ++j) {
@@ -169,17 +180,72 @@ std::optional<int> NormalizeYear(std::string_view raw) {
       }
     }
     if (!is_year) continue;
-    // Must not be part of a longer digit run.
     bool bounded_left =
         i == 0 || !std::isdigit(static_cast<unsigned char>(text[i - 1]));
     bool bounded_right =
         i + 4 == text.size() ||
         !std::isdigit(static_cast<unsigned char>(text[i + 4]));
     if (!bounded_left || !bounded_right) continue;
-    int year = std::atoi(text.substr(i, 4).c_str());
-    if (year >= 1900 && year <= 2100) return year;
+    int year = std::atoi(std::string(text.substr(i, 4)).c_str());
+    if (year >= 1900 && year <= 2100) runs.push_back({year, i});
   }
-  return std::nullopt;
+  return runs;
+}
+
+/// True when the word chain directly before `pos` anchors a deadline:
+/// walking backwards, skip filler words ("the end of", "fiscal year") and
+/// test the first substantive word against the deadline cues. Stopping at
+/// the first non-filler word is what keeps "by 40 percent compared to
+/// 2019" from matching — the "by" there belongs to the amount, and the
+/// walk stops at "compared" long before reaching it.
+bool DeadlineCueBefore(std::string_view text, size_t pos) {
+  static const char* const kCues[] = {"by",   "until",    "before",
+                                      "till", "through",  "than",
+                                      "date", "deadline", "target"};
+  static const char* const kFillers[] = {"the",  "end",    "of",   "a",
+                                         "an",   "fiscal", "year", "to",
+                                         "late", "early",  "mid"};
+  size_t i = pos;
+  for (int words = 0; words < 6; ++words) {
+    while (i > 0 && !std::isalpha(static_cast<unsigned char>(text[i - 1]))) {
+      --i;
+    }
+    if (i == 0) return false;
+    size_t end = i;
+    while (i > 0 && std::isalpha(static_cast<unsigned char>(text[i - 1]))) {
+      --i;
+    }
+    std::string word = AsciiToLower(text.substr(i, end - i));
+    for (const char* cue : kCues) {
+      if (word == cue) return true;
+    }
+    bool filler = false;
+    for (const char* f : kFillers) filler |= (word == f);
+    if (!filler) return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<int> NormalizeYear(std::string_view raw) {
+  std::vector<YearRun> runs = BoundedYearRuns(raw);
+  if (runs.empty()) return std::nullopt;
+  return runs.front().year;
+}
+
+std::optional<int> NormalizeDeadlineYear(std::string_view raw) {
+  std::vector<YearRun> runs = BoundedYearRuns(raw);
+  if (runs.empty()) return std::nullopt;
+  // Prefer the first year anchored by a deadline cue ("by 2035", "no later
+  // than 2035", "target date of 2035"); a baseline year in the same string
+  // ("compared to 2019 levels, by 2035") never carries one. Without any
+  // cue, the deadline conventionally trails the baseline, so fall back to
+  // the last run rather than the first.
+  for (const YearRun& run : runs) {
+    if (DeadlineCueBefore(raw, run.pos)) return run.year;
+  }
+  return runs.back().year;
 }
 
 std::string NormalizeAction(std::string_view raw) {
@@ -279,7 +345,7 @@ TypedDetails NormalizeRecord(const data::DetailRecord& record) {
   if (!baseline.empty()) out.baseline_year = NormalizeYear(baseline);
 
   std::string deadline = field("Deadline", "TargetYear");
-  if (!deadline.empty()) out.deadline_year = NormalizeYear(deadline);
+  if (!deadline.empty()) out.deadline_year = NormalizeDeadlineYear(deadline);
   return out;
 }
 

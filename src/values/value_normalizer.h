@@ -43,10 +43,21 @@ const char* AmountTypeName(AmountType type);
 /// not a recognizable quantity.
 std::optional<NormalizedAmount> NormalizeAmount(std::string_view raw);
 
-/// Parses an extracted Baseline/Deadline surface form into a calendar
-/// year. Accepts bare years ("2040") and phrases containing one
-/// ("the end of 2040"); rejects text without a plausible year (1900-2100).
+/// Parses an extracted Baseline surface form into a calendar year: the
+/// *first* bounded 4-digit run in [1900, 2100]. Accepts bare years
+/// ("2040") and phrases containing one ("the end of 2040"); rejects text
+/// without a plausible year.
 std::optional<int> NormalizeYear(std::string_view raw);
+
+/// Deadline-aware variant of NormalizeYear. A clipped Deadline value often
+/// carries both years of the objective ("compared to 2019 levels, by
+/// 2035"), and the first-run rule would return the *baseline* 2019. This
+/// one prefers the first year anchored by a deadline cue ("by", "until",
+/// "before", "no later than", "target date of" — skipping filler like
+/// "the end of" / "fiscal year"), and falls back to the last bounded run
+/// when no cue is present. Identical to NormalizeYear on single-year
+/// strings.
+std::optional<int> NormalizeDeadlineYear(std::string_view raw);
 
 /// Canonicalizes an extracted Action surface form to a lowercase lemma:
 /// strips the "will " auxiliary, lowercases, and reduces gerunds to a stem

@@ -610,5 +610,305 @@ TEST(DatabaseTest, AttachedConcurrentInsertQuerySealStress) {
   std::filesystem::remove_all(dir);
 }
 
+DbOptions UpsertOptions() {
+  DbOptions options;
+  options.background_seal = false;
+  options.track_upserts = true;
+  return options;
+}
+
+TEST(DatabaseUpsertTest, InsertUpdateAndNoOpSemantics) {
+  ObjectiveDatabase db(4, UpsertOptions());
+  data::DetailRecord v1 = MakeRecord(
+      "Reduce emissions by 20% by 2030",
+      {{"Action", "Reduce"}, {"Qualifier", "emissions"}, {"Amount", "20%"}});
+  UpsertResult first = db.Upsert(v1, "Acme");
+  EXPECT_TRUE(first.inserted);
+  EXPECT_EQ(first.version, 1);
+  EXPECT_EQ(db.live_size(), 1u);
+
+  // A restated target (same company + action lemma + qualifier, new
+  // amount) updates the existing row in place: same id, version bump,
+  // no new row.
+  data::DetailRecord v2 = MakeRecord(
+      "Reduce emissions by 30% by 2030",
+      {{"Action", "Reduce"}, {"Qualifier", "emissions"}, {"Amount", "30%"}});
+  UpsertResult second = db.Upsert(v2, "Acme");
+  EXPECT_TRUE(second.updated);
+  EXPECT_EQ(second.version, 2);
+  EXPECT_EQ(second.row_id, first.row_id);
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.live_size(), 1u);
+
+  // Replaying the identical document is a no-op, not version 3.
+  UpsertResult replay = db.Upsert(v2, "Acme");
+  EXPECT_TRUE(replay.unchanged());
+  EXPECT_EQ(replay.version, 2);
+
+  // The action lemma and qualifier case-fold, so surface variants of the
+  // same objective still match ("will reduce" / "Reducing" -> "reduce").
+  data::DetailRecord v3 = MakeRecord(
+      "We will be reducing Emissions by 35% by 2030",
+      {{"Action", "Reducing"}, {"Qualifier", "Emissions"}, {"Amount", "35%"}});
+  UpsertResult third = db.Upsert(v3, "Acme");
+  EXPECT_TRUE(third.updated);
+  EXPECT_EQ(third.version, 3);
+
+  // A different qualifier is a different objective.
+  data::DetailRecord other = MakeRecord(
+      "Reduce water use by 10% by 2030",
+      {{"Action", "Reduce"}, {"Qualifier", "water use"}, {"Amount", "10%"}});
+  EXPECT_TRUE(db.Upsert(other, "Acme").inserted);
+  // Same objective at a different company is also distinct.
+  EXPECT_TRUE(db.Upsert(v2, "Globex").inserted);
+  EXPECT_EQ(db.live_size(), 3u);
+
+  std::optional<DbRow> live = db.Get(first.row_id);
+  ASSERT_TRUE(live.has_value());
+  EXPECT_EQ(live->record.FieldOrEmpty("Amount"), "35%");
+  EXPECT_EQ(RecordVersion(live->record), 3);
+  EXPECT_EQ(db.ByCompany("Acme").size(), 2u);
+}
+
+TEST(DatabaseUpsertTest, EmptyKeyFieldsFallBackToObjectiveText) {
+  ObjectiveDatabase db(2, UpsertOptions());
+  data::DetailRecord bare = MakeRecord("Achieve net-zero by 2040", {});
+  EXPECT_TRUE(db.Upsert(bare, "Acme").inserted);
+  // Same text (modulo case/whitespace) matches; different text does not.
+  data::DetailRecord bare_again = MakeRecord("  achieve NET-ZERO by 2040 ", {});
+  UpsertResult again = db.Upsert(bare_again, "Acme");
+  EXPECT_TRUE(again.updated);  // Same key; the raw text differs, so v2.
+  EXPECT_EQ(again.version, 2);
+  EXPECT_TRUE(db.Upsert(MakeRecord("Plant one million trees", {}), "Acme")
+                  .inserted);
+  EXPECT_EQ(db.live_size(), 2u);
+}
+
+TEST(DatabaseUpsertTest, SealedRowSupersededByNewVersion) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     "goalex_db_upsert_sealed")
+                        .string();
+  std::filesystem::remove_all(dir);
+  ObjectiveDatabase db(2, UpsertOptions());
+  ASSERT_TRUE(db.Open(dir).ok());
+  data::DetailRecord v1 = MakeRecord(
+      "Cut waste by 40% by 2035",
+      {{"Action", "Cut"}, {"Qualifier", "waste"}, {"Amount", "40%"}});
+  UpsertResult first = db.Upsert(v1, "Acme");
+  db.Upsert(MakeRecord("Reduce water use by 10%",
+                       {{"Action", "Reduce"},
+                        {"Qualifier", "water use"},
+                        {"Amount", "10%"}}),
+            "Acme");
+  ASSERT_TRUE(db.Flush().ok());
+  ASSERT_GT(db.SealedSegmentCount(), 0u);
+
+  // Updating a sealed row appends a fresh row (mmap segments are
+  // immutable) and masks the old id everywhere except Get().
+  data::DetailRecord v2 = MakeRecord(
+      "Cut waste by 50% by 2035",
+      {{"Action", "Cut"}, {"Qualifier", "waste"}, {"Amount", "50%"}});
+  UpsertResult second = db.Upsert(v2, "Acme");
+  EXPECT_TRUE(second.updated);
+  EXPECT_EQ(second.version, 2);
+  EXPECT_GT(second.row_id, first.row_id);
+  EXPECT_EQ(db.size(), 3u);
+  EXPECT_EQ(db.live_size(), 2u);
+  EXPECT_EQ(db.superseded_count(), 1u);
+
+  // Every query path sees exactly the live rows.
+  EXPECT_EQ(db.ByCompany("Acme").size(), 2u);
+  EXPECT_EQ(db.WhereFieldEquals("Amount", "40%").size(), 0u);
+  EXPECT_EQ(db.WhereFieldEquals("Amount", "50%").size(), 1u);
+  EXPECT_EQ(db.CountPerCompany()["Acme"], 2);
+  EXPECT_EQ(db.FieldCoverageByCompany("Amount")["Acme"], 1.0);
+  EXPECT_EQ(db.SnapshotRows().size(), 2u);
+  auto csv_records = ParseCsv(db.ExportCsv({"Amount"}));
+  EXPECT_EQ(csv_records.size(), 3u);  // header + 2 live rows
+
+  // Get() intentionally still serves the masked row: version history.
+  std::optional<DbRow> old_row = db.Get(first.row_id);
+  ASSERT_TRUE(old_row.has_value());
+  EXPECT_EQ(old_row->record.FieldOrEmpty("Amount"), "40%");
+  EXPECT_EQ(RecordVersion(old_row->record), 1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatabaseUpsertTest, DedupStateSurvivesReopen) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     "goalex_db_upsert_reopen")
+                        .string();
+  std::filesystem::remove_all(dir);
+  data::DetailRecord v1 = MakeRecord(
+      "Cut waste by 40% by 2035",
+      {{"Action", "Cut"}, {"Qualifier", "waste"}, {"Amount", "40%"}});
+  data::DetailRecord v2 = MakeRecord(
+      "Cut waste by 50% by 2035",
+      {{"Action", "Cut"}, {"Qualifier", "waste"}, {"Amount", "50%"}});
+  {
+    ObjectiveDatabase db(2, UpsertOptions());
+    ASSERT_TRUE(db.Open(dir).ok());
+    db.Upsert(v1, "Acme");
+    ASSERT_TRUE(db.Flush().ok());
+    EXPECT_TRUE(db.Upsert(v2, "Acme").updated);  // sealed -> superseded
+    db.Upsert(MakeRecord("Plant trees", {{"Action", "Plant"},
+                                         {"Qualifier", "trees"}}),
+              "Globex");
+  }
+
+  ObjectiveDatabase reopened(2, UpsertOptions());
+  ASSERT_TRUE(reopened.Open(dir).ok());
+  EXPECT_EQ(reopened.size(), 3u);
+  EXPECT_EQ(reopened.live_size(), 2u);
+  EXPECT_EQ(reopened.superseded_count(), 1u);
+
+  // The rebuilt dedup map still recognizes the key: replay is a no-op,
+  // a further restatement lands version 3.
+  EXPECT_TRUE(reopened.Upsert(v2, "Acme").unchanged());
+  data::DetailRecord v3 = MakeRecord(
+      "Cut waste by 60% by 2035",
+      {{"Action", "Cut"}, {"Qualifier", "waste"}, {"Amount", "60%"}});
+  UpsertResult third = reopened.Upsert(v3, "Acme");
+  EXPECT_TRUE(third.updated);
+  EXPECT_EQ(third.version, 3);
+  EXPECT_EQ(reopened.live_size(), 2u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatabaseUpsertTest, WalReplayAppliesInPlaceUpdates) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     "goalex_db_upsert_wal")
+                        .string();
+  std::filesystem::remove_all(dir);
+  data::DetailRecord v2 = MakeRecord(
+      "Cut waste by 50% by 2035",
+      {{"Action", "Cut"}, {"Qualifier", "waste"}, {"Amount", "50%"}});
+  {
+    ObjectiveDatabase db(2, UpsertOptions());
+    ASSERT_TRUE(db.Open(dir).ok());
+    db.Upsert(MakeRecord("Cut waste by 40% by 2035",
+                         {{"Action", "Cut"},
+                          {"Qualifier", "waste"},
+                          {"Amount", "40%"}}),
+              "Acme");
+    // No Flush: both the original and the in-place update live only in
+    // the WAL, as two records sharing one row id.
+    EXPECT_TRUE(db.Upsert(v2, "Acme").updated);
+    EXPECT_EQ(db.SealedSegmentCount(), 0u);
+  }
+
+  ObjectiveDatabase reopened(2, UpsertOptions());
+  ASSERT_TRUE(reopened.Open(dir).ok());
+  EXPECT_EQ(reopened.size(), 1u);
+  EXPECT_EQ(reopened.live_size(), 1u);
+  std::vector<DbRow> rows = reopened.SnapshotRows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].record.FieldOrEmpty("Amount"), "50%");
+  EXPECT_EQ(RecordVersion(rows[0].record), 2);
+  EXPECT_TRUE(reopened.Upsert(v2, "Acme").unchanged());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatabaseUpsertTest, SaveCompactsSupersededRows) {
+  std::string attached_dir = (std::filesystem::temp_directory_path() /
+                              "goalex_db_upsert_compact_src")
+                                 .string();
+  std::string saved_dir = (std::filesystem::temp_directory_path() /
+                           "goalex_db_upsert_compact_dst")
+                              .string();
+  std::filesystem::remove_all(attached_dir);
+  std::filesystem::remove_all(saved_dir);
+  ObjectiveDatabase db(2, UpsertOptions());
+  ASSERT_TRUE(db.Open(attached_dir).ok());
+  db.Upsert(MakeRecord("Cut waste by 40%", {{"Action", "Cut"},
+                                            {"Qualifier", "waste"},
+                                            {"Amount", "40%"}}),
+            "Acme");
+  ASSERT_TRUE(db.Flush().ok());
+  db.Upsert(MakeRecord("Cut waste by 50%", {{"Action", "Cut"},
+                                            {"Qualifier", "waste"},
+                                            {"Amount", "50%"}}),
+            "Acme");
+  EXPECT_EQ(db.size(), 2u);
+
+  // Save() writes only live rows: the superseded copy is compacted away.
+  ObjectiveDatabase copy(2, UpsertOptions());
+  ASSERT_TRUE(db.Save(saved_dir).ok());
+  ASSERT_TRUE(copy.Load(saved_dir).ok());
+  EXPECT_EQ(copy.size(), 1u);
+  EXPECT_EQ(copy.superseded_count(), 0u);
+  std::vector<DbRow> rows = copy.SnapshotRows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].record.FieldOrEmpty("Amount"), "50%");
+  std::filesystem::remove_all(attached_dir);
+  std::filesystem::remove_all(saved_dir);
+}
+
+TEST(DatabaseUpsertTest, PlainInsertBypassesDedup) {
+  ObjectiveDatabase db(2, UpsertOptions());
+  data::DetailRecord record = MakeRecord(
+      "Cut waste by 40%",
+      {{"Action", "Cut"}, {"Qualifier", "waste"}, {"Amount", "40%"}});
+  db.Insert(record, "Acme");
+  db.Insert(record, "Acme");
+  EXPECT_EQ(db.live_size(), 2u);  // Insert never dedups.
+  // Upsert then matches the newest inserted row for the key.
+  data::DetailRecord restated = MakeRecord(
+      "Cut waste by 55%",
+      {{"Action", "Cut"}, {"Qualifier", "waste"}, {"Amount", "55%"}});
+  UpsertResult result = db.Upsert(restated, "Acme");
+  EXPECT_TRUE(result.updated);
+  EXPECT_EQ(result.row_id, 1);
+  EXPECT_EQ(db.live_size(), 2u);
+}
+
+TEST(DatabaseUpsertTest, StaleSequencedDeliveriesAreDropped) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     "goalex_db_upsert_stale")
+                        .string();
+  std::filesystem::remove_all(dir);
+  data::DetailRecord v1 = MakeRecord(
+      "Reduce emissions by 20% by 2030",
+      {{"Action", "Reduce"}, {"Qualifier", "emissions"}, {"Amount", "20%"}});
+  data::DetailRecord v2 = MakeRecord(
+      "Reduce emissions by 30% by 2030",
+      {{"Action", "Reduce"}, {"Qualifier", "emissions"}, {"Amount", "30%"}});
+  int64_t live_id = -1;
+  {
+    ObjectiveDatabase db(2, UpsertOptions());
+    ASSERT_TRUE(db.Open(dir).ok());
+    UpsertResult first = db.Upsert(v1, "Acme", "report-2029.pdf", 1, 0);
+    EXPECT_TRUE(first.inserted);
+    live_id = first.row_id;
+    UpsertResult second = db.Upsert(v2, "Acme", "report-2030.pdf", 1, 7);
+    EXPECT_TRUE(second.updated);
+    EXPECT_EQ(second.version, 2);
+
+    // Replaying the feed re-delivers the v1 publication with its original
+    // (older) sequence: dropped as stale, not applied as version 3.
+    UpsertResult stale = db.Upsert(v1, "Acme", "report-2029.pdf", 1, 0);
+    EXPECT_TRUE(stale.stale);
+    EXPECT_TRUE(stale.unchanged());
+    EXPECT_EQ(stale.version, 2);
+    // Re-delivering the newest publication is a byte-identical no-op.
+    UpsertResult replay = db.Upsert(v2, "Acme", "report-2030.pdf", 1, 7);
+    EXPECT_FALSE(replay.stale);
+    EXPECT_TRUE(replay.unchanged());
+    std::optional<DbRow> live = db.Get(live_id);
+    ASSERT_TRUE(live.has_value());
+    EXPECT_EQ(live->record.FieldOrEmpty("Amount"), "30%");
+    EXPECT_EQ(RecordSequence(live->record), 7);
+  }
+  // The sequence rides the _seq field through the WAL, so the stale guard
+  // survives a reopen.
+  ObjectiveDatabase reopened(2, UpsertOptions());
+  ASSERT_TRUE(reopened.Open(dir).ok());
+  UpsertResult stale = reopened.Upsert(v1, "Acme", "report-2029.pdf", 1, 0);
+  EXPECT_TRUE(stale.stale);
+  EXPECT_EQ(stale.version, 2);
+  EXPECT_EQ(reopened.live_size(), 1u);
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace goalex::core

@@ -70,6 +70,41 @@ TEST(HeuristicsTest, ExtractsBasicFields) {
   EXPECT_EQ(fields["Baseline"], "2017");
 }
 
+TEST(HeuristicsTest, AmountSurvivesLooseSeparators) {
+  // Regression: the amount regexes required exactly one (percent) or
+  // exactly one whitespace (unit) separator, so rewrapped or glued text
+  // lost its Amount entirely.
+  auto fields = HeuristicExtract(
+      "Reduce water usage by 40  percent by 2030.",
+      data::SustainabilityGoalKinds(), HeuristicLexicon::Generic());
+  EXPECT_EQ(fields["Amount"], "40  percent");
+
+  fields = HeuristicExtract("Cut waste by 40million tonnes by 2035.",
+                            data::SustainabilityGoalKinds(),
+                            HeuristicLexicon::Generic());
+  EXPECT_EQ(fields["Amount"], "40million");
+
+  fields = HeuristicExtract("Achieve a 30%reduction in emissions by 2028.",
+                            data::SustainabilityGoalKinds(),
+                            HeuristicLexicon::Generic());
+  EXPECT_EQ(fields["Amount"], "30%");
+}
+
+TEST(HeuristicsTest, AmountCaptureTrimsTrailingPunctuation) {
+  // Regression: (\d[\d,\.]*) happily ends in ','/'.' ("1,500. tonnes"),
+  // and the dangling punctuation then broke number parsing downstream.
+  auto fields = HeuristicExtract(
+      "Divert 1,500. tonnes of waste from landfill by 2027.",
+      data::SustainabilityGoalKinds(), HeuristicLexicon::Generic());
+  EXPECT_EQ(fields["Amount"], "1,500 tonnes");
+
+  // A clean capture keeps the raw surface slice byte-for-byte.
+  fields = HeuristicExtract("Divert 1,500 tonnes of waste by 2027.",
+                            data::SustainabilityGoalKinds(),
+                            HeuristicLexicon::Generic());
+  EXPECT_EQ(fields["Amount"], "1,500 tonnes");
+}
+
 TEST(HeuristicsTest, NetZero) {
   auto fields = HeuristicExtract(
       "We commit to net-zero carbon by 2040.",

@@ -1,0 +1,383 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "data/stream.h"
+#include "pipeline/feed.h"
+#include "pipeline/stream_pipeline.h"
+#include "values/value_normalizer.h"
+
+namespace goalex::pipeline {
+namespace {
+
+core::DbOptions StreamDbOptions() {
+  core::DbOptions options;
+  options.background_seal = false;
+  options.track_upserts = true;
+  return options;
+}
+
+data::ReportStreamConfig SmallStreamConfig() {
+  data::ReportStreamConfig config;
+  config.initial_companies = 4;
+  config.years = 3;
+  config.initial_targets_per_company = 4;
+  config.seed = 77;
+  return config;
+}
+
+std::vector<std::string> ExportKinds() {
+  return {"Action", "Amount", "Qualifier", "Deadline",
+          core::kVersionField, kStatusField, kSdgField};
+}
+
+TEST(ReportStreamTest, DeterministicAndTruthConsistent) {
+  data::StreamTruth truth_a;
+  data::StreamTruth truth_b;
+  std::vector<data::TimedDocument> a =
+      data::GenerateReportStream(SmallStreamConfig(), &truth_a);
+  std::vector<data::TimedDocument> b =
+      data::GenerateReportStream(SmallStreamConfig(), &truth_b);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(EncodeFeed(a), EncodeFeed(b));
+
+  EXPECT_EQ(truth_a.total_documents, static_cast<int>(a.size()));
+  EXPECT_GT(truth_a.unique_targets(), 0u);
+  EXPECT_GT(truth_a.restatements, 0) << "config should produce restatements";
+  EXPECT_GT(truth_a.abandonments, 0) << "config should produce withdrawals";
+  // Sequences are the global arrival order.
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sequence, static_cast<int64_t>(i));
+    if (i > 0) EXPECT_GT(a[i].timestamp_ms, a[i - 1].timestamp_ms);
+  }
+  // Version math: every publication of a target is one version.
+  int published = 0;
+  for (const data::StreamTargetTruth& target : truth_a.targets) {
+    published += target.versions;
+  }
+  EXPECT_EQ(published,
+            static_cast<int>(truth_a.unique_targets()) +
+                truth_a.restatements + truth_a.abandonments);
+}
+
+TEST(FeedCodecTest, RoundTripsTrickyContent) {
+  data::TimedDocument document;
+  document.sequence = 7;
+  document.timestamp_ms = 1234567;
+  document.report.company = "Tab\tCo \\ Newline\nInc";
+  document.report.document = "report\r2020.pdf";
+  data::ReportBlock block;
+  block.page = 3;
+  block.is_objective = true;
+  block.text = "Reduce\temissions\nby 10%\\ by 2030.";
+  document.report.blocks.push_back(block);
+
+  std::string encoded = EncodeFeed({document});
+  StatusOr<std::vector<data::TimedDocument>> parsed = ParseFeed(encoded);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].sequence, 7);
+  EXPECT_EQ((*parsed)[0].timestamp_ms, 1234567);
+  EXPECT_EQ((*parsed)[0].report.company, document.report.company);
+  EXPECT_EQ((*parsed)[0].report.document, document.report.document);
+  ASSERT_EQ((*parsed)[0].report.blocks.size(), 1u);
+  EXPECT_EQ((*parsed)[0].report.blocks[0].text, block.text);
+  EXPECT_EQ((*parsed)[0].report.blocks[0].page, 3);
+  EXPECT_TRUE((*parsed)[0].report.blocks[0].is_objective);
+  EXPECT_EQ((*parsed)[0].report.page_count, 3);
+}
+
+TEST(FeedCodecTest, RejectsMalformedFeeds) {
+  EXPECT_FALSE(ParseFeed("nonsense").ok());
+  EXPECT_FALSE(ParseFeed("goalexfeed v2\n").ok());
+  EXPECT_FALSE(ParseFeed("goalexfeed v1\nblock\t1\t1\torphan").ok());
+  EXPECT_FALSE(ParseFeed("goalexfeed v1\ndoc\tx\t0\tA\tB").ok());
+  EXPECT_FALSE(
+      ParseFeed("goalexfeed v1\ndoc\t0\t0\tA\tB\nblock\t1\t2\ttext").ok());
+  EXPECT_FALSE(ParseFeed("goalexfeed v1\nwhat\t1").ok());
+  EXPECT_TRUE(ParseFeed("goalexfeed v1\n").ok());
+}
+
+TEST(FeedCodecTest, FileRoundTripAndDirectoryFeedPolling) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "goalex_feed_dir").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  data::ReportStreamConfig config = SmallStreamConfig();
+  std::vector<data::TimedDocument> documents =
+      data::GenerateReportStream(config);
+  ASSERT_GE(documents.size(), 4u);
+
+  // Split the stream across two drop files plus one non-feed file.
+  std::vector<data::TimedDocument> first(documents.begin(),
+                                         documents.begin() + 2);
+  std::vector<data::TimedDocument> rest(documents.begin() + 2,
+                                        documents.end());
+  ASSERT_TRUE(WriteFeedFile(dir + "/0001.goalexfeed", first).ok());
+  {
+    std::ofstream ignored(dir + "/notes.txt");
+    ignored << "not a feed";
+  }
+
+  DirectoryFeed feed(dir);
+  StatusOr<std::vector<data::TimedDocument>> poll1 = feed.Poll();
+  ASSERT_TRUE(poll1.ok()) << poll1.status().message();
+  EXPECT_EQ(poll1->size(), 2u);
+  EXPECT_EQ(feed.processed_files(), 1u);
+
+  // Nothing new: empty poll.
+  StatusOr<std::vector<data::TimedDocument>> poll2 = feed.Poll();
+  ASSERT_TRUE(poll2.ok());
+  EXPECT_TRUE(poll2->empty());
+
+  ASSERT_TRUE(WriteFeedFile(dir + "/0002.goalexfeed", rest).ok());
+  StatusOr<std::vector<data::TimedDocument>> poll3 = feed.Poll();
+  ASSERT_TRUE(poll3.ok());
+  EXPECT_EQ(poll3->size(), rest.size());
+  EXPECT_EQ(poll3->front().sequence, rest.front().sequence);
+
+  // The replayed file content is byte-identical to the original encoding.
+  EXPECT_EQ(EncodeFeed(*poll1) + EncodeFeed(*poll3).substr(14),
+            EncodeFeed(documents));
+  fs::remove_all(dir);
+}
+
+// The tentpole acceptance test: ingest a multi-year stream, assert
+// versioned dedup against generation-time ground truth, replay the whole
+// feed a second time and require byte-identical dashboards, and require
+// serial and parallel ingest to agree byte-for-byte.
+TEST(StreamPipelineTest, GoldenReplayAndSerialParallelIdentity) {
+  data::StreamTruth truth;
+  std::vector<data::TimedDocument> documents =
+      data::GenerateReportStream(SmallStreamConfig(), &truth);
+
+  auto ingest = [&documents](bool parallel, StreamStats* stats_out) {
+    auto db = std::make_unique<core::ObjectiveDatabase>(4, StreamDbOptions());
+    StreamPipelineOptions options;
+    options.parallel = parallel;
+    options.workers = parallel ? 4 : 0;
+    StreamPipeline pipeline(db.get(), HeuristicStages(), options);
+    StreamStats stats = pipeline.Process(documents);
+    if (stats_out != nullptr) *stats_out = stats;
+    return db;
+  };
+
+  StreamStats serial_stats;
+  std::unique_ptr<core::ObjectiveDatabase> serial =
+      ingest(false, &serial_stats);
+
+  // One row per unique (company, action, qualifier) target.
+  EXPECT_EQ(serial->live_size(), truth.unique_targets());
+  EXPECT_EQ(serial_stats.documents,
+            static_cast<int64_t>(documents.size()));
+  EXPECT_EQ(serial_stats.inserted,
+            static_cast<int64_t>(truth.unique_targets()));
+  EXPECT_EQ(serial_stats.updated, truth.restatements + truth.abandonments);
+  EXPECT_EQ(serial_stats.abandoned, truth.abandonments);
+  EXPECT_EQ(serial_stats.unchanged, 0);
+
+  // No duplicate upsert keys among live rows, and versions match truth.
+  std::map<std::pair<std::string, std::string>, int> live_versions;
+  for (const core::DbRow& row : serial->SnapshotRows()) {
+    auto key = std::make_pair(
+        row.company, core::ObjectiveUpsertKey(row.company, row.record));
+    EXPECT_EQ(live_versions.count(key), 0u)
+        << "duplicate live row for " << row.company << ": "
+        << row.record.objective_text;
+    live_versions[key] = core::RecordVersion(row.record);
+  }
+  int restated_rows = 0;
+  int abandoned_rows = 0;
+  for (const core::DbRow& row : serial->SnapshotRows()) {
+    if (core::RecordVersion(row.record) > 1) ++restated_rows;
+    if (row.record.FieldOrEmpty(kStatusField) == "abandoned") {
+      ++abandoned_rows;
+    }
+  }
+  EXPECT_GT(restated_rows, 0);
+  EXPECT_EQ(abandoned_rows, truth.abandonments);
+
+  // Versions agree with ground truth for every target.
+  std::map<std::pair<std::string, std::string>, const data::StreamTargetTruth*>
+      truth_by_key;
+  for (const data::StreamTargetTruth& target : truth.targets) {
+    data::DetailRecord key_record;
+    key_record.fields["Action"] = target.action;
+    key_record.fields["Qualifier"] = target.qualifier;
+    truth_by_key[{target.company,
+                  core::ObjectiveUpsertKey(target.company, key_record)}] =
+        &target;
+  }
+  for (const core::DbRow& row : serial->SnapshotRows()) {
+    auto key = std::make_pair(
+        row.company, core::ObjectiveUpsertKey(row.company, row.record));
+    auto it = truth_by_key.find(key);
+    ASSERT_NE(it, truth_by_key.end())
+        << row.company << ": " << row.record.objective_text;
+    EXPECT_EQ(core::RecordVersion(row.record), it->second->versions)
+        << row.company << ": " << row.record.objective_text;
+    EXPECT_EQ(row.record.FieldOrEmpty(kStatusField) == "abandoned",
+              it->second->abandoned);
+  }
+
+  const std::string csv_before = serial->ExportCsv(ExportKinds());
+
+  // Replaying the identical feed must change nothing: every upsert is a
+  // no-op and the dashboard export is byte-identical.
+  {
+    StreamPipelineOptions options;
+    options.parallel = false;
+    StreamPipeline replayer(serial.get(), HeuristicStages(), options);
+    StreamStats replay = replayer.Process(documents);
+    EXPECT_EQ(replay.inserted, 0);
+    EXPECT_EQ(replay.updated, 0);
+    EXPECT_EQ(replay.unchanged,
+              serial_stats.inserted + serial_stats.updated);
+    EXPECT_EQ(serial->live_size(), truth.unique_targets());
+    EXPECT_EQ(serial->ExportCsv(ExportKinds()), csv_before);
+  }
+
+  // Parallel ingest commits in feed order, so ids, versions, and the CSV
+  // export are byte-identical to serial ingest.
+  StreamStats parallel_stats;
+  std::unique_ptr<core::ObjectiveDatabase> parallel =
+      ingest(true, &parallel_stats);
+  EXPECT_EQ(parallel->ExportCsv(ExportKinds()), csv_before);
+  EXPECT_EQ(parallel_stats.inserted, serial_stats.inserted);
+  EXPECT_EQ(parallel_stats.updated, serial_stats.updated);
+  EXPECT_EQ(parallel_stats.objectives, serial_stats.objectives);
+}
+
+TEST(StreamPipelineTest, SdgLabelsAndDriftCounters) {
+  data::StreamTruth truth;
+  std::vector<data::TimedDocument> documents =
+      data::GenerateReportStream(SmallStreamConfig(), &truth);
+  core::ObjectiveDatabase db(4, StreamDbOptions());
+  StreamPipelineOptions options;
+  options.parallel = false;
+  StreamPipeline pipeline(&db, HeuristicStages(), options);
+  StreamStats stats = pipeline.Process(documents);
+
+  // The stream's qualifiers are aligned with the SDG lexicon: most rows
+  // must carry a label, and labels must agree with direct classification.
+  sdg::SdgClassifier classifier;
+  size_t labeled = 0;
+  for (const core::DbRow& row : db.SnapshotRows()) {
+    const std::string label = row.record.FieldOrEmpty(kSdgField);
+    if (!label.empty()) ++labeled;
+    EXPECT_EQ(label,
+              sdg::LabelString(classifier.Classify(row.record.objective_text)))
+        << row.record.objective_text;
+  }
+  EXPECT_GT(labeled, db.SnapshotRows().size() / 2);
+
+  // Drift rates are well-formed and low on in-domain text.
+  EXPECT_GE(stats.unmatched_rate(), 0.0);
+  EXPECT_LT(stats.unmatched_rate(), 0.5);
+  EXPECT_GE(stats.unknown_kind_rate(), 0.0);
+  EXPECT_LE(stats.unknown_kind_rate(), 1.0);
+  EXPECT_EQ(stats.objectives, stats.inserted + stats.updated +
+                                  stats.unchanged);
+}
+
+TEST(StreamPipelineTest, DetectionStageFiltersNoise) {
+  // Without feed labels, the heuristic detector must still find the
+  // objective blocks (they all carry an action verb or an amount) and
+  // drop boilerplate noise.
+  data::StreamTruth truth;
+  data::ReportStreamConfig config = SmallStreamConfig();
+  config.years = 1;
+  std::vector<data::TimedDocument> documents =
+      data::GenerateReportStream(config, &truth);
+
+  core::ObjectiveDatabase with_labels(2, StreamDbOptions());
+  core::ObjectiveDatabase detected(2, StreamDbOptions());
+  StreamPipelineOptions trusted;
+  trusted.parallel = false;
+  StreamPipeline a(&with_labels, HeuristicStages(), trusted);
+  StreamStats trusted_stats = a.Process(documents);
+
+  StreamPipelineOptions detecting;
+  detecting.parallel = false;
+  detecting.trust_feed_labels = false;
+  StreamPipeline b(&detected, HeuristicStages(), detecting);
+  StreamStats detected_stats = b.Process(documents);
+
+  EXPECT_GT(detected_stats.objectives, 0);
+  EXPECT_LE(detected_stats.objectives, trusted_stats.blocks);
+  // Detection keeps at least 80% of true objectives on in-domain text.
+  EXPECT_GE(detected_stats.objectives * 10, trusted_stats.objectives * 8);
+}
+
+TEST(StreamPipelineTest, StreamSurvivesDatabaseReopen) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "goalex_pipeline_reopen").string();
+  fs::remove_all(dir);
+
+  data::StreamTruth truth;
+  std::vector<data::TimedDocument> documents =
+      data::GenerateReportStream(SmallStreamConfig(), &truth);
+  const size_t half = documents.size() / 2;
+  std::vector<data::TimedDocument> first(documents.begin(),
+                                         documents.begin() + half);
+  std::vector<data::TimedDocument> second(documents.begin() + half,
+                                          documents.end());
+  std::string csv;
+  {
+    core::ObjectiveDatabase db(4, StreamDbOptions());
+    ASSERT_TRUE(db.Open(dir).ok());
+    StreamPipelineOptions options;
+    options.parallel = false;
+    StreamPipeline pipeline(&db, HeuristicStages(), options);
+    pipeline.Process(first);
+    ASSERT_TRUE(db.Flush().ok());
+  }
+  {
+    core::ObjectiveDatabase db(4, StreamDbOptions());
+    ASSERT_TRUE(db.Open(dir).ok());
+    StreamPipelineOptions options;
+    options.parallel = false;
+    StreamPipeline pipeline(&db, HeuristicStages(), options);
+    pipeline.Process(second);
+    EXPECT_EQ(db.live_size(), truth.unique_targets());
+    csv = db.ExportCsv(ExportKinds());
+  }
+
+  // Single-shot ingest of the same stream produces the same live rows
+  // (row ids differ across the seal boundary, so compare sorted rows
+  // minus ids via CSV of a freshly loaded compacted copy).
+  core::ObjectiveDatabase oneshot(4, StreamDbOptions());
+  StreamPipelineOptions options;
+  options.parallel = false;
+  StreamPipeline pipeline(&oneshot, HeuristicStages(), options);
+  pipeline.Process(documents);
+  EXPECT_EQ(oneshot.live_size(), truth.unique_targets());
+  std::multiset<std::string> split_rows;
+  std::multiset<std::string> oneshot_rows;
+  for (const core::DbRow& row : oneshot.SnapshotRows()) {
+    oneshot_rows.insert(row.company + "|" + row.record.objective_text +
+                        "|" + row.record.FieldOrEmpty(core::kVersionField));
+  }
+  {
+    core::ObjectiveDatabase reopened(4, StreamDbOptions());
+    ASSERT_TRUE(reopened.Load(dir).ok());
+    for (const core::DbRow& row : reopened.SnapshotRows()) {
+      split_rows.insert(row.company + "|" + row.record.objective_text +
+                        "|" + row.record.FieldOrEmpty(core::kVersionField));
+    }
+  }
+  EXPECT_EQ(split_rows, oneshot_rows);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace goalex::pipeline

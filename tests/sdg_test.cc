@@ -1,0 +1,171 @@
+#include "sdg/sdg.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "data/generator.h"
+
+namespace goalex::sdg {
+namespace {
+
+TEST(SdgTest, GoalNamesCoverAllSeventeen) {
+  std::set<std::string> names;
+  for (int goal = 1; goal <= kNumGoals; ++goal) {
+    EXPECT_NE(GoalName(goal), "Unknown") << goal;
+    names.insert(GoalName(goal));
+  }
+  EXPECT_EQ(names.size(), 17u);
+  EXPECT_EQ(GoalName(0), "Unknown");
+  EXPECT_EQ(GoalName(18), "Unknown");
+  EXPECT_EQ(GoalName(13), "Climate Action");
+}
+
+TEST(SdgTest, BuiltinLexiconHasEveryGoalInEverySystem) {
+  for (const LexiconSystem& system : BuiltinLexicon()) {
+    ASSERT_EQ(system.terms.size(), static_cast<size_t>(kNumGoals))
+        << system.name;
+    for (int goal = 1; goal <= kNumGoals; ++goal) {
+      EXPECT_FALSE(system.terms[static_cast<size_t>(goal) - 1].empty())
+          << system.name << " goal " << goal;
+    }
+  }
+}
+
+TEST(SdgTest, ClassifiesObviousObjectives) {
+  SdgClassifier classifier;
+  auto top_goal = [&classifier](const std::string& text) {
+    std::vector<SdgScore> scores = classifier.Classify(text);
+    return scores.empty() ? 0 : scores[0].goal;
+  };
+  EXPECT_EQ(top_goal("Reduce greenhouse gas emissions by 30% by 2030"), 13);
+  EXPECT_EQ(top_goal("Cut fresh water withdrawal at all plants"), 6);
+  EXPECT_EQ(top_goal("Source 100% renewable electricity by 2025"), 7);
+  EXPECT_EQ(top_goal("Eliminate single-use plastics from packaging"), 12);
+  EXPECT_EQ(top_goal("Increase women in leadership positions to 40%"), 5);
+  EXPECT_EQ(top_goal("Fund reforestation projects protecting biodiversity"),
+            15);
+  EXPECT_EQ(top_goal("Quarterly financial results were strong"), 0);
+}
+
+TEST(SdgTest, CaseAndTokenBoundaryBehaviour) {
+  SdgClassifier classifier;
+  // Matching is case-insensitive ...
+  EXPECT_FALSE(classifier.Classify("RENEWABLE ELECTRICITY targets").empty());
+  // ... and token-exact: "watered" must not match the "water" keyword.
+  EXPECT_TRUE(classifier.Classify("the lawn was watered daily").empty());
+  // Hyphenated lexicon phrases match hyphenated text ("net-zero"
+  // tokenizes identically on both sides).
+  std::vector<SdgScore> scores =
+      classifier.Classify("Achieve net-zero operations by 2040");
+  ASSERT_FALSE(scores.empty());
+  EXPECT_EQ(scores[0].goal, 13);
+}
+
+TEST(SdgTest, PhrasesOutweighKeywordsAndSystemsCount) {
+  SdgClassifier classifier;
+  // "emissions" alone: one keyword hit, one system.
+  std::vector<SdgScore> keyword_only = classifier.Classify("lower emissions");
+  ASSERT_EQ(keyword_only.size(), 1u);
+  EXPECT_EQ(keyword_only[0].goal, 13);
+  EXPECT_EQ(keyword_only[0].systems, 1);
+  // "greenhouse gas emissions": keyword + phrase, two systems, higher
+  // score.
+  std::vector<SdgScore> both =
+      classifier.Classify("lower greenhouse gas emissions");
+  ASSERT_EQ(both.size(), 1u);
+  EXPECT_EQ(both[0].systems, 2);
+  EXPECT_GT(both[0].score, keyword_only[0].score);
+}
+
+TEST(SdgTest, MinSystemsFiltersSingleSystemHits) {
+  SdgClassifierOptions options;
+  options.min_systems = 2;
+  SdgClassifier classifier(options);
+  EXPECT_TRUE(classifier.Classify("lower emissions").empty());
+  EXPECT_FALSE(
+      classifier.Classify("lower greenhouse gas emissions").empty());
+}
+
+TEST(SdgTest, MaxGoalsTruncatesByScore) {
+  SdgClassifierOptions options;
+  options.max_goals = 1;
+  SdgClassifier classifier(options);
+  std::vector<SdgScore> scores = classifier.Classify(
+      "Reduce water usage and greenhouse gas emissions across plants");
+  ASSERT_EQ(scores.size(), 1u);
+  // Both goals hit; the classifier must keep the better-scoring one.
+  SdgClassifierOptions unlimited;
+  unlimited.max_goals = 0;
+  SdgClassifier full(unlimited);
+  std::vector<SdgScore> all = full.Classify(
+      "Reduce water usage and greenhouse gas emissions across plants");
+  ASSERT_GE(all.size(), 2u);
+  EXPECT_EQ(scores[0].goal, all[0].goal);
+}
+
+TEST(SdgTest, LabelStringFormatting) {
+  EXPECT_EQ(LabelString({}), "");
+  SdgScore a;
+  a.goal = 13;
+  SdgScore b;
+  b.goal = 7;
+  EXPECT_EQ(LabelString({a, b}), "SDG13 SDG7");
+}
+
+// The acceptance gate: the compiled first-token-indexed path agrees with
+// the brute-force full-lexicon scan on an entire generated corpus.
+TEST(SdgTest, CompiledPathMatchesBruteForceOnGeneratedCorpus) {
+  data::SustainabilityGoalsConfig config;
+  config.objective_count = 400;
+  config.seed = 20260808;
+  std::vector<data::Objective> corpus =
+      data::GenerateSustainabilityGoals(config);
+  ASSERT_EQ(corpus.size(), 400u);
+
+  SdgClassifierOptions options;
+  options.max_goals = 0;  // Compare the full ranking, not a truncation.
+  SdgClassifier classifier(options);
+  size_t labeled = 0;
+  for (const data::Objective& objective : corpus) {
+    std::vector<SdgScore> fast = classifier.Classify(objective.text);
+    std::vector<SdgScore> slow =
+        classifier.ClassifyBruteForce(objective.text);
+    ASSERT_EQ(fast, slow) << objective.text;
+    if (!fast.empty()) ++labeled;
+  }
+  // The lexicon is aligned with the generator's qualifier inventory, so
+  // the bulk of generated objectives must land at least one goal.
+  EXPECT_GT(labeled, corpus.size() / 2);
+}
+
+TEST(SdgTest, SummarizeRanksGoalsAndObjectives) {
+  SdgClassifier classifier;
+  std::vector<std::string> objectives = {
+      "Reduce greenhouse gas emissions by 30%",    // SDG13 (strong)
+      "Cut carbon emissions from operations",      // SDG13
+      "Lower water usage at all plants",           // SDG6
+      "Quarterly revenue grew nicely",             // no goal
+  };
+  SdgSummary summary = Summarize(classifier, objectives, /*top_k=*/1);
+  ASSERT_GE(summary.goals.size(), 2u);
+  EXPECT_EQ(summary.goals[0].goal, 13);
+  EXPECT_EQ(summary.goals[0].objective_count, 2);
+  ASSERT_EQ(summary.goals[0].top_objectives.size(), 1u);
+  // The phrase-backed objective scores higher than the keyword-only one.
+  EXPECT_EQ(summary.goals[0].top_objectives[0],
+            "Reduce greenhouse gas emissions by 30%");
+  bool found_water = false;
+  for (const SdgSummary::PerGoal& goal : summary.goals) {
+    if (goal.goal == 6) {
+      found_water = true;
+      EXPECT_EQ(goal.objective_count, 1);
+    }
+  }
+  EXPECT_TRUE(found_water);
+}
+
+}  // namespace
+}  // namespace goalex::sdg

@@ -150,6 +150,48 @@ TEST(NormalizeYearTest, RejectsNonYears) {
   EXPECT_FALSE(NormalizeYear("").has_value());
 }
 
+TEST(NormalizeDeadlineYearTest, MatchesNormalizeYearOnSingleYearStrings) {
+  EXPECT_EQ(NormalizeDeadlineYear("2040").value(), 2040);
+  EXPECT_EQ(NormalizeDeadlineYear("the end of 2035").value(), 2035);
+  EXPECT_EQ(NormalizeDeadlineYear("fiscal year 2028").value(), 2028);
+  EXPECT_FALSE(NormalizeDeadlineYear("next year").has_value());
+  EXPECT_FALSE(NormalizeDeadlineYear("20401").has_value());
+  EXPECT_FALSE(NormalizeDeadlineYear("").has_value());
+}
+
+TEST(NormalizeDeadlineYearTest, BaselineAndDeadlineInOneString) {
+  // Regression: the first-run rule returned the *baseline* 2019 for all of
+  // these, corrupting the deadline-year index.
+  EXPECT_EQ(NormalizeDeadlineYear("compared to 2019 levels, by 2035"), 2035);
+  EXPECT_EQ(NormalizeDeadlineYear("against a 2019 baseline, by 2035"), 2035);
+  EXPECT_EQ(NormalizeDeadlineYear("from 2019 levels, no later than 2032"),
+            2032);
+  EXPECT_EQ(NormalizeDeadlineYear("versus fiscal year 2019, before 2030"),
+            2030);
+  EXPECT_EQ(NormalizeDeadlineYear("relative to 2017, until 2026"), 2026);
+  // The deadline may also come first.
+  EXPECT_EQ(NormalizeDeadlineYear("by 2035, compared to 2019 levels"), 2035);
+  EXPECT_EQ(NormalizeDeadlineYear("by the end of 2045 (baseline 2020)"),
+            2045);
+  EXPECT_EQ(NormalizeDeadlineYear("by fiscal year 2033 against 2021"), 2033);
+  EXPECT_EQ(NormalizeDeadlineYear("with a target date of 2036, from 2019"),
+            2036);
+}
+
+TEST(NormalizeDeadlineYearTest, AmountByIsNotADeadlineCue) {
+  // The "by" of "by 40 percent" belongs to the amount; the cue walk stops
+  // at the first substantive word before the year ("compared") and must
+  // not reach across it. With no cue anywhere, the last run wins.
+  EXPECT_EQ(NormalizeDeadlineYear("by 40 percent compared to 2019"), 2019);
+  EXPECT_EQ(NormalizeDeadlineYear("by 25 percent against 2015 and by 2030"),
+            2030);
+}
+
+TEST(NormalizeDeadlineYearTest, NoCueFallsBackToLastRun) {
+  EXPECT_EQ(NormalizeDeadlineYear("2019 levels and then 2035"), 2035);
+  EXPECT_EQ(NormalizeDeadlineYear("sometime around 2044"), 2044);
+}
+
 TEST(NormalizeActionTest, StripsWillAndLowercases) {
   EXPECT_EQ(NormalizeAction("will Reduce"), "reduce");
   EXPECT_EQ(NormalizeAction("Reduce"), "reduce");
